@@ -1,0 +1,157 @@
+//! Minimal ASCII rendering for the repro figures (Figure 1's demand curve,
+//! allocation-vs-demand overlays, ratio-vs-parameter curves).
+
+/// Renders a series as an ASCII line/area chart of the given size.
+/// Values are down-sampled by max-pooling so bursts stay visible.
+pub fn area_chart(values: &[f64], width: usize, height: usize) -> String {
+    if values.is_empty() || width == 0 || height == 0 {
+        return String::new();
+    }
+    let pooled = max_pool(values, width);
+    let top = pooled.iter().copied().fold(0.0f64, f64::max).max(1e-12);
+    let mut rows = Vec::with_capacity(height);
+    for level in (1..=height).rev() {
+        let threshold = top * (level as f64 - 0.5) / height as f64;
+        let row: String = pooled
+            .iter()
+            .map(|&v| if v >= threshold { '█' } else { ' ' })
+            .collect();
+        rows.push(row);
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{top:>8.1} ┤"));
+    out.push_str(&rows[0]);
+    out.push('\n');
+    for row in &rows[1..] {
+        out.push_str("         │");
+        out.push_str(row);
+        out.push('\n');
+    }
+    out.push_str("       0 └");
+    out.push_str(&"─".repeat(pooled.len()));
+    out
+}
+
+/// Renders two series (e.g. demand and allocation) overlaid: demand as
+/// shaded area (`░`), the overlay as a line (`█`), both max-pooled.
+pub fn overlay_chart(area: &[f64], line: &[f64], width: usize, height: usize) -> String {
+    if area.is_empty() || width == 0 || height == 0 {
+        return String::new();
+    }
+    let a = max_pool(area, width);
+    let l = max_pool(line, width);
+    let top = a
+        .iter()
+        .chain(l.iter())
+        .copied()
+        .fold(0.0f64, f64::max)
+        .max(1e-12);
+    let cell = |v: f64, w: f64, threshold: f64, band: f64| -> char {
+        let on_line = w >= threshold && w < threshold + band;
+        if on_line {
+            '█'
+        } else if v >= threshold {
+            '░'
+        } else {
+            ' '
+        }
+    };
+    let band = top / height as f64;
+    let mut out = String::new();
+    for level in (1..=height).rev() {
+        let threshold = top * (level as f64 - 1.0) / height as f64;
+        let prefix = if level == height {
+            format!("{top:>8.1} ┤")
+        } else {
+            "         │".to_string()
+        };
+        out.push_str(&prefix);
+        for i in 0..a.len() {
+            out.push(cell(a[i], l[i], threshold, band));
+        }
+        out.push('\n');
+    }
+    out.push_str("       0 └");
+    out.push_str(&"─".repeat(a.len()));
+    out.push_str("\n          ░ demand   █ allocation");
+    out
+}
+
+/// Renders `(x, y)` pairs as a labelled horizontal bar chart — used for
+/// ratio-vs-parameter curves where exact values matter more than shape.
+pub fn bar_chart(points: &[(String, f64)], width: usize) -> String {
+    if points.is_empty() {
+        return String::new();
+    }
+    let top = points.iter().map(|p| p.1).fold(0.0f64, f64::max).max(1e-12);
+    let label_w = points.iter().map(|p| p.0.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, v) in points {
+        let bar = ((v / top) * width as f64).round() as usize;
+        out.push_str(&format!(
+            "{label:>label_w$} │{} {v:.2}\n",
+            "▇".repeat(bar.min(width))
+        ));
+    }
+    out.pop();
+    out
+}
+
+fn max_pool(values: &[f64], width: usize) -> Vec<f64> {
+    if values.len() <= width {
+        return values.to_vec();
+    }
+    let chunk = values.len().div_ceil(width);
+    values
+        .chunks(chunk)
+        .map(|c| c.iter().copied().fold(0.0, f64::max))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_chart_has_requested_height() {
+        let values: Vec<f64> = (0..100).map(|i| (i % 17) as f64).collect();
+        let chart = area_chart(&values, 40, 8);
+        assert_eq!(chart.lines().count(), 9); // height + axis
+        assert!(chart.contains('█'));
+    }
+
+    #[test]
+    fn empty_inputs_render_empty() {
+        assert_eq!(area_chart(&[], 10, 5), "");
+        assert_eq!(bar_chart(&[], 10), "");
+    }
+
+    #[test]
+    fn max_pool_preserves_peaks() {
+        let mut values = vec![1.0; 1000];
+        values[500] = 99.0;
+        let pooled = max_pool(&values, 50);
+        assert_eq!(pooled.len(), 50);
+        assert!(pooled.contains(&99.0));
+    }
+
+    #[test]
+    fn bar_chart_scales_to_max() {
+        let points = vec![("a".to_string(), 1.0), ("bb".to_string(), 2.0)];
+        let chart = bar_chart(&points, 10);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[1].matches('▇').count() > lines[0].matches('▇').count());
+        assert!(lines[1].contains("2.00"));
+    }
+
+    #[test]
+    fn overlay_marks_both_series() {
+        let demand: Vec<f64> = (0..50).map(|i| (i % 10) as f64).collect();
+        let alloc = vec![8.0; 50];
+        let chart = overlay_chart(&demand, &alloc, 25, 6);
+        assert!(chart.contains('░'));
+        assert!(chart.contains('█'));
+        assert!(chart.contains("demand"));
+    }
+}

@@ -1,0 +1,124 @@
+//! The provider cost model the paper's introduction motivates: a session is
+//! billed for its **total bandwidth consumption** (allocation × duration)
+//! and for every **bandwidth allocation change** (switch signalling). The
+//! model makes the paper's three-way trade-off a single number and lets the
+//! experiments locate the crossover prices where each policy wins.
+
+use cdba_sim::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// Prices for the two billable quantities.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Price of one bandwidth-unit·tick of allocation.
+    pub per_bandwidth_tick: f64,
+    /// Price of one allocation change.
+    pub per_change: f64,
+}
+
+impl CostModel {
+    /// A model with unit bandwidth price and the given change price — the
+    /// one-parameter family the experiments sweep.
+    pub fn with_change_price(per_change: f64) -> Self {
+        CostModel {
+            per_bandwidth_tick: 1.0,
+            per_change,
+        }
+    }
+
+    /// Bills a schedule.
+    pub fn bill(&self, schedule: &Schedule) -> Bill {
+        let bandwidth = schedule.allocated(0, schedule.len()) * self.per_bandwidth_tick;
+        let changes = schedule.num_changes() as f64 * self.per_change;
+        Bill {
+            bandwidth_cost: bandwidth,
+            change_cost: changes,
+        }
+    }
+}
+
+/// An itemized bill.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bill {
+    /// Total allocation × duration × price.
+    pub bandwidth_cost: f64,
+    /// Changes × price.
+    pub change_cost: f64,
+}
+
+impl Bill {
+    /// The total bill.
+    pub fn total(&self) -> f64 {
+        self.bandwidth_cost + self.change_cost
+    }
+}
+
+/// The change price at which two schedules cost the same — `None` when one
+/// dominates the other at every price (same-side differences), `Some(p)`
+/// with `p ≥ 0` otherwise.
+///
+/// With `total(p) = bandwidth + changes·p`, the crossover solves
+/// `bw_a + ch_a·p = bw_b + ch_b·p`.
+pub fn crossover_price(a: &Schedule, b: &Schedule) -> Option<f64> {
+    let bw_a = a.allocated(0, a.len());
+    let bw_b = b.allocated(0, b.len());
+    let ch_a = a.num_changes() as f64;
+    let ch_b = b.num_changes() as f64;
+    let d_ch = ch_a - ch_b;
+    if d_ch.abs() < 1e-12 {
+        return None;
+    }
+    let p = (bw_b - bw_a) / d_ch;
+    (p >= 0.0).then_some(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdba_sim::ScheduleBuilder;
+
+    fn schedule(values: &[f64]) -> Schedule {
+        let mut b = ScheduleBuilder::new();
+        for &v in values {
+            b.push(v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn bill_itemizes() {
+        let s = schedule(&[2.0, 2.0, 4.0, 4.0]); // 12 bw·ticks, 2 changes
+        let m = CostModel {
+            per_bandwidth_tick: 0.5,
+            per_change: 10.0,
+        };
+        let bill = m.bill(&s);
+        assert_eq!(bill.bandwidth_cost, 6.0);
+        assert_eq!(bill.change_cost, 20.0);
+        assert_eq!(bill.total(), 26.0);
+    }
+
+    #[test]
+    fn crossover_between_chatty_and_static() {
+        // Chatty: lower bandwidth (8), many changes (4).
+        let chatty = schedule(&[1.0, 3.0, 1.0, 3.0]);
+        // Static: higher bandwidth (12), one change.
+        let flat = schedule(&[3.0, 3.0, 3.0, 3.0]);
+        let p = crossover_price(&chatty, &flat).expect("crossover exists");
+        // 8 + 4p = 12 + 1p → p = 4/3.
+        assert!((p - 4.0 / 3.0).abs() < 1e-9);
+        // Below the crossover the chatty one is cheaper, above it the flat
+        // one wins.
+        let cheap = CostModel::with_change_price(p - 0.5);
+        let dear = CostModel::with_change_price(p + 0.5);
+        assert!(cheap.bill(&chatty).total() < cheap.bill(&flat).total());
+        assert!(dear.bill(&chatty).total() > dear.bill(&flat).total());
+    }
+
+    #[test]
+    fn dominated_schedules_have_no_crossover() {
+        let a = schedule(&[1.0, 1.0]); // cheaper in bandwidth, equal changes
+        let b = schedule(&[2.0, 2.0]);
+        assert_eq!(crossover_price(&a, &b), None);
+    }
+}

@@ -1,0 +1,83 @@
+//! E1 — Figure 1: "An example of bandwidth demand."
+//!
+//! The paper opens with a bursty, multi-timescale demand curve to motivate
+//! dynamic allocation. This experiment synthesizes that curve (on/off plus
+//! heavy-tailed bursts over a CBR floor), renders it, and quantifies the
+//! burstiness that makes static allocation hopeless.
+
+use super::{f2, Ctx};
+use crate::ascii_plot;
+use crate::report::{Report, Table};
+use cdba_traffic::models::{CbrParams, OnOffParams, ParetoParams, WorkloadKind};
+use cdba_traffic::stats;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runs the experiment.
+pub fn run(ctx: Ctx) -> Report {
+    let mut report = Report::new(
+        "E1",
+        "Figure 1: an example of bandwidth demand",
+        "a visibly bursty, multi-timescale demand curve (peak ≫ mean, heavy idle fraction)",
+    );
+    let len = if ctx.quick { 1_000 } else { 4_000 };
+    let mut rng = StdRng::seed_from_u64(ctx.seed);
+    let workload = WorkloadKind::Sum(vec![
+        WorkloadKind::Cbr(CbrParams {
+            rate: 1.0,
+            jitter: 0.2,
+        }),
+        WorkloadKind::OnOff(OnOffParams::default()),
+        WorkloadKind::Pareto(ParetoParams::default()),
+    ]);
+    let trace = workload
+        .generate(&mut rng, len)
+        .expect("default parameters are valid");
+
+    report
+        .figures
+        .push(ascii_plot::area_chart(trace.arrivals(), 100, 12));
+
+    let s = stats::summarize(&trace);
+    let mut table = Table::new(
+        "Demand statistics (the burstiness static allocation cannot serve)",
+        &["metric", "value"],
+    );
+    table.push_row(vec!["ticks".into(), s.len.to_string()]);
+    table.push_row(vec!["mean rate (bits/tick)".into(), f2(s.mean)]);
+    table.push_row(vec!["peak rate (bits/tick)".into(), f2(s.peak)]);
+    table.push_row(vec!["peak/mean".into(), f2(s.peak_to_mean)]);
+    table.push_row(vec!["coeff. of variation".into(), f2(s.cov)]);
+    table.push_row(vec!["idle fraction".into(), f2(s.idle_fraction)]);
+    table.push_row(vec!["Hurst estimate (R/S)".into(), f2(s.hurst)]);
+    report.tables.push(table);
+
+    if s.peak_to_mean < 2.0 {
+        report.fail(format!(
+            "demand not bursty enough: peak/mean {}",
+            f2(s.peak_to_mean)
+        ));
+    }
+    report.note(format!(
+        "lag-1 autocorrelation {} (burst persistence)",
+        f2(stats::autocorrelation(&trace, 1))
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_figure_and_passes() {
+        let r = run(Ctx {
+            quick: true,
+            seed: 3,
+        });
+        assert!(r.pass, "{:?}", r.notes);
+        assert_eq!(r.figures.len(), 1);
+        assert!(r.figures[0].contains('█'));
+        assert_eq!(r.tables.len(), 1);
+    }
+}

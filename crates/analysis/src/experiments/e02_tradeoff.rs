@@ -1,0 +1,194 @@
+//! E2 — Figure 2: the latency / utilization / changes trade-off.
+//!
+//! One bursty trace, six policies: the paper's four conceptual corners —
+//! (a) static-high, (b) static-low, (c) per-packet dynamic, (d) the online
+//! single-session algorithm — plus the two renegotiation heuristics from
+//! the experimental literature the paper abstracts (periodic, RCBR).
+
+use super::{f2, Ctx};
+use crate::ascii_plot;
+use crate::report::{Report, Table};
+use cdba_core::config::SingleConfig;
+use cdba_core::single::SingleSession;
+use cdba_sim::engine::{simulate, DrainPolicy};
+use cdba_sim::{measure, Allocator};
+use cdba_traffic::models::{MmppParams, WorkloadKind};
+use cdba_traffic::{conditioner, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const B_MAX: f64 = 64.0;
+const D_O: usize = 8;
+const U_O: f64 = 0.25;
+const W: usize = 16;
+
+fn measure_policy(
+    report: &mut Report,
+    table: &mut Table,
+    trace: &Trace,
+    alg: &mut dyn Allocator,
+    corner: &str,
+) -> (usize, Option<usize>, f64) {
+    let name = alg.name().to_string();
+    let run = match simulate(trace, alg, DrainPolicy::DrainToEmpty) {
+        Ok(run) => run,
+        Err(err) => {
+            report.fail(format!("{name}: simulation failed: {err}"));
+            return (0, None, 0.0);
+        }
+    };
+    let delay = measure::max_delay(trace, run.served());
+    let util = measure::global_utilization(trace, &run.schedule);
+    let local = measure::local_utilization(trace, &run.schedule, W).utilization;
+    table.push_row(vec![
+        corner.to_string(),
+        name,
+        run.schedule.num_changes().to_string(),
+        delay.map_or("∞".into(), |d| d.to_string()),
+        f2(util.min(9.99)),
+        f2(local.min(9.99)),
+        f2(run.schedule.peak()),
+    ]);
+    (run.schedule.num_changes(), delay, util)
+}
+
+/// Runs the experiment.
+pub fn run(ctx: Ctx) -> Report {
+    let mut report = Report::new(
+        "E2",
+        "Figure 2: two static and two dynamic allocation policies",
+        "(a) short delay / low utilization / 1 change; (b) long delay / high utilization / 1 \
+         change; (c) zero delay / utilization 1 / a change per tick; (d) online: bounded delay \
+         and utilization with few changes",
+    );
+    let len = if ctx.quick { 1_500 } else { 6_000 };
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0xE2);
+    let raw = WorkloadKind::Mmpp(MmppParams::default())
+        .generate(&mut rng, len)
+        .expect("default parameters are valid");
+    let trace = conditioner::scale_to_feasible(&raw, 0.9 * B_MAX, D_O)
+        .expect("positive bandwidth")
+        .pad_zeros(D_O);
+
+    let mut table = Table::new(
+        "One MMPP trace, six policies",
+        &[
+            "corner", "policy", "changes", "max delay", "global util", "local util", "peak alloc",
+        ],
+    );
+
+    let (_, d_a, u_a) = measure_policy(
+        &mut report,
+        &mut table,
+        &trace,
+        &mut cdba_offline::baselines::StaticAllocator::for_delay(&trace, D_O),
+        "(a)",
+    );
+    let (_, d_b, u_b) = measure_policy(
+        &mut report,
+        &mut table,
+        &trace,
+        &mut cdba_offline::baselines::StaticAllocator::mean_rate(&trace),
+        "(b)",
+    );
+    let (c_changes, d_c, _) = measure_policy(
+        &mut report,
+        &mut table,
+        &trace,
+        &mut cdba_offline::baselines::PerPacketAllocator::new(),
+        "(c)",
+    );
+    let cfg = SingleConfig::builder(B_MAX)
+        .offline_delay(D_O)
+        .offline_utilization(U_O)
+        .window(W)
+        .build()
+        .expect("valid config");
+    let mut online = SingleSession::new(cfg.clone());
+    let run_d = simulate(&trace, &mut online, DrainPolicy::DrainToEmpty).expect("online runs");
+    let d_changes = run_d.schedule.num_changes();
+    let d_d = measure::max_delay(&trace, run_d.served());
+    table.push_row(vec![
+        "(d)".into(),
+        "single-session (paper)".into(),
+        d_changes.to_string(),
+        d_d.map_or("∞".into(), |d| d.to_string()),
+        f2(measure::global_utilization(&trace, &run_d.schedule)),
+        f2(measure::local_utilization(&trace, &run_d.schedule, W).utilization),
+        f2(run_d.schedule.peak()),
+    ]);
+    measure_policy(
+        &mut report,
+        &mut table,
+        &trace,
+        &mut cdba_offline::baselines::PeriodicAllocator::new(2 * D_O, 1.25),
+        "—",
+    );
+    measure_policy(
+        &mut report,
+        &mut table,
+        &trace,
+        &mut cdba_offline::baselines::RcbrAllocator::conventional(D_O),
+        "—",
+    );
+    report.tables.push(table);
+
+    // Figure 2 (d)'s picture: demand with the online allocation overlaid.
+    report.figures.push(ascii_plot::overlay_chart(
+        trace.arrivals(),
+        run_d.schedule.allocation(),
+        100,
+        12,
+    ));
+
+    // The shape checks.
+    if u_a >= u_b {
+        report.fail("static-high should utilize worse than static-low");
+    }
+    if let (Some(da), Some(db)) = (d_a, d_b) {
+        if da >= db {
+            report.fail(format!("static-high delay {da} should beat static-low {db}"));
+        }
+    }
+    if d_c != Some(0) {
+        report.fail("per-packet should have zero delay");
+    }
+    if c_changes < len / 4 {
+        report.fail(format!(
+            "per-packet should change constantly, got {c_changes}"
+        ));
+    }
+    if d_changes * 10 > c_changes {
+        report.fail(format!(
+            "online changes {d_changes} not ≪ per-packet {c_changes}"
+        ));
+    }
+    match d_d {
+        Some(d) if d <= cfg.online_delay() => {}
+        other => report.fail(format!(
+            "online delay {:?} exceeds 2·D_O = {}",
+            other,
+            cfg.online_delay()
+        )),
+    }
+    report.note(format!(
+        "online made {d_changes} changes vs {c_changes} for per-packet on {len} ticks"
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tradeoff_shape_holds() {
+        let r = run(Ctx {
+            quick: true,
+            seed: 11,
+        });
+        assert!(r.pass, "notes: {:?}", r.notes);
+        assert_eq!(r.tables[0].rows.len(), 6);
+        assert_eq!(r.figures.len(), 1);
+    }
+}

@@ -1,0 +1,166 @@
+//! E3 — Theorem 6: the single-session competitive ratio is `O(log B_A)`,
+//! and the stage-forcing adversary attains it.
+//!
+//! Sweep `B_A` over powers of two; on each point run the paper's algorithm
+//! against the stage-forcer (bursts climbing the full power-of-two ladder,
+//! then starvation). Report changes per stage (≤ `log₂ B_A + 2`), the
+//! certified ratio bracket, and the constructive-offline bracket.
+
+use super::{f2, Ctx};
+use crate::ascii_plot;
+use crate::report::{Report, Table};
+use crate::runner::parallel_map;
+use cdba_core::config::SingleConfig;
+use cdba_core::single::SingleSession;
+use cdba_sim::engine::{simulate, DrainPolicy};
+use cdba_traffic::adversarial::{stage_forcer, StageForcerParams};
+use cdba_offline::single::greedy_offline;
+use cdba_offline::{CompetitiveRatio, OfflineConstraints};
+
+const D_O: usize = 4;
+const U_O: f64 = 0.05;
+
+struct Point {
+    levels: u32,
+    changes: usize,
+    stages: usize,
+    per_stage: f64,
+    ratio: CompetitiveRatio,
+}
+
+fn run_point(levels: u32, quick: bool) -> Point {
+    let b_max = 2f64.powi(levels as i32);
+    let w = levels as usize * (D_O + 1) + D_O;
+    let stages = if quick { 3 } else { 8 };
+    let trace = stage_forcer(StageForcerParams::new(b_max, D_O, w, stages))
+        .expect("valid adversary parameters");
+    let cfg = SingleConfig::builder(b_max)
+        .offline_delay(D_O)
+        .offline_utilization(U_O)
+        .window(w)
+        .build()
+        .expect("valid config");
+    let mut alg = SingleSession::new(cfg);
+    let run = simulate(&trace, &mut alg, DrainPolicy::DrainToEmpty).expect("simulation runs");
+    let changes = run.schedule.num_changes();
+    let certified = alg.certified_offline_changes();
+    // The constructed offline must obey the same utilization constraint the
+    // certificate assumes, or the ratio brackets would not nest.
+    let constructed = greedy_offline(
+        &trace,
+        OfflineConstraints::with_utilization(b_max, D_O, U_O, w),
+    )
+    .ok()
+    .map(|o| o.changes());
+    Point {
+        levels,
+        changes,
+        stages: certified,
+        per_stage: changes as f64 / certified.max(1) as f64,
+        ratio: CompetitiveRatio {
+            online_changes: changes,
+            certified_offline: certified,
+            constructed_offline: constructed,
+        },
+    }
+}
+
+/// Runs the experiment.
+pub fn run(ctx: Ctx) -> Report {
+    let mut report = Report::new(
+        "E3",
+        "Theorem 6: single-session changes vs log2(B_A) on the stage-forcing adversary",
+        "changes per stage grow linearly in log2(B_A) and stay within the ladder budget \
+         log2(B_A) + 2; the certified competitive-ratio bracket scales like log2(B_A)",
+    );
+    let levels: Vec<u32> = if ctx.quick {
+        vec![4, 6, 8]
+    } else {
+        vec![4, 6, 8, 10, 12, 14]
+    };
+    let quick = ctx.quick;
+    let points = parallel_map(levels, |l| run_point(l, quick));
+
+    let mut table = Table::new(
+        "Sweep over B_A (adversarial input)",
+        &[
+            "B_A",
+            "log2(B_A)",
+            "stages",
+            "online changes",
+            "changes/stage",
+            "budget (log2 B_A + 2)",
+            "ratio ≤ (certified)",
+            "ratio ≥ (constructed)",
+        ],
+    );
+    let mut bars = Vec::new();
+    for p in &points {
+        let budget = p.levels as usize + 2;
+        table.push_row(vec![
+            format!("2^{}", p.levels),
+            p.levels.to_string(),
+            p.stages.to_string(),
+            p.changes.to_string(),
+            f2(p.per_stage),
+            budget.to_string(),
+            f2(p.ratio.upper()),
+            p.ratio.lower().map_or("—".into(), f2),
+        ]);
+        if p.per_stage > budget as f64 + 1e-9 {
+            report.fail(format!(
+                "B_A=2^{}: {} changes/stage exceeds ladder budget {}",
+                p.levels,
+                f2(p.per_stage),
+                budget
+            ));
+        }
+        bars.push((format!("2^{}", p.levels), p.per_stage));
+    }
+    report.tables.push(table);
+    report
+        .figures
+        .push(ascii_plot::bar_chart(&bars, 40));
+
+    // Shape: per-stage changes grow with the ladder depth.
+    let first = points.first().expect("non-empty sweep");
+    let last = points.last().expect("non-empty sweep");
+    if last.per_stage <= first.per_stage {
+        report.fail(format!(
+            "changes/stage should grow with log B_A ({} at 2^{} vs {} at 2^{})",
+            f2(first.per_stage),
+            first.levels,
+            f2(last.per_stage),
+            last.levels
+        ));
+    }
+    let growth = (last.per_stage - first.per_stage) / ((last.levels - first.levels) as f64);
+    report.note(format!(
+        "changes/stage slope ≈ {} per doubling of B_A (theory: 1.0)",
+        f2(growth)
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversary_attains_logarithmic_growth() {
+        let r = run(Ctx {
+            quick: true,
+            seed: 5,
+        });
+        assert!(r.pass, "notes: {:?}", r.notes);
+    }
+
+    #[test]
+    fn single_point_is_within_budget() {
+        let p = run_point(6, true);
+        assert!(p.stages >= 2, "stages {}", p.stages);
+        assert!(p.per_stage <= 8.0 + 1e-9, "per-stage {}", p.per_stage);
+        // The adversary makes the online pay close to the full ladder.
+        assert!(p.per_stage >= 4.0, "adversary too weak: {}", p.per_stage);
+    }
+}

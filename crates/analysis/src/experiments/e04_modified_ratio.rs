@@ -1,0 +1,229 @@
+//! E4 — Theorem 7: the modified algorithm pays `O(log 1/U_O)` changes per
+//! stage, *independent of `B_A`*.
+//!
+//! Two sweeps:
+//!
+//! 1. **`U_O` sweep** — a "ladder" adversary whose per-stage demand climbs
+//!    from `r` to `r/(2·U_O)` (the widest range the utilization bound lets
+//!    any algorithm survive in one stage): changes/stage should track
+//!    `log₂(1/U_O)` for both algorithms.
+//! 2. **`B_A` sweep** — a slow staircase crawling from 1 to `B_A` inside
+//!    the vanilla algorithm's grace window: the vanilla algorithm (Thm 6)
+//!    pays `≈ log₂ B_A` per certified stage, while the lookback variant
+//!    (our Thm 7 reconstruction) stays flat at `O(log 1/U_O)`.
+
+use super::{f2, Ctx};
+use crate::report::{Report, Table};
+use crate::runner::parallel_map;
+use cdba_core::config::SingleConfig;
+use cdba_core::single::{LookbackSingle, SingleSession};
+use cdba_sim::engine::{simulate, DrainPolicy};
+use cdba_traffic::adversarial::staircase;
+use cdba_traffic::Trace;
+
+const D_O: usize = 4;
+const W: usize = 16;
+const BASE_RATE: f64 = 4.0;
+
+/// Per-stage adversary for the `U_O` sweep: settle at `r`, double up to
+/// `r/(2·u_o)`, then starve.
+fn ladder_trace(u_o: f64, stages: usize) -> Trace {
+    let doublings = (1.0 / (2.0 * u_o)).log2().max(0.0).ceil() as u32;
+    let mut arrivals = Vec::new();
+    for _ in 0..stages {
+        arrivals.extend(std::iter::repeat_n(BASE_RATE, W));
+        for j in 1..=doublings {
+            let rate = BASE_RATE * 2f64.powi(j as i32);
+            arrivals.extend(std::iter::repeat_n(rate, 2 * D_O));
+        }
+        arrivals.extend(std::iter::repeat_n(0.0, W + D_O + 1));
+    }
+    Trace::new(arrivals).expect("valid adversary")
+}
+
+fn cfg(b_max: f64, u_o: f64) -> SingleConfig {
+    SingleConfig::builder(b_max)
+        .offline_delay(D_O)
+        .offline_utilization(u_o)
+        .window(W)
+        .build()
+        .expect("valid config")
+}
+
+struct Outcome {
+    changes: usize,
+    certified: usize,
+}
+
+fn measure_vanilla(trace: &Trace, c: SingleConfig) -> Outcome {
+    let mut alg = SingleSession::new(c);
+    let run = simulate(trace, &mut alg, DrainPolicy::DrainToEmpty).expect("runs");
+    Outcome {
+        changes: run.schedule.num_changes(),
+        certified: alg.certified_offline_changes(),
+    }
+}
+
+fn measure_lookback(trace: &Trace, c: SingleConfig) -> Outcome {
+    let mut alg = LookbackSingle::new(c);
+    let run = simulate(trace, &mut alg, DrainPolicy::DrainToEmpty).expect("runs");
+    Outcome {
+        changes: run.schedule.num_changes(),
+        certified: alg.certified_offline_changes(),
+    }
+}
+
+fn per_cert(o: &Outcome) -> f64 {
+    o.changes as f64 / o.certified.max(1) as f64
+}
+
+/// Runs the experiment.
+pub fn run(ctx: Ctx) -> Report {
+    let mut report = Report::new(
+        "E4",
+        "Theorem 7: modified algorithm — O(log 1/U_O) changes per stage, flat in B_A",
+        "changes per certified stage grow with log2(1/U_O) on the ladder adversary and stay \
+         flat in B_A on the staircase adversary (where the vanilla algorithm grows like \
+         log2(B_A))",
+    );
+    let stages = if ctx.quick { 3 } else { 6 };
+
+    // Sweep 1: U_O.
+    let u_os: Vec<f64> = if ctx.quick {
+        vec![0.5, 0.125, 1.0 / 64.0]
+    } else {
+        vec![0.5, 0.25, 0.125, 1.0 / 32.0, 1.0 / 64.0, 1.0 / 256.0]
+    };
+    let b_fixed = 65_536.0;
+    let rows = parallel_map(u_os, |u_o| {
+        let trace = ladder_trace(u_o, stages);
+        let v = measure_vanilla(&trace, cfg(b_fixed, u_o));
+        let l = measure_lookback(&trace, cfg(b_fixed, u_o));
+        (u_o, v, l)
+    });
+    let mut t1 = Table::new(
+        "Sweep over U_O (ladder adversary, B_A = 2^16)",
+        &[
+            "U_O",
+            "log2(1/U_O)",
+            "vanilla changes/cert",
+            "lookback changes/cert",
+            "lookback budget",
+        ],
+    );
+    let mut lb_series = Vec::new();
+    for (u_o, v, l) in &rows {
+        let budget = 2.0 * ((2.0 / u_o).log2().ceil() + 3.0); // ×2: lookback certifies stages/2
+        t1.push_row(vec![
+            format!("1/{}", (1.0 / u_o).round() as u64),
+            f2((1.0 / u_o).log2()),
+            f2(per_cert(v)),
+            f2(per_cert(l)),
+            f2(budget),
+        ]);
+        if per_cert(l) > budget + 1e-9 {
+            report.fail(format!(
+                "U_O={u_o}: lookback {} changes/cert exceeds budget {}",
+                f2(per_cert(l)),
+                f2(budget)
+            ));
+        }
+        lb_series.push(per_cert(l));
+    }
+    report.tables.push(t1);
+    if lb_series.last() <= lb_series.first() {
+        report.fail("lookback changes/cert should grow with log 1/U_O");
+    }
+
+    // Sweep 2: B_A with a grace-window crawl. The utilization window must
+    // cover the whole crawl so the vanilla algorithm's grace period
+    // (high = B_A) lets the crawl stay inside one stage and cost the full
+    // log₂(B_A) ladder; the lookback variant has no grace period and
+    // fragments the crawl into certified stages of O(log 1/U_O) changes
+    // each.
+    let u_fix = 0.25;
+    let levels: Vec<u32> = if ctx.quick { vec![8, 12] } else { vec![8, 12, 16] };
+    let rows2 = parallel_map(levels, |lv| {
+        let b_max = 2f64.powi(lv as i32);
+        let step = 2 * (D_O + 1);
+        let crawl = staircase(1.0, lv, step, 1).expect("valid staircase");
+        let w_crawl = lv as usize * step + D_O;
+        let silence = Trace::new(vec![0.0; w_crawl + D_O + 1]).expect("non-empty");
+        let mut trace = crawl.concat(&silence);
+        for _ in 1..stages {
+            trace = trace.concat(&crawl).concat(&silence);
+        }
+        let mk = |u_o: f64| {
+            SingleConfig::builder(b_max)
+                .offline_delay(D_O)
+                .offline_utilization(u_o)
+                .window(w_crawl)
+                .build()
+                .expect("valid config")
+        };
+        let v = measure_vanilla(&trace, mk(u_fix));
+        let l = measure_lookback(&trace, mk(u_fix));
+        (lv, v, l)
+    });
+    let mut t2 = Table::new(
+        "Sweep over B_A (staircase crawl, U_O = 1/4)",
+        &[
+            "B_A",
+            "vanilla changes/cert",
+            "lookback changes/cert",
+        ],
+    );
+    for (lv, v, l) in &rows2 {
+        t2.push_row(vec![
+            format!("2^{lv}"),
+            f2(per_cert(v)),
+            f2(per_cert(l)),
+        ]);
+    }
+    report.tables.push(t2);
+    let (first, last) = (&rows2[0], &rows2[rows2.len() - 1]);
+    if per_cert(&last.1) <= per_cert(&first.1) {
+        report.fail("vanilla changes/cert should grow with log B_A on the crawl");
+    }
+    if per_cert(&last.2) > 2.0 * per_cert(&first.2) + 2.0 {
+        report.fail(format!(
+            "lookback should stay ~flat in B_A ({} → {})",
+            f2(per_cert(&first.2)),
+            f2(per_cert(&last.2))
+        ));
+    }
+    if per_cert(&last.2) >= per_cert(&last.1) {
+        report.fail("lookback should beat vanilla at large B_A on the crawl");
+    }
+    report.note(format!(
+        "at B_A = 2^{}: vanilla {} vs lookback {} changes per certified offline change",
+        last.0,
+        f2(per_cert(&last.1)),
+        f2(per_cert(&last.2))
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_trace_has_expected_structure() {
+        let t = ladder_trace(0.25, 1);
+        // settle W + 1 doubling × 2·D_O + silence (W + D_O + 1).
+        assert_eq!(t.len(), W + 8 + W + D_O + 1);
+        assert_eq!(t.arrival(0), BASE_RATE);
+        assert_eq!(t.arrival(W), 2.0 * BASE_RATE);
+    }
+
+    #[test]
+    fn shape_checks_pass() {
+        let r = run(Ctx {
+            quick: true,
+            seed: 2,
+        });
+        assert!(r.pass, "notes: {:?}", r.notes);
+        assert_eq!(r.tables.len(), 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! E7 — Section 4: the combined algorithm — global power-of-two budget
+//! tracking over the aggregate plus the multi-session machinery inside,
+//! under both inner algorithms.
+//!
+//! Workload: rotating-hot blocks whose aggregate level shifts by 4× between
+//! epochs, separated by starvation gaps — exercising budget climbs (local
+//! `BudgetChanged` stages), inner stages (rotation), and GLOBAL RESETs
+//! (gaps).
+
+use super::{f2, Ctx};
+use crate::report::{Report, Table};
+use crate::runner::parallel_map;
+use cdba_core::combined::Combined;
+use cdba_core::config::{CombinedConfig, InnerMulti};
+use cdba_sim::engine::{simulate_multi, DrainPolicy};
+use cdba_sim::verify::verify_multi;
+use cdba_traffic::multi::rotating_hot;
+use cdba_traffic::{MultiTrace, Trace};
+
+const D_O: usize = 4;
+const W: usize = 12;
+const U_O: f64 = 0.1;
+const B_O: f64 = 64.0;
+
+/// Epochs of rotation at alternating aggregate levels with starvation gaps.
+fn workload(k: usize, quick: bool) -> MultiTrace {
+    let epochs = if quick { 3 } else { 6 };
+    let epoch_len = 30 * D_O;
+    let gap = W + 5 * D_O;
+    let mut sessions: Vec<Vec<f64>> = vec![Vec::new(); k];
+    for e in 0..epochs {
+        let level = if e % 2 == 0 { 0.2 * B_O } else { 0.8 * B_O };
+        let block = rotating_hot(k, level, level / 20.0, 4 * D_O, epoch_len)
+            .expect("valid rotation");
+        for (i, s) in sessions.iter_mut().enumerate() {
+            s.extend_from_slice(block.session(i).arrivals());
+            s.extend(std::iter::repeat_n(0.0, gap));
+        }
+    }
+    MultiTrace::new(
+        sessions
+            .into_iter()
+            .map(|s| Trace::new(s).expect("non-empty"))
+            .collect(),
+    )
+    .expect("uniform lengths")
+}
+
+struct Point {
+    inner: InnerMulti,
+    bon_changes: usize,
+    global_certified: usize,
+    local_changes: usize,
+    local_certified: usize,
+    max_delay: Option<usize>,
+    peak_total: f64,
+    envelope: f64,
+}
+
+fn run_point(inner: InnerMulti, k: usize, quick: bool) -> Point {
+    let input = workload(k, quick);
+    let cfg = CombinedConfig::new(k, B_O, D_O, U_O, W, inner).expect("valid config");
+    let mut alg = Combined::new(cfg.clone());
+    let run = simulate_multi(&input, &mut alg, DrainPolicy::DrainToEmpty).expect("runs");
+    let verdict = verify_multi(&input, &run, &cfg.promised_bounds());
+    Point {
+        inner,
+        bon_changes: alg.bon_changes(),
+        global_certified: alg.certified_global_changes(),
+        local_changes: verdict.local_changes,
+        local_certified: alg.certified_local_changes(),
+        max_delay: verdict.max_delay,
+        peak_total: verdict.peak_total_allocation,
+        envelope: cfg.total_bandwidth_envelope(),
+    }
+}
+
+/// Runs the experiment.
+pub fn run(ctx: Ctx) -> Report {
+    let mut report = Report::new(
+        "E7",
+        "Section 4: the combined algorithm (global budget + multi-session inside)",
+        "B_on changes bounded by log2(B_A) per global stage; local changes O(k·log B_A) against \
+         the certified inner stages; delay ≤ 2·D_O; peak total ≤ 7·B_O (phased) / 8·B_O \
+         (continuous)",
+    );
+    let k = 4;
+    let quick = ctx.quick;
+    let points = parallel_map(vec![InnerMulti::Phased, InnerMulti::Continuous], |inner| {
+        run_point(inner, k, quick)
+    });
+    let mut table = Table::new(
+        format!("Combined algorithm, k = {k}, B_O = {B_O}, D_O = {D_O}, U_O = {U_O}"),
+        &[
+            "inner",
+            "B_on changes",
+            "global certified",
+            "B_on changes / global stage",
+            "local changes",
+            "local certified",
+            "max delay",
+            "delay bound",
+            "peak total",
+            "envelope",
+        ],
+    );
+    let ladder = B_O.log2() + 2.0;
+    for p in &points {
+        let per_global = p.bon_changes as f64 / p.global_certified.max(1) as f64;
+        table.push_row(vec![
+            format!("{:?}", p.inner),
+            p.bon_changes.to_string(),
+            p.global_certified.to_string(),
+            f2(per_global),
+            p.local_changes.to_string(),
+            p.local_certified.to_string(),
+            p.max_delay.map_or("∞".into(), |d| d.to_string()),
+            (2 * D_O).to_string(),
+            f2(p.peak_total),
+            f2(p.envelope),
+        ]);
+        if p.global_certified == 0 {
+            report.fail(format!("{:?}: workload should force global stages", p.inner));
+        }
+        if per_global > ladder + 1e-9 {
+            report.fail(format!(
+                "{:?}: {} B_on changes per global stage exceeds ladder {}",
+                p.inner,
+                f2(per_global),
+                f2(ladder)
+            ));
+        }
+        match p.max_delay {
+            Some(d) if d <= 2 * D_O => {}
+            other => report.fail(format!("{:?}: delay {other:?} exceeds 2·D_O", p.inner)),
+        }
+        if p.peak_total > p.envelope + 1e-6 {
+            report.fail(format!(
+                "{:?}: peak {} exceeds envelope {}",
+                p.inner,
+                f2(p.peak_total),
+                f2(p.envelope)
+            ));
+        }
+    }
+    report.tables.push(table);
+    report.note(
+        "local certified counts inner (Lemma 13) stages; BudgetChanged local stages are \
+         excluded from the certificate as they do not force offline changes"
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combined_passes_both_inners() {
+        let r = run(Ctx {
+            quick: true,
+            seed: 1,
+        });
+        assert!(r.pass, "notes: {:?}", r.notes);
+        assert_eq!(r.tables[0].rows.len(), 2);
+    }
+
+    #[test]
+    fn workload_has_gaps_and_epochs() {
+        let w = workload(3, true);
+        assert_eq!(w.num_sessions(), 3);
+        let agg = w.aggregate();
+        // Gaps exist (zero aggregate somewhere after the first epoch).
+        let epoch_len = 30 * D_O;
+        assert_eq!(agg.arrival(epoch_len + 2), 0.0);
+    }
+}

@@ -1,0 +1,148 @@
+//! E8 — the delay guarantee (Lemma 3, Lemma 11, Lemma 15): every algorithm
+//! keeps every bit's delay within `2·D_O` on every feasible workload in the
+//! standard grid.
+
+use super::Ctx;
+use crate::report::{Report, Table};
+use crate::runner::parallel_map;
+use crate::workloads::{multi_suite, single_suite};
+use cdba_core::combined::Combined;
+use cdba_core::config::{CombinedConfig, InnerMulti, MultiConfig, SingleConfig};
+use cdba_core::multi::{Continuous, Phased};
+use cdba_core::single::{LookbackSingle, SingleSession};
+use cdba_sim::engine::{simulate, simulate_multi, DrainPolicy};
+use cdba_sim::measure::{self, DelayDistribution};
+
+const B_O: f64 = 64.0;
+const D_O: usize = 8;
+const U_O: f64 = 0.1;
+const W: usize = 16;
+
+/// Runs the experiment.
+pub fn run(ctx: Ctx) -> Report {
+    let mut report = Report::new(
+        "E8",
+        "Delay bound grid: every algorithm × every workload class",
+        "max measured FIFO delay ≤ D_A = 2·D_O everywhere",
+    );
+    let len = if ctx.quick { 1_500 } else { 6_000 };
+    let bound = 2 * D_O;
+
+    // Single-session grid.
+    let singles = single_suite(ctx.seed, len, B_O, D_O).expect("suite generates");
+    let cfg = SingleConfig::builder(B_O)
+        .offline_delay(D_O)
+        .offline_utilization(U_O)
+        .window(W)
+        .build()
+        .expect("valid config");
+    let mut table = Table::new(
+        format!("Delay in ticks (bound {bound}); mean/p99 are bit-weighted"),
+        &[
+            "workload",
+            "single max",
+            "single mean",
+            "single p99",
+            "lookback max",
+        ],
+    );
+    let rows = parallel_map(singles, |s| {
+        let dist1 = {
+            let mut alg = SingleSession::new(cfg.clone());
+            let run = simulate(&s.trace, &mut alg, DrainPolicy::DrainToEmpty).expect("runs");
+            measure::DelayDistribution::measure(&s.trace, run.served())
+        };
+        let d2 = {
+            let mut alg = LookbackSingle::new(cfg.clone());
+            let run = simulate(&s.trace, &mut alg, DrainPolicy::DrainToEmpty).expect("runs");
+            measure::max_delay(&s.trace, run.served())
+        };
+        (s.name, dist1, d2)
+    });
+    for (name, dist1, d2) in rows {
+        let d1 = dist1.as_ref().map(DelayDistribution::max);
+        for (alg, d) in [("single-session", d1), ("lookback-single", d2)] {
+            match d {
+                Some(d) if d <= bound => {}
+                other => report.fail(format!("{alg} on {name}: delay {other:?} > {bound}")),
+            }
+        }
+        table.push_row(vec![
+            name,
+            d1.map_or("∞".into(), |d| d.to_string()),
+            dist1
+                .as_ref()
+                .map_or("∞".into(), |d| format!("{:.1}", d.mean())),
+            dist1
+                .as_ref()
+                .map_or("∞".into(), |d| d.percentile(0.99).to_string()),
+            d2.map_or("∞".into(), |d| d.to_string()),
+        ]);
+    }
+    report.tables.push(table);
+
+    // Multi-session grid.
+    let k = 4;
+    let multis = multi_suite(ctx.seed ^ 0xE8, k, len, B_O, D_O).expect("suite generates");
+    let mcfg = MultiConfig::new(k, B_O, D_O).expect("valid config");
+    let ccfg = CombinedConfig::new(k, B_O, D_O, U_O, W, InnerMulti::Phased).expect("valid config");
+    let mut mtable = Table::new(
+        format!("Max session delay in ticks, k = {k} (bound {bound})"),
+        &["workload", "phased", "continuous", "combined"],
+    );
+    let rows = parallel_map(multis, |s| {
+        let d1 = {
+            let mut alg = Phased::new(mcfg.clone());
+            let run = simulate_multi(&s.input, &mut alg, DrainPolicy::DrainToEmpty).expect("runs");
+            worst_delay(&s.input, &run)
+        };
+        let d2 = {
+            let mut alg = Continuous::new(mcfg.clone());
+            let run = simulate_multi(&s.input, &mut alg, DrainPolicy::DrainToEmpty).expect("runs");
+            worst_delay(&s.input, &run)
+        };
+        let d3 = {
+            let mut alg = Combined::new(ccfg.clone());
+            let run = simulate_multi(&s.input, &mut alg, DrainPolicy::DrainToEmpty).expect("runs");
+            worst_delay(&s.input, &run)
+        };
+        (s.name, d1, d2, d3)
+    });
+    for (name, d1, d2, d3) in rows {
+        for (alg, d) in [("phased", d1), ("continuous", d2), ("combined", d3)] {
+            match d {
+                Some(d) if d <= bound => {}
+                other => report.fail(format!("{alg} on {name}: delay {other:?} > {bound}")),
+            }
+        }
+        mtable.push_row(vec![
+            name,
+            d1.map_or("∞".into(), |d| d.to_string()),
+            d2.map_or("∞".into(), |d| d.to_string()),
+            d3.map_or("∞".into(), |d| d.to_string()),
+        ]);
+    }
+    report.tables.push(mtable);
+    report
+}
+
+fn worst_delay(input: &cdba_traffic::MultiTrace, run: &cdba_sim::MultiRun) -> Option<usize> {
+    (0..run.num_sessions())
+        .map(|i| measure::max_delay(input.session(i), run.served(i)))
+        .try_fold(0usize, |acc, d| d.map(|d| acc.max(d)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delay_grid_passes() {
+        let r = run(Ctx {
+            quick: true,
+            seed: 77,
+        });
+        assert!(r.pass, "notes: {:?}", r.notes);
+        assert_eq!(r.tables.len(), 2);
+    }
+}

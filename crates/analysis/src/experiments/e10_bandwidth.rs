@@ -1,0 +1,106 @@
+//! E10 — the bandwidth envelopes (Lemma 10, Lemma 16, §4): peak total
+//! allocation stays within `4·B_O` (phased), `5·B_O` (continuous), and
+//! `7·B_O` (combined/phased) across the multi-session workload grid.
+
+use super::{f2, Ctx};
+use crate::report::{Report, Table};
+use crate::runner::parallel_map;
+use crate::workloads::multi_suite;
+use cdba_core::combined::Combined;
+use cdba_core::config::{CombinedConfig, InnerMulti, MultiConfig};
+use cdba_core::multi::{Continuous, Phased};
+use cdba_sim::engine::{simulate_multi, DrainPolicy};
+
+const B_O: f64 = 32.0;
+const D_O: usize = 8;
+const U_O: f64 = 0.1;
+const W: usize = 16;
+
+/// Runs the experiment.
+pub fn run(ctx: Ctx) -> Report {
+    let mut report = Report::new(
+        "E10",
+        "Bandwidth envelopes: peak total allocation vs the proven bounds",
+        "peak ≤ 4·B_O (phased, Lemma 10), ≤ 5·B_O (continuous, Lemma 16), ≤ 7·B_O (combined \
+         with phased inner, §4); the table also shows how much of the envelope is actually used",
+    );
+    let len = if ctx.quick { 1_200 } else { 4_800 };
+    let k = 4;
+    let suite = multi_suite(ctx.seed ^ 0x10, k, len, B_O, D_O).expect("suite generates");
+    let mcfg = MultiConfig::new(k, B_O, D_O).expect("valid config");
+    let ccfg = CombinedConfig::new(k, B_O, D_O, U_O, W, InnerMulti::Phased).expect("valid config");
+
+    let mut table = Table::new(
+        format!("Peak total allocation / B_O (B_O = {B_O}, k = {k})"),
+        &[
+            "workload",
+            "phased (≤4)",
+            "continuous (≤5)",
+            "combined (≤7)",
+        ],
+    );
+    let rows = parallel_map(suite, |s| {
+        let p1 = {
+            let mut alg = Phased::new(mcfg.clone());
+            simulate_multi(&s.input, &mut alg, DrainPolicy::DrainToEmpty)
+                .expect("runs")
+                .total
+                .peak()
+        };
+        let p2 = {
+            let mut alg = Continuous::new(mcfg.clone());
+            simulate_multi(&s.input, &mut alg, DrainPolicy::DrainToEmpty)
+                .expect("runs")
+                .total
+                .peak()
+        };
+        let p3 = {
+            let mut alg = Combined::new(ccfg.clone());
+            simulate_multi(&s.input, &mut alg, DrainPolicy::DrainToEmpty)
+                .expect("runs")
+                .total
+                .peak()
+        };
+        (s.name, p1, p2, p3)
+    });
+    for (name, p1, p2, p3) in rows {
+        for (alg, peak, factor) in [
+            ("phased", p1, 4.0),
+            ("continuous", p2, 5.0),
+            ("combined", p3, 7.0),
+        ] {
+            if peak > factor * B_O + 1e-6 {
+                report.fail(format!(
+                    "{alg} on {name}: peak {} exceeds {factor}·B_O",
+                    f2(peak)
+                ));
+            }
+        }
+        table.push_row(vec![
+            name,
+            f2(p1 / B_O),
+            f2(p2 / B_O),
+            f2(p3 / B_O),
+        ]);
+    }
+    report.tables.push(table);
+    report.note(
+        "the envelopes are worst-case; benign workloads typically use well under half of them"
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelopes_hold() {
+        let r = run(Ctx {
+            quick: true,
+            seed: 4,
+        });
+        assert!(r.pass, "notes: {:?}", r.notes);
+    }
+}

@@ -1,0 +1,171 @@
+//! E11 — the impossibility remark (§1.1): an online algorithm with *no
+//! slack* (matching the offline's delay and utilization exactly) must make
+//! an unbounded number of changes, even on inputs a static allocation
+//! serves.
+//!
+//! The construction: a square wave whose amplitude stays *within* the
+//! offline's utilization tolerance (`hi ≤ lo/U_O`). A single constant
+//! allocation `B = hi` then satisfies both the delay and the windowed
+//! utilization constraints — the offline needs **one** change, ever, and
+//! the paper's slack-ful algorithm settles into one stage and stops
+//! changing. The zero-slack just-in-time tracker must still follow every
+//! swing: Θ(n) changes. No bounded competitive ratio is possible without
+//! slack.
+
+use super::{f2, Ctx};
+use crate::report::{Report, Table};
+use crate::runner::parallel_map;
+use cdba_core::config::SingleConfig;
+use cdba_core::single::SingleSession;
+use cdba_offline::baselines::JustInTimeAllocator;
+use cdba_offline::single::greedy_offline;
+use cdba_offline::OfflineConstraints;
+use cdba_sim::engine::{simulate, DrainPolicy};
+use cdba_traffic::adversarial::oscillator;
+
+const D_O: usize = 4;
+const W: usize = 8;
+const U_O: f64 = 0.25;
+const B_MAX: f64 = 64.0;
+const PERIOD: usize = 16;
+/// `hi ≤ lo/U_O`: a constant allocation of `hi` keeps the utilization of
+/// the quiet half-periods at `lo/hi = 2/7 ≥ U_O`.
+const HI: f64 = 7.0;
+const LO: f64 = 2.0;
+
+struct Point {
+    cycles: usize,
+    jit_changes: usize,
+    online_changes: usize,
+    offline_changes: Option<usize>,
+}
+
+fn run_point(cycles: usize) -> Point {
+    let trace = oscillator(HI, LO, PERIOD, cycles)
+        .expect("valid oscillator")
+        .pad_zeros(D_O);
+    let jit_changes = {
+        let mut alg = JustInTimeAllocator::new(D_O);
+        simulate(&trace, &mut alg, DrainPolicy::DrainToEmpty)
+            .expect("runs")
+            .schedule
+            .num_changes()
+    };
+    let cfg = SingleConfig::builder(B_MAX)
+        .offline_delay(D_O)
+        .offline_utilization(U_O)
+        .window(W)
+        .build()
+        .expect("valid config");
+    let mut alg = SingleSession::new(cfg);
+    let run = simulate(&trace, &mut alg, DrainPolicy::DrainToEmpty).expect("runs");
+    let offline_changes = greedy_offline(
+        &trace,
+        OfflineConstraints::with_utilization(B_MAX, D_O, U_O, W),
+    )
+    .ok()
+    .map(|o| o.changes());
+    Point {
+        cycles,
+        jit_changes,
+        online_changes: run.schedule.num_changes(),
+        offline_changes,
+    }
+}
+
+/// Runs the experiment.
+pub fn run(ctx: Ctx) -> Report {
+    let mut report = Report::new(
+        "E11",
+        "§1.1 impossibility: zero-slack tracking needs Θ(n) changes where slack needs O(1)",
+        "on a square wave within the offline's utilization tolerance, the offline needs ~1 \
+         change and the paper's algorithm O(1); the zero-slack just-in-time tracker pays a \
+         constant number of changes per cycle forever — no bounded ratio without slack",
+    );
+    let cycles: Vec<usize> = if ctx.quick {
+        vec![10, 40]
+    } else {
+        vec![10, 40, 160, 640]
+    };
+    let points = parallel_map(cycles, run_point);
+    let mut table = Table::new(
+        format!(
+            "Square wave {HI} ↔ {LO} bits/tick (period {PERIOD} per half; \
+             hi ≤ lo/U_O = {})",
+            LO / U_O
+        ),
+        &[
+            "cycles",
+            "ticks",
+            "zero-slack changes",
+            "online (paper) changes",
+            "offline (constructed) changes",
+        ],
+    );
+    for p in &points {
+        table.push_row(vec![
+            p.cycles.to_string(),
+            (2 * PERIOD * p.cycles).to_string(),
+            p.jit_changes.to_string(),
+            p.online_changes.to_string(),
+            p.offline_changes.map_or("—".into(), |c| c.to_string()),
+        ]);
+    }
+    report.tables.push(table);
+
+    let first = &points[0];
+    let last = &points[points.len() - 1];
+    // Zero-slack grows linearly.
+    let jit_growth = last.jit_changes as f64 / first.jit_changes.max(1) as f64;
+    let cycle_growth = last.cycles as f64 / first.cycles as f64;
+    if jit_growth < 0.5 * cycle_growth {
+        report.fail(format!(
+            "zero-slack changes should grow ~linearly: ×{} changes over ×{} cycles",
+            f2(jit_growth),
+            f2(cycle_growth)
+        ));
+    }
+    // The paper's algorithm stays O(1): no growth with the input length.
+    if last.online_changes > first.online_changes + 4 {
+        report.fail(format!(
+            "online changes should stay O(1): {} at {} cycles vs {} at {} cycles",
+            first.online_changes, first.cycles, last.online_changes, last.cycles
+        ));
+    }
+    // The offline really is (near-)static on this input.
+    if let Some(off) = last.offline_changes {
+        if off > 3 {
+            report.fail(format!(
+                "a near-static offline should exist (constructed one made {off} changes)"
+            ));
+        }
+    }
+    report.note(format!(
+        "at {} cycles: zero-slack {} vs online {} vs offline {:?} changes — the gap the \
+         paper's slack model buys",
+        last.cycles, last.jit_changes, last.online_changes, last.offline_changes
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn impossibility_shape_holds() {
+        let r = run(Ctx {
+            quick: true,
+            seed: 0,
+        });
+        assert!(r.pass, "notes: {:?}", r.notes);
+    }
+
+    #[test]
+    fn jit_changes_scale_with_length_but_online_do_not() {
+        let a = run_point(5);
+        let b = run_point(20);
+        assert!(b.jit_changes >= 3 * a.jit_changes);
+        assert!(b.online_changes <= a.online_changes + 4);
+    }
+}

@@ -1,0 +1,180 @@
+//! E12 — ablation (our extension, called out in DESIGN.md): how the number
+//! of changes responds to the two slack factors the paper fixes at (2×
+//! delay, 3× utilization).
+//!
+//! The online envelope `(D_A, U_A)` is held fixed; the internal offline
+//! parameters `(D_O = D_A/s_d, U_O = U_A·s_u)` vary. A larger slack factor
+//! means the algorithm holds its *internal* comparator to a stricter
+//! constraint (smaller `D_O`, larger `U_O`), which narrows the `low/high`
+//! corridor: more resets, more ladder steps — the price of stringency.
+//! Conversely, `s_d < 2` is not enough slack to *guarantee* the online
+//! delay target (the proof gives `2·D_O = 2·D_A/s_d > D_A`), so the paper's
+//! `(2×, 3×)` choice is the cheapest point whose guarantee still covers the
+//! envelope.
+
+use super::{f2, Ctx};
+use crate::report::{Report, Table};
+use crate::runner::parallel_map;
+use cdba_core::config::SingleConfig;
+use cdba_core::single::SingleSession;
+use cdba_sim::engine::{simulate, DrainPolicy};
+use cdba_sim::verify::{verify_single, SingleBounds};
+use cdba_traffic::models::{MmppParams, WorkloadKind};
+use cdba_traffic::{conditioner, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const B_MAX: f64 = 64.0;
+const D_A: usize = 16; // fixed online delay target
+const U_A: f64 = 0.08; // fixed online utilization target
+
+fn trace_for(ctx: Ctx) -> Trace {
+    let len = if ctx.quick { 2_000 } else { 8_000 };
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x12);
+    let raw = WorkloadKind::Mmpp(MmppParams::default())
+        .generate(&mut rng, len)
+        .expect("default parameters are valid");
+    conditioner::scale_to_feasible(&raw, 0.9 * B_MAX, D_A / 4)
+        .expect("positive bandwidth")
+        .pad_zeros(D_A)
+}
+
+struct Point {
+    s_d: usize,
+    s_u: f64,
+    changes: usize,
+    delay_ok: bool,
+    util: f64,
+}
+
+/// Runs the experiment.
+pub fn run(ctx: Ctx) -> Report {
+    let mut report = Report::new(
+        "E12",
+        "Ablation: changes vs delay/utilization slack (paper fixes 2× / 3×)",
+        "changes rise with either slack factor (stricter internal constraints cost \
+         re-negotiations); the guaranteed delay bound 2·D_O only covers the target D_A once \
+         the delay slack reaches the paper's 2×, making (2×, 3×) the cheapest safe point",
+    );
+    let trace = trace_for(ctx);
+    // (delay slack, utilization slack) grid. s_d divides D_A; s_u multiplies
+    // U_A into U_O.
+    let s_ds: Vec<usize> = vec![1, 2, 4, 8];
+    let s_us: Vec<f64> = if ctx.quick {
+        vec![1.0, 3.0, 6.0]
+    } else {
+        vec![1.0, 2.0, 3.0, 6.0]
+    };
+    let grid: Vec<(usize, f64)> = s_ds
+        .iter()
+        .flat_map(|&d| s_us.iter().map(move |&u| (d, u)))
+        .collect();
+    let points = parallel_map(grid, |(s_d, s_u)| {
+        let d_o = (D_A / s_d).max(1);
+        let u_o = (U_A * s_u).min(1.0);
+        let w = 2 * d_o;
+        let cfg = SingleConfig::builder(B_MAX)
+            .offline_delay(d_o)
+            .offline_utilization(u_o)
+            .window(w)
+            .build()
+            .expect("valid config");
+        let mut alg = SingleSession::new(cfg);
+        let run = simulate(&trace, &mut alg, DrainPolicy::DrainToEmpty).expect("runs");
+        // Verify against the FIXED online envelope, not the per-point one.
+        let verdict = verify_single(
+            &trace,
+            &run,
+            &SingleBounds {
+                max_bandwidth: B_MAX,
+                max_delay: D_A,
+                min_utilization: 0.0,
+                window: w,
+                relaxed_window: w + 5 * d_o,
+            },
+        );
+        Point {
+            s_d,
+            s_u,
+            changes: run.schedule.num_changes(),
+            delay_ok: verdict.delay_ok,
+            util: verdict.utilization,
+        }
+    });
+
+    let mut table = Table::new(
+        format!("Changes under the fixed envelope D_A = {D_A}, U_A = {U_A} (MMPP trace)"),
+        &[
+            "delay slack",
+            "util slack",
+            "D_O",
+            "U_O",
+            "changes",
+            "meets D_A",
+            "measured util",
+        ],
+    );
+    for p in &points {
+        table.push_row(vec![
+            format!("{}×", p.s_d),
+            format!("{}×", p.s_u),
+            (D_A / p.s_d).to_string(),
+            f2(U_A * p.s_u),
+            p.changes.to_string(),
+            if p.delay_ok { "yes".into() } else { "NO".into() },
+            f2(p.util.min(9.99)),
+        ]);
+    }
+    report.tables.push(table);
+
+    // Shape 1: more delay slack (stricter internal D_O) at fixed util slack
+    // ⇒ more (or equal) changes.
+    for &s_u in &s_us {
+        let series: Vec<&Point> = points.iter().filter(|p| p.s_u == s_u).collect();
+        let first = series.first().expect("grid non-empty");
+        let last = series.last().expect("grid non-empty");
+        if (last.changes as f64) < 0.8 * first.changes as f64 - 4.0 {
+            report.fail(format!(
+                "at util slack {s_u}×: changes should rise with stringency ({} → {})",
+                first.changes, last.changes
+            ));
+        }
+    }
+    // Shape 2: at and beyond the paper's 2× delay slack, the measured delay
+    // must meet the fixed target D_A (the guarantee covers it).
+    for p in points.iter().filter(|p| p.s_d >= 2) {
+        if !p.delay_ok {
+            report.fail(format!(
+                "delay target missed at slack ({}, {}) although 2·D_O ≤ D_A",
+                p.s_d, p.s_u
+            ));
+        }
+    }
+    let knee: Vec<&Point> = points
+        .iter()
+        .filter(|p| p.s_d == 2 && (p.s_u - 3.0).abs() < 0.5)
+        .collect();
+    if let Some(k) = knee.first() {
+        report.note(format!(
+            "the paper's (2×, 3×) point: {} changes, delay ok = {} — the cheapest point whose \
+             guarantee covers the envelope",
+            k.changes, k.delay_ok
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ablation_runs_and_passes() {
+        let r = run(Ctx {
+            quick: true,
+            seed: 8,
+        });
+        assert!(r.pass, "notes: {:?}", r.notes);
+        assert_eq!(r.tables[0].rows.len(), 12);
+    }
+}

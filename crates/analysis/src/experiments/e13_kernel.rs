@@ -1,0 +1,82 @@
+//! E13 — the `low(t)` kernel: the convex-hull implementation against the
+//! naive rescan (the paper's §2 "identity"). Criterion benches in
+//! `cdba-bench` time the kernels precisely; this experiment checks the
+//! asymptotic win and the exact agreement at experiment scale.
+
+use super::{f2, Ctx};
+use crate::report::{Report, Table};
+use cdba_core::bounds::{HullLowTracker, LowTracker, NaiveLowTracker};
+use cdba_traffic::models::{MmppParams, WorkloadKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Runs the experiment.
+pub fn run(ctx: Ctx) -> Report {
+    let mut report = Report::new(
+        "E13",
+        "low(t) kernel: convex hull O(n log n) vs naive O(n²) rescan",
+        "identical outputs; the hull kernel's advantage grows with the stage length",
+    );
+    let sizes: Vec<usize> = if ctx.quick {
+        vec![1_000, 4_000]
+    } else {
+        vec![1_000, 4_000, 16_000, 64_000]
+    };
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x13);
+    let mut table = Table::new(
+        "Wall-clock per full pass over one stage (MMPP arrivals)",
+        &["ticks", "naive (ms)", "hull (ms)", "speedup", "max |Δlow|"],
+    );
+    for &n in &sizes {
+        let trace = WorkloadKind::Mmpp(MmppParams::default())
+            .generate(&mut rng, n)
+            .expect("default parameters are valid");
+        let t0 = Instant::now();
+        let mut naive = NaiveLowTracker::new(8);
+        let mut naive_lows = Vec::with_capacity(n);
+        for &a in trace.arrivals() {
+            naive_lows.push(naive.push(a));
+        }
+        let naive_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let t1 = Instant::now();
+        let mut hull = HullLowTracker::new(8);
+        let mut max_diff = 0.0f64;
+        for (i, &a) in trace.arrivals().iter().enumerate() {
+            let l = hull.push(a);
+            max_diff = max_diff.max((l - naive_lows[i]).abs());
+        }
+        let hull_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+        table.push_row(vec![
+            n.to_string(),
+            f2(naive_ms),
+            f2(hull_ms),
+            f2(naive_ms / hull_ms.max(1e-9)),
+            format!("{max_diff:.2e}"),
+        ]);
+        if max_diff > 1e-6 {
+            report.fail(format!("kernels disagree at n={n}: |Δ| = {max_diff:.2e}"));
+        }
+        if n >= 16_000 && naive_ms < hull_ms {
+            report.fail(format!("hull not faster at n={n}"));
+        }
+    }
+    report.tables.push(table);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_agree() {
+        let r = run(Ctx {
+            quick: true,
+            seed: 6,
+        });
+        assert!(r.pass, "notes: {:?}", r.notes);
+    }
+}

@@ -1,0 +1,140 @@
+//! E14 — the pricing model behind the paper's motivation (§1): a session is
+//! billed for bandwidth consumption *and* for every allocation change
+//! ("this would translate also to the price of a bandwidth change"). The
+//! experiment sweeps the change price and shows the regime structure the
+//! model predicts: per-packet re-allocation wins only at price ≈ 0, a
+//! static circuit wins only at extreme prices, and the paper's algorithm
+//! owns the wide middle.
+
+use super::{f2, Ctx};
+use crate::cost::{crossover_price, CostModel};
+use crate::report::{Report, Table};
+use cdba_core::config::SingleConfig;
+use cdba_core::single::SingleSession;
+use cdba_offline::baselines::{PerPacketAllocator, PeriodicAllocator, RcbrAllocator, StaticAllocator};
+use cdba_sim::engine::{simulate, DrainPolicy};
+use cdba_sim::{Allocator, Schedule};
+use cdba_traffic::models::{MmppParams, WorkloadKind};
+use cdba_traffic::conditioner;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const B_MAX: f64 = 64.0;
+const D_O: usize = 8;
+const W: usize = 16;
+
+/// Runs the experiment.
+pub fn run(ctx: Ctx) -> Report {
+    let mut report = Report::new(
+        "E14",
+        "Pricing: total bill (bandwidth·time + changes·price) across policies",
+        "per-packet is cheapest only near change-price 0; the static circuit only at extreme \
+         prices; the paper's online algorithm is cheapest across the wide middle band — the \
+         regime the paper's model was built for",
+    );
+    let len = if ctx.quick { 2_000 } else { 8_000 };
+    let mut rng = StdRng::seed_from_u64(ctx.seed ^ 0x14);
+    // MMPP: per-tick Poisson variation means the per-packet policy really
+    // does re-allocate on virtually every tick (on piecewise-constant
+    // traffic like plain on/off it would change only at burst edges and the
+    // pricing question would be trivial).
+    let raw = WorkloadKind::Mmpp(MmppParams::default())
+        .generate(&mut rng, len)
+        .expect("default parameters are valid");
+    let trace = conditioner::scale_to_feasible(&raw, 0.9 * B_MAX, D_O)
+        .expect("positive bandwidth")
+        .pad_zeros(D_O);
+
+    let cfg = SingleConfig::builder(B_MAX)
+        .offline_delay(D_O)
+        .offline_utilization(0.25)
+        .window(W)
+        .build()
+        .expect("valid config");
+
+    let mut schedules: Vec<(String, Schedule)> = Vec::new();
+    let mut record = |name: &str, alg: &mut dyn Allocator| {
+        let run = simulate(&trace, alg, DrainPolicy::DrainToEmpty).expect("runs");
+        schedules.push((name.to_string(), run.schedule));
+    };
+    record("per-packet", &mut PerPacketAllocator::new());
+    record("static-circuit", &mut StaticAllocator::for_delay(&trace, 2 * D_O));
+    record("periodic", &mut PeriodicAllocator::new(2 * D_O, 1.25));
+    record("rcbr", &mut RcbrAllocator::conventional(D_O));
+    record("online (paper)", &mut SingleSession::new(cfg));
+
+    let prices = [0.0, 0.5, 2.0, 8.0, 32.0, 128.0];
+    let mut table = Table::new(
+        "Total bill by change price (bandwidth price fixed at 1)",
+        &["policy", "bw·ticks", "changes", "p=0", "p=0.5", "p=2", "p=8", "p=32", "p=128"],
+    );
+    let mut winners: Vec<(f64, String)> = Vec::new();
+    for &p in &prices {
+        let model = CostModel::with_change_price(p);
+        let best = schedules
+            .iter()
+            .min_by(|a, b| {
+                model
+                    .bill(&a.1)
+                    .total()
+                    .partial_cmp(&model.bill(&b.1).total())
+                    .expect("finite bills")
+            })
+            .expect("non-empty");
+        winners.push((p, best.0.clone()));
+    }
+    for (name, s) in &schedules {
+        let mut row = vec![
+            name.clone(),
+            f2(s.allocated(0, s.len())),
+            s.num_changes().to_string(),
+        ];
+        for &p in &prices {
+            row.push(f2(CostModel::with_change_price(p).bill(s).total()));
+        }
+        table.push_row(row);
+    }
+    report.tables.push(table);
+
+    let mut wtable = Table::new("Cheapest policy by change price", &["change price", "winner"]);
+    for (p, w) in &winners {
+        wtable.push_row(vec![f2(*p), w.clone()]);
+    }
+    report.tables.push(wtable);
+
+    // Regime checks.
+    if winners.first().map(|w| w.1.as_str()) != Some("per-packet") {
+        report.fail("per-packet should win at change price 0");
+    }
+    let online_wins = winners.iter().filter(|w| w.1 == "online (paper)").count();
+    if online_wins == 0 {
+        report.fail("the online algorithm should win somewhere in the middle band");
+    }
+    // Crossover between per-packet and the online algorithm.
+    let pp = &schedules[0].1;
+    let online = &schedules[4].1;
+    if let Some(p) = crossover_price(pp, online) {
+        report.note(format!(
+            "per-packet stops paying off at change price ≈ {} (its {} changes vs the online's {})",
+            f2(p),
+            pp.num_changes(),
+            online.num_changes()
+        ));
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pricing_regimes_hold() {
+        let r = run(Ctx {
+            quick: true,
+            seed: 14,
+        });
+        assert!(r.pass, "notes: {:?}", r.notes);
+        assert_eq!(r.tables.len(), 2);
+    }
+}

@@ -1,0 +1,180 @@
+//! E15 — session churn (our extension): the paper's model says "sessions
+//! join the network with a certain delay requirement"; the
+//! [`cdba_core::multi::pool::SessionPool`] serves a membership that changes
+//! mid-run. This experiment sweeps the churn rate and checks that
+//!
+//! * stable sessions keep their `2·D_O` delay through arbitrary churn,
+//! * the total allocation stays within the phased envelope `4·B_O`,
+//! * the re-planning cost is proportional to the number of membership
+//!   changes (each of which also forces an offline re-plan).
+
+use super::{f2, Ctx};
+use crate::report::{Report, Table};
+use crate::runner::parallel_map;
+use cdba_core::config::MultiConfig;
+use cdba_core::multi::pool::{SessionId, SessionPool};
+use cdba_sim::streaming::OnlineDelayTracker;
+use cdba_traffic::distr;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const B_O: f64 = 32.0;
+const D_O: usize = 4;
+const BASE_SESSIONS: usize = 3;
+
+struct Point {
+    churn_every: usize,
+    membership_changes: usize,
+    stable_max_delay: usize,
+    peak_total: f64,
+    replans: usize,
+}
+
+fn run_point(churn_every: usize, ticks: usize, seed: u64) -> Point {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut pool = SessionPool::new(MultiConfig::new(BASE_SESSIONS, B_O, D_O).expect("valid"));
+    let stable: Vec<SessionId> = (0..BASE_SESSIONS).map(|_| pool.join()).collect();
+    let mut guests: Vec<SessionId> = Vec::new();
+    let mut trackers: Vec<OnlineDelayTracker> =
+        (0..BASE_SESSIONS).map(|_| OnlineDelayTracker::new()).collect();
+    let mut backlogs = [0.0f64; BASE_SESSIONS];
+    let mut peak_total = 0.0f64;
+    for t in 0..ticks {
+        if t > 0 && t % churn_every == 0 {
+            if !guests.is_empty() && rng.random::<bool>() {
+                let idx = rng.random_range(0..guests.len());
+                let gone = guests.swap_remove(idx);
+                pool.leave(gone).expect("guest is live");
+            } else if guests.len() < 5 {
+                guests.push(pool.join());
+            }
+        }
+        // Stable sessions: steady Poisson load sized so the pool is never
+        // oversubscribed even at max membership (8 sessions).
+        let mut submitted = [0.0f64; BASE_SESSIONS];
+        for (i, &id) in stable.iter().enumerate() {
+            let a = distr::poisson(&mut rng, 2.0) as f64;
+            pool.submit(id, a).expect("stable session is live");
+            submitted[i] = a;
+            backlogs[i] += a;
+        }
+        for &g in &guests {
+            pool.submit(g, distr::poisson(&mut rng, 1.0) as f64)
+                .expect("guest is live");
+        }
+        let allocs = pool.tick();
+        peak_total = peak_total.max(allocs.iter().map(|(_, a)| a).sum());
+        for (id, alloc) in allocs {
+            if let Some(i) = stable.iter().position(|&s| s == id) {
+                let served = backlogs[i].min(alloc);
+                backlogs[i] -= served;
+                trackers[i].push(submitted[i], served);
+            }
+        }
+    }
+    // Drain.
+    for _ in 0..4 * D_O {
+        let allocs = pool.tick();
+        for (id, alloc) in allocs {
+            if let Some(i) = stable.iter().position(|&s| s == id) {
+                let served = backlogs[i].min(alloc);
+                backlogs[i] -= served;
+                trackers[i].push(0.0, served);
+            }
+        }
+    }
+    Point {
+        churn_every,
+        membership_changes: pool.membership_changes(),
+        stable_max_delay: trackers.iter().map(OnlineDelayTracker::max_delay).max().unwrap_or(0),
+        peak_total,
+        replans: pool.stage_log().completed(),
+    }
+}
+
+/// Runs the experiment.
+pub fn run(ctx: Ctx) -> Report {
+    let mut report = Report::new(
+        "E15",
+        "Session churn (extension): joins/leaves mid-run under the phased algorithm",
+        "stable sessions keep delay ≤ 2·D_O at every churn rate; total allocation stays within \
+         4·B_O; re-planning boundaries track membership changes",
+    );
+    let ticks = if ctx.quick { 1_500 } else { 6_000 };
+    let churn_rates: Vec<usize> = if ctx.quick {
+        vec![200, 50, 20]
+    } else {
+        vec![500, 200, 50, 20, 10]
+    };
+    let seed = ctx.seed ^ 0x15;
+    let points = parallel_map(churn_rates, |c| run_point(c, ticks, seed));
+    let mut table = Table::new(
+        format!("Churn sweep ({BASE_SESSIONS} stable sessions + up to 5 guests, {ticks} ticks)"),
+        &[
+            "churn every (ticks)",
+            "membership changes",
+            "re-planning boundaries",
+            "stable max delay",
+            "delay bound",
+            "peak total",
+            "envelope 4·B_O",
+        ],
+    );
+    for p in &points {
+        table.push_row(vec![
+            p.churn_every.to_string(),
+            p.membership_changes.to_string(),
+            p.replans.to_string(),
+            p.stable_max_delay.to_string(),
+            (2 * D_O).to_string(),
+            f2(p.peak_total),
+            f2(4.0 * B_O),
+        ]);
+        if p.stable_max_delay > 2 * D_O {
+            report.fail(format!(
+                "churn every {}: stable delay {} > 2·D_O",
+                p.churn_every, p.stable_max_delay
+            ));
+        }
+        if p.peak_total > 4.0 * B_O + 1e-6 {
+            report.fail(format!(
+                "churn every {}: peak {} exceeds 4·B_O",
+                p.churn_every,
+                f2(p.peak_total)
+            ));
+        }
+        if p.replans < p.membership_changes {
+            report.fail(format!(
+                "churn every {}: {} re-plans < {} membership changes — each change must \
+                 re-plan",
+                p.churn_every, p.replans, p.membership_changes
+            ));
+        }
+    }
+    report.tables.push(table);
+    let first = &points[0];
+    let last = &points[points.len() - 1];
+    if last.membership_changes <= first.membership_changes {
+        report.fail("faster churn should mean more membership changes");
+    }
+    report.note(
+        "membership changes are sound certificate boundaries: the offline must also re-plan \
+         when the session set changes"
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn churn_experiment_passes() {
+        let r = run(Ctx {
+            quick: true,
+            seed: 15,
+        });
+        assert!(r.pass, "notes: {:?}", r.notes);
+    }
+}

@@ -1,0 +1,134 @@
+//! The experiment index (DESIGN.md §5): every figure of the paper and every
+//! theorem bound as an executable, measured experiment.
+//!
+//! | Module | Paper source | What it regenerates |
+//! |---|---|---|
+//! | [`e01_demand`] | Figure 1 | a bursty demand example (ASCII figure + stats) |
+//! | [`e02_tradeoff`] | Figure 2 (a)–(d) | the latency/utilization/changes trade-off across policies |
+//! | [`e03_single_ratio`] | Theorem 6 | single-session competitive ratio vs `log₂ B_A` |
+//! | [`e04_modified_ratio`] | Theorem 7 | modified algorithm: changes/stage vs `log₂ 1/U_O`, flat in `B_A` |
+//! | [`e05_phased`] | Theorem 14 | phased multi-session: `3k` changes/stage, `4·B_O`, `2·D_O` |
+//! | [`e06_continuous`] | Theorem 17 | continuous multi-session: `3k`, `5·B_O`, `2·D_O` |
+//! | [`e07_combined`] | Section 4 | combined: global/local changes, `7/8·B_O` envelope |
+//! | [`e08_delay`] | Lemmas 3/11/15 | delay ≤ `2·D_O` across the workload grid |
+//! | [`e09_utilization`] | Lemma 5 | relaxed-window utilization ≥ `U_O/3` |
+//! | [`e10_bandwidth`] | Lemmas 10/16, §4 | bandwidth envelopes across the grid |
+//! | [`e11_zero_slack`] | §1.1 remark | zero-slack tracking needs Θ(n) changes |
+//! | [`e12_slack_ablation`] | Figure 2 quantified | changes vs delay/utilization slack (ablation) |
+//! | [`e13_kernel`] | §2 identity | hull `low(t)` kernel vs naive rescan |
+//! | [`e14_pricing`] | §1 pricing model | total bill vs change price: the regime structure |
+//! | [`e15_churn`] | model motivation (extension) | session joins/leaves under the phased algorithm |
+//! | [`e16_soak`] | engineering validation | million-tick streaming soak: bounds and throughput |
+
+pub mod e01_demand;
+pub mod e02_tradeoff;
+pub mod e03_single_ratio;
+pub mod e04_modified_ratio;
+pub mod e05_phased;
+pub mod e06_continuous;
+pub mod e07_combined;
+pub mod e08_delay;
+pub mod e09_utilization;
+pub mod e10_bandwidth;
+pub mod e11_zero_slack;
+pub mod e12_slack_ablation;
+pub mod e13_kernel;
+pub mod e14_pricing;
+pub mod e15_churn;
+pub mod e16_soak;
+
+use crate::report::Report;
+
+/// Shared experiment context.
+#[derive(Debug, Clone, Copy)]
+pub struct Ctx {
+    /// Reduced parameter grids for fast CI runs.
+    pub quick: bool,
+    /// Seed for every generator (experiments derive sub-seeds from it).
+    pub seed: u64,
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Ctx {
+            quick: false,
+            seed: 0xCDBA,
+        }
+    }
+}
+
+/// Runs every experiment in order and returns their reports.
+pub fn run_all(ctx: Ctx) -> Vec<Report> {
+    vec![
+        e01_demand::run(ctx),
+        e02_tradeoff::run(ctx),
+        e03_single_ratio::run(ctx),
+        e04_modified_ratio::run(ctx),
+        e05_phased::run(ctx),
+        e06_continuous::run(ctx),
+        e07_combined::run(ctx),
+        e08_delay::run(ctx),
+        e09_utilization::run(ctx),
+        e10_bandwidth::run(ctx),
+        e11_zero_slack::run(ctx),
+        e12_slack_ablation::run(ctx),
+        e13_kernel::run(ctx),
+        e14_pricing::run(ctx),
+        e15_churn::run(ctx),
+        e16_soak::run(ctx),
+    ]
+}
+
+/// Runs one experiment by id (`"e1"`, `"E03"`, …); `None` for unknown ids.
+pub fn run_one(id: &str, ctx: Ctx) -> Option<Report> {
+    let id = id.trim().to_lowercase();
+    let id = id.strip_prefix('e').unwrap_or(&id);
+    let n: usize = id.parse().ok()?;
+    let report = match n {
+        1 => e01_demand::run(ctx),
+        2 => e02_tradeoff::run(ctx),
+        3 => e03_single_ratio::run(ctx),
+        4 => e04_modified_ratio::run(ctx),
+        5 => e05_phased::run(ctx),
+        6 => e06_continuous::run(ctx),
+        7 => e07_combined::run(ctx),
+        8 => e08_delay::run(ctx),
+        9 => e09_utilization::run(ctx),
+        10 => e10_bandwidth::run(ctx),
+        11 => e11_zero_slack::run(ctx),
+        12 => e12_slack_ablation::run(ctx),
+        13 => e13_kernel::run(ctx),
+        14 => e14_pricing::run(ctx),
+        15 => e15_churn::run(ctx),
+        16 => e16_soak::run(ctx),
+        _ => return None,
+    };
+    Some(report)
+}
+
+/// Formats a float with 2 decimals for table cells.
+pub(crate) fn f2(x: f64) -> String {
+    if x.is_infinite() {
+        "∞".to_string()
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_one_parses_ids() {
+        let ctx = Ctx {
+            quick: true,
+            seed: 1,
+        };
+        assert!(run_one("e1", ctx).is_some());
+        assert!(run_one("E01", ctx).is_some());
+        assert!(run_one("13", ctx).is_some());
+        assert!(run_one("e99", ctx).is_none());
+        assert!(run_one("nope", ctx).is_none());
+    }
+}

@@ -1,0 +1,172 @@
+//! Report and table types: one [`Report`] per experiment, serializable to
+//! JSON for machine consumption and renderable as Markdown for
+//! `EXPERIMENTS.md`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+
+/// A rectangular results table.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table caption.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row-major cells (each row has `columns.len()` cells).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates an empty table with the given caption and columns.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row arity differs from the column count.
+    pub fn push_row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row arity mismatch in table '{}'",
+            self.title
+        );
+        self.rows.push(cells);
+    }
+
+    /// Renders as a GitHub-flavoured Markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "**{}**\n", self.title);
+        let _ = writeln!(out, "| {} |", self.columns.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+}
+
+/// The outcome of one experiment: tables, optional ASCII figures, and notes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Experiment identifier (`"E3"`).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// What the paper promises and what to look for in the data.
+    pub expectation: String,
+    /// Result tables.
+    pub tables: Vec<Table>,
+    /// Preformatted ASCII figures.
+    pub figures: Vec<String>,
+    /// Free-form observations recorded by the experiment code.
+    pub notes: Vec<String>,
+    /// `true` iff every bound the experiment checks held.
+    pub pass: bool,
+}
+
+impl Report {
+    /// Creates an empty passing report.
+    pub fn new(id: impl Into<String>, title: impl Into<String>, expectation: impl Into<String>) -> Self {
+        Report {
+            id: id.into(),
+            title: title.into(),
+            expectation: expectation.into(),
+            tables: Vec::new(),
+            figures: Vec::new(),
+            notes: Vec::new(),
+            pass: true,
+        }
+    }
+
+    /// Records a failed bound check with a note.
+    pub fn fail(&mut self, note: impl Into<String>) {
+        self.pass = false;
+        self.notes.push(format!("FAIL: {}", note.into()));
+    }
+
+    /// Records an observation.
+    pub fn note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the whole report as Markdown.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## {} — {}\n", self.id, self.title);
+        let _ = writeln!(out, "*Expected:* {}\n", self.expectation);
+        let _ = writeln!(
+            out,
+            "*Status:* {}\n",
+            if self.pass { "PASS" } else { "FAIL" }
+        );
+        for fig in &self.figures {
+            let _ = writeln!(out, "```text\n{fig}\n```\n");
+        }
+        for table in &self.tables {
+            let _ = writeln!(out, "{}", table.to_markdown());
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "- {note}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_renders_all_parts() {
+        let mut t = Table::new("caption", &["a", "b"]);
+        t.push_row(vec!["1".into(), "2".into()]);
+        let mut r = Report::new("E0", "demo", "nothing");
+        r.tables.push(t);
+        r.figures.push("***".into());
+        r.note("observation");
+        let md = r.to_markdown();
+        assert!(md.contains("## E0 — demo"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 1 | 2 |"));
+        assert!(md.contains("***"));
+        assert!(md.contains("- observation"));
+        assert!(md.contains("PASS"));
+    }
+
+    #[test]
+    fn fail_flips_status() {
+        let mut r = Report::new("E0", "demo", "nothing");
+        r.fail("bound broke");
+        assert!(!r.pass);
+        assert!(r.to_markdown().contains("FAIL: bound broke"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_is_enforced() {
+        let mut t = Table::new("caption", &["a", "b"]);
+        t.push_row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut r = Report::new("E1", "x", "y");
+        r.note("n");
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,95 @@
+//! Order-preserving parallel map over experiment points, built on
+//! crossbeam's scoped threads. Experiment grids are embarrassingly
+//! parallel; this keeps sweeps over `B_A`, `U_O`, or `k` fast without any
+//! unsafe code or global thread pool.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Applies `f` to every item on a scoped thread pool and returns results in
+/// input order.
+///
+/// The worker count is `min(items, available_parallelism)`. Falls back to a
+/// sequential map for zero or one item.
+///
+/// # Panics
+///
+/// Propagates panics from `f` (the scope join panics).
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n);
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let next = AtomicUsize::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i].lock().take().expect("each index claimed once");
+                let result = f(item);
+                slots.lock()[i] = Some(result);
+            });
+        }
+    })
+    .expect("worker panicked");
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("all slots filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let items: Vec<usize> = (0..100).collect();
+        let out = parallel_map(items, |i| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn handles_empty_and_single() {
+        let empty: Vec<usize> = vec![];
+        assert!(parallel_map(empty, |i: usize| i).is_empty());
+        assert_eq!(parallel_map(vec![7], |i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn runs_non_copy_payloads() {
+        let items: Vec<String> = (0..20).map(|i| format!("x{i}")).collect();
+        let out = parallel_map(items, |s| s.len());
+        assert_eq!(out[0], 2);
+        assert_eq!(out[10], 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn propagates_worker_panics() {
+        parallel_map(vec![1, 2, 3, 4], |i| {
+            if i == 3 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

@@ -1,0 +1,37 @@
+//! E7 bench: the combined algorithm with both inner multi-session variants.
+
+use cdba_bench::{bench_multi, B_O, D_O};
+use cdba_core::combined::Combined;
+use cdba_core::config::{CombinedConfig, InnerMulti};
+use cdba_sim::engine::{simulate_multi, DrainPolicy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn combined(c: &mut Criterion) {
+    let len = 2_048usize;
+    let k = 4usize;
+    let input = bench_multi(k, len);
+    let mut group = c.benchmark_group("combined");
+    group.throughput(Throughput::Elements((len * k) as u64));
+    for inner in [InnerMulti::Phased, InnerMulti::Continuous] {
+        let cfg =
+            CombinedConfig::new(k, B_O, D_O, 0.1, 2 * D_O, inner).expect("valid config");
+        group.bench_with_input(
+            BenchmarkId::new("inner", format!("{inner:?}")),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    let mut alg = Combined::new(cfg.clone());
+                    black_box(
+                        simulate_multi(input, &mut alg, DrainPolicy::DrainToEmpty)
+                            .expect("runs"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, combined);
+criterion_main!(benches);

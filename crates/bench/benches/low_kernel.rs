@@ -1,0 +1,37 @@
+//! E13 bench: the `low(t)` kernel — convex hull vs naive rescan.
+
+use cdba_bench::bench_trace;
+use cdba_core::bounds::{HullLowTracker, LowTracker, NaiveLowTracker};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn low_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("low_kernel");
+    for &n in &[256usize, 1_024, 4_096, 16_384] {
+        let trace = bench_trace(n, 42);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("hull", n), &trace, |b, t| {
+            b.iter(|| {
+                let mut tracker = HullLowTracker::new(8);
+                for &a in t.arrivals() {
+                    black_box(tracker.push(a));
+                }
+            })
+        });
+        // The naive kernel is O(n²); keep its sizes small.
+        if n <= 4_096 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &trace, |b, t| {
+                b.iter(|| {
+                    let mut tracker = NaiveLowTracker::new(8);
+                    for &a in t.arrivals() {
+                        black_box(tracker.push(a));
+                    }
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, low_kernel);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E5/E6 bench: the multi-session algorithms across `k` on the rotating-hot
+//! adversary.
+
+use cdba_bench::{bench_multi, B_O, D_O};
+use cdba_core::config::MultiConfig;
+use cdba_core::multi::{Continuous, Phased};
+use cdba_sim::engine::{simulate_multi, DrainPolicy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn multi_session(c: &mut Criterion) {
+    let len = 2_048usize;
+    let mut group = c.benchmark_group("multi_session");
+    for &k in &[2usize, 8, 32] {
+        let input = bench_multi(k, len);
+        let cfg = MultiConfig::new(k, B_O, D_O).expect("valid config");
+        group.throughput(Throughput::Elements((len * k) as u64));
+        group.bench_with_input(BenchmarkId::new("phased", k), &input, |b, input| {
+            b.iter(|| {
+                let mut alg = Phased::new(cfg.clone());
+                black_box(
+                    simulate_multi(input, &mut alg, DrainPolicy::DrainToEmpty).expect("runs"),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("continuous", k), &input, |b, input| {
+            b.iter(|| {
+                let mut alg = Continuous::new(cfg.clone());
+                black_box(
+                    simulate_multi(input, &mut alg, DrainPolicy::DrainToEmpty).expect("runs"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, multi_session);
+criterion_main!(benches);

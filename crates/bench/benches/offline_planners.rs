@@ -1,0 +1,28 @@
+//! Offline comparator bench: greedy farthest-reach vs exact DP.
+
+use cdba_bench::{bench_trace, B_O, D_O};
+use cdba_offline::single::{dp_offline, greedy_offline};
+use cdba_offline::OfflineConstraints;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn offline_planners(c: &mut Criterion) {
+    let mut group = c.benchmark_group("offline_planners");
+    let constraints = OfflineConstraints::delay_only(B_O, D_O);
+    for &n in &[256usize, 1_024, 4_096] {
+        let trace = bench_trace(n, 13);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("greedy", n), &trace, |b, t| {
+            b.iter(|| black_box(greedy_offline(t, constraints).expect("feasible")))
+        });
+        if n <= 1_024 {
+            group.bench_with_input(BenchmarkId::new("dp", n), &trace, |b, t| {
+                b.iter(|| black_box(dp_offline(t, constraints).expect("feasible")))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, offline_planners);
+criterion_main!(benches);

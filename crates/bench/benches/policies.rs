@@ -1,0 +1,57 @@
+//! E2 bench: the Figure 2 policies on one bursty trace — how much compute
+//! each allocation policy costs per tick.
+
+use cdba_bench::{bench_trace, B_O, D_O};
+use cdba_core::config::SingleConfig;
+use cdba_core::single::{LookbackSingle, SingleSession};
+use cdba_offline::baselines::{
+    JustInTimeAllocator, PerPacketAllocator, PeriodicAllocator, RcbrAllocator, StaticAllocator,
+};
+use cdba_sim::engine::{simulate, DrainPolicy};
+use cdba_sim::Allocator;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn cfg() -> SingleConfig {
+    SingleConfig::builder(B_O)
+        .offline_delay(D_O)
+        .offline_utilization(0.25)
+        .window(2 * D_O)
+        .build()
+        .expect("valid config")
+}
+
+fn policies(c: &mut Criterion) {
+    let n = 8_192usize;
+    let trace = bench_trace(n, 7);
+    let mut group = c.benchmark_group("policies");
+    group.throughput(Throughput::Elements(n as u64));
+
+    macro_rules! bench_policy {
+        ($name:literal, $make:expr) => {
+            group.bench_function($name, |b| {
+                b.iter(|| {
+                    let mut alg = $make;
+                    black_box(
+                        simulate(&trace, &mut alg, DrainPolicy::DrainToEmpty).expect("runs"),
+                    )
+                })
+            });
+        };
+    }
+
+    bench_policy!("single_session", SingleSession::new(cfg()));
+    bench_policy!("lookback_single", LookbackSingle::new(cfg()));
+    bench_policy!("static_high", StaticAllocator::for_delay(&trace, D_O));
+    bench_policy!("per_packet", PerPacketAllocator::new());
+    bench_policy!("periodic", PeriodicAllocator::new(2 * D_O, 1.25));
+    bench_policy!("rcbr", RcbrAllocator::conventional(D_O));
+    bench_policy!("just_in_time", JustInTimeAllocator::new(D_O));
+    group.finish();
+
+    // Keep the Allocator trait import used even if the macro inlines.
+    fn _assert_allocator<A: Allocator>(_a: &A) {}
+}
+
+criterion_group!(benches, policies);
+criterion_main!(benches);

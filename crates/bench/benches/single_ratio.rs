@@ -1,0 +1,44 @@
+//! E3 bench: one full stage-forcer ratio point (generation + online run +
+//! certificate) across `B_A` — the cost of the headline experiment's inner
+//! loop.
+
+use cdba_core::config::SingleConfig;
+use cdba_core::single::SingleSession;
+use cdba_sim::engine::{simulate, DrainPolicy};
+use cdba_traffic::adversarial::{stage_forcer, StageForcerParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const D_O: usize = 4;
+
+fn single_ratio(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_ratio_point");
+    for &levels in &[4u32, 8, 12] {
+        let b_max = 2f64.powi(levels as i32);
+        let w = levels as usize * (D_O + 1) + D_O;
+        let trace =
+            stage_forcer(StageForcerParams::new(b_max, D_O, w, 4)).expect("valid adversary");
+        let cfg = SingleConfig::builder(b_max)
+            .offline_delay(D_O)
+            .offline_utilization(0.05)
+            .window(w)
+            .build()
+            .expect("valid config");
+        group.bench_with_input(
+            BenchmarkId::new("b_max_2pow", levels),
+            &trace,
+            |b, trace| {
+                b.iter(|| {
+                    let mut alg = SingleSession::new(cfg.clone());
+                    let run =
+                        simulate(trace, &mut alg, DrainPolicy::DrainToEmpty).expect("runs");
+                    black_box((run.schedule.num_changes(), alg.certified_offline_changes()))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, single_ratio);
+criterion_main!(benches);

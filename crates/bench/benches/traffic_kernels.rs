@@ -1,0 +1,102 @@
+//! Substrate kernels: workload generation, Claim-9 feasibility (Kadane),
+//! demand-bound bisection, and FIFO delay measurement throughput.
+
+use cdba_bench::{bench_trace, B_O, D_O};
+use cdba_sim::measure;
+use cdba_traffic::models::{self, WorkloadKind};
+use cdba_traffic::{conditioner, Trace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    let n = 16_384usize;
+    group.throughput(Throughput::Elements(n as u64));
+    for kind in [
+        WorkloadKind::Poisson(Default::default()),
+        WorkloadKind::OnOff(Default::default()),
+        WorkloadKind::Mmpp(Default::default()),
+        WorkloadKind::Pareto(Default::default()),
+        WorkloadKind::Video(Default::default()),
+    ] {
+        group.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(kind.generate(&mut rng, n).expect("valid params"))
+            })
+        });
+    }
+    // Diurnal modulation on top of Poisson.
+    group.bench_function("diurnal", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(
+                models::diurnal(&mut rng, models::DiurnalParams::default(), n)
+                    .expect("valid params"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn feasibility(c: &mut Criterion) {
+    let mut group = c.benchmark_group("feasibility");
+    for &n in &[4_096usize, 65_536] {
+        let trace = bench_trace(n, 3);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("is_feasible", n), &trace, |b, t| {
+            b.iter(|| black_box(conditioner::is_feasible(t, B_O, D_O)))
+        });
+        group.bench_with_input(BenchmarkId::new("demand_bound", n), &trace, |b, t| {
+            b.iter(|| black_box(t.demand_bound(D_O)))
+        });
+    }
+    group.finish();
+}
+
+fn delay_measurement(c: &mut Criterion) {
+    let mut group = c.benchmark_group("delay_measurement");
+    for &n in &[4_096usize, 65_536] {
+        let trace = bench_trace(n, 9);
+        // A service curve that lags slightly behind the arrivals.
+        let served: Vec<f64> = {
+            let mut q = 0.0f64;
+            let mut out = Vec::with_capacity(n + 64);
+            for t in 0..n + 64 {
+                q += trace.arrival(t);
+                let s = q.min(0.95 * B_O);
+                q -= s;
+                out.push(s);
+            }
+            out
+        };
+        let padded = trace.pad_zeros(64);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("max_delay", n),
+            &(padded, served),
+            |b, (t, s)| b.iter(|| black_box(measure::max_delay(t, s))),
+        );
+    }
+    group.finish();
+}
+
+fn trace_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_ops");
+    let n = 65_536usize;
+    let trace = bench_trace(n, 4);
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("construction", |b| {
+        let arrivals = trace.arrivals().to_vec();
+        b.iter(|| black_box(Trace::new(arrivals.clone()).expect("valid")))
+    });
+    group.bench_function("excess_over", |b| {
+        b.iter(|| black_box(trace.excess_over(0.5 * B_O)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, generators, feasibility, delay_measurement, trace_ops);
+criterion_main!(benches);

@@ -1,0 +1,380 @@
+//! `cdba-cli` — generate workloads, inspect them, run the paper's
+//! algorithms over them, and plan clairvoyant baselines, from the command
+//! line.
+//!
+//! ```text
+//! cdba-cli generate --model mmpp --len 4000 --seed 7 --out t.cdba [--feasible B,D] [--sessions K]
+//! cdba-cli inspect  --trace t.cdba
+//! cdba-cli run      --trace t.cdba --alg single|lookback|phased|continuous|combined
+//!                   [--bandwidth 64] [--delay 8] [--utilization 0.25] [--window 16] [--json out.json]
+//! cdba-cli offline  --trace t.cdba [--bandwidth 64] [--delay 8]
+//! ```
+//!
+//! Traces use the compact binary format of `cdba_traffic::codec` (single- or
+//! multi-session).
+
+use cdba_core::combined::Combined;
+use cdba_core::config::{CombinedConfig, InnerMulti, MultiConfig, SingleConfig};
+use cdba_core::multi::{Continuous, Phased};
+use cdba_core::single::{LookbackSingle, SingleSession};
+use cdba_offline::multi::greedy_multi_offline;
+use cdba_offline::single::greedy_offline;
+use cdba_offline::OfflineConstraints;
+use cdba_sim::engine::{simulate, simulate_multi, DrainPolicy};
+use cdba_sim::verify::{verify_multi, verify_single};
+use cdba_traffic::models::WorkloadKind;
+use cdba_traffic::multi::independent_sessions;
+use cdba_traffic::{codec, conditioner, stats, text_io, MultiTrace, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+type CliResult = Result<(), String>;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "generate" => generate(rest),
+        "inspect" => inspect(rest),
+        "run" => run(rest),
+        "offline" => offline(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage: cdba-cli <command> [options]
+  generate --model <cbr|poisson|onoff|mmpp|pareto|video|spike> --len N --out FILE
+           [--seed S] [--sessions K] [--feasible B,D]
+  inspect  --trace FILE
+  run      --trace FILE --alg <single|lookback|phased|continuous|combined>
+           [--bandwidth B] [--delay D] [--utilization U] [--window W]
+           [--json FILE] [--timeline yes]
+  offline  --trace FILE [--bandwidth B] [--delay D]";
+
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
+    let mut flags = HashMap::new();
+    let mut it = args.iter();
+    while let Some(key) = it.next() {
+        let key = key
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, found {key}"))?;
+        let value = it
+            .next()
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    flags
+        .get(key)
+        .map(String::as_str)
+        .ok_or_else(|| format!("missing required --{key}"))
+}
+
+fn get_parse<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(key) {
+        None => Ok(default),
+        Some(raw) => raw.parse().map_err(|e| format!("bad --{key} {raw}: {e}")),
+    }
+}
+
+enum LoadedTrace {
+    Single(Trace),
+    Multi(MultiTrace),
+}
+
+fn load(path: &str) -> Result<LoadedTrace, String> {
+    let raw = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let bytes = bytes::Bytes::from(raw.clone());
+    if let Ok(multi) = codec::decode_multi(bytes.clone()) {
+        if multi.num_sessions() > 1 {
+            return Ok(LoadedTrace::Multi(multi));
+        }
+    }
+    if let Ok(single) = codec::decode(bytes) {
+        return Ok(LoadedTrace::Single(single));
+    }
+    // Fall back to the CSV text format.
+    let text = String::from_utf8(raw).map_err(|_| format!("{path}: neither binary nor text"))?;
+    if let Ok(multi) = text_io::parse_multi(&text) {
+        if multi.num_sessions() > 1 {
+            return Ok(LoadedTrace::Multi(multi));
+        }
+    }
+    text_io::parse_trace(&text)
+        .map(LoadedTrace::Single)
+        .map_err(|e| format!("cannot decode {path} as binary or CSV: {e}"))
+}
+
+fn generate(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let model = get(&flags, "model")?;
+    let len: usize = get_parse(&flags, "len", 4_000)?;
+    let seed: u64 = get_parse(&flags, "seed", 0xCDBA)?;
+    let sessions: usize = get_parse(&flags, "sessions", 1)?;
+    let out = get(&flags, "out")?;
+    let kind = match model {
+        "cbr" => WorkloadKind::Cbr(Default::default()),
+        "poisson" => WorkloadKind::Poisson(Default::default()),
+        "onoff" => WorkloadKind::OnOff(Default::default()),
+        "mmpp" => WorkloadKind::Mmpp(Default::default()),
+        "pareto" => WorkloadKind::Pareto(Default::default()),
+        "video" => WorkloadKind::Video(Default::default()),
+        "spike" => WorkloadKind::Spike(Default::default()),
+        other => return Err(format!("unknown model {other}")),
+    };
+    let feasible: Option<(f64, usize)> = match flags.get("feasible") {
+        None => None,
+        Some(raw) => {
+            let (b, d) = raw
+                .split_once(',')
+                .ok_or_else(|| format!("--feasible wants B,D — got {raw}"))?;
+            Some((
+                b.parse().map_err(|e| format!("bad bandwidth {b}: {e}"))?,
+                d.parse().map_err(|e| format!("bad delay {d}: {e}"))?,
+            ))
+        }
+    };
+    let csv = match flags.get("format").map(String::as_str) {
+        None | Some("bin") => false,
+        Some("csv") => true,
+        Some(other) => return Err(format!("unknown --format {other} (bin|csv)")),
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let blob: Vec<u8> = if sessions <= 1 {
+        let mut trace = kind.generate(&mut rng, len).map_err(|e| e.to_string())?;
+        if let Some((b, d)) = feasible {
+            trace = conditioner::scale_to_feasible(&trace, b, d).map_err(|e| e.to_string())?;
+        }
+        println!("generated {trace}");
+        if csv {
+            text_io::render_trace(&trace).into_bytes()
+        } else {
+            codec::encode(&trace).to_vec()
+        }
+    } else {
+        let mut multi =
+            independent_sessions(&mut rng, &kind, sessions, len).map_err(|e| e.to_string())?;
+        if let Some((b, d)) = feasible {
+            multi = multi.scale_to_feasible(b, d).map_err(|e| e.to_string())?;
+        }
+        println!(
+            "generated {} sessions × {} ticks, {:.1} total bits",
+            multi.num_sessions(),
+            multi.len(),
+            multi.total()
+        );
+        if csv {
+            text_io::render_multi(&multi).into_bytes()
+        } else {
+            codec::encode_multi(&multi).to_vec()
+        }
+    };
+    std::fs::write(out, &blob).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out} ({} bytes)", blob.len());
+    Ok(())
+}
+
+fn inspect(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    match load(get(&flags, "trace")?)? {
+        LoadedTrace::Single(trace) => {
+            let s = stats::summarize(&trace);
+            println!("single-session trace: {trace}");
+            println!("  std dev      {:.3}", s.std_dev);
+            println!("  peak/mean    {:.3}", s.peak_to_mean);
+            println!("  idle frac    {:.3}", s.idle_fraction);
+            println!("  hurst (R/S)  {:.3}", s.hurst);
+            println!("  demand bound (D=8): {:.3} bits/tick", trace.demand_bound(8));
+        }
+        LoadedTrace::Multi(multi) => {
+            println!(
+                "multi-session trace: {} sessions × {} ticks",
+                multi.num_sessions(),
+                multi.len()
+            );
+            for (i, session) in multi.sessions().iter().enumerate() {
+                println!("  session {i}: {session}");
+            }
+            let agg = multi.aggregate();
+            println!("  aggregate: {agg}");
+        }
+    }
+    Ok(())
+}
+
+fn run(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let alg = get(&flags, "alg")?.to_string();
+    let b: f64 = get_parse(&flags, "bandwidth", 64.0)?;
+    let d: usize = get_parse(&flags, "delay", 8)?;
+    let u: f64 = get_parse(&flags, "utilization", 0.25)?;
+    let w: usize = get_parse(&flags, "window", 2 * d)?;
+    let loaded = load(get(&flags, "trace")?)?;
+    let json_out = flags.get("json").cloned();
+    let show_timeline = flags
+        .get("timeline")
+        .is_some_and(|v| v == "1" || v == "true" || v == "yes");
+
+    let summary: serde_json::Value = match (loaded, alg.as_str()) {
+        (LoadedTrace::Single(trace), "single" | "lookback") => {
+            let cfg = SingleConfig::builder(b)
+                .offline_delay(d)
+                .offline_utilization(u)
+                .window(w)
+                .build()
+                .map_err(|e| e.to_string())?;
+            let bounds = cfg.promised_bounds();
+            let (run, certified) = if alg == "single" {
+                let mut a = SingleSession::new(cfg);
+                let run =
+                    simulate(&trace, &mut a, DrainPolicy::DrainToEmpty).map_err(|e| e.to_string())?;
+                (run, a.certified_offline_changes())
+            } else {
+                let mut a = LookbackSingle::new(cfg);
+                let run =
+                    simulate(&trace, &mut a, DrainPolicy::DrainToEmpty).map_err(|e| e.to_string())?;
+                (run, a.certified_offline_changes())
+            };
+            if show_timeline {
+                println!(
+                    "{}\n",
+                    cdba_sim::timeline::render(
+                        &trace,
+                        &run,
+                        cdba_sim::timeline::TimelineOptions::default()
+                    )
+                );
+            }
+            let verdict = verify_single(&trace, &run, &bounds);
+            println!(
+                "{alg}: {} changes, max delay {:?} (bound {}), relaxed util {:.3} (bound {:.3}), \
+                 peak {:.1} (bound {}), certified offline changes >= {certified}",
+                verdict.changes,
+                verdict.max_delay,
+                bounds.max_delay,
+                verdict.utilization,
+                bounds.min_utilization,
+                verdict.peak_allocation,
+                bounds.max_bandwidth,
+            );
+            println!("all bounds: {}", if verdict.all_ok() { "OK" } else { "VIOLATED" });
+            serde_json::json!({ "algorithm": alg, "verdict": verdict, "certified": certified })
+        }
+        (LoadedTrace::Multi(input), "phased" | "continuous" | "combined") => {
+            let k = input.num_sessions();
+            let (run, bounds, certified) = match alg.as_str() {
+                "phased" => {
+                    let cfg = MultiConfig::new(k, b, d).map_err(|e| e.to_string())?;
+                    let bounds = cfg.phased_bounds();
+                    let mut a = Phased::new(cfg);
+                    let run = simulate_multi(&input, &mut a, DrainPolicy::DrainToEmpty)
+                        .map_err(|e| e.to_string())?;
+                    (run, bounds, a.certified_offline_changes())
+                }
+                "continuous" => {
+                    let cfg = MultiConfig::new(k, b, d).map_err(|e| e.to_string())?;
+                    let bounds = cfg.continuous_bounds();
+                    let mut a = Continuous::new(cfg);
+                    let run = simulate_multi(&input, &mut a, DrainPolicy::DrainToEmpty)
+                        .map_err(|e| e.to_string())?;
+                    (run, bounds, a.certified_offline_changes())
+                }
+                _ => {
+                    let cfg = CombinedConfig::new(k, b, d, u, w, InnerMulti::Phased)
+                        .map_err(|e| e.to_string())?;
+                    let bounds = cfg.promised_bounds();
+                    let mut a = Combined::new(cfg);
+                    let run = simulate_multi(&input, &mut a, DrainPolicy::DrainToEmpty)
+                        .map_err(|e| e.to_string())?;
+                    (run, bounds, a.certified_local_changes())
+                }
+            };
+            let verdict = verify_multi(&input, &run, &bounds);
+            println!(
+                "{alg} (k={k}): {} local / {} global changes, worst delay {:?} (bound {}), \
+                 peak total {:.1} (bound {:.1}), certified offline changes >= {certified}",
+                verdict.local_changes,
+                verdict.global_changes,
+                verdict.max_delay,
+                bounds.max_delay,
+                verdict.peak_total_allocation,
+                bounds.total_bandwidth,
+            );
+            println!("all bounds: {}", if verdict.all_ok() { "OK" } else { "VIOLATED" });
+            serde_json::json!({ "algorithm": alg, "verdict": verdict, "certified": certified })
+        }
+        (LoadedTrace::Single(_), other) => {
+            return Err(format!(
+                "algorithm {other} needs a multi-session trace (generate with --sessions K)"
+            ))
+        }
+        (LoadedTrace::Multi(_), other) => {
+            return Err(format!("algorithm {other} needs a single-session trace"))
+        }
+    };
+    if let Some(path) = json_out {
+        let body = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
+        std::fs::write(&path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
+fn offline(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let b: f64 = get_parse(&flags, "bandwidth", 64.0)?;
+    let d: usize = get_parse(&flags, "delay", 8)?;
+    match load(get(&flags, "trace")?)? {
+        LoadedTrace::Single(trace) => {
+            let plan = greedy_offline(&trace, OfflineConstraints::delay_only(b, d))
+                .map_err(|e| e.to_string())?;
+            println!(
+                "greedy offline plan: {} changes over {} segments",
+                plan.changes(),
+                plan.segments.len()
+            );
+            for (s, e, bw) in plan.segments.iter().take(20) {
+                println!("  [{s:>6}, {e:>6})  {bw:.3} bits/tick");
+            }
+            if plan.segments.len() > 20 {
+                println!("  … {} more segments", plan.segments.len() - 20);
+            }
+        }
+        LoadedTrace::Multi(input) => {
+            let plan = greedy_multi_offline(&input, b, d).map_err(|e| e.to_string())?;
+            println!(
+                "greedy piecewise-static plan: {} local changes over {} intervals",
+                plan.local_changes(),
+                plan.num_intervals()
+            );
+        }
+    }
+    Ok(())
+}

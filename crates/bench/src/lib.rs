@@ -1,0 +1,47 @@
+//! Shared fixtures for the criterion benches and the `repro` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cdba_traffic::models::{MmppParams, WorkloadKind};
+use cdba_traffic::multi::rotating_hot;
+use cdba_traffic::{conditioner, MultiTrace, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The bench fixture's offline bandwidth.
+pub const B_O: f64 = 64.0;
+/// The bench fixture's offline delay (ticks).
+pub const D_O: usize = 8;
+
+/// A seeded MMPP trace scaled feasible for `(0.9·B_O, D_O)` — the standard
+/// single-session bench input.
+pub fn bench_trace(len: usize, seed: u64) -> Trace {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let raw = WorkloadKind::Mmpp(MmppParams::default())
+        .generate(&mut rng, len)
+        .expect("default parameters are valid");
+    conditioner::scale_to_feasible(&raw, 0.9 * B_O, D_O)
+        .expect("positive bandwidth")
+        .pad_zeros(D_O)
+}
+
+/// The rotating-hot multi-session bench input.
+pub fn bench_multi(k: usize, len: usize) -> MultiTrace {
+    rotating_hot(k, 0.85 * B_O, 0.02 * B_O, 12 * D_O, len)
+        .expect("valid adversary")
+        .pad_zeros(D_O)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_are_feasible() {
+        let t = bench_trace(2_000, 1);
+        assert!(conditioner::is_feasible(&t, B_O, D_O));
+        let m = bench_multi(4, 1_000);
+        assert!(m.is_feasible(B_O, D_O));
+    }
+}

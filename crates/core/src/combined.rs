@@ -1,0 +1,351 @@
+//! The combined algorithm (paper §4): `k` sessions, shared channel, *and* a
+//! utilization constraint on the total allocation.
+//!
+//! A global tracker runs the single-session machinery (paper §2) over the
+//! *aggregate* arrival stream to maintain the power-of-two total budget
+//! `B_on`; inside each global stage, the multi-session algorithm (§3) runs
+//! with `B_O := B_on`. A GLOBAL RESET (the global certificate `high < low`
+//! firing) moves all per-session backlog to a global overflow channel of
+//! `2·B_O` and starts a new global stage immediately — unlike the
+//! single-session case there is no dead time.
+
+use crate::bounds::{HighTracker, HullLowTracker, LowTracker};
+use crate::config::{CombinedConfig, InnerMulti, MultiConfig};
+use crate::multi::{Continuous, Phased};
+use crate::next_power_of_two;
+use crate::stage::{StageKind, StageLog};
+use cdba_sim::{BitQueue, MultiAllocator};
+use cdba_traffic::EPS;
+
+fn crossed(low: f64, high: f64) -> bool {
+    low - high > 1e-9 * low.max(1.0)
+}
+
+#[derive(Debug)]
+enum Inner {
+    Phased(Phased),
+    Continuous(Continuous),
+}
+
+impl Inner {
+    fn new(kind: InnerMulti, k: usize, b_o: f64, d_o: usize) -> Self {
+        // The inner algorithms accept any positive budget; MultiConfig
+        // validation is for end users, so construct leniently here with a
+        // floor of one bit/tick.
+        let cfg = MultiConfig::new(k, b_o.max(1.0), d_o).expect("validated by CombinedConfig");
+        match kind {
+            InnerMulti::Phased => Inner::Phased(Phased::new(cfg)),
+            InnerMulti::Continuous => Inner::Continuous(Continuous::new(cfg)),
+        }
+    }
+
+    fn on_tick(&mut self, arrivals: &[f64]) -> Vec<f64> {
+        match self {
+            Inner::Phased(p) => p.on_tick(arrivals),
+            Inner::Continuous(c) => c.on_tick(arrivals),
+        }
+    }
+
+    fn rebudget(&mut self, b_o: f64) {
+        match self {
+            Inner::Phased(p) => p.rebudget(b_o.max(1.0)),
+            Inner::Continuous(c) => c.rebudget(b_o.max(1.0)),
+        }
+    }
+
+    fn extract_backlog(&mut self) -> Vec<f64> {
+        match self {
+            Inner::Phased(p) => p.extract_backlog(),
+            Inner::Continuous(c) => c.extract_backlog(),
+        }
+    }
+
+    fn completed_stages(&self) -> usize {
+        match self {
+            Inner::Phased(p) => p.stage_log().completed(),
+            Inner::Continuous(c) => c.stage_log().completed(),
+        }
+    }
+}
+
+/// The combined algorithm of paper §4.
+///
+/// Guarantees: per-session delay ≤ `2·D_O`; total bandwidth ≤ `7·B_O` with
+/// the phased inner algorithm (`8·B_O` with the continuous one); total
+/// utilization within a constant factor of `U_O`; global (total-allocation)
+/// changes `O(log B_A)` and local (per-session) changes `O(k·log B_A)` times
+/// the offline's respective counts.
+///
+/// Certificates: each completed *global* stage forces one offline change of
+/// its total allocation ([`Self::certified_global_changes`]); each completed
+/// *inner* stage forces one offline local change (Lemma 13 with
+/// `B_O := B_on ≤ B_O`).
+///
+/// # Example
+///
+/// ```
+/// use cdba_core::combined::Combined;
+/// use cdba_core::config::{CombinedConfig, InnerMulti};
+/// use cdba_sim::engine::{simulate_multi, DrainPolicy};
+/// use cdba_traffic::multi::rotating_hot;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = CombinedConfig::new(4, 32.0, 4, 0.1, 8, InnerMulti::Phased)?;
+/// let input = rotating_hot(4, 20.0, 1.0, 16, 300)?.pad_zeros(4);
+/// let mut alg = Combined::new(cfg);
+/// let run = simulate_multi(&input, &mut alg, DrainPolicy::DrainToEmpty)?;
+/// // The provider's own re-negotiations of its total purchase:
+/// assert!(alg.bon_changes() >= 1);
+/// assert!(run.total.peak() <= 7.0 * 32.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Combined {
+    cfg: CombinedConfig,
+    glow: HullLowTracker,
+    ghigh: HighTracker,
+    b_on: f64,
+    inner: Inner,
+    /// Per-session share of the global overflow queue (GLOBAL RESET target),
+    /// served by a dedicated channel of `2·B_O`.
+    global_overflow: Vec<BitQueue>,
+    global_stages: StageLog,
+    /// Number of times the budget `B_on` changed (the paper's global
+    /// changes).
+    bon_changes: usize,
+    /// Local stages ended because `B_on` changed (not offline certificates).
+    budget_stage_ends: usize,
+    tick: usize,
+}
+
+impl Combined {
+    /// Creates the algorithm in a fresh global stage with `B_on = 0` (no
+    /// traffic seen yet).
+    pub fn new(cfg: CombinedConfig) -> Self {
+        let mut global_stages = StageLog::new();
+        global_stages.open(0);
+        Combined {
+            glow: HullLowTracker::new(cfg.d_o),
+            ghigh: HighTracker::new(cfg.u_o, cfg.w, cfg.b_o),
+            b_on: 0.0,
+            inner: Inner::new(cfg.inner, cfg.k, 1.0, cfg.d_o),
+            global_overflow: vec![BitQueue::new(); cfg.k],
+            global_stages,
+            bon_changes: 0,
+            budget_stage_ends: 0,
+            tick: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration this instance runs with.
+    pub fn config(&self) -> &CombinedConfig {
+        &self.cfg
+    }
+
+    /// The global stage log.
+    pub fn global_stage_log(&self) -> &StageLog {
+        &self.global_stages
+    }
+
+    /// Offline *global* (total-allocation) changes this run certifies: one
+    /// per completed global stage.
+    pub fn certified_global_changes(&self) -> usize {
+        self.global_stages.completed()
+    }
+
+    /// Offline *local* changes this run certifies: one per completed inner
+    /// stage (Lemma 13 applied within global stages).
+    pub fn certified_local_changes(&self) -> usize {
+        self.inner.completed_stages()
+    }
+
+    /// Number of changes of the budget `B_on` the algorithm performed (the
+    /// paper's online global changes; bounded by `log₂ B_A` per global
+    /// stage).
+    pub fn bon_changes(&self) -> usize {
+        self.bon_changes
+    }
+
+    /// Number of local stages that ended because `B_on` moved.
+    pub fn budget_stage_ends(&self) -> usize {
+        self.budget_stage_ends
+    }
+
+    /// The current total budget `B_on`.
+    pub fn current_budget(&self) -> f64 {
+        self.b_on
+    }
+
+    fn global_reset(&mut self) {
+        // Move every queued bit — inner regular, inner overflow — to the
+        // global overflow queue, which a dedicated 2·B_O channel drains.
+        let backlog = self.inner.extract_backlog();
+        for (q, bits) in self.global_overflow.iter_mut().zip(backlog) {
+            q.inject(bits);
+        }
+        self.global_stages
+            .close(self.tick, StageKind::GlobalBoundsCrossed);
+        self.global_stages.open(self.tick);
+        self.glow = HullLowTracker::new(self.cfg.d_o);
+        self.ghigh = HighTracker::new(self.cfg.u_o, self.cfg.w, self.cfg.b_o);
+        self.b_on = 0.0;
+        self.bon_changes += 1;
+        self.inner.rebudget(1.0);
+    }
+
+    /// Serves the global overflow queues proportionally from the `2·B_O`
+    /// channel; returns the per-session bandwidth reserved for it this tick.
+    fn serve_global_overflow(&mut self) -> Vec<f64> {
+        let total: f64 = self.global_overflow.iter().map(BitQueue::backlog).sum();
+        if total <= EPS {
+            return vec![0.0; self.cfg.k];
+        }
+        let channel = 2.0 * self.cfg.b_o;
+        self.global_overflow
+            .iter_mut()
+            .map(|q| {
+                let share = channel * q.backlog() / total;
+                q.tick(0.0, share);
+                share
+            })
+            .collect()
+    }
+}
+
+impl MultiAllocator for Combined {
+    fn num_sessions(&self) -> usize {
+        self.cfg.k
+    }
+
+    fn on_tick(&mut self, arrivals: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(arrivals.len(), self.cfg.k);
+        let aggregate: f64 = arrivals.iter().sum();
+        let l = self.glow.push(aggregate);
+        let h = self.ghigh.push(aggregate);
+        if crossed(l, h) {
+            self.global_reset();
+        } else if l > self.b_on {
+            let new_bon = next_power_of_two(l).min(self.cfg.b_o);
+            if (new_bon - self.b_on).abs() > EPS {
+                self.b_on = new_bon;
+                self.bon_changes += 1;
+                self.budget_stage_ends += 1;
+                self.inner.rebudget(new_bon);
+            }
+        }
+        let inner_allocs = self.inner.on_tick(arrivals);
+        let overflow_allocs = self.serve_global_overflow();
+        self.tick += 1;
+        inner_allocs
+            .iter()
+            .zip(&overflow_allocs)
+            .map(|(a, b)| a + b)
+            .collect()
+    }
+
+    fn name(&self) -> &'static str {
+        match self.cfg.inner {
+            InnerMulti::Phased => "combined-phased",
+            InnerMulti::Continuous => "combined-continuous",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdba_sim::engine::{simulate_multi, DrainPolicy};
+    use cdba_sim::verify::verify_multi;
+    use cdba_traffic::multi::rotating_hot;
+
+    fn cfg(k: usize, b_o: f64, inner: InnerMulti) -> CombinedConfig {
+        CombinedConfig::new(k, b_o, 4, 0.25, 8, inner).unwrap()
+    }
+
+    #[test]
+    fn budget_is_a_power_of_two_capped_at_b_o() {
+        let c = cfg(2, 16.0, InnerMulti::Phased);
+        let mut alg = Combined::new(c);
+        for _ in 0..40 {
+            alg.on_tick(&[3.0, 2.0]);
+        }
+        let b = alg.current_budget();
+        assert!(b > 0.0 && b <= 16.0);
+        let l = b.log2();
+        assert!((l - l.round()).abs() < 1e-9, "B_on {b} not a power of two");
+    }
+
+    #[test]
+    fn envelope_holds_for_both_inner_kinds() {
+        for inner in [InnerMulti::Phased, InnerMulti::Continuous] {
+            let c = cfg(4, 16.0, inner);
+            let input = rotating_hot(4, 30.0, 1.0, 16, 400)
+                .unwrap()
+                .scale_to_feasible(16.0, 4)
+                .unwrap();
+            let mut alg = Combined::new(c.clone());
+            let run = simulate_multi(&input, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+            let v = verify_multi(&input, &run, &c.promised_bounds());
+            assert!(v.delay_ok, "{inner:?}: delay violated {:?}", v.max_delay);
+            assert!(
+                v.bandwidth_ok,
+                "{inner:?}: peak {} exceeds {}",
+                v.peak_total_allocation,
+                c.total_bandwidth_envelope()
+            );
+        }
+    }
+
+    #[test]
+    fn starvation_triggers_global_reset() {
+        let c = cfg(2, 16.0, InnerMulti::Phased);
+        let mut alg = Combined::new(c);
+        // Traffic, then a long silence: the global certificate must fire.
+        for _ in 0..20 {
+            alg.on_tick(&[6.0, 4.0]);
+        }
+        for _ in 0..40 {
+            alg.on_tick(&[0.0, 0.0]);
+        }
+        assert!(
+            alg.certified_global_changes() >= 1,
+            "global stage should have completed"
+        );
+    }
+
+    #[test]
+    fn global_overflow_drains_after_reset() {
+        let c = cfg(2, 16.0, InnerMulti::Phased);
+        let mut alg = Combined::new(c);
+        // Build backlog then starve to force a global reset with bits queued.
+        alg.on_tick(&[50.0, 20.0]);
+        for _ in 0..60 {
+            alg.on_tick(&[0.0, 0.0]);
+        }
+        let left: f64 = alg.global_overflow.iter().map(BitQueue::backlog).sum();
+        assert!(left <= EPS, "global overflow not drained: {left}");
+    }
+
+    #[test]
+    fn bon_changes_are_logarithmic_in_budget() {
+        // A loose utilization bound keeps high(t) far above the ramp, so the
+        // whole run is one global stage and the budget ladder is the only
+        // source of B_on changes.
+        let c = CombinedConfig::new(2, 1024.0, 4, 0.01, 8, InnerMulti::Phased).unwrap();
+        let mut alg = Combined::new(c);
+        for i in 0..200usize {
+            let rate = 1.0 + (i as f64) / 2.0;
+            alg.on_tick(&[rate / 2.0, rate / 2.0]);
+        }
+        assert_eq!(alg.certified_global_changes(), 0, "single stage expected");
+        // low reaches ~65: the ladder 1,2,4,…,128 is at most 8+1 steps.
+        assert!(
+            alg.bon_changes() <= 9,
+            "too many budget changes: {}",
+            alg.bon_changes()
+        );
+        assert!(alg.bon_changes() >= 5, "ladder should actually climb");
+    }
+}

@@ -1,0 +1,412 @@
+//! Validated algorithm configurations.
+//!
+//! Every parameter set the paper's algorithms take is validated once, at
+//! construction, so the state machines themselves never have to re-check
+//! (`C-VALIDATE` via builders).
+
+use cdba_sim::verify::{MultiBounds, SingleBounds};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error returned when a configuration is invalid.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// `B_A` / `B_O` must be a positive power of two (the paper assumes this
+    /// for the power-of-two allocation ladder).
+    BandwidthNotPowerOfTwo(f64),
+    /// A bandwidth value was non-positive or non-finite.
+    InvalidBandwidth(f64),
+    /// The offline delay `D_O` must be at least one tick.
+    InvalidDelay(usize),
+    /// The offline utilization `U_O` must lie in `(0, 1]`.
+    InvalidUtilization(f64),
+    /// The utilization window must satisfy `W ≥ D_O` (the paper's standing
+    /// assumption).
+    WindowTooSmall {
+        /// Provided window.
+        window: usize,
+        /// Offline delay it must cover.
+        d_o: usize,
+    },
+    /// Session count must be at least 2 for the multi-session algorithms.
+    TooFewSessions(usize),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::BandwidthNotPowerOfTwo(b) => {
+                write!(f, "bandwidth {b} must be a positive power of two")
+            }
+            ConfigError::InvalidBandwidth(b) => write!(f, "invalid bandwidth {b}"),
+            ConfigError::InvalidDelay(d) => write!(f, "offline delay {d} must be >= 1 tick"),
+            ConfigError::InvalidUtilization(u) => {
+                write!(f, "offline utilization {u} must be in (0, 1]")
+            }
+            ConfigError::WindowTooSmall { window, d_o } => {
+                write!(f, "window {window} must be >= offline delay {d_o}")
+            }
+            ConfigError::TooFewSessions(k) => {
+                write!(f, "multi-session algorithms need k >= 2, got {k}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+fn is_power_of_two(b: f64) -> bool {
+    if !b.is_finite() || b < 1.0 {
+        return false;
+    }
+    let l = b.log2();
+    (l - l.round()).abs() < 1e-9
+}
+
+/// Configuration of the single-session algorithm (paper §2).
+///
+/// Constructed through [`SingleConfig::builder`]; see the crate-level example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SingleConfig {
+    /// Maximum bandwidth `B_A` (a power of two; equals the offline `B_O`).
+    pub b_max: f64,
+    /// Offline delay bound `D_O` in ticks; the online guarantee is `2·D_O`.
+    pub d_o: usize,
+    /// Offline utilization bound `U_O ∈ (0, 1]`; the online guarantee is
+    /// `U_O/3`.
+    pub u_o: f64,
+    /// Utilization window `W ≥ D_O` in ticks.
+    pub w: usize,
+}
+
+impl SingleConfig {
+    /// Starts building a configuration with maximum bandwidth `b_max`.
+    pub fn builder(b_max: f64) -> SingleConfigBuilder {
+        SingleConfigBuilder {
+            b_max,
+            d_o: 8,
+            u_o: 0.5,
+            w: 16,
+        }
+    }
+
+    /// `log₂ B_A` — the paper's `ℓ_A`, the per-stage change budget.
+    pub fn levels(&self) -> u32 {
+        self.b_max.log2().round() as u32
+    }
+
+    /// The online delay guarantee `D_A = 2·D_O`.
+    pub fn online_delay(&self) -> usize {
+        2 * self.d_o
+    }
+
+    /// The online utilization guarantee `U_A = U_O/3`.
+    pub fn online_utilization(&self) -> f64 {
+        self.u_o / 3.0
+    }
+
+    /// The envelope Theorem 6 promises, in verifier form. The relaxed
+    /// utilization window is `W + 5·D_O` as in Lemma 5.
+    pub fn promised_bounds(&self) -> SingleBounds {
+        SingleBounds {
+            max_bandwidth: self.b_max,
+            max_delay: self.online_delay(),
+            min_utilization: self.online_utilization(),
+            window: self.w,
+            relaxed_window: self.w + 5 * self.d_o,
+        }
+    }
+}
+
+/// Builder for [`SingleConfig`].
+#[derive(Debug, Clone)]
+pub struct SingleConfigBuilder {
+    b_max: f64,
+    d_o: usize,
+    u_o: f64,
+    w: usize,
+}
+
+impl SingleConfigBuilder {
+    /// Sets the offline delay bound `D_O` (ticks). Default 8.
+    pub fn offline_delay(mut self, d_o: usize) -> Self {
+        self.d_o = d_o;
+        self
+    }
+
+    /// Sets the offline utilization bound `U_O`. Default 0.5.
+    pub fn offline_utilization(mut self, u_o: f64) -> Self {
+        self.u_o = u_o;
+        self
+    }
+
+    /// Sets the utilization window `W` (ticks). Default 16.
+    pub fn window(mut self, w: usize) -> Self {
+        self.w = w;
+        self
+    }
+
+    /// Validates and builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns the specific [`ConfigError`] for each violated constraint.
+    pub fn build(self) -> Result<SingleConfig, ConfigError> {
+        if !self.b_max.is_finite() || self.b_max <= 0.0 {
+            return Err(ConfigError::InvalidBandwidth(self.b_max));
+        }
+        if !is_power_of_two(self.b_max) {
+            return Err(ConfigError::BandwidthNotPowerOfTwo(self.b_max));
+        }
+        if self.d_o == 0 {
+            return Err(ConfigError::InvalidDelay(self.d_o));
+        }
+        if !(self.u_o > 0.0 && self.u_o <= 1.0) {
+            return Err(ConfigError::InvalidUtilization(self.u_o));
+        }
+        if self.w < self.d_o {
+            return Err(ConfigError::WindowTooSmall {
+                window: self.w,
+                d_o: self.d_o,
+            });
+        }
+        Ok(SingleConfig {
+            b_max: self.b_max,
+            d_o: self.d_o,
+            u_o: self.u_o,
+            w: self.w,
+        })
+    }
+}
+
+/// Configuration of the multi-session algorithms (paper §3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiConfig {
+    /// Number of sessions `k ≥ 2`.
+    pub k: usize,
+    /// The offline total bandwidth `B_O` the adversary is held to.
+    pub b_o: f64,
+    /// Offline delay bound `D_O` in ticks (also the phase length).
+    pub d_o: usize,
+}
+
+impl MultiConfig {
+    /// Builds a validated multi-session configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for `k < 2`, invalid `b_o`, or `d_o == 0`.
+    pub fn new(k: usize, b_o: f64, d_o: usize) -> Result<Self, ConfigError> {
+        if k < 2 {
+            return Err(ConfigError::TooFewSessions(k));
+        }
+        if !b_o.is_finite() || b_o <= 0.0 {
+            return Err(ConfigError::InvalidBandwidth(b_o));
+        }
+        if d_o == 0 {
+            return Err(ConfigError::InvalidDelay(d_o));
+        }
+        Ok(MultiConfig { k, b_o, d_o })
+    }
+
+    /// The online delay guarantee `D_A = 2·D_O`.
+    pub fn online_delay(&self) -> usize {
+        2 * self.d_o
+    }
+
+    /// The envelope Theorem 14 promises for the phased algorithm
+    /// (`B_A = 4·B_O`).
+    pub fn phased_bounds(&self) -> MultiBounds {
+        MultiBounds {
+            total_bandwidth: 4.0 * self.b_o,
+            max_delay: self.online_delay(),
+        }
+    }
+
+    /// The envelope Theorem 17 promises for the continuous algorithm
+    /// (`B_A = 5·B_O`).
+    pub fn continuous_bounds(&self) -> MultiBounds {
+        MultiBounds {
+            total_bandwidth: 5.0 * self.b_o,
+            max_delay: self.online_delay(),
+        }
+    }
+
+    /// The per-stage online change budget `3k` (Lemma 12).
+    pub fn changes_per_stage_budget(&self) -> usize {
+        3 * self.k
+    }
+}
+
+/// Which multi-session algorithm the combined algorithm embeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InnerMulti {
+    /// The phased algorithm (§3.1) — total envelope `7·B_O`.
+    Phased,
+    /// The continuous algorithm (§3.2) — total envelope `8·B_O`.
+    Continuous,
+}
+
+/// Configuration of the combined algorithm (paper §4): `k` sessions sharing
+/// a channel whose *total* bandwidth is also managed online under a
+/// utilization constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CombinedConfig {
+    /// Number of sessions `k ≥ 2`.
+    pub k: usize,
+    /// Offline total bandwidth `B_O` (a power of two).
+    pub b_o: f64,
+    /// Offline delay bound `D_O` in ticks.
+    pub d_o: usize,
+    /// Offline utilization bound `U_O ∈ (0, 1]`.
+    pub u_o: f64,
+    /// Utilization window `W ≥ D_O`.
+    pub w: usize,
+    /// Which inner multi-session algorithm to run.
+    pub inner: InnerMulti,
+}
+
+impl CombinedConfig {
+    /// Builds a validated combined configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] for each violated constraint (see
+    /// [`SingleConfig`] and [`MultiConfig`]).
+    pub fn new(
+        k: usize,
+        b_o: f64,
+        d_o: usize,
+        u_o: f64,
+        w: usize,
+        inner: InnerMulti,
+    ) -> Result<Self, ConfigError> {
+        if k < 2 {
+            return Err(ConfigError::TooFewSessions(k));
+        }
+        if !b_o.is_finite() || b_o <= 0.0 {
+            return Err(ConfigError::InvalidBandwidth(b_o));
+        }
+        if !is_power_of_two(b_o) {
+            return Err(ConfigError::BandwidthNotPowerOfTwo(b_o));
+        }
+        if d_o == 0 {
+            return Err(ConfigError::InvalidDelay(d_o));
+        }
+        if !(u_o > 0.0 && u_o <= 1.0) {
+            return Err(ConfigError::InvalidUtilization(u_o));
+        }
+        if w < d_o {
+            return Err(ConfigError::WindowTooSmall { window: w, d_o });
+        }
+        Ok(CombinedConfig {
+            k,
+            b_o,
+            d_o,
+            u_o,
+            w,
+            inner,
+        })
+    }
+
+    /// The total-bandwidth envelope: `7·B_O` with the phased inner algorithm,
+    /// `8·B_O` with the continuous one (paper §1.1/§4).
+    pub fn total_bandwidth_envelope(&self) -> f64 {
+        match self.inner {
+            InnerMulti::Phased => 7.0 * self.b_o,
+            InnerMulti::Continuous => 8.0 * self.b_o,
+        }
+    }
+
+    /// The envelope §4 promises, in multi-run verifier form.
+    pub fn promised_bounds(&self) -> MultiBounds {
+        MultiBounds {
+            total_bandwidth: self.total_bandwidth_envelope(),
+            max_delay: 2 * self.d_o,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_happy_path() {
+        let cfg = SingleConfig::builder(64.0)
+            .offline_delay(4)
+            .offline_utilization(0.25)
+            .window(8)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.levels(), 6);
+        assert_eq!(cfg.online_delay(), 8);
+        assert!((cfg.online_utilization() - 0.25 / 3.0).abs() < 1e-12);
+        let b = cfg.promised_bounds();
+        assert_eq!(b.max_bandwidth, 64.0);
+        assert_eq!(b.relaxed_window, 8 + 20);
+    }
+
+    #[test]
+    fn builder_rejects_each_violation() {
+        assert!(matches!(
+            SingleConfig::builder(48.0).build(),
+            Err(ConfigError::BandwidthNotPowerOfTwo(_))
+        ));
+        assert!(matches!(
+            SingleConfig::builder(-2.0).build(),
+            Err(ConfigError::InvalidBandwidth(_))
+        ));
+        assert!(matches!(
+            SingleConfig::builder(64.0).offline_delay(0).build(),
+            Err(ConfigError::InvalidDelay(0))
+        ));
+        assert!(matches!(
+            SingleConfig::builder(64.0).offline_utilization(0.0).build(),
+            Err(ConfigError::InvalidUtilization(_))
+        ));
+        assert!(matches!(
+            SingleConfig::builder(64.0).offline_utilization(1.5).build(),
+            Err(ConfigError::InvalidUtilization(_))
+        ));
+        assert!(matches!(
+            SingleConfig::builder(64.0).offline_delay(8).window(4).build(),
+            Err(ConfigError::WindowTooSmall { window: 4, d_o: 8 })
+        ));
+    }
+
+    #[test]
+    fn multi_config_envelopes() {
+        let cfg = MultiConfig::new(4, 10.0, 5).unwrap();
+        assert_eq!(cfg.phased_bounds().total_bandwidth, 40.0);
+        assert_eq!(cfg.continuous_bounds().total_bandwidth, 50.0);
+        assert_eq!(cfg.online_delay(), 10);
+        assert_eq!(cfg.changes_per_stage_budget(), 12);
+        assert!(matches!(
+            MultiConfig::new(1, 10.0, 5),
+            Err(ConfigError::TooFewSessions(1))
+        ));
+        assert!(matches!(
+            MultiConfig::new(2, 0.0, 5),
+            Err(ConfigError::InvalidBandwidth(_))
+        ));
+    }
+
+    #[test]
+    fn combined_config_envelopes() {
+        let p = CombinedConfig::new(3, 32.0, 4, 0.5, 8, InnerMulti::Phased).unwrap();
+        assert_eq!(p.total_bandwidth_envelope(), 224.0);
+        let c = CombinedConfig::new(3, 32.0, 4, 0.5, 8, InnerMulti::Continuous).unwrap();
+        assert_eq!(c.total_bandwidth_envelope(), 256.0);
+        assert!(CombinedConfig::new(3, 33.0, 4, 0.5, 8, InnerMulti::Phased).is_err());
+    }
+
+    #[test]
+    fn power_of_two_check() {
+        assert!(is_power_of_two(1.0));
+        assert!(is_power_of_two(1024.0));
+        assert!(!is_power_of_two(0.5)); // sub-unit powers are rejected
+        assert!(!is_power_of_two(3.0));
+        assert!(!is_power_of_two(f64::INFINITY));
+    }
+}

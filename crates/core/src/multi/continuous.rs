@@ -1,0 +1,315 @@
+//! The continuous multi-session algorithm (paper §3.2, Fig. 5, Theorem 17).
+
+use crate::config::MultiConfig;
+use crate::stage::{StageKind, StageLog};
+use cdba_sim::{BitQueue, MultiAllocator};
+use cdba_traffic::EPS;
+use std::collections::VecDeque;
+
+/// A scheduled overflow-bandwidth retraction (the paper's REDUCE).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Reduction {
+    fire_tick: usize,
+    session: usize,
+    amount: f64,
+}
+
+/// The continuous multi-session algorithm.
+///
+/// Total bandwidth `B_A = 5·B_O`: a regular channel of up to `2·B_O` and an
+/// overflow channel of up to `3·B_O` (Lemma 16). Unlike [`super::Phased`],
+/// the overflow test runs whenever bits arrive for a session — "upon
+/// demand", which the paper calls more natural to implement — and each
+/// overflow boost `q/D_O` is retracted `D_O` ticks later (REDUCE), once the
+/// spilled bits have drained.
+///
+/// Guarantees (Theorem 17): per-session delay ≤ `2·D_O`, total bandwidth
+/// ≤ `5·B_O`, and `3k` changes per stage against one forced offline change
+/// (Lemma 13's argument carries over).
+///
+/// # Example
+///
+/// ```
+/// use cdba_core::{config::MultiConfig, multi::Continuous};
+/// use cdba_sim::engine::{simulate_multi, DrainPolicy};
+/// use cdba_sim::verify::verify_multi;
+/// use cdba_traffic::multi::rotating_hot;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = MultiConfig::new(4, 16.0, 4)?;
+/// let input = rotating_hot(4, 12.0, 0.5, 16, 200)?.pad_zeros(4);
+/// let mut alg = Continuous::new(cfg.clone());
+/// let run = simulate_multi(&input, &mut alg, DrainPolicy::DrainToEmpty)?;
+/// assert!(verify_multi(&input, &run, &cfg.continuous_bounds()).all_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Continuous {
+    cfg: MultiConfig,
+    br: Vec<f64>,
+    bo: Vec<f64>,
+    qr: Vec<BitQueue>,
+    qo: Vec<BitQueue>,
+    pending: VecDeque<Reduction>,
+    tick: usize,
+    stages: StageLog,
+}
+
+impl Continuous {
+    /// Creates the algorithm in its initial RESET state (`B_i^r = B_O/k`).
+    pub fn new(cfg: MultiConfig) -> Self {
+        let k = cfg.k;
+        let quantum = cfg.b_o / k as f64;
+        let mut stages = StageLog::new();
+        stages.open(0);
+        Continuous {
+            br: vec![quantum; k],
+            bo: vec![0.0; k],
+            qr: vec![BitQueue::new(); k],
+            qo: vec![BitQueue::new(); k],
+            pending: VecDeque::new(),
+            tick: 0,
+            stages,
+            cfg,
+        }
+    }
+
+    /// The configuration this instance runs with.
+    pub fn config(&self) -> &MultiConfig {
+        &self.cfg
+    }
+
+    /// The stage log (each completed stage certifies ≥ 1 offline change).
+    pub fn stage_log(&self) -> &StageLog {
+        &self.stages
+    }
+
+    /// The offline-change lower bound this run certifies.
+    pub fn certified_offline_changes(&self) -> usize {
+        self.stages.completed()
+    }
+
+    /// Current per-session regular allocations.
+    pub fn regular_allocations(&self) -> &[f64] {
+        &self.br
+    }
+
+    /// Current per-session overflow allocations.
+    pub fn overflow_allocations(&self) -> &[f64] {
+        &self.bo
+    }
+
+    /// Re-initializes with a new offline budget `B_O`, keeping queued bits
+    /// (see [`super::Phased::rebudget`]).
+    pub fn rebudget(&mut self, new_b_o: f64) {
+        self.cfg.b_o = new_b_o.max(0.0);
+        let quantum = self.cfg.b_o / self.cfg.k as f64;
+        let d_o = self.cfg.d_o as f64;
+        for i in 0..self.cfg.k {
+            let spill = self.qr[i].drain_all();
+            if spill > EPS {
+                self.qo[i].inject(spill);
+                let boost = spill / d_o;
+                self.bo[i] += boost;
+                self.pending.push_back(Reduction {
+                    fire_tick: self.tick + self.cfg.d_o,
+                    session: i,
+                    amount: boost,
+                });
+            }
+            self.br[i] = quantum;
+        }
+    }
+
+    /// Removes and returns every queued bit per session; cancels pending
+    /// reductions (see [`super::Phased::extract_backlog`]).
+    pub fn extract_backlog(&mut self) -> Vec<f64> {
+        self.pending.clear();
+        (0..self.cfg.k)
+            .map(|i| {
+                let bits = self.qr[i].drain_all() + self.qo[i].drain_all();
+                self.bo[i] = 0.0;
+                bits
+            })
+            .collect()
+    }
+
+    fn fire_reductions(&mut self) {
+        while let Some(&r) = self.pending.front() {
+            if r.fire_tick > self.tick {
+                break;
+            }
+            self.pending.pop_front();
+            self.bo[r.session] = (self.bo[r.session] - r.amount).max(0.0);
+        }
+    }
+
+    fn test_session(&mut self, i: usize) {
+        let d_o = self.cfg.d_o as f64;
+        if self.qr[i].backlog() > self.br[i] * d_o + EPS {
+            self.br[i] += self.cfg.b_o / self.cfg.k as f64;
+            let spill = self.qr[i].drain_all();
+            self.qo[i].inject(spill);
+            let boost = spill / d_o;
+            self.bo[i] += boost;
+            self.pending.push_back(Reduction {
+                fire_tick: self.tick + self.cfg.d_o,
+                session: i,
+                amount: boost,
+            });
+        }
+    }
+
+    fn maybe_reset(&mut self) {
+        let total_regular: f64 = self.br.iter().sum();
+        if total_regular > 2.0 * self.cfg.b_o + EPS {
+            let d_o = self.cfg.d_o as f64;
+            let quantum = self.cfg.b_o / self.cfg.k as f64;
+            for i in 0..self.cfg.k {
+                let spill = self.qr[i].drain_all();
+                if spill > EPS {
+                    self.qo[i].inject(spill);
+                    let boost = spill / d_o;
+                    self.bo[i] += boost;
+                    self.pending.push_back(Reduction {
+                        fire_tick: self.tick + self.cfg.d_o,
+                        session: i,
+                        amount: boost,
+                    });
+                }
+                self.br[i] = quantum;
+            }
+            self.stages.close(self.tick, StageKind::RegularOverflow);
+            self.stages.open(self.tick);
+        }
+    }
+}
+
+impl MultiAllocator for Continuous {
+    fn num_sessions(&self) -> usize {
+        self.cfg.k
+    }
+
+    fn on_tick(&mut self, arrivals: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(arrivals.len(), self.cfg.k);
+        self.fire_reductions();
+        let mut tested = false;
+        for (i, &a) in arrivals.iter().enumerate() {
+            if a > 0.0 {
+                self.qr[i].inject(a);
+                self.test_session(i);
+                tested = true;
+            }
+        }
+        if tested {
+            self.maybe_reset();
+        }
+        let mut allocs = Vec::with_capacity(self.cfg.k);
+        for i in 0..self.cfg.k {
+            self.qo[i].tick(0.0, self.bo[i]);
+            self.qr[i].tick(0.0, self.br[i]);
+            allocs.push(self.br[i] + self.bo[i]);
+        }
+        self.tick += 1;
+        allocs
+    }
+
+    fn name(&self) -> &'static str {
+        "multi-continuous"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdba_sim::engine::{simulate_multi, DrainPolicy};
+    use cdba_sim::verify::verify_multi;
+    use cdba_traffic::multi::rotating_hot;
+
+    fn cfg(k: usize, b_o: f64, d_o: usize) -> MultiConfig {
+        MultiConfig::new(k, b_o, d_o).unwrap()
+    }
+
+    #[test]
+    fn envelope_holds_on_feasible_rotating_hot() {
+        let c = cfg(4, 8.0, 4);
+        let input = rotating_hot(4, 20.0, 0.5, 16, 400)
+            .unwrap()
+            .scale_to_feasible(8.0, 4)
+            .unwrap();
+        let mut alg = Continuous::new(c.clone());
+        let run = simulate_multi(&input, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        let v = verify_multi(&input, &run, &c.continuous_bounds());
+        assert!(v.delay_ok, "delay violated: {:?}", v.max_delay);
+        assert!(
+            v.bandwidth_ok,
+            "bandwidth violated: peak {} > 5·B_O",
+            v.peak_total_allocation
+        );
+    }
+
+    #[test]
+    fn overflow_boosts_are_retracted() {
+        let c = cfg(2, 4.0, 3);
+        let mut alg = Continuous::new(c);
+        // One big burst for session 0, then silence.
+        let mut allocs_over_time = Vec::new();
+        let mut arrivals = vec![[40.0, 0.0]];
+        arrivals.extend(std::iter::repeat_n([0.0, 0.0], 12));
+        for a in &arrivals {
+            allocs_over_time.push(alg.on_tick(a));
+        }
+        // The overflow boost exists right after the burst…
+        assert!(allocs_over_time[0][0] > alg.regular_allocations()[0]);
+        // …and is gone d_o ticks later.
+        assert!(
+            alg.overflow_allocations()[0] <= EPS,
+            "boost not retracted: {:?}",
+            alg.overflow_allocations()
+        );
+    }
+
+    #[test]
+    fn reset_fires_when_regular_exceeds_twice_budget() {
+        let k = 2;
+        let c = cfg(k, 4.0, 2);
+        let mut alg = Continuous::new(c);
+        // Hammer both sessions at rates above any quantum level so their
+        // regular allocations must climb past 2·B_O.
+        for _ in 0..60 {
+            alg.on_tick(&[5.0, 5.0]);
+        }
+        assert!(
+            alg.stage_log().completed() >= 1,
+            "expected at least one reset, regular = {:?}",
+            alg.regular_allocations()
+        );
+    }
+
+    #[test]
+    fn quiet_sessions_are_never_touched() {
+        let c = cfg(3, 6.0, 4);
+        let mut alg = Continuous::new(c);
+        for _ in 0..50 {
+            alg.on_tick(&[1.0, 0.0, 0.0]);
+        }
+        // Sessions 1 and 2 still at one quantum, no overflow.
+        assert_eq!(alg.regular_allocations()[1], 2.0);
+        assert_eq!(alg.regular_allocations()[2], 2.0);
+        assert_eq!(alg.overflow_allocations()[1], 0.0);
+    }
+
+    #[test]
+    fn rebudget_and_extract_roundtrip() {
+        let c = cfg(2, 4.0, 2);
+        let mut alg = Continuous::new(c);
+        alg.on_tick(&[12.0, 4.0]);
+        alg.rebudget(8.0);
+        assert_eq!(alg.regular_allocations(), &[4.0, 4.0]);
+        let total: f64 = alg.extract_backlog().iter().sum();
+        assert!(total >= 0.0);
+        assert!(alg.pending.is_empty());
+        assert_eq!(alg.overflow_allocations(), &[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,25 @@
+//! Multi-session online algorithms (paper §3): `k` sessions share one
+//! bandwidth pool; each session's delay must stay below `D_A = 2·D_O` while
+//! the pool stays within a constant factor of the offline `B_O`, and the
+//! number of per-session allocation changes is at most `3k` per stage
+//! (Lemmas 12/13: each stage also forces the offline to change at least
+//! once).
+//!
+//! Both algorithms split the pool into a *regular* channel (grows in quanta
+//! of `B_O/k`) and an *overflow* channel (absorbs queue spill-over and is
+//! sized to drain it within one `D_O`):
+//!
+//! * [`Phased`] (§3.1, Theorem 14) re-examines sessions every `D_O` ticks;
+//!   total bandwidth `4·B_O`.
+//! * [`Continuous`] (§3.2, Theorem 17) re-examines a session whenever bits
+//!   arrive for it, and retracts overflow boosts after `D_O` ticks; total
+//!   bandwidth `5·B_O`. The paper considers it the more natural one to
+//!   implement.
+
+mod continuous;
+mod phased;
+pub mod pool;
+
+pub use continuous::Continuous;
+pub use phased::Phased;
+pub use pool::SessionPool;

@@ -1,0 +1,317 @@
+//! The phased multi-session algorithm (paper §3.1, Fig. 4, Theorem 14).
+
+use crate::config::MultiConfig;
+use crate::stage::{StageKind, StageLog};
+use cdba_sim::{BitQueue, MultiAllocator};
+use cdba_traffic::EPS;
+
+/// The phased multi-session algorithm.
+///
+/// Total bandwidth `B_A = 4·B_O`: a regular channel of up to `2·B_O`
+/// (per-session allocations `B_i^r` growing in quanta of `B_O/k`) and an
+/// overflow channel of up to `2·B_O` (Lemma 10). Every `D_O` ticks the
+/// algorithm checks each session: if its regular queue cannot drain within
+/// `D_O` at its regular rate, the regular allocation grows by one quantum
+/// and the queue spills to the overflow channel, which is sized to drain it
+/// within the next phase. When the total regular allocation exceeds
+/// `2·B_O`, the stage ends: any offline `(B_O, D_O)`-algorithm must have
+/// changed some allocation during the stage (Lemma 13), while the online
+/// algorithm made at most `3k` changes (Lemma 12).
+///
+/// Guarantees (Theorem 14): per-session delay ≤ `2·D_O`, total bandwidth
+/// ≤ `4·B_O`, and `3k` changes per stage.
+///
+/// Inputs must be `(B_O, D_O)`-feasible
+/// ([`cdba_traffic::conditioner::is_feasible`] on the aggregate); the
+/// bounds are vacuous otherwise, exactly as in the paper (footnote 1).
+///
+/// # Example
+///
+/// ```
+/// use cdba_core::{config::MultiConfig, multi::Phased};
+/// use cdba_sim::engine::{simulate_multi, DrainPolicy};
+/// use cdba_sim::verify::verify_multi;
+/// use cdba_traffic::multi::rotating_hot;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cfg = MultiConfig::new(4, 16.0, 4)?;         // k, B_O, D_O
+/// let input = rotating_hot(4, 12.0, 0.5, 16, 200)?.pad_zeros(4);
+/// let mut alg = Phased::new(cfg.clone());
+/// let run = simulate_multi(&input, &mut alg, DrainPolicy::DrainToEmpty)?;
+/// let verdict = verify_multi(&input, &run, &cfg.phased_bounds());
+/// assert!(verdict.all_ok());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct Phased {
+    cfg: MultiConfig,
+    br: Vec<f64>,
+    bo: Vec<f64>,
+    qr: Vec<BitQueue>,
+    qo: Vec<BitQueue>,
+    tick: usize,
+    /// Tick of the last RESET; phase boundaries fall every `D_O` ticks after.
+    phase_anchor: usize,
+    stages: StageLog,
+}
+
+impl Phased {
+    /// Creates the algorithm in its initial RESET state (`B_i^r = B_O/k`).
+    pub fn new(cfg: MultiConfig) -> Self {
+        let k = cfg.k;
+        let quantum = cfg.b_o / k as f64;
+        let mut stages = StageLog::new();
+        stages.open(0);
+        Phased {
+            br: vec![quantum; k],
+            bo: vec![0.0; k],
+            qr: vec![BitQueue::new(); k],
+            qo: vec![BitQueue::new(); k],
+            tick: 0,
+            phase_anchor: 0,
+            stages,
+            cfg,
+        }
+    }
+
+    /// The configuration this instance runs with.
+    pub fn config(&self) -> &MultiConfig {
+        &self.cfg
+    }
+
+    /// The stage log (each completed stage certifies ≥ 1 offline change).
+    pub fn stage_log(&self) -> &StageLog {
+        &self.stages
+    }
+
+    /// The offline-change lower bound this run certifies (Lemma 13).
+    pub fn certified_offline_changes(&self) -> usize {
+        self.stages.completed()
+    }
+
+    /// Current per-session regular allocations.
+    pub fn regular_allocations(&self) -> &[f64] {
+        &self.br
+    }
+
+    /// Current per-session overflow allocations.
+    pub fn overflow_allocations(&self) -> &[f64] {
+        &self.bo
+    }
+
+    /// Re-initializes the algorithm with a new offline budget `B_O`,
+    /// *keeping* all queued bits: every regular queue spills to its overflow
+    /// queue (sized to drain in `D_O`) and the regular allocations restart
+    /// at one quantum of the new budget. Used by the combined algorithm
+    /// (paper §4) when the global allocation `B_on` changes.
+    ///
+    /// Does not touch the stage log: the caller accounts for the local stage
+    /// boundary.
+    pub fn rebudget(&mut self, new_b_o: f64) {
+        self.cfg.b_o = new_b_o.max(0.0);
+        let quantum = self.cfg.b_o / self.cfg.k as f64;
+        for i in 0..self.cfg.k {
+            let spill = self.qr[i].drain_all();
+            self.qo[i].inject(spill);
+            self.bo[i] = self.qo[i].backlog() / self.cfg.d_o as f64;
+            self.br[i] = quantum;
+        }
+        self.phase_anchor = self.tick;
+    }
+
+    /// Removes and returns every queued bit, per session (regular plus
+    /// overflow). Used by the combined algorithm's GLOBAL RESET, which moves
+    /// all backlog to a global overflow channel.
+    pub fn extract_backlog(&mut self) -> Vec<f64> {
+        (0..self.cfg.k)
+            .map(|i| {
+                let bits = self.qr[i].drain_all() + self.qo[i].drain_all();
+                self.bo[i] = 0.0;
+                bits
+            })
+            .collect()
+    }
+
+    fn run_phase(&mut self) {
+        let k = self.cfg.k;
+        let d_o = self.cfg.d_o as f64;
+        let quantum = self.cfg.b_o / k as f64;
+        for i in 0..k {
+            if self.qr[i].backlog() <= self.br[i] * d_o + EPS {
+                // Claim 8: at this point the overflow queue has drained.
+                debug_assert!(
+                    self.qo[i].backlog() <= self.bo[i] * d_o + EPS,
+                    "overflow queue not drainable at phase end"
+                );
+                self.bo[i] = 0.0;
+            } else {
+                self.br[i] += quantum;
+                let spill = self.qr[i].drain_all();
+                self.qo[i].inject(spill);
+                self.bo[i] = self.qo[i].backlog() / d_o;
+            }
+        }
+        let total_regular: f64 = self.br.iter().sum();
+        if total_regular > 2.0 * self.cfg.b_o + EPS {
+            for i in 0..k {
+                let spill = self.qr[i].drain_all();
+                self.qo[i].inject(spill);
+                self.bo[i] = self.qo[i].backlog() / d_o;
+            }
+            for b in &mut self.br {
+                *b = quantum;
+            }
+            self.stages.close(self.tick, StageKind::RegularOverflow);
+            self.stages.open(self.tick);
+            self.phase_anchor = self.tick;
+        }
+    }
+}
+
+impl MultiAllocator for Phased {
+    fn num_sessions(&self) -> usize {
+        self.cfg.k
+    }
+
+    fn on_tick(&mut self, arrivals: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(arrivals.len(), self.cfg.k);
+        if self.tick > self.phase_anchor
+            && (self.tick - self.phase_anchor).is_multiple_of(self.cfg.d_o)
+        {
+            self.run_phase();
+        }
+        let mut allocs = Vec::with_capacity(self.cfg.k);
+        for (i, &a) in arrivals.iter().enumerate() {
+            // Serve the overflow queue at B_i^o and the regular queue
+            // (including this tick's arrivals) at B_i^r.
+            self.qo[i].tick(0.0, self.bo[i]);
+            self.qr[i].tick(a, self.br[i]);
+            allocs.push(self.br[i] + self.bo[i]);
+        }
+        self.tick += 1;
+        allocs
+    }
+
+    fn name(&self) -> &'static str {
+        "multi-phased"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdba_sim::engine::{simulate_multi, DrainPolicy};
+    use cdba_sim::verify::verify_multi;
+    use cdba_traffic::multi::rotating_hot;
+
+    fn cfg(k: usize, b_o: f64, d_o: usize) -> MultiConfig {
+        MultiConfig::new(k, b_o, d_o).unwrap()
+    }
+
+    #[test]
+    fn initial_allocation_is_one_quantum_each() {
+        let alg = Phased::new(cfg(4, 8.0, 4));
+        assert_eq!(alg.regular_allocations(), &[2.0; 4]);
+        assert_eq!(alg.overflow_allocations(), &[0.0; 4]);
+    }
+
+    #[test]
+    fn envelope_holds_on_feasible_rotating_hot() {
+        let c = cfg(4, 8.0, 4);
+        let input = rotating_hot(4, 20.0, 0.5, 16, 400)
+            .unwrap()
+            .scale_to_feasible(8.0, 4)
+            .unwrap();
+        assert!(input.is_feasible(8.0, 4));
+        let mut alg = Phased::new(c.clone());
+        let run = simulate_multi(&input, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        let v = verify_multi(&input, &run, &c.phased_bounds());
+        assert!(v.delay_ok, "delay violated: {:?}", v.max_delay);
+        assert!(
+            v.bandwidth_ok,
+            "bandwidth violated: peak {}",
+            v.peak_total_allocation
+        );
+    }
+
+    #[test]
+    fn stage_changes_stay_within_3k_budget() {
+        let k = 4;
+        let c = cfg(k, 8.0, 4);
+        let input = rotating_hot(k, 20.0, 0.5, 16, 600)
+            .unwrap()
+            .scale_to_feasible(8.0, 4)
+            .unwrap();
+        let mut alg = Phased::new(c.clone());
+        let run = simulate_multi(&input, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        let budget = c.changes_per_stage_budget() + k; // +k: the schedule also
+                                                       // counts the initial establishment of each session's allocation.
+        for rec in alg.stage_log().records() {
+            let end = rec.end.unwrap_or(run.total.len());
+            let changes: usize = run
+                .sessions
+                .iter()
+                .map(|s| s.changes_in(rec.start, end))
+                .sum();
+            assert!(
+                changes <= budget,
+                "stage [{}, {end}): {changes} local changes (budget {budget})",
+                rec.start
+            );
+        }
+    }
+
+    #[test]
+    fn hot_rotation_forces_stages() {
+        let k = 3;
+        let c = cfg(k, 6.0, 4);
+        let input = rotating_hot(k, 18.0, 0.0, 24, 900)
+            .unwrap()
+            .scale_to_feasible(6.0, 4)
+            .unwrap();
+        let mut alg = Phased::new(c);
+        simulate_multi(&input, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        assert!(
+            alg.certified_offline_changes() >= 2,
+            "rotation should force stages, got {}",
+            alg.certified_offline_changes()
+        );
+    }
+
+    #[test]
+    fn quiet_input_never_changes_after_setup() {
+        let c = cfg(2, 4.0, 4);
+        let input = rotating_hot(2, 0.5, 0.5, 8, 200).unwrap();
+        let mut alg = Phased::new(c);
+        let run = simulate_multi(&input, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        // Each session: one change (0 → B_O/k), then steady.
+        assert_eq!(run.local_changes(), 2);
+        assert_eq!(alg.stage_log().completed(), 0);
+    }
+
+    #[test]
+    fn rebudget_preserves_bits() {
+        let c = cfg(2, 4.0, 2);
+        let mut alg = Phased::new(c);
+        alg.on_tick(&[10.0, 6.0]);
+        let before: f64 = alg.qr.iter().map(BitQueue::backlog).sum::<f64>()
+            + alg.qo.iter().map(BitQueue::backlog).sum::<f64>();
+        alg.rebudget(8.0);
+        let after: f64 = alg.qo.iter().map(BitQueue::backlog).sum();
+        assert!((before - after).abs() < 1e-9);
+        assert_eq!(alg.regular_allocations(), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn extract_backlog_empties_everything() {
+        let c = cfg(2, 4.0, 2);
+        let mut alg = Phased::new(c);
+        alg.on_tick(&[10.0, 6.0]);
+        let extracted: f64 = alg.extract_backlog().iter().sum();
+        assert!(extracted > 0.0);
+        let left: f64 = alg.qr.iter().map(BitQueue::backlog).sum::<f64>()
+            + alg.qo.iter().map(BitQueue::backlog).sum::<f64>();
+        assert_eq!(left, 0.0);
+    }
+}

@@ -1,0 +1,296 @@
+//! Reconstruction of the *modified* single-session algorithm (Theorem 7):
+//! `O(log 1/U_O)` allocation changes per stage, independent of `B_A`.
+
+use crate::bounds::{HighTracker, HullLowTracker, LowTracker};
+use crate::config::SingleConfig;
+use crate::next_power_of_two;
+use crate::stage::{StageKind, StageLog};
+use cdba_sim::{Allocator, BitQueue};
+use std::collections::VecDeque;
+
+fn crossed(low: f64, high: f64) -> bool {
+    low - high > 1e-9 * low.max(1.0)
+}
+
+#[derive(Debug)]
+enum Mode {
+    Stage {
+        low: HullLowTracker,
+        high: HighTracker,
+        /// Minimum over *lookback* windows (global windows of `W` ticks
+        /// ending inside this stage); ∞ until the first such window exists.
+        lookback_min: f64,
+    },
+    Reset,
+}
+
+/// The Theorem 7 variant: `O(log 1/U_O)` changes per stage.
+///
+/// # Relation to the paper
+///
+/// The conference paper proves Theorem 7 via the observation that within a
+/// stage, once `t ≥ ts + W`, `high(t)/low(t) = O(1/U_O)`, and defers the
+/// modified algorithm to the full version, which was never made publicly
+/// available. This type is our reconstruction:
+///
+/// Both bounds additionally consider the **lookback window** — the window of
+/// `W` ticks ending at the current tick, even when it starts before the
+/// stage (using the true global arrival history):
+///
+/// * `low(t) := max(stage low(t), IN(lookback)/(W + D_O))` — valid, because
+///   an offline allocation that has been constant since `ts − W` must clear
+///   that window's bits within `D_O`;
+/// * `high(t) := min(stage windows, lookback windows)/(U_O·W)` — valid for
+///   the same span.
+///
+/// Consequently `low ≥ high·U_O·W/(W+D_O) ≥ high·U_O/2` from the *first*
+/// tick of the stage (no `W`-tick grace period), so the power-of-two ladder
+/// spans at most `log₂(2/U_O) + O(1)` levels per stage. The certificate
+/// weakens correspondingly: a completed stage proves the offline changed at
+/// least once in `[ts − W, te]` rather than `[ts, te]`; consecutive spans
+/// overlap by at most `W`, so any offline change is counted at most twice
+/// and the certified lower bound is `⌈completed/2⌉`
+/// ([`Self::certified_offline_changes`]).
+///
+/// Delay: allocations dominate [`super::SingleSession`]'s (its `low` is a
+/// lower bound of ours), so the `2·D_O` guarantee carries over. Utilization
+/// is measured empirically (experiment E4/E9); the lookback `low` can exceed
+/// the in-stage demand right after a stage boundary, which costs at most the
+/// previous window's traffic in over-allocation.
+#[derive(Debug)]
+pub struct LookbackSingle {
+    cfg: SingleConfig,
+    queue: BitQueue,
+    mode: Mode,
+    b_on: f64,
+    tick: usize,
+    stages: StageLog,
+    /// Global rolling window of the last `W` arrivals (maintained through
+    /// resets and stage boundaries).
+    global_window: VecDeque<f64>,
+    global_sum: f64,
+}
+
+impl LookbackSingle {
+    /// Creates the algorithm in a fresh stage.
+    pub fn new(cfg: SingleConfig) -> Self {
+        let mut stages = StageLog::new();
+        stages.open(0);
+        LookbackSingle {
+            mode: Mode::Stage {
+                low: HullLowTracker::new(cfg.d_o),
+                high: HighTracker::new(cfg.u_o, cfg.w, cfg.b_max),
+                lookback_min: f64::INFINITY,
+            },
+            queue: BitQueue::new(),
+            b_on: 0.0,
+            tick: 0,
+            stages,
+            global_window: VecDeque::with_capacity(cfg.w),
+            global_sum: 0.0,
+            cfg,
+        }
+    }
+
+    /// The configuration this instance runs with.
+    pub fn config(&self) -> &SingleConfig {
+        &self.cfg
+    }
+
+    /// The stage log.
+    pub fn stage_log(&self) -> &StageLog {
+        &self.stages
+    }
+
+    /// The certified offline-change lower bound: `⌈completed stages / 2⌉`
+    /// (lookback spans overlap by at most `W`, so one offline change can
+    /// kill at most two consecutive certificates).
+    pub fn certified_offline_changes(&self) -> usize {
+        self.stages.completed().div_ceil(2)
+    }
+
+    /// The per-stage change budget of this variant:
+    /// `log₂(2/U_O) + 3` levels (ladder span `2/U_O`, plus the stage-entry
+    /// drop, the reset boost, and rounding).
+    pub fn changes_per_stage_budget(&self) -> usize {
+        (2.0 / self.cfg.u_o).log2().ceil() as usize + 3
+    }
+
+    fn fresh_stage(&self) -> Mode {
+        Mode::Stage {
+            low: HullLowTracker::new(self.cfg.d_o),
+            high: HighTracker::new(self.cfg.u_o, self.cfg.w, self.cfg.b_max),
+            lookback_min: f64::INFINITY,
+        }
+    }
+
+    fn push_global(&mut self, arrivals: f64) -> Option<f64> {
+        self.global_window.push_back(arrivals.max(0.0));
+        self.global_sum += arrivals.max(0.0);
+        if self.global_window.len() > self.cfg.w {
+            self.global_sum -= self.global_window.pop_front().expect("non-empty");
+            if self.global_sum < 0.0 {
+                self.global_sum = 0.0;
+            }
+        }
+        (self.global_window.len() == self.cfg.w).then_some(self.global_sum)
+    }
+}
+
+impl Allocator for LookbackSingle {
+    fn on_tick(&mut self, arrivals: f64) -> f64 {
+        let lookback = self.push_global(arrivals);
+        let u_o = self.cfg.u_o;
+        let w = self.cfg.w;
+        let d_o = self.cfg.d_o;
+        let b_max = self.cfg.b_max;
+        let alloc = match &mut self.mode {
+            Mode::Stage {
+                low,
+                high,
+                lookback_min,
+            } => {
+                let mut l = low.push(arrivals);
+                let mut h = high.push(arrivals);
+                if let Some(sum) = lookback {
+                    // The lookback delay candidate only matters while the
+                    // stage itself carries traffic (it exists to pin the
+                    // ladder's start near `high·U_O`); applying it in a
+                    // silent stage would allocate bandwidth for bits that
+                    // belong to the *previous* stage's window and were
+                    // already served — pure utilization waste.
+                    if l > 0.0 {
+                        l = l.max(sum / (w + d_o) as f64);
+                    }
+                    *lookback_min = lookback_min.min(sum);
+                }
+                if lookback_min.is_finite() {
+                    h = h.min(*lookback_min / (u_o * w as f64));
+                }
+                if crossed(l, h) {
+                    self.stages.close(self.tick, StageKind::BoundsCrossed);
+                    self.mode = Mode::Reset;
+                    self.b_on = b_max;
+                    b_max
+                } else {
+                    if self.b_on < l {
+                        self.b_on = next_power_of_two(l).min(b_max);
+                    }
+                    self.b_on
+                }
+            }
+            Mode::Reset => b_max,
+        };
+        self.queue.tick(arrivals, alloc);
+        if matches!(self.mode, Mode::Reset) && self.queue.is_empty() {
+            self.mode = self.fresh_stage();
+            self.stages.open(self.tick + 1);
+            self.b_on = 0.0;
+        }
+        self.tick += 1;
+        alloc
+    }
+
+    fn name(&self) -> &'static str {
+        "lookback-single"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdba_sim::engine::{simulate, DrainPolicy};
+    use cdba_sim::measure;
+    use cdba_traffic::adversarial::staircase;
+    use cdba_traffic::Trace;
+
+    fn cfg(b_max: f64, d_o: usize, u_o: f64, w: usize) -> SingleConfig {
+        SingleConfig::builder(b_max)
+            .offline_delay(d_o)
+            .offline_utilization(u_o)
+            .window(w)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn ladder_span_is_bounded_by_u_o_not_b_max() {
+        // A slow staircase from 1 to 2^14 would cost the vanilla algorithm
+        // ~14 changes in one stage; the lookback variant must reset and keep
+        // each stage's ladder within log2(2/U_O) + 3 levels.
+        let u_o = 0.5;
+        let w = 8;
+        let c = cfg(16_384.0, 4, u_o, w);
+        let t = staircase(1.0, 14, 3 * w, 1).unwrap();
+        let mut alg = LookbackSingle::new(c);
+        let run = simulate(&t, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        let budget = alg.changes_per_stage_budget();
+        for rec in alg.stage_log().records() {
+            let end = rec.end.unwrap_or(run.schedule.len());
+            let changes = run.schedule.changes_in(rec.start, end);
+            assert!(
+                changes <= budget,
+                "stage [{}, {end}) made {changes} changes (budget {budget})",
+                rec.start
+            );
+        }
+        // And the staircase really did force multiple stages.
+        assert!(alg.stage_log().completed() >= 3);
+    }
+
+    #[test]
+    fn delay_bound_holds() {
+        let c = cfg(64.0, 4, 0.25, 8);
+        let mut alg = LookbackSingle::new(c);
+        let t = Trace::new(vec![
+            40.0, 0.0, 0.0, 0.0, 0.0, 16.0, 16.0, 0.0, 0.0, 0.0, 0.0, 0.0, 64.0, 0.0, 0.0, 0.0,
+        ])
+        .unwrap();
+        let run = simulate(&t, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        let d = measure::max_delay(&t, run.served()).unwrap();
+        assert!(d <= 8, "delay {d} > 2·D_O");
+    }
+
+    #[test]
+    fn lookback_low_dominates_vanilla_low() {
+        // Both algorithms on the same trace: the lookback variant's
+        // allocation is always >= the vanilla one's at the same tick during
+        // matching stages. We check the weaker, robust property that it
+        // serves everything the vanilla one serves (total served equal) and
+        // never exceeds B_A.
+        let c = cfg(32.0, 2, 0.5, 4);
+        let t = Trace::new(vec![8.0, 0.0, 12.0, 3.0, 0.0, 0.0, 24.0, 0.0, 0.0, 0.0]).unwrap();
+        let mut alg = LookbackSingle::new(c);
+        let run = simulate(&t, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        assert!((run.total_served() - t.total()).abs() < 1e-6);
+        assert!(run.schedule.peak() <= 32.0);
+    }
+
+    #[test]
+    fn silence_is_free() {
+        let c = cfg(32.0, 2, 0.5, 4);
+        let mut alg = LookbackSingle::new(c);
+        let t = Trace::new(vec![0.0; 30]).unwrap();
+        let run = simulate(&t, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        assert_eq!(run.schedule.num_changes(), 0);
+        assert_eq!(alg.stage_log().completed(), 0);
+    }
+
+    #[test]
+    fn certificate_is_half_of_stages() {
+        let c = cfg(16.0, 2, 0.5, 4);
+        let mut alg = LookbackSingle::new(c);
+        assert_eq!(alg.certified_offline_changes(), 0);
+        // Burst then silence, repeated: forces stages.
+        let mut arrivals = Vec::new();
+        for _ in 0..4 {
+            arrivals.push(30.0);
+            arrivals.extend(std::iter::repeat_n(0.0, 12));
+        }
+        let t = Trace::new(arrivals).unwrap();
+        simulate(&t, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        let completed = alg.stage_log().completed();
+        assert!(completed >= 2, "completed {completed}");
+        assert_eq!(alg.certified_offline_changes(), completed.div_ceil(2));
+    }
+}

@@ -1,0 +1,143 @@
+//! Stage bookkeeping shared by all algorithms.
+//!
+//! The paper's lower-bound arguments are *per stage*: every completed stage
+//! certifies at least one change by any offline algorithm, so the stage log
+//! doubles as the certificate used to compute competitive ratios.
+
+use serde::{Deserialize, Serialize};
+
+/// Why a stage ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StageKind {
+    /// The single-session certificate fired: `high(t) < low(t)` — no constant
+    /// offline allocation can span this stage (paper §2).
+    BoundsCrossed,
+    /// The multi-session certificate fired: total regular bandwidth exceeded
+    /// `2·B_O` (paper §3, Lemma 13).
+    RegularOverflow,
+    /// The combined algorithm's global certificate fired (paper §4).
+    GlobalBoundsCrossed,
+    /// A local stage of the combined algorithm ended because the global
+    /// allocation `B_on` changed (not an offline-change certificate by
+    /// itself).
+    BudgetChanged,
+}
+
+/// One completed (or still-open) stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageRecord {
+    /// Tick at which the stage started.
+    pub start: usize,
+    /// Tick at which the stage ended (exclusive); `None` while open.
+    pub end: Option<usize>,
+    /// Why it ended (meaningless while open).
+    pub kind: StageKind,
+}
+
+/// An append-only log of stages.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StageLog {
+    records: Vec<StageRecord>,
+}
+
+impl StageLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        StageLog::default()
+    }
+
+    /// Opens a new stage at `tick`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug only) if the previous stage is still open.
+    pub fn open(&mut self, tick: usize) {
+        debug_assert!(
+            self.records.last().is_none_or(|r| r.end.is_some()),
+            "opening a stage while one is open"
+        );
+        self.records.push(StageRecord {
+            start: tick,
+            end: None,
+            kind: StageKind::BoundsCrossed,
+        });
+    }
+
+    /// Closes the open stage at `tick` with the given reason.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug only) if no stage is open.
+    pub fn close(&mut self, tick: usize, kind: StageKind) {
+        let last = self.records.last_mut().expect("no stage to close");
+        debug_assert!(last.end.is_none(), "closing a closed stage");
+        last.end = Some(tick);
+        last.kind = kind;
+    }
+
+    /// All records, in order.
+    pub fn records(&self) -> &[StageRecord] {
+        &self.records
+    }
+
+    /// Number of *completed* stages — the offline-change lower bound
+    /// certificate (each completed stage forces ≥ 1 offline change).
+    pub fn completed(&self) -> usize {
+        self.records.iter().filter(|r| r.end.is_some()).count()
+    }
+
+    /// Number of completed stages that carry an offline-change certificate
+    /// (excludes [`StageKind::BudgetChanged`] local stages).
+    pub fn certified(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.end.is_some() && r.kind != StageKind::BudgetChanged)
+            .count()
+    }
+
+    /// Total number of stages including an open one.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` if no stage was ever opened.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_close_cycle() {
+        let mut log = StageLog::new();
+        log.open(0);
+        assert_eq!(log.completed(), 0);
+        log.close(10, StageKind::BoundsCrossed);
+        log.open(12);
+        assert_eq!(log.completed(), 1);
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.records()[0].end, Some(10));
+        assert_eq!(log.records()[1].start, 12);
+    }
+
+    #[test]
+    fn certified_excludes_budget_changes() {
+        let mut log = StageLog::new();
+        log.open(0);
+        log.close(5, StageKind::BudgetChanged);
+        log.open(5);
+        log.close(9, StageKind::RegularOverflow);
+        assert_eq!(log.completed(), 2);
+        assert_eq!(log.certified(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no stage to close")]
+    fn closing_without_opening_panics() {
+        let mut log = StageLog::new();
+        log.close(1, StageKind::BoundsCrossed);
+    }
+}

@@ -1,0 +1,117 @@
+//! Zero-slack "just-in-time" tracker — the policy the paper's impossibility
+//! remark (§1.1) rules out: matching the offline's delay with no slack in
+//! the number of changes.
+
+use cdba_sim::Allocator;
+use std::collections::VecDeque;
+
+/// Lazy deadline scheduling: at tick `t`, allocates exactly the bits that
+/// arrived at tick `t − delay` — every bit is served precisely at its
+/// deadline, so the delay is exactly `delay` ticks and no bandwidth is ever
+/// wasted (per-tick utilization 1 whenever there is traffic). The price:
+/// the allocation replays the arrival process shifted by `delay`, so it
+/// changes on virtually every tick of a non-constant input — demonstrating
+/// the paper's claim that an online algorithm *without slack* must make an
+/// unbounded number of changes.
+#[derive(Debug, Clone)]
+pub struct JustInTimeAllocator {
+    pipeline: VecDeque<f64>,
+}
+
+impl JustInTimeAllocator {
+    /// Creates the tracker with the given delay target (ticks).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay == 0`.
+    pub fn new(delay: usize) -> Self {
+        assert!(delay > 0, "delay must be at least one tick");
+        JustInTimeAllocator {
+            pipeline: VecDeque::from(vec![0.0; delay]),
+        }
+    }
+}
+
+impl Allocator for JustInTimeAllocator {
+    fn on_tick(&mut self, arrivals: f64) -> f64 {
+        self.pipeline.push_back(arrivals.max(0.0));
+        self.pipeline.pop_front().expect("pipeline holds `delay` slots")
+    }
+
+    fn name(&self) -> &'static str {
+        "just-in-time"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdba_sim::engine::{simulate, DrainPolicy};
+    use cdba_sim::measure;
+    use cdba_traffic::Trace;
+
+    #[test]
+    fn meets_its_delay_target_exactly() {
+        let t = Trace::new(vec![30.0, 0.0, 5.0, 0.0, 0.0, 12.0, 0.0, 0.0, 0.0]).unwrap();
+        let mut a = JustInTimeAllocator::new(4);
+        let run = simulate(&t, &mut a, DrainPolicy::DrainToEmpty).unwrap();
+        let d = measure::max_delay(&t, run.served()).unwrap();
+        assert_eq!(d, 4, "deadline scheduling serves at exactly the deadline");
+    }
+
+    #[test]
+    fn utilization_is_perfect() {
+        let t = Trace::new(vec![8.0, 2.0, 0.0, 5.0, 1.0, 0.0, 0.0, 0.0]).unwrap();
+        let mut a = JustInTimeAllocator::new(3);
+        let run = simulate(&t, &mut a, DrainPolicy::DrainToEmpty).unwrap();
+        let util = measure::global_utilization(&t, &run.schedule);
+        assert!((util - 1.0).abs() < 1e-9, "util {util}");
+    }
+
+    #[test]
+    fn changes_on_virtually_every_tick_of_varying_input() {
+        let arrivals: Vec<f64> = (0..200).map(|i| (i % 7) as f64 + 1.0).collect();
+        let t = Trace::new(arrivals).unwrap();
+        let mut a = JustInTimeAllocator::new(4);
+        let run = simulate(&t, &mut a, DrainPolicy::DrainToEmpty).unwrap();
+        assert!(
+            run.schedule.num_changes() >= 190,
+            "only {} changes",
+            run.schedule.num_changes()
+        );
+    }
+
+    #[test]
+    fn changes_once_per_rate_shift_on_square_waves() {
+        let arrivals: Vec<f64> = (0..200)
+            .map(|i| if (i / 8) % 2 == 0 { 24.0 } else { 2.0 })
+            .collect();
+        let t = Trace::new(arrivals).unwrap();
+        let mut a = JustInTimeAllocator::new(4);
+        let run = simulate(&t, &mut a, DrainPolicy::DrainToEmpty).unwrap();
+        // The allocation replays the arrivals shifted by `delay`: one change
+        // per half-period boundary (200/8 = 25 of them).
+        assert!(
+            run.schedule.num_changes() >= 24,
+            "only {} changes",
+            run.schedule.num_changes()
+        );
+    }
+
+    #[test]
+    fn constant_input_converges() {
+        let t = Trace::new(vec![8.0; 400]).unwrap();
+        let mut a = JustInTimeAllocator::new(4);
+        let run = simulate(&t, &mut a, DrainPolicy::DrainToEmpty).unwrap();
+        // The allocation replays the constant arrivals: one change at the
+        // pipeline fill, one at the end-of-trace drain.
+        let late = run.schedule.changes_in(10, 380);
+        assert_eq!(late, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "delay")]
+    fn zero_delay_rejected() {
+        JustInTimeAllocator::new(0);
+    }
+}

@@ -1,0 +1,24 @@
+//! Baseline allocation policies — the four corners of the paper's Figure 2
+//! plus the renegotiation heuristics of the experimental works the paper
+//! abstracts (GKT95 RCBR, ACHM96).
+//!
+//! | Baseline | Figure 2 | Behaviour |
+//! |---|---|---|
+//! | [`StaticAllocator`] (high) | (a) | constant large allocation: short delay, low utilization, 1 change |
+//! | [`StaticAllocator`] (low) | (b) | constant small allocation: high utilization, long delay, 1 change |
+//! | [`PerPacketAllocator`] | (c) | re-allocates every tick to exactly the demand: zero delay, utilization 1, a change per tick |
+//! | the online algorithms of `cdba-core` | (d) | few changes, bounded delay and utilization |
+//! | [`PeriodicAllocator`] | — | renegotiates on a fixed timer (the "modification done periodically" regime in GKT95, ACHM96) |
+//! | [`RcbrAllocator`] | — | renegotiates when the measured rate leaves a hysteresis band, like renegotiated-CBR |
+
+mod jit;
+mod per_packet;
+mod periodic;
+mod rcbr;
+mod static_alloc;
+
+pub use jit::JustInTimeAllocator;
+pub use per_packet::PerPacketAllocator;
+pub use periodic::PeriodicAllocator;
+pub use rcbr::RcbrAllocator;
+pub use static_alloc::StaticAllocator;

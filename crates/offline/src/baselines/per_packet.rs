@@ -1,0 +1,48 @@
+//! Per-packet re-allocation — Figure 2 (c): perfect delay and utilization,
+//! unbounded changes.
+
+use cdba_sim::Allocator;
+
+/// Allocates exactly this tick's arrivals every tick: zero queueing delay
+/// and per-tick utilization 1, at the cost of an allocation change on
+/// virtually every tick — the paper's example of a scheme that is
+/// "completely unrealistic" for the network.
+#[derive(Debug, Clone, Default)]
+pub struct PerPacketAllocator;
+
+impl PerPacketAllocator {
+    /// Creates the allocator.
+    pub fn new() -> Self {
+        PerPacketAllocator
+    }
+}
+
+impl Allocator for PerPacketAllocator {
+    fn on_tick(&mut self, arrivals: f64) -> f64 {
+        arrivals
+    }
+
+    fn name(&self) -> &'static str {
+        "per-packet"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdba_sim::engine::{simulate, DrainPolicy};
+    use cdba_sim::measure;
+    use cdba_traffic::Trace;
+
+    #[test]
+    fn zero_delay_many_changes() {
+        let t = Trace::new(vec![3.0, 7.0, 0.0, 2.0, 9.0, 9.0, 1.0]).unwrap();
+        let mut a = PerPacketAllocator::new();
+        let run = simulate(&t, &mut a, DrainPolicy::DrainToEmpty).unwrap();
+        assert_eq!(measure::max_delay(&t, run.served()), Some(0));
+        // Every rate transition is a change (6 distinct transitions here).
+        assert_eq!(run.schedule.num_changes(), 6);
+        let util = measure::global_utilization(&t, &run.schedule);
+        assert!((util - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,106 @@
+//! Fixed-timer renegotiation — the "modification done periodically" regime
+//! the paper cites from GKT95 and ACHM96.
+
+use cdba_sim::Allocator;
+
+/// Every `period` ticks, re-allocates to
+/// `slack × (average arrival rate of the elapsed period) + backlog/period`,
+/// where the backlog term makes sure accumulated queue drains within the
+/// next period. In between, the allocation is frozen.
+#[derive(Debug, Clone)]
+pub struct PeriodicAllocator {
+    period: usize,
+    slack: f64,
+    current: f64,
+    acc_bits: f64,
+    ticks_in_period: usize,
+    backlog: f64,
+}
+
+impl PeriodicAllocator {
+    /// Creates the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period == 0` or `slack < 1`.
+    pub fn new(period: usize, slack: f64) -> Self {
+        assert!(period > 0, "period must be at least one tick");
+        assert!(slack.is_finite() && slack >= 1.0, "slack must be >= 1");
+        PeriodicAllocator {
+            period,
+            slack,
+            current: 0.0,
+            acc_bits: 0.0,
+            ticks_in_period: 0,
+            backlog: 0.0,
+        }
+    }
+
+    /// The renegotiation period in ticks.
+    pub fn period(&self) -> usize {
+        self.period
+    }
+}
+
+impl Allocator for PeriodicAllocator {
+    fn on_tick(&mut self, arrivals: f64) -> f64 {
+        if self.ticks_in_period == self.period {
+            let avg = self.acc_bits / self.period as f64;
+            self.current = self.slack * avg + self.backlog / self.period as f64;
+            self.acc_bits = 0.0;
+            self.ticks_in_period = 0;
+        }
+        self.acc_bits += arrivals;
+        self.ticks_in_period += 1;
+        // Mirror the queue to know the backlog at the next boundary.
+        self.backlog = (self.backlog + arrivals - self.current).max(0.0);
+        self.current
+    }
+
+    fn name(&self) -> &'static str {
+        "periodic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdba_sim::engine::{simulate, DrainPolicy};
+    use cdba_sim::measure;
+    use cdba_traffic::Trace;
+
+    #[test]
+    fn changes_are_at_most_one_per_period() {
+        let arrivals: Vec<f64> = (0..100).map(|i| ((i * 7) % 13) as f64).collect();
+        let t = Trace::new(arrivals).unwrap();
+        let mut a = PeriodicAllocator::new(10, 1.2);
+        let run = simulate(&t, &mut a, DrainPolicy::DrainToEmpty).unwrap();
+        assert!(
+            run.schedule.num_changes() <= run.schedule.len() / 10 + 1,
+            "{} changes",
+            run.schedule.num_changes()
+        );
+    }
+
+    #[test]
+    fn steady_traffic_converges() {
+        let t = Trace::new(vec![4.0; 200]).unwrap();
+        let mut a = PeriodicAllocator::new(20, 1.1);
+        let run = simulate(&t, &mut a, DrainPolicy::DrainToEmpty).unwrap();
+        // Converges to ~4.4 and stops changing: ≤ a handful of changes.
+        assert!(run.schedule.num_changes() <= 6, "{:?}", run.schedule.changes());
+        let d = measure::max_delay(&t, run.served()).unwrap();
+        assert!(d <= 40, "delay {d}");
+    }
+
+    #[test]
+    fn first_period_allocates_nothing() {
+        // The heuristic is reactive: it cannot allocate before its first
+        // measurement — exactly the delay artifact the paper's algorithms fix.
+        let t = Trace::new(vec![5.0; 8]).unwrap();
+        let mut a = PeriodicAllocator::new(4, 1.0);
+        let run = simulate(&t, &mut a, DrainPolicy::DrainToEmpty).unwrap();
+        assert_eq!(run.schedule.allocation_at(0), 0.0);
+        assert!(run.schedule.allocation_at(4) > 0.0);
+    }
+}

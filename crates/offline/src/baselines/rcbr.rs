@@ -1,0 +1,123 @@
+//! Renegotiated-CBR-style hysteresis heuristic, after GKT95: track the
+//! rate with an exponentially weighted moving average and renegotiate only
+//! when the current allocation leaves a multiplicative band around it.
+
+use cdba_sim::Allocator;
+
+/// Hysteresis-band renegotiation.
+///
+/// Maintains `ewma ← α·arrivals + (1−α)·ewma` and renegotiates to
+/// `headroom × ewma` whenever the current allocation falls outside
+/// `[low_band × ewma, high_band × ewma]`. Mirrors the queue and adds a
+/// drain boost when the backlog exceeds `drain_delay` ticks at the current
+/// allocation (without this, a burst during a quiet period starves).
+#[derive(Debug, Clone)]
+pub struct RcbrAllocator {
+    alpha: f64,
+    low_band: f64,
+    high_band: f64,
+    headroom: f64,
+    drain_delay: usize,
+    ewma: f64,
+    current: f64,
+    backlog: f64,
+}
+
+impl RcbrAllocator {
+    /// Creates the allocator.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha ≤ 1`, `0 < low_band ≤ 1 ≤ high_band`,
+    /// `headroom ≥ 1`, and `drain_delay ≥ 1`.
+    pub fn new(alpha: f64, low_band: f64, high_band: f64, headroom: f64, drain_delay: usize) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0,1]");
+        assert!(low_band > 0.0 && low_band <= 1.0, "low_band in (0,1]");
+        assert!(high_band >= 1.0, "high_band >= 1");
+        assert!(headroom >= 1.0, "headroom >= 1");
+        assert!(drain_delay >= 1, "drain_delay >= 1");
+        RcbrAllocator {
+            alpha,
+            low_band,
+            high_band,
+            headroom,
+            drain_delay,
+            ewma: 0.0,
+            current: 0.0,
+            backlog: 0.0,
+        }
+    }
+
+    /// A conventional parameterization (α = 0.3, band 0.5–2×, headroom
+    /// 1.25, drain within `drain_delay` ticks).
+    pub fn conventional(drain_delay: usize) -> Self {
+        Self::new(0.3, 0.5, 2.0, 1.25, drain_delay)
+    }
+}
+
+impl Allocator for RcbrAllocator {
+    fn on_tick(&mut self, arrivals: f64) -> f64 {
+        self.ewma = self.alpha * arrivals + (1.0 - self.alpha) * self.ewma;
+        let target = self.headroom * self.ewma;
+        let out_of_band =
+            self.current < self.low_band * target || self.current > self.high_band * target;
+        let starving = self.backlog > self.current * self.drain_delay as f64;
+        if out_of_band || starving {
+            let drain_rate = (self.backlog + arrivals) / self.drain_delay as f64;
+            self.current = target.max(drain_rate);
+        }
+        self.backlog = (self.backlog + arrivals - self.current).max(0.0);
+        self.current
+    }
+
+    fn name(&self) -> &'static str {
+        "rcbr"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdba_sim::engine::{simulate, DrainPolicy};
+    use cdba_sim::measure;
+    use cdba_traffic::Trace;
+
+    #[test]
+    fn steady_traffic_stops_renegotiating() {
+        let t = Trace::new(vec![4.0; 300]).unwrap();
+        let mut a = RcbrAllocator::conventional(8);
+        let run = simulate(&t, &mut a, DrainPolicy::DrainToEmpty).unwrap();
+        let late_changes = run.schedule.changes_in(100, run.schedule.len());
+        assert_eq!(late_changes, 0, "{:?}", run.schedule.changes());
+    }
+
+    #[test]
+    fn rate_shift_triggers_renegotiation() {
+        let mut arrivals = vec![2.0; 50];
+        arrivals.extend(vec![20.0; 50]);
+        let t = Trace::new(arrivals).unwrap();
+        let mut a = RcbrAllocator::conventional(8);
+        let run = simulate(&t, &mut a, DrainPolicy::DrainToEmpty).unwrap();
+        assert!(run.schedule.changes_in(50, 70) >= 1);
+        // And everything is eventually served with bounded staleness.
+        let d = measure::max_delay(&t, run.served()).unwrap();
+        assert!(d <= 30, "delay {d}");
+    }
+
+    #[test]
+    fn bursts_do_not_starve() {
+        let mut arrivals = vec![0.2; 40];
+        arrivals[20] = 100.0;
+        let t = Trace::new(arrivals).unwrap();
+        let mut a = RcbrAllocator::conventional(5);
+        let run = simulate(&t, &mut a, DrainPolicy::DrainToEmpty).unwrap();
+        let d = measure::max_delay(&t, run.served()).unwrap();
+        assert!(d <= 10, "burst delay {d}");
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn invalid_alpha_rejected() {
+        RcbrAllocator::new(0.0, 0.5, 2.0, 1.2, 4);
+    }
+}

@@ -1,0 +1,91 @@
+//! Constant allocation — Figure 2 (a)/(b).
+
+use cdba_sim::Allocator;
+use cdba_traffic::Trace;
+
+/// Allocates one constant bandwidth forever (a single change at
+/// establishment).
+///
+/// Construct with [`StaticAllocator::for_delay`] for Figure 2 (a) — the
+/// smallest constant allocation meeting a delay target — or
+/// [`StaticAllocator::mean_rate`] for Figure 2 (b) — the long-run mean,
+/// maximizing utilization at the cost of delay.
+#[derive(Debug, Clone)]
+pub struct StaticAllocator {
+    value: f64,
+    name: String,
+}
+
+impl StaticAllocator {
+    /// A constant allocation of `value` bits/tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is negative or non-finite.
+    pub fn new(value: f64, name: impl Into<String>) -> Self {
+        assert!(value.is_finite() && value >= 0.0, "invalid allocation");
+        StaticAllocator {
+            value,
+            name: name.into(),
+        }
+    }
+
+    /// Figure 2 (a): the minimal constant bandwidth serving `trace` with
+    /// delay ≤ `delay` (clairvoyant sizing; the point of the baseline is the
+    /// trade-off, not onlineness).
+    pub fn for_delay(trace: &Trace, delay: usize) -> Self {
+        Self::new(trace.demand_bound(delay), "static-high")
+    }
+
+    /// Figure 2 (b): the long-run mean rate — near-perfect utilization,
+    /// unbounded worst-case delay.
+    pub fn mean_rate(trace: &Trace) -> Self {
+        Self::new(trace.mean_rate(), "static-low")
+    }
+
+    /// The constant value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+}
+
+impl Allocator for StaticAllocator {
+    fn on_tick(&mut self, _arrivals: f64) -> f64 {
+        self.value
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdba_sim::engine::{simulate, DrainPolicy};
+    use cdba_sim::measure;
+
+    #[test]
+    fn for_delay_meets_the_delay() {
+        let t = Trace::new(vec![20.0, 0.0, 0.0, 0.0, 20.0, 0.0, 0.0, 0.0]).unwrap();
+        let mut a = StaticAllocator::for_delay(&t, 3);
+        let run = simulate(&t, &mut a, DrainPolicy::DrainToEmpty).unwrap();
+        let d = measure::max_delay(&t, run.served()).unwrap();
+        assert!(d <= 3, "delay {d}");
+        assert_eq!(run.schedule.num_changes(), 1);
+    }
+
+    #[test]
+    fn mean_rate_has_high_utilization_but_long_delay() {
+        let mut arrivals = vec![16.0; 8];
+        arrivals.extend(vec![0.0; 56]);
+        let t = Trace::new(arrivals).unwrap();
+        let mut a = StaticAllocator::mean_rate(&t);
+        assert_eq!(a.value(), 2.0);
+        let run = simulate(&t, &mut a, DrainPolicy::DrainToEmpty).unwrap();
+        let d = measure::max_delay(&t, run.served()).unwrap();
+        assert!(d > 40, "mean-rate delay should be long, got {d}");
+        let util = measure::global_utilization(&t, &run.schedule);
+        assert!(util > 0.9, "util {util}");
+    }
+}

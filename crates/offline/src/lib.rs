@@ -1,0 +1,43 @@
+//! Clairvoyant offline comparators and baseline policies.
+//!
+//! The paper measures its online algorithms against offline (clairvoyant)
+//! algorithms with *more stringent* constraints. This crate supplies three
+//! kinds of comparators:
+//!
+//! 1. **Constructive offline schedules** — [`single::greedy_offline`] and
+//!    [`single::dp_offline`] compute piecewise-constant allocations with few
+//!    changes that genuinely satisfy `(B_O, D_O[, U_O])`. Any such schedule
+//!    upper-bounds the true offline optimum, so
+//!    `online_changes / our_offline_changes` *under*-estimates the true
+//!    competitive ratio. Together with the stage-certificate lower bound
+//!    (point 3) the two bracket the truth.
+//! 2. **Baselines** from the paper's Figure 2 and the experimental works it
+//!    abstracts (GKT95-style renegotiation): [`baselines`].
+//! 3. **Certificates** — the online algorithms in `cdba-core` export
+//!    per-stage offline-change lower bounds; [`ratio`] combines them.
+//!
+//! # Offline segment semantics
+//!
+//! Our constructive offline algorithms use *drained-boundary* semantics:
+//! each constant-bandwidth segment starts and ends with an empty queue.
+//! This is slightly stricter than the paper's offline (which may change
+//! bandwidth with a non-empty queue) but keeps segment feasibility a pure
+//! function of the trace window — see [`segment`] — and only *inflates* the
+//! comparator's change count, which is conservative in the direction that
+//! matters (it can only make the online algorithm look better by an O(1)
+//! factor, never worse).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod playback;
+pub mod ratio;
+pub mod segment;
+pub mod single;
+
+pub use playback::PlaybackAllocator;
+pub use ratio::CompetitiveRatio;
+pub use segment::OfflineConstraints;
+
+pub mod multi;

@@ -1,0 +1,82 @@
+//! Competitive-ratio bookkeeping.
+//!
+//! The true competitive ratio is `online / OPT` where `OPT` is the offline
+//! minimum number of changes. `OPT` is bracketed from both sides:
+//!
+//! * the online algorithms' stage certificates give `OPT ≥ certified`
+//!   (so `online / certified ≥` true ratio — an upper bracket);
+//! * a constructive offline schedule gives `OPT ≤ constructed`
+//!   (so `online / constructed ≤` true ratio — a lower bracket).
+
+use serde::{Deserialize, Serialize};
+
+/// A bracketed competitive-ratio measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompetitiveRatio {
+    /// Changes made by the online algorithm.
+    pub online_changes: usize,
+    /// Certified offline lower bound (stage count).
+    pub certified_offline: usize,
+    /// Changes of the constructed offline schedule (`None` if none was
+    /// computed, e.g. infeasible or skipped).
+    pub constructed_offline: Option<usize>,
+}
+
+impl CompetitiveRatio {
+    /// The upper bracket `online / certified` (∞ when nothing is certified
+    /// but the online changed; 1 when neither changed).
+    pub fn upper(&self) -> f64 {
+        ratio(self.online_changes, self.certified_offline)
+    }
+
+    /// The lower bracket `online / constructed` (`None` without a
+    /// constructed schedule).
+    pub fn lower(&self) -> Option<f64> {
+        self.constructed_offline
+            .map(|c| ratio(self.online_changes, c))
+    }
+}
+
+fn ratio(online: usize, offline: usize) -> f64 {
+    match (online, offline) {
+        (0, _) => 1.0,
+        (_, 0) => f64::INFINITY,
+        (on, off) => on as f64 / off as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brackets_order_correctly() {
+        let r = CompetitiveRatio {
+            online_changes: 12,
+            certified_offline: 2,
+            constructed_offline: Some(4),
+        };
+        assert_eq!(r.upper(), 6.0);
+        assert_eq!(r.lower(), Some(3.0));
+        assert!(r.lower().unwrap() <= r.upper());
+    }
+
+    #[test]
+    fn degenerate_cases() {
+        let idle = CompetitiveRatio {
+            online_changes: 0,
+            certified_offline: 0,
+            constructed_offline: Some(0),
+        };
+        assert_eq!(idle.upper(), 1.0);
+        assert_eq!(idle.lower(), Some(1.0));
+
+        let uncertified = CompetitiveRatio {
+            online_changes: 5,
+            certified_offline: 0,
+            constructed_offline: None,
+        };
+        assert!(uncertified.upper().is_infinite());
+        assert_eq!(uncertified.lower(), None);
+    }
+}

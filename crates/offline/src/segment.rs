@@ -1,0 +1,302 @@
+//! Segment feasibility for piecewise-constant offline schedules.
+//!
+//! A *segment* `[a, b)` is served with one constant bandwidth `B`, starting
+//! and ending with an empty queue (drained-boundary semantics — see the
+//! crate docs). The feasible bandwidths form an interval:
+//!
+//! * **Delay floor** `L(a,b)` — every window `[x, y] ⊆ [a, b)` of arrivals
+//!   must be served within `D_O` of its last tick:
+//!   `B ≥ IN[x, y+1) / ((y − x + 1) + D_O)`.
+//! * **Drain floor** `D(a,b)` — everything must be served by `b`:
+//!   `B ≥ IN[x, b) / (b − x)`.
+//! * **Utilization ceiling** `H(a,b)` — every full `W`-window inside the
+//!   segment must be utilized: `B ≤ IN(window) / (U_O·W)` (disabled when no
+//!   utilization constraint is given).
+//!
+//! The segment is feasible iff `max(L, D) ≤ min(B_O, H)`. `L` is
+//! non-decreasing and `H` non-increasing in `b`, which the scanners exploit
+//! for early termination; `D` is not monotone (silence after a burst gives
+//! the drain more room), so the largest feasible end must be found by scan,
+//! not by first failure.
+
+use cdba_traffic::{Trace, EPS};
+use serde::{Deserialize, Serialize};
+
+/// The constraints an offline schedule must satisfy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OfflineConstraints {
+    /// Maximum bandwidth `B_O`.
+    pub bandwidth: f64,
+    /// Delay bound `D_O` in ticks.
+    pub delay: usize,
+    /// Optional windowed utilization bound `(U_O, W)`.
+    pub utilization: Option<(f64, usize)>,
+}
+
+impl OfflineConstraints {
+    /// Constraints with delay and bandwidth only (the multi-session offline).
+    pub fn delay_only(bandwidth: f64, delay: usize) -> Self {
+        OfflineConstraints {
+            bandwidth,
+            delay,
+            utilization: None,
+        }
+    }
+
+    /// Constraints with a utilization bound as well (the single-session
+    /// offline of §2).
+    pub fn with_utilization(bandwidth: f64, delay: usize, u_o: f64, w: usize) -> Self {
+        OfflineConstraints {
+            bandwidth,
+            delay,
+            utilization: Some((u_o, w)),
+        }
+    }
+}
+
+/// Incremental scanner over segment ends `b` for a fixed start `a`:
+/// maintains `L`, `D`, and `H` in O(log) amortized per extension via
+/// max-slope hulls.
+#[derive(Debug)]
+pub struct SegmentScanner<'a> {
+    trace: &'a Trace,
+    constraints: OfflineConstraints,
+    start: usize,
+    end: usize,
+    /// Lower hull of `(x, P(x))` for the delay floor (offset `D_O`).
+    delay_hull: MaxSlopeHull,
+    /// Lower hull of `(x, P(x))` for the drain floor (offset 0).
+    drain_hull: MaxSlopeHull,
+    delay_floor: f64,
+    util_ceiling: f64,
+}
+
+impl<'a> SegmentScanner<'a> {
+    /// Creates a scanner for segments starting at `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a >= trace.len()`.
+    pub fn new(trace: &'a Trace, constraints: OfflineConstraints, a: usize) -> Self {
+        assert!(a < trace.len(), "segment start beyond trace");
+        SegmentScanner {
+            trace,
+            constraints,
+            start: a,
+            end: a,
+            delay_hull: MaxSlopeHull::new(),
+            drain_hull: MaxSlopeHull::new(),
+            delay_floor: 0.0,
+            util_ceiling: f64::INFINITY,
+        }
+    }
+
+    /// Extends the segment by one tick (to `[a, end+1)`) and returns the
+    /// feasible bandwidth interval `(floor, ceiling)` for the extended
+    /// segment, where `floor = max(L, D)` and
+    /// `ceiling = min(B_O, H)`.
+    pub fn extend(&mut self) -> (f64, f64) {
+        let b = self.end;
+        let p_b = self.trace.cumulative(b) - self.trace.cumulative(self.start);
+        self.delay_hull.push(b as f64, p_b);
+        self.drain_hull.push(b as f64, p_b);
+        self.end = b + 1;
+        let p_end = self.trace.cumulative(self.end) - self.trace.cumulative(self.start);
+
+        // Delay floor: window [x, b] must be served by b + D_O.
+        let q_delay = ((self.end + self.constraints.delay) as f64, p_end);
+        self.delay_floor = self
+            .delay_floor
+            .max(self.delay_hull.max_slope(q_delay).max(0.0));
+
+        // Drain floor: everything served by `end` (recomputed, not a running
+        // max — it can decrease as the segment grows).
+        let drain_floor = self.drain_hull.max_slope((self.end as f64, p_end)).max(0.0);
+
+        // Utilization ceiling over full windows inside [start, end).
+        if let Some((u_o, w)) = self.constraints.utilization {
+            if self.end - self.start >= w {
+                let win = self.trace.window(self.end - w, self.end);
+                self.util_ceiling = self.util_ceiling.min(win / (u_o * w as f64));
+            }
+        }
+
+        (
+            self.delay_floor.max(drain_floor),
+            self.constraints.bandwidth.min(self.util_ceiling),
+        )
+    }
+
+    /// Current segment end (exclusive).
+    pub fn end(&self) -> usize {
+        self.end
+    }
+
+    /// `true` once further extension can never be feasible again
+    /// (the monotone floor exceeded the monotone ceiling).
+    pub fn exhausted(&self) -> bool {
+        self.delay_floor > self.constraints.bandwidth.min(self.util_ceiling) + EPS
+    }
+}
+
+/// Returns `Some((b, bandwidth))` for the farthest feasible segment end
+/// `b > a` and its minimal feasible bandwidth, or `None` if not even
+/// `[a, a+1)` is feasible.
+pub fn farthest_feasible(
+    trace: &Trace,
+    constraints: OfflineConstraints,
+    a: usize,
+) -> Option<(usize, f64)> {
+    let mut scanner = SegmentScanner::new(trace, constraints, a);
+    let mut best: Option<(usize, f64)> = None;
+    while scanner.end() < trace.len() {
+        let (floor, ceiling) = scanner.extend();
+        if floor <= ceiling + EPS {
+            best = Some((scanner.end(), floor.min(ceiling)));
+        }
+        if scanner.exhausted() {
+            break;
+        }
+    }
+    best
+}
+
+/// A lower-convex-hull max-slope structure: supports appending points with
+/// increasing `x` and querying the maximum slope from any stored point to a
+/// query point strictly to the right.
+#[derive(Debug, Default)]
+pub struct MaxSlopeHull {
+    hull: Vec<(f64, f64)>,
+}
+
+impl MaxSlopeHull {
+    /// Creates an empty hull.
+    pub fn new() -> Self {
+        MaxSlopeHull::default()
+    }
+
+    /// Appends a point; `x` must be ≥ every previously pushed `x`.
+    pub fn push(&mut self, x: f64, y: f64) {
+        let p = (x, y);
+        while self.hull.len() >= 2 {
+            let a = self.hull[self.hull.len() - 2];
+            let b = self.hull[self.hull.len() - 1];
+            let cross = (b.0 - a.0) * (p.1 - a.1) - (b.1 - a.1) * (p.0 - a.0);
+            if cross <= 0.0 {
+                self.hull.pop();
+            } else {
+                break;
+            }
+        }
+        self.hull.push(p);
+    }
+
+    /// Maximum slope from a stored point to `q` (which must lie strictly to
+    /// the right of all stored points). Returns `-inf` if empty.
+    pub fn max_slope(&self, q: (f64, f64)) -> f64 {
+        if self.hull.is_empty() {
+            return f64::NEG_INFINITY;
+        }
+        let slope = |i: usize| (q.1 - self.hull[i].1) / (q.0 - self.hull[i].0);
+        let (mut lo, mut hi) = (0usize, self.hull.len() - 1);
+        while lo < hi {
+            let mid = (lo + hi) / 2;
+            if slope(mid) < slope(mid + 1) {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        slope(lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_slope_hull_matches_bruteforce() {
+        let points = [(0.0, 0.0), (1.0, 5.0), (2.0, 5.0), (3.0, 11.0), (4.0, 11.5)];
+        let mut hull = MaxSlopeHull::new();
+        for &(x, y) in &points {
+            hull.push(x, y);
+        }
+        for q in [(6.0, 12.0), (5.0, 30.0), (10.0, 11.6)] {
+            let brute = points
+                .iter()
+                .map(|&(x, y)| (q.1 - y) / (q.0 - x))
+                .fold(f64::NEG_INFINITY, f64::max);
+            let got = hull.max_slope(q);
+            assert!((got - brute).abs() < 1e-12, "q={q:?}: {got} vs {brute}");
+        }
+    }
+
+    #[test]
+    fn whole_cbr_trace_is_one_segment() {
+        let t = Trace::new(vec![2.0; 50]).unwrap();
+        let c = OfflineConstraints::delay_only(4.0, 4);
+        let (b, bw) = farthest_feasible(&t, c, 0).unwrap();
+        assert_eq!(b, 50);
+        // Must serve 100 bits in 50 ticks: bandwidth 2.
+        assert!((bw - 2.0).abs() < 1e-6, "bw {bw}");
+    }
+
+    #[test]
+    fn overload_limits_segment_reach() {
+        // 100 bits at tick 0 with B_O = 5, D_O = 4: must be served within
+        // 4 ticks at 5/tick = 20 bits — infeasible even as [0, 1).
+        let t = Trace::new(vec![100.0, 0.0]).unwrap();
+        let c = OfflineConstraints::delay_only(5.0, 4);
+        assert!(farthest_feasible(&t, c, 0).is_none());
+    }
+
+    #[test]
+    fn drain_floor_relaxes_with_time() {
+        // A burst then silence: a short segment needs huge drain bandwidth,
+        // a longer one needs less.
+        let t = Trace::new(vec![20.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        let c = OfflineConstraints::delay_only(8.0, 6);
+        let (b, bw) = farthest_feasible(&t, c, 0).unwrap();
+        assert_eq!(b, 10);
+        // Delay floor: 20 bits within 1 + 6 ticks ≈ 2.857; drain over 10
+        // ticks needs only 2. The binding floor is the delay.
+        assert!((bw - 20.0 / 7.0).abs() < 1e-6, "bw {bw}");
+    }
+
+    #[test]
+    fn utilization_ceiling_binds() {
+        // Sparse traffic with a utilization requirement: a long segment at
+        // high bandwidth violates the window constraint.
+        let mut arrivals = vec![0.0; 24];
+        arrivals[0] = 12.0;
+        arrivals[12] = 12.0;
+        let t = Trace::new(arrivals).unwrap();
+        let c = OfflineConstraints::with_utilization(64.0, 4, 0.5, 8);
+        let mut scanner = SegmentScanner::new(&t, c, 0);
+        let mut ceilings = Vec::new();
+        for _ in 0..16 {
+            let (_, ceil) = scanner.extend();
+            ceilings.push(ceil);
+        }
+        // Once full 8-windows exist, the ceiling drops below B_O = 64.
+        assert!(ceilings[7] < 64.0);
+        // Window [1..9) has zero bits → ceiling 0 at end = 9.
+        assert_eq!(ceilings[8], 0.0);
+    }
+
+    #[test]
+    fn scanner_exhaustion_stops_scans() {
+        let mut arrivals = vec![1.0; 40];
+        arrivals[20] = 1000.0; // delay floor jumps far above B_O
+        let t = Trace::new(arrivals).unwrap();
+        let c = OfflineConstraints::delay_only(4.0, 2);
+        let mut scanner = SegmentScanner::new(&t, c, 0);
+        let mut steps = 0;
+        while scanner.end() < t.len() && !scanner.exhausted() {
+            scanner.extend();
+            steps += 1;
+        }
+        assert!(steps <= 22, "scanner should stop shortly after the spike");
+    }
+}

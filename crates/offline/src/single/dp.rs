@@ -1,0 +1,184 @@
+//! Exact minimum-change offline under drained-boundary semantics, by
+//! dynamic programming over change points. O(n²·log n) — intended for the
+//! small traces on which it cross-validates [`super::greedy_offline`].
+
+use crate::segment::{OfflineConstraints, SegmentScanner};
+use crate::single::greedy::OfflineError;
+use cdba_sim::{Schedule, ScheduleBuilder};
+use cdba_traffic::{Trace, EPS};
+
+/// The outcome of the DP planner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpOutcome {
+    /// The piecewise-constant allocation schedule.
+    pub schedule: Schedule,
+    /// Segment boundaries `(start, end, bandwidth)`.
+    pub segments: Vec<(usize, usize, f64)>,
+    /// The minimum number of *segments with positive bandwidth* — the DP
+    /// objective (silent stretches are free, as for the greedy).
+    pub optimal_segments: usize,
+}
+
+impl DpOutcome {
+    /// Number of allocation changes of the schedule.
+    pub fn changes(&self) -> usize {
+        self.schedule.num_changes()
+    }
+}
+
+/// Computes the minimum-segment drained-boundary offline schedule.
+///
+/// Semantics match [`super::greedy_offline`]: each positive-bandwidth
+/// segment starts and ends with an empty queue and satisfies the delay
+/// (and optional utilization) constraints; zero-arrival stretches may be
+/// covered by zero-bandwidth segments for free.
+///
+/// # Errors
+///
+/// Returns [`OfflineError::Infeasible`] when no segmentation covers the
+/// trace.
+pub fn dp_offline(
+    trace: &Trace,
+    constraints: OfflineConstraints,
+) -> Result<DpOutcome, OfflineError> {
+    let n = trace.len();
+    const INF: usize = usize::MAX / 2;
+    // dp[b] = min positive segments covering [0, b); parent[b] = (a, bw).
+    let mut dp = vec![INF; n + 1];
+    let mut parent: Vec<Option<(usize, f64)>> = vec![None; n + 1];
+    dp[0] = 0;
+    for a in 0..n {
+        if dp[a] >= INF {
+            continue;
+        }
+        // Free zero-bandwidth hop over silence.
+        if trace.arrival(a) == 0.0 {
+            let mut b = a;
+            while b < n && trace.arrival(b) == 0.0 {
+                b += 1;
+            }
+            if dp[a] < dp[b] {
+                dp[b] = dp[a];
+                parent[b] = Some((a, 0.0));
+            }
+            // Intermediate silent prefixes are reachable too (a segment may
+            // start mid-silence); record them so later segments can anchor
+            // anywhere in the quiet stretch.
+            for m in (a + 1)..b {
+                if dp[a] < dp[m] {
+                    dp[m] = dp[a];
+                    parent[m] = Some((a, 0.0));
+                }
+            }
+        }
+        // Positive segments of every feasible length.
+        let mut scanner = SegmentScanner::new(trace, constraints, a);
+        while scanner.end() < n {
+            let (floor, ceiling) = scanner.extend();
+            let b = scanner.end();
+            if floor <= ceiling + EPS && dp[a] + 1 < dp[b] {
+                dp[b] = dp[a] + 1;
+                parent[b] = Some((a, floor.min(ceiling)));
+            }
+            if scanner.exhausted() {
+                break;
+            }
+        }
+    }
+    if dp[n] >= INF {
+        let first_stuck = dp.iter().rposition(|&d| d < INF).unwrap_or(0);
+        return Err(OfflineError::Infeasible { tick: first_stuck });
+    }
+    // Reconstruct.
+    let mut segments = Vec::new();
+    let mut b = n;
+    while b > 0 {
+        let (a, bw) = parent[b].expect("parent chain intact");
+        segments.push((a, b, bw));
+        b = a;
+    }
+    segments.reverse();
+    let mut builder = ScheduleBuilder::new();
+    for &(s, e, bw) in &segments {
+        for _ in s..e {
+            builder.push(bw);
+        }
+    }
+    Ok(DpOutcome {
+        schedule: builder.build(),
+        segments,
+        optimal_segments: dp[n],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::single::greedy_offline;
+
+    #[test]
+    fn dp_matches_greedy_on_cbr() {
+        let t = Trace::new(vec![3.0; 32]).unwrap();
+        let c = OfflineConstraints::delay_only(8.0, 4);
+        let dp = dp_offline(&t, c).unwrap();
+        let gr = greedy_offline(&t, c).unwrap();
+        assert_eq!(dp.optimal_segments, 1);
+        assert_eq!(dp.changes(), gr.changes());
+    }
+
+    #[test]
+    fn dp_never_worse_than_greedy() {
+        let traces = [
+            vec![8.0, 0.0, 0.0, 12.0, 2.0, 2.0, 0.0, 0.0, 30.0, 0.0, 0.0, 0.0],
+            vec![1.0, 1.0, 20.0, 1.0, 1.0, 20.0, 1.0, 1.0, 20.0, 1.0],
+            vec![5.0, 5.0, 0.0, 0.0, 5.0, 5.0, 0.0, 0.0, 40.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+        ];
+        for arrivals in traces {
+            let t = Trace::new(arrivals.clone()).unwrap();
+            let c = OfflineConstraints::delay_only(12.0, 3);
+            let dp = dp_offline(&t, c).unwrap();
+            let gr = greedy_offline(&t, c).unwrap();
+            let dp_pos = dp.segments.iter().filter(|s| s.2 > 0.0).count();
+            let gr_pos = gr.segments.iter().filter(|s| s.2 > 0.0).count();
+            assert!(
+                dp_pos <= gr_pos,
+                "dp {dp_pos} > greedy {gr_pos} on {arrivals:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dp_detects_infeasible() {
+        let t = Trace::new(vec![100.0]).unwrap();
+        let c = OfflineConstraints::delay_only(2.0, 3);
+        assert!(matches!(
+            dp_offline(&t, c),
+            Err(OfflineError::Infeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn mid_silence_anchor_is_found() {
+        // Bursts separated by silence where the optimal second segment must
+        // start mid-silence to include drain room.
+        let t =
+            Trace::new(vec![10.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 10.0, 0.0, 0.0, 0.0]).unwrap();
+        let c = OfflineConstraints::delay_only(4.0, 3);
+        let dp = dp_offline(&t, c).unwrap();
+        assert!(dp.optimal_segments <= 2, "segments: {:?}", dp.segments);
+    }
+
+    #[test]
+    fn utilization_constraint_fragments_the_schedule() {
+        // Steady then silent: with a utilization floor the offline cannot
+        // hold its bandwidth through the silence.
+        let mut arrivals = vec![4.0; 16];
+        arrivals.extend(vec![0.0; 16]);
+        arrivals.extend(vec![4.0; 16]);
+        let t = Trace::new(arrivals).unwrap();
+        let no_util = dp_offline(&t, OfflineConstraints::delay_only(8.0, 4)).unwrap();
+        let with_util =
+            dp_offline(&t, OfflineConstraints::with_utilization(8.0, 4, 0.9, 8)).unwrap();
+        assert!(with_util.optimal_segments >= no_util.optimal_segments);
+    }
+}

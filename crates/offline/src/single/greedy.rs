@@ -1,0 +1,180 @@
+//! Greedy farthest-reach offline: repeatedly take the longest feasible
+//! segment. Runs in O(n log n) per segment scan and handles the trace sizes
+//! the ratio experiments use (10⁴–10⁶ ticks).
+//!
+//! Because the drain floor is not monotone in the segment end, taking the
+//! *farthest* feasible end (rather than stopping at the first infeasible
+//! one) is essential; even so the greedy is a heuristic upper bound on the
+//! drained-boundary optimum — [`super::dp_offline`] computes that optimum
+//! exactly on small inputs and the test suite cross-checks the two.
+
+use crate::segment::{farthest_feasible, OfflineConstraints};
+use cdba_sim::{Schedule, ScheduleBuilder};
+use cdba_traffic::Trace;
+use std::fmt;
+
+/// Error returned by the offline planners.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OfflineError {
+    /// No feasible segment exists starting at `tick` — the input violates
+    /// the constraints (Claim 9 envelope exceeded).
+    Infeasible {
+        /// First tick that cannot be covered.
+        tick: usize,
+    },
+}
+
+impl fmt::Display for OfflineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OfflineError::Infeasible { tick } => {
+                write!(f, "input infeasible under the given constraints at tick {tick}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OfflineError {}
+
+/// The outcome of an offline planner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreedyOutcome {
+    /// The piecewise-constant allocation schedule.
+    pub schedule: Schedule,
+    /// Segment boundaries `(start, end, bandwidth)`.
+    pub segments: Vec<(usize, usize, f64)>,
+}
+
+impl GreedyOutcome {
+    /// Number of allocation changes of the schedule (counting the initial
+    /// establishment, consistently with the online counting).
+    pub fn changes(&self) -> usize {
+        self.schedule.num_changes()
+    }
+}
+
+/// Computes a feasible piecewise-constant offline schedule with few changes
+/// by repeatedly taking the farthest feasible segment.
+///
+/// # Errors
+///
+/// Returns [`OfflineError::Infeasible`] when some prefix cannot be served at
+/// all under the constraints.
+pub fn greedy_offline(
+    trace: &Trace,
+    constraints: OfflineConstraints,
+) -> Result<GreedyOutcome, OfflineError> {
+    let mut segments = Vec::new();
+    let mut a = 0usize;
+    while a < trace.len() {
+        // Skip leading silence: allocating zero is free and wastes nothing.
+        if trace.arrival(a) == 0.0 {
+            let mut b = a;
+            while b < trace.len() && trace.arrival(b) == 0.0 {
+                b += 1;
+            }
+            segments.push((a, b, 0.0));
+            a = b;
+            continue;
+        }
+        let (b, bw) =
+            farthest_feasible(trace, constraints, a).ok_or(OfflineError::Infeasible { tick: a })?;
+        segments.push((a, b, bw));
+        a = b;
+    }
+    let mut builder = ScheduleBuilder::new();
+    for &(s, e, bw) in &segments {
+        for _ in s..e {
+            builder.push(bw);
+        }
+    }
+    Ok(GreedyOutcome {
+        schedule: builder.build(),
+        segments,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdba_sim::measure;
+
+    #[test]
+    fn cbr_needs_one_change() {
+        let t = Trace::new(vec![2.0; 64]).unwrap();
+        let out = greedy_offline(&t, OfflineConstraints::delay_only(4.0, 4)).unwrap();
+        assert_eq!(out.changes(), 1, "segments: {:?}", out.segments);
+    }
+
+    #[test]
+    fn schedule_is_feasible_by_measurement() {
+        let t = Trace::new(vec![
+            8.0, 0.0, 0.0, 12.0, 2.0, 2.0, 0.0, 0.0, 30.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0,
+        ])
+        .unwrap();
+        let c = OfflineConstraints::delay_only(10.0, 4);
+        let out = greedy_offline(&t, c).unwrap();
+        // Serve the trace with the schedule and measure the delay.
+        let served = serve(&t, &out.schedule);
+        let d = measure::max_delay(&t, &served).expect("all bits served");
+        assert!(d <= 4, "offline delay {d} exceeds D_O");
+        assert!(out.schedule.peak() <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn infeasible_input_is_detected() {
+        let t = Trace::new(vec![100.0, 0.0]).unwrap();
+        let c = OfflineConstraints::delay_only(2.0, 3);
+        assert_eq!(
+            greedy_offline(&t, c),
+            Err(OfflineError::Infeasible { tick: 0 })
+        );
+    }
+
+    #[test]
+    fn silence_costs_nothing() {
+        let mut arrivals = vec![0.0; 10];
+        arrivals.extend([4.0; 10]);
+        arrivals.extend([0.0; 10]);
+        let t = Trace::new(arrivals).unwrap();
+        let out = greedy_offline(&t, OfflineConstraints::delay_only(8.0, 2)).unwrap();
+        // Leading silence is allocated zero; without a utilization bound the
+        // planner may hold its bandwidth through the trailing silence (the
+        // drain slack makes the long segment feasible), so one or two
+        // changes are both optimal-feasible here.
+        assert!(out.changes() <= 2, "segments: {:?}", out.segments);
+        assert_eq!(out.schedule.allocation_at(0), 0.0);
+        assert!(out.schedule.allocation_at(12) > 0.0);
+    }
+
+    #[test]
+    fn rate_shift_costs_one_more_change() {
+        let mut arrivals = vec![2.0; 40];
+        arrivals.extend([9.0; 40]);
+        let t = Trace::new(arrivals).unwrap();
+        let out = greedy_offline(&t, OfflineConstraints::delay_only(10.0, 4)).unwrap();
+        assert!(out.changes() <= 3, "segments: {:?}", out.segments);
+        let served = serve(&t, &out.schedule);
+        assert!(measure::max_delay(&t, &served).unwrap() <= 4);
+    }
+
+    /// Serves the trace with a schedule, extending with the last allocation
+    /// until drained (test helper).
+    fn serve(trace: &Trace, schedule: &Schedule) -> Vec<f64> {
+        let mut served = Vec::new();
+        let mut q = 0.0f64;
+        for t in 0..schedule.len().max(trace.len()) {
+            q += trace.arrival(t);
+            let s = q.min(schedule.allocation_at(t));
+            q -= s;
+            served.push(s);
+        }
+        let last = schedule.allocation_at(schedule.len().saturating_sub(1)).max(1.0);
+        while q > 1e-9 {
+            let s = q.min(last);
+            q -= s;
+            served.push(s);
+        }
+        served
+    }
+}

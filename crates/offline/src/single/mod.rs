@@ -1,0 +1,7 @@
+//! Constructive single-session offline schedules with few changes.
+
+mod dp;
+mod greedy;
+
+pub use dp::{dp_offline, DpOutcome};
+pub use greedy::{greedy_offline, GreedyOutcome, OfflineError};

@@ -1,0 +1,384 @@
+//! The tick loop: drives an allocator over a trace, maintains queues,
+//! records the schedule and service curves.
+
+use crate::queue::BitQueue;
+use crate::schedule::{Schedule, ScheduleBuilder};
+use crate::traits::{Allocator, MultiAllocator};
+use cdba_traffic::{MultiTrace, Trace, EPS};
+use std::fmt;
+
+/// Error returned by the simulation engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The allocator returned a negative, NaN, or infinite allocation.
+    InvalidAllocation {
+        /// Tick at which it happened.
+        tick: usize,
+        /// The offending value.
+        value: f64,
+    },
+    /// Draining was requested but the queue did not empty within the safety
+    /// horizon (the allocator starves its own backlog).
+    DrainStalled {
+        /// Backlog remaining when the horizon was hit.
+        backlog: f64,
+        /// The horizon in ticks.
+        horizon: usize,
+    },
+    /// A multi-allocator was driven with a mismatched session count.
+    SessionMismatch {
+        /// Sessions in the input.
+        input: usize,
+        /// Sessions the allocator expects.
+        allocator: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidAllocation { tick, value } => {
+                write!(f, "invalid allocation {value} at tick {tick}")
+            }
+            SimError::DrainStalled { backlog, horizon } => write!(
+                f,
+                "queue failed to drain: {backlog} bits left after {horizon} extra ticks"
+            ),
+            SimError::SessionMismatch { input, allocator } => write!(
+                f,
+                "input has {input} sessions but allocator expects {allocator}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// What the engine does after the trace's own ticks are exhausted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainPolicy {
+    /// Stop exactly at the end of the trace (backlog may remain).
+    StopAtTraceEnd,
+    /// Keep ticking with zero arrivals until every queue is empty, so every
+    /// bit's delay is measurable. Fails with [`SimError::DrainStalled`] if
+    /// the allocator never drains (horizon: `4 × trace_len + 1024` ticks).
+    DrainToEmpty,
+}
+
+/// The outcome of a single-channel run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Run {
+    /// The allocation timeline and change log.
+    pub schedule: Schedule,
+    /// Bits served per tick (same length as the schedule).
+    served: Vec<f64>,
+    /// Ticks of the original trace (the schedule may be longer when
+    /// draining).
+    pub trace_len: usize,
+    /// Largest backlog observed at any tick end.
+    pub peak_backlog: f64,
+    /// Backlog remaining at the end of the run (0 under
+    /// [`DrainPolicy::DrainToEmpty`]).
+    pub final_backlog: f64,
+}
+
+impl Run {
+    /// Bits served per tick.
+    pub fn served(&self) -> &[f64] {
+        &self.served
+    }
+
+    /// Total bits served.
+    pub fn total_served(&self) -> f64 {
+        self.served.iter().sum()
+    }
+}
+
+/// The outcome of a multi-session run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiRun {
+    /// Per-session schedules (allocation + change logs).
+    pub sessions: Vec<Schedule>,
+    /// Per-session served bits per tick.
+    served: Vec<Vec<f64>>,
+    /// The total (summed) allocation timeline, with its own change log —
+    /// the paper's *global* changes.
+    pub total: Schedule,
+    /// Ticks of the original input.
+    pub trace_len: usize,
+    /// Largest total backlog observed.
+    pub peak_backlog: f64,
+    /// Total backlog at the end of the run.
+    pub final_backlog: f64,
+}
+
+impl MultiRun {
+    /// Bits served per tick for session `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn served(&self, i: usize) -> &[f64] {
+        &self.served[i]
+    }
+
+    /// Number of sessions.
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// Sum of per-session (local) allocation changes.
+    pub fn local_changes(&self) -> usize {
+        self.sessions.iter().map(Schedule::num_changes).sum()
+    }
+}
+
+fn validate_alloc(tick: usize, value: f64) -> Result<f64, SimError> {
+    if !value.is_finite() || value < -EPS {
+        return Err(SimError::InvalidAllocation { tick, value });
+    }
+    Ok(value.max(0.0))
+}
+
+/// Drives a single-channel [`Allocator`] over a trace.
+///
+/// Per tick: arrivals are fed to the allocator, the returned bandwidth is
+/// recorded, and the queue serves up to that bandwidth (bits arriving in a
+/// tick can be served within the same tick).
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidAllocation`] for invalid allocator output and
+/// [`SimError::DrainStalled`] when draining never completes.
+pub fn simulate<A: Allocator + ?Sized>(
+    trace: &Trace,
+    allocator: &mut A,
+    drain: DrainPolicy,
+) -> Result<Run, SimError> {
+    let mut queue = BitQueue::new();
+    let mut schedule = ScheduleBuilder::new();
+    let mut served = Vec::with_capacity(trace.len());
+    let mut peak_backlog = 0.0f64;
+
+    let mut step = |arrivals: f64,
+                    queue: &mut BitQueue,
+                    schedule: &mut ScheduleBuilder,
+                    served: &mut Vec<f64>,
+                    peak: &mut f64|
+     -> Result<(), SimError> {
+        let tick = schedule.len();
+        let alloc = validate_alloc(tick, allocator.on_tick(arrivals))?;
+        schedule.push(alloc);
+        served.push(queue.tick(arrivals, alloc));
+        *peak = peak.max(queue.backlog());
+        Ok(())
+    };
+
+    for &a in trace.arrivals() {
+        step(a, &mut queue, &mut schedule, &mut served, &mut peak_backlog)?;
+    }
+    if drain == DrainPolicy::DrainToEmpty {
+        let horizon = trace.len() * 4 + 1024;
+        let mut extra = 0usize;
+        while !queue.is_empty() {
+            if extra >= horizon {
+                return Err(SimError::DrainStalled {
+                    backlog: queue.backlog(),
+                    horizon,
+                });
+            }
+            step(0.0, &mut queue, &mut schedule, &mut served, &mut peak_backlog)?;
+            extra += 1;
+        }
+    }
+    Ok(Run {
+        schedule: schedule.build(),
+        served,
+        trace_len: trace.len(),
+        peak_backlog,
+        final_backlog: queue.backlog(),
+    })
+}
+
+/// Drives a [`MultiAllocator`] over a `k`-session input.
+///
+/// # Errors
+///
+/// Returns [`SimError::SessionMismatch`] when `input.num_sessions()` differs
+/// from the allocator's `k`, plus the same errors as [`simulate`].
+pub fn simulate_multi<A: MultiAllocator + ?Sized>(
+    input: &MultiTrace,
+    allocator: &mut A,
+    drain: DrainPolicy,
+) -> Result<MultiRun, SimError> {
+    let k = input.num_sessions();
+    if k != allocator.num_sessions() {
+        return Err(SimError::SessionMismatch {
+            input: k,
+            allocator: allocator.num_sessions(),
+        });
+    }
+    let mut queues = vec![BitQueue::new(); k];
+    let mut schedules: Vec<ScheduleBuilder> = (0..k).map(|_| ScheduleBuilder::new()).collect();
+    let mut total = ScheduleBuilder::new();
+    let mut served: Vec<Vec<f64>> = vec![Vec::with_capacity(input.len()); k];
+    let mut peak_backlog = 0.0f64;
+    let mut arrivals_buf = vec![0.0f64; k];
+
+    let len = input.len();
+    let horizon = len * 4 + 1024;
+    let mut tick = 0usize;
+    loop {
+        let in_trace = tick < len;
+        if in_trace {
+            for (i, a) in arrivals_buf.iter_mut().enumerate() {
+                *a = input.session(i).arrival(tick);
+            }
+        } else {
+            match drain {
+                DrainPolicy::StopAtTraceEnd => break,
+                DrainPolicy::DrainToEmpty => {
+                    if queues.iter().all(BitQueue::is_empty) {
+                        break;
+                    }
+                    if tick >= len + horizon {
+                        return Err(SimError::DrainStalled {
+                            backlog: queues.iter().map(BitQueue::backlog).sum(),
+                            horizon,
+                        });
+                    }
+                    arrivals_buf.iter_mut().for_each(|a| *a = 0.0);
+                }
+            }
+        }
+        let allocs = allocator.on_tick(&arrivals_buf);
+        debug_assert_eq!(allocs.len(), k, "allocator returned wrong arity");
+        let mut sum = 0.0;
+        for i in 0..k {
+            let a = validate_alloc(tick, allocs[i])?;
+            sum += a;
+            schedules[i].push(a);
+            served[i].push(queues[i].tick(arrivals_buf[i], a));
+        }
+        total.push(sum);
+        peak_backlog = peak_backlog.max(queues.iter().map(BitQueue::backlog).sum());
+        tick += 1;
+    }
+    Ok(MultiRun {
+        sessions: schedules.into_iter().map(ScheduleBuilder::build).collect(),
+        served,
+        total: total.build(),
+        trace_len: len,
+        peak_backlog,
+        final_backlog: queues.iter().map(BitQueue::backlog).sum(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Flat(f64);
+    impl Allocator for Flat {
+        fn on_tick(&mut self, _arrivals: f64) -> f64 {
+            self.0
+        }
+        fn name(&self) -> &'static str {
+            "flat"
+        }
+    }
+
+    struct FlatMulti(usize, f64);
+    impl MultiAllocator for FlatMulti {
+        fn num_sessions(&self) -> usize {
+            self.0
+        }
+        fn on_tick(&mut self, _arrivals: &[f64]) -> Vec<f64> {
+            vec![self.1; self.0]
+        }
+        fn name(&self) -> &'static str {
+            "flat-multi"
+        }
+    }
+
+    #[test]
+    fn flat_run_serves_everything() {
+        let t = Trace::new(vec![2.0, 8.0, 0.0, 0.0]).unwrap();
+        let run = simulate(&t, &mut Flat(3.0), DrainPolicy::DrainToEmpty).unwrap();
+        assert!((run.total_served() - 10.0).abs() < 1e-9);
+        assert_eq!(run.final_backlog, 0.0);
+        assert_eq!(run.trace_len, 4);
+        assert!(run.peak_backlog > 0.0);
+    }
+
+    #[test]
+    fn stop_at_trace_end_keeps_backlog() {
+        let t = Trace::new(vec![10.0, 0.0]).unwrap();
+        let run = simulate(&t, &mut Flat(1.0), DrainPolicy::StopAtTraceEnd).unwrap();
+        assert_eq!(run.schedule.len(), 2);
+        assert_eq!(run.final_backlog, 8.0);
+    }
+
+    #[test]
+    fn zero_allocator_stalls_drain() {
+        let t = Trace::new(vec![5.0]).unwrap();
+        let err = simulate(&t, &mut Flat(0.0), DrainPolicy::DrainToEmpty).unwrap_err();
+        assert!(matches!(err, SimError::DrainStalled { .. }));
+    }
+
+    struct Nan;
+    impl Allocator for Nan {
+        fn on_tick(&mut self, _a: f64) -> f64 {
+            f64::NAN
+        }
+        fn name(&self) -> &'static str {
+            "nan"
+        }
+    }
+
+    #[test]
+    fn invalid_allocation_is_reported() {
+        let t = Trace::new(vec![1.0]).unwrap();
+        let err = simulate(&t, &mut Nan, DrainPolicy::StopAtTraceEnd).unwrap_err();
+        assert!(matches!(err, SimError::InvalidAllocation { tick: 0, .. }));
+    }
+
+    #[test]
+    fn multi_run_totals_and_mismatch() {
+        let m = cdba_traffic::multi::rotating_hot(2, 4.0, 0.0, 2, 8).unwrap();
+        let run = simulate_multi(&m, &mut FlatMulti(2, 3.0), DrainPolicy::DrainToEmpty).unwrap();
+        assert_eq!(run.num_sessions(), 2);
+        assert_eq!(run.total.allocation_at(0), 6.0);
+        let total_served: f64 = (0..2).map(|i| run.served(i).iter().sum::<f64>()).sum();
+        assert!((total_served - m.total()).abs() < 1e-9);
+
+        let err = simulate_multi(&m, &mut FlatMulti(3, 1.0), DrainPolicy::StopAtTraceEnd);
+        assert!(matches!(err, Err(SimError::SessionMismatch { input: 2, allocator: 3 })));
+    }
+
+    #[test]
+    fn multi_local_changes_counts_per_session() {
+        struct Alternating(usize);
+        impl MultiAllocator for Alternating {
+            fn num_sessions(&self) -> usize {
+                2
+            }
+            fn on_tick(&mut self, _a: &[f64]) -> Vec<f64> {
+                self.0 += 1;
+                if self.0.is_multiple_of(2) {
+                    vec![1.0, 2.0]
+                } else {
+                    vec![2.0, 1.0]
+                }
+            }
+            fn name(&self) -> &'static str {
+                "alt"
+            }
+        }
+        let m = cdba_traffic::multi::rotating_hot(2, 1.0, 0.0, 1, 4).unwrap();
+        let run = simulate_multi(&m, &mut Alternating(0), DrainPolicy::StopAtTraceEnd).unwrap();
+        // Each session changes on every tick; total allocation is constant 3.
+        assert_eq!(run.local_changes(), 8);
+        assert_eq!(run.total.num_changes(), 1);
+    }
+}

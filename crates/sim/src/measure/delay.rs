@@ -1,0 +1,211 @@
+//! FIFO latency measurement from cumulative arrival and service curves.
+//!
+//! The paper defines the latency of a session as the maximum over all bits of
+//! the time between submission and delivery. Under FIFO this is computable
+//! from the two cumulative step curves alone: the bits that arrived by the
+//! end of tick `t` (`A(t)`) are delivered by the first tick `t'` with
+//! `S(t') ≥ A(t)`; the delay charged to tick `t` is `t' − t`.
+
+use cdba_traffic::{Trace, EPS};
+
+/// Maximum FIFO delay in ticks over every tick with arrivals, or `None` if
+/// some bits were never served within the given service curve (backlog
+/// remained — run the engine with
+/// [`crate::engine::DrainPolicy::DrainToEmpty`] to avoid this).
+///
+/// `served[t]` is the bits served during tick `t`; it may be longer than the
+/// trace (drain ticks). A bit arriving during tick `t` and served during
+/// tick `t` has delay 0.
+pub fn max_delay(trace: &Trace, served: &[f64]) -> Option<usize> {
+    delay_profile(trace, served)
+        .map(|profile| profile.into_iter().max().unwrap_or(0))
+}
+
+/// Per-tick FIFO delay: element `t` is the delay (in ticks) of the *last* bit
+/// that arrived during tick `t` (the worst bit of that tick under FIFO).
+/// Ticks without arrivals report 0. Returns `None` if some bits were never
+/// served.
+pub fn delay_profile(trace: &Trace, served: &[f64]) -> Option<Vec<usize>> {
+    let n = trace.len();
+    let mut profile = vec![0usize; n];
+    // Cumulative service curve.
+    let mut s_cum = Vec::with_capacity(served.len() + 1);
+    let mut acc = 0.0;
+    s_cum.push(0.0);
+    for &s in served {
+        acc += s;
+        s_cum.push(acc);
+    }
+    let total_served = acc;
+
+    // Two-pointer sweep: for each arrival tick t, advance t' until
+    // S(t') >= A(t). Both curves are non-decreasing so t' never moves back.
+    let mut tp = 0usize; // candidate service tick (index into served)
+    for (t, slot) in profile.iter_mut().enumerate() {
+        if trace.arrival(t) <= 0.0 {
+            continue;
+        }
+        let a_t = trace.cumulative(t + 1);
+        if a_t > total_served + EPS {
+            return None; // these bits were never served
+        }
+        while s_cum[tp + 1] + EPS < a_t {
+            tp += 1;
+            debug_assert!(tp < served.len(), "service curve exhausted");
+        }
+        // Bits of tick t are fully served during tick tp (tp >= t always,
+        // since service cannot precede arrival).
+        *slot = tp.saturating_sub(t);
+    }
+    Some(profile)
+}
+
+/// A bit-weighted delay distribution: each tick's arrivals are charged that
+/// tick's (FIFO-worst) delay from [`delay_profile`], weighted by the number
+/// of bits that arrived.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DelayDistribution {
+    /// `(delay, bits)` pairs sorted by delay.
+    weighted: Vec<(usize, f64)>,
+    total_bits: f64,
+}
+
+impl DelayDistribution {
+    /// Computes the distribution, or `None` if some bits were never served.
+    pub fn measure(trace: &Trace, served: &[f64]) -> Option<Self> {
+        let profile = delay_profile(trace, served)?;
+        let mut weighted: Vec<(usize, f64)> = profile
+            .into_iter()
+            .zip(trace.arrivals())
+            .filter(|&(_, &bits)| bits > 0.0)
+            .map(|(d, &bits)| (d, bits))
+            .collect();
+        weighted.sort_unstable_by_key(|&(d, _)| d);
+        let total_bits = weighted.iter().map(|&(_, b)| b).sum();
+        Some(DelayDistribution {
+            weighted,
+            total_bits,
+        })
+    }
+
+    /// The delay not exceeded by at least fraction `p ∈ [0, 1]` of the bits
+    /// (0 for an empty distribution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn percentile(&self, p: f64) -> usize {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0, 1]");
+        let target = p * self.total_bits;
+        let mut acc = 0.0;
+        for &(d, bits) in &self.weighted {
+            acc += bits;
+            if acc >= target {
+                return d;
+            }
+        }
+        self.weighted.last().map_or(0, |&(d, _)| d)
+    }
+
+    /// Bit-weighted mean delay (0 for an empty distribution).
+    pub fn mean(&self) -> f64 {
+        if self.total_bits <= 0.0 {
+            return 0.0;
+        }
+        self.weighted
+            .iter()
+            .map(|&(d, b)| d as f64 * b)
+            .sum::<f64>()
+            / self.total_bits
+    }
+
+    /// The maximum delay (equals [`max_delay`]).
+    pub fn max(&self) -> usize {
+        self.weighted.last().map_or(0, |&(d, _)| d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_tick_service_is_zero_delay() {
+        let t = Trace::new(vec![3.0, 3.0]).unwrap();
+        let served = vec![3.0, 3.0];
+        assert_eq!(max_delay(&t, &served), Some(0));
+    }
+
+    #[test]
+    fn backlog_shifts_delay() {
+        // 10 bits at tick 0, served 2/tick: last bit leaves during tick 4.
+        let t = Trace::new(vec![10.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        let served = vec![2.0, 2.0, 2.0, 2.0, 2.0];
+        assert_eq!(max_delay(&t, &served), Some(4));
+        let profile = delay_profile(&t, &served).unwrap();
+        assert_eq!(profile[0], 4);
+        assert_eq!(profile[1..], [0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn unserved_bits_yield_none() {
+        let t = Trace::new(vec![10.0]).unwrap();
+        let served = vec![4.0];
+        assert_eq!(max_delay(&t, &served), None);
+    }
+
+    #[test]
+    fn drain_ticks_extend_the_service_curve() {
+        let t = Trace::new(vec![6.0]).unwrap();
+        let served = vec![2.0, 2.0, 2.0]; // 2 drain ticks beyond the trace
+        assert_eq!(max_delay(&t, &served), Some(2));
+    }
+
+    #[test]
+    fn fifo_interleaving() {
+        // Arrivals 4, 4; service 2, 2, 2, 2: tick-0 bits finish during tick 1
+        // (delay 1), tick-1 bits finish during tick 3 (delay 2).
+        let t = Trace::new(vec![4.0, 4.0, 0.0, 0.0]).unwrap();
+        let served = vec![2.0, 2.0, 2.0, 2.0];
+        let profile = delay_profile(&t, &served).unwrap();
+        assert_eq!(profile[0], 1);
+        assert_eq!(profile[1], 2);
+        assert_eq!(max_delay(&t, &served), Some(2));
+    }
+
+    #[test]
+    fn zero_arrival_ticks_report_zero() {
+        let t = Trace::new(vec![0.0, 5.0, 0.0]).unwrap();
+        let served = vec![0.0, 5.0, 0.0];
+        let profile = delay_profile(&t, &served).unwrap();
+        assert_eq!(profile, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn distribution_percentiles_are_bit_weighted() {
+        // 90 bits at delay 0, 10 bits at delay 5.
+        let t = Trace::new(vec![90.0, 10.0, 0.0, 0.0, 0.0, 0.0, 0.0]).unwrap();
+        let served = vec![90.0, 0.0, 0.0, 0.0, 0.0, 0.0, 10.0];
+        let dist = DelayDistribution::measure(&t, &served).unwrap();
+        assert_eq!(dist.percentile(0.5), 0);
+        assert_eq!(dist.percentile(0.9), 0);
+        assert_eq!(dist.percentile(0.95), 5);
+        assert_eq!(dist.percentile(1.0), 5);
+        assert_eq!(dist.max(), 5);
+        assert!((dist.mean() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distribution_matches_max_delay() {
+        let t = Trace::new(vec![4.0, 4.0, 0.0, 0.0]).unwrap();
+        let served = vec![2.0, 2.0, 2.0, 2.0];
+        let dist = DelayDistribution::measure(&t, &served).unwrap();
+        assert_eq!(dist.max(), max_delay(&t, &served).unwrap());
+    }
+
+    #[test]
+    fn unserved_distribution_is_none() {
+        let t = Trace::new(vec![10.0]).unwrap();
+        assert!(DelayDistribution::measure(&t, &[1.0]).is_none());
+    }
+}

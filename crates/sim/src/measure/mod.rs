@@ -1,0 +1,12 @@
+//! The paper's quality-of-service measures: latency and utilization.
+//!
+//! Change counting, the third measure, lives on
+//! [`crate::schedule::Schedule`] where the change log is recorded.
+
+mod delay;
+mod utilization;
+
+pub use delay::{delay_profile, max_delay, DelayDistribution};
+pub use utilization::{
+    global_utilization, local_utilization, relaxed_local_utilization, UtilizationReport,
+};

@@ -1,0 +1,206 @@
+//! Utilization measurement — the paper's *local* (windowed) definition, the
+//! *global* definition, and the relaxed windowed variant the online
+//! guarantee (Lemma 5) is stated for.
+//!
+//! Local utilization over window `W` is
+//! `min over t of IN[t−W, t) / B[t−W, t)` where `IN` counts *incoming* bits
+//! (not transmitted ones — the paper chooses this so that utilization is
+//! monotone in the allocation) and `B` sums the allocated bandwidth.
+//! Windows in which no bandwidth was allocated waste nothing and are
+//! skipped. Values above 1 are possible (demand exceeding allocation) and
+//! reported as-is.
+
+use crate::schedule::Schedule;
+use cdba_traffic::{Trace, EPS};
+
+/// A utilization measurement outcome.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UtilizationReport {
+    /// The minimized ratio (∞ if every window was skipped).
+    pub utilization: f64,
+    /// The tick at whose window the minimum was attained (window end).
+    pub worst_window_end: usize,
+    /// Number of windows that entered the minimum.
+    pub windows_considered: usize,
+}
+
+/// The paper's local utilization with a fixed window of `w` ticks:
+/// `min over t ≥ w of IN[t−w, t) / B[t−w, t)`.
+///
+/// Windows with total allocation ≤ [`EPS`] are skipped (allocating nothing
+/// wastes nothing). Returns `utilization = ∞` when every window is skipped.
+///
+/// # Panics
+///
+/// Panics if `w == 0`.
+pub fn local_utilization(trace: &Trace, schedule: &Schedule, w: usize) -> UtilizationReport {
+    assert!(w > 0, "window must be at least one tick");
+    let mut best = f64::INFINITY;
+    let mut worst_end = 0usize;
+    let mut considered = 0usize;
+    let horizon = schedule.len();
+    for end in w..=horizon {
+        let alloc = schedule.allocated(end - w, end);
+        if alloc <= EPS {
+            continue;
+        }
+        considered += 1;
+        let ratio = trace.window(end - w, end) / alloc;
+        if ratio < best {
+            best = ratio;
+            worst_end = end;
+        }
+    }
+    UtilizationReport {
+        utilization: best,
+        worst_window_end: worst_end,
+        windows_considered: considered,
+    }
+}
+
+/// The relaxed local utilization of Lemma 5: for each window end `t` the
+/// *best* ratio over window sizes `w_min ..= w_max` is taken (the paper
+/// allows the online algorithm windows up to `W + 5·D_O`), then the minimum
+/// over `t`. The online guarantee `≥ U_O/3` is stated for this measure.
+///
+/// # Panics
+///
+/// Panics if `w_min == 0` or `w_min > w_max`.
+pub fn relaxed_local_utilization(
+    trace: &Trace,
+    schedule: &Schedule,
+    w_min: usize,
+    w_max: usize,
+) -> UtilizationReport {
+    assert!(w_min > 0 && w_min <= w_max, "bad window range");
+    let mut best = f64::INFINITY;
+    let mut worst_end = 0usize;
+    let mut considered = 0usize;
+    let horizon = schedule.len();
+    for end in w_min..=horizon {
+        let mut window_best = f64::NEG_INFINITY;
+        let mut any = false;
+        for w in w_min..=w_max.min(end) {
+            let alloc = schedule.allocated(end - w, end);
+            if alloc <= EPS {
+                // A zero-allocation window wastes nothing: the relaxed
+                // criterion is vacuously satisfied at this end point.
+                window_best = f64::INFINITY;
+                any = true;
+                break;
+            }
+            any = true;
+            window_best = window_best.max(trace.window(end - w, end) / alloc);
+        }
+        if !any {
+            continue;
+        }
+        considered += 1;
+        if window_best < best {
+            best = window_best;
+            worst_end = end;
+        }
+    }
+    UtilizationReport {
+        utilization: best,
+        worst_window_end: worst_end,
+        windows_considered: considered,
+    }
+}
+
+/// Global utilization: total incoming bits over total allocated bandwidth
+/// across the whole run (∞ if nothing was allocated).
+pub fn global_utilization(trace: &Trace, schedule: &Schedule) -> f64 {
+    let alloc = schedule.allocated(0, schedule.len());
+    if alloc <= EPS {
+        f64::INFINITY
+    } else {
+        trace.total() / alloc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::ScheduleBuilder;
+
+    fn schedule(values: &[f64]) -> Schedule {
+        let mut b = ScheduleBuilder::new();
+        for &v in values {
+            b.push(v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn perfectly_sized_allocation_has_utilization_one() {
+        let t = Trace::new(vec![2.0; 10]).unwrap();
+        let s = schedule(&[2.0; 10]);
+        let r = local_utilization(&t, &s, 5);
+        assert!((r.utilization - 1.0).abs() < 1e-12);
+        assert_eq!(r.windows_considered, 6);
+    }
+
+    #[test]
+    fn overallocation_halves_utilization() {
+        let t = Trace::new(vec![2.0; 10]).unwrap();
+        let s = schedule(&[4.0; 10]);
+        let r = local_utilization(&t, &s, 5);
+        assert!((r.utilization - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_window_is_located() {
+        // Allocation 4 everywhere; arrivals drop to 0 in ticks 4..8.
+        let t = Trace::new(vec![4.0, 4.0, 4.0, 4.0, 0.0, 0.0, 0.0, 0.0, 4.0, 4.0]).unwrap();
+        let s = schedule(&[4.0; 10]);
+        let r = local_utilization(&t, &s, 4);
+        assert_eq!(r.utilization, 0.0);
+        assert_eq!(r.worst_window_end, 8);
+    }
+
+    #[test]
+    fn zero_allocation_windows_are_skipped() {
+        let t = Trace::new(vec![0.0, 0.0, 2.0, 2.0]).unwrap();
+        let s = schedule(&[0.0, 0.0, 2.0, 2.0]);
+        let r = local_utilization(&t, &s, 2);
+        // Only the final window [2,4) has allocation; ratio 1.
+        assert!((r.utilization - 1.0).abs() < 1e-12);
+        assert_eq!(r.windows_considered, 2); // windows ending at 3 and 4 overlap allocation
+    }
+
+    #[test]
+    fn all_windows_skipped_is_infinite() {
+        let t = Trace::new(vec![1.0, 1.0]).unwrap();
+        let s = schedule(&[0.0, 0.0]);
+        let r = local_utilization(&t, &s, 2);
+        assert!(r.utilization.is_infinite());
+        assert_eq!(r.windows_considered, 0);
+    }
+
+    #[test]
+    fn relaxed_is_at_least_strict() {
+        let t = Trace::new(vec![8.0, 0.0, 0.0, 0.0, 8.0, 0.0, 0.0, 0.0]).unwrap();
+        let s = schedule(&[4.0, 4.0, 2.0, 2.0, 4.0, 4.0, 2.0, 2.0]);
+        let strict = local_utilization(&t, &s, 2).utilization;
+        let relaxed = relaxed_local_utilization(&t, &s, 2, 6).utilization;
+        assert!(relaxed >= strict - 1e-12, "relaxed {relaxed} strict {strict}");
+    }
+
+    #[test]
+    fn global_utilization_ratio() {
+        let t = Trace::new(vec![2.0, 2.0]).unwrap();
+        let s = schedule(&[4.0, 4.0]);
+        assert!((global_utilization(&t, &s) - 0.5).abs() < 1e-12);
+        let empty = schedule(&[0.0, 0.0]);
+        assert!(global_utilization(&t, &empty).is_infinite());
+    }
+
+    #[test]
+    fn demand_exceeding_allocation_reports_above_one() {
+        let t = Trace::new(vec![8.0, 8.0]).unwrap();
+        let s = schedule(&[2.0, 2.0]);
+        let r = local_utilization(&t, &s, 2);
+        assert!((r.utilization - 4.0).abs() < 1e-12);
+    }
+}

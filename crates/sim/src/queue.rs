@@ -1,0 +1,109 @@
+//! FIFO bit queue with exact float mirroring semantics.
+//!
+//! Both the engine and the online algorithms model the sending-end queue.
+//! They must agree bit-for-bit, so the update rule lives in one place:
+//! arrivals land at the start of a tick, then up to `allocation` bits are
+//! served during the tick.
+
+use cdba_traffic::EPS;
+
+/// A FIFO queue of bits at the sending end station.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BitQueue {
+    backlog: f64,
+}
+
+impl BitQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        BitQueue::default()
+    }
+
+    /// Current backlog in bits.
+    pub fn backlog(&self) -> f64 {
+        self.backlog
+    }
+
+    /// `true` if the backlog is (within tolerance) zero.
+    pub fn is_empty(&self) -> bool {
+        self.backlog <= EPS
+    }
+
+    /// Advances one tick: `arrivals` bits land, then up to `allocation` bits
+    /// are served. Returns the number of bits actually served this tick.
+    ///
+    /// Negative inputs are clamped to zero (callers validate upstream; the
+    /// clamp keeps float noise from driving the backlog negative).
+    pub fn tick(&mut self, arrivals: f64, allocation: f64) -> f64 {
+        let arrivals = arrivals.max(0.0);
+        let allocation = allocation.max(0.0);
+        let offered = self.backlog + arrivals;
+        let served = offered.min(allocation);
+        self.backlog = offered - served;
+        if self.backlog < EPS {
+            self.backlog = 0.0;
+        }
+        served
+    }
+
+    /// Removes the entire backlog and returns it (the "move the content of
+    /// `Q_r` to `Q_o`" step of the multi-session algorithms).
+    pub fn drain_all(&mut self) -> f64 {
+        std::mem::take(&mut self.backlog)
+    }
+
+    /// Adds bits directly to the backlog (the receiving side of
+    /// [`BitQueue::drain_all`]).
+    pub fn inject(&mut self, bits: f64) {
+        self.backlog += bits.max(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_up_to_allocation() {
+        let mut q = BitQueue::new();
+        assert_eq!(q.tick(10.0, 4.0), 4.0);
+        assert_eq!(q.backlog(), 6.0);
+        assert_eq!(q.tick(0.0, 4.0), 4.0);
+        assert_eq!(q.tick(0.0, 4.0), 2.0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn same_tick_arrivals_are_servable() {
+        let mut q = BitQueue::new();
+        assert_eq!(q.tick(3.0, 5.0), 3.0);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drain_and_inject_move_bits() {
+        let mut q = BitQueue::new();
+        q.tick(7.0, 2.0);
+        let moved = q.drain_all();
+        assert_eq!(moved, 5.0);
+        assert!(q.is_empty());
+        let mut o = BitQueue::new();
+        o.inject(moved);
+        assert_eq!(o.backlog(), 5.0);
+    }
+
+    #[test]
+    fn float_noise_snaps_to_zero() {
+        let mut q = BitQueue::new();
+        q.tick(0.1 + 0.2, 0.3); // 0.1+0.2 != 0.3 in floats
+        assert!(q.is_empty());
+        assert_eq!(q.backlog(), 0.0);
+    }
+
+    #[test]
+    fn negative_inputs_clamp() {
+        let mut q = BitQueue::new();
+        assert_eq!(q.tick(-5.0, -1.0), 0.0);
+        assert!(q.is_empty());
+    }
+}

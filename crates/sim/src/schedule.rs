@@ -1,0 +1,230 @@
+//! Allocation schedules: the per-tick bandwidth timeline plus the log of
+//! allocation *changes* — the cost measure the paper minimizes.
+
+use cdba_traffic::EPS;
+use serde::{Deserialize, Serialize};
+
+/// One bandwidth allocation change.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Change {
+    /// Tick at which the new value took effect.
+    pub tick: usize,
+    /// Previous allocation.
+    pub from: f64,
+    /// New allocation.
+    pub to: f64,
+}
+
+/// An immutable record of the bandwidth allocated at every tick of a run,
+/// with the derived change log.
+///
+/// Built through [`ScheduleBuilder`]; the initial allocation before the run
+/// is defined to be 0, so a first tick with non-zero allocation counts as one
+/// change (consistent with the paper, where establishing an allocation is a
+/// signalling operation like any other change).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    allocation: Vec<f64>,
+    changes: Vec<Change>,
+    prefix: Vec<f64>,
+}
+
+impl Schedule {
+    /// Per-tick allocation values.
+    pub fn allocation(&self) -> &[f64] {
+        &self.allocation
+    }
+
+    /// Allocation at tick `t` (0 beyond the end).
+    pub fn allocation_at(&self, t: usize) -> f64 {
+        self.allocation.get(t).copied().unwrap_or(0.0)
+    }
+
+    /// Number of ticks recorded.
+    pub fn len(&self) -> usize {
+        self.allocation.len()
+    }
+
+    /// `true` if no ticks were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.allocation.is_empty()
+    }
+
+    /// The change log, in tick order.
+    pub fn changes(&self) -> &[Change] {
+        &self.changes
+    }
+
+    /// Total number of allocation changes.
+    pub fn num_changes(&self) -> usize {
+        self.changes.len()
+    }
+
+    /// Number of changes in the half-open tick interval `[a, b)`.
+    pub fn changes_in(&self, a: usize, b: usize) -> usize {
+        self.changes
+            .iter()
+            .filter(|c| (a..b).contains(&c.tick))
+            .count()
+    }
+
+    /// Total allocated bandwidth over ticks `[a, b)` (the paper's
+    /// `B(t − W, t]` in our half-open convention). O(1) via prefix sums.
+    pub fn allocated(&self, a: usize, b: usize) -> f64 {
+        if a >= b {
+            return 0.0;
+        }
+        let b = b.min(self.allocation.len());
+        let a = a.min(b);
+        self.prefix[b] - self.prefix[a]
+    }
+
+    /// Peak single-tick allocation.
+    pub fn peak(&self) -> f64 {
+        self.allocation.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean allocation per tick.
+    pub fn mean(&self) -> f64 {
+        if self.allocation.is_empty() {
+            0.0
+        } else {
+            self.allocated(0, self.allocation.len()) / self.allocation.len() as f64
+        }
+    }
+}
+
+/// Incremental builder used by the engine: push one allocation per tick;
+/// changes are detected automatically (difference above [`EPS`]).
+///
+/// # Example
+///
+/// ```
+/// use cdba_sim::ScheduleBuilder;
+///
+/// let mut builder = ScheduleBuilder::new();
+/// for alloc in [0.0, 2.0, 2.0, 4.0] {
+///     builder.push(alloc);
+/// }
+/// let schedule = builder.build();
+/// assert_eq!(schedule.num_changes(), 2);       // 0→2 and 2→4
+/// assert_eq!(schedule.allocated(0, 4), 8.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleBuilder {
+    allocation: Vec<f64>,
+    changes: Vec<Change>,
+    current: f64,
+}
+
+impl ScheduleBuilder {
+    /// Creates a builder with implicit initial allocation 0.
+    pub fn new() -> Self {
+        ScheduleBuilder::default()
+    }
+
+    /// Records the allocation for the next tick.
+    pub fn push(&mut self, allocation: f64) {
+        let tick = self.allocation.len();
+        if (allocation - self.current).abs() > EPS {
+            self.changes.push(Change {
+                tick,
+                from: self.current,
+                to: allocation,
+            });
+            self.current = allocation;
+        }
+        self.allocation.push(self.current);
+    }
+
+    /// Number of ticks pushed so far.
+    pub fn len(&self) -> usize {
+        self.allocation.len()
+    }
+
+    /// `true` if nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.allocation.is_empty()
+    }
+
+    /// The allocation most recently pushed (0 before the first push).
+    pub fn current(&self) -> f64 {
+        self.current
+    }
+
+    /// Finalizes into an immutable [`Schedule`].
+    pub fn build(self) -> Schedule {
+        let mut prefix = Vec::with_capacity(self.allocation.len() + 1);
+        let mut acc = 0.0;
+        prefix.push(0.0);
+        for &a in &self.allocation {
+            acc += a;
+            prefix.push(acc);
+        }
+        Schedule {
+            allocation: self.allocation,
+            changes: self.changes,
+            prefix,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(values: &[f64]) -> Schedule {
+        let mut b = ScheduleBuilder::new();
+        for &v in values {
+            b.push(v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn detects_changes() {
+        let s = build(&[0.0, 2.0, 2.0, 4.0, 4.0, 0.0]);
+        assert_eq!(s.num_changes(), 3);
+        assert_eq!(
+            s.changes(),
+            &[
+                Change { tick: 1, from: 0.0, to: 2.0 },
+                Change { tick: 3, from: 2.0, to: 4.0 },
+                Change { tick: 5, from: 4.0, to: 0.0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn initial_zero_is_free() {
+        let s = build(&[0.0, 0.0]);
+        assert_eq!(s.num_changes(), 0);
+    }
+
+    #[test]
+    fn sub_eps_wiggle_is_not_a_change() {
+        let s = build(&[2.0, 2.0 + 1e-9, 2.0]);
+        assert_eq!(s.num_changes(), 1); // only 0 → 2
+        // The wiggle is also flattened in the recorded timeline.
+        assert_eq!(s.allocation(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn allocated_prefix_sums() {
+        let s = build(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.allocated(0, 4), 10.0);
+        assert_eq!(s.allocated(1, 3), 5.0);
+        assert_eq!(s.allocated(3, 3), 0.0);
+        assert_eq!(s.allocated(2, 100), 7.0);
+        assert_eq!(s.peak(), 4.0);
+        assert_eq!(s.mean(), 2.5);
+    }
+
+    #[test]
+    fn changes_in_interval() {
+        let s = build(&[0.0, 2.0, 2.0, 4.0]);
+        assert_eq!(s.changes_in(0, 2), 1);
+        assert_eq!(s.changes_in(2, 4), 1);
+        assert_eq!(s.changes_in(0, 4), 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Human-readable run timelines: a completed [`crate::engine::Run`]
+//! rendered as an annotated text strip — demand, allocation, backlog, and
+//! change markers per time bucket. Used by `cdba-cli` and handy in test
+//! failure messages.
+
+use crate::engine::Run;
+use cdba_traffic::Trace;
+use std::fmt::Write as _;
+
+/// Rendering options for [`render`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimelineOptions {
+    /// Number of time buckets (columns) to fold the run into.
+    pub buckets: usize,
+    /// Include the backlog row.
+    pub show_backlog: bool,
+}
+
+impl Default for TimelineOptions {
+    fn default() -> Self {
+        TimelineOptions {
+            buckets: 60,
+            show_backlog: true,
+        }
+    }
+}
+
+fn bucketize(values: &[f64], buckets: usize, fold: impl Fn(&[f64]) -> f64) -> Vec<f64> {
+    if values.is_empty() {
+        return Vec::new();
+    }
+    let chunk = values.len().div_ceil(buckets.max(1));
+    values.chunks(chunk).map(fold).collect()
+}
+
+fn spark(values: &[f64]) -> String {
+    const LEVELS: [char; 9] = [' ', '▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let top = values.iter().copied().fold(0.0f64, f64::max);
+    if top <= 0.0 {
+        return " ".repeat(values.len());
+    }
+    values
+        .iter()
+        .map(|&v| {
+            let idx = ((v / top) * 8.0).ceil().clamp(0.0, 8.0) as usize;
+            LEVELS[idx]
+        })
+        .collect()
+}
+
+/// Renders a run as a multi-row text timeline.
+///
+/// ```text
+/// demand  ▁▂▁█▁▁▂▁…   (max 37.2)
+/// alloc   ▂▂▂▄▄▄▂▂…   (max 16.0, 12 changes)
+/// backlog ▁▁ ▇▃▁  …   (max 85.0)
+/// changes ··|··|··…
+/// ```
+pub fn render(trace: &Trace, run: &Run, options: TimelineOptions) -> String {
+    let n = run.schedule.len();
+    let buckets = options.buckets.max(1);
+    let demand: Vec<f64> = (0..n).map(|t| trace.arrival(t)).collect();
+    // Reconstruct backlog from cumulative arrivals − served.
+    let mut backlog = Vec::with_capacity(n);
+    let mut q = 0.0f64;
+    for t in 0..n {
+        q += trace.arrival(t) - run.served().get(t).copied().unwrap_or(0.0);
+        backlog.push(q.max(0.0));
+    }
+    let max = |c: &[f64]| c.iter().copied().fold(0.0f64, f64::max);
+    let d = bucketize(&demand, buckets, max);
+    let a = bucketize(run.schedule.allocation(), buckets, max);
+    let b = bucketize(&backlog, buckets, max);
+    // Change markers: '|' where a bucket contains at least one change.
+    let chunk = n.div_ceil(buckets);
+    let marks: String = (0..d.len())
+        .map(|i| {
+            let lo = i * chunk;
+            let hi = ((i + 1) * chunk).min(n);
+            if run.schedule.changes_in(lo, hi) > 0 {
+                '|'
+            } else {
+                '·'
+            }
+        })
+        .collect();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "demand  {}   (max {:.1})", spark(&d), max(&demand));
+    let _ = writeln!(
+        out,
+        "alloc   {}   (max {:.1}, {} changes)",
+        spark(&a),
+        run.schedule.peak(),
+        run.schedule.num_changes()
+    );
+    if options.show_backlog {
+        let _ = writeln!(out, "backlog {}   (max {:.1})", spark(&b), max(&backlog));
+    }
+    let _ = write!(out, "changes {marks}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, DrainPolicy};
+    use crate::traits::Allocator;
+
+    struct Flat(f64);
+    impl Allocator for Flat {
+        fn on_tick(&mut self, _a: f64) -> f64 {
+            self.0
+        }
+        fn name(&self) -> &'static str {
+            "flat"
+        }
+    }
+
+    fn fixture() -> (Trace, Run) {
+        let arrivals: Vec<f64> = (0..120)
+            .map(|t| if t % 17 == 0 { 24.0 } else { 1.0 })
+            .collect();
+        let trace = Trace::new(arrivals).unwrap();
+        let run = simulate(&trace, &mut Flat(4.0), DrainPolicy::DrainToEmpty).unwrap();
+        (trace, run)
+    }
+
+    #[test]
+    fn renders_all_rows() {
+        let (trace, run) = fixture();
+        let text = render(&trace, &run, TimelineOptions::default());
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("demand"));
+        assert!(text.contains("alloc"));
+        assert!(text.contains("backlog"));
+        assert!(text.contains("1 changes"));
+    }
+
+    #[test]
+    fn backlog_row_is_optional() {
+        let (trace, run) = fixture();
+        let text = render(
+            &trace,
+            &run,
+            TimelineOptions {
+                buckets: 30,
+                show_backlog: false,
+            },
+        );
+        assert_eq!(text.lines().count(), 3);
+        assert!(!text.contains("backlog"));
+    }
+
+    #[test]
+    fn change_markers_line_up_with_changes() {
+        let (trace, run) = fixture();
+        let text = render(&trace, &run, TimelineOptions::default());
+        let marks = text.lines().last().unwrap();
+        // The only change is the 0→4 establishment at tick 0: exactly one '|'.
+        assert_eq!(marks.matches('|').count(), 1);
+        assert!(marks.starts_with("changes |"));
+    }
+
+    #[test]
+    fn degenerate_buckets_do_not_panic() {
+        let (trace, run) = fixture();
+        let text = render(
+            &trace,
+            &run,
+            TimelineOptions {
+                buckets: 1,
+                show_backlog: true,
+            },
+        );
+        assert!(text.contains("alloc"));
+    }
+}

@@ -1,0 +1,87 @@
+//! The allocator interfaces every policy implements.
+//!
+//! An allocator is a pure state machine: the engine feeds it one tick of
+//! arrivals, it answers with the bandwidth to allocate *for that tick*.
+//! Queues, service, measurement, and change counting all live in the engine
+//! and the [`crate::schedule::Schedule`], so allocators stay independently
+//! testable and cannot disagree with the measured schedule.
+
+/// A single-session (or single aggregate channel) bandwidth allocation
+/// policy.
+pub trait Allocator {
+    /// Advances one tick. `arrivals` is the number of bits submitted at the
+    /// sending end during this tick; the return value is the bandwidth
+    /// allocated for this tick (bits that can be served this very tick).
+    fn on_tick(&mut self, arrivals: f64) -> f64;
+
+    /// A short stable name for reports.
+    fn name(&self) -> &str;
+}
+
+/// A `k`-session allocation policy sharing one channel.
+pub trait MultiAllocator {
+    /// Number of sessions `k` this policy was configured for.
+    fn num_sessions(&self) -> usize;
+
+    /// Advances one tick. `arrivals[i]` is the bits submitted by session `i`
+    /// this tick; the return value is the per-session bandwidth allocation
+    /// for this tick (`len == num_sessions()`).
+    fn on_tick(&mut self, arrivals: &[f64]) -> Vec<f64>;
+
+    /// A short stable name for reports.
+    fn name(&self) -> &str;
+}
+
+impl<A: Allocator + ?Sized> Allocator for &mut A {
+    fn on_tick(&mut self, arrivals: f64) -> f64 {
+        (**self).on_tick(arrivals)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+impl<A: MultiAllocator + ?Sized> MultiAllocator for &mut A {
+    fn num_sessions(&self) -> usize {
+        (**self).num_sessions()
+    }
+
+    fn on_tick(&mut self, arrivals: &[f64]) -> Vec<f64> {
+        (**self).on_tick(arrivals)
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl Allocator for Echo {
+        fn on_tick(&mut self, arrivals: f64) -> f64 {
+            arrivals
+        }
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+    }
+
+    #[test]
+    fn mut_ref_forwarding() {
+        let mut e = Echo;
+        let mut r = &mut e;
+        assert_eq!(Allocator::on_tick(&mut r, 3.0), 3.0);
+        assert_eq!(Allocator::name(&r), "echo");
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let mut e = Echo;
+        let obj: &mut dyn Allocator = &mut e;
+        assert_eq!(obj.on_tick(1.0), 1.0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Bound verifiers: check a finished run against the envelopes the paper's
+//! theorems promise (delay ≤ `D_A`, utilization ≥ `U_A`, peak bandwidth
+//! ≤ `B_A`) and produce a structured verdict for reports and tests.
+
+use crate::engine::{MultiRun, Run};
+use crate::measure;
+use cdba_traffic::{MultiTrace, Trace, EPS};
+use serde::{Deserialize, Serialize};
+
+/// The promised envelope for a single-session run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SingleBounds {
+    /// Maximum bandwidth `B_A` the algorithm may allocate at any tick.
+    pub max_bandwidth: f64,
+    /// Maximum delay `D_A` in ticks.
+    pub max_delay: usize,
+    /// Minimum utilization `U_A` (use 0 to disable the check).
+    pub min_utilization: f64,
+    /// Base utilization window `W` in ticks.
+    pub window: usize,
+    /// Largest window the relaxed utilization check may use (the paper's
+    /// `W + 5·D_O`); must be ≥ `window`.
+    pub relaxed_window: usize,
+}
+
+/// The verdict for a single-session run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SingleVerdict {
+    /// Measured maximum FIFO delay (`None` if bits were never served).
+    pub max_delay: Option<usize>,
+    /// Measured relaxed local utilization.
+    pub utilization: f64,
+    /// Measured strict (fixed-window) local utilization, for reference.
+    pub strict_utilization: f64,
+    /// Measured global utilization.
+    pub global_utilization: f64,
+    /// Peak single-tick allocation.
+    pub peak_allocation: f64,
+    /// Total allocation changes.
+    pub changes: usize,
+    /// `true` iff the delay bound held.
+    pub delay_ok: bool,
+    /// `true` iff the (relaxed) utilization bound held.
+    pub utilization_ok: bool,
+    /// `true` iff the bandwidth envelope held.
+    pub bandwidth_ok: bool,
+}
+
+impl SingleVerdict {
+    /// `true` iff every checked bound held.
+    pub fn all_ok(&self) -> bool {
+        self.delay_ok && self.utilization_ok && self.bandwidth_ok
+    }
+}
+
+/// Verifies a single-session run against its promised envelope.
+///
+/// # Panics
+///
+/// Panics if `bounds.window == 0` or `relaxed_window < window`.
+pub fn verify_single(trace: &Trace, run: &Run, bounds: &SingleBounds) -> SingleVerdict {
+    assert!(bounds.window > 0, "window must be positive");
+    assert!(
+        bounds.relaxed_window >= bounds.window,
+        "relaxed_window must be >= window"
+    );
+    let max_delay = measure::max_delay(trace, run.served());
+    let relaxed =
+        measure::relaxed_local_utilization(trace, &run.schedule, bounds.window, bounds.relaxed_window);
+    let strict = measure::local_utilization(trace, &run.schedule, bounds.window);
+    let global = measure::global_utilization(trace, &run.schedule);
+    let peak = run.schedule.peak();
+    SingleVerdict {
+        max_delay,
+        utilization: relaxed.utilization,
+        strict_utilization: strict.utilization,
+        global_utilization: global,
+        peak_allocation: peak,
+        changes: run.schedule.num_changes(),
+        delay_ok: max_delay.is_some_and(|d| d <= bounds.max_delay),
+        utilization_ok: relaxed.utilization >= bounds.min_utilization - EPS,
+        bandwidth_ok: peak <= bounds.max_bandwidth + EPS,
+    }
+}
+
+/// The promised envelope for a multi-session run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiBounds {
+    /// Maximum *total* bandwidth `B_A` across sessions at any tick.
+    pub total_bandwidth: f64,
+    /// Maximum per-session delay `D_A` in ticks.
+    pub max_delay: usize,
+}
+
+/// The verdict for a multi-session run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiVerdict {
+    /// Per-session measured maximum delay.
+    pub session_delays: Vec<Option<usize>>,
+    /// Worst measured delay across sessions (`None` if any session has
+    /// unserved bits).
+    pub max_delay: Option<usize>,
+    /// Peak total allocation across all ticks.
+    pub peak_total_allocation: f64,
+    /// Total per-session (local) changes.
+    pub local_changes: usize,
+    /// Changes of the summed allocation (global changes).
+    pub global_changes: usize,
+    /// `true` iff every session met the delay bound.
+    pub delay_ok: bool,
+    /// `true` iff the total bandwidth envelope held.
+    pub bandwidth_ok: bool,
+}
+
+impl MultiVerdict {
+    /// `true` iff every checked bound held.
+    pub fn all_ok(&self) -> bool {
+        self.delay_ok && self.bandwidth_ok
+    }
+}
+
+/// Verifies a multi-session run against its promised envelope.
+pub fn verify_multi(input: &MultiTrace, run: &MultiRun, bounds: &MultiBounds) -> MultiVerdict {
+    let session_delays: Vec<Option<usize>> = (0..run.num_sessions())
+        .map(|i| measure::max_delay(input.session(i), run.served(i)))
+        .collect();
+    let max_delay = session_delays
+        .iter()
+        .try_fold(0usize, |acc, d| d.map(|d| acc.max(d)));
+    let peak = run.total.peak();
+    MultiVerdict {
+        delay_ok: max_delay.is_some_and(|d| d <= bounds.max_delay),
+        bandwidth_ok: peak <= bounds.total_bandwidth + EPS,
+        session_delays,
+        max_delay,
+        peak_total_allocation: peak,
+        local_changes: run.local_changes(),
+        global_changes: run.total.num_changes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{simulate, simulate_multi, DrainPolicy};
+    use crate::traits::{Allocator, MultiAllocator};
+
+    struct Flat(f64);
+    impl Allocator for Flat {
+        fn on_tick(&mut self, _a: f64) -> f64 {
+            self.0
+        }
+        fn name(&self) -> &'static str {
+            "flat"
+        }
+    }
+
+    #[test]
+    fn verdict_checks_all_three_bounds() {
+        let t = Trace::new(vec![2.0; 20]).unwrap();
+        let run = simulate(&t, &mut Flat(2.0), DrainPolicy::DrainToEmpty).unwrap();
+        let bounds = SingleBounds {
+            max_bandwidth: 4.0,
+            max_delay: 2,
+            min_utilization: 0.5,
+            window: 4,
+            relaxed_window: 8,
+        };
+        let v = verify_single(&t, &run, &bounds);
+        assert!(v.all_ok(), "{v:?}");
+        assert_eq!(v.max_delay, Some(0));
+        assert!((v.utilization - 1.0).abs() < 1e-9);
+        assert_eq!(v.peak_allocation, 2.0);
+    }
+
+    #[test]
+    fn delay_violation_is_flagged() {
+        let t = Trace::new(vec![20.0, 0.0, 0.0, 0.0]).unwrap();
+        let run = simulate(&t, &mut Flat(2.0), DrainPolicy::DrainToEmpty).unwrap();
+        let bounds = SingleBounds {
+            max_bandwidth: 4.0,
+            max_delay: 2,
+            min_utilization: 0.0,
+            window: 4,
+            relaxed_window: 4,
+        };
+        let v = verify_single(&t, &run, &bounds);
+        assert!(!v.delay_ok);
+        assert!(v.max_delay.unwrap() > 2);
+    }
+
+    #[test]
+    fn bandwidth_violation_is_flagged() {
+        let t = Trace::new(vec![2.0; 4]).unwrap();
+        let run = simulate(&t, &mut Flat(8.0), DrainPolicy::DrainToEmpty).unwrap();
+        let bounds = SingleBounds {
+            max_bandwidth: 4.0,
+            max_delay: 10,
+            min_utilization: 0.0,
+            window: 2,
+            relaxed_window: 2,
+        };
+        let v = verify_single(&t, &run, &bounds);
+        assert!(!v.bandwidth_ok);
+    }
+
+    struct FlatMulti(usize, f64);
+    impl MultiAllocator for FlatMulti {
+        fn num_sessions(&self) -> usize {
+            self.0
+        }
+        fn on_tick(&mut self, _a: &[f64]) -> Vec<f64> {
+            vec![self.1; self.0]
+        }
+        fn name(&self) -> &'static str {
+            "flat-multi"
+        }
+    }
+
+    #[test]
+    fn multi_verdict_aggregates_sessions() {
+        let m = cdba_traffic::multi::rotating_hot(2, 3.0, 1.0, 4, 16).unwrap();
+        let run = simulate_multi(&m, &mut FlatMulti(2, 4.0), DrainPolicy::DrainToEmpty).unwrap();
+        let v = verify_multi(&m, &run, &MultiBounds { total_bandwidth: 8.0, max_delay: 1 });
+        assert!(v.all_ok(), "{v:?}");
+        assert_eq!(v.session_delays.len(), 2);
+        assert_eq!(v.peak_total_allocation, 8.0);
+    }
+
+    #[test]
+    fn multi_bandwidth_violation() {
+        let m = cdba_traffic::multi::rotating_hot(2, 1.0, 1.0, 4, 8).unwrap();
+        let run = simulate_multi(&m, &mut FlatMulti(2, 4.0), DrainPolicy::DrainToEmpty).unwrap();
+        let v = verify_multi(&m, &run, &MultiBounds { total_bandwidth: 6.0, max_delay: 8 });
+        assert!(!v.bandwidth_ok);
+        assert!(v.delay_ok);
+    }
+}

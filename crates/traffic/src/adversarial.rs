@@ -1,0 +1,216 @@
+//! Adversarial input streams that attain the paper's worst-case bounds.
+//!
+//! The competitive ratios of Theorems 6, 7, 14 and 17 are worst-case
+//! statements; benign traffic rarely makes the online algorithms pay the
+//! full `log B_A` or `3k` factors. The constructions here do:
+//!
+//! * [`stage_forcer`] drives the single-session algorithm (Fig 3 in the
+//!   paper) through full stages — each stage first *climbs* `low(t)` through
+//!   every power-of-two allocation level, then *starves* the link so the
+//!   utilization bound `high(t)` collapses below `low(t)` and forces a
+//!   RESET. The online algorithm pays `≈ log₂ B_A` changes per stage while a
+//!   clairvoyant offline pays O(1).
+//! * [`oscillator`] alternates between two rates; any *zero-slack* tracker
+//!   (same delay and utilization as the offline) must re-allocate on every
+//!   half-period, demonstrating the paper's impossibility remark (Sec 1.1).
+
+use crate::{Trace, TraceError};
+
+/// Parameters for [`stage_forcer`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageForcerParams {
+    /// The online maximum bandwidth `B_A` (must be a power of two ≥ 2).
+    pub b_max: f64,
+    /// The offline delay bound `D_O` in ticks.
+    pub d_o: usize,
+    /// The utilization window `W` in ticks (the starve phase lasts
+    /// `W + d_o + 1` ticks so `high(t)` provably collapses).
+    pub w: usize,
+    /// Number of stages to force.
+    pub stages: usize,
+    /// Multiplicative margin by which each burst overshoots an allocation
+    /// level (default 1.05 via [`StageForcerParams::new`]).
+    pub margin: f64,
+}
+
+impl StageForcerParams {
+    /// Conventional construction: margin 1.05.
+    pub fn new(b_max: f64, d_o: usize, w: usize, stages: usize) -> Self {
+        StageForcerParams {
+            b_max,
+            d_o,
+            w,
+            stages,
+            margin: 1.05,
+        }
+    }
+
+    /// Ticks consumed by the climb phase of one stage.
+    pub fn climb_len(&self) -> usize {
+        let levels = self.b_max.log2().round() as usize;
+        levels * (1 + self.d_o)
+    }
+}
+
+/// Builds the stage-forcing adversarial trace described in the module docs.
+///
+/// Each stage consists of `log₂ b_max` single-tick bursts — burst `j` carries
+/// `margin · 2^j · (1 + d_o)` bits, pushing the algorithm's `low(t)` just
+/// above `2^j` and its allocation to `2^(j+1)` — separated by `d_o` drain
+/// ticks, followed by `w + d_o + 1` silent ticks that collapse `high(t)` to
+/// zero and force a RESET.
+///
+/// For the climb to stay inside the grace window where `high(t) = B_A`
+/// (the first `w` ticks of a stage), choose `w ≥ climb_len()`; the
+/// function does not enforce this so that experiments can also explore the
+/// early-reset regime.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidParameter`] if `b_max` is not a power of two
+/// ≥ 2, `margin ≤ 1`, or `stages == 0`.
+pub fn stage_forcer(params: StageForcerParams) -> Result<Trace, TraceError> {
+    let levels = params.b_max.log2();
+    if !params.b_max.is_finite()
+        || params.b_max < 2.0
+        || (levels - levels.round()).abs() > 1e-9
+    {
+        return Err(TraceError::InvalidParameter(format!(
+            "b_max {} must be a power of two >= 2",
+            params.b_max
+        )));
+    }
+    // NaN margins fail the finiteness check; `<=` alone would let them pass.
+    if !params.margin.is_finite() || params.margin <= 1.0 {
+        return Err(TraceError::InvalidParameter(format!(
+            "margin {} must exceed 1",
+            params.margin
+        )));
+    }
+    if params.stages == 0 {
+        return Err(TraceError::InvalidParameter("stages must be >= 1".into()));
+    }
+    let levels = levels.round() as u32;
+    let mut arrivals = Vec::new();
+    for _ in 0..params.stages {
+        // Climb: push low(t) just above 1, 2, 4, …, b_max/2 in turn, so the
+        // power-of-two allocation visits 2, 4, …, b_max.
+        for j in 0..levels {
+            let burst = params.margin * 2f64.powi(j as i32) * (1 + params.d_o) as f64;
+            arrivals.push(burst);
+            arrivals.extend(std::iter::repeat_n(0.0, params.d_o));
+        }
+        // Starve: a full utilization window of silence collapses high(t).
+        arrivals.extend(std::iter::repeat_n(0.0, params.w + params.d_o + 1));
+    }
+    Trace::new(arrivals)
+}
+
+/// Builds a square-wave trace: `period` ticks at `hi_rate`, `period` ticks at
+/// `lo_rate`, repeated for `cycles` cycles.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidParameter`] for invalid rates,
+/// `period == 0`, or `cycles == 0`.
+pub fn oscillator(
+    hi_rate: f64,
+    lo_rate: f64,
+    period: usize,
+    cycles: usize,
+) -> Result<Trace, TraceError> {
+    for (name, v) in [("hi_rate", hi_rate), ("lo_rate", lo_rate)] {
+        if !v.is_finite() || v < 0.0 {
+            return Err(TraceError::InvalidParameter(format!("oscillator {name} {v}")));
+        }
+    }
+    if period == 0 || cycles == 0 {
+        return Err(TraceError::InvalidParameter(
+            "oscillator period and cycles must be >= 1".into(),
+        ));
+    }
+    let mut arrivals = Vec::with_capacity(2 * period * cycles);
+    for _ in 0..cycles {
+        arrivals.extend(std::iter::repeat_n(hi_rate, period));
+        arrivals.extend(std::iter::repeat_n(lo_rate, period));
+    }
+    Trace::new(arrivals)
+}
+
+/// A geometric "staircase" trace whose rate doubles every `step` ticks from
+/// `base` for `levels` levels, then drops back — exercises monotone climbs
+/// without the silence needed for a RESET.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidParameter`] for invalid parameters.
+pub fn staircase(base: f64, levels: u32, step: usize, repeats: usize) -> Result<Trace, TraceError> {
+    if !base.is_finite() || base <= 0.0 {
+        return Err(TraceError::InvalidParameter(format!("staircase base {base}")));
+    }
+    if step == 0 || repeats == 0 || levels == 0 {
+        return Err(TraceError::InvalidParameter(
+            "staircase step, repeats, levels must be >= 1".into(),
+        ));
+    }
+    let mut arrivals = Vec::with_capacity(levels as usize * step * repeats);
+    for _ in 0..repeats {
+        for j in 0..levels {
+            let rate = base * 2f64.powi(j as i32);
+            arrivals.extend(std::iter::repeat_n(rate, step));
+        }
+    }
+    Trace::new(arrivals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_forcer_has_expected_length() {
+        let p = StageForcerParams::new(16.0, 4, 40, 3);
+        let t = stage_forcer(p).unwrap();
+        // Per stage: 4 levels × (1 + 4) ticks + (40 + 4 + 1) silence.
+        let per_stage = 4 * 5 + 45;
+        assert_eq!(t.len(), 3 * per_stage);
+        assert_eq!(p.climb_len(), 20);
+    }
+
+    #[test]
+    fn stage_forcer_bursts_grow_geometrically() {
+        let p = StageForcerParams::new(8.0, 2, 20, 1);
+        let t = stage_forcer(p).unwrap();
+        let bursts: Vec<f64> = t.arrivals().iter().copied().filter(|&a| a > 0.0).collect();
+        assert_eq!(bursts.len(), 3);
+        assert!((bursts[1] / bursts[0] - 2.0).abs() < 1e-9);
+        assert!((bursts[2] / bursts[1] - 2.0).abs() < 1e-9);
+        // Burst j pushes low just above 2^j: burst / (1 + d_o) > 2^j.
+        assert!(bursts[0] / 3.0 > 1.0);
+        assert!(bursts[0] / 3.0 < 2.0);
+    }
+
+    #[test]
+    fn stage_forcer_rejects_non_power_of_two() {
+        assert!(stage_forcer(StageForcerParams::new(12.0, 4, 40, 1)).is_err());
+        assert!(stage_forcer(StageForcerParams::new(16.0, 4, 40, 0)).is_err());
+        let mut p = StageForcerParams::new(16.0, 4, 40, 1);
+        p.margin = 0.9;
+        assert!(stage_forcer(p).is_err());
+    }
+
+    #[test]
+    fn oscillator_alternates() {
+        let t = oscillator(10.0, 2.0, 3, 2).unwrap();
+        assert_eq!(
+            t.arrivals(),
+            &[10.0, 10.0, 10.0, 2.0, 2.0, 2.0, 10.0, 10.0, 10.0, 2.0, 2.0, 2.0]
+        );
+    }
+
+    #[test]
+    fn staircase_doubles() {
+        let t = staircase(1.0, 3, 2, 1).unwrap();
+        assert_eq!(t.arrivals(), &[1.0, 1.0, 2.0, 2.0, 4.0, 4.0]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Compact binary encoding for traces (magic + version + length-prefixed
+//! little-endian `f64`s), built on [`bytes`]. Used to persist generated
+//! workloads so experiment re-runs operate on identical inputs.
+
+use crate::{MultiTrace, Trace, TraceError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"CDBA";
+const VERSION: u8 = 1;
+
+/// Error returned when decoding a trace blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The magic header or version byte did not match.
+    BadHeader,
+    /// The blob ended before the declared payload.
+    Truncated,
+    /// The payload failed [`Trace`] validation.
+    InvalidPayload(String),
+}
+
+impl std::fmt::Display for CodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodecError::BadHeader => write!(f, "bad magic or unsupported version"),
+            CodecError::Truncated => write!(f, "truncated trace blob"),
+            CodecError::InvalidPayload(msg) => write!(f, "invalid payload: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl From<TraceError> for CodecError {
+    fn from(err: TraceError) -> Self {
+        CodecError::InvalidPayload(err.to_string())
+    }
+}
+
+/// Encodes a single trace to bytes.
+pub fn encode(trace: &Trace) -> Bytes {
+    let mut buf = BytesMut::with_capacity(4 + 1 + 4 + 8 + trace.len() * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u32_le(1); // session count
+    buf.put_u64_le(trace.len() as u64);
+    for &a in trace.arrivals() {
+        buf.put_f64_le(a);
+    }
+    buf.freeze()
+}
+
+/// Encodes a multi-session trace to bytes.
+pub fn encode_multi(multi: &MultiTrace) -> Bytes {
+    let k = multi.num_sessions();
+    let len = multi.len();
+    let mut buf = BytesMut::with_capacity(4 + 1 + 4 + 8 + k * len * 8);
+    buf.put_slice(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u32_le(k as u32);
+    buf.put_u64_le(len as u64);
+    for session in multi.sessions() {
+        for &a in session.arrivals() {
+            buf.put_f64_le(a);
+        }
+    }
+    buf.freeze()
+}
+
+fn decode_header(buf: &mut Bytes) -> Result<(usize, usize), CodecError> {
+    if buf.remaining() < 4 + 1 + 4 + 8 {
+        return Err(CodecError::Truncated);
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC || buf.get_u8() != VERSION {
+        return Err(CodecError::BadHeader);
+    }
+    let k = buf.get_u32_le() as usize;
+    let len = buf.get_u64_le() as usize;
+    Ok((k, len))
+}
+
+/// Decodes a single trace.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] for bad headers, truncated blobs, multi-session
+/// blobs, or payloads that fail trace validation.
+pub fn decode(mut buf: Bytes) -> Result<Trace, CodecError> {
+    let (k, len) = decode_header(&mut buf)?;
+    if k != 1 {
+        return Err(CodecError::InvalidPayload(format!(
+            "expected 1 session, found {k}"
+        )));
+    }
+    if buf.remaining() < len * 8 {
+        return Err(CodecError::Truncated);
+    }
+    let arrivals = (0..len).map(|_| buf.get_f64_le()).collect();
+    Ok(Trace::new(arrivals)?)
+}
+
+/// Decodes a multi-session trace.
+///
+/// # Errors
+///
+/// Returns [`CodecError`] for bad headers, truncated blobs, or payloads that
+/// fail validation.
+pub fn decode_multi(mut buf: Bytes) -> Result<MultiTrace, CodecError> {
+    let (k, len) = decode_header(&mut buf)?;
+    if buf.remaining() < k * len * 8 {
+        return Err(CodecError::Truncated);
+    }
+    let mut sessions = Vec::with_capacity(k);
+    for _ in 0..k {
+        let arrivals = (0..len).map(|_| buf.get_f64_le()).collect();
+        sessions.push(Trace::new(arrivals)?);
+    }
+    Ok(MultiTrace::new(sessions)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::rotating_hot;
+
+    #[test]
+    fn roundtrip_single() {
+        let t = Trace::new(vec![1.5, 0.0, 7.25, 3.0]).unwrap();
+        let back = decode(encode(&t)).unwrap();
+        assert_eq!(back, t);
+        assert_eq!(back.window(0, 4), t.window(0, 4));
+    }
+
+    #[test]
+    fn roundtrip_multi() {
+        let m = rotating_hot(3, 5.0, 0.5, 2, 10).unwrap();
+        let back = decode_multi(encode_multi(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let mut raw = encode(&Trace::new(vec![1.0]).unwrap()).to_vec();
+        raw[0] = b'X';
+        assert_eq!(decode(Bytes::from(raw)), Err(CodecError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let raw = encode(&Trace::new(vec![1.0, 2.0, 3.0]).unwrap());
+        let cut = raw.slice(0..raw.len() - 4);
+        assert_eq!(decode(cut), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn rejects_session_mismatch() {
+        let m = rotating_hot(2, 1.0, 0.0, 1, 4).unwrap();
+        assert!(matches!(
+            decode(encode_multi(&m)),
+            Err(CodecError::InvalidPayload(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_payload_values() {
+        let mut raw = encode(&Trace::new(vec![1.0]).unwrap()).to_vec();
+        let n = raw.len();
+        raw[n - 8..].copy_from_slice(&f64::NAN.to_le_bytes());
+        assert!(matches!(
+            decode(Bytes::from(raw)),
+            Err(CodecError::InvalidPayload(_))
+        ));
+    }
+}

@@ -1,0 +1,170 @@
+//! Small sampling toolbox used by the workload generators.
+//!
+//! The workspace's dependency budget deliberately excludes `rand_distr`, so
+//! the handful of distributions the generators need are implemented here via
+//! standard inversion / rejection methods.
+
+use rand::{Rng, RngExt};
+
+/// Samples an exponential variate with the given `rate` (mean `1/rate`).
+///
+/// # Panics
+///
+/// Panics if `rate` is not strictly positive and finite.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, rate: f64) -> f64 {
+    assert!(rate.is_finite() && rate > 0.0, "rate must be positive");
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    -u.ln() / rate
+}
+
+/// Samples a geometric variate on `{1, 2, ...}` with success probability `p`
+/// (mean `1/p`), via inversion.
+///
+/// # Panics
+///
+/// Panics if `p` is not in `(0, 1]`.
+pub fn geometric<R: Rng + ?Sized>(rng: &mut R, p: f64) -> u64 {
+    assert!(p > 0.0 && p <= 1.0, "p must be in (0, 1]");
+    if p >= 1.0 {
+        return 1;
+    }
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let v = (u.ln() / (1.0 - p).ln()).ceil();
+    (v.max(1.0)) as u64
+}
+
+/// Samples a Poisson variate with mean `lambda`.
+///
+/// Knuth's product method for `lambda < 30`, otherwise the classic
+/// normal approximation `N(λ, λ)` clamped at zero — accurate to within the
+/// fidelity workload synthesis requires.
+///
+/// # Panics
+///
+/// Panics if `lambda` is negative or non-finite.
+pub fn poisson<R: Rng + ?Sized>(rng: &mut R, lambda: f64) -> u64 {
+    assert!(lambda.is_finite() && lambda >= 0.0, "lambda must be >= 0");
+    if lambda == 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let l = (-lambda).exp();
+        let mut k = 0u64;
+        let mut p = 1.0;
+        loop {
+            p *= rng.random::<f64>();
+            if p <= l {
+                return k;
+            }
+            k += 1;
+        }
+    } else {
+        let n = standard_normal(rng);
+        let v = lambda + lambda.sqrt() * n;
+        v.round().max(0.0) as u64
+    }
+}
+
+/// Samples a standard normal variate via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Samples a Pareto variate with scale `xm > 0` and shape `alpha > 0`
+/// (heavy-tailed for `alpha ≤ 2`), via inversion.
+///
+/// # Panics
+///
+/// Panics if either parameter is not strictly positive and finite.
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, xm: f64, alpha: f64) -> f64 {
+    assert!(xm.is_finite() && xm > 0.0, "xm must be positive");
+    assert!(alpha.is_finite() && alpha > 0.0, "alpha must be positive");
+    let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    xm / u.powf(1.0 / alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| exponential(&mut r, 0.25)).sum::<f64>() / n as f64;
+        assert!((mean - 4.0).abs() < 0.15, "mean {mean}");
+    }
+
+    #[test]
+    fn geometric_mean_and_support() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<u64> = (0..n).map(|_| geometric(&mut r, 0.2)).collect();
+        assert!(samples.iter().all(|&s| s >= 1));
+        let mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        assert!((mean - 5.0).abs() < 0.2, "mean {mean}");
+        assert_eq!(geometric(&mut r, 1.0), 1);
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean = (0..n).map(|_| poisson(&mut r, 3.5)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 3.5).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_mean() {
+        let mut r = rng();
+        let n = 20_000;
+        let mean = (0..n).map(|_| poisson(&mut r, 200.0)).sum::<u64>() as f64 / n as f64;
+        assert!((mean - 200.0).abs() < 1.0, "mean {mean}");
+    }
+
+    #[test]
+    fn poisson_zero() {
+        let mut r = rng();
+        assert_eq!(poisson(&mut r, 0.0), 0);
+    }
+
+    #[test]
+    fn pareto_support_and_median() {
+        let mut r = rng();
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| pareto(&mut r, 2.0, 1.5)).collect();
+        assert!(samples.iter().all(|&s| s >= 2.0));
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        // Median of Pareto(xm, alpha) = xm * 2^(1/alpha).
+        let expected = 2.0 * 2f64.powf(1.0 / 1.5);
+        let median = sorted[n / 2];
+        assert!((median - expected).abs() / expected < 0.05, "median {median}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let n = 40_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn poisson_rejects_negative() {
+        let mut r = rng();
+        poisson(&mut r, -1.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Traffic traces and synthetic workload generators.
+//!
+//! This crate is the *workload substrate* for the `cdba` reproduction of
+//! Bar-Noy, Mansour & Schieber, *Competitive Dynamic Bandwidth Allocation*
+//! (PODC 1998). The paper's model is a stream of bits arriving at a sending
+//! end station at an unpredictable, time-varying rate; the experimental works
+//! it abstracts (GKT95, ACHM96) ran on proprietary network traces. Since
+//! no public trace accompanies the paper, this crate synthesizes every
+//! traffic class the paper's introduction motivates:
+//!
+//! * constant-rate sources (real-time voice) — [`models::cbr`],
+//! * variable-rate compressed video — [`models::video`],
+//! * bursty data traffic — [`models::onoff`], [`models::pareto_bursts`],
+//!   [`models::mmpp`], [`models::spike`],
+//! * adversarial streams that attain the paper's worst-case bounds —
+//!   [`adversarial`].
+//!
+//! The central type is [`Trace`]: an immutable per-tick arrival sequence with
+//! precomputed prefix sums, so that every windowed quantity the paper's
+//! algorithms need (`IN[t−w, t)`, demand bounds, utilization windows) is an
+//! O(1) lookup.
+//!
+//! Feasibility in the paper's sense (footnote 1 and Claim 9: an input is
+//! `(B_O, D_O)`-servable iff every interval `[t, t+Δ)` carries at most
+//! `(Δ + D_O)·B_O` bits) is checked and *enforced* by [`conditioner`], which
+//! is exactly a token-bucket projection with rate `B_O` and depth `B_O·D_O`.
+//!
+//! # Example
+//!
+//! ```
+//! use cdba_traffic::{models, conditioner, Trace};
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), cdba_traffic::TraceError> {
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let raw = models::onoff(&mut rng, models::OnOffParams::default(), 1_000)?;
+//! // Make the stream servable by an offline algorithm with B_O = 8, D_O = 16.
+//! let feasible = conditioner::scale_to_feasible(&raw, 8.0, 16)?;
+//! assert!(conditioner::is_feasible(&feasible, 8.0, 16));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adversarial;
+pub mod codec;
+pub mod conditioner;
+pub mod distr;
+pub mod models;
+pub mod multi;
+pub mod stats;
+pub mod text_io;
+mod trace;
+
+pub use multi::MultiTrace;
+pub use trace::{Trace, TraceError};
+
+/// Absolute tolerance used throughout the workspace when comparing
+/// bit-counts and bandwidth values held in `f64`.
+///
+/// All quantities in the simulation are O(`B_A · T`) with `B_A ≤ 2^20` and
+/// `T ≤ 2^24`, far inside the exactly-representable integer range of `f64`,
+/// so this tolerance only has to absorb accumulated rounding from divisions
+/// (e.g. `q / D_O` in the continuous algorithm).
+pub const EPS: f64 = 1e-6;

@@ -1,0 +1,99 @@
+//! Constant-bit-rate source with optional jitter (real-time voice).
+
+use crate::{Trace, TraceError};
+use rand::{Rng, RngExt};
+
+/// Parameters for the [`cbr`] generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CbrParams {
+    /// Bits per tick.
+    pub rate: f64,
+    /// Relative jitter amplitude in `[0, 1)`: each tick carries
+    /// `rate · (1 + U(−jitter, +jitter))` bits.
+    pub jitter: f64,
+}
+
+impl Default for CbrParams {
+    fn default() -> Self {
+        CbrParams {
+            rate: 4.0,
+            jitter: 0.05,
+        }
+    }
+}
+
+/// Generates a constant-bit-rate trace of `len` ticks.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidParameter`] for a non-finite or negative
+/// rate, jitter outside `[0, 1)`, or `len == 0`.
+///
+/// # Example
+///
+/// ```
+/// use cdba_traffic::models::{cbr, CbrParams};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), cdba_traffic::TraceError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let t = cbr(&mut rng, CbrParams { rate: 8.0, jitter: 0.0 }, 100)?;
+/// assert_eq!(t.mean_rate(), 8.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn cbr<R: Rng + ?Sized>(rng: &mut R, params: CbrParams, len: usize) -> Result<Trace, TraceError> {
+    if !params.rate.is_finite() || params.rate < 0.0 {
+        return Err(TraceError::InvalidParameter(format!(
+            "cbr rate {}",
+            params.rate
+        )));
+    }
+    if !(0.0..1.0).contains(&params.jitter) {
+        return Err(TraceError::InvalidParameter(format!(
+            "cbr jitter {}",
+            params.jitter
+        )));
+    }
+    let arrivals = (0..len)
+        .map(|_| {
+            let j = if params.jitter > 0.0 {
+                rng.random_range(-params.jitter..params.jitter)
+            } else {
+                0.0
+            };
+            params.rate * (1.0 + j)
+        })
+        .collect();
+    Trace::new(arrivals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn jitter_free_cbr_is_flat() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = cbr(&mut rng, CbrParams { rate: 2.5, jitter: 0.0 }, 50).unwrap();
+        assert!(t.arrivals().iter().all(|&a| a == 2.5));
+    }
+
+    #[test]
+    fn jitter_stays_within_band() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = cbr(&mut rng, CbrParams { rate: 10.0, jitter: 0.2 }, 500).unwrap();
+        assert!(t.arrivals().iter().all(|&a| (8.0..12.0).contains(&a)));
+        assert!((t.mean_rate() - 10.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(cbr(&mut rng, CbrParams { rate: -1.0, jitter: 0.0 }, 10).is_err());
+        assert!(cbr(&mut rng, CbrParams { rate: 1.0, jitter: 1.5 }, 10).is_err());
+        assert!(cbr(&mut rng, CbrParams::default(), 0).is_err());
+    }
+}

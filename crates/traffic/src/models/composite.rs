@@ -1,0 +1,150 @@
+//! Composite workloads: a tagged union over all generators plus a mixer, so
+//! experiment grids can be described as data.
+
+use super::{
+    cbr, diurnal, mmpp, onoff, pareto_bursts, poisson, spike, video, CbrParams, DiurnalParams,
+    MmppParams, OnOffParams, ParetoParams, PoissonParams, SpikeParams, VideoParams,
+};
+use crate::{Trace, TraceError};
+use rand::Rng;
+
+/// A workload description that can be generated on demand — the unit of the
+/// experiment grids in `cdba-analysis`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadKind {
+    /// Constant bit rate ([`cbr`]).
+    Cbr(CbrParams),
+    /// Poisson packet arrivals ([`poisson`]).
+    Poisson(PoissonParams),
+    /// Geometric on/off bursts ([`onoff`]).
+    OnOff(OnOffParams),
+    /// Markov-modulated Poisson ([`mmpp`]).
+    Mmpp(MmppParams),
+    /// Heavy-tailed bursts ([`pareto_bursts`]).
+    Pareto(ParetoParams),
+    /// VBR video ([`video`]).
+    Video(VideoParams),
+    /// Baseline plus spikes ([`spike`]).
+    Spike(SpikeParams),
+    /// A base workload under a periodic busy-hour envelope ([`diurnal`]).
+    Diurnal(Box<DiurnalParams>),
+    /// Element-wise sum of sub-workloads (aggregation).
+    Sum(Vec<WorkloadKind>),
+}
+
+impl WorkloadKind {
+    /// Generates `len` ticks of this workload.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying generator's parameter validation errors.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, len: usize) -> Result<Trace, TraceError> {
+        match self {
+            WorkloadKind::Cbr(p) => cbr(rng, *p, len),
+            WorkloadKind::Poisson(p) => poisson(rng, *p, len),
+            WorkloadKind::OnOff(p) => onoff(rng, *p, len),
+            WorkloadKind::Mmpp(p) => mmpp(rng, p.clone(), len),
+            WorkloadKind::Pareto(p) => pareto_bursts(rng, *p, len),
+            WorkloadKind::Video(p) => video(rng, *p, len),
+            WorkloadKind::Spike(p) => spike(rng, *p, len),
+            WorkloadKind::Diurnal(p) => diurnal(rng, (**p).clone(), len),
+            WorkloadKind::Sum(parts) => mix(rng, parts, len),
+        }
+    }
+
+    /// A short stable name for reports and tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            WorkloadKind::Cbr(_) => "cbr",
+            WorkloadKind::Poisson(_) => "poisson",
+            WorkloadKind::OnOff(_) => "onoff",
+            WorkloadKind::Mmpp(_) => "mmpp",
+            WorkloadKind::Pareto(_) => "pareto",
+            WorkloadKind::Video(_) => "video",
+            WorkloadKind::Spike(_) => "spike",
+            WorkloadKind::Diurnal(_) => "diurnal",
+            WorkloadKind::Sum(_) => "mix",
+        }
+    }
+
+    /// The canonical benign workload suite used by the experiment grids: one
+    /// representative of every traffic class.
+    pub fn standard_suite() -> Vec<WorkloadKind> {
+        vec![
+            WorkloadKind::Cbr(CbrParams::default()),
+            WorkloadKind::Poisson(PoissonParams::default()),
+            WorkloadKind::OnOff(OnOffParams::default()),
+            WorkloadKind::Mmpp(MmppParams::default()),
+            WorkloadKind::Pareto(ParetoParams::default()),
+            WorkloadKind::Video(VideoParams::default()),
+            WorkloadKind::Spike(SpikeParams::default()),
+            WorkloadKind::Diurnal(Box::default()),
+        ]
+    }
+}
+
+/// Sums independently generated sub-workloads into one aggregate trace.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidParameter`] for an empty part list and
+/// propagates generator errors.
+pub fn mix<R: Rng + ?Sized>(
+    rng: &mut R,
+    parts: &[WorkloadKind],
+    len: usize,
+) -> Result<Trace, TraceError> {
+    let mut iter = parts.iter();
+    let first = iter
+        .next()
+        .ok_or_else(|| TraceError::InvalidParameter("mix of zero workloads".into()))?;
+    let mut acc = first.generate(rng, len)?;
+    for part in iter {
+        acc = acc.add(&part.generate(rng, len)?)?;
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mix_sums_means() {
+        let mut rng = StdRng::seed_from_u64(61);
+        let parts = vec![
+            WorkloadKind::Cbr(CbrParams { rate: 2.0, jitter: 0.0 }),
+            WorkloadKind::Cbr(CbrParams { rate: 3.0, jitter: 0.0 }),
+        ];
+        let t = mix(&mut rng, &parts, 100).unwrap();
+        assert!((t.mean_rate() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn standard_suite_generates() {
+        let mut rng = StdRng::seed_from_u64(62);
+        for w in WorkloadKind::standard_suite() {
+            let t = w.generate(&mut rng, 500).unwrap();
+            assert_eq!(t.len(), 500, "workload {}", w.name());
+        }
+    }
+
+    #[test]
+    fn empty_mix_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(63);
+        assert!(mix(&mut rng, &[], 10).is_err());
+    }
+
+    #[test]
+    fn nested_sum_generates() {
+        let mut rng = StdRng::seed_from_u64(64);
+        let w = WorkloadKind::Sum(vec![
+            WorkloadKind::Cbr(CbrParams { rate: 1.0, jitter: 0.0 }),
+            WorkloadKind::Sum(vec![WorkloadKind::Cbr(CbrParams { rate: 2.0, jitter: 0.0 })]),
+        ]);
+        let t = w.generate(&mut rng, 10).unwrap();
+        assert!((t.mean_rate() - 3.0).abs() < 1e-9);
+    }
+}

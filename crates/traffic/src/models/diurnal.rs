@@ -1,0 +1,147 @@
+//! Diurnal modulation: any base workload modulated by a smooth periodic
+//! envelope — the long-timescale load pattern (busy hour / quiet night) that
+//! drives an ISP's *global* bandwidth re-negotiations in the combined
+//! algorithm's setting (§4: the provider is billed for total consumption).
+
+use super::WorkloadKind;
+use crate::{Trace, TraceError};
+use rand::Rng;
+
+/// Parameters for the [`diurnal`] generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiurnalParams {
+    /// The base (short-timescale) workload to modulate.
+    pub base: WorkloadKind,
+    /// Envelope period in ticks (one "day").
+    pub period: usize,
+    /// Envelope trough as a fraction of the peak, in `[0, 1]`: the rate at
+    /// the quietest moment relative to the busiest.
+    pub trough: f64,
+    /// Phase offset in ticks (where in the cycle the trace starts).
+    pub phase: usize,
+}
+
+impl Default for DiurnalParams {
+    fn default() -> Self {
+        DiurnalParams {
+            base: WorkloadKind::Poisson(Default::default()),
+            period: 1_000,
+            trough: 0.2,
+            phase: 0,
+        }
+    }
+}
+
+/// Generates `len` ticks of the base workload modulated by a raised-cosine
+/// envelope oscillating between `trough` and 1.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidParameter`] for `period < 2` or a trough
+/// outside `[0, 1]`, and propagates the base generator's errors.
+pub fn diurnal<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: DiurnalParams,
+    len: usize,
+) -> Result<Trace, TraceError> {
+    if params.period < 2 {
+        return Err(TraceError::InvalidParameter(format!(
+            "diurnal period {} must be >= 2",
+            params.period
+        )));
+    }
+    if !(0.0..=1.0).contains(&params.trough) {
+        return Err(TraceError::InvalidParameter(format!(
+            "diurnal trough {} must be in [0, 1]",
+            params.trough
+        )));
+    }
+    let base = params.base.generate(rng, len)?;
+    let amplitude = (1.0 - params.trough) / 2.0;
+    let midline = (1.0 + params.trough) / 2.0;
+    let arrivals = base
+        .arrivals()
+        .iter()
+        .enumerate()
+        .map(|(t, &a)| {
+            let angle =
+                std::f64::consts::TAU * ((t + params.phase) as f64) / params.period as f64;
+            a * (midline + amplitude * angle.cos())
+        })
+        .collect();
+    Trace::new(arrivals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::CbrParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn flat_base() -> WorkloadKind {
+        WorkloadKind::Cbr(CbrParams {
+            rate: 10.0,
+            jitter: 0.0,
+        })
+    }
+
+    #[test]
+    fn envelope_peaks_and_troughs() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = DiurnalParams {
+            base: flat_base(),
+            period: 100,
+            trough: 0.2,
+            phase: 0,
+        };
+        let t = diurnal(&mut rng, p, 200).unwrap();
+        // Peak at t=0 (cos 0 = 1) → 10; trough at t=50 → 2.
+        assert!((t.arrival(0) - 10.0).abs() < 1e-9);
+        assert!((t.arrival(50) - 2.0).abs() < 1e-9);
+        assert!((t.arrival(100) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn phase_shifts_the_envelope() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = DiurnalParams {
+            base: flat_base(),
+            period: 100,
+            trough: 0.0,
+            phase: 50,
+        };
+        let t = diurnal(&mut rng, p, 100).unwrap();
+        assert!(t.arrival(0) < 1e-9, "starts at the trough");
+        assert!((t.arrival(50) - 10.0).abs() < 1e-9, "peaks mid-trace");
+    }
+
+    #[test]
+    fn mean_tracks_the_midline() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let p = DiurnalParams {
+            base: flat_base(),
+            period: 100,
+            trough: 0.5,
+            phase: 0,
+        };
+        let t = diurnal(&mut rng, p, 1_000).unwrap();
+        // Midline = 0.75 → mean ≈ 7.5.
+        assert!((t.mean_rate() - 7.5).abs() < 0.1, "mean {}", t.mean_rate());
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let bad_period = DiurnalParams {
+            period: 1,
+            ..DiurnalParams::default()
+        };
+        assert!(diurnal(&mut rng, bad_period, 10).is_err());
+        let bad_trough = DiurnalParams {
+            trough: 1.5,
+            ..DiurnalParams::default()
+        };
+        assert!(diurnal(&mut rng, bad_trough, 10).is_err());
+    }
+}

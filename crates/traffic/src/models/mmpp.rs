@@ -1,0 +1,108 @@
+//! Markov-modulated Poisson process: an `n`-state Markov chain where each
+//! state emits Poisson traffic at its own rate. MMPPs are the standard
+//! multi-timescale traffic model of the era the paper targets.
+
+use crate::distr;
+use crate::{Trace, TraceError};
+use rand::{Rng, RngExt};
+
+/// Parameters for the [`mmpp`] generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MmppParams {
+    /// Per-state mean bits per tick (also the number of states).
+    pub rates: Vec<f64>,
+    /// Per-tick probability of leaving the current state (uniform choice
+    /// among the other states).
+    pub switch_prob: f64,
+}
+
+impl Default for MmppParams {
+    fn default() -> Self {
+        MmppParams {
+            rates: vec![0.5, 4.0, 24.0],
+            switch_prob: 0.01,
+        }
+    }
+}
+
+/// Generates `len` ticks of Markov-modulated Poisson traffic.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidParameter`] for fewer than two states,
+/// invalid rates, a switch probability outside `(0, 1]`, or `len == 0`.
+pub fn mmpp<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: MmppParams,
+    len: usize,
+) -> Result<Trace, TraceError> {
+    if params.rates.len() < 2 {
+        return Err(TraceError::InvalidParameter(
+            "mmpp needs at least two states".into(),
+        ));
+    }
+    for &r in &params.rates {
+        if !r.is_finite() || r < 0.0 {
+            return Err(TraceError::InvalidParameter(format!("mmpp rate {r}")));
+        }
+    }
+    if !(params.switch_prob > 0.0 && params.switch_prob <= 1.0) {
+        return Err(TraceError::InvalidParameter(format!(
+            "mmpp switch_prob {}",
+            params.switch_prob
+        )));
+    }
+    let n = params.rates.len();
+    let mut state = rng.random_range(0..n);
+    let mut arrivals = Vec::with_capacity(len);
+    for _ in 0..len {
+        if rng.random::<f64>() < params.switch_prob {
+            let step = rng.random_range(1..n);
+            state = (state + step) % n;
+        }
+        arrivals.push(distr::poisson(rng, params.rates[state]) as f64);
+    }
+    Trace::new(arrivals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn long_run_mean_is_average_of_states() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let p = MmppParams {
+            rates: vec![2.0, 10.0],
+            switch_prob: 0.05,
+        };
+        let t = mmpp(&mut rng, p, 200_000).unwrap();
+        // Uniform switching ⇒ stationary distribution is uniform ⇒ mean 6.
+        assert!((t.mean_rate() - 6.0).abs() < 0.3, "mean {}", t.mean_rate());
+    }
+
+    #[test]
+    fn produces_multi_timescale_burstiness() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let t = mmpp(&mut rng, MmppParams::default(), 50_000).unwrap();
+        // Peak windows should be far above the mean (burstiness).
+        let peak = t.peak_window_rate(50).unwrap();
+        assert!(
+            peak > 2.0 * t.mean_rate(),
+            "peak {peak} vs mean {}",
+            t.mean_rate()
+        );
+    }
+
+    #[test]
+    fn rejects_single_state() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let p = MmppParams {
+            rates: vec![1.0],
+            switch_prob: 0.1,
+        };
+        assert!(mmpp(&mut rng, p, 10).is_err());
+    }
+}

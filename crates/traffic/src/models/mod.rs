@@ -1,0 +1,35 @@
+//! Synthetic traffic models.
+//!
+//! Each generator takes a caller-supplied [`rand::Rng`] (pass a seeded
+//! [`rand::rngs::StdRng`] for reproducible workloads), a parameter struct
+//! with a [`Default`] that produces a sensible mid-burstiness workload, and a
+//! length in ticks; each returns a validated [`crate::Trace`].
+//!
+//! The models cover the traffic classes the paper's introduction motivates:
+//!
+//! | Model | Paper motivation |
+//! |---|---|
+//! | [`cbr`] | real-time voice: "only for very few tasks the required bandwidth is known in advance" |
+//! | [`video`] | "even video communication involves a variable requirement of bandwidth (due to compression)" |
+//! | [`onoff`], [`pareto_bursts`], [`mmpp`], [`spike`] | "applications with bursty nature of traffic … may change dramatically over time" |
+//! | [`diurnal`] | the long-timescale load swings that drive the provider's total-bandwidth re-negotiations (§4's setting) |
+
+mod cbr;
+mod composite;
+mod diurnal;
+mod mmpp;
+mod onoff;
+mod pareto;
+mod poisson_model;
+mod spike;
+mod video;
+
+pub use cbr::{cbr, CbrParams};
+pub use composite::{mix, WorkloadKind};
+pub use diurnal::{diurnal, DiurnalParams};
+pub use mmpp::{mmpp, MmppParams};
+pub use onoff::{onoff, OnOffParams};
+pub use pareto::{pareto_bursts, ParetoParams};
+pub use poisson_model::{poisson, PoissonParams};
+pub use spike::{spike, SpikeParams};
+pub use video::{video, VideoParams};

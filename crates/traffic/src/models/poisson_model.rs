@@ -1,0 +1,100 @@
+//! Memoryless packet arrivals: per-tick Poisson bit counts.
+
+use crate::distr;
+use crate::{Trace, TraceError};
+use rand::Rng;
+
+/// Parameters for the [`poisson`] generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonParams {
+    /// Mean number of packets per tick.
+    pub packets_per_tick: f64,
+    /// Bits carried by each packet.
+    pub packet_bits: f64,
+}
+
+impl Default for PoissonParams {
+    fn default() -> Self {
+        PoissonParams {
+            packets_per_tick: 2.0,
+            packet_bits: 2.0,
+        }
+    }
+}
+
+/// Generates `len` ticks of Poisson packet arrivals
+/// (`Poisson(packets_per_tick) · packet_bits` bits per tick).
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidParameter`] for negative/non-finite
+/// parameters or `len == 0`.
+pub fn poisson<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: PoissonParams,
+    len: usize,
+) -> Result<Trace, TraceError> {
+    if !params.packets_per_tick.is_finite() || params.packets_per_tick < 0.0 {
+        return Err(TraceError::InvalidParameter(format!(
+            "poisson packets_per_tick {}",
+            params.packets_per_tick
+        )));
+    }
+    if !params.packet_bits.is_finite() || params.packet_bits < 0.0 {
+        return Err(TraceError::InvalidParameter(format!(
+            "poisson packet_bits {}",
+            params.packet_bits
+        )));
+    }
+    let arrivals = (0..len)
+        .map(|_| distr::poisson(rng, params.packets_per_tick) as f64 * params.packet_bits)
+        .collect();
+    Trace::new(arrivals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_rate_matches_lambda() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = poisson(
+            &mut rng,
+            PoissonParams {
+                packets_per_tick: 3.0,
+                packet_bits: 2.0,
+            },
+            20_000,
+        )
+        .unwrap();
+        assert!((t.mean_rate() - 6.0).abs() < 0.2, "mean {}", t.mean_rate());
+    }
+
+    #[test]
+    fn arrivals_are_packet_multiples() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = poisson(
+            &mut rng,
+            PoissonParams {
+                packets_per_tick: 1.0,
+                packet_bits: 3.0,
+            },
+            200,
+        )
+        .unwrap();
+        assert!(t.arrivals().iter().all(|a| (a % 3.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn rejects_bad_params() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let bad = PoissonParams {
+            packets_per_tick: f64::NAN,
+            packet_bits: 1.0,
+        };
+        assert!(poisson(&mut rng, bad, 10).is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Baseline traffic with sparse tall spikes — the workload shape that
+//! exercises the algorithms' RESET paths hardest (long quiet stretches
+//! dragging `high(t)` down, sudden bursts dragging `low(t)` up).
+
+use crate::distr;
+use crate::{Trace, TraceError};
+use rand::Rng;
+
+/// Parameters for the [`spike`] generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpikeParams {
+    /// Quiet baseline bits per tick.
+    pub base_rate: f64,
+    /// Bits delivered by one spike, spread over `spike_width` ticks.
+    pub spike_bits: f64,
+    /// Width of each spike in ticks.
+    pub spike_width: usize,
+    /// Mean gap between spikes in ticks (exponential).
+    pub mean_gap: f64,
+}
+
+impl Default for SpikeParams {
+    fn default() -> Self {
+        SpikeParams {
+            base_rate: 0.5,
+            spike_bits: 200.0,
+            spike_width: 4,
+            mean_gap: 120.0,
+        }
+    }
+}
+
+/// Generates `len` ticks of baseline-plus-spikes traffic.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidParameter`] for invalid parameters or
+/// `len == 0`.
+pub fn spike<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: SpikeParams,
+    len: usize,
+) -> Result<Trace, TraceError> {
+    if !params.base_rate.is_finite() || params.base_rate < 0.0 {
+        return Err(TraceError::InvalidParameter(format!(
+            "spike base_rate {}",
+            params.base_rate
+        )));
+    }
+    if !params.spike_bits.is_finite() || params.spike_bits < 0.0 {
+        return Err(TraceError::InvalidParameter(format!(
+            "spike spike_bits {}",
+            params.spike_bits
+        )));
+    }
+    if params.spike_width == 0 {
+        return Err(TraceError::InvalidParameter("spike_width must be >= 1".into()));
+    }
+    if params.mean_gap.is_nan() || params.mean_gap < 1.0 {
+        return Err(TraceError::InvalidParameter(format!(
+            "spike mean_gap {}",
+            params.mean_gap
+        )));
+    }
+    let mut arrivals = vec![params.base_rate; len];
+    let per_tick = params.spike_bits / params.spike_width as f64;
+    let mut t = distr::exponential(rng, 1.0 / params.mean_gap) as usize;
+    while t < len {
+        for i in 0..params.spike_width.min(len - t) {
+            arrivals[t + i] += per_tick;
+        }
+        t += params.spike_width + distr::exponential(rng, 1.0 / params.mean_gap).max(1.0) as usize;
+    }
+    Trace::new(arrivals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn spikes_carry_expected_bits() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let p = SpikeParams {
+            base_rate: 0.0,
+            spike_bits: 100.0,
+            spike_width: 2,
+            mean_gap: 50.0,
+        };
+        let t = spike(&mut rng, p, 10_000).unwrap();
+        // Each interior spike tick carries 50 bits.
+        let spike_ticks = t.arrivals().iter().filter(|&&a| a > 0.0).count();
+        let total = t.total();
+        assert!((total / spike_ticks as f64 - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn baseline_is_everywhere() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let t = spike(&mut rng, SpikeParams::default(), 2_000).unwrap();
+        assert!(t.arrivals().iter().all(|&a| a >= 0.5));
+        assert!(t.peak() > 10.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Compressed-video-like VBR traffic: a periodic GOP (group of pictures)
+//! frame-size pattern — large I-frames, small P/B frames — modulated by
+//! scene changes that re-draw the base rate.
+
+use crate::distr;
+use crate::{Trace, TraceError};
+use rand::{Rng, RngExt};
+
+/// Parameters for the [`video`] generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VideoParams {
+    /// Mean bits per tick averaged over a GOP.
+    pub mean_rate: f64,
+    /// GOP length in ticks (one frame per tick).
+    pub gop: usize,
+    /// I-frame size as a multiple of the P-frame size.
+    pub i_frame_ratio: f64,
+    /// Per-tick probability of a scene change (base rate re-drawn uniformly
+    /// in `[0.5, 1.5] × mean_rate`).
+    pub scene_change_prob: f64,
+    /// Multiplicative per-frame noise amplitude in `[0, 1)`.
+    pub noise: f64,
+}
+
+impl Default for VideoParams {
+    fn default() -> Self {
+        VideoParams {
+            mean_rate: 6.0,
+            gop: 12,
+            i_frame_ratio: 5.0,
+            scene_change_prob: 0.005,
+            noise: 0.15,
+        }
+    }
+}
+
+/// Generates `len` ticks of VBR-video-like traffic.
+///
+/// # Errors
+///
+/// Returns [`TraceError::InvalidParameter`] for invalid parameters or
+/// `len == 0`.
+pub fn video<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: VideoParams,
+    len: usize,
+) -> Result<Trace, TraceError> {
+    if !params.mean_rate.is_finite() || params.mean_rate <= 0.0 {
+        return Err(TraceError::InvalidParameter(format!(
+            "video mean_rate {}",
+            params.mean_rate
+        )));
+    }
+    if params.gop < 2 {
+        return Err(TraceError::InvalidParameter(format!(
+            "video gop {} must be >= 2",
+            params.gop
+        )));
+    }
+    if params.i_frame_ratio.is_nan() || params.i_frame_ratio < 1.0 {
+        return Err(TraceError::InvalidParameter(format!(
+            "video i_frame_ratio {}",
+            params.i_frame_ratio
+        )));
+    }
+    if !(0.0..1.0).contains(&params.noise) {
+        return Err(TraceError::InvalidParameter(format!(
+            "video noise {}",
+            params.noise
+        )));
+    }
+    // Solve for the P-frame size p such that the GOP mean is `base`:
+    // (ratio·p + (gop−1)·p) / gop = base.
+    let gop = params.gop as f64;
+    let mut base = params.mean_rate;
+    let mut arrivals = Vec::with_capacity(len);
+    for t in 0..len {
+        if rng.random::<f64>() < params.scene_change_prob {
+            base = params.mean_rate * rng.random_range(0.5..1.5);
+        }
+        let p_frame = base * gop / (params.i_frame_ratio + gop - 1.0);
+        let frame = if t % params.gop == 0 {
+            p_frame * params.i_frame_ratio
+        } else {
+            p_frame
+        };
+        let n = if params.noise > 0.0 {
+            1.0 + params.noise * distr::standard_normal(rng).clamp(-3.0, 3.0) / 3.0
+        } else {
+            1.0
+        };
+        arrivals.push((frame * n).max(0.0));
+    }
+    Trace::new(arrivals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_rate_is_respected() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let p = VideoParams {
+            scene_change_prob: 0.0,
+            noise: 0.0,
+            ..VideoParams::default()
+        };
+        let t = video(&mut rng, p, 12 * 100).unwrap();
+        assert!(
+            (t.mean_rate() - 6.0).abs() < 1e-9,
+            "mean {}",
+            t.mean_rate()
+        );
+    }
+
+    #[test]
+    fn i_frames_dominate() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let p = VideoParams {
+            scene_change_prob: 0.0,
+            noise: 0.0,
+            ..VideoParams::default()
+        };
+        let t = video(&mut rng, p, 48).unwrap();
+        let i = t.arrival(0);
+        let pf = t.arrival(1);
+        assert!((i / pf - 5.0).abs() < 1e-9, "ratio {}", i / pf);
+        assert_eq!(t.arrival(12), i);
+    }
+
+    #[test]
+    fn scene_changes_move_the_rate() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let p = VideoParams {
+            scene_change_prob: 0.05,
+            noise: 0.0,
+            ..VideoParams::default()
+        };
+        let t = video(&mut rng, p, 5_000).unwrap();
+        // P-frame sizes should take many distinct values across scenes.
+        let distinct: std::collections::BTreeSet<u64> = t
+            .arrivals()
+            .iter()
+            .map(|&a| (a * 1e9).round() as u64)
+            .collect();
+        assert!(distinct.len() > 10);
+    }
+}

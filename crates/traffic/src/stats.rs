@@ -1,0 +1,187 @@
+//! Descriptive statistics for traces — used by reports to characterize the
+//! synthesized workloads (burstiness is what makes dynamic allocation
+//! interesting, so the reports quantify it).
+
+use crate::Trace;
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Number of ticks.
+    pub len: usize,
+    /// Total bits.
+    pub total: f64,
+    /// Mean bits per tick.
+    pub mean: f64,
+    /// Standard deviation of per-tick arrivals.
+    pub std_dev: f64,
+    /// Peak single-tick arrival.
+    pub peak: f64,
+    /// Peak-to-mean ratio (∞ burstiness indicator; 1 for CBR).
+    pub peak_to_mean: f64,
+    /// Coefficient of variation (`std_dev / mean`).
+    pub cov: f64,
+    /// Fraction of ticks with zero arrivals.
+    pub idle_fraction: f64,
+    /// Hurst exponent estimated by rescaled-range analysis (≈ 0.5 for
+    /// short-range-dependent traffic, > 0.7 for self-similar traffic).
+    pub hurst: f64,
+}
+
+/// Computes [`TraceStats`] for a trace.
+pub fn summarize(trace: &Trace) -> TraceStats {
+    let n = trace.len();
+    let mean = trace.mean_rate();
+    let var = trace
+        .arrivals()
+        .iter()
+        .map(|a| (a - mean) * (a - mean))
+        .sum::<f64>()
+        / n as f64;
+    let std_dev = var.sqrt();
+    let peak = trace.peak();
+    let idle = trace.arrivals().iter().filter(|&&a| a == 0.0).count();
+    TraceStats {
+        len: n,
+        total: trace.total(),
+        mean,
+        std_dev,
+        peak,
+        peak_to_mean: if mean > 0.0 { peak / mean } else { 0.0 },
+        cov: if mean > 0.0 { std_dev / mean } else { 0.0 },
+        idle_fraction: idle as f64 / n as f64,
+        hurst: hurst_rs(trace.arrivals()),
+    }
+}
+
+/// Lag-`k` autocorrelation of the per-tick arrival sequence.
+///
+/// Returns 0 for degenerate inputs (constant series or `k >= len`).
+pub fn autocorrelation(trace: &Trace, lag: usize) -> f64 {
+    let xs = trace.arrivals();
+    let n = xs.len();
+    if lag >= n {
+        return 0.0;
+    }
+    let mean = trace.mean_rate();
+    let denom: f64 = xs.iter().map(|x| (x - mean) * (x - mean)).sum();
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    let num: f64 = (0..n - lag)
+        .map(|i| (xs[i] - mean) * (xs[i + lag] - mean))
+        .sum();
+    num / denom
+}
+
+/// Estimates the Hurst exponent with rescaled-range (R/S) analysis over
+/// dyadic block sizes, fitting `log(R/S) ~ H·log(size)` by least squares.
+///
+/// Returns 0.5 for series too short (< 32 ticks) or degenerate to analyze.
+pub fn hurst_rs(xs: &[f64]) -> f64 {
+    let n = xs.len();
+    if n < 32 {
+        return 0.5;
+    }
+    let mut points = Vec::new();
+    let mut size = 8usize;
+    while size <= n / 4 {
+        let blocks = n / size;
+        let mut rs_sum = 0.0;
+        let mut rs_count = 0usize;
+        for b in 0..blocks {
+            let block = &xs[b * size..(b + 1) * size];
+            let mean = block.iter().sum::<f64>() / size as f64;
+            let mut cum = 0.0;
+            let mut min = f64::INFINITY;
+            let mut max = f64::NEG_INFINITY;
+            let mut sq = 0.0;
+            for &x in block {
+                cum += x - mean;
+                min = min.min(cum);
+                max = max.max(cum);
+                sq += (x - mean) * (x - mean);
+            }
+            let s = (sq / size as f64).sqrt();
+            if s > 0.0 {
+                rs_sum += (max - min) / s;
+                rs_count += 1;
+            }
+        }
+        if rs_count > 0 {
+            points.push(((size as f64).ln(), (rs_sum / rs_count as f64).ln()));
+        }
+        size *= 2;
+    }
+    if points.len() < 2 {
+        return 0.5;
+    }
+    // Least-squares slope.
+    let m = points.len() as f64;
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = m * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return 0.5;
+    }
+    ((m * sxy - sx * sy) / denom).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{self, OnOffParams};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cbr_stats_are_degenerate() {
+        let t = Trace::new(vec![5.0; 100]).unwrap();
+        let s = summarize(&t);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.peak_to_mean, 1.0);
+        assert_eq!(s.cov, 0.0);
+        assert_eq!(s.idle_fraction, 0.0);
+    }
+
+    #[test]
+    fn onoff_is_bursty() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let t = models::onoff(&mut rng, OnOffParams::default(), 20_000).unwrap();
+        let s = summarize(&t);
+        assert!(s.peak_to_mean > 2.0, "peak/mean {}", s.peak_to_mean);
+        assert!(s.idle_fraction > 0.3, "idle {}", s.idle_fraction);
+        assert!(s.cov > 1.0, "cov {}", s.cov);
+    }
+
+    #[test]
+    fn autocorrelation_of_periodic_signal() {
+        let arrivals: Vec<f64> = (0..1000).map(|t| if t % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let t = Trace::new(arrivals).unwrap();
+        assert!(autocorrelation(&t, 2) > 0.9);
+        assert!(autocorrelation(&t, 1) < -0.9);
+        assert_eq!(autocorrelation(&t, 5000), 0.0);
+    }
+
+    #[test]
+    fn autocorrelation_of_constant_is_zero() {
+        let t = Trace::new(vec![3.0; 50]).unwrap();
+        assert_eq!(autocorrelation(&t, 1), 0.0);
+    }
+
+    #[test]
+    fn hurst_of_iid_noise_is_near_half() {
+        let mut rng = StdRng::seed_from_u64(82);
+        let t = models::poisson(&mut rng, models::PoissonParams::default(), 8_192).unwrap();
+        let h = hurst_rs(t.arrivals());
+        assert!((0.35..0.7).contains(&h), "hurst {h}");
+    }
+
+    #[test]
+    fn hurst_short_series_defaults() {
+        assert_eq!(hurst_rs(&[1.0; 10]), 0.5);
+    }
+}

@@ -1,0 +1,239 @@
+//! Plain-text trace interchange: one arrival per line (single session) or
+//! comma-separated per-session arrivals per row (multi-session). The format
+//! real packet traces are most easily massaged into; the binary
+//! [`crate::codec`] is preferred for fidelity and size.
+//!
+//! Lines starting with `#` and blank lines are ignored; a header row of
+//! non-numeric column names is tolerated and skipped.
+
+use crate::{MultiTrace, Trace, TraceError};
+
+/// Error returned when parsing a text trace.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TextError {
+    /// A cell failed to parse as a finite non-negative number.
+    BadCell {
+        /// 1-based line number.
+        line: usize,
+        /// The offending cell text.
+        cell: String,
+    },
+    /// Rows had inconsistent arity.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Cells found.
+        found: usize,
+        /// Cells expected (from the first data row).
+        expected: usize,
+    },
+    /// No data rows at all.
+    Empty,
+    /// The parsed payload failed trace validation.
+    Invalid(TraceError),
+}
+
+impl std::fmt::Display for TextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TextError::BadCell { line, cell } => write!(f, "line {line}: bad cell {cell:?}"),
+            TextError::RaggedRow {
+                line,
+                found,
+                expected,
+            } => write!(f, "line {line}: {found} cells, expected {expected}"),
+            TextError::Empty => write!(f, "no data rows"),
+            TextError::Invalid(e) => write!(f, "invalid trace: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+impl From<TraceError> for TextError {
+    fn from(e: TraceError) -> Self {
+        TextError::Invalid(e)
+    }
+}
+
+fn parse_rows(text: &str) -> Result<Vec<Vec<f64>>, TextError> {
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut expected: Option<usize> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let cells: Vec<&str> = trimmed
+            .split(',')
+            .map(str::trim)
+            .filter(|c| !c.is_empty())
+            .collect();
+        if cells.is_empty() {
+            continue;
+        }
+        let parsed: Result<Vec<f64>, usize> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| c.parse::<f64>().map_err(|_| i))
+            .collect();
+        match parsed {
+            Err(_) if rows.is_empty() => continue, // header row
+            Err(i) => {
+                return Err(TextError::BadCell {
+                    line,
+                    cell: cells[i].to_string(),
+                })
+            }
+            Ok(values) => {
+                let arity = *expected.get_or_insert(values.len());
+                if values.len() != arity {
+                    return Err(TextError::RaggedRow {
+                        line,
+                        found: values.len(),
+                        expected: arity,
+                    });
+                }
+                rows.push(values);
+            }
+        }
+    }
+    if rows.is_empty() {
+        return Err(TextError::Empty);
+    }
+    Ok(rows)
+}
+
+/// Parses a single-session trace (first column of each data row).
+///
+/// # Errors
+///
+/// Returns [`TextError`] for malformed input.
+///
+/// # Example
+///
+/// ```
+/// let text = "# my trace\narrivals\n3.5\n0\n12\n";
+/// let trace = cdba_traffic::text_io::parse_trace(text)?;
+/// assert_eq!(trace.arrivals(), &[3.5, 0.0, 12.0]);
+/// # Ok::<(), cdba_traffic::text_io::TextError>(())
+/// ```
+pub fn parse_trace(text: &str) -> Result<Trace, TextError> {
+    let rows = parse_rows(text)?;
+    Ok(Trace::new(rows.into_iter().map(|r| r[0]).collect())?)
+}
+
+/// Parses a multi-session trace (one column per session).
+///
+/// # Errors
+///
+/// Returns [`TextError`] for malformed input.
+pub fn parse_multi(text: &str) -> Result<MultiTrace, TextError> {
+    let rows = parse_rows(text)?;
+    let k = rows[0].len();
+    let mut sessions: Vec<Vec<f64>> = vec![Vec::with_capacity(rows.len()); k];
+    for row in rows {
+        for (i, v) in row.into_iter().enumerate() {
+            sessions[i].push(v);
+        }
+    }
+    Ok(MultiTrace::new(
+        sessions
+            .into_iter()
+            .map(Trace::new)
+            .collect::<Result<Vec<_>, _>>()?,
+    )?)
+}
+
+/// Renders a single-session trace as text (header + one arrival per line).
+pub fn render_trace(trace: &Trace) -> String {
+    let mut out = String::with_capacity(trace.len() * 8 + 16);
+    out.push_str("arrivals\n");
+    for &a in trace.arrivals() {
+        out.push_str(&format!("{a}\n"));
+    }
+    out
+}
+
+/// Renders a multi-session trace as comma-separated columns.
+pub fn render_multi(multi: &MultiTrace) -> String {
+    let k = multi.num_sessions();
+    let mut out = String::new();
+    out.push_str(
+        &(0..k)
+            .map(|i| format!("session{i}"))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
+    out.push('\n');
+    for t in 0..multi.len() {
+        let row: Vec<String> = (0..k)
+            .map(|i| format!("{}", multi.session(i).arrival(t)))
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multi::rotating_hot;
+
+    #[test]
+    fn roundtrip_single() {
+        let t = Trace::new(vec![1.25, 0.0, 9.0]).unwrap();
+        let back = parse_trace(&render_trace(&t)).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn roundtrip_multi() {
+        let m = rotating_hot(3, 4.5, 0.25, 2, 8).unwrap();
+        let back = parse_multi(&render_multi(&m)).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn comments_blanks_and_header_are_skipped() {
+        let text = "# comment\n\nticks,stuff\n1,2\n3,4\n";
+        let m = parse_multi(text).unwrap();
+        assert_eq!(m.num_sessions(), 2);
+        assert_eq!(m.session(0).arrivals(), &[1.0, 3.0]);
+        assert_eq!(m.session(1).arrivals(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn bad_cell_is_located() {
+        let text = "1\n2\nthree\n";
+        assert_eq!(
+            parse_trace(text),
+            Err(TextError::BadCell {
+                line: 3,
+                cell: "three".into()
+            })
+        );
+    }
+
+    #[test]
+    fn ragged_rows_are_rejected() {
+        let text = "1,2\n3\n";
+        assert!(matches!(
+            parse_multi(text),
+            Err(TextError::RaggedRow { line: 2, found: 1, expected: 2 })
+        ));
+    }
+
+    #[test]
+    fn empty_input_is_rejected() {
+        assert_eq!(parse_trace("# nothing\n"), Err(TextError::Empty));
+    }
+
+    #[test]
+    fn negative_values_fail_validation() {
+        let text = "1\n-2\n";
+        assert!(matches!(parse_trace(text), Err(TextError::Invalid(_))));
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: allocate bandwidth for one bursty session with the paper's
+//! single-session algorithm and verify the promised envelope.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use cdba_core::config::SingleConfig;
+use cdba_core::single::SingleSession;
+use cdba_sim::engine::{simulate, DrainPolicy};
+use cdba_sim::verify::verify_single;
+use cdba_traffic::models::{onoff, OnOffParams};
+use cdba_traffic::conditioner;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A bursty workload: on/off data traffic, 2000 ticks.
+    let mut rng = StdRng::seed_from_u64(7);
+    let raw = onoff(&mut rng, OnOffParams::default(), 2_000)?;
+
+    // 2. The service contract. The offline adversary gets bandwidth B_A=64,
+    //    delay D_O=8 and utilization U_O=0.3; the online algorithm then
+    //    guarantees delay ≤ 16 and utilization ≥ 0.1 while staying
+    //    O(log B_A)-competitive in allocation changes.
+    let cfg = SingleConfig::builder(64.0)
+        .offline_delay(8)
+        .offline_utilization(0.3)
+        .window(16)
+        .build()?;
+
+    // 3. The paper assumes feasible inputs (footnote 1): condition the trace.
+    let trace = conditioner::scale_to_feasible(&raw, 0.9 * cfg.b_max, cfg.d_o)?.pad_zeros(cfg.d_o);
+
+    // 4. Run the online algorithm tick by tick through the engine.
+    let mut alg = SingleSession::new(cfg.clone());
+    let run = simulate(&trace, &mut alg, DrainPolicy::DrainToEmpty)?;
+
+    // 5. Verify the Theorem 6 envelope on the measured run.
+    let verdict = verify_single(&trace, &run, &cfg.promised_bounds());
+    println!("workload:            {trace}");
+    println!("allocation changes:  {}", run.schedule.num_changes());
+    println!("completed stages:    {}", alg.stage_log().completed());
+    println!(
+        "max delay:           {:?} (bound {})",
+        verdict.max_delay,
+        cfg.online_delay()
+    );
+    println!(
+        "relaxed utilization: {:.3} (bound {:.3})",
+        verdict.utilization,
+        cfg.online_utilization()
+    );
+    println!(
+        "peak allocation:     {} (bound {})",
+        verdict.peak_allocation, cfg.b_max
+    );
+    println!(
+        "certified: any offline algorithm with (B={}, D={}, U={}) changed ≥ {} times",
+        cfg.b_max,
+        cfg.d_o,
+        cfg.u_o,
+        alg.certified_offline_changes()
+    );
+    assert!(verdict.delay_ok && verdict.bandwidth_ok, "envelope violated");
+    println!("\nall bounds verified ✔");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Dynamic membership: customers joining and leaving an ISP uplink while
+//! traffic flows — the [`SessionPool`] extension of the paper's §3.1
+//! algorithm. Watch the per-session quantum follow the live membership and
+//! leavers drain out through the overflow channel without hurting anyone's
+//! delay.
+//!
+//! ```text
+//! cargo run --example session_churn
+//! ```
+
+use cdba_core::config::MultiConfig;
+use cdba_core::multi::pool::{SessionId, SessionPool};
+use cdba_traffic::distr;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let b_o = 48.0;
+    let d_o = 6;
+    let mut pool = SessionPool::new(MultiConfig::new(2, b_o, d_o)?);
+    let mut rng = StdRng::seed_from_u64(77);
+    let mut live: Vec<SessionId> = (0..3).map(|_| pool.join()).collect();
+    println!("tick | active | event            | total allocation");
+    println!("-----+--------+------------------+-----------------");
+
+    for t in 0..240 {
+        // Churn: roughly every 30 ticks somebody joins or leaves.
+        let mut event = String::new();
+        if t > 0 && t % 30 == 0 {
+            if live.len() > 2 && rng.random::<bool>() {
+                let gone = live.remove(rng.random_range(0..live.len()));
+                pool.leave(gone)?;
+                event = format!("session {gone:?} leaves");
+            } else {
+                let id = pool.join();
+                live.push(id);
+                event = format!("session {id:?} joins");
+            }
+        }
+        // Each live session sends Poisson traffic at its own mean.
+        for (i, &id) in live.iter().enumerate() {
+            let mean = 2.0 + i as f64;
+            pool.submit(id, distr::poisson(&mut rng, mean) as f64)?;
+        }
+        let allocs = pool.tick();
+        if !event.is_empty() || t % 30 == 15 {
+            let total: f64 = allocs.iter().map(|(_, a)| a).sum();
+            println!(
+                "{t:>4} | {:>6} | {:<16} | {total:>7.1} / {:.0}",
+                pool.active(),
+                event,
+                4.0 * b_o
+            );
+        }
+    }
+    println!(
+        "\n{} membership changes; {} certified re-planning boundaries",
+        pool.membership_changes(),
+        pool.stage_log().completed()
+    );
+    Ok(())
+}

@@ -1,0 +1,1 @@
+//! Integration test crate for the cdba workspace; all content lives in `tests/`.

@@ -1,0 +1,121 @@
+//! Failure-path tests across crates: invalid configs, infeasible inputs,
+//! misbehaving allocators, mismatched arities — everything must fail loudly
+//! and precisely, never silently.
+
+use cdba_core::config::{CombinedConfig, ConfigError, InnerMulti, MultiConfig, SingleConfig};
+use cdba_core::multi::Phased;
+use cdba_offline::single::{greedy_offline, OfflineError};
+use cdba_offline::OfflineConstraints;
+use cdba_sim::engine::{simulate, simulate_multi, DrainPolicy, SimError};
+use cdba_sim::Allocator;
+use cdba_traffic::multi::rotating_hot;
+use cdba_traffic::{Trace, TraceError};
+
+#[test]
+fn config_validation_catches_each_field() {
+    assert!(matches!(
+        SingleConfig::builder(100.0).build(),
+        Err(ConfigError::BandwidthNotPowerOfTwo(_))
+    ));
+    assert!(matches!(
+        SingleConfig::builder(f64::NAN).build(),
+        Err(ConfigError::InvalidBandwidth(_))
+    ));
+    assert!(matches!(
+        MultiConfig::new(0, 8.0, 4),
+        Err(ConfigError::TooFewSessions(0))
+    ));
+    assert!(matches!(
+        MultiConfig::new(4, 8.0, 0),
+        Err(ConfigError::InvalidDelay(0))
+    ));
+    assert!(matches!(
+        CombinedConfig::new(4, 8.0, 4, 2.0, 8, InnerMulti::Phased),
+        Err(ConfigError::InvalidUtilization(_))
+    ));
+    // Errors render human-readable messages.
+    let msg = SingleConfig::builder(100.0).build().unwrap_err().to_string();
+    assert!(msg.contains("power of two"), "{msg}");
+}
+
+#[test]
+fn trace_validation_catches_bad_values() {
+    assert!(matches!(
+        Trace::new(vec![1.0, f64::INFINITY]),
+        Err(TraceError::InvalidArrival { tick: 1, .. })
+    ));
+    assert!(matches!(Trace::new(vec![]), Err(TraceError::Empty)));
+}
+
+#[test]
+fn offline_reports_infeasible_input_with_location() {
+    // Feasible prefix, infeasible burst at tick 3.
+    let t = Trace::new(vec![1.0, 1.0, 1.0, 1000.0, 0.0]).unwrap();
+    let err = greedy_offline(&t, OfflineConstraints::delay_only(4.0, 2)).unwrap_err();
+    assert_eq!(err, OfflineError::Infeasible { tick: 3 });
+    assert!(err.to_string().contains("tick 3"));
+}
+
+struct Hostile(u32);
+impl Allocator for Hostile {
+    fn on_tick(&mut self, _arrivals: f64) -> f64 {
+        self.0 += 1;
+        match self.0 {
+            1 => 4.0,
+            2 => -7.0, // negative: must be rejected
+            _ => 4.0,
+        }
+    }
+    fn name(&self) -> &'static str {
+        "hostile"
+    }
+}
+
+#[test]
+fn engine_rejects_hostile_allocations() {
+    let t = Trace::new(vec![1.0, 1.0, 1.0]).unwrap();
+    let err = simulate(&t, &mut Hostile(0), DrainPolicy::StopAtTraceEnd).unwrap_err();
+    assert!(matches!(err, SimError::InvalidAllocation { tick: 1, .. }));
+}
+
+#[test]
+fn engine_rejects_session_mismatch() {
+    let input = rotating_hot(3, 1.0, 0.0, 2, 10).unwrap();
+    let cfg = MultiConfig::new(2, 8.0, 4).unwrap();
+    let mut alg = Phased::new(cfg);
+    let err = simulate_multi(&input, &mut alg, DrainPolicy::StopAtTraceEnd).unwrap_err();
+    assert!(matches!(
+        err,
+        SimError::SessionMismatch { input: 3, allocator: 2 }
+    ));
+}
+
+struct Starver;
+impl Allocator for Starver {
+    fn on_tick(&mut self, _arrivals: f64) -> f64 {
+        0.0
+    }
+    fn name(&self) -> &'static str {
+        "starver"
+    }
+}
+
+#[test]
+fn drain_stall_is_detected_not_hung() {
+    let t = Trace::new(vec![100.0]).unwrap();
+    let err = simulate(&t, &mut Starver, DrainPolicy::DrainToEmpty).unwrap_err();
+    match err {
+        SimError::DrainStalled { backlog, .. } => assert!((backlog - 100.0).abs() < 1e-9),
+        other => panic!("expected DrainStalled, got {other:?}"),
+    }
+}
+
+#[test]
+fn errors_implement_std_error() {
+    fn assert_error<E: std::error::Error + Send + Sync + 'static>() {}
+    assert_error::<ConfigError>();
+    assert_error::<TraceError>();
+    assert_error::<SimError>();
+    assert_error::<OfflineError>();
+    assert_error::<cdba_traffic::codec::CodecError>();
+}

@@ -1,0 +1,188 @@
+//! End-to-end pipeline tests: generator → conditioner → online algorithm →
+//! engine → verifier → competitive ratio, across crates.
+
+use cdba_core::config::{CombinedConfig, InnerMulti, MultiConfig, SingleConfig};
+use cdba_core::multi::{Continuous, Phased};
+use cdba_core::single::{LookbackSingle, SingleSession};
+use cdba_core::combined::Combined;
+use cdba_offline::single::{dp_offline, greedy_offline};
+use cdba_offline::{CompetitiveRatio, OfflineConstraints, PlaybackAllocator};
+use cdba_sim::engine::{simulate, simulate_multi, DrainPolicy};
+use cdba_sim::verify::{verify_multi, verify_single};
+use cdba_sim::measure;
+use cdba_traffic::models::{OnOffParams, WorkloadKind};
+use cdba_traffic::multi::independent_sessions;
+use cdba_traffic::conditioner;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const B: f64 = 64.0;
+const D_O: usize = 8;
+const W: usize = 16;
+
+fn single_cfg() -> SingleConfig {
+    SingleConfig::builder(B)
+        .offline_delay(D_O)
+        .offline_utilization(0.3)
+        .window(W)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn full_single_session_pipeline() {
+    let mut rng = StdRng::seed_from_u64(41);
+    let raw = WorkloadKind::OnOff(OnOffParams::default())
+        .generate(&mut rng, 3_000)
+        .unwrap();
+    let trace = conditioner::scale_to_feasible(&raw, 0.9 * B, D_O)
+        .unwrap()
+        .pad_zeros(D_O);
+    assert!(conditioner::is_feasible(&trace, B, D_O));
+
+    let cfg = single_cfg();
+    let mut alg = SingleSession::new(cfg.clone());
+    let run = simulate(&trace, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+    let verdict = verify_single(&trace, &run, &cfg.promised_bounds());
+    assert!(verdict.delay_ok, "{verdict:?}");
+    assert!(verdict.bandwidth_ok, "{verdict:?}");
+    assert!(verdict.utilization_ok, "{verdict:?}");
+
+    // Ratio bracket against a comparator bound by the SAME constraints the
+    // certificate assumes (delay + windowed utilization) — a delay-only
+    // offline would be a weaker adversary and the bracket would not apply.
+    let constraints = OfflineConstraints::with_utilization(B, D_O, 0.3, W);
+    if let Ok(offline) = greedy_offline(&trace, constraints) {
+        let ratio = CompetitiveRatio {
+            online_changes: run.schedule.num_changes(),
+            certified_offline: alg.certified_offline_changes(),
+            constructed_offline: Some(offline.changes()),
+        };
+        if let Some(lower) = ratio.lower() {
+            assert!(
+                lower <= ratio.upper() + 1e-9,
+                "bracket inverted: {lower} > {} (certified {}, constructed {})",
+                ratio.upper(),
+                ratio.certified_offline,
+                offline.changes()
+            );
+        }
+    }
+}
+
+#[test]
+fn offline_schedule_replays_feasibly() {
+    let mut rng = StdRng::seed_from_u64(42);
+    let raw = WorkloadKind::OnOff(OnOffParams::default())
+        .generate(&mut rng, 1_200)
+        .unwrap();
+    let trace = conditioner::scale_to_feasible(&raw, 0.9 * B, D_O)
+        .unwrap()
+        .pad_zeros(D_O);
+    let offline = greedy_offline(&trace, OfflineConstraints::delay_only(B, D_O)).unwrap();
+    // Replay the offline plan through the same engine the online uses.
+    let mut playback = PlaybackAllocator::from_schedule(&offline.schedule, "offline-greedy");
+    let run = simulate(&trace, &mut playback, DrainPolicy::DrainToEmpty).unwrap();
+    let delay = measure::max_delay(&trace, run.served()).expect("all bits served");
+    assert!(delay <= D_O, "offline delay {delay} > D_O");
+    assert!(run.schedule.peak() <= B + 1e-9);
+}
+
+#[test]
+fn dp_is_never_worse_than_greedy_on_pipeline_traces() {
+    let mut rng = StdRng::seed_from_u64(43);
+    for _ in 0..3 {
+        let raw = WorkloadKind::OnOff(OnOffParams::default())
+            .generate(&mut rng, 300)
+            .unwrap();
+        let trace = conditioner::scale_to_feasible(&raw, 0.9 * B, D_O)
+            .unwrap()
+            .pad_zeros(D_O);
+        let c = OfflineConstraints::delay_only(B, D_O);
+        let dp = dp_offline(&trace, c).unwrap();
+        let gr = greedy_offline(&trace, c).unwrap();
+        let dp_pos = dp.segments.iter().filter(|s| s.2 > 0.0).count();
+        let gr_pos = gr.segments.iter().filter(|s| s.2 > 0.0).count();
+        assert!(dp_pos <= gr_pos, "dp {dp_pos} > greedy {gr_pos}");
+    }
+}
+
+#[test]
+fn full_multi_session_pipeline_both_algorithms() {
+    let mut rng = StdRng::seed_from_u64(44);
+    let k = 5;
+    let input = independent_sessions(
+        &mut rng,
+        &WorkloadKind::OnOff(OnOffParams::default()),
+        k,
+        2_000,
+    )
+    .unwrap()
+    .scale_to_feasible(0.9 * B, D_O)
+    .unwrap()
+    .pad_zeros(D_O);
+    let cfg = MultiConfig::new(k, B, D_O).unwrap();
+
+    let mut phased = Phased::new(cfg.clone());
+    let run_p = simulate_multi(&input, &mut phased, DrainPolicy::DrainToEmpty).unwrap();
+    let v_p = verify_multi(&input, &run_p, &cfg.phased_bounds());
+    assert!(v_p.all_ok(), "phased: {v_p:?}");
+
+    let mut cont = Continuous::new(cfg.clone());
+    let run_c = simulate_multi(&input, &mut cont, DrainPolicy::DrainToEmpty).unwrap();
+    let v_c = verify_multi(&input, &run_c, &cfg.continuous_bounds());
+    assert!(v_c.all_ok(), "continuous: {v_c:?}");
+
+    // Both serve everything.
+    let total: f64 = input.total();
+    let served_p: f64 = (0..k).map(|i| run_p.served(i).iter().sum::<f64>()).sum();
+    let served_c: f64 = (0..k).map(|i| run_c.served(i).iter().sum::<f64>()).sum();
+    assert!((served_p - total).abs() < 1e-6);
+    assert!((served_c - total).abs() < 1e-6);
+}
+
+#[test]
+fn combined_pipeline_with_both_inners() {
+    let mut rng = StdRng::seed_from_u64(45);
+    let k = 3;
+    let input = independent_sessions(
+        &mut rng,
+        &WorkloadKind::OnOff(OnOffParams::default()),
+        k,
+        1_500,
+    )
+    .unwrap()
+    .scale_to_feasible(0.9 * B, D_O)
+    .unwrap()
+    .pad_zeros(D_O);
+    for inner in [InnerMulti::Phased, InnerMulti::Continuous] {
+        let cfg = CombinedConfig::new(k, B, D_O, 0.1, W, inner).unwrap();
+        let mut alg = Combined::new(cfg.clone());
+        let run = simulate_multi(&input, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        let v = verify_multi(&input, &run, &cfg.promised_bounds());
+        assert!(v.all_ok(), "{inner:?}: {v:?}");
+    }
+}
+
+#[test]
+fn lookback_and_vanilla_agree_on_service() {
+    let mut rng = StdRng::seed_from_u64(46);
+    let raw = WorkloadKind::OnOff(OnOffParams::default())
+        .generate(&mut rng, 1_000)
+        .unwrap();
+    let trace = conditioner::scale_to_feasible(&raw, 0.9 * B, D_O)
+        .unwrap()
+        .pad_zeros(D_O);
+    let cfg = single_cfg();
+    let mut a = SingleSession::new(cfg.clone());
+    let mut b = LookbackSingle::new(cfg);
+    let run_a = simulate(&trace, &mut a, DrainPolicy::DrainToEmpty).unwrap();
+    let run_b = simulate(&trace, &mut b, DrainPolicy::DrainToEmpty).unwrap();
+    assert!((run_a.total_served() - trace.total()).abs() < 1e-6);
+    assert!((run_b.total_served() - trace.total()).abs() < 1e-6);
+    // The lookback variant allocates at least as aggressively: its delay is
+    // no worse.
+    let d_a = measure::max_delay(&trace, run_a.served()).unwrap();
+    let d_b = measure::max_delay(&trace, run_b.served()).unwrap();
+    assert!(d_b <= d_a + 1, "lookback delay {d_b} ≫ vanilla {d_a}");
+}

@@ -1,0 +1,173 @@
+//! Integration tests for the dynamic [`SessionPool`]: external FIFO
+//! measurement (the pool's allocations drive independent queues, exactly
+//! like the engine does for the fixed-arity algorithms).
+
+use cdba_core::config::MultiConfig;
+use cdba_core::multi::pool::SessionPool;
+use cdba_sim::measure;
+use cdba_traffic::multi::rotating_hot;
+use cdba_traffic::Trace;
+use std::collections::HashMap;
+
+const B_O: f64 = 24.0;
+const D_O: usize = 4;
+
+/// Drives the pool with a fixed multi-trace (no churn) and measures each
+/// session's FIFO delay from the returned allocations.
+#[test]
+fn static_membership_matches_phased_guarantees() {
+    let input = rotating_hot(3, 0.8 * B_O, 0.02 * B_O, 8 * D_O, 600)
+        .unwrap()
+        .pad_zeros(D_O);
+    let mut pool = SessionPool::new(MultiConfig::new(3, B_O, D_O).unwrap());
+    let ids: Vec<_> = (0..3).map(|_| pool.join()).collect();
+
+    let mut backlog: HashMap<_, f64> = ids.iter().map(|&id| (id, 0.0)).collect();
+    let mut served: HashMap<_, Vec<f64>> = ids.iter().map(|&id| (id, Vec::new())).collect();
+    let mut peak_total = 0.0f64;
+    let horizon = input.len() + 4 * D_O;
+    for t in 0..horizon {
+        for (i, &id) in ids.iter().enumerate() {
+            let a = input.session(i).arrival(t);
+            if a > 0.0 {
+                pool.submit(id, a).unwrap();
+            }
+            *backlog.get_mut(&id).unwrap() += a;
+        }
+        let allocs = pool.tick();
+        peak_total = peak_total.max(allocs.iter().map(|(_, a)| a).sum());
+        for (id, alloc) in allocs {
+            let q = backlog.get_mut(&id).unwrap();
+            let s = q.min(alloc);
+            *q -= s;
+            served.get_mut(&id).unwrap().push(s);
+        }
+    }
+    // Envelope: ≤ 4·B_O like the fixed-arity phased algorithm.
+    assert!(peak_total <= 4.0 * B_O + 1e-6, "peak {peak_total}");
+    // Delay per session ≤ 2·D_O.
+    for (i, id) in ids.iter().enumerate() {
+        let d = measure::max_delay(input.session(i), &served[id])
+            .unwrap_or_else(|| panic!("session {i} never drained"));
+        assert!(d <= 2 * D_O, "session {i} delay {d}");
+    }
+}
+
+/// Bits submitted before a leave are fully delivered even though the slot
+/// retires.
+#[test]
+fn leavers_never_lose_bits() {
+    let mut pool = SessionPool::new(MultiConfig::new(2, B_O, D_O).unwrap());
+    let a = pool.join();
+    let b = pool.join();
+    let mut delivered_b = 0.0;
+    pool.submit(a, 4.0).unwrap();
+    pool.submit(b, 30.0).unwrap();
+    let mut backlog_b = 30.0f64;
+    for (id, alloc) in pool.tick() {
+        if id == b {
+            let s = backlog_b.min(alloc);
+            backlog_b -= s;
+            delivered_b += s;
+        }
+    }
+    pool.leave(b).unwrap();
+    for _ in 0..3 * D_O {
+        pool.submit(a, 4.0).unwrap();
+        for (id, alloc) in pool.tick() {
+            if id == b {
+                let s = backlog_b.min(alloc);
+                backlog_b -= s;
+                delivered_b += s;
+            }
+        }
+    }
+    assert!(
+        (delivered_b - 30.0).abs() < 1e-9,
+        "delivered {delivered_b} of 30 bits"
+    );
+    assert_eq!(pool.len(), 1, "leaver should be retired");
+}
+
+/// Under heavy churn the pool keeps serving the survivors with the full
+/// budget.
+#[test]
+fn churn_reassigns_the_budget() {
+    let mut pool = SessionPool::new(MultiConfig::new(2, B_O, D_O).unwrap());
+    let keeper = pool.join();
+    for round in 0..10 {
+        let guest = pool.join();
+        for _ in 0..2 * D_O {
+            pool.submit(keeper, 2.0).unwrap();
+            pool.submit(guest, 1.0).unwrap();
+            pool.tick();
+        }
+        pool.leave(guest).unwrap();
+        for _ in 0..2 * D_O {
+            pool.submit(keeper, 2.0).unwrap();
+            pool.tick();
+        }
+        assert_eq!(pool.active(), 1, "round {round}");
+    }
+    // Sole survivor owns the whole budget again.
+    pool.submit(keeper, 1.0).unwrap();
+    let allocs = pool.tick();
+    let keeper_alloc = allocs.iter().find(|(id, _)| *id == keeper).unwrap().1;
+    assert!((keeper_alloc - B_O).abs() < 1e-9, "alloc {keeper_alloc}");
+}
+
+/// The pool interops with trace tooling: replaying a `Trace` through it.
+#[test]
+fn trace_replay_through_pool() {
+    let trace = Trace::new(vec![5.0, 0.0, 12.0, 3.0, 0.0, 0.0, 8.0, 0.0]).unwrap();
+    let mut pool = SessionPool::new(MultiConfig::new(2, B_O, D_O).unwrap());
+    let id = pool.join();
+    let mut total_alloc = 0.0;
+    for t in 0..trace.len() + 2 * D_O {
+        let a = trace.arrival(t);
+        if a > 0.0 {
+            pool.submit(id, a).unwrap();
+        }
+        total_alloc += pool.tick()[0].1;
+    }
+    assert!(total_alloc >= trace.total(), "allocated {total_alloc}");
+}
+
+/// Under a static membership, the pool *is* the phased algorithm: their
+/// allocation schedules must agree tick for tick.
+#[test]
+fn static_pool_is_bit_identical_to_phased() {
+    use cdba_core::multi::Phased;
+    use cdba_sim::MultiAllocator;
+
+    let input = rotating_hot(3, 0.8 * B_O, 0.1 * B_O, 3 * D_O, 400)
+        .unwrap()
+        .pad_zeros(D_O);
+    let k = input.num_sessions();
+
+    let mut pool = SessionPool::new(MultiConfig::new(k, B_O, D_O).unwrap());
+    let ids: Vec<_> = (0..k).map(|_| pool.join()).collect();
+    let mut phased = Phased::new(MultiConfig::new(k, B_O, D_O).unwrap());
+
+    let mut arrivals = vec![0.0f64; k];
+    for t in 0..input.len() {
+        for (i, a) in arrivals.iter_mut().enumerate() {
+            *a = input.session(i).arrival(t);
+        }
+        for (i, &id) in ids.iter().enumerate() {
+            if arrivals[i] > 0.0 {
+                pool.submit(id, arrivals[i]).unwrap();
+            }
+        }
+        let pool_allocs = pool.tick();
+        let phased_allocs = phased.on_tick(&arrivals);
+        for (i, &id) in ids.iter().enumerate() {
+            let pa = pool_allocs.iter().find(|(pid, _)| *pid == id).unwrap().1;
+            assert!(
+                (pa - phased_allocs[i]).abs() < 1e-9,
+                "tick {t} session {i}: pool {pa} vs phased {}",
+                phased_allocs[i]
+            );
+        }
+    }
+}

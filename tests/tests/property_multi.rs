@@ -1,0 +1,127 @@
+//! Property-based tests on the multi-session algorithms: for any feasible
+//! `k`-session input, per-session delay ≤ 2·D_O, total bandwidth within the
+//! envelope, and conservation of bits.
+
+use cdba_core::combined::Combined;
+use cdba_core::config::{CombinedConfig, InnerMulti, MultiConfig};
+use cdba_core::multi::{Continuous, Phased};
+use cdba_sim::engine::{simulate_multi, DrainPolicy};
+use cdba_sim::measure;
+use cdba_traffic::{MultiTrace, Trace};
+use proptest::prelude::*;
+
+const B_O: f64 = 32.0;
+const D_O: usize = 4;
+
+/// Arbitrary feasible multi-session inputs (2–5 sessions).
+fn feasible_multi() -> impl Strategy<Value = MultiTrace> {
+    (2usize..=5, 30usize..150)
+        .prop_flat_map(|(k, len)| {
+            proptest::collection::vec(
+                proptest::collection::vec(0.0f64..50.0, len..=len),
+                k..=k,
+            )
+        })
+        .prop_map(|sessions| {
+            let traces: Vec<Trace> = sessions
+                .into_iter()
+                .map(|s| Trace::new(s).expect("valid arrivals"))
+                .collect();
+            MultiTrace::new(traces)
+                .expect("uniform lengths")
+                .scale_to_feasible(0.9 * B_O, D_O)
+                .expect("positive budget")
+                .pad_zeros(D_O)
+        })
+}
+
+fn worst_delay(input: &MultiTrace, run: &cdba_sim::MultiRun) -> usize {
+    (0..run.num_sessions())
+        .map(|i| measure::max_delay(input.session(i), run.served(i)).expect("drained"))
+        .max()
+        .unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn phased_bounds_hold(input in feasible_multi()) {
+        let cfg = MultiConfig::new(input.num_sessions(), B_O, D_O).unwrap();
+        let mut alg = Phased::new(cfg);
+        let run = simulate_multi(&input, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        prop_assert!(worst_delay(&input, &run) <= 2 * D_O);
+        prop_assert!(run.total.peak() <= 4.0 * B_O + 1e-6, "peak {}", run.total.peak());
+        prop_assert!((input.total() -
+            (0..input.num_sessions()).map(|i| run.served(i).iter().sum::<f64>()).sum::<f64>())
+            .abs() < 1e-6);
+    }
+
+    #[test]
+    fn continuous_bounds_hold(input in feasible_multi()) {
+        let cfg = MultiConfig::new(input.num_sessions(), B_O, D_O).unwrap();
+        let mut alg = Continuous::new(cfg);
+        let run = simulate_multi(&input, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        prop_assert!(worst_delay(&input, &run) <= 2 * D_O);
+        prop_assert!(run.total.peak() <= 5.0 * B_O + 1e-6, "peak {}", run.total.peak());
+    }
+
+    #[test]
+    fn combined_bounds_hold(input in feasible_multi()) {
+        let cfg = CombinedConfig::new(
+            input.num_sessions(), B_O, D_O, 0.1, 2 * D_O, InnerMulti::Phased,
+        ).unwrap();
+        let envelope = cfg.total_bandwidth_envelope();
+        let mut alg = Combined::new(cfg);
+        let run = simulate_multi(&input, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        prop_assert!(worst_delay(&input, &run) <= 2 * D_O);
+        prop_assert!(run.total.peak() <= envelope + 1e-6, "peak {}", run.total.peak());
+    }
+
+    #[test]
+    fn phased_changes_per_stage_bounded(input in feasible_multi()) {
+        let k = input.num_sessions();
+        let cfg = MultiConfig::new(k, B_O, D_O).unwrap();
+        let mut alg = Phased::new(cfg);
+        let run = simulate_multi(&input, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        let budget = 4 * k; // 3k (Lemma 12) + k establishment transitions
+        for rec in alg.stage_log().records() {
+            let end = rec.end.unwrap_or(run.total.len());
+            let changes: usize = run.sessions.iter().map(|s| s.changes_in(rec.start, end)).sum();
+            prop_assert!(changes <= budget, "{changes} local changes in one stage (k={k})");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Within a global stage the combined algorithm's budget ladder is
+    /// monotone: `B_on` never decreases until the global certificate fires.
+    #[test]
+    fn combined_budget_is_monotone_within_global_stages(input in feasible_multi()) {
+        let cfg = CombinedConfig::new(
+            input.num_sessions(), B_O, D_O, 0.1, 2 * D_O, InnerMulti::Phased,
+        ).unwrap();
+        let mut alg = Combined::new(cfg);
+        let mut prev_budget = 0.0f64;
+        let mut prev_stages = 0usize;
+        let mut arrivals = vec![0.0f64; input.num_sessions()];
+        for t in 0..input.len() {
+            for (i, a) in arrivals.iter_mut().enumerate() {
+                *a = input.session(i).arrival(t);
+            }
+            cdba_sim::MultiAllocator::on_tick(&mut alg, &arrivals);
+            let stages = alg.certified_global_changes();
+            let budget = alg.current_budget();
+            if stages == prev_stages {
+                prop_assert!(
+                    budget >= prev_budget - 1e-9,
+                    "tick {t}: budget fell {prev_budget} → {budget} inside a global stage"
+                );
+            }
+            prev_budget = budget;
+            prev_stages = stages;
+        }
+    }
+}

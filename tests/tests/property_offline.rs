@@ -1,0 +1,88 @@
+//! Property-based tests on the offline planners: every plan they return
+//! genuinely satisfies its constraints when replayed through the engine,
+//! and the exact DP never uses more segments than the greedy.
+
+use cdba_offline::multi::{dp_multi_offline, greedy_multi_offline};
+use cdba_offline::single::{dp_offline, greedy_offline};
+use cdba_offline::{OfflineConstraints, PlaybackAllocator};
+use cdba_sim::engine::{simulate, DrainPolicy};
+use cdba_sim::measure;
+use cdba_traffic::{conditioner, MultiTrace, Trace};
+use proptest::prelude::*;
+
+const B_O: f64 = 24.0;
+const D_O: usize = 4;
+
+fn feasible_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(0.0f64..80.0, 10..120).prop_map(|v| {
+        let raw = Trace::new(v).expect("valid arrivals");
+        conditioner::scale_to_feasible(&raw, 0.8 * B_O, D_O)
+            .expect("positive budget")
+            .pad_zeros(D_O)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn greedy_plans_satisfy_their_constraints(trace in feasible_trace()) {
+        let plan = greedy_offline(&trace, OfflineConstraints::delay_only(B_O, D_O))
+            .expect("feasible by construction");
+        let mut playback = PlaybackAllocator::from_schedule(&plan.schedule, "plan");
+        let run = simulate(&trace, &mut playback, DrainPolicy::DrainToEmpty)
+            .expect("replay runs");
+        let delay = measure::max_delay(&trace, run.served()).expect("plan serves everything");
+        prop_assert!(delay <= D_O, "offline delay {delay} > D_O");
+        prop_assert!(run.schedule.peak() <= B_O + 1e-9);
+    }
+
+    #[test]
+    fn dp_plans_satisfy_their_constraints(trace in feasible_trace()) {
+        let plan = dp_offline(&trace, OfflineConstraints::delay_only(B_O, D_O))
+            .expect("feasible by construction");
+        let mut playback = PlaybackAllocator::from_schedule(&plan.schedule, "plan");
+        let run = simulate(&trace, &mut playback, DrainPolicy::DrainToEmpty)
+            .expect("replay runs");
+        let delay = measure::max_delay(&trace, run.served()).expect("plan serves everything");
+        prop_assert!(delay <= D_O, "offline delay {delay} > D_O");
+    }
+
+    #[test]
+    fn dp_is_optimal_among_segmentations(trace in feasible_trace()) {
+        let c = OfflineConstraints::delay_only(B_O, D_O);
+        let dp = dp_offline(&trace, c).expect("feasible");
+        let greedy = greedy_offline(&trace, c).expect("feasible");
+        let dp_pos = dp.segments.iter().filter(|s| s.2 > 0.0).count();
+        let gr_pos = greedy.segments.iter().filter(|s| s.2 > 0.0).count();
+        prop_assert!(dp_pos <= gr_pos, "dp {dp_pos} > greedy {gr_pos}");
+    }
+
+    #[test]
+    fn multi_dp_never_worse_than_multi_greedy(
+        sessions in (2usize..4, 20usize..60).prop_flat_map(|(k, len)| {
+            proptest::collection::vec(
+                proptest::collection::vec(0.0f64..30.0, len..=len), k..=k)
+        })
+    ) {
+        let m = MultiTrace::new(
+            sessions.into_iter().map(|s| Trace::new(s).unwrap()).collect()
+        ).unwrap()
+         .scale_to_feasible(0.8 * B_O, D_O).unwrap()
+         .pad_zeros(D_O);
+        let greedy = greedy_multi_offline(&m, B_O, D_O);
+        let dp = dp_multi_offline(&m, B_O, D_O);
+        match (greedy, dp) {
+            (Ok(g), Ok(d)) => {
+                prop_assert!(d.num_intervals() <= g.num_intervals());
+                for (_, _, alloc) in &d.intervals {
+                    prop_assert!(alloc.iter().sum::<f64>() <= B_O + 1e-6);
+                }
+            }
+            // Drained-boundary semantics can reject sustained near-budget
+            // rates (documented); both planners must agree on rejection.
+            (Err(_), Err(_)) => {}
+            (g, d) => prop_assert!(false, "planners disagree: {g:?} vs {d:?}"),
+        }
+    }
+}

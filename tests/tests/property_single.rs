@@ -1,0 +1,115 @@
+//! Property-based tests on the single-session algorithms' invariants: for
+//! *any* feasible input, delay ≤ 2·D_O, allocation ≤ B_A, power-of-two
+//! levels, monotone ladders within stages, and kernel agreement.
+
+use cdba_core::bounds::{HullLowTracker, LowTracker, NaiveLowTracker};
+use cdba_core::config::SingleConfig;
+use cdba_core::single::{LookbackSingle, SingleSession};
+use cdba_sim::engine::{simulate, DrainPolicy};
+use cdba_sim::measure;
+use cdba_traffic::{conditioner, Trace};
+use proptest::prelude::*;
+
+const B: f64 = 64.0;
+const D_O: usize = 4;
+const W: usize = 8;
+
+fn cfg() -> SingleConfig {
+    SingleConfig::builder(B)
+        .offline_delay(D_O)
+        .offline_utilization(0.25)
+        .window(W)
+        .build()
+        .unwrap()
+}
+
+/// Arbitrary bursty arrival sequences, conditioned feasible.
+fn feasible_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(0.0f64..200.0, 20..300).prop_map(|arrivals| {
+        let raw = Trace::new(arrivals).expect("non-negative finite arrivals");
+        conditioner::scale_to_feasible(&raw, 0.9 * B, D_O)
+            .expect("positive bandwidth")
+            .pad_zeros(D_O)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn delay_and_bandwidth_bounds_hold(trace in feasible_trace()) {
+        let mut alg = SingleSession::new(cfg());
+        let run = simulate(&trace, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        let delay = measure::max_delay(&trace, run.served()).expect("drained run serves all");
+        prop_assert!(delay <= 2 * D_O, "delay {delay}");
+        prop_assert!(run.schedule.peak() <= B + 1e-9);
+    }
+
+    #[test]
+    fn lookback_bounds_hold(trace in feasible_trace()) {
+        let mut alg = LookbackSingle::new(cfg());
+        let run = simulate(&trace, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        let delay = measure::max_delay(&trace, run.served()).expect("drained run serves all");
+        prop_assert!(delay <= 2 * D_O, "delay {delay}");
+        prop_assert!(run.schedule.peak() <= B + 1e-9);
+    }
+
+    #[test]
+    fn allocations_are_power_of_two_levels(trace in feasible_trace()) {
+        let mut alg = SingleSession::new(cfg());
+        let run = simulate(&trace, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        for &a in run.schedule.allocation() {
+            if a > 0.0 {
+                let l = a.log2();
+                prop_assert!((l - l.round()).abs() < 1e-9, "allocation {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_is_monotone_within_each_stage(trace in feasible_trace()) {
+        let mut alg = SingleSession::new(cfg());
+        let run = simulate(&trace, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        // Within a stage (between records), allocation never decreases.
+        for rec in alg.stage_log().records() {
+            let end = rec.end.unwrap_or(run.schedule.len()).min(run.schedule.len());
+            let alloc = &run.schedule.allocation()[rec.start.min(end)..end];
+            for w in alloc.windows(2) {
+                prop_assert!(w[1] >= w[0] - 1e-9, "decrease inside stage: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn stage_changes_respect_ladder_budget(trace in feasible_trace()) {
+        let c = cfg();
+        let budget = c.levels() as usize + 2;
+        let mut alg = SingleSession::new(c);
+        let run = simulate(&trace, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        for rec in alg.stage_log().records() {
+            let end = rec.end.unwrap_or(run.schedule.len());
+            let changes = run.schedule.changes_in(rec.start, end);
+            prop_assert!(changes <= budget, "{changes} changes in one stage");
+        }
+    }
+
+    #[test]
+    fn hull_low_matches_naive(arrivals in proptest::collection::vec(0.0f64..100.0, 1..200),
+                              d_o in 1usize..20) {
+        let mut naive = NaiveLowTracker::new(d_o);
+        let mut hull = HullLowTracker::new(d_o);
+        for &a in &arrivals {
+            let n = naive.push(a);
+            let h = hull.push(a);
+            prop_assert!((n - h).abs() <= 1e-9 * n.max(1.0), "naive {n} hull {h}");
+        }
+    }
+
+    #[test]
+    fn everything_is_served(trace in feasible_trace()) {
+        let mut alg = SingleSession::new(cfg());
+        let run = simulate(&trace, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
+        prop_assert!((run.total_served() - trace.total()).abs() < 1e-6);
+        prop_assert_eq!(run.final_backlog, 0.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Property-based tests on the streaming engine: for any feasible input and
+//! any algorithm, the constant-memory streaming run agrees with the batch
+//! engine on every summary quantity.
+
+use cdba_core::config::SingleConfig;
+use cdba_core::single::{LookbackSingle, SingleSession};
+use cdba_sim::engine::{simulate, DrainPolicy};
+use cdba_sim::streaming::simulate_streaming;
+use cdba_sim::measure;
+use cdba_traffic::{conditioner, Trace};
+use proptest::prelude::*;
+
+const B: f64 = 32.0;
+const D_O: usize = 4;
+const W: usize = 8;
+
+fn cfg() -> SingleConfig {
+    SingleConfig::builder(B)
+        .offline_delay(D_O)
+        .offline_utilization(0.25)
+        .window(W)
+        .build()
+        .unwrap()
+}
+
+fn feasible_trace() -> impl Strategy<Value = Trace> {
+    proptest::collection::vec(0.0f64..100.0, 5..200).prop_map(|arrivals| {
+        let raw = Trace::new(arrivals).expect("valid arrivals");
+        conditioner::scale_to_feasible(&raw, 0.9 * B, D_O)
+            .expect("positive budget")
+            .pad_zeros(D_O)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn streaming_agrees_with_batch_for_single_session(trace in feasible_trace()) {
+        let batch = {
+            let mut alg = SingleSession::new(cfg());
+            simulate(&trace, &mut alg, DrainPolicy::DrainToEmpty).unwrap()
+        };
+        let stream = {
+            let mut alg = SingleSession::new(cfg());
+            simulate_streaming(trace.arrivals().iter().copied(), &mut alg, 1 << 20)
+        };
+        prop_assert_eq!(stream.changes, batch.schedule.num_changes());
+        prop_assert!((stream.total_served - batch.total_served()).abs() < 1e-6);
+        prop_assert!((stream.peak_allocation - batch.schedule.peak()).abs() < 1e-9);
+        prop_assert!(
+            (stream.total_allocated
+                - batch.schedule.allocated(0, batch.schedule.len())).abs() < 1e-6
+        );
+        let batch_delay = measure::max_delay(&trace, batch.served()).unwrap();
+        prop_assert_eq!(stream.max_delay, batch_delay);
+        prop_assert_eq!(stream.final_backlog, 0.0);
+    }
+
+    #[test]
+    fn streaming_agrees_with_batch_for_lookback(trace in feasible_trace()) {
+        let batch = {
+            let mut alg = LookbackSingle::new(cfg());
+            simulate(&trace, &mut alg, DrainPolicy::DrainToEmpty).unwrap()
+        };
+        let stream = {
+            let mut alg = LookbackSingle::new(cfg());
+            simulate_streaming(trace.arrivals().iter().copied(), &mut alg, 1 << 20)
+        };
+        prop_assert_eq!(stream.changes, batch.schedule.num_changes());
+        prop_assert!((stream.total_served - batch.total_served()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn streaming_delay_bound_holds(trace in feasible_trace()) {
+        let mut alg = SingleSession::new(cfg());
+        let summary = simulate_streaming(trace.arrivals().iter().copied(), &mut alg, 1 << 20);
+        prop_assert!(summary.max_delay <= 2 * D_O, "delay {}", summary.max_delay);
+    }
+}
