@@ -73,7 +73,13 @@ pub fn run(ctx: Ctx) -> Report {
     let mut table = Table::new(
         "One MMPP trace, six policies",
         &[
-            "corner", "policy", "changes", "max delay", "global util", "local util", "peak alloc",
+            "corner",
+            "policy",
+            "changes",
+            "max delay",
+            "global util",
+            "local util",
+            "peak alloc",
         ],
     );
 
@@ -147,7 +153,9 @@ pub fn run(ctx: Ctx) -> Report {
     }
     if let (Some(da), Some(db)) = (d_a, d_b) {
         if da >= db {
-            report.fail(format!("static-high delay {da} should beat static-low {db}"));
+            report.fail(format!(
+                "static-high delay {da} should beat static-low {db}"
+            ));
         }
     }
     if d_c != Some(0) {

@@ -12,10 +12,10 @@ use crate::report::{Report, Table};
 use crate::runner::parallel_map;
 use cdba_core::config::SingleConfig;
 use cdba_core::single::SingleSession;
-use cdba_sim::engine::{simulate, DrainPolicy};
-use cdba_traffic::adversarial::{stage_forcer, StageForcerParams};
 use cdba_offline::single::greedy_offline;
 use cdba_offline::{CompetitiveRatio, OfflineConstraints};
+use cdba_sim::engine::{simulate, DrainPolicy};
+use cdba_traffic::adversarial::{stage_forcer, StageForcerParams};
 
 const D_O: usize = 4;
 const U_O: f64 = 0.05;
@@ -118,9 +118,7 @@ pub fn run(ctx: Ctx) -> Report {
         bars.push((format!("2^{}", p.levels), p.per_stage));
     }
     report.tables.push(table);
-    report
-        .figures
-        .push(ascii_plot::bar_chart(&bars, 40));
+    report.figures.push(ascii_plot::bar_chart(&bars, 40));
 
     // Shape: per-stage changes grow with the ladder depth.
     let first = points.first().expect("non-empty sweep");

@@ -142,7 +142,11 @@ pub fn run(ctx: Ctx) -> Report {
     // fragments the crawl into certified stages of O(log 1/U_O) changes
     // each.
     let u_fix = 0.25;
-    let levels: Vec<u32> = if ctx.quick { vec![8, 12] } else { vec![8, 12, 16] };
+    let levels: Vec<u32> = if ctx.quick {
+        vec![8, 12]
+    } else {
+        vec![8, 12, 16]
+    };
     let rows2 = parallel_map(levels, |lv| {
         let b_max = 2f64.powi(lv as i32);
         let step = 2 * (D_O + 1);
@@ -167,18 +171,10 @@ pub fn run(ctx: Ctx) -> Report {
     });
     let mut t2 = Table::new(
         "Sweep over B_A (staircase crawl, U_O = 1/4)",
-        &[
-            "B_A",
-            "vanilla changes/cert",
-            "lookback changes/cert",
-        ],
+        &["B_A", "vanilla changes/cert", "lookback changes/cert"],
     );
     for (lv, v, l) in &rows2 {
-        t2.push_row(vec![
-            format!("2^{lv}"),
-            f2(per_cert(v)),
-            f2(per_cert(l)),
-        ]);
+        t2.push_row(vec![format!("2^{lv}"), f2(per_cert(v)), f2(per_cert(l))]);
     }
     report.tables.push(t2);
     let (first, last) = (&rows2[0], &rows2[rows2.len() - 1]);

@@ -12,11 +12,11 @@ use crate::report::{Report, Table};
 use crate::runner::parallel_map;
 use cdba_core::config::MultiConfig;
 use cdba_core::multi::Phased;
+use cdba_offline::multi::greedy_multi_offline;
+use cdba_offline::CompetitiveRatio;
 use cdba_sim::engine::{simulate_multi, DrainPolicy};
 use cdba_sim::verify::verify_multi;
 use cdba_traffic::multi::rotating_hot;
-use cdba_offline::multi::greedy_multi_offline;
-use cdba_offline::CompetitiveRatio;
 
 const D_O: usize = 4;
 const B_O: f64 = 16.0;
@@ -121,7 +121,10 @@ pub(crate) fn render(
         }
         match p.max_delay {
             Some(d) if d <= delay_bound => {}
-            other => report.fail(format!("k={}: delay {:?} exceeds {delay_bound}", p.k, other)),
+            other => report.fail(format!(
+                "k={}: delay {:?} exceeds {delay_bound}",
+                p.k, other
+            )),
         }
         if p.peak_total > bw_bound + 1e-6 {
             report.fail(format!(

@@ -7,10 +7,10 @@ use crate::report::Report;
 use crate::runner::parallel_map;
 use cdba_core::config::MultiConfig;
 use cdba_core::multi::Continuous;
-use cdba_sim::engine::{simulate_multi, DrainPolicy};
-use cdba_sim::verify::verify_multi;
 use cdba_offline::multi::greedy_multi_offline;
 use cdba_offline::CompetitiveRatio;
+use cdba_sim::engine::{simulate_multi, DrainPolicy};
+use cdba_sim::verify::verify_multi;
 
 use super::e05_phased::{adversary, render, MultiPoint};
 

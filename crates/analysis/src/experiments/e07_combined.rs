@@ -30,8 +30,8 @@ fn workload(k: usize, quick: bool) -> MultiTrace {
     let mut sessions: Vec<Vec<f64>> = vec![Vec::new(); k];
     for e in 0..epochs {
         let level = if e % 2 == 0 { 0.2 * B_O } else { 0.8 * B_O };
-        let block = rotating_hot(k, level, level / 20.0, 4 * D_O, epoch_len)
-            .expect("valid rotation");
+        let block =
+            rotating_hot(k, level, level / 20.0, 4 * D_O, epoch_len).expect("valid rotation");
         for (i, s) in sessions.iter_mut().enumerate() {
             s.extend_from_slice(block.session(i).arrivals());
             s.extend(std::iter::repeat_n(0.0, gap));
@@ -120,7 +120,10 @@ pub fn run(ctx: Ctx) -> Report {
             f2(p.envelope),
         ]);
         if p.global_certified == 0 {
-            report.fail(format!("{:?}: workload should force global stages", p.inner));
+            report.fail(format!(
+                "{:?}: workload should force global stages",
+                p.inner
+            ));
         }
         if per_global > ladder + 1e-9 {
             report.fail(format!(

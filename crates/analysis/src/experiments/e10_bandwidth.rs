@@ -76,12 +76,7 @@ pub fn run(ctx: Ctx) -> Report {
                 ));
             }
         }
-        table.push_row(vec![
-            name,
-            f2(p1 / B_O),
-            f2(p2 / B_O),
-            f2(p3 / B_O),
-        ]);
+        table.push_row(vec![name, f2(p1 / B_O), f2(p2 / B_O), f2(p3 / B_O)]);
     }
     report.tables.push(table);
     report.note(

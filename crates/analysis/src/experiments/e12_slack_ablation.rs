@@ -121,7 +121,11 @@ pub fn run(ctx: Ctx) -> Report {
             (D_A / p.s_d).to_string(),
             f2(U_A * p.s_u),
             p.changes.to_string(),
-            if p.delay_ok { "yes".into() } else { "NO".into() },
+            if p.delay_ok {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
             f2(p.util.min(9.99)),
         ]);
     }

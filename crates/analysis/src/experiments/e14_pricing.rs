@@ -11,11 +11,13 @@ use crate::cost::{crossover_price, CostModel};
 use crate::report::{Report, Table};
 use cdba_core::config::SingleConfig;
 use cdba_core::single::SingleSession;
-use cdba_offline::baselines::{PerPacketAllocator, PeriodicAllocator, RcbrAllocator, StaticAllocator};
+use cdba_offline::baselines::{
+    PerPacketAllocator, PeriodicAllocator, RcbrAllocator, StaticAllocator,
+};
 use cdba_sim::engine::{simulate, DrainPolicy};
 use cdba_sim::{Allocator, Schedule};
-use cdba_traffic::models::{MmppParams, WorkloadKind};
 use cdba_traffic::conditioner;
+use cdba_traffic::models::{MmppParams, WorkloadKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -58,7 +60,10 @@ pub fn run(ctx: Ctx) -> Report {
         schedules.push((name.to_string(), run.schedule));
     };
     record("per-packet", &mut PerPacketAllocator::new());
-    record("static-circuit", &mut StaticAllocator::for_delay(&trace, 2 * D_O));
+    record(
+        "static-circuit",
+        &mut StaticAllocator::for_delay(&trace, 2 * D_O),
+    );
     record("periodic", &mut PeriodicAllocator::new(2 * D_O, 1.25));
     record("rcbr", &mut RcbrAllocator::conventional(D_O));
     record("online (paper)", &mut SingleSession::new(cfg));
@@ -66,7 +71,17 @@ pub fn run(ctx: Ctx) -> Report {
     let prices = [0.0, 0.5, 2.0, 8.0, 32.0, 128.0];
     let mut table = Table::new(
         "Total bill by change price (bandwidth price fixed at 1)",
-        &["policy", "bw·ticks", "changes", "p=0", "p=0.5", "p=2", "p=8", "p=32", "p=128"],
+        &[
+            "policy",
+            "bw·ticks",
+            "changes",
+            "p=0",
+            "p=0.5",
+            "p=2",
+            "p=8",
+            "p=32",
+            "p=128",
+        ],
     );
     let mut winners: Vec<(f64, String)> = Vec::new();
     for &p in &prices {
@@ -96,7 +111,10 @@ pub fn run(ctx: Ctx) -> Report {
     }
     report.tables.push(table);
 
-    let mut wtable = Table::new("Cheapest policy by change price", &["change price", "winner"]);
+    let mut wtable = Table::new(
+        "Cheapest policy by change price",
+        &["change price", "winner"],
+    );
     for (p, w) in &winners {
         wtable.push_row(vec![f2(*p), w.clone()]);
     }

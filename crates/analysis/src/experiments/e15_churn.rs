@@ -35,8 +35,9 @@ fn run_point(churn_every: usize, ticks: usize, seed: u64) -> Point {
     let mut pool = SessionPool::new(MultiConfig::new(BASE_SESSIONS, B_O, D_O).expect("valid"));
     let stable: Vec<SessionId> = (0..BASE_SESSIONS).map(|_| pool.join()).collect();
     let mut guests: Vec<SessionId> = Vec::new();
-    let mut trackers: Vec<OnlineDelayTracker> =
-        (0..BASE_SESSIONS).map(|_| OnlineDelayTracker::new()).collect();
+    let mut trackers: Vec<OnlineDelayTracker> = (0..BASE_SESSIONS)
+        .map(|_| OnlineDelayTracker::new())
+        .collect();
     let mut backlogs = [0.0f64; BASE_SESSIONS];
     let mut peak_total = 0.0f64;
     for t in 0..ticks {
@@ -86,7 +87,11 @@ fn run_point(churn_every: usize, ticks: usize, seed: u64) -> Point {
     Point {
         churn_every,
         membership_changes: pool.membership_changes(),
-        stable_max_delay: trackers.iter().map(OnlineDelayTracker::max_delay).max().unwrap_or(0),
+        stable_max_delay: trackers
+            .iter()
+            .map(OnlineDelayTracker::max_delay)
+            .max()
+            .unwrap_or(0),
         peak_total,
         replans: pool.stage_log().completed(),
     }

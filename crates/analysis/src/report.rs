@@ -49,7 +49,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.columns.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.columns
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -79,7 +83,11 @@ pub struct Report {
 
 impl Report {
     /// Creates an empty passing report.
-    pub fn new(id: impl Into<String>, title: impl Into<String>, expectation: impl Into<String>) -> Self {
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        expectation: impl Into<String>,
+    ) -> Self {
         Report {
             id: id.into(),
             title: title.into(),

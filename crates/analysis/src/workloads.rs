@@ -80,9 +80,7 @@ pub fn multi_suite(
         WorkloadKind::Video(Default::default()),
     ] {
         let raw = independent_sessions(&mut rng, &kind, k, len)?;
-        let scaled = raw
-            .scale_to_feasible(0.9 * b_o, d_o)?
-            .pad_zeros(d_o);
+        let scaled = raw.scale_to_feasible(0.9 * b_o, d_o)?.pad_zeros(d_o);
         out.push(MultiScenario {
             name: kind.name().to_string(),
             input: scaled,

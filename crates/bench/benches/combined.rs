@@ -14,8 +14,7 @@ fn combined(c: &mut Criterion) {
     let mut group = c.benchmark_group("combined");
     group.throughput(Throughput::Elements((len * k) as u64));
     for inner in [InnerMulti::Phased, InnerMulti::Continuous] {
-        let cfg =
-            CombinedConfig::new(k, B_O, D_O, 0.1, 2 * D_O, inner).expect("valid config");
+        let cfg = CombinedConfig::new(k, B_O, D_O, 0.1, 2 * D_O, inner).expect("valid config");
         group.bench_with_input(
             BenchmarkId::new("inner", format!("{inner:?}")),
             &input,
@@ -23,8 +22,7 @@ fn combined(c: &mut Criterion) {
                 b.iter(|| {
                     let mut alg = Combined::new(cfg.clone());
                     black_box(
-                        simulate_multi(input, &mut alg, DrainPolicy::DrainToEmpty)
-                            .expect("runs"),
+                        simulate_multi(input, &mut alg, DrainPolicy::DrainToEmpty).expect("runs"),
                     )
                 })
             },

@@ -18,17 +18,13 @@ fn multi_session(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("phased", k), &input, |b, input| {
             b.iter(|| {
                 let mut alg = Phased::new(cfg.clone());
-                black_box(
-                    simulate_multi(input, &mut alg, DrainPolicy::DrainToEmpty).expect("runs"),
-                )
+                black_box(simulate_multi(input, &mut alg, DrainPolicy::DrainToEmpty).expect("runs"))
             })
         });
         group.bench_with_input(BenchmarkId::new("continuous", k), &input, |b, input| {
             b.iter(|| {
                 let mut alg = Continuous::new(cfg.clone());
-                black_box(
-                    simulate_multi(input, &mut alg, DrainPolicy::DrainToEmpty).expect("runs"),
-                )
+                black_box(simulate_multi(input, &mut alg, DrainPolicy::DrainToEmpty).expect("runs"))
             })
         });
     }

@@ -32,9 +32,7 @@ fn policies(c: &mut Criterion) {
             group.bench_function($name, |b| {
                 b.iter(|| {
                     let mut alg = $make;
-                    black_box(
-                        simulate(&trace, &mut alg, DrainPolicy::DrainToEmpty).expect("runs"),
-                    )
+                    black_box(simulate(&trace, &mut alg, DrainPolicy::DrainToEmpty).expect("runs"))
                 })
             });
         };

@@ -30,8 +30,7 @@ fn single_ratio(c: &mut Criterion) {
             |b, trace| {
                 b.iter(|| {
                     let mut alg = SingleSession::new(cfg.clone());
-                    let run =
-                        simulate(trace, &mut alg, DrainPolicy::DrainToEmpty).expect("runs");
+                    let run = simulate(trace, &mut alg, DrainPolicy::DrainToEmpty).expect("runs");
                     black_box((run.schedule.num_changes(), alg.certified_offline_changes()))
                 })
             },

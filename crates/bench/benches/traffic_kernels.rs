@@ -98,5 +98,11 @@ fn trace_ops(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, generators, feasibility, delay_measurement, trace_ops);
+criterion_group!(
+    benches,
+    generators,
+    feasibility,
+    delay_measurement,
+    trace_ops
+);
 criterion_main!(benches);

@@ -13,10 +13,12 @@
 //! Traces use the compact binary format of `cdba_traffic::codec` (single- or
 //! multi-session).
 
+use cdba_analysis::cost::CostModel;
 use cdba_core::combined::Combined;
 use cdba_core::config::{CombinedConfig, InnerMulti, MultiConfig, SingleConfig};
 use cdba_core::multi::{Continuous, Phased};
 use cdba_core::single::{LookbackSingle, SingleSession};
+use cdba_ctrl::{ControlPlane, ExecMode, ServiceConfig};
 use cdba_offline::multi::greedy_multi_offline;
 use cdba_offline::single::greedy_offline;
 use cdba_offline::OfflineConstraints;
@@ -43,6 +45,7 @@ fn main() -> ExitCode {
         "inspect" => inspect(rest),
         "run" => run(rest),
         "offline" => offline(rest),
+        "serve" => serve(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -66,7 +69,11 @@ usage: cdba-cli <command> [options]
   run      --trace FILE --alg <single|lookback|phased|continuous|combined>
            [--bandwidth B] [--delay D] [--utilization U] [--window W]
            [--json FILE] [--timeline yes]
-  offline  --trace FILE [--bandwidth B] [--delay D]";
+  offline  --trace FILE [--bandwidth B] [--delay D]
+  serve    --sessions N [--shards S] [--ticks T] [--seed X] [--model M]
+           [--bandwidth B] [--group-bandwidth B_O] [--delay D] [--utilization U]
+           [--window W] [--group-size G] [--pool-frac F] [--churn-every C]
+           [--budget B_A] [--quota Q] [--exec inline|threaded] [--json FILE]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -75,9 +82,7 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
         let key = key
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, found {key}"))?;
-        let value = it
-            .next()
-            .ok_or_else(|| format!("--{key} needs a value"))?;
+        let value = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
         flags.insert(key.to_string(), value.clone());
     }
     Ok(flags)
@@ -211,7 +216,10 @@ fn inspect(args: &[String]) -> CliResult {
             println!("  peak/mean    {:.3}", s.peak_to_mean);
             println!("  idle frac    {:.3}", s.idle_fraction);
             println!("  hurst (R/S)  {:.3}", s.hurst);
-            println!("  demand bound (D=8): {:.3} bits/tick", trace.demand_bound(8));
+            println!(
+                "  demand bound (D=8): {:.3} bits/tick",
+                trace.demand_bound(8)
+            );
         }
         LoadedTrace::Multi(multi) => {
             println!(
@@ -253,13 +261,13 @@ fn run(args: &[String]) -> CliResult {
             let bounds = cfg.promised_bounds();
             let (run, certified) = if alg == "single" {
                 let mut a = SingleSession::new(cfg);
-                let run =
-                    simulate(&trace, &mut a, DrainPolicy::DrainToEmpty).map_err(|e| e.to_string())?;
+                let run = simulate(&trace, &mut a, DrainPolicy::DrainToEmpty)
+                    .map_err(|e| e.to_string())?;
                 (run, a.certified_offline_changes())
             } else {
                 let mut a = LookbackSingle::new(cfg);
-                let run =
-                    simulate(&trace, &mut a, DrainPolicy::DrainToEmpty).map_err(|e| e.to_string())?;
+                let run = simulate(&trace, &mut a, DrainPolicy::DrainToEmpty)
+                    .map_err(|e| e.to_string())?;
                 (run, a.certified_offline_changes())
             };
             if show_timeline {
@@ -284,7 +292,10 @@ fn run(args: &[String]) -> CliResult {
                 verdict.peak_allocation,
                 bounds.max_bandwidth,
             );
-            println!("all bounds: {}", if verdict.all_ok() { "OK" } else { "VIOLATED" });
+            println!(
+                "all bounds: {}",
+                if verdict.all_ok() { "OK" } else { "VIOLATED" }
+            );
             serde_json::json!({ "algorithm": alg, "verdict": verdict, "certified": certified })
         }
         (LoadedTrace::Multi(input), "phased" | "continuous" | "combined") => {
@@ -327,7 +338,10 @@ fn run(args: &[String]) -> CliResult {
                 verdict.peak_total_allocation,
                 bounds.total_bandwidth,
             );
-            println!("all bounds: {}", if verdict.all_ok() { "OK" } else { "VIOLATED" });
+            println!(
+                "all bounds: {}",
+                if verdict.all_ok() { "OK" } else { "VIOLATED" }
+            );
             serde_json::json!({ "algorithm": alg, "verdict": verdict, "certified": certified })
         }
         (LoadedTrace::Single(_), other) => {
@@ -343,6 +357,199 @@ fn run(args: &[String]) -> CliResult {
         let body = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
         std::fs::write(&path, body).map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// `serve`: spin up the cdba-ctrl control plane, replay a generated
+/// `MultiTrace` through it with mid-run session churn, and report
+/// throughput plus the service's JSON metrics snapshot. The
+/// placement-invariant metrics (global change count, max delay, windowed
+/// utilization, costs) are identical for any `--shards`/`--exec` choice
+/// under the same seed.
+fn serve(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let sessions: usize = get_parse(&flags, "sessions", 100)?;
+    let shards: usize = get_parse(&flags, "shards", 4)?;
+    let ticks: u64 = get_parse(&flags, "ticks", 100_000)?;
+    let seed: u64 = get_parse(&flags, "seed", 0xCDBA)?;
+    let b_max: f64 = get_parse(&flags, "bandwidth", 16.0)?;
+    let b_o: f64 = get_parse(&flags, "group-bandwidth", 8.0)?;
+    let d_o: usize = get_parse(&flags, "delay", 8)?;
+    let u_o: f64 = get_parse(&flags, "utilization", 0.5)?;
+    let w: usize = get_parse(&flags, "window", 2 * d_o)?;
+    let group_size: usize = get_parse(&flags, "group-size", 4)?;
+    let pool_frac: f64 = get_parse(&flags, "pool-frac", 0.2)?;
+    let churn_every: u64 = get_parse(&flags, "churn-every", 500)?;
+    if sessions == 0 {
+        return Err("--sessions must be >= 1".into());
+    }
+    let exec = match flags.get("exec").map(String::as_str) {
+        None | Some("threaded") => ExecMode::Threaded,
+        Some("inline") => ExecMode::Inline,
+        Some(other) => return Err(format!("unknown --exec {other} (inline|threaded)")),
+    };
+
+    // Split the population: `pool_frac` of the sessions run in pooled
+    // groups of `group_size`, the rest get dedicated allocators.
+    let pooled = if group_size >= 2 && pool_frac > 0.0 {
+        ((sessions as f64 * pool_frac.clamp(0.0, 1.0)) as usize / group_size) * group_size
+    } else {
+        0
+    };
+    let dedicated = sessions - pooled;
+    let groups = if group_size >= 2 {
+        pooled / group_size
+    } else {
+        0
+    };
+
+    // Default budget: an exact fit for the initial population plus one
+    // spare dedicated envelope so churn replacements always admit.
+    let default_budget = dedicated as f64 * b_max + groups as f64 * 4.0 * b_o + b_max;
+    let budget: f64 = get_parse(&flags, "budget", default_budget)?;
+    let quota: f64 = get_parse(&flags, "quota", budget)?;
+
+    let cfg = ServiceConfig::builder(budget)
+        .default_quota(quota)
+        .session_b_max(b_max)
+        .group_b_o(b_o)
+        .offline_delay(d_o)
+        .offline_utilization(u_o)
+        .window(w)
+        .shards(shards)
+        .cost(CostModel::with_change_price(1.0))
+        .exec(exec)
+        .build()
+        .map_err(|e| e.to_string())?;
+
+    // A bank of feasible arrival rows, tiled across the run: session key k
+    // replays row k mod rows. Feasibility targets the tighter of the
+    // dedicated offline budget U_O·B_A and the group budget B_O.
+    let model = flags.get("model").map(String::as_str).unwrap_or("onoff");
+    let kind = match model {
+        "cbr" => WorkloadKind::Cbr(Default::default()),
+        "poisson" => WorkloadKind::Poisson(Default::default()),
+        "onoff" => WorkloadKind::OnOff(Default::default()),
+        "mmpp" => WorkloadKind::Mmpp(Default::default()),
+        "pareto" => WorkloadKind::Pareto(Default::default()),
+        "video" => WorkloadKind::Video(Default::default()),
+        "spike" => WorkloadKind::Spike(Default::default()),
+        other => return Err(format!("unknown model {other}")),
+    };
+    let rows = sessions.min(64);
+    let base_len = (ticks.min(2048) as usize).max(w + 1);
+    let feasible_b = (u_o * b_max).min(b_o);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut bank = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let trace = kind
+            .generate(&mut rng, base_len)
+            .map_err(|e| e.to_string())?;
+        let trace =
+            conditioner::scale_to_feasible(&trace, feasible_b, d_o).map_err(|e| e.to_string())?;
+        bank.push(trace);
+    }
+    let replay = MultiTrace::new(bank).map_err(|e| e.to_string())?;
+
+    let mut service = ControlPlane::new(cfg);
+    let tenants = ["alpha", "beta", "gamma", "delta"];
+    let mut pooled_keys: Vec<u64> = Vec::with_capacity(pooled);
+    for g in 0..groups {
+        let members = service
+            .admit_group(tenants[g % tenants.len()], group_size)
+            .map_err(|e| e.to_string())?;
+        pooled_keys.extend(members);
+    }
+    let mut dedicated_keys: std::collections::VecDeque<u64> =
+        std::collections::VecDeque::with_capacity(dedicated);
+    for i in 0..dedicated {
+        let key = service
+            .admit(tenants[i % tenants.len()])
+            .map_err(|e| e.to_string())?;
+        dedicated_keys.push_back(key);
+    }
+
+    let mut arrivals: Vec<(u64, f64)> = Vec::with_capacity(sessions);
+    let mut session_ticks: u64 = 0;
+    let mut churn_events: u64 = 0;
+    let started = std::time::Instant::now();
+    for t in 0..ticks {
+        // Churn: the oldest dedicated session leaves (draining out) and a
+        // fresh one is admitted in its place.
+        if churn_every > 0 && t > 0 && t % churn_every == 0 {
+            if let Some(gone) = dedicated_keys.pop_front() {
+                service.leave(gone).map_err(|e| e.to_string())?;
+                let key = service
+                    .admit(tenants[churn_events as usize % tenants.len()])
+                    .map_err(|e| e.to_string())?;
+                dedicated_keys.push_back(key);
+                churn_events += 1;
+            }
+        }
+        arrivals.clear();
+        let col = (t as usize) % replay.len();
+        for &key in pooled_keys.iter().chain(dedicated_keys.iter()) {
+            let bits = replay.session(key as usize % rows).arrival(col);
+            if bits > 0.0 {
+                arrivals.push((key, bits));
+            }
+        }
+        session_ticks += (pooled_keys.len() + dedicated_keys.len()) as u64;
+        service.tick(&arrivals).map_err(|e| e.to_string())?;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let snapshot = service.snapshot();
+    service.shutdown();
+
+    let throughput = if elapsed > 0.0 {
+        session_ticks as f64 / elapsed
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "served {} sessions ({} pooled in {} groups) × {} ticks on {} {} shard(s): \
+         {:.0} session-ticks/s, {} churn events",
+        sessions,
+        pooled,
+        groups,
+        ticks,
+        shards,
+        match exec {
+            ExecMode::Inline => "inline",
+            ExecMode::Threaded => "threaded",
+        },
+        throughput,
+        churn_events,
+    );
+    println!(
+        "signalling: {} changes, total cost {:.1}; max delay {} ticks; admitted {}, rejected {}",
+        snapshot.global.changes,
+        snapshot.global.total_cost(),
+        snapshot.global.max_delay,
+        snapshot.admitted,
+        snapshot.rejected,
+    );
+    let summary = serde_json::json!({
+        "sessions": sessions,
+        "shards": shards,
+        "ticks": ticks,
+        "churn_events": churn_events,
+        "elapsed_sec": elapsed,
+        "session_ticks_per_sec": throughput,
+        "admitted": snapshot.admitted,
+        "rejected": snapshot.rejected,
+        "global": serde_json::to_value(&snapshot.global),
+        "per_shard": serde_json::to_value(&snapshot.per_shard),
+    });
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+    );
+    if let Some(path) = flags.get("json") {
+        std::fs::write(path, snapshot.to_json_string())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote full snapshot to {path}");
     }
     Ok(())
 }

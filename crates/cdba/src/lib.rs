@@ -7,7 +7,10 @@
 //! * [`traffic`] — traces, workload generators, adversaries, feasibility;
 //! * [`sim`] — the tick engine, schedules, delay/utilization measurement;
 //! * [`algorithms`] — the paper's four online algorithms;
-//! * [`offline`] — clairvoyant comparators and classical baselines.
+//! * [`offline`] — clairvoyant comparators and classical baselines;
+//! * [`analysis`] — cost accounting and competitive-ratio reports;
+//! * [`ctrl`] — the sharded multi-tenant allocation service with
+//!   admission control and signalling-cost metering.
 //!
 //! The [`prelude`] pulls in the handful of names almost every program
 //! needs.
@@ -59,12 +62,27 @@ pub mod offline {
     pub use cdba_offline::*;
 }
 
+/// Cost accounting and competitive-ratio reporting (re-export of
+/// `cdba-analysis`).
+pub mod analysis {
+    pub use cdba_analysis::*;
+}
+
+/// The sharded multi-tenant allocation service: admission control,
+/// tick-batched execution, signalling-cost metering (re-export of
+/// `cdba-ctrl`).
+pub mod ctrl {
+    pub use cdba_ctrl::*;
+}
+
 /// The names almost every `cdba` program needs.
 pub mod prelude {
+    pub use cdba_analysis::cost::CostModel;
     pub use cdba_core::combined::Combined;
     pub use cdba_core::config::{CombinedConfig, InnerMulti, MultiConfig, SingleConfig};
     pub use cdba_core::multi::{Continuous, Phased};
     pub use cdba_core::single::{LookbackSingle, SingleSession};
+    pub use cdba_ctrl::{ControlPlane, ExecMode, ServiceConfig, ServiceSnapshot};
     pub use cdba_sim::engine::{simulate, simulate_multi, DrainPolicy};
     pub use cdba_sim::verify::{verify_multi, verify_single};
     pub use cdba_sim::{Allocator, MultiAllocator, Schedule};
@@ -88,6 +106,26 @@ mod tests {
         let run = simulate(&trace, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
         let verdict = verify_single(&trace, &run, &cfg.promised_bounds());
         assert!(verdict.delay_ok);
+    }
+
+    #[test]
+    fn prelude_covers_the_control_plane_flow() {
+        let cfg = ServiceConfig::builder(64.0)
+            .session_b_max(16.0)
+            .offline_delay(4)
+            .window(4)
+            .cost(CostModel::with_change_price(2.0))
+            .exec(ExecMode::Inline)
+            .build()
+            .unwrap();
+        let mut service = ControlPlane::new(cfg);
+        let key = service.admit("tenant").unwrap();
+        for _ in 0..8 {
+            service.tick(&[(key, 2.0)]).unwrap();
+        }
+        let snapshot: ServiceSnapshot = service.snapshot();
+        assert_eq!(snapshot.global.sessions, 1);
+        assert!(snapshot.global.signalling_cost > 0.0);
     }
 
     #[test]

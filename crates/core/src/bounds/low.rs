@@ -184,8 +184,10 @@ mod tests {
     #[test]
     fn single_burst_bound() {
         // 10 bits in one tick, D_O = 4: low = 10 / (1 + 4) = 2.
-        for tracker in [&mut NaiveLowTracker::new(4) as &mut dyn LowTracker,
-                        &mut HullLowTracker::new(4)] {
+        for tracker in [
+            &mut NaiveLowTracker::new(4) as &mut dyn LowTracker,
+            &mut HullLowTracker::new(4),
+        ] {
             assert_eq!(tracker.push(10.0), 2.0);
             // low persists through silence (running max).
             assert_eq!(tracker.push(0.0), 2.0);

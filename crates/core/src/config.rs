@@ -370,7 +370,10 @@ mod tests {
             Err(ConfigError::InvalidUtilization(_))
         ));
         assert!(matches!(
-            SingleConfig::builder(64.0).offline_delay(8).window(4).build(),
+            SingleConfig::builder(64.0)
+                .offline_delay(8)
+                .window(4)
+                .build(),
             Err(ConfigError::WindowTooSmall { window: 4, d_o: 8 })
         ));
     }

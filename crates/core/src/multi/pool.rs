@@ -388,7 +388,10 @@ mod tests {
             let due = 6.0 * (t as f64 - 8.0).max(0.0);
             worst_lag = worst_lag.max(due - served);
         }
-        assert!(worst_lag <= EPS, "stable session lagged by {worst_lag} bits");
+        assert!(
+            worst_lag <= EPS,
+            "stable session lagged by {worst_lag} bits"
+        );
     }
 
     #[test]

@@ -168,7 +168,10 @@ mod tests {
                 continue;
             }
             let l = a.log2();
-            assert!((l - l.round()).abs() < 1e-9, "allocation {a} not a power of two");
+            assert!(
+                (l - l.round()).abs() < 1e-9,
+                "allocation {a} not a power of two"
+            );
             assert!(a <= 64.0);
         }
     }
@@ -194,8 +197,8 @@ mod tests {
         let bounds = c.promised_bounds();
         let mut alg = SingleSession::new(c);
         let t = Trace::new(vec![
-            40.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 64.0, 0.0, 0.0, 0.0,
-            0.0, 0.0, 0.0, 0.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0,
+            40.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 64.0, 0.0, 0.0, 0.0, 0.0,
+            0.0, 0.0, 0.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0, 2.0,
         ])
         .unwrap();
         let run = simulate(&t, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
@@ -215,7 +218,10 @@ mod tests {
         let mut alg = SingleSession::new(c.clone());
         let run = simulate(&t, &mut alg, DrainPolicy::DrainToEmpty).unwrap();
         let completed = alg.stage_log().completed();
-        assert!(completed >= 2, "expected >= 2 completed stages, got {completed}");
+        assert!(
+            completed >= 2,
+            "expected >= 2 completed stages, got {completed}"
+        );
         // Changes per stage within the ladder budget log2(B_A) + 2.
         let budget = c.levels() as usize + 2;
         for rec in alg.stage_log().records() {
@@ -247,7 +253,10 @@ mod tests {
             .map(|&a| a as u64)
             .collect();
         for level in [2u64, 4, 8, 16] {
-            assert!(distinct.contains(&level), "level {level} never allocated: {distinct:?}");
+            assert!(
+                distinct.contains(&level),
+                "level {level} never allocated: {distinct:?}"
+            );
         }
     }
 

@@ -1,0 +1,235 @@
+//! Admission control against an aggregate bandwidth budget and per-tenant
+//! quotas.
+//!
+//! The paper assumes every admitted session can be given its allocation
+//! envelope; this module is the piece that *makes* the assumption true: a
+//! join is admitted only if its worst-case envelope (the `B_A` of a
+//! dedicated session, `4·B_O` for a phased group — the Theorem 14 bound)
+//! still fits under both the service-wide budget and the tenant's quota.
+//! Committed capacity is released when the session leaves.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Why a join was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// The requested envelope was non-positive or non-finite.
+    InvalidDemand(f64),
+    /// The service-wide budget cannot cover the envelope.
+    BudgetExhausted {
+        /// Envelope requested.
+        requested: f64,
+        /// Budget still uncommitted.
+        available: f64,
+    },
+    /// The tenant's quota cannot cover the envelope.
+    QuotaExceeded {
+        /// The tenant that asked.
+        tenant: String,
+        /// Envelope requested.
+        requested: f64,
+        /// Quota still uncommitted.
+        available: f64,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::InvalidDemand(d) => write!(f, "invalid bandwidth demand {d}"),
+            AdmissionError::BudgetExhausted {
+                requested,
+                available,
+            } => write!(
+                f,
+                "budget exhausted: requested {requested}, only {available} uncommitted"
+            ),
+            AdmissionError::QuotaExceeded {
+                tenant,
+                requested,
+                available,
+            } => write!(
+                f,
+                "tenant {tenant} over quota: requested {requested}, only {available} uncommitted"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Tracks committed bandwidth envelopes service-wide and per tenant.
+#[derive(Debug, Clone)]
+pub struct AdmissionController {
+    budget: f64,
+    default_quota: f64,
+    committed: f64,
+    quotas: HashMap<String, f64>,
+    per_tenant: HashMap<String, f64>,
+    admitted: u64,
+    rejected: u64,
+}
+
+impl AdmissionController {
+    /// A controller over an aggregate `budget`, with every tenant capped at
+    /// `default_quota` until [`AdmissionController::set_quota`] overrides it.
+    pub fn new(budget: f64, default_quota: f64) -> Self {
+        AdmissionController {
+            budget,
+            default_quota,
+            committed: 0.0,
+            quotas: HashMap::new(),
+            per_tenant: HashMap::new(),
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+
+    /// Overrides one tenant's quota.
+    pub fn set_quota(&mut self, tenant: &str, quota: f64) {
+        self.quotas.insert(tenant.to_string(), quota);
+    }
+
+    /// The quota governing `tenant`.
+    pub fn quota(&self, tenant: &str) -> f64 {
+        self.quotas
+            .get(tenant)
+            .copied()
+            .unwrap_or(self.default_quota)
+    }
+
+    /// Budget still uncommitted.
+    pub fn available(&self) -> f64 {
+        (self.budget - self.committed).max(0.0)
+    }
+
+    /// Bandwidth committed to `tenant`.
+    pub fn committed_to(&self, tenant: &str) -> f64 {
+        self.per_tenant.get(tenant).copied().unwrap_or(0.0)
+    }
+
+    /// Joins admitted so far.
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Joins rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Admits an envelope of `demand` for `tenant`, or explains the
+    /// rejection. A float-noise tolerance of one part in 10⁹ keeps repeated
+    /// admit/release cycles from leaking capacity.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError::InvalidDemand`], [`AdmissionError::BudgetExhausted`]
+    /// or [`AdmissionError::QuotaExceeded`].
+    pub fn request(&mut self, tenant: &str, demand: f64) -> Result<(), AdmissionError> {
+        if !demand.is_finite() || demand <= 0.0 {
+            self.rejected += 1;
+            return Err(AdmissionError::InvalidDemand(demand));
+        }
+        let slack = 1e-9 * self.budget.max(1.0);
+        if self.committed + demand > self.budget + slack {
+            self.rejected += 1;
+            return Err(AdmissionError::BudgetExhausted {
+                requested: demand,
+                available: self.available(),
+            });
+        }
+        let used = self.committed_to(tenant);
+        let quota = self.quota(tenant);
+        if used + demand > quota + slack {
+            self.rejected += 1;
+            return Err(AdmissionError::QuotaExceeded {
+                tenant: tenant.to_string(),
+                requested: demand,
+                available: (quota - used).max(0.0),
+            });
+        }
+        self.committed += demand;
+        *self.per_tenant.entry(tenant.to_string()).or_insert(0.0) += demand;
+        self.admitted += 1;
+        Ok(())
+    }
+
+    /// Releases a previously admitted envelope (on leave).
+    pub fn release(&mut self, tenant: &str, demand: f64) {
+        let demand = demand.max(0.0);
+        self.committed = (self.committed - demand).max(0.0);
+        if let Some(used) = self.per_tenant.get_mut(tenant) {
+            *used = (*used - demand).max(0.0);
+            if *used <= 0.0 {
+                self.per_tenant.remove(tenant);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_is_enforced() {
+        let mut c = AdmissionController::new(100.0, 100.0);
+        assert!(c.request("a", 60.0).is_ok());
+        assert!(matches!(
+            c.request("b", 60.0),
+            Err(AdmissionError::BudgetExhausted { .. })
+        ));
+        assert_eq!(c.available(), 40.0);
+        assert_eq!(c.admitted(), 1);
+        assert_eq!(c.rejected(), 1);
+    }
+
+    #[test]
+    fn quotas_bind_per_tenant() {
+        let mut c = AdmissionController::new(100.0, 30.0);
+        assert!(c.request("a", 30.0).is_ok());
+        assert!(matches!(
+            c.request("a", 1.0),
+            Err(AdmissionError::QuotaExceeded { .. })
+        ));
+        // Another tenant still fits under the global budget.
+        assert!(c.request("b", 30.0).is_ok());
+        c.set_quota("c", 50.0);
+        assert!(c.request("c", 40.0).is_ok());
+        assert_eq!(c.committed_to("c"), 40.0);
+    }
+
+    #[test]
+    fn release_restores_capacity() {
+        let mut c = AdmissionController::new(64.0, 64.0);
+        c.request("a", 64.0).unwrap();
+        assert!(c.request("a", 1.0).is_err());
+        c.release("a", 64.0);
+        assert!(c.request("a", 64.0).is_ok());
+        assert_eq!(c.committed_to("a"), 64.0);
+    }
+
+    #[test]
+    fn repeated_cycles_do_not_leak() {
+        let mut c = AdmissionController::new(10.0, 10.0);
+        for _ in 0..10_000 {
+            c.request("a", 10.0).unwrap();
+            c.release("a", 10.0);
+        }
+        assert!(c.request("a", 10.0).is_ok());
+    }
+
+    #[test]
+    fn invalid_demands_are_rejected() {
+        let mut c = AdmissionController::new(10.0, 10.0);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                c.request("a", bad),
+                Err(AdmissionError::InvalidDemand(_))
+            ));
+        }
+        assert_eq!(c.rejected(), 4);
+    }
+}

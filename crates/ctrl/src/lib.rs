@@ -1,0 +1,112 @@
+//! cdba-ctrl: a sharded multi-tenant allocation control plane.
+//!
+//! The algorithm crates answer "how should *one* session's bandwidth move?"
+//! This crate runs *many* of them as a service, closing the loop the paper
+//! leaves to the operator:
+//!
+//! - **Admission control** ([`admission`]): a join is admitted only if its
+//!   worst-case allocation envelope — `B_A` for a dedicated session, the
+//!   Theorem 14 bound `4·B_O` for a phased group — still fits under the
+//!   aggregate budget and the tenant's quota. This is what makes the
+//!   paper's "the link can always grant the allocation" assumption true.
+//! - **Sharded execution** ([`service`], [`shard`]): sessions are spread
+//!   round-robin over worker shards (threads fed by bounded channels, or an
+//!   inline single-threaded fallback) and driven tick-batched through the
+//!   existing machines — [`SingleSession`] allocators for dedicated
+//!   sessions, one [`SessionPool`] per pooled group.
+//! - **Signalling-cost metering** ([`meter`]): every allocation change is
+//!   charged under the §1 pricing (via [`cdba_analysis::cost`]) and each
+//!   session's delay, peak allocation, and windowed utilization are tracked
+//!   online.
+//! - **Snapshots** ([`metrics`]): serde-JSON exports whose
+//!   placement-invariant parts are *bitwise identical* across shard counts
+//!   and execution modes — sessions never interact across shards, and
+//!   global folds run in session-key order.
+//!
+//! [`SingleSession`]: cdba_core::single::SingleSession
+//! [`SessionPool`]: cdba_core::multi::pool::SessionPool
+//!
+//! # Example
+//!
+//! ```
+//! use cdba_ctrl::{ControlPlane, ExecMode, ServiceConfig};
+//!
+//! let cfg = ServiceConfig::builder(256.0)
+//!     .session_b_max(16.0)
+//!     .offline_delay(4)
+//!     .window(4)
+//!     .exec(ExecMode::Inline)
+//!     .build()
+//!     .unwrap();
+//! let mut service = ControlPlane::new(cfg);
+//! let a = service.admit("acme").unwrap();
+//! let b = service.admit("globex").unwrap();
+//! for t in 0..32u64 {
+//!     service.tick(&[(a, (t % 3) as f64), (b, 1.0)]).unwrap();
+//! }
+//! let snapshot = service.snapshot();
+//! assert_eq!(snapshot.global.sessions, 2);
+//! assert!(snapshot.global.changes > 0);
+//! ```
+
+pub mod admission;
+pub mod config;
+pub mod meter;
+pub mod metrics;
+pub mod service;
+pub(crate) mod shard;
+
+pub use admission::{AdmissionController, AdmissionError};
+pub use config::{ExecMode, ServiceConfig, ServiceConfigBuilder};
+pub use meter::{SessionMetrics, SignallingMeter};
+pub use metrics::{GlobalMetrics, ServiceSnapshot, ShardMetrics};
+pub use service::ControlPlane;
+
+use std::fmt;
+
+/// Anything the control plane can refuse to do.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CtrlError {
+    /// An algorithm-parameter constraint was violated (delegated to the
+    /// core config builders).
+    Config(cdba_core::config::ConfigError),
+    /// Admission control turned a join down.
+    Admission(AdmissionError),
+    /// An operation named a session key that is not live.
+    UnknownSession(u64),
+    /// A service-level parameter or request was invalid.
+    InvalidService(String),
+}
+
+impl fmt::Display for CtrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CtrlError::Config(e) => write!(f, "invalid algorithm configuration: {e}"),
+            CtrlError::Admission(e) => write!(f, "admission rejected: {e}"),
+            CtrlError::UnknownSession(key) => write!(f, "unknown session {key}"),
+            CtrlError::InvalidService(msg) => write!(f, "invalid service request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CtrlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CtrlError::Config(e) => Some(e),
+            CtrlError::Admission(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AdmissionError> for CtrlError {
+    fn from(e: AdmissionError) -> Self {
+        CtrlError::Admission(e)
+    }
+}
+
+impl From<cdba_core::config::ConfigError> for CtrlError {
+    fn from(e: cdba_core::config::ConfigError) -> Self {
+        CtrlError::Config(e)
+    }
+}

@@ -1,0 +1,250 @@
+//! Snapshot aggregation and JSON export.
+//!
+//! Aggregation is deterministic by construction: per-session metrics are
+//! sorted by session key and every float fold runs in that order, so a
+//! snapshot's global section is bitwise identical no matter how sessions
+//! were spread over shards or threads. The per-shard section is the only
+//! placement-dependent part.
+
+use crate::meter::SessionMetrics;
+use serde::{Deserialize, Serialize};
+
+/// Totals for one shard (placement-dependent).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardMetrics {
+    /// Shard index.
+    pub shard: u64,
+    /// Sessions that ran on the shard (live + retired).
+    pub sessions: u64,
+    /// Sum of allocation changes.
+    pub changes: u64,
+    /// Max per-session peak allocation.
+    pub peak_allocation: f64,
+    /// Max per-session FIFO delay.
+    pub max_delay: u64,
+    /// Sum of signalling costs.
+    pub signalling_cost: f64,
+    /// Sum of bandwidth costs.
+    pub bandwidth_cost: f64,
+}
+
+/// Service-wide totals (placement-invariant).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GlobalMetrics {
+    /// Sessions ever admitted to an executor (live + retired).
+    pub sessions: u64,
+    /// Total allocation changes — the signalling count the paper minimizes.
+    pub changes: u64,
+    /// Maximum FIFO delay over all sessions, in ticks.
+    pub max_delay: u64,
+    /// Maximum per-session peak allocation.
+    pub peak_allocation: f64,
+    /// Total bits submitted.
+    pub total_arrived: f64,
+    /// Total bits served.
+    pub total_served: f64,
+    /// Total allocated bandwidth (bandwidth-unit·ticks).
+    pub total_allocated: f64,
+    /// Minimum windowed utilization over all sessions with a complete
+    /// window.
+    pub min_windowed_utilization: Option<f64>,
+    /// Total signalling cost.
+    pub signalling_cost: f64,
+    /// Total bandwidth cost.
+    pub bandwidth_cost: f64,
+}
+
+impl GlobalMetrics {
+    /// Folds sessions **already sorted by key**; the order fixes the float
+    /// summation sequence.
+    fn fold(sessions: &[SessionMetrics]) -> Self {
+        let mut g = GlobalMetrics {
+            sessions: sessions.len() as u64,
+            changes: 0,
+            max_delay: 0,
+            peak_allocation: 0.0,
+            total_arrived: 0.0,
+            total_served: 0.0,
+            total_allocated: 0.0,
+            min_windowed_utilization: None,
+            signalling_cost: 0.0,
+            bandwidth_cost: 0.0,
+        };
+        for m in sessions {
+            g.changes += m.changes;
+            g.max_delay = g.max_delay.max(m.max_delay);
+            g.peak_allocation = g.peak_allocation.max(m.peak_allocation);
+            g.total_arrived += m.total_arrived;
+            g.total_served += m.total_served;
+            g.total_allocated += m.total_allocated;
+            if let Some(u) = m.windowed_utilization {
+                g.min_windowed_utilization = Some(match g.min_windowed_utilization {
+                    Some(best) => best.min(u),
+                    None => u,
+                });
+            }
+            g.signalling_cost += m.signalling_cost;
+            g.bandwidth_cost += m.bandwidth_cost;
+        }
+        g
+    }
+
+    /// Total billed cost.
+    pub fn total_cost(&self) -> f64 {
+        self.signalling_cost + self.bandwidth_cost
+    }
+}
+
+/// A full metrics export of the control plane at one instant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceSnapshot {
+    /// Ticks the service has executed.
+    pub ticks: u64,
+    /// Configured shard count.
+    pub shards: u64,
+    /// Joins admitted.
+    pub admitted: u64,
+    /// Joins rejected by admission control.
+    pub rejected: u64,
+    /// Placement-invariant totals.
+    pub global: GlobalMetrics,
+    /// Per-shard totals, sorted by shard index.
+    pub per_shard: Vec<ShardMetrics>,
+    /// Every session's metrics, sorted by session key.
+    pub sessions: Vec<SessionMetrics>,
+}
+
+impl ServiceSnapshot {
+    /// Builds a snapshot from raw per-session metrics (any order).
+    pub(crate) fn assemble(
+        ticks: u64,
+        shards: u64,
+        admitted: u64,
+        rejected: u64,
+        mut sessions: Vec<SessionMetrics>,
+    ) -> Self {
+        sessions.sort_by_key(|m| m.session);
+        let global = GlobalMetrics::fold(&sessions);
+        let mut per_shard: Vec<ShardMetrics> = (0..shards)
+            .map(|shard| ShardMetrics {
+                shard,
+                sessions: 0,
+                changes: 0,
+                peak_allocation: 0.0,
+                max_delay: 0,
+                signalling_cost: 0.0,
+                bandwidth_cost: 0.0,
+            })
+            .collect();
+        for m in &sessions {
+            let Some(s) = per_shard.get_mut(m.shard as usize) else {
+                continue;
+            };
+            s.sessions += 1;
+            s.changes += m.changes;
+            s.peak_allocation = s.peak_allocation.max(m.peak_allocation);
+            s.max_delay = s.max_delay.max(m.max_delay);
+            s.signalling_cost += m.signalling_cost;
+            s.bandwidth_cost += m.bandwidth_cost;
+        }
+        ServiceSnapshot {
+            ticks,
+            shards,
+            admitted,
+            rejected,
+            global,
+            per_shard,
+            sessions,
+        }
+    }
+
+    /// The snapshot as a JSON value.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::to_value(self)
+    }
+
+    /// The snapshot pretty-printed as JSON.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serialization cannot fail")
+    }
+
+    /// The placement-invariant view: everything except shard assignments
+    /// and per-shard totals. Two runs of the same workload under different
+    /// shard counts must agree on this value exactly.
+    pub fn invariant_view(&self) -> (u64, GlobalMetrics, Vec<SessionMetrics>) {
+        let sessions = self
+            .sessions
+            .iter()
+            .map(|m| SessionMetrics {
+                shard: 0,
+                ..m.clone()
+            })
+            .collect();
+        (self.ticks, self.global.clone(), sessions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metric(session: u64, shard: u64, changes: u64, arrived: f64) -> SessionMetrics {
+        SessionMetrics {
+            session,
+            tenant: format!("t{session}"),
+            shard,
+            ticks: 10,
+            changes,
+            peak_allocation: 4.0 + session as f64,
+            max_delay: session,
+            total_arrived: arrived,
+            total_served: arrived,
+            total_allocated: arrived * 2.0,
+            windowed_utilization: Some(0.5 / (session + 1) as f64),
+            signalling_cost: changes as f64,
+            bandwidth_cost: arrived * 2.0,
+        }
+    }
+
+    #[test]
+    fn assemble_sorts_and_folds() {
+        let snap = ServiceSnapshot::assemble(
+            10,
+            2,
+            3,
+            1,
+            vec![metric(2, 1, 5, 10.0), metric(0, 0, 3, 20.0)],
+        );
+        assert_eq!(
+            snap.sessions.iter().map(|m| m.session).collect::<Vec<_>>(),
+            vec![0, 2]
+        );
+        assert_eq!(snap.global.changes, 8);
+        assert_eq!(snap.global.max_delay, 2);
+        assert_eq!(snap.global.sessions, 2);
+        assert_eq!(snap.global.peak_allocation, 6.0);
+        assert_eq!(snap.global.total_arrived, 30.0);
+        assert_eq!(snap.global.min_windowed_utilization, Some(0.5 / 3.0));
+        assert_eq!(snap.per_shard.len(), 2);
+        assert_eq!(snap.per_shard[0].changes, 3);
+        assert_eq!(snap.per_shard[1].changes, 5);
+    }
+
+    #[test]
+    fn invariant_view_hides_placement() {
+        let a = ServiceSnapshot::assemble(5, 1, 2, 0, vec![metric(0, 0, 1, 1.0)]);
+        let b = ServiceSnapshot::assemble(5, 4, 2, 0, vec![metric(0, 3, 1, 1.0)]);
+        assert_eq!(a.invariant_view(), b.invariant_view());
+        assert_ne!(a.per_shard.len(), b.per_shard.len());
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        use serde::Deserialize;
+        let snap = ServiceSnapshot::assemble(7, 1, 1, 0, vec![metric(0, 0, 4, 3.0)]);
+        let text = snap.to_json_string();
+        let value = serde_json::from_str::<serde_json::Value>(&text).unwrap();
+        let back = ServiceSnapshot::deserialize(&value).unwrap();
+        assert_eq!(back, snap);
+    }
+}

@@ -1,0 +1,491 @@
+//! The control plane: session registry, admission, and the sharded
+//! executor behind one handle.
+//!
+//! A [`ControlPlane`] is driven tick-batched: callers admit sessions
+//! ([`ControlPlane::admit`] / [`ControlPlane::admit_group`]), feed
+//! arrivals with [`ControlPlane::tick`], and read back a
+//! [`ServiceSnapshot`] at any point. Under [`ExecMode::Threaded`] each
+//! shard is a worker thread fed over a bounded channel (ticks pipeline
+//! until the channel fills, which applies backpressure to the driver);
+//! under [`ExecMode::Inline`] the same shard code runs on the calling
+//! thread. Sessions are placed round-robin, a pooled group always lands
+//! whole on one shard, and per-session dynamics are independent of
+//! placement — so snapshots' placement-invariant parts are *identical*
+//! across shard counts and execution modes.
+
+use crate::admission::AdmissionController;
+use crate::config::{ExecMode, ServiceConfig};
+use crate::metrics::ServiceSnapshot;
+use crate::shard::{run_worker, Event, ShardState};
+use crate::CtrlError;
+use crossbeam::channel::{bounded, unbounded, Sender};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+/// Events a worker shard can buffer before the driver blocks. Bounded so a
+/// slow shard applies backpressure instead of ballooning memory.
+const SHARD_QUEUE: usize = 256;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PlacementKind {
+    Dedicated,
+    Pooled { group: u64 },
+}
+
+#[derive(Debug, Clone)]
+struct Placement {
+    shard: usize,
+    tenant: String,
+    kind: PlacementKind,
+}
+
+#[derive(Debug, Clone)]
+struct GroupInfo {
+    tenant: String,
+    live: usize,
+    envelope: f64,
+}
+
+enum Backend {
+    Inline(Vec<ShardState>),
+    Threaded {
+        txs: Vec<Sender<Event>>,
+        handles: Vec<JoinHandle<()>>,
+    },
+}
+
+impl Backend {
+    fn send(&mut self, shard: usize, event: Event) {
+        match self {
+            Backend::Inline(states) => states[shard].handle_event(event),
+            Backend::Threaded { txs, .. } => {
+                // A worker can only be gone if it panicked; surface that
+                // instead of silently dropping events.
+                txs[shard]
+                    .send(event)
+                    .unwrap_or_else(|_| panic!("shard {shard} worker terminated"));
+            }
+        }
+    }
+}
+
+/// The sharded multi-tenant allocation service. See the module docs.
+pub struct ControlPlane {
+    cfg: ServiceConfig,
+    admission: Mutex<AdmissionController>,
+    placements: HashMap<u64, Placement>,
+    groups: HashMap<u64, GroupInfo>,
+    backend: Backend,
+    next_key: u64,
+    next_group: u64,
+    placed: u64,
+    clock: u64,
+    /// Per-shard arrival buffers reused across ticks.
+    routes: Vec<Vec<(u64, f64)>>,
+}
+
+impl ControlPlane {
+    /// Starts a control plane: shard states are created (and, in threaded
+    /// mode, worker threads spawned) immediately.
+    pub fn new(cfg: ServiceConfig) -> Self {
+        let backend = match cfg.exec {
+            ExecMode::Inline => Backend::Inline(
+                (0..cfg.shards)
+                    .map(|s| ShardState::new(s as u64, &cfg))
+                    .collect(),
+            ),
+            ExecMode::Threaded => {
+                let mut txs = Vec::with_capacity(cfg.shards);
+                let mut handles = Vec::with_capacity(cfg.shards);
+                for s in 0..cfg.shards {
+                    let (tx, rx) = bounded(SHARD_QUEUE);
+                    let state = ShardState::new(s as u64, &cfg);
+                    handles.push(
+                        std::thread::Builder::new()
+                            .name(format!("cdba-shard-{s}"))
+                            .spawn(move || run_worker(state, rx))
+                            .expect("spawn shard worker"),
+                    );
+                    txs.push(tx);
+                }
+                Backend::Threaded { txs, handles }
+            }
+        };
+        let admission = Mutex::new(AdmissionController::new(cfg.budget, cfg.default_quota));
+        let routes = vec![Vec::new(); cfg.shards];
+        ControlPlane {
+            cfg,
+            admission,
+            placements: HashMap::new(),
+            groups: HashMap::new(),
+            backend,
+            next_key: 0,
+            next_group: 0,
+            placed: 0,
+            clock: 0,
+            routes,
+        }
+    }
+
+    /// The configuration the service runs under.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.cfg
+    }
+
+    /// Ticks executed so far.
+    pub fn ticks(&self) -> u64 {
+        self.clock
+    }
+
+    /// Live sessions (admitted and not yet left).
+    pub fn live_sessions(&self) -> usize {
+        self.placements.len()
+    }
+
+    /// Budget still uncommitted by admission control.
+    pub fn available_budget(&self) -> f64 {
+        self.admission.lock().available()
+    }
+
+    /// Overrides one tenant's quota for future admissions.
+    pub fn set_quota(&self, tenant: &str, quota: f64) {
+        self.admission.lock().set_quota(tenant, quota);
+    }
+
+    fn place(&mut self) -> usize {
+        let shard = (self.placed as usize) % self.cfg.shards;
+        self.placed += 1;
+        shard
+    }
+
+    /// Admits a dedicated session for `tenant`, running the single-session
+    /// algorithm under the configured `(B_A, D_O, U_O, W)`. The admission
+    /// envelope is `B_A`.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::Admission`] when the budget or the tenant quota cannot
+    /// cover the envelope.
+    pub fn admit(&mut self, tenant: &str) -> Result<u64, CtrlError> {
+        let envelope = self.cfg.dedicated_envelope();
+        self.admission
+            .lock()
+            .request(tenant, envelope)
+            .map_err(CtrlError::Admission)?;
+        let key = self.next_key;
+        self.next_key += 1;
+        let shard = self.place();
+        self.placements.insert(
+            key,
+            Placement {
+                shard,
+                tenant: tenant.to_string(),
+                kind: PlacementKind::Dedicated,
+            },
+        );
+        self.backend.send(
+            shard,
+            Event::JoinDedicated {
+                key,
+                tenant: tenant.to_string(),
+            },
+        );
+        Ok(key)
+    }
+
+    /// Admits a pooled group of `size ≥ 2` sessions for `tenant`, running
+    /// the phased multi-session algorithm over one shared [`SessionPool`].
+    /// The whole group lands on one shard; the admission envelope is the
+    /// phased bound `4·B_O`, charged once for the group.
+    ///
+    /// [`SessionPool`]: cdba_core::multi::pool::SessionPool
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::InvalidService`] for `size < 2`, otherwise as
+    /// [`ControlPlane::admit`].
+    pub fn admit_group(&mut self, tenant: &str, size: usize) -> Result<Vec<u64>, CtrlError> {
+        if size < 2 {
+            return Err(CtrlError::InvalidService(format!(
+                "pooled groups need at least 2 sessions, got {size}"
+            )));
+        }
+        let envelope = self.cfg.group_envelope();
+        self.admission
+            .lock()
+            .request(tenant, envelope)
+            .map_err(CtrlError::Admission)?;
+        let group = self.next_group;
+        self.next_group += 1;
+        let shard = self.place();
+        let members: Vec<u64> = (0..size as u64).map(|i| self.next_key + i).collect();
+        self.next_key += size as u64;
+        for &key in &members {
+            self.placements.insert(
+                key,
+                Placement {
+                    shard,
+                    tenant: tenant.to_string(),
+                    kind: PlacementKind::Pooled { group },
+                },
+            );
+        }
+        self.groups.insert(
+            group,
+            GroupInfo {
+                tenant: tenant.to_string(),
+                live: size,
+                envelope,
+            },
+        );
+        self.backend.send(
+            shard,
+            Event::JoinGroup {
+                group,
+                tenant: tenant.to_string(),
+                members: members.clone(),
+            },
+        );
+        Ok(members)
+    }
+
+    /// Begins draining a session out. Its committed envelope is released
+    /// immediately (a pooled group's only once its last member leaves);
+    /// the executor retires the session once its backlog drains.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::UnknownSession`] if the key is not live.
+    pub fn leave(&mut self, key: u64) -> Result<(), CtrlError> {
+        let placement = self
+            .placements
+            .remove(&key)
+            .ok_or(CtrlError::UnknownSession(key))?;
+        match placement.kind {
+            PlacementKind::Dedicated => {
+                self.admission
+                    .lock()
+                    .release(&placement.tenant, self.cfg.dedicated_envelope());
+            }
+            PlacementKind::Pooled { group } => {
+                if let Some(info) = self.groups.get_mut(&group) {
+                    info.live -= 1;
+                    if info.live == 0 {
+                        let info = self.groups.remove(&group).expect("present");
+                        self.admission.lock().release(&info.tenant, info.envelope);
+                    }
+                }
+            }
+        }
+        self.backend.send(placement.shard, Event::Leave { key });
+        Ok(())
+    }
+
+    /// Advances the whole service by one tick. `arrivals` lists the bits
+    /// each named session submits this tick (unlisted live sessions submit
+    /// zero). Every shard ticks, listed or not, so session clocks stay in
+    /// lockstep.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::UnknownSession`] if any named key is not live; nothing
+    /// is advanced in that case.
+    pub fn tick(&mut self, arrivals: &[(u64, f64)]) -> Result<(), CtrlError> {
+        for route in &mut self.routes {
+            route.clear();
+        }
+        for &(key, bits) in arrivals {
+            let placement = self
+                .placements
+                .get(&key)
+                .ok_or(CtrlError::UnknownSession(key))?;
+            self.routes[placement.shard].push((key, bits));
+        }
+        for shard in 0..self.cfg.shards {
+            let batch = std::mem::take(&mut self.routes[shard]);
+            self.backend.send(shard, Event::Tick { arrivals: batch });
+        }
+        self.clock += 1;
+        Ok(())
+    }
+
+    /// Collects a full metrics snapshot. In threaded mode this
+    /// synchronizes with every shard (the reply arrives only after all
+    /// previously sent events were applied).
+    pub fn snapshot(&mut self) -> ServiceSnapshot {
+        let (reply, rx) = unbounded();
+        for shard in 0..self.cfg.shards {
+            self.backend.send(
+                shard,
+                Event::Collect {
+                    reply: reply.clone(),
+                },
+            );
+        }
+        drop(reply);
+        let mut reports = Vec::with_capacity(self.cfg.shards);
+        for _ in 0..self.cfg.shards {
+            reports.push(rx.recv().expect("all shards report"));
+        }
+        reports.sort_by_key(|r| r.shard);
+        let sessions = reports.into_iter().flat_map(|r| r.sessions).collect();
+        let (admitted, rejected) = {
+            let admission = self.admission.lock();
+            (admission.admitted(), admission.rejected())
+        };
+        ServiceSnapshot::assemble(
+            self.clock,
+            self.cfg.shards as u64,
+            admitted,
+            rejected,
+            sessions,
+        )
+    }
+
+    /// Stops the executor. Equivalent to dropping, but explicit: worker
+    /// threads are joined before this returns.
+    pub fn shutdown(mut self) {
+        self.stop_workers();
+    }
+
+    fn stop_workers(&mut self) {
+        if let Backend::Threaded { txs, handles } = &mut self.backend {
+            for tx in txs.iter() {
+                let _ = tx.send(Event::Shutdown);
+            }
+            txs.clear();
+            for handle in handles.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for ControlPlane {
+    fn drop(&mut self) {
+        self.stop_workers();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServiceConfig;
+
+    fn config(shards: usize, exec: ExecMode) -> ServiceConfig {
+        ServiceConfig::builder(1024.0)
+            .session_b_max(16.0)
+            .group_b_o(8.0)
+            .offline_delay(4)
+            .window(4)
+            .shards(shards)
+            .exec(exec)
+            .build()
+            .unwrap()
+    }
+
+    /// A deterministic churn scenario driven against any service.
+    fn run_scenario(mut service: ControlPlane) -> ServiceSnapshot {
+        let mut live: Vec<u64> = Vec::new();
+        for _ in 0..6 {
+            live.push(service.admit("acme").unwrap());
+        }
+        live.extend(service.admit_group("globex", 3).unwrap());
+        for t in 0..200u64 {
+            if t == 60 {
+                let gone = live.remove(0);
+                service.leave(gone).unwrap();
+                live.push(service.admit("initech").unwrap());
+            }
+            let arrivals: Vec<(u64, f64)> = live
+                .iter()
+                .enumerate()
+                .map(|(i, &key)| (key, ((t + i as u64) % 4) as f64))
+                .collect();
+            service.tick(&arrivals).unwrap();
+        }
+        let snapshot = service.snapshot();
+        service.shutdown();
+        snapshot
+    }
+
+    #[test]
+    fn inline_and_threaded_agree_exactly() {
+        let a = run_scenario(ControlPlane::new(config(1, ExecMode::Inline)));
+        let b = run_scenario(ControlPlane::new(config(1, ExecMode::Threaded)));
+        assert_eq!(a, b, "same shard count: full snapshots agree");
+    }
+
+    #[test]
+    fn shard_count_does_not_change_results() {
+        let one = run_scenario(ControlPlane::new(config(1, ExecMode::Inline)));
+        let four = run_scenario(ControlPlane::new(config(4, ExecMode::Threaded)));
+        assert_eq!(one.invariant_view(), four.invariant_view());
+        assert!(one.global.changes > 0);
+        assert!(one.global.total_served > 0.0);
+    }
+
+    #[test]
+    fn admission_rejections_do_not_allocate() {
+        let cfg = ServiceConfig::builder(32.0)
+            .session_b_max(16.0)
+            .exec(ExecMode::Inline)
+            .build()
+            .unwrap();
+        let mut service = ControlPlane::new(cfg);
+        let a = service.admit("acme").unwrap();
+        let _b = service.admit("acme").unwrap();
+        assert!(matches!(
+            service.admit("acme"),
+            Err(CtrlError::Admission(_))
+        ));
+        assert_eq!(service.live_sessions(), 2);
+        service.leave(a).unwrap();
+        assert!(service.admit("acme").is_ok());
+        let snap = service.snapshot();
+        assert_eq!(snap.admitted, 3);
+        assert_eq!(snap.rejected, 1);
+    }
+
+    #[test]
+    fn group_envelope_released_on_last_leave() {
+        let cfg = ServiceConfig::builder(32.0)
+            .group_b_o(8.0) // envelope 32: one group fills the budget
+            .exec(ExecMode::Inline)
+            .build()
+            .unwrap();
+        let mut service = ControlPlane::new(cfg);
+        let members = service.admit_group("acme", 2).unwrap();
+        assert!(service.admit_group("acme", 2).is_err());
+        service.leave(members[0]).unwrap();
+        assert!(service.admit_group("acme", 2).is_err(), "group still live");
+        service.leave(members[1]).unwrap();
+        assert!(service.admit_group("acme", 2).is_ok());
+    }
+
+    #[test]
+    fn unknown_sessions_error() {
+        let mut service = ControlPlane::new(config(1, ExecMode::Inline));
+        assert!(matches!(
+            service.leave(42),
+            Err(CtrlError::UnknownSession(42))
+        ));
+        assert!(matches!(
+            service.tick(&[(42, 1.0)]),
+            Err(CtrlError::UnknownSession(42))
+        ));
+    }
+
+    #[test]
+    fn left_sessions_reject_arrivals() {
+        let mut service = ControlPlane::new(config(2, ExecMode::Inline));
+        let key = service.admit("acme").unwrap();
+        service.tick(&[(key, 2.0)]).unwrap();
+        service.leave(key).unwrap();
+        assert!(matches!(
+            service.tick(&[(key, 2.0)]),
+            Err(CtrlError::UnknownSession(_))
+        ));
+    }
+}

@@ -1,0 +1,408 @@
+//! The shard executor: the event-driven state machine that drives session
+//! allocators and meters.
+//!
+//! One [`ShardState`] owns every session placed on it. Both execution
+//! backends — the inline deterministic fallback and the per-shard worker
+//! threads — drive the *same* [`ShardState::handle_event`] code path, so
+//! the two modes cannot diverge. Sessions never interact across shards
+//! (a pooled group lives wholly on one shard), which is what makes the
+//! service's metrics invariant under the shard count.
+
+use crate::config::ServiceConfig;
+use crate::meter::{SessionMetrics, SignallingMeter};
+use cdba_analysis::cost::CostModel;
+use cdba_core::config::{MultiConfig, SingleConfig};
+use cdba_core::multi::pool::{SessionId as PoolSessionId, SessionPool};
+use cdba_core::single::SingleSession;
+use cdba_sim::Allocator;
+use std::collections::HashMap;
+
+/// A control event delivered to one shard. Within a shard, events apply in
+/// send order (the channels are FIFO), which is all the ordering the
+/// executor needs.
+#[derive(Debug)]
+pub(crate) enum Event {
+    /// Place a dedicated session running the single-session algorithm.
+    JoinDedicated {
+        /// Service-wide session key.
+        key: u64,
+        /// Owning tenant.
+        tenant: String,
+    },
+    /// Place a pooled group running the phased algorithm; all members land
+    /// on this shard.
+    JoinGroup {
+        /// Service-wide group id.
+        group: u64,
+        /// Owning tenant.
+        tenant: String,
+        /// Service-wide keys of the members, in join order.
+        members: Vec<u64>,
+    },
+    /// Begin draining a session out.
+    Leave {
+        /// The session to drain.
+        key: u64,
+    },
+    /// Advance every session on this shard by one tick.
+    Tick {
+        /// `(key, bits)` arrivals for this tick; sessions not listed get 0.
+        arrivals: Vec<(u64, f64)>,
+    },
+    /// Report all metrics (live and retired sessions) back.
+    Collect {
+        /// Where to send the report.
+        reply: crossbeam::channel::Sender<ShardReport>,
+    },
+    /// Stop the worker loop.
+    Shutdown,
+}
+
+/// One shard's answer to [`Event::Collect`].
+#[derive(Debug, Clone)]
+pub(crate) struct ShardReport {
+    /// The reporting shard.
+    pub shard: u64,
+    /// Metrics of every session the shard has seen: live ones at their
+    /// current totals, retired ones frozen at retirement.
+    pub sessions: Vec<SessionMetrics>,
+}
+
+enum SessionKind {
+    Dedicated(Box<SingleSession>),
+    Pooled { group: u64, member: PoolSessionId },
+}
+
+struct SessionEntry {
+    key: u64,
+    tenant: String,
+    meter: SignallingMeter,
+    leaving: bool,
+    kind: SessionKind,
+}
+
+struct GroupEntry {
+    pool: SessionPool,
+    by_member: HashMap<PoolSessionId, u64>,
+}
+
+/// The per-shard session store and tick loop.
+pub(crate) struct ShardState {
+    shard: u64,
+    single_cfg: SingleConfig,
+    multi_cfg: MultiConfig,
+    cost: CostModel,
+    window: usize,
+    sessions: Vec<SessionEntry>,
+    index: HashMap<u64, usize>,
+    groups: HashMap<u64, GroupEntry>,
+    retired: Vec<SessionMetrics>,
+    scratch: Vec<f64>,
+}
+
+impl ShardState {
+    pub(crate) fn new(shard: u64, cfg: &ServiceConfig) -> Self {
+        ShardState {
+            shard,
+            single_cfg: cfg.single_config(),
+            multi_cfg: cfg.multi_config(),
+            cost: cfg.cost,
+            window: cfg.w,
+            sessions: Vec::new(),
+            index: HashMap::new(),
+            groups: HashMap::new(),
+            retired: Vec::new(),
+            scratch: Vec::new(),
+        }
+    }
+
+    pub(crate) fn handle_event(&mut self, event: Event) {
+        match event {
+            Event::JoinDedicated { key, tenant } => self.join_dedicated(key, tenant),
+            Event::JoinGroup {
+                group,
+                tenant,
+                members,
+            } => self.join_group(group, tenant, members),
+            Event::Leave { key } => self.leave(key),
+            Event::Tick { arrivals } => self.tick(&arrivals),
+            Event::Collect { reply } => {
+                // The service may already have dropped the receiver (e.g. a
+                // torn-down snapshot); losing the report is then harmless.
+                let _ = reply.send(self.report());
+            }
+            Event::Shutdown => {}
+        }
+    }
+
+    fn push_session(&mut self, entry: SessionEntry) {
+        self.index.insert(entry.key, self.sessions.len());
+        self.sessions.push(entry);
+    }
+
+    fn join_dedicated(&mut self, key: u64, tenant: String) {
+        let alg = Box::new(SingleSession::new(self.single_cfg.clone()));
+        self.push_session(SessionEntry {
+            key,
+            tenant,
+            meter: SignallingMeter::new(self.cost, self.window),
+            leaving: false,
+            kind: SessionKind::Dedicated(alg),
+        });
+    }
+
+    fn join_group(&mut self, group: u64, tenant: String, members: Vec<u64>) {
+        let entry = self.groups.entry(group).or_insert_with(|| GroupEntry {
+            pool: SessionPool::new(self.multi_cfg.clone()),
+            by_member: HashMap::new(),
+        });
+        let mut joined = Vec::with_capacity(members.len());
+        for key in members {
+            let member = entry.pool.join();
+            entry.by_member.insert(member, key);
+            joined.push((key, member));
+        }
+        for (key, member) in joined {
+            self.push_session(SessionEntry {
+                key,
+                tenant: tenant.clone(),
+                meter: SignallingMeter::new(self.cost, self.window),
+                leaving: false,
+                kind: SessionKind::Pooled { group, member },
+            });
+        }
+    }
+
+    fn leave(&mut self, key: u64) {
+        let Some(&idx) = self.index.get(&key) else {
+            return; // already retired — leave is idempotent at the shard
+        };
+        let entry = &mut self.sessions[idx];
+        if entry.leaving {
+            return;
+        }
+        entry.leaving = true;
+        match entry.kind {
+            SessionKind::Dedicated(_) => {
+                // Nothing to tell the allocator; the session now receives
+                // zero arrivals and retires once its link queue drains.
+                if entry.meter.is_drained() {
+                    self.retire(key);
+                }
+            }
+            SessionKind::Pooled { group, member } => {
+                if let Some(g) = self.groups.get_mut(&group) {
+                    // The pool moves the residual backlog to the overflow
+                    // queue and retires the slot once it drains.
+                    let _ = g.pool.leave(member);
+                }
+            }
+        }
+    }
+
+    fn tick(&mut self, arrivals: &[(u64, f64)]) {
+        // Stage arrivals into a buffer parallel to the session vector.
+        self.scratch.clear();
+        self.scratch.resize(self.sessions.len(), 0.0);
+        for &(key, bits) in arrivals {
+            if let Some(&idx) = self.index.get(&key) {
+                self.scratch[idx] += bits.max(0.0);
+            }
+        }
+
+        let mut to_retire: Vec<u64> = Vec::new();
+
+        // Pooled groups: submit, tick the pool once, meter each member.
+        for group in self.groups.values_mut() {
+            for (&member, &key) in &group.by_member {
+                let idx = self.index[&key];
+                if !self.sessions[idx].leaving {
+                    let _ = group.pool.submit(member, self.scratch[idx]);
+                }
+            }
+            let allocs = group.pool.tick();
+            let mut seen: Vec<PoolSessionId> = Vec::with_capacity(allocs.len());
+            for (member, alloc) in allocs {
+                seen.push(member);
+                let key = group.by_member[&member];
+                let idx = self.index[&key];
+                let entry = &mut self.sessions[idx];
+                let arrived = if entry.leaving {
+                    0.0
+                } else {
+                    self.scratch[idx]
+                };
+                entry.meter.record(arrived, alloc);
+            }
+            // A leaving member absent from the pool's output has retired
+            // (its slot drained on an earlier tick).
+            for (&member, &key) in &group.by_member {
+                if !seen.contains(&member) {
+                    to_retire.push(key);
+                }
+            }
+        }
+
+        // Dedicated sessions: one allocator step each.
+        for idx in 0..self.sessions.len() {
+            let arrived = if self.sessions[idx].leaving {
+                0.0
+            } else {
+                self.scratch[idx]
+            };
+            let entry = &mut self.sessions[idx];
+            if let SessionKind::Dedicated(alg) = &mut entry.kind {
+                let alloc = alg.on_tick(arrived);
+                entry.meter.record(arrived, alloc);
+                if entry.leaving && entry.meter.is_drained() {
+                    to_retire.push(entry.key);
+                }
+            }
+        }
+
+        for key in to_retire {
+            self.retire(key);
+        }
+    }
+
+    /// Freezes a session's metrics and removes it from the live set.
+    fn retire(&mut self, key: u64) {
+        let Some(idx) = self.index.remove(&key) else {
+            return;
+        };
+        let entry = self.sessions.swap_remove(idx);
+        if let Some(moved) = self.sessions.get(idx) {
+            self.index.insert(moved.key, idx);
+        }
+        if let SessionKind::Pooled { group, member } = entry.kind {
+            if let Some(g) = self.groups.get_mut(&group) {
+                g.by_member.remove(&member);
+                if g.by_member.is_empty() {
+                    self.groups.remove(&group);
+                }
+            }
+        }
+        self.retired
+            .push(entry.meter.metrics(entry.key, &entry.tenant, self.shard));
+    }
+
+    fn report(&self) -> ShardReport {
+        let mut sessions = self.retired.clone();
+        sessions.extend(
+            self.sessions
+                .iter()
+                .map(|e| e.meter.metrics(e.key, &e.tenant, self.shard)),
+        );
+        ShardReport {
+            shard: self.shard,
+            sessions,
+        }
+    }
+
+    /// Live session count (for tests).
+    #[cfg(test)]
+    pub(crate) fn live(&self) -> usize {
+        self.sessions.len()
+    }
+}
+
+/// The worker loop of one threaded shard: apply events until shutdown or
+/// disconnection.
+pub(crate) fn run_worker(mut state: ShardState, rx: crossbeam::channel::Receiver<Event>) {
+    while let Ok(event) = rx.recv() {
+        if matches!(event, Event::Shutdown) {
+            break;
+        }
+        state.handle_event(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServiceConfig;
+
+    fn shard() -> ShardState {
+        let cfg = ServiceConfig::builder(1024.0)
+            .session_b_max(16.0)
+            .group_b_o(8.0)
+            .offline_delay(4)
+            .window(4)
+            .build()
+            .unwrap();
+        ShardState::new(0, &cfg)
+    }
+
+    #[test]
+    fn dedicated_lifecycle_joins_ticks_retires() {
+        let mut s = shard();
+        s.handle_event(Event::JoinDedicated {
+            key: 7,
+            tenant: "acme".into(),
+        });
+        for _ in 0..8 {
+            s.handle_event(Event::Tick {
+                arrivals: vec![(7, 2.0)],
+            });
+        }
+        assert_eq!(s.live(), 1);
+        s.handle_event(Event::Leave { key: 7 });
+        // Zero-arrival ticks drain the shadow queue, then the slot retires.
+        for _ in 0..32 {
+            s.handle_event(Event::Tick { arrivals: vec![] });
+        }
+        assert_eq!(s.live(), 0);
+        let report = s.report();
+        assert_eq!(report.sessions.len(), 1);
+        let m = &report.sessions[0];
+        assert_eq!(m.session, 7);
+        assert_eq!(m.tenant, "acme");
+        assert!((m.total_served - m.total_arrived).abs() < 1e-9);
+        assert!(m.changes > 0);
+    }
+
+    #[test]
+    fn group_members_share_one_pool() {
+        let mut s = shard();
+        s.handle_event(Event::JoinGroup {
+            group: 1,
+            tenant: "acme".into(),
+            members: vec![10, 11],
+        });
+        for _ in 0..12 {
+            s.handle_event(Event::Tick {
+                arrivals: vec![(10, 1.0), (11, 1.0)],
+            });
+        }
+        let report = s.report();
+        assert_eq!(report.sessions.len(), 2);
+        for m in &report.sessions {
+            assert!(m.total_allocated > 0.0, "pool served {m:?}");
+        }
+        // One member leaves; the pool drains it and the shard retires it.
+        s.handle_event(Event::Leave { key: 10 });
+        for _ in 0..32 {
+            s.handle_event(Event::Tick {
+                arrivals: vec![(11, 1.0)],
+            });
+        }
+        assert_eq!(s.live(), 1);
+        assert_eq!(s.groups.len(), 1);
+        s.handle_event(Event::Leave { key: 11 });
+        for _ in 0..32 {
+            s.handle_event(Event::Tick { arrivals: vec![] });
+        }
+        assert_eq!(s.live(), 0);
+        assert!(s.groups.is_empty(), "empty group is dropped");
+    }
+
+    #[test]
+    fn unknown_keys_are_ignored() {
+        let mut s = shard();
+        s.handle_event(Event::Tick {
+            arrivals: vec![(99, 5.0)],
+        });
+        s.handle_event(Event::Leave { key: 99 });
+        assert_eq!(s.live(), 0);
+    }
+}

@@ -35,7 +35,9 @@ impl JustInTimeAllocator {
 impl Allocator for JustInTimeAllocator {
     fn on_tick(&mut self, arrivals: f64) -> f64 {
         self.pipeline.push_back(arrivals.max(0.0));
-        self.pipeline.pop_front().expect("pipeline holds `delay` slots")
+        self.pipeline
+            .pop_front()
+            .expect("pipeline holds `delay` slots")
     }
 
     fn name(&self) -> &'static str {

@@ -88,7 +88,11 @@ mod tests {
         let mut a = PeriodicAllocator::new(20, 1.1);
         let run = simulate(&t, &mut a, DrainPolicy::DrainToEmpty).unwrap();
         // Converges to ~4.4 and stops changing: ≤ a handful of changes.
-        assert!(run.schedule.num_changes() <= 6, "{:?}", run.schedule.changes());
+        assert!(
+            run.schedule.num_changes() <= 6,
+            "{:?}",
+            run.schedule.changes()
+        );
         let d = measure::max_delay(&t, run.served()).unwrap();
         assert!(d <= 40, "delay {d}");
     }

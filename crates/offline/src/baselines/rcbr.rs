@@ -30,7 +30,13 @@ impl RcbrAllocator {
     ///
     /// Panics unless `0 < alpha ≤ 1`, `0 < low_band ≤ 1 ≤ high_band`,
     /// `headroom ≥ 1`, and `drain_delay ≥ 1`.
-    pub fn new(alpha: f64, low_band: f64, high_band: f64, headroom: f64, drain_delay: usize) -> Self {
+    pub fn new(
+        alpha: f64,
+        low_band: f64,
+        high_band: f64,
+        headroom: f64,
+        drain_delay: usize,
+    ) -> Self {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha in (0,1]");
         assert!(low_band > 0.0 && low_band <= 1.0, "low_band in (0,1]");
         assert!(high_band >= 1.0, "high_band >= 1");

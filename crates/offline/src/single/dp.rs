@@ -131,7 +131,9 @@ mod tests {
         let traces = [
             vec![8.0, 0.0, 0.0, 12.0, 2.0, 2.0, 0.0, 0.0, 30.0, 0.0, 0.0, 0.0],
             vec![1.0, 1.0, 20.0, 1.0, 1.0, 20.0, 1.0, 1.0, 20.0, 1.0],
-            vec![5.0, 5.0, 0.0, 0.0, 5.0, 5.0, 0.0, 0.0, 40.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+            vec![
+                5.0, 5.0, 0.0, 0.0, 5.0, 5.0, 0.0, 0.0, 40.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+            ],
         ];
         for arrivals in traces {
             let t = Trace::new(arrivals.clone()).unwrap();
@@ -161,8 +163,10 @@ mod tests {
     fn mid_silence_anchor_is_found() {
         // Bursts separated by silence where the optimal second segment must
         // start mid-silence to include drain room.
-        let t =
-            Trace::new(vec![10.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 10.0, 0.0, 0.0, 0.0]).unwrap();
+        let t = Trace::new(vec![
+            10.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 10.0, 0.0, 0.0, 0.0,
+        ])
+        .unwrap();
         let c = OfflineConstraints::delay_only(4.0, 3);
         let dp = dp_offline(&t, c).unwrap();
         assert!(dp.optimal_segments <= 2, "segments: {:?}", dp.segments);

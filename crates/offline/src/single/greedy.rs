@@ -28,7 +28,10 @@ impl fmt::Display for OfflineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             OfflineError::Infeasible { tick } => {
-                write!(f, "input infeasible under the given constraints at tick {tick}")
+                write!(
+                    f,
+                    "input infeasible under the given constraints at tick {tick}"
+                )
             }
         }
     }
@@ -169,7 +172,9 @@ mod tests {
             q -= s;
             served.push(s);
         }
-        let last = schedule.allocation_at(schedule.len().saturating_sub(1)).max(1.0);
+        let last = schedule
+            .allocation_at(schedule.len().saturating_sub(1))
+            .max(1.0);
         while q > 1e-9 {
             let s = q.min(last);
             q -= s;

@@ -187,7 +187,13 @@ pub fn simulate<A: Allocator + ?Sized>(
                     horizon,
                 });
             }
-            step(0.0, &mut queue, &mut schedule, &mut served, &mut peak_backlog)?;
+            step(
+                0.0,
+                &mut queue,
+                &mut schedule,
+                &mut served,
+                &mut peak_backlog,
+            )?;
             extra += 1;
         }
     }
@@ -353,7 +359,13 @@ mod tests {
         assert!((total_served - m.total()).abs() < 1e-9);
 
         let err = simulate_multi(&m, &mut FlatMulti(3, 1.0), DrainPolicy::StopAtTraceEnd);
-        assert!(matches!(err, Err(SimError::SessionMismatch { input: 2, allocator: 3 })));
+        assert!(matches!(
+            err,
+            Err(SimError::SessionMismatch {
+                input: 2,
+                allocator: 3
+            })
+        ));
     }
 
     #[test]

@@ -17,8 +17,7 @@ use cdba_traffic::{Trace, EPS};
 /// trace (drain ticks). A bit arriving during tick `t` and served during
 /// tick `t` has delay 0.
 pub fn max_delay(trace: &Trace, served: &[f64]) -> Option<usize> {
-    delay_profile(trace, served)
-        .map(|profile| profile.into_iter().max().unwrap_or(0))
+    delay_profile(trace, served).map(|profile| profile.into_iter().max().unwrap_or(0))
 }
 
 /// Per-tick FIFO delay: element `t` is the delay (in ticks) of the *last* bit

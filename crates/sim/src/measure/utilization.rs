@@ -184,7 +184,10 @@ mod tests {
         let s = schedule(&[4.0, 4.0, 2.0, 2.0, 4.0, 4.0, 2.0, 2.0]);
         let strict = local_utilization(&t, &s, 2).utilization;
         let relaxed = relaxed_local_utilization(&t, &s, 2, 6).utilization;
-        assert!(relaxed >= strict - 1e-12, "relaxed {relaxed} strict {strict}");
+        assert!(
+            relaxed >= strict - 1e-12,
+            "relaxed {relaxed} strict {strict}"
+        );
     }
 
     #[test]

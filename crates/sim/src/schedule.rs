@@ -188,9 +188,21 @@ mod tests {
         assert_eq!(
             s.changes(),
             &[
-                Change { tick: 1, from: 0.0, to: 2.0 },
-                Change { tick: 3, from: 2.0, to: 4.0 },
-                Change { tick: 5, from: 4.0, to: 0.0 },
+                Change {
+                    tick: 1,
+                    from: 0.0,
+                    to: 2.0
+                },
+                Change {
+                    tick: 3,
+                    from: 2.0,
+                    to: 4.0
+                },
+                Change {
+                    tick: 5,
+                    from: 4.0,
+                    to: 0.0
+                },
             ]
         );
     }
@@ -205,7 +217,7 @@ mod tests {
     fn sub_eps_wiggle_is_not_a_change() {
         let s = build(&[2.0, 2.0 + 1e-9, 2.0]);
         assert_eq!(s.num_changes(), 1); // only 0 → 2
-        // The wiggle is also flattened in the recorded timeline.
+                                        // The wiggle is also flattened in the recorded timeline.
         assert_eq!(s.allocation(), &[2.0, 2.0, 2.0]);
     }
 

@@ -131,14 +131,22 @@ pub fn simulate_streaming<A: Allocator + ?Sized>(
     };
     let mut current_alloc = 0.0f64;
     let step = |arrival: f64,
-                    queue: &mut BitQueue,
-                    delay: &mut OnlineDelayTracker,
-                    summary: &mut StreamSummary,
-                    current_alloc: &mut f64,
-                    allocator: &mut A| {
-        let arrival = if arrival.is_finite() { arrival.max(0.0) } else { 0.0 };
+                queue: &mut BitQueue,
+                delay: &mut OnlineDelayTracker,
+                summary: &mut StreamSummary,
+                current_alloc: &mut f64,
+                allocator: &mut A| {
+        let arrival = if arrival.is_finite() {
+            arrival.max(0.0)
+        } else {
+            0.0
+        };
         let alloc = allocator.on_tick(arrival);
-        let alloc = if alloc.is_finite() { alloc.max(0.0) } else { 0.0 };
+        let alloc = if alloc.is_finite() {
+            alloc.max(0.0)
+        } else {
+            0.0
+        };
         if (alloc - *current_alloc).abs() > EPS {
             summary.changes += 1;
             *current_alloc = alloc;

@@ -65,8 +65,12 @@ pub fn verify_single(trace: &Trace, run: &Run, bounds: &SingleBounds) -> SingleV
         "relaxed_window must be >= window"
     );
     let max_delay = measure::max_delay(trace, run.served());
-    let relaxed =
-        measure::relaxed_local_utilization(trace, &run.schedule, bounds.window, bounds.relaxed_window);
+    let relaxed = measure::relaxed_local_utilization(
+        trace,
+        &run.schedule,
+        bounds.window,
+        bounds.relaxed_window,
+    );
     let strict = measure::local_utilization(trace, &run.schedule, bounds.window);
     let global = measure::global_utilization(trace, &run.schedule);
     let peak = run.schedule.peak();
@@ -221,7 +225,14 @@ mod tests {
     fn multi_verdict_aggregates_sessions() {
         let m = cdba_traffic::multi::rotating_hot(2, 3.0, 1.0, 4, 16).unwrap();
         let run = simulate_multi(&m, &mut FlatMulti(2, 4.0), DrainPolicy::DrainToEmpty).unwrap();
-        let v = verify_multi(&m, &run, &MultiBounds { total_bandwidth: 8.0, max_delay: 1 });
+        let v = verify_multi(
+            &m,
+            &run,
+            &MultiBounds {
+                total_bandwidth: 8.0,
+                max_delay: 1,
+            },
+        );
         assert!(v.all_ok(), "{v:?}");
         assert_eq!(v.session_delays.len(), 2);
         assert_eq!(v.peak_total_allocation, 8.0);
@@ -231,7 +242,14 @@ mod tests {
     fn multi_bandwidth_violation() {
         let m = cdba_traffic::multi::rotating_hot(2, 1.0, 1.0, 4, 8).unwrap();
         let run = simulate_multi(&m, &mut FlatMulti(2, 4.0), DrainPolicy::DrainToEmpty).unwrap();
-        let v = verify_multi(&m, &run, &MultiBounds { total_bandwidth: 6.0, max_delay: 8 });
+        let v = verify_multi(
+            &m,
+            &run,
+            &MultiBounds {
+                total_bandwidth: 6.0,
+                max_delay: 8,
+            },
+        );
         assert!(!v.bandwidth_ok);
         assert!(v.delay_ok);
     }

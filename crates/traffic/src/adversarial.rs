@@ -71,10 +71,7 @@ impl StageForcerParams {
 /// ≥ 2, `margin ≤ 1`, or `stages == 0`.
 pub fn stage_forcer(params: StageForcerParams) -> Result<Trace, TraceError> {
     let levels = params.b_max.log2();
-    if !params.b_max.is_finite()
-        || params.b_max < 2.0
-        || (levels - levels.round()).abs() > 1e-9
-    {
+    if !params.b_max.is_finite() || params.b_max < 2.0 || (levels - levels.round()).abs() > 1e-9 {
         return Err(TraceError::InvalidParameter(format!(
             "b_max {} must be a power of two >= 2",
             params.b_max
@@ -121,7 +118,9 @@ pub fn oscillator(
 ) -> Result<Trace, TraceError> {
     for (name, v) in [("hi_rate", hi_rate), ("lo_rate", lo_rate)] {
         if !v.is_finite() || v < 0.0 {
-            return Err(TraceError::InvalidParameter(format!("oscillator {name} {v}")));
+            return Err(TraceError::InvalidParameter(format!(
+                "oscillator {name} {v}"
+            )));
         }
     }
     if period == 0 || cycles == 0 {
@@ -146,7 +145,9 @@ pub fn oscillator(
 /// Returns [`TraceError::InvalidParameter`] for invalid parameters.
 pub fn staircase(base: f64, levels: u32, step: usize, repeats: usize) -> Result<Trace, TraceError> {
     if !base.is_finite() || base <= 0.0 {
-        return Err(TraceError::InvalidParameter(format!("staircase base {base}")));
+        return Err(TraceError::InvalidParameter(format!(
+            "staircase base {base}"
+        )));
     }
     if step == 0 || repeats == 0 || levels == 0 {
         return Err(TraceError::InvalidParameter(

@@ -147,7 +147,10 @@ mod tests {
         // Median of Pareto(xm, alpha) = xm * 2^(1/alpha).
         let expected = 2.0 * 2f64.powf(1.0 / 1.5);
         let median = sorted[n / 2];
-        assert!((median - expected).abs() / expected < 0.05, "median {median}");
+        assert!(
+            (median - expected).abs() / expected < 0.05,
+            "median {median}"
+        );
     }
 
     #[test]

@@ -42,7 +42,11 @@ impl Default for CbrParams {
 /// # Ok(())
 /// # }
 /// ```
-pub fn cbr<R: Rng + ?Sized>(rng: &mut R, params: CbrParams, len: usize) -> Result<Trace, TraceError> {
+pub fn cbr<R: Rng + ?Sized>(
+    rng: &mut R,
+    params: CbrParams,
+    len: usize,
+) -> Result<Trace, TraceError> {
     if !params.rate.is_finite() || params.rate < 0.0 {
         return Err(TraceError::InvalidParameter(format!(
             "cbr rate {}",
@@ -77,14 +81,30 @@ mod tests {
     #[test]
     fn jitter_free_cbr_is_flat() {
         let mut rng = StdRng::seed_from_u64(3);
-        let t = cbr(&mut rng, CbrParams { rate: 2.5, jitter: 0.0 }, 50).unwrap();
+        let t = cbr(
+            &mut rng,
+            CbrParams {
+                rate: 2.5,
+                jitter: 0.0,
+            },
+            50,
+        )
+        .unwrap();
         assert!(t.arrivals().iter().all(|&a| a == 2.5));
     }
 
     #[test]
     fn jitter_stays_within_band() {
         let mut rng = StdRng::seed_from_u64(3);
-        let t = cbr(&mut rng, CbrParams { rate: 10.0, jitter: 0.2 }, 500).unwrap();
+        let t = cbr(
+            &mut rng,
+            CbrParams {
+                rate: 10.0,
+                jitter: 0.2,
+            },
+            500,
+        )
+        .unwrap();
         assert!(t.arrivals().iter().all(|&a| (8.0..12.0).contains(&a)));
         assert!((t.mean_rate() - 10.0).abs() < 0.2);
     }
@@ -92,8 +112,24 @@ mod tests {
     #[test]
     fn rejects_bad_params() {
         let mut rng = StdRng::seed_from_u64(3);
-        assert!(cbr(&mut rng, CbrParams { rate: -1.0, jitter: 0.0 }, 10).is_err());
-        assert!(cbr(&mut rng, CbrParams { rate: 1.0, jitter: 1.5 }, 10).is_err());
+        assert!(cbr(
+            &mut rng,
+            CbrParams {
+                rate: -1.0,
+                jitter: 0.0
+            },
+            10
+        )
+        .is_err());
+        assert!(cbr(
+            &mut rng,
+            CbrParams {
+                rate: 1.0,
+                jitter: 1.5
+            },
+            10
+        )
+        .is_err());
         assert!(cbr(&mut rng, CbrParams::default(), 0).is_err());
     }
 }

@@ -115,8 +115,14 @@ mod tests {
     fn mix_sums_means() {
         let mut rng = StdRng::seed_from_u64(61);
         let parts = vec![
-            WorkloadKind::Cbr(CbrParams { rate: 2.0, jitter: 0.0 }),
-            WorkloadKind::Cbr(CbrParams { rate: 3.0, jitter: 0.0 }),
+            WorkloadKind::Cbr(CbrParams {
+                rate: 2.0,
+                jitter: 0.0,
+            }),
+            WorkloadKind::Cbr(CbrParams {
+                rate: 3.0,
+                jitter: 0.0,
+            }),
         ];
         let t = mix(&mut rng, &parts, 100).unwrap();
         assert!((t.mean_rate() - 5.0).abs() < 1e-9);
@@ -141,8 +147,14 @@ mod tests {
     fn nested_sum_generates() {
         let mut rng = StdRng::seed_from_u64(64);
         let w = WorkloadKind::Sum(vec![
-            WorkloadKind::Cbr(CbrParams { rate: 1.0, jitter: 0.0 }),
-            WorkloadKind::Sum(vec![WorkloadKind::Cbr(CbrParams { rate: 2.0, jitter: 0.0 })]),
+            WorkloadKind::Cbr(CbrParams {
+                rate: 1.0,
+                jitter: 0.0,
+            }),
+            WorkloadKind::Sum(vec![WorkloadKind::Cbr(CbrParams {
+                rate: 2.0,
+                jitter: 0.0,
+            })]),
         ]);
         let t = w.generate(&mut rng, 10).unwrap();
         assert!((t.mean_rate() - 3.0).abs() < 1e-9);

@@ -64,8 +64,7 @@ pub fn diurnal<R: Rng + ?Sized>(
         .iter()
         .enumerate()
         .map(|(t, &a)| {
-            let angle =
-                std::f64::consts::TAU * ((t + params.phase) as f64) / params.period as f64;
+            let angle = std::f64::consts::TAU * ((t + params.phase) as f64) / params.period as f64;
             a * (midline + amplitude * angle.cos())
         })
         .collect();

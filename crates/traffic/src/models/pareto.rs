@@ -79,7 +79,10 @@ pub fn pareto_bursts<R: Rng + ?Sized>(
             ));
         } else {
             let dur = distr::exponential(rng, 1.0 / params.mean_gap).round() as usize;
-            arrivals.extend(std::iter::repeat_n(0.0, dur.max(1).min(len - arrivals.len())));
+            arrivals.extend(std::iter::repeat_n(
+                0.0,
+                dur.max(1).min(len - arrivals.len()),
+            ));
         }
         bursting = !bursting;
     }

@@ -54,7 +54,9 @@ pub fn spike<R: Rng + ?Sized>(
         )));
     }
     if params.spike_width == 0 {
-        return Err(TraceError::InvalidParameter("spike_width must be >= 1".into()));
+        return Err(TraceError::InvalidParameter(
+            "spike_width must be >= 1".into(),
+        ));
     }
     if params.mean_gap.is_nan() || params.mean_gap < 1.0 {
         return Err(TraceError::InvalidParameter(format!(

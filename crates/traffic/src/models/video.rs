@@ -109,11 +109,7 @@ mod tests {
             ..VideoParams::default()
         };
         let t = video(&mut rng, p, 12 * 100).unwrap();
-        assert!(
-            (t.mean_rate() - 6.0).abs() < 1e-9,
-            "mean {}",
-            t.mean_rate()
-        );
+        assert!((t.mean_rate() - 6.0).abs() < 1e-9, "mean {}", t.mean_rate());
     }
 
     #[test]

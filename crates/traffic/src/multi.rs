@@ -222,7 +222,10 @@ mod tests {
     #[test]
     fn independent_sessions_generate() {
         let mut rng = StdRng::seed_from_u64(71);
-        let kind = WorkloadKind::Cbr(CbrParams { rate: 2.0, jitter: 0.0 });
+        let kind = WorkloadKind::Cbr(CbrParams {
+            rate: 2.0,
+            jitter: 0.0,
+        });
         let m = independent_sessions(&mut rng, &kind, 4, 50).unwrap();
         assert_eq!(m.num_sessions(), 4);
         assert_eq!(m.len(), 50);

@@ -159,7 +159,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_periodic_signal() {
-        let arrivals: Vec<f64> = (0..1000).map(|t| if t % 2 == 0 { 1.0 } else { 0.0 }).collect();
+        let arrivals: Vec<f64> = (0..1000)
+            .map(|t| if t % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
         let t = Trace::new(arrivals).unwrap();
         assert!(autocorrelation(&t, 2) > 0.9);
         assert!(autocorrelation(&t, 1) < -0.9);

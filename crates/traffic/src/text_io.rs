@@ -222,7 +222,11 @@ mod tests {
         let text = "1,2\n3\n";
         assert!(matches!(
             parse_multi(text),
-            Err(TextError::RaggedRow { line: 2, found: 1, expected: 2 })
+            Err(TextError::RaggedRow {
+                line: 2,
+                found: 1,
+                expected: 2
+            })
         ));
     }
 

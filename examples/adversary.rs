@@ -44,9 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             ratio.certified_offline,
             ratio.online_changes,
             ratio.upper(),
-            ratio
-                .lower()
-                .map_or("—".to_string(), |r| format!("{r:.2}")),
+            ratio.lower().map_or("—".to_string(), |r| format!("{r:.2}")),
         );
     }
     println!("\nthe certified column grows ≈ linearly in log2(B_A): Theorem 6 is tight.");

@@ -68,7 +68,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let mcfg = MultiConfig::new(K, B_O, D_O)?;
-    report("phased (Thm 14)", &input, &mut Phased::new(mcfg.clone()), 4.0 * B_O)?;
+    report(
+        "phased (Thm 14)",
+        &input,
+        &mut Phased::new(mcfg.clone()),
+        4.0 * B_O,
+    )?;
     report(
         "continuous (Thm 17)",
         &input,

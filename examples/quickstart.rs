@@ -9,8 +9,8 @@ use cdba_core::config::SingleConfig;
 use cdba_core::single::SingleSession;
 use cdba_sim::engine::{simulate, DrainPolicy};
 use cdba_sim::verify::verify_single;
-use cdba_traffic::models::{onoff, OnOffParams};
 use cdba_traffic::conditioner;
+use cdba_traffic::models::{onoff, OnOffParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -62,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         cfg.u_o,
         alg.certified_offline_changes()
     );
-    assert!(verdict.delay_ok && verdict.bandwidth_ok, "envelope violated");
+    assert!(
+        verdict.delay_ok && verdict.bandwidth_ok,
+        "envelope violated"
+    );
     println!("\nall bounds verified ✔");
     Ok(())
 }

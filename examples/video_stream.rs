@@ -19,7 +19,11 @@ use cdba_traffic::{conditioner, Trace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn report(name: &str, trace: &Trace, alg: &mut dyn Allocator) -> Result<(), Box<dyn std::error::Error>> {
+fn report(
+    name: &str,
+    trace: &Trace,
+    alg: &mut dyn Allocator,
+) -> Result<(), Box<dyn std::error::Error>> {
     let run = simulate(trace, alg, DrainPolicy::DrainToEmpty)?;
     let delay = measure::max_delay(trace, run.served());
     let util = measure::global_utilization(trace, &run.schedule);
@@ -60,7 +64,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &trace,
         &mut StaticAllocator::for_delay(&trace, cfg.d_o),
     )?;
-    report("static-low (2b)", &trace, &mut StaticAllocator::mean_rate(&trace))?;
+    report(
+        "static-low (2b)",
+        &trace,
+        &mut StaticAllocator::mean_rate(&trace),
+    )?;
     let mut online = SingleSession::new(cfg.clone());
     report("online (2d)", &trace, &mut online)?;
     println!(

@@ -1,0 +1,170 @@
+//! Integration tests of the cdba-ctrl control plane: service-level churn
+//! keeps the per-session delay and utilization behaviour inside the
+//! paper's envelopes, and the exported metrics are invariant under the
+//! shard count and execution mode.
+
+use cdba_ctrl::{ControlPlane, CtrlError, ExecMode, ServiceConfig, ServiceSnapshot};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+const B_MAX: f64 = 16.0;
+const B_O: f64 = 8.0;
+const D_O: usize = 8;
+const U_O: f64 = 0.5;
+const W: usize = 16;
+
+fn config(shards: usize, exec: ExecMode) -> ServiceConfig {
+    ServiceConfig::builder(4096.0)
+        .session_b_max(B_MAX)
+        .group_b_o(B_O)
+        .offline_delay(D_O)
+        .offline_utilization(U_O)
+        .window(W)
+        .shards(shards)
+        .exec(exec)
+        .build()
+        .expect("valid test config")
+}
+
+/// A churn workload: dedicated sessions and one pooled group, arrivals
+/// feasible for the offline budget `(U_O·B_A, D_O)` per session, with a
+/// mid-run leave/admit swap. Deterministic in `seed` only.
+fn churn_scenario(mut service: ControlPlane, seed: u64, ticks: u64) -> ServiceSnapshot {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut live: Vec<u64> = Vec::new();
+    for i in 0..12 {
+        live.push(service.admit(["acme", "globex"][i % 2]).unwrap());
+    }
+    live.extend(service.admit_group("initech", 4).unwrap());
+    // Each session replays a rate pattern bounded by U_O·B_A per tick, so
+    // every arrival sequence is feasible for the offline pair (U_O·B_A, D_O).
+    let mut patterns: Vec<Vec<f64>> = Vec::new();
+    for _ in 0..live.len() + 8 {
+        let pattern: Vec<f64> = (0..64)
+            .map(|_| {
+                if rng.random_bool(0.6) {
+                    rng.random_range(0.0..U_O * B_MAX)
+                } else {
+                    0.0
+                }
+            })
+            .collect();
+        patterns.push(pattern);
+    }
+    for t in 0..ticks {
+        if t > 0 && t % 100 == 0 {
+            let gone = live.remove(0);
+            service.leave(gone).unwrap();
+            live.push(service.admit("acme").unwrap());
+        }
+        let arrivals: Vec<(u64, f64)> = live
+            .iter()
+            .map(|&key| {
+                let p = &patterns[key as usize % patterns.len()];
+                (key, p[t as usize % p.len()])
+            })
+            .collect();
+        service.tick(&arrivals).unwrap();
+    }
+    let snapshot = service.snapshot();
+    service.shutdown();
+    snapshot
+}
+
+#[test]
+fn churn_preserves_delay_and_bandwidth_envelopes() {
+    let snapshot = churn_scenario(ControlPlane::new(config(2, ExecMode::Threaded)), 7, 600);
+    assert!(snapshot.global.sessions >= 16);
+    assert!(snapshot.global.changes > 0);
+    // Theorem 6 promises dedicated sessions max delay 2·D_O under feasible
+    // input; pooled members are bounded by the phased guarantee with the
+    // same D_O. Leaving sessions only drain, which cannot increase delay.
+    assert!(
+        snapshot.global.max_delay <= 2 * D_O as u64,
+        "max delay {} exceeds 2·D_O = {}",
+        snapshot.global.max_delay,
+        2 * D_O
+    );
+    // No allocator may exceed its configured ceiling.
+    for m in &snapshot.sessions {
+        assert!(
+            m.peak_allocation <= B_MAX + 1e-9,
+            "session {} peaked at {}",
+            m.session,
+            m.peak_allocation
+        );
+    }
+    // Everything submitted before the final churn settles is served;
+    // nothing is fabricated.
+    assert!(snapshot.global.total_served <= snapshot.global.total_arrived + 1e-6);
+    // The windowed utilization floor is a real number in (0, 1] whenever
+    // some session completed a window with allocation held.
+    if let Some(u) = snapshot.global.min_windowed_utilization {
+        assert!((0.0..=1.0 + 1e-9).contains(&u), "utilization {u}");
+    }
+}
+
+#[test]
+fn metrics_identical_across_shard_counts() {
+    let one = churn_scenario(ControlPlane::new(config(1, ExecMode::Threaded)), 42, 500);
+    let four = churn_scenario(ControlPlane::new(config(4, ExecMode::Threaded)), 42, 500);
+    assert_eq!(
+        one.invariant_view(),
+        four.invariant_view(),
+        "global + per-session metrics must not depend on the shard count"
+    );
+    // The placement-dependent part genuinely differs, so the equality
+    // above is not vacuous.
+    assert_eq!(one.per_shard.len(), 1);
+    assert_eq!(four.per_shard.len(), 4);
+    assert!(four.per_shard.iter().filter(|s| s.sessions > 0).count() > 1);
+}
+
+#[test]
+fn inline_fallback_matches_threaded_exactly() {
+    let inline = churn_scenario(ControlPlane::new(config(3, ExecMode::Inline)), 9, 400);
+    let threaded = churn_scenario(ControlPlane::new(config(3, ExecMode::Threaded)), 9, 400);
+    assert_eq!(inline, threaded, "same shard count: full snapshot equality");
+}
+
+#[test]
+fn snapshot_json_roundtrips_through_serde() {
+    use serde::Deserialize;
+    let snapshot = churn_scenario(ControlPlane::new(config(2, ExecMode::Inline)), 3, 300);
+    let text = snapshot.to_json_string();
+    let value: serde_json::Value = serde_json::from_str(&text).unwrap();
+    let back = ServiceSnapshot::deserialize(&value).unwrap();
+    assert_eq!(back, snapshot);
+}
+
+#[test]
+fn admission_is_exact_under_churn() {
+    // A budget for exactly three dedicated sessions: churn must stay
+    // admissible forever because leaves release capacity immediately.
+    let cfg = ServiceConfig::builder(3.0 * B_MAX)
+        .session_b_max(B_MAX)
+        .offline_delay(D_O)
+        .window(W)
+        .exec(ExecMode::Inline)
+        .build()
+        .unwrap();
+    let mut service = ControlPlane::new(cfg);
+    let mut live: Vec<u64> = (0..3).map(|_| service.admit("acme").unwrap()).collect();
+    assert!(matches!(
+        service.admit("acme"),
+        Err(CtrlError::Admission(_))
+    ));
+    for round in 0..50 {
+        let gone = live.remove(0);
+        service.leave(gone).unwrap();
+        live.push(service.admit("acme").unwrap());
+        for _ in 0..4 {
+            let arrivals: Vec<(u64, f64)> = live.iter().map(|&k| (k, 2.0)).collect();
+            service.tick(&arrivals).unwrap();
+        }
+        assert_eq!(service.live_sessions(), 3, "round {round}");
+    }
+    let snapshot = service.snapshot();
+    assert_eq!(snapshot.admitted, 3 + 50);
+    assert_eq!(snapshot.rejected, 1);
+}

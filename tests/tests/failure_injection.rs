@@ -34,7 +34,10 @@ fn config_validation_catches_each_field() {
         Err(ConfigError::InvalidUtilization(_))
     ));
     // Errors render human-readable messages.
-    let msg = SingleConfig::builder(100.0).build().unwrap_err().to_string();
+    let msg = SingleConfig::builder(100.0)
+        .build()
+        .unwrap_err()
+        .to_string();
     assert!(msg.contains("power of two"), "{msg}");
 }
 
@@ -86,7 +89,10 @@ fn engine_rejects_session_mismatch() {
     let err = simulate_multi(&input, &mut alg, DrainPolicy::StopAtTraceEnd).unwrap_err();
     assert!(matches!(
         err,
-        SimError::SessionMismatch { input: 3, allocator: 2 }
+        SimError::SessionMismatch {
+            input: 3,
+            allocator: 2
+        }
     ));
 }
 

@@ -1,18 +1,18 @@
 //! End-to-end pipeline tests: generator → conditioner → online algorithm →
 //! engine → verifier → competitive ratio, across crates.
 
+use cdba_core::combined::Combined;
 use cdba_core::config::{CombinedConfig, InnerMulti, MultiConfig, SingleConfig};
 use cdba_core::multi::{Continuous, Phased};
 use cdba_core::single::{LookbackSingle, SingleSession};
-use cdba_core::combined::Combined;
 use cdba_offline::single::{dp_offline, greedy_offline};
 use cdba_offline::{CompetitiveRatio, OfflineConstraints, PlaybackAllocator};
 use cdba_sim::engine::{simulate, simulate_multi, DrainPolicy};
-use cdba_sim::verify::{verify_multi, verify_single};
 use cdba_sim::measure;
+use cdba_sim::verify::{verify_multi, verify_single};
+use cdba_traffic::conditioner;
 use cdba_traffic::models::{OnOffParams, WorkloadKind};
 use cdba_traffic::multi::independent_sessions;
-use cdba_traffic::conditioner;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -2,9 +2,9 @@
 //! utilization measures checked against independent brute-force oracles and
 //! dominance laws.
 
+use cdba_offline::PlaybackAllocator;
 use cdba_sim::engine::{simulate, DrainPolicy};
 use cdba_sim::{measure, Allocator, Schedule, ScheduleBuilder};
-use cdba_offline::PlaybackAllocator;
 use cdba_traffic::Trace;
 use proptest::prelude::*;
 
@@ -33,7 +33,9 @@ fn oracle_max_delay(trace: &Trace, served: &[f64]) -> Option<usize> {
         }
         let mut cap = cap;
         while cap > 1e-12 {
-            let Some(front) = pending.front_mut() else { break };
+            let Some(front) = pending.front_mut() else {
+                break;
+            };
             let take = front.1.min(cap);
             front.1 -= take;
             cap -= take;

@@ -17,10 +17,7 @@ const D_O: usize = 4;
 fn feasible_multi() -> impl Strategy<Value = MultiTrace> {
     (2usize..=5, 30usize..150)
         .prop_flat_map(|(k, len)| {
-            proptest::collection::vec(
-                proptest::collection::vec(0.0f64..50.0, len..=len),
-                k..=k,
-            )
+            proptest::collection::vec(proptest::collection::vec(0.0f64..50.0, len..=len), k..=k)
         })
         .prop_map(|sessions| {
             let traces: Vec<Trace> = sessions

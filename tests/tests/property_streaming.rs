@@ -5,8 +5,8 @@
 use cdba_core::config::SingleConfig;
 use cdba_core::single::{LookbackSingle, SingleSession};
 use cdba_sim::engine::{simulate, DrainPolicy};
-use cdba_sim::streaming::simulate_streaming;
 use cdba_sim::measure;
+use cdba_sim::streaming::simulate_streaming;
 use cdba_traffic::{conditioner, Trace};
 use proptest::prelude::*;
 

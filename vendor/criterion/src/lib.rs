@@ -1,0 +1,332 @@
+//! Offline stand-in for `criterion`: the API surface the cdba benches use
+//! (`criterion_group!`/`criterion_main!`, benchmark groups, per-input
+//! benches, throughput annotation) over a simple adaptive wall-clock timer.
+//!
+//! Statistics are deliberately minimal — median of a few measured batches,
+//! printed as ns/iter plus derived throughput — which is enough to compare
+//! kernels and catch order-of-magnitude regressions without the real
+//! crate's dependency tree. Passing `--test` (as `cargo test --benches`
+//! does) runs every benchmark once, as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (the real crate's `black_box` is
+/// deprecated in favour of this one).
+pub use std::hint::black_box;
+
+/// Top-level harness state.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    /// Target measuring time per benchmark.
+    measure_for: Duration,
+    /// Smoke-test mode: one iteration per benchmark, no timing.
+    test_mode: bool,
+    /// Substring filter from the command line.
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let test_mode = args.iter().any(|a| a == "--test");
+        let filter = args
+            .iter()
+            .find(|a| !a.starts_with('-') && a.as_str() != "bench")
+            .cloned();
+        Criterion {
+            measure_for: Duration::from_millis(60),
+            test_mode,
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(self, &id.render(), None, f);
+        self
+    }
+}
+
+/// A named benchmark within a group, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter (rendered `function/parameter`).
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Only a parameter (rendered bare).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match (&self.function, &self.parameter) {
+            (f, Some(p)) if f.is_empty() => p.clone(),
+            (f, Some(p)) => format!("{f}/{p}"),
+            (f, None) => f.clone(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            function: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            function: name,
+            parameter: None,
+        }
+    }
+}
+
+/// How much work one iteration performs, for derived rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work for subsequent benches in this group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the measuring time for subsequent benches in this group.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.criterion.measure_for = time;
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.render());
+        run_benchmark(self.criterion, &label, self.throughput, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, handing it `input` by reference.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.render());
+        run_benchmark(self.criterion, &label, self.throughput, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (kept for API parity; drop would do).
+    pub fn finish(self) {}
+}
+
+/// Runs the closure under timing; handed to every benchmark function.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `iters` runs of `f` (the measured region of the benchmark).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.iters = 1;
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(criterion: &Criterion, label: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = &criterion.filter {
+        if !label.contains(filter.as_str()) {
+            return;
+        }
+    }
+    if criterion.test_mode {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+            test_mode: true,
+        };
+        f(&mut b);
+        println!("test {label} ... ok");
+        return;
+    }
+
+    // Calibrate: grow the iteration count until one batch is ≳1/10 of the
+    // measuring budget, then measure a handful of batches and keep the
+    // median.
+    let mut iters: u64 = 1;
+    let batch_budget = criterion.measure_for / 10;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+            test_mode: false,
+        };
+        f(&mut b);
+        if b.elapsed >= batch_budget || iters >= u64::MAX / 2 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            100
+        } else {
+            // Aim straight for the budget, with headroom.
+            (batch_budget.as_nanos() / b.elapsed.as_nanos().max(1) + 1) as u64
+        };
+        iters = iters.saturating_mul(grow.clamp(2, 100));
+    }
+
+    let mut samples: Vec<f64> = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+            test_mode: false,
+        };
+        f(&mut b);
+        samples.push(b.elapsed.as_nanos() as f64 / iters.max(1) as f64);
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let ns_per_iter = samples[samples.len() / 2];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  ({:.3} Melem/s)", n as f64 / ns_per_iter * 1e9 / 1e6),
+        Throughput::Bytes(n) => format!(
+            "  ({:.3} MiB/s)",
+            n as f64 / ns_per_iter * 1e9 / (1024.0 * 1024.0)
+        ),
+    });
+    println!(
+        "{label:<50} {ns_per_iter:>14.1} ns/iter{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Declares a benchmark group runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 8).render(), "f/8");
+        assert_eq!(BenchmarkId::from_parameter(8).render(), "8");
+        assert_eq!(BenchmarkId::from("plain").render(), "plain");
+    }
+
+    #[test]
+    fn bench_runs_in_test_mode() {
+        let mut criterion = Criterion {
+            measure_for: Duration::from_millis(1),
+            test_mode: true,
+            filter: None,
+        };
+        let mut hits = 0u32;
+        {
+            let mut group = criterion.benchmark_group("g");
+            group.throughput(Throughput::Elements(1));
+            group.bench_function("one", |b| b.iter(|| hits += 1));
+            group.finish();
+        }
+        assert_eq!(hits, 1);
+    }
+
+    #[test]
+    fn calibration_terminates_quickly() {
+        let mut criterion = Criterion {
+            measure_for: Duration::from_millis(5),
+            test_mode: false,
+            filter: None,
+        };
+        let start = Instant::now();
+        criterion.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+}

@@ -1,0 +1,187 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Deterministic randomized property testing with the API subset the cdba
+//! test suites use: the [`proptest!`] macro (with the optional
+//! `#![proptest_config(...)]` header), `prop_assert!`/`prop_assert_eq!`,
+//! range and `collection::vec` strategies, tuples, and the `prop_map` /
+//! `prop_flat_map` combinators.
+//!
+//! Differences from the real crate: no shrinking — a failing case panics
+//! with the generated inputs debug-printed (the generator is seeded from
+//! the test name, so failures reproduce exactly on re-run) — and no
+//! persistence files.
+
+#![forbid(unsafe_code)]
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines randomized tests: each `#[test] fn name(arg in strategy, ...)`
+/// body runs for `Config::cases` generated inputs. Fail fast with the
+/// `prop_assert*` macros.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = ($crate::test_runner::Config::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = ($cfg:expr);
+     $( $(#[$meta:meta])* fn $name:ident(
+            $($arg:ident in $strat:expr),+ $(,)?
+        ) $body:block )*
+    ) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut rng = $crate::test_runner::rng_for(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg =
+                    $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                // Render inputs up front: the body may move them.
+                let rendered_inputs = format!("{:#?}", ($(&$arg,)+));
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                if let ::std::result::Result::Err(err) = outcome {
+                    panic!(
+                        "proptest `{}` failed at case {}/{}: {}\ninputs: {:#?}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        err,
+                        rendered_inputs
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current proptest case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current proptest case unless both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Fails the current proptest case if both sides are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {} != {}\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn parity(n: u32) -> bool {
+        n.is_multiple_of(2)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 5usize..50, y in -1.0f64..1.0) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!((-1.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn vec_sizes_respect_range(
+            v in crate::collection::vec(0.0f64..10.0, 3..7),
+        ) {
+            prop_assert!((3..7).contains(&v.len()));
+            prop_assert!(v.iter().all(|x| (0.0..10.0).contains(x)));
+        }
+
+        #[test]
+        fn map_and_flat_map_compose(
+            doubled in (1u32..100).prop_map(|n| n * 2),
+            nested in (1usize..4, 2usize..5).prop_flat_map(|(k, len)| {
+                crate::collection::vec(
+                    crate::collection::vec(0.0f64..1.0, len..=len), k..=k)
+            }),
+        ) {
+            prop_assert!(parity(doubled));
+            prop_assert!((1..4).contains(&nested.len()));
+            let len = nested[0].len();
+            prop_assert!((2..5).contains(&len));
+            prop_assert!(nested.iter().all(|row| row.len() == len));
+        }
+    }
+
+    #[test]
+    #[allow(unnameable_test_items)]
+    fn failures_panic_with_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            proptest! {
+                #[test]
+                fn always_fails(x in 0u8..10) {
+                    prop_assert!(x > 100, "x was {}", x);
+                }
+            }
+            always_fails();
+        });
+        let msg = *result.expect_err("must fail").downcast::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "got: {msg}");
+        assert!(msg.contains("inputs"), "got: {msg}");
+    }
+}

@@ -1,0 +1,57 @@
+//! Runner configuration, RNG seeding, and the case-failure error type.
+
+use std::fmt;
+
+/// The RNG driving generation: the workspace's deterministic `StdRng`.
+pub type TestRng = rand::rngs::StdRng;
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl Config {
+    /// A configuration running `cases` generated inputs.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// Builds the deterministic generator for a named test: seeded from an FNV-1a
+/// hash of the test name, so every test sees a distinct but reproducible
+/// stream.
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    <TestRng as rand::SeedableRng>::seed_from_u64(hash)
+}
+
+/// Why a generated case failed.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for TestCaseError {}

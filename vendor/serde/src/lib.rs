@@ -1,0 +1,277 @@
+//! Offline stand-in for `serde`.
+//!
+//! The air-gapped build cannot fetch the real serde, so this crate provides
+//! the subset the workspace uses: `#[derive(Serialize, Deserialize)]` (from
+//! the sibling `serde_derive` stand-in, re-exported here exactly like the
+//! real crate does), the two traits, and a JSON-shaped [`Value`] data model
+//! that `serde_json` renders and parses.
+//!
+//! Supported shapes: structs with named fields (including `#[serde(skip)]`,
+//! which skips on serialize and fills from `Default` on deserialize) and
+//! enums with unit variants (serialized as their name). That covers every
+//! derive in the workspace; richer shapes fail at compile time with a clear
+//! message rather than silently misbehaving.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+mod value;
+
+pub use value::{Map, Value};
+
+use std::fmt;
+
+/// A deserialization error: a human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Builds an error from any displayable message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can render themselves into the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` to a [`Value`] tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can rebuild themselves from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reads `Self` out of a [`Value`] tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeError`] when the tree does not have the expected shape.
+    fn deserialize(v: &Value) -> Result<Self, DeError>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::custom(format!("expected bool, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Number(n) => Ok(*n),
+            // Non-finite floats serialize as null (JSON has no NaN/inf).
+            Value::Null => Ok(f64::NAN),
+            other => Err(DeError::custom(format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Number(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        f64::deserialize(v).map(|n| n as f32)
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Number(n) if n.fract() == 0.0 => {
+                        let min = <$t>::MIN as f64;
+                        let max = <$t>::MAX as f64;
+                        if *n >= min && *n <= max {
+                            Ok(*n as $t)
+                        } else {
+                            Err(DeError::custom(format!(
+                                "number {n} out of range for {}",
+                                stringify!($t)
+                            )))
+                        }
+                    }
+                    other => Err(DeError::custom(format!(
+                        "expected integer, found {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize).collect(),
+            other => Err(DeError::custom(format!("expected array, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(inner) => inner.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+macro_rules! impl_serde_tuple {
+    ($len:literal => $($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($name::deserialize(&items[$idx])?,)+))
+                    }
+                    other => Err(DeError::custom(format!(
+                        "expected array of length {}, found {other:?}",
+                        $len
+                    ))),
+                }
+            }
+        }
+    };
+}
+impl_serde_tuple!(1 => A: 0);
+impl_serde_tuple!(2 => A: 0, B: 1);
+impl_serde_tuple!(3 => A: 0, B: 1, C: 2);
+impl_serde_tuple!(4 => A: 0, B: 1, C: 2, D: 3);
+
+/// Helper used by generated deserializers for missing non-skipped fields.
+///
+/// # Errors
+///
+/// Always errors; exists so generated code reads naturally.
+pub fn missing_field<T>(name: &str) -> Result<T, DeError> {
+    Err(DeError::custom(format!("missing field `{name}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(u32::deserialize(&7u32.serialize()), Ok(7));
+        assert_eq!(f64::deserialize(&1.5f64.serialize()), Ok(1.5));
+        assert_eq!(bool::deserialize(&true.serialize()), Ok(true));
+        assert_eq!(
+            String::deserialize(&String::from("hi").serialize()),
+            Ok(String::from("hi"))
+        );
+        assert_eq!(
+            Vec::<u8>::deserialize(&vec![1u8, 2].serialize()),
+            Ok(vec![1, 2])
+        );
+        assert_eq!(Option::<u8>::deserialize(&Value::Null), Ok(None));
+        assert_eq!(Option::<u8>::deserialize(&3u8.serialize()), Ok(Some(3)));
+    }
+
+    #[test]
+    fn integers_reject_fractions_and_overflow() {
+        assert!(u8::deserialize(&Value::Number(1.5)).is_err());
+        assert!(u8::deserialize(&Value::Number(300.0)).is_err());
+        assert!(i8::deserialize(&Value::Number(-129.0)).is_err());
+    }
+}

@@ -1,0 +1,270 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Hand-rolled derive macros (no `syn`/`quote` — those can't be fetched in
+//! the air-gapped build). Two item shapes are supported, which covers every
+//! derive in the workspace:
+//!
+//! * structs with named fields — serialized as a JSON object keyed by field
+//!   name; `#[serde(skip)]` fields are omitted on serialize and rebuilt
+//!   with `Default::default()` on deserialize;
+//! * enums with unit variants — serialized as the variant name string.
+//!
+//! Anything richer (tuple structs, data-carrying variants, generics) panics
+//! at expansion time with a clear message, so unsupported uses fail the
+//! build loudly instead of producing wrong JSON.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the stand-in `serde::Serialize` for named-field structs and
+/// unit-variant enums.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut inserts = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                inserts.push_str(&format!(
+                    "m.insert(\"{name}\", ::serde::Serialize::serialize(&self.{name}));\n",
+                    name = f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         {inserts}\
+                         ::serde::Value::Object(m)\n\
+                     }}\n\
+                 }}",
+                name = item.name,
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Self::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::String(String::from(match self {{\n{arms}}}))\n\
+                     }}\n\
+                 }}",
+                name = item.name,
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the stand-in `serde::Deserialize` for named-field structs and
+/// unit-variant enums.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let code = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!(
+                        "{name}: match m.get(\"{name}\") {{\n\
+                             Some(x) => ::serde::Deserialize::deserialize(x)?,\n\
+                             None => return ::serde::missing_field(\"{name}\"),\n\
+                         }},\n",
+                        name = f.name
+                    ));
+                }
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let m = v.as_object().ok_or_else(|| ::serde::DeError::custom(\n\
+                             \"expected object for {name}\"))?;\n\
+                         Ok({name} {{\n{inits}}})\n\
+                     }}\n\
+                 }}",
+                name = item.name,
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => Ok(Self::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::String(s) => match s.as_str() {{\n\
+                                 {arms}\
+                                 other => Err(::serde::DeError::custom(format!(\n\
+                                     \"unknown {name} variant {{other}}\"))),\n\
+                             }},\n\
+                             other => Err(::serde::DeError::custom(format!(\n\
+                                 \"expected string for {name}, found {{other:?}}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                name = item.name,
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
+
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+enum Shape {
+    Struct(Vec<Field>),
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// `true` if this `#[...]` attribute group is `#[serde(skip)]`.
+fn attr_is_serde_skip(group: &proc_macro::Group) -> bool {
+    let mut inner = group.stream().into_iter();
+    match (inner.next(), inner.next()) {
+        (Some(TokenTree::Ident(head)), Some(TokenTree::Group(args)))
+            if head.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Consumes leading `#[...]` attributes; returns whether any was
+/// `#[serde(skip)]`.
+fn eat_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut skip = false;
+    while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        tokens.next();
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                skip |= attr_is_serde_skip(&g);
+            }
+            other => panic!("serde stand-in derive: malformed attribute near {other:?}"),
+        }
+    }
+    skip
+}
+
+/// Consumes an optional `pub` / `pub(...)` visibility.
+fn eat_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if matches!(tokens.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        tokens.next();
+        if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            tokens.next();
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    eat_attrs(&mut tokens);
+    eat_vis(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde stand-in derive: expected struct/enum, found {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde stand-in derive: expected item name, found {other:?}"),
+    };
+    let body = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => panic!(
+            "serde stand-in derive: generic item `{name}` is unsupported; \
+             write manual Serialize/Deserialize impls"
+        ),
+        other => panic!(
+            "serde stand-in derive: `{name}` must be a braced struct or enum \
+             (tuple/unit items unsupported), found {other:?}"
+        ),
+    };
+    let shape = match kind.as_str() {
+        "struct" => Shape::Struct(parse_named_fields(&name, body.stream())),
+        "enum" => Shape::Enum(parse_unit_variants(&name, body.stream())),
+        other => panic!("serde stand-in derive: unsupported item kind `{other}`"),
+    };
+    Item { name, shape }
+}
+
+fn parse_named_fields(owner: &str, stream: TokenStream) -> Vec<Field> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        if tokens.peek().is_none() {
+            break;
+        }
+        let skip = eat_attrs(&mut tokens);
+        eat_vis(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde stand-in derive: bad field in `{owner}`: {other:?}"),
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!(
+                "serde stand-in derive: field `{owner}.{name}` must be named \
+                 (`ident: Type`), found {other:?}"
+            ),
+        }
+        // Swallow the type: everything until a comma at angle-bracket depth 0.
+        let mut angle_depth = 0i32;
+        for tok in tokens.by_ref() {
+            match &tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+                _ => {}
+            }
+        }
+        fields.push(Field { name, skip });
+    }
+    fields
+}
+
+fn parse_unit_variants(owner: &str, stream: TokenStream) -> Vec<String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        if tokens.peek().is_none() {
+            break;
+        }
+        eat_attrs(&mut tokens);
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("serde stand-in derive: bad variant in `{owner}`: {other:?}"),
+        };
+        match tokens.next() {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            Some(other) => panic!(
+                "serde stand-in derive: enum `{owner}` variant `{name}` carries \
+                 data ({other:?}); only unit variants are supported"
+            ),
+        }
+    }
+    variants
+}
