@@ -18,7 +18,7 @@ use cdba_core::combined::Combined;
 use cdba_core::config::{CombinedConfig, InnerMulti, MultiConfig, SingleConfig};
 use cdba_core::multi::{Continuous, Phased};
 use cdba_core::single::{LookbackSingle, SingleSession};
-use cdba_ctrl::{ControlPlane, ExecMode, ServiceConfig};
+use cdba_ctrl::{ControlPlane, ExecMode, FaultPlan, ServiceConfig};
 use cdba_offline::multi::greedy_multi_offline;
 use cdba_offline::single::greedy_offline;
 use cdba_offline::OfflineConstraints;
@@ -73,7 +73,9 @@ usage: cdba-cli <command> [options]
   serve    --sessions N [--shards S] [--ticks T] [--seed X] [--model M]
            [--bandwidth B] [--group-bandwidth B_O] [--delay D] [--utilization U]
            [--window W] [--group-size G] [--pool-frac F] [--churn-every C]
-           [--budget B_A] [--quota Q] [--exec inline|threaded] [--json FILE]";
+           [--budget B_A] [--quota Q] [--exec inline|threaded] [--json FILE]
+           [--fault SHARD@TICK:<kill|hang:MS|delay:MS>] [--checkpoint-every N]
+           [--max-restarts R] [--shard-timeout-ms MS]";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -389,6 +391,13 @@ fn serve(args: &[String]) -> CliResult {
         Some("inline") => ExecMode::Inline,
         Some(other) => return Err(format!("unknown --exec {other} (inline|threaded)")),
     };
+    let checkpoint_every: u64 = get_parse(&flags, "checkpoint-every", 64)?;
+    let max_restarts: u32 = get_parse(&flags, "max-restarts", 3)?;
+    let shard_timeout_ms: u64 = get_parse(&flags, "shard-timeout-ms", 2000)?;
+    let fault: Option<FaultPlan> = match flags.get("fault") {
+        Some(spec) => Some(spec.parse()?),
+        None => None,
+    };
 
     // Split the population: `pool_frac` of the sessions run in pooled
     // groups of `group_size`, the rest get dedicated allocators.
@@ -410,7 +419,7 @@ fn serve(args: &[String]) -> CliResult {
     let budget: f64 = get_parse(&flags, "budget", default_budget)?;
     let quota: f64 = get_parse(&flags, "quota", budget)?;
 
-    let cfg = ServiceConfig::builder(budget)
+    let mut builder = ServiceConfig::builder(budget)
         .default_quota(quota)
         .session_b_max(b_max)
         .group_b_o(b_o)
@@ -420,8 +429,13 @@ fn serve(args: &[String]) -> CliResult {
         .shards(shards)
         .cost(CostModel::with_change_price(1.0))
         .exec(exec)
-        .build()
-        .map_err(|e| e.to_string())?;
+        .checkpoint_every(checkpoint_every)
+        .max_restarts(max_restarts)
+        .shard_timeout_ms(shard_timeout_ms);
+    if let Some(plan) = fault {
+        builder = builder.fault(plan);
+    }
+    let cfg = builder.build().map_err(|e| e.to_string())?;
 
     // A bank of feasible arrival rows, tiled across the run: session key k
     // replays row k mod rows. Feasibility targets the tighter of the
@@ -499,7 +513,7 @@ fn serve(args: &[String]) -> CliResult {
         service.tick(&arrivals).map_err(|e| e.to_string())?;
     }
     let elapsed = started.elapsed().as_secs_f64();
-    let snapshot = service.snapshot();
+    let snapshot = service.snapshot().map_err(|e| e.to_string())?;
     service.shutdown();
 
     let throughput = if elapsed > 0.0 {
@@ -530,6 +544,25 @@ fn serve(args: &[String]) -> CliResult {
         snapshot.admitted,
         snapshot.rejected,
     );
+    if snapshot.restarts > 0 || snapshot.health.iter().any(|h| !h.healthy) {
+        let down: Vec<u64> = snapshot
+            .health
+            .iter()
+            .filter(|h| !h.healthy)
+            .map(|h| h.shard)
+            .collect();
+        println!(
+            "supervision: {} restart(s), {} journal event(s) replayed, {} shard(s) down{}",
+            snapshot.restarts,
+            snapshot.events_replayed,
+            down.len(),
+            if down.is_empty() {
+                String::new()
+            } else {
+                format!(" ({down:?})")
+            },
+        );
+    }
     let summary = serde_json::json!({
         "sessions": sessions,
         "shards": shards,
@@ -539,8 +572,11 @@ fn serve(args: &[String]) -> CliResult {
         "session_ticks_per_sec": throughput,
         "admitted": snapshot.admitted,
         "rejected": snapshot.rejected,
+        "restarts": snapshot.restarts,
+        "events_replayed": snapshot.events_replayed,
         "global": serde_json::to_value(&snapshot.global),
         "per_shard": serde_json::to_value(&snapshot.per_shard),
+        "health": serde_json::to_value(&snapshot.health),
     });
     println!(
         "{}",

@@ -82,7 +82,7 @@ pub mod prelude {
     pub use cdba_core::config::{CombinedConfig, InnerMulti, MultiConfig, SingleConfig};
     pub use cdba_core::multi::{Continuous, Phased};
     pub use cdba_core::single::{LookbackSingle, SingleSession};
-    pub use cdba_ctrl::{ControlPlane, ExecMode, ServiceConfig, ServiceSnapshot};
+    pub use cdba_ctrl::{ControlPlane, ExecMode, FaultPlan, ServiceConfig, ServiceSnapshot};
     pub use cdba_sim::engine::{simulate, simulate_multi, DrainPolicy};
     pub use cdba_sim::verify::{verify_multi, verify_single};
     pub use cdba_sim::{Allocator, MultiAllocator, Schedule};
@@ -123,7 +123,7 @@ mod tests {
         for _ in 0..8 {
             service.tick(&[(key, 2.0)]).unwrap();
         }
-        let snapshot: ServiceSnapshot = service.snapshot();
+        let snapshot: ServiceSnapshot = service.snapshot().unwrap();
         assert_eq!(snapshot.global.sessions, 1);
         assert!(snapshot.global.signalling_cost > 0.0);
     }

@@ -13,7 +13,30 @@
 //! the grace value `B_A` (nothing constrains the offline from above yet).
 //! `high` is non-increasing over the stage (a running minimum).
 
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// The full internal state of a [`HighTracker`], exported for
+/// checkpointing. Restoring reproduces the tracker bitwise.
+/// `min_window_sum` is `None` while in grace (internally `+∞`, which
+/// JSON cannot carry).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HighTrackerState {
+    /// Utilization bound `U_O`.
+    pub u_o: f64,
+    /// Window length in ticks.
+    pub w: usize,
+    /// Grace value (the stage's `B_A`).
+    pub grace: f64,
+    /// Last up-to-`w` per-tick arrivals, oldest first.
+    pub window: Vec<f64>,
+    /// Running sum of `window`.
+    pub window_sum: f64,
+    /// Minimum full-window sum seen, or `None` during grace.
+    pub min_window_sum: Option<f64>,
+    /// Stage ticks consumed so far.
+    pub ticks: usize,
+}
 
 /// Incremental tracker for `high(t)`: O(1) per tick, O(W) memory.
 ///
@@ -100,6 +123,37 @@ impl HighTracker {
     pub fn in_grace(&self) -> bool {
         self.min_window_sum.is_infinite()
     }
+
+    /// Exports the full internal state (for checkpointing).
+    pub fn state(&self) -> HighTrackerState {
+        HighTrackerState {
+            u_o: self.u_o,
+            w: self.w,
+            grace: self.grace,
+            window: self.window.iter().copied().collect(),
+            window_sum: self.window_sum,
+            min_window_sum: if self.min_window_sum.is_infinite() {
+                None
+            } else {
+                Some(self.min_window_sum)
+            },
+            ticks: self.ticks,
+        }
+    }
+
+    /// Rebuilds a tracker from an exported state, bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`HighTracker::new`].
+    pub fn restore(state: &HighTrackerState) -> Self {
+        let mut t = HighTracker::new(state.u_o, state.w, state.grace);
+        t.window = state.window.iter().copied().collect();
+        t.window_sum = state.window_sum;
+        t.min_window_sum = state.min_window_sum.unwrap_or(f64::INFINITY);
+        t.ticks = state.ticks;
+        t
+    }
 }
 
 #[cfg(test)]
@@ -154,5 +208,29 @@ mod tests {
     #[should_panic(expected = "utilization")]
     fn bad_utilization_rejected() {
         HighTracker::new(0.0, 4, 8.0);
+    }
+
+    #[test]
+    fn state_roundtrip_is_bitwise_in_and_out_of_grace() {
+        // In grace: min_window_sum is ∞ and must survive as None.
+        let mut g = HighTracker::new(0.5, 8, 64.0);
+        g.push(3.0);
+        let gs = g.state();
+        assert_eq!(gs.min_window_sum, None);
+        let restored = HighTracker::restore(&gs);
+        assert!(restored.in_grace());
+        assert_eq!(restored.high().to_bits(), g.high().to_bits());
+
+        // Past grace: full lockstep continuation.
+        let mut t = HighTracker::new(0.25, 3, 32.0);
+        for a in [4.0, 0.0, 9.0, 2.0] {
+            t.push(a);
+        }
+        let state = t.state();
+        let mut r = HighTracker::restore(&state);
+        assert_eq!(r.state(), state);
+        for a in [0.0, 11.0, 5.0] {
+            assert_eq!(t.push(a).to_bits(), r.push(a).to_bits());
+        }
     }
 }

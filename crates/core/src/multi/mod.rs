@@ -22,4 +22,4 @@ pub mod pool;
 
 pub use continuous::Continuous;
 pub use phased::Phased;
-pub use pool::SessionPool;
+pub use pool::{PoolCheckpoint, SessionPool, SlotCheckpoint};

@@ -18,11 +18,26 @@ use crate::config::MultiConfig;
 use crate::stage::{StageKind, StageLog};
 use cdba_sim::BitQueue;
 use cdba_traffic::EPS;
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Opaque session identifier issued by [`SessionPool::join`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct SessionId(u64);
+
+impl SessionId {
+    /// The raw numeric id — for serialization (checkpoints) only; ids stay
+    /// opaque everywhere else.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an id from its raw value. Only meaningful with values that
+    /// came out of [`SessionId::raw`] for the same pool.
+    pub fn from_raw(raw: u64) -> Self {
+        SessionId(raw)
+    }
+}
 
 /// Error returned by pool operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -52,6 +67,45 @@ struct Slot {
     qr: BitQueue,
     qo: BitQueue,
     leaving: bool,
+}
+
+/// A restorable snapshot of one pool slot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotCheckpoint {
+    /// Raw session id ([`SessionId::raw`]).
+    pub id: u64,
+    /// Regular-channel bandwidth.
+    pub br: f64,
+    /// Overflow-channel bandwidth.
+    pub bo: f64,
+    /// Regular-queue backlog in bits.
+    pub qr_backlog: f64,
+    /// Overflow-queue backlog in bits.
+    pub qo_backlog: f64,
+    /// `true` if the session is draining out.
+    pub leaving: bool,
+}
+
+/// A complete, restorable snapshot of a [`SessionPool`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolCheckpoint {
+    /// The pool configuration.
+    pub cfg: MultiConfig,
+    /// Per-slot state, in slot order (slot order is part of the state:
+    /// allocations are reported in it).
+    pub slots: Vec<SlotCheckpoint>,
+    /// Arrivals submitted but not yet ticked, as `(slot index, bits)`.
+    pub pending: Vec<(usize, f64)>,
+    /// Next id to issue.
+    pub next_id: u64,
+    /// Ticks processed so far.
+    pub tick: usize,
+    /// Tick the current phase schedule is anchored at.
+    pub phase_anchor: usize,
+    /// The stage log.
+    pub stages: StageLog,
+    /// Membership changes so far.
+    pub membership_changes: usize,
 }
 
 /// A phased multi-session allocator over a dynamic session set.
@@ -231,6 +285,66 @@ impl SessionPool {
         out
     }
 
+    /// Exports a complete snapshot of the pool; feeding identical
+    /// submit/tick/join/leave sequences to the original and to
+    /// [`SessionPool::restore`]'s result produces bitwise-identical
+    /// allocations and ids.
+    pub fn checkpoint(&self) -> PoolCheckpoint {
+        PoolCheckpoint {
+            cfg: self.cfg.clone(),
+            slots: self
+                .slots
+                .iter()
+                .map(|s| SlotCheckpoint {
+                    id: s.id.raw(),
+                    br: s.br,
+                    bo: s.bo,
+                    qr_backlog: s.qr.backlog(),
+                    qo_backlog: s.qo.backlog(),
+                    leaving: s.leaving,
+                })
+                .collect(),
+            pending: self.pending.clone(),
+            next_id: self.next_id,
+            tick: self.tick,
+            phase_anchor: self.phase_anchor,
+            stages: self.stages.clone(),
+            membership_changes: self.membership_changes,
+        }
+    }
+
+    /// Rebuilds a pool from a checkpoint, bitwise.
+    pub fn restore(cp: &PoolCheckpoint) -> Self {
+        let slots = cp
+            .slots
+            .iter()
+            .map(|s| {
+                let mut qr = BitQueue::new();
+                qr.inject(s.qr_backlog);
+                let mut qo = BitQueue::new();
+                qo.inject(s.qo_backlog);
+                Slot {
+                    id: SessionId::from_raw(s.id),
+                    br: s.br,
+                    bo: s.bo,
+                    qr,
+                    qo,
+                    leaving: s.leaving,
+                }
+            })
+            .collect();
+        SessionPool {
+            cfg: cp.cfg.clone(),
+            slots,
+            pending: cp.pending.clone(),
+            next_id: cp.next_id,
+            tick: cp.tick,
+            phase_anchor: cp.phase_anchor,
+            stages: cp.stages.clone(),
+            membership_changes: cp.membership_changes,
+        }
+    }
+
     fn quantum(&self) -> f64 {
         let k = self.active().max(1);
         self.cfg.b_o / k as f64
@@ -392,6 +506,48 @@ mod tests {
             worst_lag <= EPS,
             "stable session lagged by {worst_lag} bits"
         );
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bitwise_under_churn() {
+        let mut p = SessionPool::new(MultiConfig::new(2, 16.0, 4).unwrap());
+        let a = p.join();
+        let b = p.join();
+        for t in 0..13 {
+            p.submit(a, (t % 5) as f64).unwrap();
+            p.submit(b, 2.5).unwrap();
+            p.tick();
+        }
+        p.leave(b).unwrap();
+        let cp = p.checkpoint();
+        let mut twin = SessionPool::restore(&cp);
+        assert_eq!(twin.checkpoint(), cp, "restore not idempotent");
+        // Continue both in lockstep through more churn.
+        let c = p.join();
+        let c2 = twin.join();
+        assert_eq!(c, c2, "restored pool must issue the same ids");
+        for t in 0..20 {
+            p.submit(a, 1.0 + t as f64).unwrap();
+            twin.submit(a, 1.0 + t as f64).unwrap();
+            p.submit(c, 3.0).unwrap();
+            twin.submit(c, 3.0).unwrap();
+            let x = p.tick();
+            let y = twin.tick();
+            assert_eq!(x.len(), y.len());
+            for ((id1, a1), (id2, a2)) in x.iter().zip(&y) {
+                assert_eq!(id1, id2);
+                assert_eq!(a1.to_bits(), a2.to_bits(), "divergence at tick {t}");
+            }
+        }
+        assert_eq!(p.stage_log(), twin.stage_log());
+        assert_eq!(p.membership_changes(), twin.membership_changes());
+    }
+
+    #[test]
+    fn session_id_raw_roundtrip() {
+        let mut p = pool();
+        let a = p.join();
+        assert_eq!(SessionId::from_raw(a.raw()), a);
     }
 
     #[test]

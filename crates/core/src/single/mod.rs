@@ -15,5 +15,5 @@
 mod algorithm;
 mod lookback;
 
-pub use algorithm::SingleSession;
+pub use algorithm::{SingleCheckpoint, SingleSession};
 pub use lookback::LookbackSingle;

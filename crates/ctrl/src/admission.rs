@@ -156,6 +156,15 @@ impl AdmissionController {
         Ok(())
     }
 
+    /// Undoes a just-granted [`AdmissionController::request`] whose join
+    /// could not be delivered to its shard: releases the envelope *and*
+    /// retracts the admitted count, so the failed join never shows up in
+    /// metrics as admitted.
+    pub fn rollback(&mut self, tenant: &str, demand: f64) {
+        self.release(tenant, demand);
+        self.admitted = self.admitted.saturating_sub(1);
+    }
+
     /// Releases a previously admitted envelope (on leave).
     pub fn release(&mut self, tenant: &str, demand: f64) {
         let demand = demand.max(0.0);
@@ -219,6 +228,18 @@ mod tests {
             c.release("a", 10.0);
         }
         assert!(c.request("a", 10.0).is_ok());
+    }
+
+    #[test]
+    fn rollback_undoes_the_admit_count() {
+        let mut c = AdmissionController::new(100.0, 100.0);
+        c.request("a", 40.0).unwrap();
+        c.request("a", 40.0).unwrap();
+        assert_eq!(c.admitted(), 2);
+        c.rollback("a", 40.0);
+        assert_eq!(c.admitted(), 1);
+        assert_eq!(c.committed_to("a"), 40.0);
+        assert_eq!(c.available(), 60.0);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! `(B_O, D_O)` — and the admission envelopes are the theorems' bandwidth
 //! bounds for those configurations.
 
+use crate::fault::FaultPlan;
 use crate::CtrlError;
 use cdba_analysis::cost::CostModel;
 use cdba_core::config::{MultiConfig, SingleConfig};
@@ -47,6 +48,19 @@ pub struct ServiceConfig {
     pub cost: CostModel,
     /// Execution backend.
     pub exec: ExecMode,
+    /// Ticks between periodic shard checkpoints (threaded mode). `0`
+    /// disables checkpointing *and* the in-driver journal, so a failed
+    /// shard cannot be recovered and is marked down on its first fault.
+    pub checkpoint_every: u64,
+    /// How many times the supervisor restarts one shard before declaring
+    /// it permanently down.
+    pub max_restarts: u32,
+    /// How long the driver waits on an unresponsive shard (a full event
+    /// queue, or a missing snapshot reply) before restarting it.
+    pub shard_timeout_ms: u64,
+    /// An injected fault for the supervision test harness; `None` in
+    /// production. Threaded mode only.
+    pub fault: Option<FaultPlan>,
 }
 
 impl ServiceConfig {
@@ -63,6 +77,10 @@ impl ServiceConfig {
             shards: 1,
             cost: CostModel::with_change_price(1.0),
             exec: ExecMode::Threaded,
+            checkpoint_every: 64,
+            max_restarts: 3,
+            shard_timeout_ms: 2000,
+            fault: None,
         }
     }
 
@@ -107,6 +125,10 @@ pub struct ServiceConfigBuilder {
     shards: usize,
     cost: CostModel,
     exec: ExecMode,
+    checkpoint_every: u64,
+    max_restarts: u32,
+    shard_timeout_ms: u64,
+    fault: Option<FaultPlan>,
 }
 
 impl ServiceConfigBuilder {
@@ -164,6 +186,31 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Sets the shard checkpoint period in ticks (`0` disables recovery).
+    /// Default 64.
+    pub fn checkpoint_every(mut self, ticks: u64) -> Self {
+        self.checkpoint_every = ticks;
+        self
+    }
+
+    /// Sets the per-shard restart budget. Default 3.
+    pub fn max_restarts(mut self, restarts: u32) -> Self {
+        self.max_restarts = restarts;
+        self
+    }
+
+    /// Sets the unresponsive-shard timeout in milliseconds. Default 2000.
+    pub fn shard_timeout_ms(mut self, millis: u64) -> Self {
+        self.shard_timeout_ms = millis;
+        self
+    }
+
+    /// Injects a fault plan for the supervision test harness. Default none.
+    pub fn fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
     /// Validates and builds.
     ///
     /// # Errors
@@ -197,6 +244,24 @@ impl ServiceConfigBuilder {
                 )));
             }
         }
+        if self.shard_timeout_ms == 0 {
+            return Err(CtrlError::InvalidService(
+                "shard timeout must be at least one millisecond".into(),
+            ));
+        }
+        if let Some(fault) = &self.fault {
+            if self.exec == ExecMode::Inline {
+                return Err(CtrlError::InvalidService(
+                    "fault injection requires threaded execution".into(),
+                ));
+            }
+            if fault.shard >= self.shards {
+                return Err(CtrlError::InvalidService(format!(
+                    "fault targets shard {} but only {} shards exist",
+                    fault.shard, self.shards
+                )));
+            }
+        }
         // Delegate the algorithm-parameter checks to the core builders.
         SingleConfig::builder(self.session_b_max)
             .offline_delay(self.d_o)
@@ -216,6 +281,10 @@ impl ServiceConfigBuilder {
             shards: self.shards,
             cost: self.cost,
             exec: self.exec,
+            checkpoint_every: self.checkpoint_every,
+            max_restarts: self.max_restarts,
+            shard_timeout_ms: self.shard_timeout_ms,
+            fault: self.fault,
         })
     }
 }
@@ -253,6 +322,36 @@ mod tests {
         ));
         assert!(matches!(
             ServiceConfig::builder(64.0).default_quota(-1.0).build(),
+            Err(CtrlError::InvalidService(_))
+        ));
+    }
+
+    #[test]
+    fn fault_plans_are_validated() {
+        // Inline execution cannot host a fault.
+        assert!(matches!(
+            ServiceConfig::builder(64.0)
+                .exec(ExecMode::Inline)
+                .fault(FaultPlan::kill(0, 5))
+                .build(),
+            Err(CtrlError::InvalidService(_))
+        ));
+        // The targeted shard must exist.
+        assert!(matches!(
+            ServiceConfig::builder(64.0)
+                .shards(2)
+                .fault(FaultPlan::kill(2, 5))
+                .build(),
+            Err(CtrlError::InvalidService(_))
+        ));
+        let cfg = ServiceConfig::builder(64.0)
+            .shards(2)
+            .fault(FaultPlan::hang(1, 5, 100))
+            .build()
+            .unwrap();
+        assert_eq!(cfg.fault, Some(FaultPlan::hang(1, 5, 100)));
+        assert!(matches!(
+            ServiceConfig::builder(64.0).shard_timeout_ms(0).build(),
             Err(CtrlError::InvalidService(_))
         ));
     }

@@ -9,11 +9,19 @@
 //!   Theorem 14 bound `4·B_O` for a phased group — still fits under the
 //!   aggregate budget and the tenant's quota. This is what makes the
 //!   paper's "the link can always grant the allocation" assumption true.
-//! - **Sharded execution** ([`service`], [`shard`]): sessions are spread
-//!   round-robin over worker shards (threads fed by bounded channels, or an
-//!   inline single-threaded fallback) and driven tick-batched through the
-//!   existing machines — [`SingleSession`] allocators for dedicated
-//!   sessions, one [`SessionPool`] per pooled group.
+//! - **Sharded execution** ([`service`], [`shard`]): sessions are placed
+//!   on the least-loaded healthy worker shard (threads fed by bounded
+//!   channels, or an inline single-threaded fallback) and driven
+//!   tick-batched through the existing machines — [`SingleSession`]
+//!   allocators for dedicated sessions, one [`SessionPool`] per pooled
+//!   group.
+//! - **Shard supervision** ([`service`], [`fault`]): workers run under
+//!   `catch_unwind` and report typed failures; the driver restarts a
+//!   failed shard from its last periodic checkpoint plus a bounded
+//!   journal replay, surfaces `restarts` / `events_replayed` / per-shard
+//!   health in the snapshot, and degrades to typed [`CtrlError::ShardDown`]
+//!   errors instead of panicking when recovery is disabled or exhausted.
+//!   A [`FaultPlan`] injects kills, hangs, and delays for testing.
 //! - **Signalling-cost metering** ([`meter`]): every allocation change is
 //!   charged under the §1 pricing (via [`cdba_analysis::cost`]) and each
 //!   session's delay, peak allocation, and windowed utilization are tracked
@@ -44,13 +52,14 @@
 //! for t in 0..32u64 {
 //!     service.tick(&[(a, (t % 3) as f64), (b, 1.0)]).unwrap();
 //! }
-//! let snapshot = service.snapshot();
+//! let snapshot = service.snapshot().unwrap();
 //! assert_eq!(snapshot.global.sessions, 2);
 //! assert!(snapshot.global.changes > 0);
 //! ```
 
 pub mod admission;
 pub mod config;
+pub mod fault;
 pub mod meter;
 pub mod metrics;
 pub mod service;
@@ -58,8 +67,9 @@ pub(crate) mod shard;
 
 pub use admission::{AdmissionController, AdmissionError};
 pub use config::{ExecMode, ServiceConfig, ServiceConfigBuilder};
+pub use fault::{FaultKind, FaultPlan};
 pub use meter::{SessionMetrics, SignallingMeter};
-pub use metrics::{GlobalMetrics, ServiceSnapshot, ShardMetrics};
+pub use metrics::{GlobalMetrics, ServiceSnapshot, ShardHealth, ShardMetrics};
 pub use service::ControlPlane;
 
 use std::fmt;
@@ -76,6 +86,23 @@ pub enum CtrlError {
     UnknownSession(u64),
     /// A service-level parameter or request was invalid.
     InvalidService(String),
+    /// A shard worker failed and could not be recovered (its restart
+    /// budget is exhausted, or recovery is disabled).
+    ShardDown {
+        /// The failed shard.
+        shard: usize,
+        /// The last failure reason the supervisor recorded.
+        reason: String,
+    },
+    /// A tick named a session with non-finite or negative arrival bits.
+    InvalidArrival {
+        /// The offending session key.
+        session: u64,
+        /// The rejected bit count.
+        bits: f64,
+    },
+    /// A tick listed the same session key twice.
+    DuplicateArrival(u64),
 }
 
 impl fmt::Display for CtrlError {
@@ -85,6 +112,15 @@ impl fmt::Display for CtrlError {
             CtrlError::Admission(e) => write!(f, "admission rejected: {e}"),
             CtrlError::UnknownSession(key) => write!(f, "unknown session {key}"),
             CtrlError::InvalidService(msg) => write!(f, "invalid service request: {msg}"),
+            CtrlError::ShardDown { shard, reason } => {
+                write!(f, "shard {shard} is down: {reason}")
+            }
+            CtrlError::InvalidArrival { session, bits } => {
+                write!(f, "invalid arrival of {bits} bits for session {session}")
+            }
+            CtrlError::DuplicateArrival(key) => {
+                write!(f, "session {key} listed twice in one tick")
+            }
         }
     }
 }

@@ -18,11 +18,25 @@
 //!   allocation (the paper's local utilization, folded online).
 
 use cdba_analysis::cost::CostModel;
-use cdba_sim::streaming::OnlineDelayTracker;
+use cdba_sim::streaming::{DelayTrackerState, OnlineDelayTracker};
 use cdba_sim::BitQueue;
 use cdba_traffic::EPS;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// Rounds an exact (possibly fractional) delay up to reported whole ticks,
+/// with explicit non-finite handling: NaN and non-positive values report
+/// 0, `+∞` saturates to `u64::MAX`. A measured delay of 2.9 ticks reports
+/// as 3, never truncated to 2.
+fn delay_ticks(exact: f64) -> u64 {
+    if exact.is_nan() || exact <= 0.0 {
+        0
+    } else if exact.is_infinite() {
+        u64::MAX
+    } else {
+        exact.ceil() as u64
+    }
+}
 
 /// The metered totals of one session, exported in snapshots.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -63,6 +77,42 @@ impl SessionMetrics {
     pub fn total_cost(&self) -> f64 {
         self.signalling_cost + self.bandwidth_cost
     }
+}
+
+/// The full internal state of a [`SignallingMeter`], exported for shard
+/// checkpoints. Restoring reproduces the meter bitwise.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MeterCheckpoint {
+    /// The pricing model.
+    pub cost: CostModel,
+    /// Utilization window in ticks.
+    pub window: usize,
+    /// Shadow link-queue backlog in bits.
+    pub shadow_backlog: f64,
+    /// Delay-tracker state.
+    pub delay: DelayTrackerState,
+    /// `(arrivals, allocation)` of the last up-to-`window` ticks.
+    pub recent: Vec<(f64, f64)>,
+    /// Rolling sum of windowed arrivals.
+    pub window_arrived: f64,
+    /// Rolling sum of windowed allocation.
+    pub window_allocated: f64,
+    /// Minimum windowed utilization so far.
+    pub min_windowed_utilization: Option<f64>,
+    /// Allocation of the previous tick (change detection).
+    pub current_alloc: f64,
+    /// Ticks metered.
+    pub ticks: u64,
+    /// Allocation changes counted.
+    pub changes: u64,
+    /// Peak single-tick allocation.
+    pub peak_allocation: f64,
+    /// Total bits arrived.
+    pub total_arrived: f64,
+    /// Total bits served.
+    pub total_served: f64,
+    /// Total allocated bandwidth.
+    pub total_allocated: f64,
 }
 
 /// Online meter for one session; see the module docs.
@@ -165,6 +215,51 @@ impl SignallingMeter {
         self.shadow.is_empty()
     }
 
+    /// Exports the full meter state; [`SignallingMeter::restore`] rebuilds
+    /// a meter that meters identically, bitwise.
+    pub fn checkpoint(&self) -> MeterCheckpoint {
+        MeterCheckpoint {
+            cost: self.cost,
+            window: self.window,
+            shadow_backlog: self.shadow.backlog(),
+            delay: self.delay.state(),
+            recent: self.recent.iter().copied().collect(),
+            window_arrived: self.window_arrived,
+            window_allocated: self.window_allocated,
+            min_windowed_utilization: self.min_windowed_utilization,
+            current_alloc: self.current_alloc,
+            ticks: self.ticks,
+            changes: self.changes,
+            peak_allocation: self.peak_allocation,
+            total_arrived: self.total_arrived,
+            total_served: self.total_served,
+            total_allocated: self.total_allocated,
+        }
+    }
+
+    /// Rebuilds a meter from a checkpoint, bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cp.window == 0` (as [`SignallingMeter::new`] would).
+    pub fn restore(cp: &MeterCheckpoint) -> Self {
+        let mut m = SignallingMeter::new(cp.cost, cp.window);
+        m.shadow.inject(cp.shadow_backlog);
+        m.delay = OnlineDelayTracker::restore(&cp.delay);
+        m.recent = cp.recent.iter().copied().collect();
+        m.window_arrived = cp.window_arrived;
+        m.window_allocated = cp.window_allocated;
+        m.min_windowed_utilization = cp.min_windowed_utilization;
+        m.current_alloc = cp.current_alloc;
+        m.ticks = cp.ticks;
+        m.changes = cp.changes;
+        m.peak_allocation = cp.peak_allocation;
+        m.total_arrived = cp.total_arrived;
+        m.total_served = cp.total_served;
+        m.total_allocated = cp.total_allocated;
+        m
+    }
+
     /// The metered totals so far, labelled for export.
     pub fn metrics(&self, session: u64, tenant: &str, shard: u64) -> SessionMetrics {
         SessionMetrics {
@@ -174,7 +269,7 @@ impl SignallingMeter {
             ticks: self.ticks,
             changes: self.changes,
             peak_allocation: self.peak_allocation,
-            max_delay: self.delay.max_delay() as u64,
+            max_delay: delay_ticks(self.delay.max_delay_exact()),
             total_arrived: self.total_arrived,
             total_served: self.total_served,
             total_allocated: self.total_allocated,
@@ -249,6 +344,48 @@ mod tests {
         }
         assert_eq!(m.metrics(0, "t", 0).windowed_utilization, None);
         assert_eq!(m.metrics(0, "t", 0).changes, 0);
+    }
+
+    #[test]
+    fn fractional_delays_report_ceil_not_truncation() {
+        // 10 bits arrive, then 4/tick: the last bit leaves midway through
+        // the third service tick (exact delay 2.5), which must report as 3.
+        let mut m = meter();
+        m.record(10.0, 0.0);
+        m.record(0.0, 4.0);
+        m.record(0.0, 4.0);
+        m.record(0.0, 4.0);
+        assert_eq!(m.metrics(0, "t", 0).max_delay, 3);
+        assert!(m.is_drained());
+    }
+
+    #[test]
+    fn delay_ticks_handles_non_finite_explicitly() {
+        assert_eq!(delay_ticks(0.0), 0);
+        assert_eq!(delay_ticks(-1.0), 0);
+        assert_eq!(delay_ticks(f64::NAN), 0);
+        assert_eq!(delay_ticks(f64::NEG_INFINITY), 0);
+        assert_eq!(delay_ticks(f64::INFINITY), u64::MAX);
+        assert_eq!(delay_ticks(2.9), 3);
+        assert_eq!(delay_ticks(3.0), 3);
+        assert_eq!(delay_ticks(1e-12), 1);
+    }
+
+    #[test]
+    fn checkpoint_restore_is_bitwise() {
+        let mut m = meter();
+        for (a, b) in [(2.0, 4.0), (9.0, 4.0), (0.0, 8.0), (1.0, 0.0)] {
+            m.record(a, b);
+        }
+        let cp = m.checkpoint();
+        let mut twin = SignallingMeter::restore(&cp);
+        assert_eq!(twin.checkpoint(), cp, "restore not idempotent");
+        for (a, b) in [(0.0, 8.0), (5.0, 2.0), (0.0, 2.0), (0.0, 2.0)] {
+            m.record(a, b);
+            twin.record(a, b);
+        }
+        assert_eq!(m.metrics(1, "t", 0), twin.metrics(1, "t", 0));
+        assert_eq!(m.backlog().to_bits(), twin.backlog().to_bits());
     }
 
     #[test]

@@ -9,6 +9,21 @@
 use crate::meter::SessionMetrics;
 use serde::{Deserialize, Serialize};
 
+/// Supervision status of one shard (placement-dependent; excluded from
+/// [`ServiceSnapshot::invariant_view`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardHealth {
+    /// Shard index.
+    pub shard: u64,
+    /// `false` once the shard exhausted its restart budget and was
+    /// declared permanently down.
+    pub healthy: bool,
+    /// Times the supervisor restarted this shard.
+    pub restarts: u64,
+    /// The most recent failure reason, if the shard ever failed.
+    pub last_failure: Option<String>,
+}
+
 /// Totals for one shard (placement-dependent).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ShardMetrics {
@@ -106,23 +121,49 @@ pub struct ServiceSnapshot {
     pub admitted: u64,
     /// Joins rejected by admission control.
     pub rejected: u64,
+    /// Shard-worker restarts performed by the supervisor.
+    pub restarts: u64,
+    /// Journal events replayed into restarted shards during recovery.
+    pub events_replayed: u64,
     /// Placement-invariant totals.
     pub global: GlobalMetrics,
     /// Per-shard totals, sorted by shard index.
     pub per_shard: Vec<ShardMetrics>,
+    /// Per-shard supervision status, sorted by shard index.
+    pub health: Vec<ShardHealth>,
     /// Every session's metrics, sorted by session key.
     pub sessions: Vec<SessionMetrics>,
 }
 
+/// The driver-side counters a snapshot carries verbatim: clock, shape,
+/// admission tallies, and the supervisor's recovery bookkeeping.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct SnapshotCounters {
+    pub ticks: u64,
+    pub shards: u64,
+    pub admitted: u64,
+    pub rejected: u64,
+    pub restarts: u64,
+    pub events_replayed: u64,
+}
+
 impl ServiceSnapshot {
-    /// Builds a snapshot from raw per-session metrics (any order).
+    /// Builds a snapshot from raw per-session metrics (any order) and the
+    /// driver's counters. `health` must be sorted by shard index (the
+    /// supervisor stores it that way).
     pub(crate) fn assemble(
-        ticks: u64,
-        shards: u64,
-        admitted: u64,
-        rejected: u64,
+        counters: SnapshotCounters,
+        health: Vec<ShardHealth>,
         mut sessions: Vec<SessionMetrics>,
     ) -> Self {
+        let SnapshotCounters {
+            ticks,
+            shards,
+            admitted,
+            rejected,
+            restarts,
+            events_replayed,
+        } = counters;
         sessions.sort_by_key(|m| m.session);
         let global = GlobalMetrics::fold(&sessions);
         let mut per_shard: Vec<ShardMetrics> = (0..shards)
@@ -152,8 +193,11 @@ impl ServiceSnapshot {
             shards,
             admitted,
             rejected,
+            restarts,
+            events_replayed,
             global,
             per_shard,
+            health,
             sessions,
         }
     }
@@ -168,9 +212,11 @@ impl ServiceSnapshot {
         serde_json::to_string_pretty(self).expect("snapshot serialization cannot fail")
     }
 
-    /// The placement-invariant view: everything except shard assignments
-    /// and per-shard totals. Two runs of the same workload under different
-    /// shard counts must agree on this value exactly.
+    /// The placement-invariant view: everything except shard assignments,
+    /// per-shard totals, and supervision bookkeeping (restarts, replay
+    /// counts, health). Two runs of the same workload under different
+    /// shard counts — or with and without a recovered fault — must agree
+    /// on this value exactly.
     pub fn invariant_view(&self) -> (u64, GlobalMetrics, Vec<SessionMetrics>) {
         let sessions = self
             .sessions
@@ -187,6 +233,34 @@ impl ServiceSnapshot {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn healthy(shards: u64) -> Vec<ShardHealth> {
+        (0..shards)
+            .map(|shard| ShardHealth {
+                shard,
+                healthy: true,
+                restarts: 0,
+                last_failure: None,
+            })
+            .collect()
+    }
+
+    fn counters(
+        ticks: u64,
+        shards: u64,
+        admitted: u64,
+        restarts: u64,
+        events_replayed: u64,
+    ) -> SnapshotCounters {
+        SnapshotCounters {
+            ticks,
+            shards,
+            admitted,
+            rejected: 0,
+            restarts,
+            events_replayed,
+        }
+    }
 
     fn metric(session: u64, shard: u64, changes: u64, arrived: f64) -> SessionMetrics {
         SessionMetrics {
@@ -209,10 +283,11 @@ mod tests {
     #[test]
     fn assemble_sorts_and_folds() {
         let snap = ServiceSnapshot::assemble(
-            10,
-            2,
-            3,
-            1,
+            SnapshotCounters {
+                rejected: 1,
+                ..counters(10, 2, 3, 0, 0)
+            },
+            healthy(2),
             vec![metric(2, 1, 5, 10.0), metric(0, 0, 3, 20.0)],
         );
         assert_eq!(
@@ -232,16 +307,49 @@ mod tests {
 
     #[test]
     fn invariant_view_hides_placement() {
-        let a = ServiceSnapshot::assemble(5, 1, 2, 0, vec![metric(0, 0, 1, 1.0)]);
-        let b = ServiceSnapshot::assemble(5, 4, 2, 0, vec![metric(0, 3, 1, 1.0)]);
+        let a = ServiceSnapshot::assemble(
+            counters(5, 1, 2, 0, 0),
+            healthy(1),
+            vec![metric(0, 0, 1, 1.0)],
+        );
+        let b = ServiceSnapshot::assemble(
+            counters(5, 4, 2, 0, 0),
+            healthy(4),
+            vec![metric(0, 3, 1, 1.0)],
+        );
         assert_eq!(a.invariant_view(), b.invariant_view());
         assert_ne!(a.per_shard.len(), b.per_shard.len());
     }
 
     #[test]
+    fn invariant_view_hides_recovery_bookkeeping() {
+        let clean = ServiceSnapshot::assemble(
+            counters(5, 1, 2, 0, 0),
+            healthy(1),
+            vec![metric(0, 0, 1, 1.0)],
+        );
+        let recovered = ServiceSnapshot::assemble(
+            counters(5, 1, 2, 2, 17),
+            vec![ShardHealth {
+                shard: 0,
+                healthy: true,
+                restarts: 2,
+                last_failure: Some("injected fault: kill".into()),
+            }],
+            vec![metric(0, 0, 1, 1.0)],
+        );
+        assert_eq!(clean.invariant_view(), recovered.invariant_view());
+        assert_ne!(clean, recovered);
+    }
+
+    #[test]
     fn json_roundtrip() {
         use serde::Deserialize;
-        let snap = ServiceSnapshot::assemble(7, 1, 1, 0, vec![metric(0, 0, 4, 3.0)]);
+        let snap = ServiceSnapshot::assemble(
+            counters(7, 1, 1, 1, 3),
+            healthy(1),
+            vec![metric(0, 0, 4, 3.0)],
+        );
         let text = snap.to_json_string();
         let value = serde_json::from_str::<serde_json::Value>(&text).unwrap();
         let back = ServiceSnapshot::deserialize(&value).unwrap();

@@ -1,5 +1,5 @@
-//! The control plane: session registry, admission, and the sharded
-//! executor behind one handle.
+//! The control plane: session registry, admission, and the supervised
+//! sharded executor behind one handle.
 //!
 //! A [`ControlPlane`] is driven tick-batched: callers admit sessions
 //! ([`ControlPlane::admit`] / [`ControlPlane::admit_group`]), feed
@@ -8,20 +8,50 @@
 //! shard is a worker thread fed over a bounded channel (ticks pipeline
 //! until the channel fills, which applies backpressure to the driver);
 //! under [`ExecMode::Inline`] the same shard code runs on the calling
-//! thread. Sessions are placed round-robin, a pooled group always lands
-//! whole on one shard, and per-session dynamics are independent of
-//! placement — so snapshots' placement-invariant parts are *identical*
-//! across shard counts and execution modes.
+//! thread. Sessions are placed on the least-loaded healthy shard (lowest
+//! index on ties), a pooled group always lands whole on one shard, and
+//! per-session dynamics are independent of placement — so snapshots'
+//! placement-invariant parts are *identical* across shard counts and
+//! execution modes.
+//!
+//! # Supervision and crash recovery
+//!
+//! The driver doubles as the shard supervisor. Each threaded worker runs
+//! under `catch_unwind` and reports panics as typed
+//! [`ShardFailure`](crate::shard::ShardFailure)s instead of poisoning the
+//! service; the driver also treats a worker that stalls past
+//! [`ServiceConfig::shard_timeout_ms`] (a full event queue, or a missing
+//! snapshot reply) as failed. A failed shard is restarted from its last
+//! periodic [`ShardCheckpoint`](crate::shard::ShardCheckpoint) (taken
+//! every [`ServiceConfig::checkpoint_every`] ticks) by replaying the
+//! driver's journal of events sent since that checkpoint — the journal is
+//! trimmed on every checkpoint receipt, which is what keeps it bounded.
+//! Each incarnation of a worker gets a fresh *epoch*; messages stamped
+//! with a superseded epoch are discarded, so a hung worker that wakes up
+//! after being replaced cannot corrupt anything. Once a shard exhausts
+//! [`ServiceConfig::max_restarts`] (or recovery is disabled with
+//! `checkpoint_every = 0`), it is marked permanently down and every
+//! operation touching it returns [`CtrlError::ShardDown`] — the driver
+//! never panics on a dead shard. Restart and replay totals, plus
+//! per-shard health, are surfaced in the [`ServiceSnapshot`].
 
 use crate::admission::AdmissionController;
 use crate::config::{ExecMode, ServiceConfig};
-use crate::metrics::ServiceSnapshot;
-use crate::shard::{run_worker, Event, ShardState};
+use crate::fault::FaultPlan;
+use crate::metrics::{ServiceSnapshot, ShardHealth, SnapshotCounters};
+use crate::shard::{
+    panic_reason, run_worker, Event, ReplayEvent, ShardCheckpoint, ShardReport, ShardState,
+    WorkerCtx, WorkerMsg,
+};
 use crate::CtrlError;
-use crossbeam::channel::{bounded, unbounded, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, SendTimeoutError, Sender};
 use parking_lot::Mutex;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
 /// Events a worker shard can buffer before the driver blocks. Bounded so a
 /// slow shard applies backpressure instead of ballooning memory.
@@ -47,27 +77,81 @@ struct GroupInfo {
     envelope: f64,
 }
 
-enum Backend {
-    Inline(Vec<ShardState>),
-    Threaded {
-        txs: Vec<Sender<Event>>,
-        handles: Vec<JoinHandle<()>>,
-    },
+/// One live worker incarnation of a threaded shard.
+struct Worker {
+    tx: Sender<Event>,
+    handle: JoinHandle<()>,
+    cancel: Arc<AtomicBool>,
 }
 
-impl Backend {
-    fn send(&mut self, shard: usize, event: Event) {
-        match self {
-            Backend::Inline(states) => states[shard].handle_event(event),
-            Backend::Threaded { txs, .. } => {
-                // A worker can only be gone if it panicked; surface that
-                // instead of silently dropping events.
-                txs[shard]
-                    .send(event)
-                    .unwrap_or_else(|_| panic!("shard {shard} worker terminated"));
-            }
+/// The driver's supervision record for one shard.
+struct ShardSup {
+    /// Incarnation counter; bumped on every restart. Worker messages from
+    /// older epochs are discarded.
+    epoch: u64,
+    /// Cleared when the restart budget is exhausted (or recovery is
+    /// impossible); a down shard never comes back.
+    healthy: bool,
+    /// Restarts performed so far.
+    restarts: u64,
+    /// Most recent failure reason, if any.
+    last_failure: Option<String>,
+    /// Replayable events sent since the last accepted checkpoint, in send
+    /// order. Trimmed on every checkpoint receipt.
+    journal: Vec<ReplayEvent>,
+    /// Replayable events covered by `checkpoint` (i.e. sent before
+    /// `journal[0]`).
+    journal_base: u64,
+    /// The most recent current-epoch checkpoint.
+    checkpoint: Option<ShardCheckpoint>,
+    /// Live sessions placed on this shard, for least-loaded placement.
+    live: usize,
+}
+
+impl ShardSup {
+    fn new() -> Self {
+        ShardSup {
+            epoch: 0,
+            healthy: true,
+            restarts: 0,
+            last_failure: None,
+            journal: Vec::new(),
+            journal_base: 0,
+            checkpoint: None,
+            live: 0,
         }
     }
+}
+
+enum Backend {
+    Inline(Vec<ShardState>),
+    Threaded { workers: Vec<Option<Worker>> },
+}
+
+fn spawn_worker(
+    shard: usize,
+    epoch: u64,
+    state: ShardState,
+    events_base: u64,
+    checkpoint_every: u64,
+    fault: Option<FaultPlan>,
+    msgs: &Sender<WorkerMsg>,
+) -> Worker {
+    let (tx, rx) = bounded(SHARD_QUEUE);
+    let cancel = Arc::new(AtomicBool::new(false));
+    let ctx = WorkerCtx {
+        epoch,
+        cancel: cancel.clone(),
+        msgs: msgs.clone(),
+        checkpoint_every,
+        events_base,
+        fault,
+    };
+    let handle = std::thread::Builder::new()
+        .name(format!("cdba-shard-{shard}-e{epoch}"))
+        .spawn(move || run_worker(state, rx, ctx))
+        .expect("spawn shard worker");
+    Worker { tx, handle, cancel }
 }
 
 /// The sharded multi-tenant allocation service. See the module docs.
@@ -77,9 +161,15 @@ pub struct ControlPlane {
     placements: HashMap<u64, Placement>,
     groups: HashMap<u64, GroupInfo>,
     backend: Backend,
+    /// Out-of-band worker→driver channel (threaded mode only).
+    msgs: Option<(Sender<WorkerMsg>, Receiver<WorkerMsg>)>,
+    sups: Vec<ShardSup>,
+    /// Handles of superseded workers, joined at shutdown. A hung worker
+    /// cannot be joined at restart time without blocking the driver.
+    graveyard: Vec<JoinHandle<()>>,
+    events_replayed: u64,
     next_key: u64,
     next_group: u64,
-    placed: u64,
     clock: u64,
     /// Per-shard arrival buffers reused across ticks.
     routes: Vec<Vec<(u64, f64)>>,
@@ -87,29 +177,36 @@ pub struct ControlPlane {
 
 impl ControlPlane {
     /// Starts a control plane: shard states are created (and, in threaded
-    /// mode, worker threads spawned) immediately.
+    /// mode, worker threads spawned) immediately. The configured fault
+    /// plan, if any, is armed on the targeted shard's initial worker.
     pub fn new(cfg: ServiceConfig) -> Self {
-        let backend = match cfg.exec {
-            ExecMode::Inline => Backend::Inline(
-                (0..cfg.shards)
-                    .map(|s| ShardState::new(s as u64, &cfg))
-                    .collect(),
+        let sups: Vec<ShardSup> = (0..cfg.shards).map(|_| ShardSup::new()).collect();
+        let (backend, msgs) = match cfg.exec {
+            ExecMode::Inline => (
+                Backend::Inline(
+                    (0..cfg.shards)
+                        .map(|s| ShardState::new(s as u64, &cfg))
+                        .collect(),
+                ),
+                None,
             ),
             ExecMode::Threaded => {
-                let mut txs = Vec::with_capacity(cfg.shards);
-                let mut handles = Vec::with_capacity(cfg.shards);
-                for s in 0..cfg.shards {
-                    let (tx, rx) = bounded(SHARD_QUEUE);
-                    let state = ShardState::new(s as u64, &cfg);
-                    handles.push(
-                        std::thread::Builder::new()
-                            .name(format!("cdba-shard-{s}"))
-                            .spawn(move || run_worker(state, rx))
-                            .expect("spawn shard worker"),
-                    );
-                    txs.push(tx);
-                }
-                Backend::Threaded { txs, handles }
+                let (msg_tx, msg_rx) = unbounded();
+                let workers = (0..cfg.shards)
+                    .map(|s| {
+                        let fault = cfg.fault.filter(|plan| plan.shard == s);
+                        Some(spawn_worker(
+                            s,
+                            0,
+                            ShardState::new(s as u64, &cfg),
+                            0,
+                            cfg.checkpoint_every,
+                            fault,
+                            &msg_tx,
+                        ))
+                    })
+                    .collect();
+                (Backend::Threaded { workers }, Some((msg_tx, msg_rx)))
             }
         };
         let admission = Mutex::new(AdmissionController::new(cfg.budget, cfg.default_quota));
@@ -120,9 +217,12 @@ impl ControlPlane {
             placements: HashMap::new(),
             groups: HashMap::new(),
             backend,
+            msgs,
+            sups,
+            graveyard: Vec::new(),
+            events_replayed: 0,
             next_key: 0,
             next_group: 0,
-            placed: 0,
             clock: 0,
             routes,
         }
@@ -153,29 +253,249 @@ impl ControlPlane {
         self.admission.lock().set_quota(tenant, quota);
     }
 
-    fn place(&mut self) -> usize {
-        let shard = (self.placed as usize) % self.cfg.shards;
-        self.placed += 1;
-        shard
+    /// Shard-worker restarts performed so far.
+    pub fn restarts(&self) -> u64 {
+        self.sups.iter().map(|s| s.restarts).sum()
+    }
+
+    /// Journal events replayed into restarted shards so far.
+    pub fn events_replayed(&self) -> u64 {
+        self.events_replayed
+    }
+
+    fn down_error(&self, shard: usize) -> CtrlError {
+        CtrlError::ShardDown {
+            shard,
+            reason: self.sups[shard]
+                .last_failure
+                .clone()
+                .unwrap_or_else(|| "shard is down".to_string()),
+        }
+    }
+
+    /// The least-loaded healthy shard (lowest index on ties), or `None`
+    /// when every shard is down.
+    fn place(&self) -> Option<usize> {
+        (0..self.cfg.shards)
+            .filter(|&s| self.sups[s].healthy)
+            .min_by_key(|&s| (self.sups[s].live, s))
+    }
+
+    /// Applies all pending out-of-band worker messages: accepts
+    /// current-epoch checkpoints (trimming the journal they cover) and
+    /// recovers shards that reported a failure. Recovery errors are not
+    /// propagated here — the failed shard is marked down and the caller's
+    /// own health check surfaces it.
+    fn drain_worker_msgs(&mut self) {
+        loop {
+            let msg = match &self.msgs {
+                Some((_, rx)) => match rx.try_recv() {
+                    Ok(msg) => msg,
+                    Err(_) => return,
+                },
+                None => return,
+            };
+            match msg {
+                WorkerMsg::Checkpoint(cp) => self.accept_checkpoint(cp),
+                WorkerMsg::Failure(failure) => {
+                    let shard = failure.shard as usize;
+                    if self.sups[shard].epoch == failure.epoch {
+                        let _ = self.recover(shard, failure.reason);
+                    }
+                }
+            }
+        }
+    }
+
+    fn accept_checkpoint(&mut self, cp: ShardCheckpoint) {
+        let sup = &mut self.sups[cp.shard as usize];
+        if sup.epoch != cp.epoch {
+            return; // stale: a superseded worker's parting checkpoint
+        }
+        let covered =
+            (cp.events_applied.saturating_sub(sup.journal_base) as usize).min(sup.journal.len());
+        sup.journal.drain(..covered);
+        sup.journal_base = cp.events_applied;
+        sup.checkpoint = Some(cp);
+    }
+
+    /// Cancels and retires `shard`'s current worker, if any. The handle
+    /// goes to the graveyard: a hung worker only observes the cancel flag
+    /// once its stall ends, so joining here would block the driver.
+    fn retire_worker(&mut self, shard: usize) {
+        if let Backend::Threaded { workers } = &mut self.backend {
+            if let Some(old) = workers[shard].take() {
+                old.cancel.store(true, Ordering::Release);
+                drop(old.tx);
+                self.graveyard.push(old.handle);
+            }
+        }
+    }
+
+    /// Restarts `shard` after a failure: rebuild its state from the last
+    /// checkpoint plus a journal replay, then spawn a fresh-epoch worker.
+    /// Restarted workers never re-arm the injected fault.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::ShardDown`] when recovery is disabled
+    /// (`checkpoint_every = 0`), the restart budget is exhausted, or the
+    /// replay itself panics (a deterministic poison event); the shard is
+    /// marked permanently down in all three cases.
+    fn recover(&mut self, shard: usize, reason: String) -> Result<(), CtrlError> {
+        self.retire_worker(shard);
+        let max_restarts = u64::from(self.cfg.max_restarts);
+        let sup = &mut self.sups[shard];
+        sup.last_failure = Some(reason.clone());
+        if self.cfg.checkpoint_every == 0 {
+            sup.healthy = false;
+            return Err(CtrlError::ShardDown {
+                shard,
+                reason: format!("{reason} (recovery disabled: checkpoint_every = 0)"),
+            });
+        }
+        if sup.restarts >= max_restarts {
+            sup.healthy = false;
+            return Err(CtrlError::ShardDown {
+                shard,
+                reason: format!("{reason} (restart budget {max_restarts} exhausted)"),
+            });
+        }
+        sup.restarts += 1;
+        sup.epoch += 1;
+        let epoch = sup.epoch;
+        let events_base = sup.journal_base + sup.journal.len() as u64;
+        let cp = sup.checkpoint.clone();
+        let journal = sup.journal.clone();
+        let cfg = self.cfg.clone();
+        // The replay runs on the driver thread; guard it so a poison event
+        // that deterministically panics the shard cannot take the driver
+        // down with it.
+        let rebuilt = catch_unwind(AssertUnwindSafe(|| {
+            let mut state = match &cp {
+                Some(cp) => ShardState::restore(shard as u64, &cfg, &cp.state),
+                None => ShardState::new(shard as u64, &cfg),
+            };
+            for ev in &journal {
+                state.handle_event(ev.to_event());
+            }
+            state
+        }));
+        let state = match rebuilt {
+            Ok(state) => state,
+            Err(payload) => {
+                let why = format!("recovery replay panicked: {}", panic_reason(payload));
+                let sup = &mut self.sups[shard];
+                sup.healthy = false;
+                sup.last_failure = Some(why.clone());
+                return Err(CtrlError::ShardDown { shard, reason: why });
+            }
+        };
+        self.events_replayed += journal.len() as u64;
+        let (msg_tx, _) = self
+            .msgs
+            .as_ref()
+            .expect("threaded mode has a message channel");
+        let worker = spawn_worker(
+            shard,
+            epoch,
+            state,
+            events_base,
+            self.cfg.checkpoint_every,
+            None,
+            msg_tx,
+        );
+        let Backend::Threaded { workers } = &mut self.backend else {
+            unreachable!("recover is only reachable in threaded mode")
+        };
+        workers[shard] = Some(worker);
+        Ok(())
+    }
+
+    /// Delivers one replayable event to `shard`, journaling it first so a
+    /// worker failure between journal and delivery is recovered by replay.
+    /// A successful recovery therefore counts as delivery.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::ShardDown`] if the shard is (or just became)
+    /// permanently down.
+    fn dispatch(&mut self, shard: usize, ev: ReplayEvent) -> Result<(), CtrlError> {
+        if let Backend::Inline(states) = &mut self.backend {
+            states[shard].handle_event(ev.to_event());
+            return Ok(());
+        }
+        self.drain_worker_msgs();
+        if !self.sups[shard].healthy {
+            return Err(self.down_error(shard));
+        }
+        if self.cfg.checkpoint_every > 0 {
+            self.sups[shard].journal.push(ev.clone());
+        }
+        let timeout = Duration::from_millis(self.cfg.shard_timeout_ms);
+        let epoch = self.sups[shard].epoch;
+        let sent = {
+            let Backend::Threaded { workers } = &self.backend else {
+                unreachable!("inline handled above")
+            };
+            let worker = workers[shard].as_ref().expect("healthy shard has a worker");
+            worker.tx.send_timeout(ev.to_event(), timeout)
+        };
+        match sent {
+            Ok(()) => Ok(()),
+            Err(SendTimeoutError::Timeout(_)) => {
+                self.recover(shard, "event queue stalled past the shard timeout".into())
+            }
+            Err(SendTimeoutError::Disconnected(_)) => {
+                // The worker's failure report, if it made one, is already
+                // in the message channel (it is sent before the worker
+                // drops its event receiver) — draining recovers the shard.
+                self.drain_worker_msgs();
+                if !self.sups[shard].healthy {
+                    Err(self.down_error(shard))
+                } else if self.sups[shard].epoch != epoch {
+                    Ok(()) // the drain already restarted the shard
+                } else {
+                    self.recover(shard, "worker terminated without a failure report".into())
+                }
+            }
+        }
     }
 
     /// Admits a dedicated session for `tenant`, running the single-session
     /// algorithm under the configured `(B_A, D_O, U_O, W)`. The admission
-    /// envelope is `B_A`.
+    /// envelope is `B_A`. If the join cannot be delivered to any shard,
+    /// the admission commit is rolled back — a failed join never holds
+    /// budget and never counts as admitted.
     ///
     /// # Errors
     ///
     /// [`CtrlError::Admission`] when the budget or the tenant quota cannot
-    /// cover the envelope.
+    /// cover the envelope; [`CtrlError::ShardDown`] when no shard could
+    /// take the session.
     pub fn admit(&mut self, tenant: &str) -> Result<u64, CtrlError> {
         let envelope = self.cfg.dedicated_envelope();
         self.admission
             .lock()
             .request(tenant, envelope)
             .map_err(CtrlError::Admission)?;
+        let Some(shard) = self.place() else {
+            self.admission.lock().rollback(tenant, envelope);
+            return Err(CtrlError::ShardDown {
+                shard: 0,
+                reason: "no healthy shard to place the session on".into(),
+            });
+        };
         let key = self.next_key;
+        let join = ReplayEvent::JoinDedicated {
+            key,
+            tenant: tenant.to_string(),
+        };
+        if let Err(err) = self.dispatch(shard, join) {
+            self.admission.lock().rollback(tenant, envelope);
+            return Err(err);
+        }
         self.next_key += 1;
-        let shard = self.place();
         self.placements.insert(
             key,
             Placement {
@@ -184,20 +504,15 @@ impl ControlPlane {
                 kind: PlacementKind::Dedicated,
             },
         );
-        self.backend.send(
-            shard,
-            Event::JoinDedicated {
-                key,
-                tenant: tenant.to_string(),
-            },
-        );
+        self.sups[shard].live += 1;
         Ok(key)
     }
 
     /// Admits a pooled group of `size ≥ 2` sessions for `tenant`, running
     /// the phased multi-session algorithm over one shared [`SessionPool`].
     /// The whole group lands on one shard; the admission envelope is the
-    /// phased bound `4·B_O`, charged once for the group.
+    /// phased bound `4·B_O`, charged once for the group and rolled back if
+    /// the join cannot be delivered.
     ///
     /// [`SessionPool`]: cdba_core::multi::pool::SessionPool
     ///
@@ -216,10 +531,25 @@ impl ControlPlane {
             .lock()
             .request(tenant, envelope)
             .map_err(CtrlError::Admission)?;
+        let Some(shard) = self.place() else {
+            self.admission.lock().rollback(tenant, envelope);
+            return Err(CtrlError::ShardDown {
+                shard: 0,
+                reason: "no healthy shard to place the group on".into(),
+            });
+        };
         let group = self.next_group;
-        self.next_group += 1;
-        let shard = self.place();
         let members: Vec<u64> = (0..size as u64).map(|i| self.next_key + i).collect();
+        let join = ReplayEvent::JoinGroup {
+            group,
+            tenant: tenant.to_string(),
+            members: members.clone(),
+        };
+        if let Err(err) = self.dispatch(shard, join) {
+            self.admission.lock().rollback(tenant, envelope);
+            return Err(err);
+        }
+        self.next_group += 1;
         self.next_key += size as u64;
         for &key in &members {
             self.placements.insert(
@@ -239,30 +569,32 @@ impl ControlPlane {
                 envelope,
             },
         );
-        self.backend.send(
-            shard,
-            Event::JoinGroup {
-                group,
-                tenant: tenant.to_string(),
-                members: members.clone(),
-            },
-        );
+        self.sups[shard].live += size;
         Ok(members)
     }
 
     /// Begins draining a session out. Its committed envelope is released
-    /// immediately (a pooled group's only once its last member leaves);
-    /// the executor retires the session once its backlog drains.
+    /// once the leave is delivered (a pooled group's only once its last
+    /// member leaves); the executor retires the session once its backlog
+    /// drains.
     ///
     /// # Errors
     ///
-    /// [`CtrlError::UnknownSession`] if the key is not live.
+    /// [`CtrlError::UnknownSession`] if the key is not live;
+    /// [`CtrlError::ShardDown`] if the session's shard is permanently down
+    /// (the session then stays registered and keeps its envelope).
     pub fn leave(&mut self, key: u64) -> Result<(), CtrlError> {
-        let placement = self
-            .placements
-            .remove(&key)
-            .ok_or(CtrlError::UnknownSession(key))?;
-        match placement.kind {
+        let (shard, kind) = {
+            let placement = self
+                .placements
+                .get(&key)
+                .ok_or(CtrlError::UnknownSession(key))?;
+            (placement.shard, placement.kind)
+        };
+        self.dispatch(shard, ReplayEvent::Leave { key })?;
+        let placement = self.placements.remove(&key).expect("checked above");
+        self.sups[shard].live -= 1;
+        match kind {
             PlacementKind::Dedicated => {
                 self.admission
                     .lock()
@@ -278,86 +610,193 @@ impl ControlPlane {
                 }
             }
         }
-        self.backend.send(placement.shard, Event::Leave { key });
         Ok(())
     }
 
     /// Advances the whole service by one tick. `arrivals` lists the bits
     /// each named session submits this tick (unlisted live sessions submit
-    /// zero). Every shard ticks, listed or not, so session clocks stay in
-    /// lockstep.
+    /// zero). Every healthy shard ticks, listed or not, so session clocks
+    /// stay in lockstep.
     ///
     /// # Errors
     ///
-    /// [`CtrlError::UnknownSession`] if any named key is not live; nothing
-    /// is advanced in that case.
+    /// Validation errors — [`CtrlError::InvalidArrival`] for non-finite or
+    /// negative bits, [`CtrlError::UnknownSession`] for a key that is not
+    /// live, [`CtrlError::DuplicateArrival`] for a key listed twice, and
+    /// [`CtrlError::ShardDown`] for an arrival targeting a dead shard —
+    /// are raised before *anything* advances. A shard failure during
+    /// dispatch that cannot be recovered also returns
+    /// [`CtrlError::ShardDown`], but the remaining healthy shards (and the
+    /// service clock) still advance.
     pub fn tick(&mut self, arrivals: &[(u64, f64)]) -> Result<(), CtrlError> {
         for route in &mut self.routes {
             route.clear();
         }
+        let mut seen: HashSet<u64> = HashSet::with_capacity(arrivals.len());
         for &(key, bits) in arrivals {
-            let placement = self
+            if !bits.is_finite() || bits < 0.0 {
+                return Err(CtrlError::InvalidArrival { session: key, bits });
+            }
+            let shard = self
                 .placements
                 .get(&key)
-                .ok_or(CtrlError::UnknownSession(key))?;
-            self.routes[placement.shard].push((key, bits));
+                .ok_or(CtrlError::UnknownSession(key))?
+                .shard;
+            if !self.sups[shard].healthy {
+                return Err(self.down_error(shard));
+            }
+            if !seen.insert(key) {
+                return Err(CtrlError::DuplicateArrival(key));
+            }
+            self.routes[shard].push((key, bits));
         }
+        let mut first_err = None;
         for shard in 0..self.cfg.shards {
             let batch = std::mem::take(&mut self.routes[shard]);
-            self.backend.send(shard, Event::Tick { arrivals: batch });
+            if !self.sups[shard].healthy {
+                continue; // validated above: no arrivals target a dead shard
+            }
+            if let Err(err) = self.dispatch(shard, ReplayEvent::Tick { arrivals: batch }) {
+                first_err.get_or_insert(err);
+            }
         }
         self.clock += 1;
-        Ok(())
+        match first_err {
+            None => Ok(()),
+            Some(err) => Err(err),
+        }
+    }
+
+    /// Collects one healthy shard's report, restarting the shard and
+    /// retrying once if it fails or stalls mid-collection.
+    fn collect_shard(&mut self, shard: usize) -> Result<ShardReport, CtrlError> {
+        let timeout = Duration::from_millis(self.cfg.shard_timeout_ms);
+        for _attempt in 0..2 {
+            if !self.sups[shard].healthy {
+                return Err(self.down_error(shard));
+            }
+            let epoch = self.sups[shard].epoch;
+            let (reply, rx) = unbounded();
+            let sent = {
+                let Backend::Threaded { workers } = &self.backend else {
+                    unreachable!("collect_shard is only called in threaded mode")
+                };
+                let worker = workers[shard].as_ref().expect("healthy shard has a worker");
+                worker.tx.send_timeout(Event::Collect { reply }, timeout)
+            };
+            let reason = match sent {
+                Ok(()) => match rx.recv_timeout(timeout) {
+                    Ok(report) if report.epoch == epoch && report.shard == shard as u64 => {
+                        return Ok(report)
+                    }
+                    Ok(_) | Err(_) => "snapshot reply stalled past the shard timeout".to_string(),
+                },
+                Err(SendTimeoutError::Timeout(_)) => {
+                    "event queue stalled past the shard timeout".to_string()
+                }
+                Err(SendTimeoutError::Disconnected(_)) => {
+                    self.drain_worker_msgs();
+                    if self.sups[shard].epoch != epoch {
+                        continue; // the drain already handled the failure
+                    }
+                    "worker terminated without a failure report".to_string()
+                }
+            };
+            self.recover(shard, reason)?;
+        }
+        // Two straight failed attempts: stop burning restarts on it.
+        let reason = "snapshot failed twice despite recovery".to_string();
+        self.retire_worker(shard);
+        let sup = &mut self.sups[shard];
+        sup.healthy = false;
+        sup.last_failure = Some(reason.clone());
+        Err(CtrlError::ShardDown { shard, reason })
     }
 
     /// Collects a full metrics snapshot. In threaded mode this
-    /// synchronizes with every shard (the reply arrives only after all
-    /// previously sent events were applied).
-    pub fn snapshot(&mut self) -> ServiceSnapshot {
-        let (reply, rx) = unbounded();
-        for shard in 0..self.cfg.shards {
-            self.backend.send(
-                shard,
-                Event::Collect {
+    /// synchronizes with every healthy shard (the reply arrives only after
+    /// all previously sent events were applied); shards already marked
+    /// down are skipped — their loss shows up in
+    /// [`ServiceSnapshot::health`] rather than as an error.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::ShardDown`] when a shard that was healthy at entry
+    /// fails mid-collection and cannot be recovered.
+    pub fn snapshot(&mut self) -> Result<ServiceSnapshot, CtrlError> {
+        let mut sessions = Vec::new();
+        if let Backend::Inline(states) = &mut self.backend {
+            let (reply, rx) = unbounded();
+            for state in states.iter_mut() {
+                state.handle_event(Event::Collect {
                     reply: reply.clone(),
-                },
-            );
+                });
+            }
+            drop(reply);
+            while let Ok(report) = rx.recv() {
+                sessions.extend(report.sessions);
+            }
+        } else {
+            self.drain_worker_msgs();
+            for shard in 0..self.cfg.shards {
+                if !self.sups[shard].healthy {
+                    continue;
+                }
+                sessions.extend(self.collect_shard(shard)?.sessions);
+            }
         }
-        drop(reply);
-        let mut reports = Vec::with_capacity(self.cfg.shards);
-        for _ in 0..self.cfg.shards {
-            reports.push(rx.recv().expect("all shards report"));
-        }
-        reports.sort_by_key(|r| r.shard);
-        let sessions = reports.into_iter().flat_map(|r| r.sessions).collect();
         let (admitted, rejected) = {
             let admission = self.admission.lock();
             (admission.admitted(), admission.rejected())
         };
-        ServiceSnapshot::assemble(
-            self.clock,
-            self.cfg.shards as u64,
-            admitted,
-            rejected,
+        let health = self
+            .sups
+            .iter()
+            .enumerate()
+            .map(|(shard, sup)| ShardHealth {
+                shard: shard as u64,
+                healthy: sup.healthy,
+                restarts: sup.restarts,
+                last_failure: sup.last_failure.clone(),
+            })
+            .collect();
+        Ok(ServiceSnapshot::assemble(
+            SnapshotCounters {
+                ticks: self.clock,
+                shards: self.cfg.shards as u64,
+                admitted,
+                rejected,
+                restarts: self.restarts(),
+                events_replayed: self.events_replayed,
+            },
+            health,
             sessions,
-        )
+        ))
     }
 
     /// Stops the executor. Equivalent to dropping, but explicit: worker
-    /// threads are joined before this returns.
+    /// threads (including superseded ones) are joined before this returns.
     pub fn shutdown(mut self) {
         self.stop_workers();
     }
 
     fn stop_workers(&mut self) {
-        if let Backend::Threaded { txs, handles } = &mut self.backend {
-            for tx in txs.iter() {
-                let _ = tx.send(Event::Shutdown);
+        if let Backend::Threaded { workers } = &mut self.backend {
+            for slot in workers.iter_mut() {
+                if let Some(worker) = slot.take() {
+                    // The cancel flag covers a worker whose queue is too
+                    // full to take the shutdown event.
+                    worker.cancel.store(true, Ordering::Release);
+                    let _ = worker
+                        .tx
+                        .send_timeout(Event::Shutdown, Duration::from_millis(10));
+                    drop(worker.tx);
+                    self.graveyard.push(worker.handle);
+                }
             }
-            txs.clear();
-            for handle in handles.drain(..) {
-                let _ = handle.join();
-            }
+        }
+        for handle in self.graveyard.drain(..) {
+            let _ = handle.join();
         }
     }
 }
@@ -405,7 +844,7 @@ mod tests {
                 .collect();
             service.tick(&arrivals).unwrap();
         }
-        let snapshot = service.snapshot();
+        let snapshot = service.snapshot().unwrap();
         service.shutdown();
         snapshot
     }
@@ -443,7 +882,7 @@ mod tests {
         assert_eq!(service.live_sessions(), 2);
         service.leave(a).unwrap();
         assert!(service.admit("acme").is_ok());
-        let snap = service.snapshot();
+        let snap = service.snapshot().unwrap();
         assert_eq!(snap.admitted, 3);
         assert_eq!(snap.rejected, 1);
     }
@@ -487,5 +926,49 @@ mod tests {
             service.tick(&[(key, 2.0)]),
             Err(CtrlError::UnknownSession(_))
         ));
+    }
+
+    #[test]
+    fn malformed_arrivals_are_rejected_before_anything_advances() {
+        let mut service = ControlPlane::new(config(1, ExecMode::Inline));
+        let a = service.admit("acme").unwrap();
+        let b = service.admit("acme").unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -1.0] {
+            assert!(matches!(
+                service.tick(&[(a, 1.0), (b, bad)]),
+                Err(CtrlError::InvalidArrival { session, bits })
+                    if session == b && (bits.is_nan() == bad.is_nan() && (bits == bad || bad.is_nan()))
+            ));
+        }
+        assert!(matches!(
+            service.tick(&[(a, 1.0), (a, 2.0)]),
+            Err(CtrlError::DuplicateArrival(key)) if key == a
+        ));
+        // Nothing advanced: the clock is untouched and a clean tick works.
+        assert_eq!(service.ticks(), 0);
+        service.tick(&[(a, 1.0), (b, 0.0)]).unwrap();
+        assert_eq!(service.ticks(), 1);
+    }
+
+    #[test]
+    fn placement_prefers_least_loaded_shard() {
+        let mut service = ControlPlane::new(config(4, ExecMode::Inline));
+        let keys: Vec<u64> = (0..4).map(|_| service.admit("acme").unwrap()).collect();
+        // One session per shard so far (ties broken by index).
+        service.leave(keys[2]).unwrap();
+        // Shard 2 is now emptiest; the next session must land there.
+        let replacement = service.admit("acme").unwrap();
+        // And at one-per-shard again, ties go to the lowest index.
+        let next = service.admit("acme").unwrap();
+        let snap = service.snapshot().unwrap();
+        let shard_of = |key: u64| {
+            snap.sessions
+                .iter()
+                .find(|m| m.session == key)
+                .map(|m| m.shard)
+                .unwrap()
+        };
+        assert_eq!(shard_of(replacement), 2);
+        assert_eq!(shard_of(next), 0);
     }
 }

@@ -7,15 +7,29 @@
 //! the two modes cannot diverge. Sessions never interact across shards
 //! (a pooled group lives wholly on one shard), which is what makes the
 //! service's metrics invariant under the shard count.
+//!
+//! Threaded workers are supervised: [`run_worker`] catches panics
+//! (reporting a typed [`ShardFailure`] instead of dying silently),
+//! periodically ships a [`ShardCheckpoint`] — a serde snapshot of every
+//! session's meter and algorithm state — back to the driver, honours a
+//! cancellation flag so a superseded worker cannot corrupt anything after
+//! the supervisor moves on, and hosts the fault-injection hooks of
+//! [`crate::fault`]. Every message carries the worker's *epoch* so the
+//! driver can discard stragglers from replaced workers.
 
 use crate::config::ServiceConfig;
-use crate::meter::{SessionMetrics, SignallingMeter};
+use crate::fault::{FaultKind, FaultPlan};
+use crate::meter::{MeterCheckpoint, SessionMetrics, SignallingMeter};
 use cdba_analysis::cost::CostModel;
 use cdba_core::config::{MultiConfig, SingleConfig};
-use cdba_core::multi::pool::{SessionId as PoolSessionId, SessionPool};
-use cdba_core::single::SingleSession;
+use cdba_core::multi::pool::{PoolCheckpoint, SessionId as PoolSessionId, SessionPool};
+use cdba_core::single::{SingleCheckpoint, SingleSession};
 use cdba_sim::Allocator;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// A control event delivered to one shard. Within a shard, events apply in
 /// send order (the channels are FIFO), which is all the ordering the
@@ -63,9 +77,142 @@ pub(crate) enum Event {
 pub(crate) struct ShardReport {
     /// The reporting shard.
     pub shard: u64,
+    /// Epoch of the worker that produced the report (0 inline). The driver
+    /// discards reports from superseded workers.
+    pub epoch: u64,
     /// Metrics of every session the shard has seen: live ones at their
     /// current totals, retired ones frozen at retirement.
     pub sessions: Vec<SessionMetrics>,
+}
+
+/// A replayable control event, as the driver journals it. Everything but
+/// `Collect`/`Shutdown` — exactly the events that mutate shard state.
+#[derive(Debug, Clone)]
+pub(crate) enum ReplayEvent {
+    /// See [`Event::JoinDedicated`].
+    JoinDedicated {
+        /// Service-wide session key.
+        key: u64,
+        /// Owning tenant.
+        tenant: String,
+    },
+    /// See [`Event::JoinGroup`].
+    JoinGroup {
+        /// Service-wide group id.
+        group: u64,
+        /// Owning tenant.
+        tenant: String,
+        /// Member keys in join order.
+        members: Vec<u64>,
+    },
+    /// See [`Event::Leave`].
+    Leave {
+        /// The session to drain.
+        key: u64,
+    },
+    /// See [`Event::Tick`].
+    Tick {
+        /// `(key, bits)` arrivals for the tick.
+        arrivals: Vec<(u64, f64)>,
+    },
+}
+
+impl ReplayEvent {
+    /// The executor event this journal entry replays as.
+    pub(crate) fn to_event(&self) -> Event {
+        match self {
+            ReplayEvent::JoinDedicated { key, tenant } => Event::JoinDedicated {
+                key: *key,
+                tenant: tenant.clone(),
+            },
+            ReplayEvent::JoinGroup {
+                group,
+                tenant,
+                members,
+            } => Event::JoinGroup {
+                group: *group,
+                tenant: tenant.clone(),
+                members: members.clone(),
+            },
+            ReplayEvent::Leave { key } => Event::Leave { key: *key },
+            ReplayEvent::Tick { arrivals } => Event::Tick {
+                arrivals: arrivals.clone(),
+            },
+        }
+    }
+}
+
+/// A typed worker-failure report: the worker panicked (organically or via
+/// an injected fault) and has exited.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardFailure {
+    /// The failed shard.
+    pub shard: u64,
+    /// Epoch of the failed worker.
+    pub epoch: u64,
+    /// The panic message.
+    pub reason: String,
+}
+
+/// A periodic snapshot of one shard, shipped to the driver so a restarted
+/// worker can resume from it instead of replaying the whole history.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardCheckpoint {
+    /// The checkpointing shard.
+    pub shard: u64,
+    /// Epoch of the worker that took the checkpoint.
+    pub epoch: u64,
+    /// Replayable events applied when the checkpoint was taken. The
+    /// driver trims its journal to this point: recovery restores the
+    /// state and replays only the journal suffix past this count.
+    pub events_applied: u64,
+    /// The restorable shard state.
+    pub state: ShardStateCheckpoint,
+}
+
+/// A restorable snapshot of one session entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct SessionCheckpoint {
+    /// Service-wide session key.
+    pub key: u64,
+    /// Owning tenant.
+    pub tenant: String,
+    /// The meter state.
+    pub meter: MeterCheckpoint,
+    /// `true` if the session is draining out.
+    pub leaving: bool,
+    /// Single-session algorithm state; `Some` iff the session is
+    /// dedicated.
+    pub dedicated: Option<SingleCheckpoint>,
+    /// `(group id, raw pool member id)`; `Some` iff the session is pooled.
+    pub pooled: Option<(u64, u64)>,
+}
+
+/// A restorable snapshot of one pooled group.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct GroupCheckpoint {
+    /// Service-wide group id.
+    pub group: u64,
+    /// The shared pool state.
+    pub pool: PoolCheckpoint,
+    /// `(raw pool member id, session key)` pairs, sorted by member id.
+    pub members: Vec<(u64, u64)>,
+}
+
+/// The full serde-exportable state of a [`ShardState`]. Restoring with
+/// [`ShardState::restore`] reproduces the shard bitwise (the in-memory
+/// checkpoint preserves every `f64` exactly).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub(crate) struct ShardStateCheckpoint {
+    /// Live sessions, in slot order (order matters: ticks process
+    /// dedicated sessions in it).
+    pub sessions: Vec<SessionCheckpoint>,
+    /// Pooled groups, sorted by group id.
+    pub groups: Vec<GroupCheckpoint>,
+    /// Metrics of retired sessions, frozen at retirement.
+    pub retired: Vec<SessionMetrics>,
+    /// Ticks the shard has processed.
+    pub ticks: u64,
 }
 
 enum SessionKind {
@@ -89,6 +236,9 @@ struct GroupEntry {
 /// The per-shard session store and tick loop.
 pub(crate) struct ShardState {
     shard: u64,
+    /// Epoch of the worker driving this state (0 inline); stamped into
+    /// collect replies so the driver can discard superseded reports.
+    pub(crate) epoch: u64,
     single_cfg: SingleConfig,
     multi_cfg: MultiConfig,
     cost: CostModel,
@@ -98,12 +248,14 @@ pub(crate) struct ShardState {
     groups: HashMap<u64, GroupEntry>,
     retired: Vec<SessionMetrics>,
     scratch: Vec<f64>,
+    ticks: u64,
 }
 
 impl ShardState {
     pub(crate) fn new(shard: u64, cfg: &ServiceConfig) -> Self {
         ShardState {
             shard,
+            epoch: 0,
             single_cfg: cfg.single_config(),
             multi_cfg: cfg.multi_config(),
             cost: cfg.cost,
@@ -113,7 +265,99 @@ impl ShardState {
             groups: HashMap::new(),
             retired: Vec::new(),
             scratch: Vec::new(),
+            ticks: 0,
         }
+    }
+
+    /// Ticks this shard has processed.
+    pub(crate) fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Exports the full restorable state. Group and member listings are
+    /// sorted by id so identical states checkpoint identically regardless
+    /// of hash-map iteration order.
+    pub(crate) fn checkpoint(&self) -> ShardStateCheckpoint {
+        let sessions = self
+            .sessions
+            .iter()
+            .map(|e| {
+                let (dedicated, pooled) = match &e.kind {
+                    SessionKind::Dedicated(alg) => (Some(alg.checkpoint()), None),
+                    SessionKind::Pooled { group, member } => (None, Some((*group, member.raw()))),
+                };
+                SessionCheckpoint {
+                    key: e.key,
+                    tenant: e.tenant.clone(),
+                    meter: e.meter.checkpoint(),
+                    leaving: e.leaving,
+                    dedicated,
+                    pooled,
+                }
+            })
+            .collect();
+        let mut groups: Vec<GroupCheckpoint> = self
+            .groups
+            .iter()
+            .map(|(&group, g)| {
+                let mut members: Vec<(u64, u64)> = g
+                    .by_member
+                    .iter()
+                    .map(|(&member, &key)| (member.raw(), key))
+                    .collect();
+                members.sort_unstable();
+                GroupCheckpoint {
+                    group,
+                    pool: g.pool.checkpoint(),
+                    members,
+                }
+            })
+            .collect();
+        groups.sort_unstable_by_key(|g| g.group);
+        ShardStateCheckpoint {
+            sessions,
+            groups,
+            retired: self.retired.clone(),
+            ticks: self.ticks,
+        }
+    }
+
+    /// Rebuilds a shard from a checkpoint, bitwise.
+    pub(crate) fn restore(shard: u64, cfg: &ServiceConfig, cp: &ShardStateCheckpoint) -> Self {
+        let mut state = ShardState::new(shard, cfg);
+        for s in &cp.sessions {
+            let kind = match (&s.dedicated, &s.pooled) {
+                (Some(alg), None) => SessionKind::Dedicated(Box::new(SingleSession::restore(alg))),
+                (None, &Some((group, member))) => SessionKind::Pooled {
+                    group,
+                    member: PoolSessionId::from_raw(member),
+                },
+                _ => panic!("session checkpoint must be exactly one of dedicated or pooled"),
+            };
+            state.push_session(SessionEntry {
+                key: s.key,
+                tenant: s.tenant.clone(),
+                meter: SignallingMeter::restore(&s.meter),
+                leaving: s.leaving,
+                kind,
+            });
+        }
+        for g in &cp.groups {
+            state.groups.insert(
+                g.group,
+                GroupEntry {
+                    pool: SessionPool::restore(&g.pool),
+                    by_member: g
+                        .members
+                        .iter()
+                        .map(|&(member, key)| (PoolSessionId::from_raw(member), key))
+                        .collect(),
+                },
+            );
+        }
+        state.retired = cp.retired.clone();
+        state.ticks = cp.ticks;
+        state
     }
 
     pub(crate) fn handle_event(&mut self, event: Event) {
@@ -263,6 +507,7 @@ impl ShardState {
         for key in to_retire {
             self.retire(key);
         }
+        self.ticks += 1;
     }
 
     /// Freezes a session's metrics and removes it from the live set.
@@ -295,6 +540,7 @@ impl ShardState {
         );
         ShardReport {
             shard: self.shard,
+            epoch: self.epoch,
             sessions,
         }
     }
@@ -306,14 +552,117 @@ impl ShardState {
     }
 }
 
-/// The worker loop of one threaded shard: apply events until shutdown or
-/// disconnection.
-pub(crate) fn run_worker(mut state: ShardState, rx: crossbeam::channel::Receiver<Event>) {
+/// Messages a supervised worker sends back to the driver out of band.
+#[derive(Debug, Clone)]
+pub(crate) enum WorkerMsg {
+    /// A periodic state snapshot.
+    Checkpoint(ShardCheckpoint),
+    /// The worker caught a panic and exited.
+    Failure(ShardFailure),
+}
+
+/// Everything a supervised worker needs beyond its state and event queue.
+pub(crate) struct WorkerCtx {
+    /// This worker's epoch, stamped into every outgoing message.
+    pub epoch: u64,
+    /// Set by the supervisor when this worker is superseded; the worker
+    /// exits at the next opportunity without touching further events.
+    pub cancel: Arc<AtomicBool>,
+    /// Out-of-band channel for checkpoints and failure reports.
+    pub msgs: crossbeam::channel::Sender<WorkerMsg>,
+    /// Checkpoint cadence in ticks (0 = never).
+    pub checkpoint_every: u64,
+    /// Replayable events already applied to the state at spawn (the
+    /// journal replay baseline).
+    pub events_base: u64,
+    /// Armed fault, if this worker is the sabotage target. Only initial
+    /// (epoch-0) workers ever get one, so a fault fires at most once.
+    pub fault: Option<FaultPlan>,
+}
+
+pub(crate) fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
+/// The supervised worker loop of one threaded shard: apply events until
+/// shutdown, disconnection, or cancellation; catch panics and report them
+/// as [`ShardFailure`]; ship a [`ShardCheckpoint`] every
+/// `checkpoint_every` ticks; host the injected fault, if any.
+pub(crate) fn run_worker(
+    mut state: ShardState,
+    rx: crossbeam::channel::Receiver<Event>,
+    ctx: WorkerCtx,
+) {
+    state.epoch = ctx.epoch;
+    let mut events_applied = ctx.events_base;
+    let mut fault = ctx.fault;
     while let Ok(event) = rx.recv() {
-        if matches!(event, Event::Shutdown) {
-            break;
+        if ctx.cancel.load(Ordering::Acquire) {
+            return;
         }
-        state.handle_event(event);
+        if matches!(event, Event::Shutdown) {
+            return;
+        }
+        let is_tick = matches!(event, Event::Tick { .. });
+        let replayable = !matches!(event, Event::Collect { .. });
+        // Fault injection: fires when the worker is about to process the
+        // planned tick, then disarms.
+        let mut inject_kill = false;
+        if is_tick && fault.is_some_and(|p| state.ticks() >= p.at_tick) {
+            let plan = fault.take().expect("checked above");
+            match plan.kind {
+                FaultKind::Kill => inject_kill = true,
+                FaultKind::Hang { millis } | FaultKind::Delay { millis } => {
+                    std::thread::sleep(std::time::Duration::from_millis(millis));
+                    // A hung worker may have been replaced while asleep; if
+                    // so, leave the event unapplied — the supervisor already
+                    // replayed it into the replacement.
+                    if ctx.cancel.load(Ordering::Acquire) {
+                        return;
+                    }
+                }
+            }
+        }
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if inject_kill {
+                panic!("injected fault: kill");
+            }
+            state.handle_event(event);
+        }));
+        match outcome {
+            Ok(()) => {
+                if replayable {
+                    events_applied += 1;
+                }
+                if is_tick
+                    && ctx.checkpoint_every > 0
+                    && state.ticks().is_multiple_of(ctx.checkpoint_every)
+                {
+                    let _ = ctx.msgs.send(WorkerMsg::Checkpoint(ShardCheckpoint {
+                        shard: state.shard,
+                        epoch: ctx.epoch,
+                        events_applied,
+                        state: state.checkpoint(),
+                    }));
+                }
+            }
+            Err(payload) => {
+                // The state may be torn mid-event; abandon it and let the
+                // supervisor rebuild from the last checkpoint + journal.
+                let _ = ctx.msgs.send(WorkerMsg::Failure(ShardFailure {
+                    shard: state.shard,
+                    epoch: ctx.epoch,
+                    reason: panic_reason(payload),
+                }));
+                return;
+            }
+        }
     }
 }
 

@@ -16,7 +16,23 @@
 use crate::queue::BitQueue;
 use crate::traits::Allocator;
 use cdba_traffic::EPS;
+use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+
+/// The full internal state of an [`OnlineDelayTracker`], exported for
+/// checkpointing. Restoring from this state reproduces the tracker
+/// bitwise: every field is copied verbatim, no recomputation happens.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DelayTrackerState {
+    /// `(arrival tick, unserved bits)` entries, oldest first.
+    pub pending: Vec<(usize, f64)>,
+    /// Ticks pushed so far.
+    pub tick: usize,
+    /// Maximum whole-tick FIFO delay observed so far.
+    pub max_delay: usize,
+    /// Maximum exact (fractional) FIFO delay observed so far.
+    pub max_delay_exact: f64,
+}
 
 /// Online maximum-FIFO-delay tracker: feed `(arrivals, served)` per tick.
 ///
@@ -27,6 +43,7 @@ pub struct OnlineDelayTracker {
     pending: VecDeque<(usize, f64)>,
     tick: usize,
     max_delay: usize,
+    max_delay_exact: f64,
 }
 
 impl OnlineDelayTracker {
@@ -36,25 +53,36 @@ impl OnlineDelayTracker {
     }
 
     /// Advances one tick.
-    pub fn push(&mut self, arrivals: f64, mut served: f64) {
+    pub fn push(&mut self, arrivals: f64, served: f64) {
         if arrivals > EPS {
             self.pending.push_back((self.tick, arrivals));
         }
-        while served > EPS {
+        let total = served;
+        let mut left = served;
+        while left > EPS {
             let Some(front) = self.pending.front_mut() else {
                 break;
             };
-            let take = front.1.min(served);
+            let take = front.1.min(left);
             front.1 -= take;
-            served -= take;
+            left -= take;
             if front.1 <= EPS {
                 self.max_delay = self.max_delay.max(self.tick - front.0);
+                // The entry completes after the fraction of this tick's
+                // service consumed so far, so its exact delay is that
+                // fraction into tick `tick - t0`. The exact value is
+                // always in (integer − 1, integer], so `ceil(exact)`
+                // equals the whole-tick delay above.
+                let consumed = ((total - left) / total).clamp(0.0, 1.0);
+                let exact = ((self.tick - front.0) as f64 - 1.0 + consumed).max(0.0);
+                self.max_delay_exact = self.max_delay_exact.max(exact);
                 self.pending.pop_front();
             }
         }
         // A still-pending head already implies at least this much delay.
         if let Some(&(t0, _)) = self.pending.front() {
             self.max_delay = self.max_delay.max(self.tick - t0);
+            self.max_delay_exact = self.max_delay_exact.max((self.tick - t0) as f64);
         }
         self.tick += 1;
     }
@@ -65,9 +93,38 @@ impl OnlineDelayTracker {
         self.max_delay
     }
 
+    /// The maximum FIFO delay with sub-tick resolution: a batch completing
+    /// partway through a tick's service is charged the fraction of the
+    /// tick consumed at its completion, not the whole tick. Always in
+    /// `(max_delay − 1, max_delay]`, so `ceil` of this value recovers
+    /// [`OnlineDelayTracker::max_delay`].
+    pub fn max_delay_exact(&self) -> f64 {
+        self.max_delay_exact
+    }
+
     /// Ticks with unserved bits currently tracked.
     pub fn pending_ticks(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Exports the full internal state (for checkpointing).
+    pub fn state(&self) -> DelayTrackerState {
+        DelayTrackerState {
+            pending: self.pending.iter().copied().collect(),
+            tick: self.tick,
+            max_delay: self.max_delay,
+            max_delay_exact: self.max_delay_exact,
+        }
+    }
+
+    /// Rebuilds a tracker from an exported state, bitwise.
+    pub fn restore(state: &DelayTrackerState) -> Self {
+        OnlineDelayTracker {
+            pending: state.pending.iter().copied().collect(),
+            tick: state.tick,
+            max_delay: state.max_delay,
+            max_delay_exact: state.max_delay_exact,
+        }
     }
 }
 
@@ -231,6 +288,56 @@ mod tests {
         t.push(0.0, 10.0);
         assert_eq!(t.max_delay(), 3);
         assert_eq!(t.pending_ticks(), 0);
+    }
+
+    #[test]
+    fn exact_delay_tracks_completion_fraction() {
+        let mut t = OnlineDelayTracker::new();
+        // 10 bits arrive; 2 ticks later a 5-bit batch arrives too.
+        t.push(10.0, 0.0);
+        t.push(0.0, 0.0);
+        t.push(5.0, 0.0);
+        // Serve 20 this tick: the first batch completes after 10/20 of the
+        // tick (delay 3 − 1 + 0.5 = 2.5), the second after 15/20
+        // (delay 1 − 1 + 0.75 = 0.75).
+        t.push(0.0, 20.0);
+        assert_eq!(t.max_delay(), 3);
+        assert!((t.max_delay_exact() - 2.5).abs() < 1e-12);
+        assert_eq!(t.max_delay_exact().ceil() as usize, t.max_delay());
+    }
+
+    #[test]
+    fn exact_delay_charges_pending_head_whole_ticks() {
+        let mut t = OnlineDelayTracker::new();
+        t.push(4.0, 0.0);
+        t.push(0.0, 0.0);
+        t.push(0.0, 0.0);
+        // Unserved head is 2 ticks old: integer and exact agree.
+        assert_eq!(t.max_delay(), 2);
+        assert_eq!(t.max_delay_exact(), 2.0);
+    }
+
+    #[test]
+    fn state_roundtrip_is_bitwise() {
+        let mut t = OnlineDelayTracker::new();
+        for (a, s) in [(7.0, 0.0), (3.0, 4.0), (0.0, 2.5), (1.0, 0.0)] {
+            t.push(a, s);
+        }
+        let state = t.state();
+        let mut restored = OnlineDelayTracker::restore(&state);
+        assert_eq!(restored.state(), state);
+        // Continue both in lockstep: they must agree exactly.
+        t.push(0.0, 10.0);
+        restored.push(0.0, 10.0);
+        assert_eq!(t.max_delay(), restored.max_delay());
+        assert_eq!(
+            t.max_delay_exact().to_bits(),
+            restored.max_delay_exact().to_bits()
+        );
+        // And through serde JSON as well.
+        let json = serde_json::to_string(&t.state()).unwrap();
+        let back: DelayTrackerState = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t.state());
     }
 
     #[test]

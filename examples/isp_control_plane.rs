@@ -96,7 +96,7 @@ fn operate(mut service: ControlPlane, seed: u64) -> ServiceSnapshot {
         service.tick(&arrivals).expect("all keys live");
     }
 
-    let snapshot = service.snapshot();
+    let snapshot = service.snapshot().expect("all shards healthy");
     service.shutdown();
     snapshot
 }

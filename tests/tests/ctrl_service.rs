@@ -66,7 +66,7 @@ fn churn_scenario(mut service: ControlPlane, seed: u64, ticks: u64) -> ServiceSn
             .collect();
         service.tick(&arrivals).unwrap();
     }
-    let snapshot = service.snapshot();
+    let snapshot = service.snapshot().expect("all shards healthy");
     service.shutdown();
     snapshot
 }
@@ -138,6 +138,49 @@ fn snapshot_json_roundtrips_through_serde() {
 }
 
 #[test]
+fn placement_rebalances_after_churn() {
+    // Eight dedicated sessions over four shards: least-loaded placement
+    // with lowest-index tie-breaks assigns keys 0..8 to shards
+    // 0,1,2,3,0,1,2,3. Skew the load by removing both of shard 1's
+    // sessions and one of shard 2's; the next admissions must heal the
+    // imbalance instead of continuing round-robin from where they left
+    // off.
+    let mut service = ControlPlane::new(config(4, ExecMode::Threaded));
+    let keys: Vec<u64> = (0..8).map(|_| service.admit("acme").unwrap()).collect();
+    for t in 0..20u64 {
+        let arrivals: Vec<(u64, f64)> = keys.iter().map(|&k| (k, (t % 3) as f64)).collect();
+        service.tick(&arrivals).unwrap();
+    }
+    for &gone in &[keys[1], keys[5], keys[2]] {
+        service.leave(gone).unwrap();
+    }
+    // Live load is now 2,0,1,2 → the healers go to shard 1, 1, then 2.
+    let healers: Vec<u64> = (0..3).map(|_| service.admit("acme").unwrap()).collect();
+    for _ in 0..20u64 {
+        let arrivals: Vec<(u64, f64)> = healers.iter().map(|&k| (k, 1.0)).collect();
+        service.tick(&arrivals).unwrap();
+    }
+    let snapshot = service.snapshot().expect("all shards healthy");
+    let shard_of = |key: u64| {
+        snapshot
+            .sessions
+            .iter()
+            .find(|m| m.session == key)
+            .map(|m| m.shard)
+            .unwrap()
+    };
+    assert_eq!(
+        (0..8).map(&shard_of).collect::<Vec<u64>>(),
+        vec![0, 1, 2, 3, 0, 1, 2, 3],
+        "initial placement spreads one per shard before doubling up"
+    );
+    assert_eq!(shard_of(healers[0]), 1);
+    assert_eq!(shard_of(healers[1]), 1);
+    assert_eq!(shard_of(healers[2]), 2);
+    service.shutdown();
+}
+
+#[test]
 fn admission_is_exact_under_churn() {
     // A budget for exactly three dedicated sessions: churn must stay
     // admissible forever because leaves release capacity immediately.
@@ -164,7 +207,7 @@ fn admission_is_exact_under_churn() {
         }
         assert_eq!(service.live_sessions(), 3, "round {round}");
     }
-    let snapshot = service.snapshot();
+    let snapshot = service.snapshot().expect("all shards healthy");
     assert_eq!(snapshot.admitted, 3 + 50);
     assert_eq!(snapshot.rejected, 1);
 }

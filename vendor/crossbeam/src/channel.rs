@@ -5,6 +5,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 struct State<T> {
     queue: VecDeque<T>,
@@ -87,6 +88,55 @@ impl fmt::Display for TryRecvError {
 
 impl std::error::Error for TryRecvError {}
 
+/// Error returned by [`Sender::send_timeout`]; carries the unsent value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendTimeoutError<T> {
+    /// The channel stayed full for the whole timeout.
+    Timeout(T),
+    /// Every receiver is gone.
+    Disconnected(T),
+}
+
+impl<T> SendTimeoutError<T> {
+    /// Recovers the value that could not be sent.
+    pub fn into_inner(self) -> T {
+        match self {
+            SendTimeoutError::Timeout(v) | SendTimeoutError::Disconnected(v) => v,
+        }
+    }
+}
+
+impl<T> fmt::Display for SendTimeoutError<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SendTimeoutError::Timeout(_) => f.write_str("timed out sending on a full channel"),
+            SendTimeoutError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+        }
+    }
+}
+
+impl<T: fmt::Debug> std::error::Error for SendTimeoutError<T> {}
+
+/// Error returned by [`Receiver::recv_timeout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecvTimeoutError {
+    /// The channel stayed empty for the whole timeout.
+    Timeout,
+    /// Empty and every sender is gone.
+    Disconnected,
+}
+
+impl fmt::Display for RecvTimeoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecvTimeoutError::Timeout => f.write_str("timed out receiving on an empty channel"),
+            RecvTimeoutError::Disconnected => f.write_str("channel disconnected"),
+        }
+    }
+}
+
+impl std::error::Error for RecvTimeoutError {}
+
 fn channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
     let inner = Arc::new(Inner {
         state: Mutex::new(State {
@@ -137,6 +187,51 @@ impl<T> Sender<T> {
                         .not_full
                         .wait(state)
                         .unwrap_or_else(|e| e.into_inner());
+                }
+                _ => break,
+            }
+        }
+        state.queue.push_back(value);
+        drop(state);
+        self.inner.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Sends `value`, blocking at most `timeout` while a bounded channel is
+    /// full.
+    ///
+    /// # Errors
+    ///
+    /// [`SendTimeoutError::Timeout`] when the channel stays full,
+    /// [`SendTimeoutError::Disconnected`] when every receiver has been
+    /// dropped; both carry the unsent value.
+    pub fn send_timeout(&self, value: T, timeout: Duration) -> Result<(), SendTimeoutError<T>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if state.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            match self.inner.cap {
+                Some(cap) if state.queue.len() >= cap => {
+                    let now = Instant::now();
+                    let Some(left) = deadline.checked_duration_since(now) else {
+                        return Err(SendTimeoutError::Timeout(value));
+                    };
+                    let (guard, result) = self
+                        .inner
+                        .not_full
+                        .wait_timeout(state, left)
+                        .unwrap_or_else(|e| e.into_inner());
+                    state = guard;
+                    if result.timed_out()
+                        && matches!(self.inner.cap, Some(cap) if state.queue.len() >= cap)
+                    {
+                        if state.receivers == 0 {
+                            return Err(SendTimeoutError::Disconnected(value));
+                        }
+                        return Err(SendTimeoutError::Timeout(value));
+                    }
                 }
                 _ => break,
             }
@@ -220,6 +315,45 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Receives the next message, blocking at most `timeout` while the
+    /// channel is empty.
+    ///
+    /// # Errors
+    ///
+    /// [`RecvTimeoutError::Timeout`] when the channel stays empty,
+    /// [`RecvTimeoutError::Disconnected`] once it is empty and every sender
+    /// has been dropped.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.inner.not_full.notify_one();
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(RecvTimeoutError::Disconnected);
+            }
+            let now = Instant::now();
+            let Some(left) = deadline.checked_duration_since(now) else {
+                return Err(RecvTimeoutError::Timeout);
+            };
+            let (guard, result) = self
+                .inner
+                .not_empty
+                .wait_timeout(state, left)
+                .unwrap_or_else(|e| e.into_inner());
+            state = guard;
+            if result.timed_out() && state.queue.is_empty() {
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                return Err(RecvTimeoutError::Timeout);
+            }
+        }
+    }
+
     /// A blocking iterator that ends when the channel disconnects.
     pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
         std::iter::from_fn(move || self.recv().ok())
@@ -291,6 +425,52 @@ mod tests {
         }
         producer.join().unwrap();
         assert_eq!(sum, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn send_timeout_reports_full_and_disconnected() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        assert_eq!(
+            tx.send_timeout(2, Duration::from_millis(10)),
+            Err(SendTimeoutError::Timeout(2))
+        );
+        rx.recv().unwrap();
+        assert_eq!(tx.send_timeout(3, Duration::from_millis(10)), Ok(()));
+        drop(rx);
+        assert_eq!(
+            tx.send_timeout(4, Duration::from_millis(10)),
+            Err(SendTimeoutError::Disconnected(4))
+        );
+    }
+
+    #[test]
+    fn recv_timeout_reports_empty_and_disconnected() {
+        let (tx, rx) = unbounded::<u8>();
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        tx.send(7).unwrap();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(7));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(RecvTimeoutError::Disconnected)
+        );
+    }
+
+    #[test]
+    fn timed_operations_complete_once_unblocked() {
+        let (tx, rx) = bounded::<u64>(1);
+        tx.send(1).unwrap();
+        let slow = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            rx.recv().unwrap();
+            rx.recv_timeout(Duration::from_secs(5)).unwrap()
+        });
+        tx.send_timeout(2, Duration::from_secs(5)).unwrap();
+        assert_eq!(slow.join().unwrap(), 2);
     }
 
     #[test]
