@@ -1,24 +1,37 @@
 //! `cdba-cli` — generate workloads, inspect them, run the paper's
-//! algorithms over them, and plan clairvoyant baselines, from the command
-//! line.
+//! algorithms over them, plan clairvoyant baselines, and drive the
+//! control plane as a service (in-process or over the gateway wire), from
+//! the command line.
 //!
 //! ```text
-//! cdba-cli generate --model mmpp --len 4000 --seed 7 --out t.cdba [--feasible B,D] [--sessions K]
-//! cdba-cli inspect  --trace t.cdba
-//! cdba-cli run      --trace t.cdba --alg single|lookback|phased|continuous|combined
-//!                   [--bandwidth 64] [--delay 8] [--utilization 0.25] [--window 16] [--json out.json]
-//! cdba-cli offline  --trace t.cdba [--bandwidth 64] [--delay 8]
+//! cdba-cli generate      --model mmpp --len 4000 --seed 7 --out t.cdba [--feasible B,D] [--sessions K]
+//! cdba-cli inspect       --trace t.cdba
+//! cdba-cli run           --trace t.cdba --alg single|lookback|phased|continuous|combined
+//!                        [--bandwidth 64] [--delay 8] [--utilization 0.25] [--window 16] [--json out.json]
+//! cdba-cli offline       --trace t.cdba [--bandwidth 64] [--delay 8]
+//! cdba-cli serve         --sessions 100 [--shards 4] [--ticks 100000] [--json snap.json]
+//! cdba-cli gateway       --addr 127.0.0.1:4411 [--sessions 100] [--shards 4] ...
+//! cdba-cli client        --addr 127.0.0.1:4411 --sessions 100 [--ticks 100000] [--json snap.json]
+//! cdba-cli bench-gateway [--ticks 2000] [--out BENCH_gateway.json]
 //! ```
+//!
+//! (The full per-command flag lists are in `USAGE`, printed by `--help`.)
+//! `serve` and `client` replay the same deterministic churn workload, so a
+//! snapshot taken over the wire is bitwise-identical — in its
+//! placement-invariant view — to one taken in-process.
 //!
 //! Traces use the compact binary format of `cdba_traffic::codec` (single- or
 //! multi-session).
 
 use cdba_analysis::cost::CostModel;
+use cdba_bench::replay::{run_replay, workload_kind, ReplaySpec};
 use cdba_core::combined::Combined;
 use cdba_core::config::{CombinedConfig, InnerMulti, MultiConfig, SingleConfig};
 use cdba_core::multi::{Continuous, Phased};
 use cdba_core::single::{LookbackSingle, SingleSession};
 use cdba_ctrl::{ControlPlane, ExecMode, FaultPlan, ServiceConfig};
+use cdba_gateway::client::{Client, ClientConfig};
+use cdba_gateway::{GatewayConfig, GatewayServer};
 use cdba_offline::multi::greedy_multi_offline;
 use cdba_offline::single::greedy_offline;
 use cdba_offline::OfflineConstraints;
@@ -46,6 +59,9 @@ fn main() -> ExitCode {
         "run" => run(rest),
         "offline" => offline(rest),
         "serve" => serve(rest),
+        "gateway" => gateway(rest),
+        "client" => client(rest),
+        "bench-gateway" => bench_gateway(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -75,7 +91,17 @@ usage: cdba-cli <command> [options]
            [--window W] [--group-size G] [--pool-frac F] [--churn-every C]
            [--budget B_A] [--quota Q] [--exec inline|threaded] [--json FILE]
            [--fault SHARD@TICK:<kill|hang:MS|delay:MS>] [--checkpoint-every N]
-           [--max-restarts R] [--shard-timeout-ms MS]";
+           [--max-restarts R] [--shard-timeout-ms MS]
+  gateway  [--addr HOST:PORT] [--workers N] [--service-queue N]
+           [--idle-timeout-ms MS] + every `serve` service/workload flag
+           (the workload flags fix the default --budget so a `client`
+           replay admits exactly like `serve`)
+  client   [--addr HOST:PORT] [--json FILE] + every `serve` workload flag:
+           replays the same deterministic churn workload over the wire and
+           writes the same snapshot JSON as `serve`
+  bench-gateway [--ticks T] [--sessions N] [--out FILE]
+           replays ticks at 1/4/16 connections against an in-process
+           gateway and writes machine-readable throughput/latency JSON";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -363,69 +389,60 @@ fn run(args: &[String]) -> CliResult {
     Ok(())
 }
 
-/// `serve`: spin up the cdba-ctrl control plane, replay a generated
-/// `MultiTrace` through it with mid-run session churn, and report
-/// throughput plus the service's JSON metrics snapshot. The
-/// placement-invariant metrics (global change count, max delay, windowed
-/// utilization, costs) are identical for any `--shards`/`--exec` choice
-/// under the same seed.
-fn serve(args: &[String]) -> CliResult {
-    let flags = parse_flags(args)?;
-    let sessions: usize = get_parse(&flags, "sessions", 100)?;
-    let shards: usize = get_parse(&flags, "shards", 4)?;
-    let ticks: u64 = get_parse(&flags, "ticks", 100_000)?;
-    let seed: u64 = get_parse(&flags, "seed", 0xCDBA)?;
-    let b_max: f64 = get_parse(&flags, "bandwidth", 16.0)?;
-    let b_o: f64 = get_parse(&flags, "group-bandwidth", 8.0)?;
-    let d_o: usize = get_parse(&flags, "delay", 8)?;
-    let u_o: f64 = get_parse(&flags, "utilization", 0.5)?;
-    let w: usize = get_parse(&flags, "window", 2 * d_o)?;
-    let group_size: usize = get_parse(&flags, "group-size", 4)?;
-    let pool_frac: f64 = get_parse(&flags, "pool-frac", 0.2)?;
-    let churn_every: u64 = get_parse(&flags, "churn-every", 500)?;
+/// Parses the deterministic churn-replay workload shared by `serve`,
+/// `client`, and the gateway's default-budget computation.
+fn replay_spec_from_flags(flags: &HashMap<String, String>) -> Result<ReplaySpec, String> {
+    let sessions: usize = get_parse(flags, "sessions", 100)?;
     if sessions == 0 {
         return Err("--sessions must be >= 1".into());
     }
+    let d_o: usize = get_parse(flags, "delay", 8)?;
+    let model = flags
+        .get("model")
+        .cloned()
+        .unwrap_or_else(|| "onoff".into());
+    workload_kind(&model)?; // fail fast on typos, before any admits
+    Ok(ReplaySpec {
+        sessions,
+        ticks: get_parse(flags, "ticks", 100_000)?,
+        seed: get_parse(flags, "seed", 0xCDBA)?,
+        model,
+        group_size: get_parse(flags, "group-size", 4)?,
+        pool_frac: get_parse(flags, "pool-frac", 0.2)?,
+        churn_every: get_parse(flags, "churn-every", 500)?,
+        b_max: get_parse(flags, "bandwidth", 16.0)?,
+        b_o: get_parse(flags, "group-bandwidth", 8.0)?,
+        d_o,
+        u_o: get_parse(flags, "utilization", 0.5)?,
+        w: get_parse(flags, "window", 2 * d_o)?,
+    })
+}
+
+/// Builds the control-plane config from the service flags, defaulting the
+/// budget to the spec's exact-fit value. Returns the config plus the
+/// parsed exec mode and shard count (for reporting).
+fn service_config_from_flags(
+    flags: &HashMap<String, String>,
+    spec: &ReplaySpec,
+) -> Result<(ServiceConfig, ExecMode, usize), String> {
+    let shards: usize = get_parse(flags, "shards", 4)?;
     let exec = match flags.get("exec").map(String::as_str) {
         None | Some("threaded") => ExecMode::Threaded,
         Some("inline") => ExecMode::Inline,
         Some(other) => return Err(format!("unknown --exec {other} (inline|threaded)")),
     };
-    let checkpoint_every: u64 = get_parse(&flags, "checkpoint-every", 64)?;
-    let max_restarts: u32 = get_parse(&flags, "max-restarts", 3)?;
-    let shard_timeout_ms: u64 = get_parse(&flags, "shard-timeout-ms", 2000)?;
+    let checkpoint_every: u64 = get_parse(flags, "checkpoint-every", 64)?;
+    let max_restarts: u32 = get_parse(flags, "max-restarts", 3)?;
+    let shard_timeout_ms: u64 = get_parse(flags, "shard-timeout-ms", 2000)?;
     let fault: Option<FaultPlan> = match flags.get("fault") {
-        Some(spec) => Some(spec.parse()?),
+        Some(raw) => Some(raw.parse()?),
         None => None,
     };
-
-    // Split the population: `pool_frac` of the sessions run in pooled
-    // groups of `group_size`, the rest get dedicated allocators.
-    let pooled = if group_size >= 2 && pool_frac > 0.0 {
-        ((sessions as f64 * pool_frac.clamp(0.0, 1.0)) as usize / group_size) * group_size
-    } else {
-        0
-    };
-    let dedicated = sessions - pooled;
-    let groups = if group_size >= 2 {
-        pooled / group_size
-    } else {
-        0
-    };
-
-    // Default budget: an exact fit for the initial population plus one
-    // spare dedicated envelope so churn replacements always admit.
-    let default_budget = dedicated as f64 * b_max + groups as f64 * 4.0 * b_o + b_max;
-    let budget: f64 = get_parse(&flags, "budget", default_budget)?;
-    let quota: f64 = get_parse(&flags, "quota", budget)?;
-
-    let mut builder = ServiceConfig::builder(budget)
+    let budget: f64 = get_parse(flags, "budget", spec.default_budget())?;
+    let quota: f64 = get_parse(flags, "quota", budget)?;
+    let mut builder = spec
+        .service_builder(budget)
         .default_quota(quota)
-        .session_b_max(b_max)
-        .group_b_o(b_o)
-        .offline_delay(d_o)
-        .offline_utilization(u_o)
-        .window(w)
         .shards(shards)
         .cost(CostModel::with_change_price(1.0))
         .exec(exec)
@@ -435,106 +452,41 @@ fn serve(args: &[String]) -> CliResult {
     if let Some(plan) = fault {
         builder = builder.fault(plan);
     }
-    let cfg = builder.build().map_err(|e| e.to_string())?;
+    Ok((builder.build().map_err(|e| e.to_string())?, exec, shards))
+}
 
-    // A bank of feasible arrival rows, tiled across the run: session key k
-    // replays row k mod rows. Feasibility targets the tighter of the
-    // dedicated offline budget U_O·B_A and the group budget B_O.
-    let model = flags.get("model").map(String::as_str).unwrap_or("onoff");
-    let kind = match model {
-        "cbr" => WorkloadKind::Cbr(Default::default()),
-        "poisson" => WorkloadKind::Poisson(Default::default()),
-        "onoff" => WorkloadKind::OnOff(Default::default()),
-        "mmpp" => WorkloadKind::Mmpp(Default::default()),
-        "pareto" => WorkloadKind::Pareto(Default::default()),
-        "video" => WorkloadKind::Video(Default::default()),
-        "spike" => WorkloadKind::Spike(Default::default()),
-        other => return Err(format!("unknown model {other}")),
-    };
-    let rows = sessions.min(64);
-    let base_len = (ticks.min(2048) as usize).max(w + 1);
-    let feasible_b = (u_o * b_max).min(b_o);
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut bank = Vec::with_capacity(rows);
-    for _ in 0..rows {
-        let trace = kind
-            .generate(&mut rng, base_len)
-            .map_err(|e| e.to_string())?;
-        let trace =
-            conditioner::scale_to_feasible(&trace, feasible_b, d_o).map_err(|e| e.to_string())?;
-        bank.push(trace);
-    }
-    let replay = MultiTrace::new(bank).map_err(|e| e.to_string())?;
+/// `serve`: spin up the cdba-ctrl control plane, replay a generated
+/// `MultiTrace` through it with mid-run session churn, and report
+/// throughput plus the service's JSON metrics snapshot. The
+/// placement-invariant metrics (global change count, max delay, windowed
+/// utilization, costs) are identical for any `--shards`/`--exec` choice
+/// under the same seed — and for a `client` replay of the same workload
+/// over the gateway wire.
+fn serve(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let spec = replay_spec_from_flags(&flags)?;
+    let (cfg, exec, shards) = service_config_from_flags(&flags, &spec)?;
+    let split = spec.split();
 
     let mut service = ControlPlane::new(cfg);
-    let tenants = ["alpha", "beta", "gamma", "delta"];
-    let mut pooled_keys: Vec<u64> = Vec::with_capacity(pooled);
-    for g in 0..groups {
-        let members = service
-            .admit_group(tenants[g % tenants.len()], group_size)
-            .map_err(|e| e.to_string())?;
-        pooled_keys.extend(members);
-    }
-    let mut dedicated_keys: std::collections::VecDeque<u64> =
-        std::collections::VecDeque::with_capacity(dedicated);
-    for i in 0..dedicated {
-        let key = service
-            .admit(tenants[i % tenants.len()])
-            .map_err(|e| e.to_string())?;
-        dedicated_keys.push_back(key);
-    }
-
-    let mut arrivals: Vec<(u64, f64)> = Vec::with_capacity(sessions);
-    let mut session_ticks: u64 = 0;
-    let mut churn_events: u64 = 0;
-    let started = std::time::Instant::now();
-    for t in 0..ticks {
-        // Churn: the oldest dedicated session leaves (draining out) and a
-        // fresh one is admitted in its place.
-        if churn_every > 0 && t > 0 && t % churn_every == 0 {
-            if let Some(gone) = dedicated_keys.pop_front() {
-                service.leave(gone).map_err(|e| e.to_string())?;
-                let key = service
-                    .admit(tenants[churn_events as usize % tenants.len()])
-                    .map_err(|e| e.to_string())?;
-                dedicated_keys.push_back(key);
-                churn_events += 1;
-            }
-        }
-        arrivals.clear();
-        let col = (t as usize) % replay.len();
-        for &key in pooled_keys.iter().chain(dedicated_keys.iter()) {
-            let bits = replay.session(key as usize % rows).arrival(col);
-            if bits > 0.0 {
-                arrivals.push((key, bits));
-            }
-        }
-        session_ticks += (pooled_keys.len() + dedicated_keys.len()) as u64;
-        service.tick(&arrivals).map_err(|e| e.to_string())?;
-    }
-    let elapsed = started.elapsed().as_secs_f64();
+    let outcome = run_replay(&mut service, &spec)?;
     let snapshot = service.snapshot().map_err(|e| e.to_string())?;
     service.shutdown();
 
-    let throughput = if elapsed > 0.0 {
-        session_ticks as f64 / elapsed
-    } else {
-        f64::INFINITY
-    };
     println!(
         "served {} sessions ({} pooled in {} groups) × {} ticks on {} {} shard(s): \
          {:.0} session-ticks/s, {} churn events",
-        sessions,
-        pooled,
-        groups,
-        ticks,
+        spec.sessions,
+        split.pooled,
+        split.groups,
+        spec.ticks,
         shards,
         match exec {
             ExecMode::Inline => "inline",
             ExecMode::Threaded => "threaded",
         },
-        throughput,
-        churn_events,
+        outcome.throughput(),
+        outcome.churn_events,
     );
     println!(
         "signalling: {} changes, total cost {:.1}; max delay {} ticks; admitted {}, rejected {}",
@@ -564,12 +516,12 @@ fn serve(args: &[String]) -> CliResult {
         );
     }
     let summary = serde_json::json!({
-        "sessions": sessions,
+        "sessions": spec.sessions,
         "shards": shards,
-        "ticks": ticks,
-        "churn_events": churn_events,
-        "elapsed_sec": elapsed,
-        "session_ticks_per_sec": throughput,
+        "ticks": spec.ticks,
+        "churn_events": outcome.churn_events,
+        "elapsed_sec": outcome.elapsed_sec,
+        "session_ticks_per_sec": outcome.throughput(),
         "admitted": snapshot.admitted,
         "rejected": snapshot.rejected,
         "restarts": snapshot.restarts,
@@ -587,6 +539,214 @@ fn serve(args: &[String]) -> CliResult {
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote full snapshot to {path}");
     }
+    Ok(())
+}
+
+/// `gateway`: bind the cdba-gateway TCP frontend over a fresh control
+/// plane and serve until the process is killed. The workload flags are
+/// accepted (and fix the default `--budget`) so a `client` replay admits
+/// exactly like `serve` would in-process.
+fn gateway(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let spec = replay_spec_from_flags(&flags)?;
+    let (cfg, exec, shards) = service_config_from_flags(&flags, &spec)?;
+    let defaults = GatewayConfig::default();
+    let gateway_cfg = GatewayConfig {
+        addr: flags
+            .get("addr")
+            .cloned()
+            .unwrap_or_else(|| "127.0.0.1:4411".into()),
+        workers: get_parse(&flags, "workers", defaults.workers)?,
+        service_queue: get_parse(&flags, "service-queue", defaults.service_queue)?,
+        idle_timeout_ms: get_parse(&flags, "idle-timeout-ms", defaults.idle_timeout_ms)?,
+        ..defaults
+    };
+    let server = GatewayServer::start(cfg, gateway_cfg).map_err(|e| e.to_string())?;
+    println!(
+        "cdba-gateway listening on {} ({} {} shard(s), budget fits {} sessions)",
+        server.local_addr(),
+        shards,
+        match exec {
+            ExecMode::Inline => "inline",
+            ExecMode::Threaded => "threaded",
+        },
+        spec.sessions,
+    );
+    // Serve until killed; clients come and go on their own schedule.
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// `client`: replay the deterministic churn workload over the gateway
+/// wire and report the same snapshot JSON as `serve`. With equal workload
+/// flags, the written snapshot's placement-invariant view is
+/// bitwise-identical to the in-process run's.
+fn client(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let spec = replay_spec_from_flags(&flags)?;
+    let split = spec.split();
+    let addr = flags
+        .get("addr")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:4411".into());
+    let mut client =
+        Client::connect_with(addr.as_str(), ClientConfig::default()).map_err(|e| e.to_string())?;
+    let outcome = run_replay(&mut client, &spec)?;
+    let snap = client.snapshot().map_err(|e| e.to_string())?;
+    client.goodbye().map_err(|e| e.to_string())?;
+
+    println!(
+        "replayed {} sessions ({} pooled in {} groups) × {} ticks over {}: \
+         {:.0} session-ticks/s, {} churn events",
+        spec.sessions,
+        split.pooled,
+        split.groups,
+        spec.ticks,
+        addr,
+        outcome.throughput(),
+        outcome.churn_events,
+    );
+    println!(
+        "signalling: {} changes, total cost {:.1}; max delay {} ticks; admitted {}, rejected {}",
+        snap.service.global.changes,
+        snap.service.global.total_cost(),
+        snap.service.global.max_delay,
+        snap.service.admitted,
+        snap.service.rejected,
+    );
+    println!(
+        "wire: {} frames in / {} out, {} decode errors, {} busy rejections; \
+         {} requests, p50 {} µs, p99 {} µs",
+        snap.wire.frames_in,
+        snap.wire.frames_out,
+        snap.wire.decode_errors,
+        snap.wire.busy_rejections,
+        snap.wire.requests,
+        snap.wire.latency_p50_us,
+        snap.wire.latency_p99_us,
+    );
+    if let Some(path) = flags.get("json") {
+        std::fs::write(path, snap.service.to_json_string())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote full snapshot to {path}");
+    }
+    Ok(())
+}
+
+/// `bench-gateway`: measure wire throughput and request latency at 1, 4,
+/// and 16 connections against an in-process gateway, writing a
+/// machine-readable JSON report.
+fn bench_gateway(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let ticks: u64 = get_parse(&flags, "ticks", 2_000)?;
+    let sessions: usize = get_parse(&flags, "sessions", 16)?;
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_gateway.json".into());
+    if sessions == 0 || ticks == 0 {
+        return Err("--sessions and --ticks must be >= 1".into());
+    }
+
+    let mut results = Vec::new();
+    for &conns in &[1usize, 4, 16] {
+        let per_conn = (sessions / conns).max(1);
+        let total = per_conn * conns;
+        let b_max = 16.0;
+        let cfg = ServiceConfig::builder(total as f64 * b_max + b_max)
+            .session_b_max(b_max)
+            .offline_delay(8)
+            .offline_utilization(0.5)
+            .window(16)
+            .cost(CostModel::with_change_price(1.0))
+            .exec(ExecMode::Inline)
+            .build()
+            .map_err(|e| e.to_string())?;
+        // Every connection participates in a per-tick barrier, so the
+        // worker pool must hold them all concurrently.
+        let gateway_cfg = GatewayConfig {
+            workers: conns + 2,
+            accept_backlog: conns.max(16),
+            ..GatewayConfig::default()
+        };
+        let server = GatewayServer::start(cfg, gateway_cfg).map_err(|e| e.to_string())?;
+        let addr = server.local_addr();
+
+        let started = std::time::Instant::now();
+        let barrier = std::sync::Barrier::new(conns);
+        std::thread::scope(|scope| -> CliResult {
+            let mut handles = Vec::new();
+            for c in 0..conns {
+                let barrier = &barrier;
+                handles.push(scope.spawn(move || -> CliResult {
+                    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                    let mut keys = Vec::with_capacity(per_conn);
+                    for _ in 0..per_conn {
+                        keys.push(client.join("bench").map_err(|e| e.to_string())?);
+                    }
+                    let mut arrivals = Vec::with_capacity(per_conn);
+                    for t in 0..ticks {
+                        arrivals.clear();
+                        for &key in &keys {
+                            let bits = ((t + key) % 3) as f64;
+                            if bits > 0.0 {
+                                arrivals.push((key, bits));
+                            }
+                        }
+                        if c == 0 {
+                            // Commit after every other connection staged.
+                            barrier.wait();
+                            client.tick(&arrivals).map_err(|e| e.to_string())?;
+                            barrier.wait();
+                        } else {
+                            client.stage(&arrivals).map_err(|e| e.to_string())?;
+                            barrier.wait();
+                            barrier.wait();
+                        }
+                    }
+                    client.goodbye().map_err(|e| e.to_string())
+                }));
+            }
+            for handle in handles {
+                handle.join().map_err(|_| "bench connection panicked")??;
+            }
+            Ok(())
+        })?;
+        let elapsed = started.elapsed().as_secs_f64();
+        let wire = server.wire_stats();
+        server.shutdown().map_err(|e| e.to_string())?;
+
+        let ticks_per_sec = if elapsed > 0.0 {
+            ticks as f64 / elapsed
+        } else {
+            f64::INFINITY
+        };
+        println!(
+            "{conns:>2} connection(s) × {per_conn} session(s): {ticks_per_sec:.0} ticks/s, \
+             {} requests, p50 {} µs, p99 {} µs",
+            wire.requests, wire.latency_p50_us, wire.latency_p99_us,
+        );
+        results.push(serde_json::json!({
+            "connections": conns,
+            "sessions": total,
+            "ticks": ticks,
+            "elapsed_sec": elapsed,
+            "ticks_per_sec": ticks_per_sec,
+            "requests": wire.requests,
+            "latency_p50_us": wire.latency_p50_us,
+            "latency_p99_us": wire.latency_p99_us,
+        }));
+    }
+
+    let report = serde_json::json!({
+        "bench": "gateway",
+        "ticks": ticks,
+        "results": results,
+    });
+    let body = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&out, body).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
     Ok(())
 }
 

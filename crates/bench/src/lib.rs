@@ -1,7 +1,11 @@
-//! Shared fixtures for the criterion benches and the `repro` binary.
+//! Shared fixtures for the criterion benches and the `repro` binary, plus
+//! the churn-replay workload ([`replay`]) shared by the `cdba-cli`
+//! serve/client/bench-gateway subcommands.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod replay;
 
 use cdba_traffic::models::{MmppParams, WorkloadKind};
 use cdba_traffic::multi::rotating_hot;

@@ -10,7 +10,9 @@
 //! * [`offline`] — clairvoyant comparators and classical baselines;
 //! * [`analysis`] — cost accounting and competitive-ratio reports;
 //! * [`ctrl`] — the sharded multi-tenant allocation service with
-//!   admission control and signalling-cost metering.
+//!   admission control and signalling-cost metering;
+//! * [`gateway`] — the TCP frontend for the control plane: wire protocol,
+//!   threaded server, blocking client.
 //!
 //! The [`prelude`] pulls in the handful of names almost every program
 //! needs.
@@ -75,6 +77,13 @@ pub mod ctrl {
     pub use cdba_ctrl::*;
 }
 
+/// The socket-facing frontend for the control plane: versioned wire
+/// protocol, threaded TCP server, and blocking client (re-export of
+/// `cdba-gateway`).
+pub mod gateway {
+    pub use cdba_gateway::*;
+}
+
 /// The names almost every `cdba` program needs.
 pub mod prelude {
     pub use cdba_analysis::cost::CostModel;
@@ -83,6 +92,7 @@ pub mod prelude {
     pub use cdba_core::multi::{Continuous, Phased};
     pub use cdba_core::single::{LookbackSingle, SingleSession};
     pub use cdba_ctrl::{ControlPlane, ExecMode, FaultPlan, ServiceConfig, ServiceSnapshot};
+    pub use cdba_gateway::{Client, GatewayConfig, GatewayServer, GatewaySnapshot};
     pub use cdba_sim::engine::{simulate, simulate_multi, DrainPolicy};
     pub use cdba_sim::verify::{verify_multi, verify_single};
     pub use cdba_sim::{Allocator, MultiAllocator, Schedule};
@@ -126,6 +136,25 @@ mod tests {
         let snapshot: ServiceSnapshot = service.snapshot().unwrap();
         assert_eq!(snapshot.global.sessions, 1);
         assert!(snapshot.global.signalling_cost > 0.0);
+    }
+
+    #[test]
+    fn prelude_covers_the_gateway_flow() {
+        let cfg = ServiceConfig::builder(64.0)
+            .session_b_max(16.0)
+            .offline_delay(4)
+            .window(4)
+            .exec(ExecMode::Inline)
+            .build()
+            .unwrap();
+        let server = GatewayServer::start(cfg, GatewayConfig::default()).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let key = client.join("tenant").unwrap();
+        client.tick(&[(key, 2.0)]).unwrap();
+        let snapshot: GatewaySnapshot = client.snapshot().unwrap();
+        assert_eq!(snapshot.service.ticks, 1);
+        client.goodbye().unwrap();
+        server.shutdown().unwrap();
     }
 
     #[test]

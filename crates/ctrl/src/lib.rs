@@ -94,6 +94,15 @@ pub enum CtrlError {
         /// The last failure reason the supervisor recorded.
         reason: String,
     },
+    /// A shard worker thread could not be spawned. The shard degrades
+    /// like any other shard fault: it is marked down and subsequent
+    /// operations touching it report [`CtrlError::ShardDown`].
+    Spawn {
+        /// The shard whose worker failed to spawn.
+        shard: usize,
+        /// The operating-system error.
+        reason: String,
+    },
     /// A tick named a session with non-finite or negative arrival bits.
     InvalidArrival {
         /// The offending session key.
@@ -114,6 +123,12 @@ impl fmt::Display for CtrlError {
             CtrlError::InvalidService(msg) => write!(f, "invalid service request: {msg}"),
             CtrlError::ShardDown { shard, reason } => {
                 write!(f, "shard {shard} is down: {reason}")
+            }
+            CtrlError::Spawn { shard, reason } => {
+                write!(
+                    f,
+                    "shard {shard} worker thread could not be spawned: {reason}"
+                )
             }
             CtrlError::InvalidArrival { session, bits } => {
                 write!(f, "invalid arrival of {bits} bits for session {session}")

@@ -136,7 +136,7 @@ fn spawn_worker(
     checkpoint_every: u64,
     fault: Option<FaultPlan>,
     msgs: &Sender<WorkerMsg>,
-) -> Worker {
+) -> Result<Worker, CtrlError> {
     let (tx, rx) = bounded(SHARD_QUEUE);
     let cancel = Arc::new(AtomicBool::new(false));
     let ctx = WorkerCtx {
@@ -150,8 +150,11 @@ fn spawn_worker(
     let handle = std::thread::Builder::new()
         .name(format!("cdba-shard-{shard}-e{epoch}"))
         .spawn(move || run_worker(state, rx, ctx))
-        .expect("spawn shard worker");
-    Worker { tx, handle, cancel }
+        .map_err(|e| CtrlError::Spawn {
+            shard,
+            reason: e.to_string(),
+        })?;
+    Ok(Worker { tx, handle, cancel })
 }
 
 /// The sharded multi-tenant allocation service. See the module docs.
@@ -180,7 +183,7 @@ impl ControlPlane {
     /// mode, worker threads spawned) immediately. The configured fault
     /// plan, if any, is armed on the targeted shard's initial worker.
     pub fn new(cfg: ServiceConfig) -> Self {
-        let sups: Vec<ShardSup> = (0..cfg.shards).map(|_| ShardSup::new()).collect();
+        let mut sups: Vec<ShardSup> = (0..cfg.shards).map(|_| ShardSup::new()).collect();
         let (backend, msgs) = match cfg.exec {
             ExecMode::Inline => (
                 Backend::Inline(
@@ -192,20 +195,29 @@ impl ControlPlane {
             ),
             ExecMode::Threaded => {
                 let (msg_tx, msg_rx) = unbounded();
-                let workers = (0..cfg.shards)
-                    .map(|s| {
-                        let fault = cfg.fault.filter(|plan| plan.shard == s);
-                        Some(spawn_worker(
-                            s,
-                            0,
-                            ShardState::new(s as u64, &cfg),
-                            0,
-                            cfg.checkpoint_every,
-                            fault,
-                            &msg_tx,
-                        ))
-                    })
-                    .collect();
+                let mut workers = Vec::with_capacity(cfg.shards);
+                for (s, sup) in sups.iter_mut().enumerate() {
+                    let fault = cfg.fault.filter(|plan| plan.shard == s);
+                    // A failed spawn degrades like any other shard fault:
+                    // the shard starts permanently down instead of
+                    // aborting the whole service.
+                    match spawn_worker(
+                        s,
+                        0,
+                        ShardState::new(s as u64, &cfg),
+                        0,
+                        cfg.checkpoint_every,
+                        fault,
+                        &msg_tx,
+                    ) {
+                        Ok(worker) => workers.push(Some(worker)),
+                        Err(err) => {
+                            sup.healthy = false;
+                            sup.last_failure = Some(err.to_string());
+                            workers.push(None);
+                        }
+                    }
+                }
                 (Backend::Threaded { workers }, Some((msg_tx, msg_rx)))
             }
         };
@@ -392,19 +404,29 @@ impl ControlPlane {
             }
         };
         self.events_replayed += journal.len() as u64;
-        let (msg_tx, _) = self
+        let msg_tx = self
             .msgs
             .as_ref()
-            .expect("threaded mode has a message channel");
-        let worker = spawn_worker(
+            .expect("threaded mode has a message channel")
+            .0
+            .clone();
+        let worker = match spawn_worker(
             shard,
             epoch,
             state,
             events_base,
             self.cfg.checkpoint_every,
             None,
-            msg_tx,
-        );
+            &msg_tx,
+        ) {
+            Ok(worker) => worker,
+            Err(err) => {
+                let sup = &mut self.sups[shard];
+                sup.healthy = false;
+                sup.last_failure = Some(err.to_string());
+                return Err(err);
+            }
+        };
         let Backend::Threaded { workers } = &mut self.backend else {
             unreachable!("recover is only reachable in threaded mode")
         };

@@ -1,0 +1,439 @@
+//! A blocking client for the gateway wire protocol.
+//!
+//! One [`Client`] owns one TCP connection and therefore one gateway
+//! "session scope": sessions it joins are owned by this connection and
+//! are drained automatically if the connection drops. Requests are
+//! strictly sequential (send, then block for the matching reply);
+//! subscription [`TickEvent`]s that arrive in between are buffered and
+//! surfaced through [`Client::next_event`].
+
+use crate::proto::{self, ErrorCode, Frame, ProtoError, MAX_FRAME, PUSH_ID};
+use crate::GatewaySnapshot;
+use std::collections::VecDeque;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+
+/// Client-side socket tuning.
+#[derive(Debug, Clone)]
+pub struct ClientConfig {
+    /// How long one request may wait for its reply.
+    pub read_timeout_ms: u64,
+    /// Socket write timeout.
+    pub write_timeout_ms: u64,
+    /// Total connect budget: [`Client::connect_with`] retries refused
+    /// connections (e.g. a gateway still binding) until this elapses.
+    pub connect_timeout_ms: u64,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout_ms: 30_000,
+            write_timeout_ms: 10_000,
+            connect_timeout_ms: 10_000,
+        }
+    }
+}
+
+/// Anything a client call can fail with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, write, timeout).
+    Io(String),
+    /// The server answered with a typed error frame.
+    Server {
+        /// The server's error class.
+        code: ErrorCode,
+        /// The server's detail message.
+        message: String,
+    },
+    /// The server broke the protocol (bad frame, wrong reply id).
+    Protocol(String),
+    /// A snapshot payload failed to parse as JSON.
+    Json(String),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "gateway i/o error: {e}"),
+            ClientError::Server { code, message } => {
+                write!(f, "gateway refused ({code}): {message}")
+            }
+            ClientError::Protocol(e) => write!(f, "gateway protocol violation: {e}"),
+            ClientError::Json(e) => write!(f, "gateway snapshot unparseable: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Internal read outcome; folded into [`ClientError`] at the API edge.
+#[derive(Debug)]
+enum ReadError {
+    /// The gateway closed the connection.
+    Closed,
+    /// The socket read timeout expired.
+    Timeout {
+        /// Whether part of the frame had already arrived (a desynced
+        /// stream, not a quiet one).
+        any_read: bool,
+    },
+    /// Any other socket failure.
+    Other(String),
+}
+
+impl From<ReadError> for ClientError {
+    fn from(e: ReadError) -> Self {
+        match e {
+            ReadError::Closed => ClientError::Io("connection closed by gateway".into()),
+            ReadError::Timeout { any_read: true } => {
+                ClientError::Io("read timed out mid-frame".into())
+            }
+            ReadError::Timeout { any_read: false } => ClientError::Io("read timed out".into()),
+            ReadError::Other(msg) => ClientError::Io(format!("read: {msg}")),
+        }
+    }
+}
+
+/// One subscription push: the signalling state after a committed tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TickEvent {
+    /// Ticks committed so far.
+    pub tick: u64,
+    /// Cumulative allocation changes across all sessions.
+    pub changes: u64,
+    /// Cumulative signalling cost under the service's price model.
+    pub signalling_cost: f64,
+}
+
+/// A blocking gateway client over one TCP connection.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+    cfg: ClientConfig,
+    next_id: u64,
+    pending_events: VecDeque<TickEvent>,
+}
+
+impl Client {
+    /// Connects with [`ClientConfig::default`] and performs the
+    /// hello/hello-ok handshake.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] when no connection can be made within the
+    /// connect budget; [`ClientError::Server`] when the handshake is
+    /// refused.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit tuning; see [`Client::connect`].
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::connect`].
+    pub fn connect_with(addr: impl ToSocketAddrs, cfg: ClientConfig) -> Result<Self, ClientError> {
+        let deadline = Instant::now() + Duration::from_millis(cfg.connect_timeout_ms.max(1));
+        let stream = loop {
+            match TcpStream::connect(&addr) {
+                Ok(stream) => break stream,
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        return Err(ClientError::Io(format!("connect: {e}")));
+                    }
+                    std::thread::sleep(Duration::from_millis(50));
+                }
+            }
+        };
+        stream
+            .set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))))
+            .map_err(|e| ClientError::Io(format!("set_read_timeout: {e}")))?;
+        stream
+            .set_write_timeout(Some(Duration::from_millis(cfg.write_timeout_ms.max(1))))
+            .map_err(|e| ClientError::Io(format!("set_write_timeout: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let mut client = Self {
+            stream,
+            cfg,
+            next_id: 1,
+            pending_events: VecDeque::new(),
+        };
+        client.write(&Frame::Hello {
+            magic: proto::MAGIC,
+            version: proto::VERSION,
+        })?;
+        match client.read_frame()? {
+            Frame::HelloOk { .. } => Ok(client),
+            Frame::Error { code, message, .. } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Protocol(format!(
+                "expected hello-ok, got {other:?}"
+            ))),
+        }
+    }
+
+    fn write(&mut self, frame: &Frame) -> Result<(), ClientError> {
+        self.stream
+            .write_all(&proto::encode(frame))
+            .map_err(|e| ClientError::Io(format!("write: {e}")))
+    }
+
+    /// Reads exactly one frame, blocking up to the read timeout.
+    fn read_frame(&mut self) -> Result<Frame, ClientError> {
+        self.read_frame_opt(false)?
+            .ok_or_else(|| ClientError::Io("read timed out".into()))
+    }
+
+    /// Reads one frame; with `none_on_timeout`, a timeout before the
+    /// first byte yields `Ok(None)` instead of an error.
+    fn read_frame_opt(&mut self, none_on_timeout: bool) -> Result<Option<Frame>, ClientError> {
+        let mut head = [0u8; 4];
+        match self.read_exact(&mut head) {
+            Ok(()) => {}
+            Err(ReadError::Timeout { any_read: false }) if none_on_timeout => return Ok(None),
+            Err(e) => return Err(e.into()),
+        }
+        let declared = u32::from_le_bytes(head) as usize;
+        if declared > MAX_FRAME {
+            return Err(ClientError::Protocol(
+                ProtoError::Oversized {
+                    declared: declared as u64,
+                }
+                .to_string(),
+            ));
+        }
+        let mut body = vec![0u8; declared];
+        self.read_exact(&mut body).map_err(ClientError::from)?;
+        proto::decode_payload(bytes::Bytes::from(body))
+            .map_err(|e| ClientError::Protocol(e.to_string()))
+            .map(Some)
+    }
+
+    fn read_exact(&mut self, buf: &mut [u8]) -> Result<(), ReadError> {
+        let mut filled = 0;
+        while filled < buf.len() {
+            match self.stream.read(&mut buf[filled..]) {
+                Ok(0) => return Err(ReadError::Closed),
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Err(ReadError::Timeout {
+                        any_read: filled > 0,
+                    });
+                }
+                Err(e) => return Err(ReadError::Other(e.to_string())),
+            }
+        }
+        Ok(())
+    }
+
+    /// Sends a request and blocks for the reply with the matching id,
+    /// buffering any events that arrive first.
+    fn request(&mut self, make: impl FnOnce(u64) -> Frame) -> Result<Frame, ClientError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.write(&make(id))?;
+        loop {
+            match self.read_frame()? {
+                Frame::Event {
+                    tick,
+                    changes,
+                    signalling_cost,
+                } => self.pending_events.push_back(TickEvent {
+                    tick,
+                    changes,
+                    signalling_cost,
+                }),
+                Frame::Error {
+                    id: got,
+                    code,
+                    message,
+                } if got == id || got == PUSH_ID => {
+                    return Err(ClientError::Server { code, message });
+                }
+                frame => match proto::reply_id(&frame) {
+                    Some(got) if got == id => return Ok(frame),
+                    _ => {
+                        return Err(ClientError::Protocol(format!(
+                            "unexpected frame awaiting reply {id}: {frame:?}"
+                        )))
+                    }
+                },
+            }
+        }
+    }
+
+    /// Admits one dedicated session for `tenant`; returns its key.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::Ctrl`] when admission
+    /// refuses the join.
+    pub fn join(&mut self, tenant: &str) -> Result<u64, ClientError> {
+        match self.request(|id| Frame::Join {
+            id,
+            tenant: tenant.to_string(),
+        })? {
+            Frame::Joined { key, .. } => Ok(key),
+            other => Err(ClientError::Protocol(format!("expected joined: {other:?}"))),
+        }
+    }
+
+    /// Admits a pooled group of `size` sessions; returns their keys.
+    ///
+    /// # Errors
+    ///
+    /// As [`Client::join`].
+    pub fn join_group(&mut self, tenant: &str, size: u32) -> Result<Vec<u64>, ClientError> {
+        match self.request(|id| Frame::JoinGroup {
+            id,
+            tenant: tenant.to_string(),
+            size,
+        })? {
+            Frame::GroupJoined { members, .. } => Ok(members),
+            other => Err(ClientError::Protocol(format!(
+                "expected group-joined: {other:?}"
+            ))),
+        }
+    }
+
+    /// Starts draining session `key` out of the service.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::NotOwner`] if another connection owns the session.
+    pub fn leave(&mut self, key: u64) -> Result<(), ClientError> {
+        match self.request(|id| Frame::Leave { id, key })? {
+            Frame::LeaveOk { .. } => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected leave-ok: {other:?}"
+            ))),
+        }
+    }
+
+    /// Buffers arrivals for the next committed tick; returns the total
+    /// number now staged gateway-wide.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when validation rejects the batch (the
+    /// previously staged arrivals stay buffered).
+    pub fn stage(&mut self, arrivals: &[(u64, f64)]) -> Result<u32, ClientError> {
+        match self.request(|id| Frame::Stage {
+            id,
+            arrivals: arrivals.to_vec(),
+        })? {
+            Frame::StageOk { staged, .. } => Ok(staged),
+            other => Err(ClientError::Protocol(format!(
+                "expected stage-ok: {other:?}"
+            ))),
+        }
+    }
+
+    /// Stages `arrivals`, then commits the batch tick (every staged
+    /// arrival across all connections, in ascending key order). Returns
+    /// the tick count after the commit.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when validation or the control plane
+    /// rejects the tick.
+    pub fn tick(&mut self, arrivals: &[(u64, f64)]) -> Result<u64, ClientError> {
+        match self.request(|id| Frame::Tick {
+            id,
+            arrivals: arrivals.to_vec(),
+        })? {
+            Frame::TickOk { tick, .. } => Ok(tick),
+            other => Err(ClientError::Protocol(format!(
+                "expected tick-ok: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the full gateway snapshot (allocation state + wire
+    /// counters).
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Json`] when the payload does not parse.
+    pub fn snapshot(&mut self) -> Result<GatewaySnapshot, ClientError> {
+        match self.request(|id| Frame::Snapshot { id })? {
+            Frame::SnapshotOk { json, .. } => {
+                serde_json::from_str(&json).map_err(|e| ClientError::Json(e.to_string()))
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected snapshot-ok: {other:?}"
+            ))),
+        }
+    }
+
+    /// Subscribes this connection to a [`TickEvent`] every `every`
+    /// committed ticks.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when `every` is zero.
+    pub fn subscribe(&mut self, every: u32) -> Result<(), ClientError> {
+        match self.request(|id| Frame::Subscribe { id, every })? {
+            Frame::SubscribeOk { .. } => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected subscribe-ok: {other:?}"
+            ))),
+        }
+    }
+
+    /// Returns the next buffered subscription event, waiting up to
+    /// `timeout` for one to arrive off the wire. `None` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] / [`ClientError::Protocol`] on socket or
+    /// framing failures while waiting.
+    pub fn next_event(&mut self, timeout: Duration) -> Result<Option<TickEvent>, ClientError> {
+        if let Some(event) = self.pending_events.pop_front() {
+            return Ok(Some(event));
+        }
+        self.stream
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))
+            .map_err(|e| ClientError::Io(format!("set_read_timeout: {e}")))?;
+        let result = match self.read_frame_opt(true) {
+            Ok(None) => Ok(None),
+            Ok(Some(Frame::Event {
+                tick,
+                changes,
+                signalling_cost,
+            })) => Ok(Some(TickEvent {
+                tick,
+                changes,
+                signalling_cost,
+            })),
+            Ok(Some(Frame::Error { code, message, .. })) => {
+                Err(ClientError::Server { code, message })
+            }
+            Ok(Some(other)) => Err(ClientError::Protocol(format!(
+                "unexpected frame awaiting event: {other:?}"
+            ))),
+            Err(e) => Err(e),
+        };
+        let _ = self
+            .stream
+            .set_read_timeout(Some(Duration::from_millis(self.cfg.read_timeout_ms.max(1))));
+        result
+    }
+
+    /// Clean close: sends goodbye and waits for the acknowledgement.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors while closing; the connection is gone either way.
+    pub fn goodbye(mut self) -> Result<(), ClientError> {
+        match self.request(|id| Frame::Goodbye { id })? {
+            Frame::GoodbyeOk { .. } => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected goodbye-ok: {other:?}"
+            ))),
+        }
+    }
+}

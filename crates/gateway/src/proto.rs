@@ -1,0 +1,778 @@
+//! The gateway wire protocol: versioned, length-prefixed binary frames.
+//!
+//! Conventions follow `cdba_traffic::codec` — a four-byte magic, a version
+//! byte, and little-endian fixed-width integers over [`bytes`] — but where
+//! the trace codec encodes one blob, this module frames a *conversation*:
+//!
+//! ```text
+//! frame   := u32_le payload_len · payload        (payload_len ≤ MAX_FRAME)
+//! payload := u8 kind · kind-specific body
+//! ```
+//!
+//! Every client request carries a `u64` request id; the matching response
+//! (or a typed [`Frame::Error`]) echoes it. Server pushes (subscription
+//! [`Frame::Event`]s) carry no id. The first frame on a connection must be
+//! [`Frame::Hello`] carrying [`MAGIC`] and [`VERSION`]; the server answers
+//! [`Frame::HelloOk`] or a typed error and closes.
+//!
+//! Strings are `u32_le` byte length + UTF-8 bytes; vectors are `u32_le`
+//! element count + elements. Both are validated against the remaining
+//! payload before allocation, so a hostile length cannot balloon memory.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+/// The protocol magic, sent in [`Frame::Hello`].
+pub const MAGIC: [u8; 4] = *b"CDBG";
+
+/// The protocol version, sent in [`Frame::Hello`] / [`Frame::HelloOk`].
+pub const VERSION: u8 = 1;
+
+/// Hard upper bound on one frame's payload, rejected before allocation.
+pub const MAX_FRAME: usize = 1 << 20;
+
+/// The request id used by server-push frames and by errors raised before a
+/// request id could be parsed.
+pub const PUSH_ID: u64 = 0;
+
+/// Typed error classes carried by [`Frame::Error`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The handshake magic did not match [`MAGIC`].
+    BadMagic,
+    /// The handshake version did not match [`VERSION`].
+    BadVersion,
+    /// A well-framed payload failed to decode (or arrived truncated).
+    BadFrame,
+    /// A length prefix exceeded [`MAX_FRAME`].
+    Oversized,
+    /// A bounded queue was full; retry later.
+    Busy,
+    /// The server could not answer within its request timeout.
+    Timeout,
+    /// The control plane refused the operation (admission, unknown
+    /// session, shard down, …); the message carries the `CtrlError`.
+    Ctrl,
+    /// The session named by the request is owned by another connection.
+    NotOwner,
+    /// The connection was idle past the server's harvest timeout.
+    Idle,
+    /// The server is shutting down.
+    Shutdown,
+    /// A protocol-state violation (request before hello, server-only
+    /// frame from a client, …).
+    Proto,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::BadMagic => 1,
+            ErrorCode::BadVersion => 2,
+            ErrorCode::BadFrame => 3,
+            ErrorCode::Oversized => 4,
+            ErrorCode::Busy => 5,
+            ErrorCode::Timeout => 6,
+            ErrorCode::Ctrl => 7,
+            ErrorCode::NotOwner => 8,
+            ErrorCode::Idle => 9,
+            ErrorCode::Shutdown => 10,
+            ErrorCode::Proto => 11,
+        }
+    }
+
+    fn from_u8(raw: u8) -> Option<Self> {
+        Some(match raw {
+            1 => ErrorCode::BadMagic,
+            2 => ErrorCode::BadVersion,
+            3 => ErrorCode::BadFrame,
+            4 => ErrorCode::Oversized,
+            5 => ErrorCode::Busy,
+            6 => ErrorCode::Timeout,
+            7 => ErrorCode::Ctrl,
+            8 => ErrorCode::NotOwner,
+            9 => ErrorCode::Idle,
+            10 => ErrorCode::Shutdown,
+            11 => ErrorCode::Proto,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::BadMagic => "bad-magic",
+            ErrorCode::BadVersion => "bad-version",
+            ErrorCode::BadFrame => "bad-frame",
+            ErrorCode::Oversized => "oversized",
+            ErrorCode::Busy => "busy",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Ctrl => "ctrl",
+            ErrorCode::NotOwner => "not-owner",
+            ErrorCode::Idle => "idle",
+            ErrorCode::Shutdown => "shutdown",
+            ErrorCode::Proto => "proto",
+        };
+        f.write_str(name)
+    }
+}
+
+/// One wire frame, client→server or server→client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// Handshake: the first client frame on every connection.
+    Hello {
+        /// Must equal [`MAGIC`].
+        magic: [u8; 4],
+        /// Must equal [`VERSION`].
+        version: u8,
+    },
+    /// Handshake accepted.
+    HelloOk {
+        /// The server's protocol version.
+        version: u8,
+    },
+    /// Admit one dedicated session for `tenant`.
+    Join {
+        /// Request id.
+        id: u64,
+        /// Owning tenant.
+        tenant: String,
+    },
+    /// Admit a pooled group of `size` sessions for `tenant`.
+    JoinGroup {
+        /// Request id.
+        id: u64,
+        /// Owning tenant.
+        tenant: String,
+        /// Group size (≥ 2).
+        size: u32,
+    },
+    /// Begin draining a session out.
+    Leave {
+        /// Request id.
+        id: u64,
+        /// The session to leave.
+        key: u64,
+    },
+    /// Buffer arrivals for the next batch tick without committing it.
+    Stage {
+        /// Request id.
+        id: u64,
+        /// `(session key, bits)` pairs to stage.
+        arrivals: Vec<(u64, f64)>,
+    },
+    /// Stage `arrivals`, then commit the batch tick (all staged arrivals
+    /// across every connection, applied in ascending key order).
+    Tick {
+        /// Request id.
+        id: u64,
+        /// `(session key, bits)` pairs to stage before committing.
+        arrivals: Vec<(u64, f64)>,
+    },
+    /// Request a full [`GatewaySnapshot`](crate::GatewaySnapshot).
+    Snapshot {
+        /// Request id.
+        id: u64,
+    },
+    /// Subscribe to [`Frame::Event`] pushes every `every` committed ticks.
+    Subscribe {
+        /// Request id.
+        id: u64,
+        /// Event period in ticks (≥ 1).
+        every: u32,
+    },
+    /// Clean client-initiated close.
+    Goodbye {
+        /// Request id.
+        id: u64,
+    },
+    /// Response to [`Frame::Join`].
+    Joined {
+        /// Echoed request id.
+        id: u64,
+        /// The admitted session's key.
+        key: u64,
+    },
+    /// Response to [`Frame::JoinGroup`].
+    GroupJoined {
+        /// Echoed request id.
+        id: u64,
+        /// The admitted members' keys.
+        members: Vec<u64>,
+    },
+    /// Response to [`Frame::Leave`].
+    LeaveOk {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Response to [`Frame::Stage`].
+    StageOk {
+        /// Echoed request id.
+        id: u64,
+        /// Arrivals now buffered for the pending tick (all connections).
+        staged: u32,
+    },
+    /// Response to [`Frame::Tick`].
+    TickOk {
+        /// Echoed request id.
+        id: u64,
+        /// Ticks committed so far (after this one).
+        tick: u64,
+    },
+    /// Response to [`Frame::Snapshot`].
+    SnapshotOk {
+        /// Echoed request id.
+        id: u64,
+        /// A `GatewaySnapshot` as JSON.
+        json: String,
+    },
+    /// Response to [`Frame::Subscribe`].
+    SubscribeOk {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Response to [`Frame::Goodbye`]; the server closes afterwards.
+    GoodbyeOk {
+        /// Echoed request id.
+        id: u64,
+    },
+    /// Server push to subscribers: the signalling state after a committed
+    /// batch tick — this is the §1 "allocation change" made wire-visible.
+    Event {
+        /// Ticks committed so far.
+        tick: u64,
+        /// Cumulative allocation changes across all sessions.
+        changes: u64,
+        /// Cumulative signalling cost under the service's price model.
+        signalling_cost: f64,
+    },
+    /// Typed error response; the connection may or may not survive it
+    /// (framing-level errors close it, semantic ones do not).
+    Error {
+        /// Echoed request id, or [`PUSH_ID`] if none was parsed.
+        id: u64,
+        /// The error class.
+        code: ErrorCode,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// Error raised while decoding a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// The buffer ended before the declared payload.
+    Truncated,
+    /// A length prefix exceeded [`MAX_FRAME`].
+    Oversized {
+        /// The declared payload length.
+        declared: u64,
+    },
+    /// The payload's kind byte is not a known frame kind.
+    UnknownKind(u8),
+    /// A string field was not valid UTF-8.
+    BadString,
+    /// The payload decoded cleanly but left unconsumed bytes.
+    Trailing {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// An error frame carried an unknown [`ErrorCode`].
+    BadErrorCode(u8),
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "truncated frame"),
+            ProtoError::Oversized { declared } => {
+                write!(
+                    f,
+                    "declared payload of {declared} bytes exceeds {MAX_FRAME}"
+                )
+            }
+            ProtoError::UnknownKind(kind) => write!(f, "unknown frame kind {kind:#04x}"),
+            ProtoError::BadString => write!(f, "string field is not valid UTF-8"),
+            ProtoError::Trailing { extra } => write!(f, "{extra} trailing bytes after payload"),
+            ProtoError::BadErrorCode(raw) => write!(f, "unknown error code {raw}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+const K_HELLO: u8 = 0x01;
+const K_HELLO_OK: u8 = 0x02;
+const K_JOIN: u8 = 0x10;
+const K_JOIN_GROUP: u8 = 0x11;
+const K_LEAVE: u8 = 0x12;
+const K_STAGE: u8 = 0x13;
+const K_TICK: u8 = 0x14;
+const K_SNAPSHOT: u8 = 0x15;
+const K_SUBSCRIBE: u8 = 0x16;
+const K_GOODBYE: u8 = 0x17;
+const K_JOINED: u8 = 0x20;
+const K_GROUP_JOINED: u8 = 0x21;
+const K_LEAVE_OK: u8 = 0x22;
+const K_STAGE_OK: u8 = 0x23;
+const K_TICK_OK: u8 = 0x24;
+const K_SNAPSHOT_OK: u8 = 0x25;
+const K_SUBSCRIBE_OK: u8 = 0x26;
+const K_GOODBYE_OK: u8 = 0x27;
+const K_EVENT: u8 = 0x30;
+const K_ERROR: u8 = 0x3F;
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn put_arrivals(buf: &mut BytesMut, arrivals: &[(u64, f64)]) {
+    buf.put_u32_le(arrivals.len() as u32);
+    for &(key, bits) in arrivals {
+        buf.put_u64_le(key);
+        buf.put_f64_le(bits);
+    }
+}
+
+/// Encodes one frame to its full wire form (length prefix + payload).
+pub fn encode(frame: &Frame) -> Bytes {
+    let mut payload = BytesMut::with_capacity(64);
+    match frame {
+        Frame::Hello { magic, version } => {
+            payload.put_u8(K_HELLO);
+            payload.put_slice(magic);
+            payload.put_u8(*version);
+        }
+        Frame::HelloOk { version } => {
+            payload.put_u8(K_HELLO_OK);
+            payload.put_u8(*version);
+        }
+        Frame::Join { id, tenant } => {
+            payload.put_u8(K_JOIN);
+            payload.put_u64_le(*id);
+            put_string(&mut payload, tenant);
+        }
+        Frame::JoinGroup { id, tenant, size } => {
+            payload.put_u8(K_JOIN_GROUP);
+            payload.put_u64_le(*id);
+            put_string(&mut payload, tenant);
+            payload.put_u32_le(*size);
+        }
+        Frame::Leave { id, key } => {
+            payload.put_u8(K_LEAVE);
+            payload.put_u64_le(*id);
+            payload.put_u64_le(*key);
+        }
+        Frame::Stage { id, arrivals } => {
+            payload.put_u8(K_STAGE);
+            payload.put_u64_le(*id);
+            put_arrivals(&mut payload, arrivals);
+        }
+        Frame::Tick { id, arrivals } => {
+            payload.put_u8(K_TICK);
+            payload.put_u64_le(*id);
+            put_arrivals(&mut payload, arrivals);
+        }
+        Frame::Snapshot { id } => {
+            payload.put_u8(K_SNAPSHOT);
+            payload.put_u64_le(*id);
+        }
+        Frame::Subscribe { id, every } => {
+            payload.put_u8(K_SUBSCRIBE);
+            payload.put_u64_le(*id);
+            payload.put_u32_le(*every);
+        }
+        Frame::Goodbye { id } => {
+            payload.put_u8(K_GOODBYE);
+            payload.put_u64_le(*id);
+        }
+        Frame::Joined { id, key } => {
+            payload.put_u8(K_JOINED);
+            payload.put_u64_le(*id);
+            payload.put_u64_le(*key);
+        }
+        Frame::GroupJoined { id, members } => {
+            payload.put_u8(K_GROUP_JOINED);
+            payload.put_u64_le(*id);
+            payload.put_u32_le(members.len() as u32);
+            for &key in members {
+                payload.put_u64_le(key);
+            }
+        }
+        Frame::LeaveOk { id } => {
+            payload.put_u8(K_LEAVE_OK);
+            payload.put_u64_le(*id);
+        }
+        Frame::StageOk { id, staged } => {
+            payload.put_u8(K_STAGE_OK);
+            payload.put_u64_le(*id);
+            payload.put_u32_le(*staged);
+        }
+        Frame::TickOk { id, tick } => {
+            payload.put_u8(K_TICK_OK);
+            payload.put_u64_le(*id);
+            payload.put_u64_le(*tick);
+        }
+        Frame::SnapshotOk { id, json } => {
+            payload.put_u8(K_SNAPSHOT_OK);
+            payload.put_u64_le(*id);
+            put_string(&mut payload, json);
+        }
+        Frame::SubscribeOk { id } => {
+            payload.put_u8(K_SUBSCRIBE_OK);
+            payload.put_u64_le(*id);
+        }
+        Frame::GoodbyeOk { id } => {
+            payload.put_u8(K_GOODBYE_OK);
+            payload.put_u64_le(*id);
+        }
+        Frame::Event {
+            tick,
+            changes,
+            signalling_cost,
+        } => {
+            payload.put_u8(K_EVENT);
+            payload.put_u64_le(*tick);
+            payload.put_u64_le(*changes);
+            payload.put_f64_le(*signalling_cost);
+        }
+        Frame::Error { id, code, message } => {
+            payload.put_u8(K_ERROR);
+            payload.put_u64_le(*id);
+            payload.put_u8(code.to_u8());
+            put_string(&mut payload, message);
+        }
+    }
+    let mut wire = BytesMut::with_capacity(4 + payload.len());
+    wire.put_u32_le(payload.len() as u32);
+    wire.put_slice(&payload.freeze());
+    wire.freeze()
+}
+
+struct Reader {
+    buf: Bytes,
+}
+
+impl Reader {
+    fn need(&self, n: usize) -> Result<(), ProtoError> {
+        if self.buf.remaining() < n {
+            Err(ProtoError::Truncated)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        self.need(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        self.need(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        self.need(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        self.need(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    fn magic(&mut self) -> Result<[u8; 4], ProtoError> {
+        self.need(4)?;
+        let mut out = [0u8; 4];
+        self.buf.copy_to_slice(&mut out);
+        Ok(out)
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let len = self.u32()? as usize;
+        self.need(len)?;
+        let mut raw = vec![0u8; len];
+        self.buf.copy_to_slice(&mut raw);
+        String::from_utf8(raw).map_err(|_| ProtoError::BadString)
+    }
+
+    fn arrivals(&mut self) -> Result<Vec<(u64, f64)>, ProtoError> {
+        let count = self.u32()? as usize;
+        self.need(count * 16)?;
+        let mut out = Vec::with_capacity(count);
+        for _ in 0..count {
+            let key = self.buf.get_u64_le();
+            let bits = self.buf.get_f64_le();
+            out.push((key, bits));
+        }
+        Ok(out)
+    }
+
+    fn keys(&mut self) -> Result<Vec<u64>, ProtoError> {
+        let count = self.u32()? as usize;
+        self.need(count * 8)?;
+        Ok((0..count).map(|_| self.buf.get_u64_le()).collect())
+    }
+
+    fn finish(self, frame: Frame) -> Result<Frame, ProtoError> {
+        if self.buf.remaining() > 0 {
+            Err(ProtoError::Trailing {
+                extra: self.buf.remaining(),
+            })
+        } else {
+            Ok(frame)
+        }
+    }
+}
+
+/// Decodes one payload (the bytes after the length prefix) into a frame.
+///
+/// # Errors
+///
+/// [`ProtoError`] for truncated bodies, unknown kinds, invalid UTF-8,
+/// unknown error codes, or trailing bytes.
+pub fn decode_payload(payload: Bytes) -> Result<Frame, ProtoError> {
+    let mut r = Reader { buf: payload };
+    let kind = r.u8()?;
+    let frame = match kind {
+        K_HELLO => Frame::Hello {
+            magic: r.magic()?,
+            version: r.u8()?,
+        },
+        K_HELLO_OK => Frame::HelloOk { version: r.u8()? },
+        K_JOIN => Frame::Join {
+            id: r.u64()?,
+            tenant: r.string()?,
+        },
+        K_JOIN_GROUP => Frame::JoinGroup {
+            id: r.u64()?,
+            tenant: r.string()?,
+            size: r.u32()?,
+        },
+        K_LEAVE => Frame::Leave {
+            id: r.u64()?,
+            key: r.u64()?,
+        },
+        K_STAGE => Frame::Stage {
+            id: r.u64()?,
+            arrivals: r.arrivals()?,
+        },
+        K_TICK => Frame::Tick {
+            id: r.u64()?,
+            arrivals: r.arrivals()?,
+        },
+        K_SNAPSHOT => Frame::Snapshot { id: r.u64()? },
+        K_SUBSCRIBE => Frame::Subscribe {
+            id: r.u64()?,
+            every: r.u32()?,
+        },
+        K_GOODBYE => Frame::Goodbye { id: r.u64()? },
+        K_JOINED => Frame::Joined {
+            id: r.u64()?,
+            key: r.u64()?,
+        },
+        K_GROUP_JOINED => Frame::GroupJoined {
+            id: r.u64()?,
+            members: r.keys()?,
+        },
+        K_LEAVE_OK => Frame::LeaveOk { id: r.u64()? },
+        K_STAGE_OK => Frame::StageOk {
+            id: r.u64()?,
+            staged: r.u32()?,
+        },
+        K_TICK_OK => Frame::TickOk {
+            id: r.u64()?,
+            tick: r.u64()?,
+        },
+        K_SNAPSHOT_OK => Frame::SnapshotOk {
+            id: r.u64()?,
+            json: r.string()?,
+        },
+        K_SUBSCRIBE_OK => Frame::SubscribeOk { id: r.u64()? },
+        K_GOODBYE_OK => Frame::GoodbyeOk { id: r.u64()? },
+        K_EVENT => Frame::Event {
+            tick: r.u64()?,
+            changes: r.u64()?,
+            signalling_cost: r.f64()?,
+        },
+        K_ERROR => {
+            let id = r.u64()?;
+            let raw = r.u8()?;
+            let code = ErrorCode::from_u8(raw).ok_or(ProtoError::BadErrorCode(raw))?;
+            Frame::Error {
+                id,
+                code,
+                message: r.string()?,
+            }
+        }
+        other => return Err(ProtoError::UnknownKind(other)),
+    };
+    r.finish(frame)
+}
+
+/// Decodes one full frame (length prefix + payload) from the front of
+/// `buf`, consuming it.
+///
+/// # Errors
+///
+/// [`ProtoError::Truncated`] when the buffer holds less than one whole
+/// frame, [`ProtoError::Oversized`] for a hostile length prefix, and the
+/// payload errors of [`decode_payload`].
+pub fn decode(buf: &mut Bytes) -> Result<Frame, ProtoError> {
+    if buf.remaining() < 4 {
+        return Err(ProtoError::Truncated);
+    }
+    let declared = buf.get_u32_le() as u64;
+    if declared as usize > MAX_FRAME {
+        return Err(ProtoError::Oversized { declared });
+    }
+    let len = declared as usize;
+    if buf.remaining() < len {
+        return Err(ProtoError::Truncated);
+    }
+    let payload = buf.slice(0..len);
+    buf.advance(len);
+    decode_payload(payload)
+}
+
+/// The request id a server response frame echoes, if it is one.
+pub fn reply_id(frame: &Frame) -> Option<u64> {
+    match frame {
+        Frame::Joined { id, .. }
+        | Frame::GroupJoined { id, .. }
+        | Frame::LeaveOk { id }
+        | Frame::StageOk { id, .. }
+        | Frame::TickOk { id, .. }
+        | Frame::SnapshotOk { id, .. }
+        | Frame::SubscribeOk { id }
+        | Frame::GoodbyeOk { id } => Some(*id),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let wire = encode(&frame);
+        let mut buf = wire.clone();
+        let back = decode(&mut buf).expect("frame decodes");
+        assert_eq!(back, frame);
+        assert_eq!(buf.remaining(), 0, "decode consumed the whole frame");
+    }
+
+    #[test]
+    fn every_kind_round_trips() {
+        roundtrip(Frame::Hello {
+            magic: MAGIC,
+            version: VERSION,
+        });
+        roundtrip(Frame::HelloOk { version: VERSION });
+        roundtrip(Frame::Join {
+            id: 7,
+            tenant: "acme".into(),
+        });
+        roundtrip(Frame::JoinGroup {
+            id: 8,
+            tenant: "globex".into(),
+            size: 4,
+        });
+        roundtrip(Frame::Leave { id: 9, key: 42 });
+        roundtrip(Frame::Stage {
+            id: 10,
+            arrivals: vec![(0, 1.5), (3, 0.0)],
+        });
+        roundtrip(Frame::Tick {
+            id: 11,
+            arrivals: vec![],
+        });
+        roundtrip(Frame::Snapshot { id: 12 });
+        roundtrip(Frame::Subscribe { id: 13, every: 64 });
+        roundtrip(Frame::Goodbye { id: 14 });
+        roundtrip(Frame::Joined { id: 7, key: 42 });
+        roundtrip(Frame::GroupJoined {
+            id: 8,
+            members: vec![1, 2, 3],
+        });
+        roundtrip(Frame::LeaveOk { id: 9 });
+        roundtrip(Frame::StageOk { id: 10, staged: 2 });
+        roundtrip(Frame::TickOk { id: 11, tick: 99 });
+        roundtrip(Frame::SnapshotOk {
+            id: 12,
+            json: "{\"ticks\":1}".into(),
+        });
+        roundtrip(Frame::SubscribeOk { id: 13 });
+        roundtrip(Frame::GoodbyeOk { id: 14 });
+        roundtrip(Frame::Event {
+            tick: 100,
+            changes: 12,
+            signalling_cost: 12.0,
+        });
+        roundtrip(Frame::Error {
+            id: 15,
+            code: ErrorCode::Busy,
+            message: "queue full".into(),
+        });
+    }
+
+    #[test]
+    fn truncation_is_reported_at_every_cut() {
+        let wire = encode(&Frame::Join {
+            id: 1,
+            tenant: "tenant-with-a-name".into(),
+        });
+        for cut in 0..wire.len() {
+            let mut partial = wire.slice(0..cut);
+            assert_eq!(
+                decode(&mut partial),
+                Err(ProtoError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_prefix_is_rejected_before_allocation() {
+        let mut wire = BytesMut::new();
+        wire.put_u32_le((MAX_FRAME + 1) as u32);
+        let mut buf = wire.freeze();
+        assert_eq!(
+            decode(&mut buf),
+            Err(ProtoError::Oversized {
+                declared: (MAX_FRAME + 1) as u64
+            })
+        );
+    }
+
+    #[test]
+    fn unknown_kind_and_trailing_bytes_are_rejected() {
+        let mut payload = BytesMut::new();
+        payload.put_u8(0x7E);
+        assert_eq!(
+            decode_payload(payload.freeze()),
+            Err(ProtoError::UnknownKind(0x7E))
+        );
+        let mut padded = encode(&Frame::LeaveOk { id: 1 }).to_vec();
+        padded.push(0);
+        let base = padded.len() - 4; // extend the declared length too
+        padded[0..4].copy_from_slice(&((base - 4 + 1) as u32).to_le_bytes());
+        let total = padded.len();
+        padded[0..4].copy_from_slice(&((total - 4) as u32).to_le_bytes());
+        let mut buf = Bytes::from(padded);
+        assert_eq!(decode(&mut buf), Err(ProtoError::Trailing { extra: 1 }));
+    }
+
+    #[test]
+    fn hostile_string_length_cannot_balloon() {
+        let mut payload = BytesMut::new();
+        payload.put_u8(K_JOIN);
+        payload.put_u64_le(1);
+        payload.put_u32_le(u32::MAX); // declared string far beyond payload
+        assert_eq!(decode_payload(payload.freeze()), Err(ProtoError::Truncated));
+    }
+}

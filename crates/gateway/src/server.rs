@@ -1,0 +1,621 @@
+//! The TCP server: a non-blocking accept loop, a bounded worker pool, and
+//! one connection handler per accepted socket.
+//!
+//! Everything is `std::net` + vendored crossbeam channels — the container
+//! is air-gapped, so there is no async runtime. Blocking reads use a short
+//! poll quantum so every handler notices shutdown, idle connections, and
+//! queued subscription events promptly.
+
+use crate::proto::{self, ErrorCode, Frame, ProtoError, MAX_FRAME, PUSH_ID};
+use crate::service::{self, Op, OpReq, Request, ToConn};
+use crate::stats::WireStats;
+use crate::{GatewayError, GatewaySnapshot};
+use cdba_ctrl::ServiceConfig;
+use crossbeam::channel::{
+    bounded, unbounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TryRecvError,
+};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`GatewayServer`]. `Default` is sized for tests and
+/// small deployments; every field is plain data so callers can override
+/// selectively with struct-update syntax.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address; use port 0 to let the OS pick one.
+    pub addr: String,
+    /// Connection-handler threads. Connections beyond this many wait in
+    /// the accept backlog; an overflowing backlog yields `Busy`.
+    pub workers: usize,
+    /// Accepted-socket queue depth between the accept loop and workers.
+    pub accept_backlog: usize,
+    /// Request queue depth into the service loop; a full queue yields a
+    /// typed `Busy` error instead of blocking the connection.
+    pub service_queue: usize,
+    /// Socket read poll quantum in milliseconds. Short: it bounds how
+    /// stale shutdown/idle/event handling can get, not client patience.
+    pub read_timeout_ms: u64,
+    /// Socket write timeout in milliseconds.
+    pub write_timeout_ms: u64,
+    /// Idle harvest threshold in milliseconds; 0 disables harvesting.
+    pub idle_timeout_ms: u64,
+    /// How long a connection waits for the service loop's reply — and how
+    /// long a half-received frame may dangle — before the connection is
+    /// failed with a typed `Timeout`/`BadFrame` error.
+    pub request_timeout_ms: u64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 8,
+            accept_backlog: 16,
+            service_queue: 256,
+            read_timeout_ms: 25,
+            write_timeout_ms: 2_000,
+            idle_timeout_ms: 30_000,
+            request_timeout_ms: 10_000,
+        }
+    }
+}
+
+/// A running gateway: accept loop + worker pool + service loop, owning a
+/// [`ControlPlane`](cdba_ctrl::ControlPlane) behind the wire protocol.
+#[derive(Debug)]
+pub struct GatewayServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    service: Option<JoinHandle<Result<GatewaySnapshot, String>>>,
+    service_tx: Option<Sender<Request>>,
+    stats: Arc<WireStats>,
+}
+
+#[derive(Clone)]
+struct ConnCtx {
+    service_tx: Sender<Request>,
+    stats: Arc<WireStats>,
+    stop: Arc<AtomicBool>,
+    cfg: GatewayConfig,
+}
+
+impl GatewayServer {
+    /// Binds, spawns the service loop and worker pool, and starts
+    /// accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::Io`] when the listener cannot bind or go
+    /// non-blocking.
+    pub fn start(service: ServiceConfig, gateway: GatewayConfig) -> Result<Self, GatewayError> {
+        let listener = TcpListener::bind(&gateway.addr)
+            .map_err(|e| GatewayError::Io(format!("bind {}: {e}", gateway.addr)))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| GatewayError::Io(format!("set_nonblocking: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| GatewayError::Io(format!("local_addr: {e}")))?;
+
+        let stats = Arc::new(WireStats::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let (service_tx, service_rx) = bounded::<Request>(gateway.service_queue.max(1));
+        let (conn_tx, conn_rx) = bounded::<(u64, TcpStream)>(gateway.accept_backlog.max(1));
+
+        let svc_stats = Arc::clone(&stats);
+        let service_handle = std::thread::Builder::new()
+            .name("gw-service".into())
+            .spawn(move || service::run(service, svc_stats, service_rx))
+            .map_err(|e| GatewayError::Io(format!("spawn service loop: {e}")))?;
+
+        let ctx = ConnCtx {
+            service_tx: service_tx.clone(),
+            stats: Arc::clone(&stats),
+            stop: Arc::clone(&stop),
+            cfg: gateway.clone(),
+        };
+        let mut workers = Vec::new();
+        for w in 0..gateway.workers.max(1) {
+            let rx = conn_rx.clone();
+            let ctx = ctx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("gw-worker-{w}"))
+                .spawn(move || worker_loop(rx, ctx))
+                .map_err(|e| GatewayError::Io(format!("spawn worker {w}: {e}")))?;
+            workers.push(handle);
+        }
+
+        let accept_stop = Arc::clone(&stop);
+        let accept_stats = Arc::clone(&stats);
+        let accept_cfg = gateway;
+        let accept = std::thread::Builder::new()
+            .name("gw-accept".into())
+            .spawn(move || accept_loop(listener, conn_tx, accept_stop, accept_stats, accept_cfg))
+            .map_err(|e| GatewayError::Io(format!("spawn accept loop: {e}")))?;
+
+        Ok(Self {
+            local_addr,
+            stop,
+            accept: Some(accept),
+            workers,
+            service: Some(service_handle),
+            service_tx: Some(service_tx),
+            stats,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the OS-assigned port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// A point-in-time copy of the wire counters.
+    pub fn wire_stats(&self) -> crate::stats::WireSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-flight requests, and
+    /// return the final snapshot (allocation state plus wire counters).
+    ///
+    /// Connections still open when shutdown starts receive a typed
+    /// `Shutdown` error; requests already queued to the service loop are
+    /// completed, not dropped.
+    ///
+    /// # Errors
+    ///
+    /// [`GatewayError::Service`] when the service loop panicked or could
+    /// not take its final snapshot.
+    pub fn shutdown(mut self) -> Result<GatewaySnapshot, GatewayError> {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Dropping the last request sender lets the service loop drain
+        // whatever is queued and exit with its final snapshot.
+        drop(self.service_tx.take());
+        match self.service.take() {
+            Some(service) => match service.join() {
+                Ok(Ok(snapshot)) => Ok(snapshot),
+                Ok(Err(e)) => Err(GatewayError::Service(e)),
+                Err(_) => Err(GatewayError::Service("service loop panicked".into())),
+            },
+            None => Err(GatewayError::Service("service loop already joined".into())),
+        }
+    }
+}
+
+impl Drop for GatewayServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        drop(self.service_tx.take());
+        if let Some(service) = self.service.take() {
+            let _ = service.join();
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    conn_tx: Sender<(u64, TcpStream)>,
+    stop: Arc<AtomicBool>,
+    stats: Arc<WireStats>,
+    cfg: GatewayConfig,
+) {
+    let mut next_conn: u64 = 1;
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
+                let conn = next_conn;
+                next_conn += 1;
+                match conn_tx.send_timeout((conn, stream), Duration::from_millis(0)) {
+                    Ok(()) => {}
+                    Err(SendTimeoutError::Timeout((_, mut stream))) => {
+                        // Every worker is busy and the backlog is full:
+                        // refuse with a typed Busy instead of queueing
+                        // unboundedly.
+                        stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(
+                            cfg.write_timeout_ms.max(1),
+                        )));
+                        let frame = Frame::Error {
+                            id: PUSH_ID,
+                            code: ErrorCode::Busy,
+                            message: "gateway at connection capacity".into(),
+                        };
+                        let _ = stream.write_all(&proto::encode(&frame));
+                    }
+                    Err(SendTimeoutError::Disconnected(_)) => break,
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Dropping conn_tx here disconnects the worker pool's receiver, which
+    // ends each worker once the queued sockets are drained.
+}
+
+fn worker_loop(rx: Receiver<(u64, TcpStream)>, ctx: ConnCtx) {
+    while let Ok((conn, stream)) = rx.recv() {
+        ctx.stats.connections_active.fetch_add(1, Ordering::Relaxed);
+        handle_connection(conn, stream, &ctx);
+        ctx.stats.connections_active.fetch_sub(1, Ordering::Relaxed);
+        let _ = ctx.service_tx.send(Request::ConnClosed { conn });
+    }
+}
+
+/// Incremental frame reassembly over a polled blocking socket.
+struct FrameAccum {
+    head: [u8; 4],
+    head_filled: usize,
+    body: Vec<u8>,
+    body_filled: usize,
+    /// When the first byte of the in-flight frame arrived.
+    started: Option<Instant>,
+}
+
+enum Step {
+    /// One whole frame decoded.
+    Frame(Frame),
+    /// Poll quantum expired with no bytes.
+    NoData,
+    /// Peer closed cleanly between frames.
+    Closed,
+    /// Peer closed mid-frame.
+    ClosedMidFrame,
+    /// Framing or payload error.
+    Proto(ProtoError),
+    /// Hard socket error.
+    Io,
+}
+
+impl FrameAccum {
+    fn new() -> Self {
+        Self {
+            head: [0; 4],
+            head_filled: 0,
+            body: Vec::new(),
+            body_filled: 0,
+            started: None,
+        }
+    }
+
+    fn mid_frame(&self) -> bool {
+        self.head_filled > 0 || self.body_filled > 0
+    }
+
+    fn reset(&mut self) {
+        self.head_filled = 0;
+        self.body = Vec::new();
+        self.body_filled = 0;
+        self.started = None;
+    }
+
+    /// Reads whatever the socket has within one poll quantum and returns
+    /// the next protocol event.
+    fn step(&mut self, stream: &mut TcpStream) -> Step {
+        loop {
+            if self.head_filled < 4 {
+                let filled = self.head_filled;
+                match stream.read(&mut self.head[filled..4]) {
+                    Ok(0) => {
+                        return if self.mid_frame() {
+                            Step::ClosedMidFrame
+                        } else {
+                            Step::Closed
+                        };
+                    }
+                    Ok(n) => {
+                        if self.started.is_none() {
+                            self.started = Some(Instant::now());
+                        }
+                        self.head_filled += n;
+                        if self.head_filled < 4 {
+                            continue;
+                        }
+                        let declared = u32::from_le_bytes(self.head) as usize;
+                        if declared > MAX_FRAME {
+                            return Step::Proto(ProtoError::Oversized {
+                                declared: declared as u64,
+                            });
+                        }
+                        self.body = vec![0; declared];
+                        self.body_filled = 0;
+                        continue;
+                    }
+                    Err(e) => return Self::classify(e),
+                }
+            }
+            if self.body_filled < self.body.len() {
+                let filled = self.body_filled;
+                match stream.read(&mut self.body[filled..]) {
+                    Ok(0) => return Step::ClosedMidFrame,
+                    Ok(n) => {
+                        self.body_filled += n;
+                        continue;
+                    }
+                    Err(e) => return Self::classify(e),
+                }
+            }
+            let payload = bytes::Bytes::from(std::mem::take(&mut self.body));
+            self.reset();
+            return match proto::decode_payload(payload) {
+                Ok(frame) => Step::Frame(frame),
+                Err(e) => Step::Proto(e),
+            };
+        }
+    }
+
+    fn classify(e: std::io::Error) -> Step {
+        match e.kind() {
+            ErrorKind::WouldBlock | ErrorKind::TimedOut => Step::NoData,
+            ErrorKind::Interrupted => Step::NoData,
+            _ => Step::Io,
+        }
+    }
+}
+
+fn write_frame(stream: &mut TcpStream, stats: &WireStats, frame: &Frame) -> bool {
+    match stream.write_all(&proto::encode(frame)) {
+        Ok(()) => {
+            stats.frames_out.fetch_add(1, Ordering::Relaxed);
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+fn error_frame(id: u64, code: ErrorCode, message: impl Into<String>) -> Frame {
+    Frame::Error {
+        id,
+        code,
+        message: message.into(),
+    }
+}
+
+fn handle_connection(conn: u64, mut stream: TcpStream, ctx: &ConnCtx) {
+    let cfg = &ctx.cfg;
+    let stats = &ctx.stats;
+    if stream
+        .set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))))
+        .is_err()
+        || stream
+            .set_write_timeout(Some(Duration::from_millis(cfg.write_timeout_ms.max(1))))
+            .is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+
+    // One reply channel for the connection's lifetime: the service loop
+    // clones its sender into the subscription table, so events survive
+    // across requests.
+    let (to_conn_tx, to_conn_rx) = unbounded::<ToConn>();
+    let idle = Duration::from_millis(cfg.idle_timeout_ms);
+    let request_timeout = Duration::from_millis(cfg.request_timeout_ms.max(1));
+    let mut accum = FrameAccum::new();
+    let mut hello_done = false;
+    let mut last_activity = Instant::now();
+
+    loop {
+        // Flush any subscription events queued since the last request.
+        loop {
+            match to_conn_rx.try_recv() {
+                Ok(ToConn::Event(frame)) => {
+                    if !write_frame(&mut stream, stats, &frame) {
+                        return;
+                    }
+                }
+                // A stale reply can only be from a request this handler
+                // already abandoned with a Timeout error; discard it.
+                Ok(ToConn::Reply(_)) => {}
+                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
+            }
+        }
+        if ctx.stop.load(Ordering::SeqCst) {
+            let frame = error_frame(PUSH_ID, ErrorCode::Shutdown, "gateway shutting down");
+            write_frame(&mut stream, stats, &frame);
+            return;
+        }
+
+        let frame = match accum.step(&mut stream) {
+            Step::Frame(frame) => frame,
+            Step::NoData => {
+                if accum.mid_frame() {
+                    let stale = accum
+                        .started
+                        .is_some_and(|t| t.elapsed() >= request_timeout);
+                    if stale {
+                        stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                        let frame = error_frame(
+                            PUSH_ID,
+                            ErrorCode::BadFrame,
+                            "truncated frame: peer stalled mid-frame",
+                        );
+                        write_frame(&mut stream, stats, &frame);
+                        return;
+                    }
+                } else if !idle.is_zero() && last_activity.elapsed() >= idle {
+                    stats.connections_harvested.fetch_add(1, Ordering::Relaxed);
+                    let frame = error_frame(PUSH_ID, ErrorCode::Idle, "idle connection harvested");
+                    write_frame(&mut stream, stats, &frame);
+                    return;
+                }
+                continue;
+            }
+            Step::Closed => return,
+            Step::ClosedMidFrame => {
+                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Step::Proto(e) => {
+                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                match e {
+                    // The length prefix cannot be trusted, so the stream
+                    // cannot be resynchronised: fail the connection.
+                    ProtoError::Oversized { .. } => {
+                        let frame = error_frame(PUSH_ID, ErrorCode::Oversized, e.to_string());
+                        write_frame(&mut stream, stats, &frame);
+                        return;
+                    }
+                    // The frame boundary was intact — only the payload was
+                    // garbage — so the connection stays usable.
+                    other => {
+                        let frame = error_frame(PUSH_ID, ErrorCode::BadFrame, other.to_string());
+                        if !write_frame(&mut stream, stats, &frame) {
+                            return;
+                        }
+                        last_activity = Instant::now();
+                        continue;
+                    }
+                }
+            }
+            Step::Io => return,
+        };
+
+        stats.frames_in.fetch_add(1, Ordering::Relaxed);
+        last_activity = Instant::now();
+
+        if !hello_done {
+            match frame {
+                Frame::Hello { magic, version } => {
+                    if magic != proto::MAGIC {
+                        let frame =
+                            error_frame(PUSH_ID, ErrorCode::BadMagic, "handshake magic mismatch");
+                        write_frame(&mut stream, stats, &frame);
+                        return;
+                    }
+                    if version != proto::VERSION {
+                        let frame = error_frame(
+                            PUSH_ID,
+                            ErrorCode::BadVersion,
+                            format!(
+                                "server speaks version {}, client sent {version}",
+                                proto::VERSION
+                            ),
+                        );
+                        write_frame(&mut stream, stats, &frame);
+                        return;
+                    }
+                    if !write_frame(
+                        &mut stream,
+                        stats,
+                        &Frame::HelloOk {
+                            version: proto::VERSION,
+                        },
+                    ) {
+                        return;
+                    }
+                    hello_done = true;
+                    continue;
+                }
+                _ => {
+                    let frame = error_frame(PUSH_ID, ErrorCode::Proto, "first frame must be hello");
+                    write_frame(&mut stream, stats, &frame);
+                    return;
+                }
+            }
+        }
+
+        let (id, op) = match frame {
+            Frame::Goodbye { id } => {
+                write_frame(&mut stream, stats, &Frame::GoodbyeOk { id });
+                return;
+            }
+            Frame::Join { id, tenant } => (id, Op::Join { tenant }),
+            Frame::JoinGroup { id, tenant, size } => (id, Op::JoinGroup { tenant, size }),
+            Frame::Leave { id, key } => (id, Op::Leave { key }),
+            Frame::Stage { id, arrivals } => (id, Op::Stage { arrivals }),
+            Frame::Tick { id, arrivals } => (id, Op::Tick { arrivals }),
+            Frame::Snapshot { id } => (id, Op::Snapshot),
+            Frame::Subscribe { id, every } => (id, Op::Subscribe { every }),
+            Frame::Hello { .. } => {
+                let frame = error_frame(PUSH_ID, ErrorCode::Proto, "duplicate hello");
+                if !write_frame(&mut stream, stats, &frame) {
+                    return;
+                }
+                continue;
+            }
+            // Server-to-client kinds arriving from a client.
+            other => {
+                let id = proto::reply_id(&other).unwrap_or(PUSH_ID);
+                let frame = error_frame(id, ErrorCode::Proto, "server-only frame from client");
+                if !write_frame(&mut stream, stats, &frame) {
+                    return;
+                }
+                continue;
+            }
+        };
+
+        let req = Request::Op(OpReq {
+            conn,
+            id,
+            op,
+            reply: to_conn_tx.clone(),
+        });
+        let sent_at = Instant::now();
+        match ctx.service_tx.send_timeout(req, Duration::from_millis(0)) {
+            Ok(()) => {}
+            Err(SendTimeoutError::Timeout(_)) => {
+                stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                let frame = error_frame(id, ErrorCode::Busy, "service queue full, retry");
+                if !write_frame(&mut stream, stats, &frame) {
+                    return;
+                }
+                continue;
+            }
+            Err(SendTimeoutError::Disconnected(_)) => {
+                let frame = error_frame(id, ErrorCode::Shutdown, "gateway service stopped");
+                write_frame(&mut stream, stats, &frame);
+                return;
+            }
+        }
+
+        loop {
+            match to_conn_rx.recv_timeout(request_timeout) {
+                Ok(ToConn::Event(frame)) => {
+                    if !write_frame(&mut stream, stats, &frame) {
+                        return;
+                    }
+                }
+                Ok(ToConn::Reply(frame)) => {
+                    let micros = sent_at.elapsed().as_micros().min(u64::MAX as u128) as u64;
+                    stats.latency.record(micros);
+                    if !write_frame(&mut stream, stats, &frame) {
+                        return;
+                    }
+                    break;
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let frame = error_frame(id, ErrorCode::Timeout, "service reply timed out");
+                    write_frame(&mut stream, stats, &frame);
+                    return;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    let frame = error_frame(id, ErrorCode::Shutdown, "gateway service stopped");
+                    write_frame(&mut stream, stats, &frame);
+                    return;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! The gateway service loop: a single thread that owns the
+//! [`ControlPlane`] and serialises every connection's requests onto it.
+//!
+//! Connection workers never touch the control plane directly — they send
+//! [`Request`]s down one bounded channel and block on a per-request reply
+//! channel. That single consumer is what makes the gateway deterministic:
+//! arrivals staged by any number of connections are committed in ascending
+//! session-key order, so a gateway run is bitwise-identical to the same
+//! operations applied in-process (see
+//! [`ServiceSnapshot::invariant_view`](cdba_ctrl::ServiceSnapshot::invariant_view)).
+
+use crate::proto::{ErrorCode, Frame};
+use crate::stats::WireStats;
+use crate::GatewaySnapshot;
+use cdba_ctrl::{ControlPlane, CtrlError, ServiceConfig};
+use crossbeam::channel::{Receiver, Sender};
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+/// A frame travelling from the service loop back to a connection worker.
+#[derive(Debug)]
+pub(crate) enum ToConn {
+    /// The reply to the request the worker is blocked on.
+    Reply(Frame),
+    /// An out-of-band subscription push, flushed before the next reply.
+    Event(Frame),
+}
+
+/// One operation a connection asks the control plane to perform.
+#[derive(Debug)]
+pub(crate) enum Op {
+    Join { tenant: String },
+    JoinGroup { tenant: String, size: u32 },
+    Leave { key: u64 },
+    Stage { arrivals: Vec<(u64, f64)> },
+    Tick { arrivals: Vec<(u64, f64)> },
+    Snapshot,
+    Subscribe { every: u32 },
+}
+
+/// An envelope from a connection worker to the service loop.
+#[derive(Debug)]
+pub(crate) struct OpReq {
+    /// The connection's gateway-assigned id.
+    pub conn: u64,
+    /// The client's request id, echoed in the reply.
+    pub id: u64,
+    /// What to do.
+    pub op: Op,
+    /// Where the reply (and any queued events) goes.
+    pub reply: Sender<ToConn>,
+}
+
+/// Everything the service loop can receive.
+#[derive(Debug)]
+pub(crate) enum Request {
+    /// A client operation.
+    Op(OpReq),
+    /// A connection closed (cleanly or not); release its sessions.
+    ConnClosed { conn: u64 },
+}
+
+struct Subscription {
+    tx: Sender<ToConn>,
+    every: u32,
+}
+
+/// The state the service loop threads through every request.
+struct ServiceLoop {
+    plane: ControlPlane,
+    stats: Arc<WireStats>,
+    /// session key → owning connection.
+    owners: HashMap<u64, u64>,
+    /// connection → its sessions in join order (drained in order on close).
+    owned: HashMap<u64, Vec<u64>>,
+    /// Arrivals staged for the next committed tick, across connections.
+    pending: Vec<(u64, f64)>,
+    pending_keys: HashSet<u64>,
+    subs: HashMap<u64, Subscription>,
+}
+
+/// Runs the service loop until every request sender is dropped, then
+/// takes a final snapshot and shuts the control plane down.
+pub(crate) fn run(
+    service: ServiceConfig,
+    stats: Arc<WireStats>,
+    rx: Receiver<Request>,
+) -> Result<GatewaySnapshot, String> {
+    let mut state = ServiceLoop {
+        plane: ControlPlane::new(service),
+        stats,
+        owners: HashMap::new(),
+        owned: HashMap::new(),
+        pending: Vec::new(),
+        pending_keys: HashSet::new(),
+        subs: HashMap::new(),
+    };
+    while let Ok(req) = rx.recv() {
+        match req {
+            Request::Op(op) => state.handle(op),
+            Request::ConnClosed { conn } => state.conn_closed(conn),
+        }
+    }
+    let service = state
+        .plane
+        .snapshot()
+        .map_err(|e| format!("final snapshot failed: {e}"))?;
+    let wire = state.stats.snapshot();
+    state.plane.shutdown();
+    Ok(GatewaySnapshot { service, wire })
+}
+
+fn ctrl_error(id: u64, e: &CtrlError) -> Frame {
+    Frame::Error {
+        id,
+        code: ErrorCode::Ctrl,
+        message: e.to_string(),
+    }
+}
+
+impl ServiceLoop {
+    fn handle(&mut self, req: OpReq) {
+        let OpReq {
+            conn,
+            id,
+            op,
+            reply,
+        } = req;
+        let frame = match op {
+            Op::Join { tenant } => self.join(conn, id, &tenant),
+            Op::JoinGroup { tenant, size } => self.join_group(conn, id, &tenant, size),
+            Op::Leave { key } => self.leave(conn, id, key),
+            Op::Stage { arrivals } => self.stage(conn, id, arrivals),
+            Op::Tick { arrivals } => self.tick(conn, id, arrivals, &reply),
+            Op::Snapshot => self.snapshot_frame(id),
+            Op::Subscribe { every } => self.subscribe(conn, id, every, &reply),
+        };
+        // A dead reply channel means the worker already gave up on this
+        // request (timeout or disconnect); the state change still stands.
+        let _ = reply.send(ToConn::Reply(frame));
+    }
+
+    fn join(&mut self, conn: u64, id: u64, tenant: &str) -> Frame {
+        match self.plane.admit(tenant) {
+            Ok(key) => {
+                self.owners.insert(key, conn);
+                self.owned.entry(conn).or_default().push(key);
+                Frame::Joined { id, key }
+            }
+            Err(e) => ctrl_error(id, &e),
+        }
+    }
+
+    fn join_group(&mut self, conn: u64, id: u64, tenant: &str, size: u32) -> Frame {
+        match self.plane.admit_group(tenant, size as usize) {
+            Ok(members) => {
+                for &key in &members {
+                    self.owners.insert(key, conn);
+                    self.owned.entry(conn).or_default().push(key);
+                }
+                Frame::GroupJoined { id, members }
+            }
+            Err(e) => ctrl_error(id, &e),
+        }
+    }
+
+    fn leave(&mut self, conn: u64, id: u64, key: u64) -> Frame {
+        match self.owners.get(&key) {
+            Some(&owner) if owner != conn => {
+                return Frame::Error {
+                    id,
+                    code: ErrorCode::NotOwner,
+                    message: format!("session {key} is owned by another connection"),
+                };
+            }
+            _ => {}
+        }
+        match self.plane.leave(key) {
+            Ok(()) => {
+                self.forget_session(key);
+                Frame::LeaveOk { id }
+            }
+            Err(e) => ctrl_error(id, &e),
+        }
+    }
+
+    fn forget_session(&mut self, key: u64) {
+        if let Some(conn) = self.owners.remove(&key) {
+            if let Some(keys) = self.owned.get_mut(&conn) {
+                keys.retain(|&k| k != key);
+            }
+        }
+        if self.pending_keys.remove(&key) {
+            self.pending.retain(|&(k, _)| k != key);
+        }
+    }
+
+    /// Validates and buffers arrivals; all-or-nothing so a rejected batch
+    /// leaves the pending tick untouched.
+    fn stage_arrivals(&mut self, conn: u64, arrivals: &[(u64, f64)]) -> Result<(), Frame> {
+        let id = 0; // caller rewrites the id on the error frame
+        let mut batch_keys = HashSet::new();
+        for &(key, bits) in arrivals {
+            match self.owners.get(&key) {
+                None => {
+                    return Err(ctrl_error(id, &CtrlError::UnknownSession(key)));
+                }
+                Some(&owner) if owner != conn => {
+                    return Err(Frame::Error {
+                        id,
+                        code: ErrorCode::NotOwner,
+                        message: format!("session {key} is owned by another connection"),
+                    });
+                }
+                Some(_) => {}
+            }
+            if !bits.is_finite() || bits < 0.0 {
+                return Err(ctrl_error(
+                    id,
+                    &CtrlError::InvalidArrival { session: key, bits },
+                ));
+            }
+            if self.pending_keys.contains(&key) || !batch_keys.insert(key) {
+                return Err(ctrl_error(id, &CtrlError::DuplicateArrival(key)));
+            }
+        }
+        for &(key, bits) in arrivals {
+            self.pending_keys.insert(key);
+            self.pending.push((key, bits));
+        }
+        Ok(())
+    }
+
+    fn with_id(frame: Frame, id: u64) -> Frame {
+        match frame {
+            Frame::Error { code, message, .. } => Frame::Error { id, code, message },
+            other => other,
+        }
+    }
+
+    fn stage(&mut self, conn: u64, id: u64, arrivals: Vec<(u64, f64)>) -> Frame {
+        match self.stage_arrivals(conn, &arrivals) {
+            Ok(()) => Frame::StageOk {
+                id,
+                staged: self.pending.len() as u32,
+            },
+            Err(e) => Self::with_id(e, id),
+        }
+    }
+
+    fn tick(
+        &mut self,
+        conn: u64,
+        id: u64,
+        arrivals: Vec<(u64, f64)>,
+        _reply: &Sender<ToConn>,
+    ) -> Frame {
+        if let Err(e) = self.stage_arrivals(conn, &arrivals) {
+            // The committing connection's own batch was bad; earlier
+            // staged arrivals stay buffered for a retried tick.
+            return Self::with_id(e, id);
+        }
+        // Deterministic commit order: ascending session key, regardless of
+        // which connection staged what, when.
+        self.pending.sort_by_key(|&(k, _)| k);
+        let batch = std::mem::take(&mut self.pending);
+        self.pending_keys.clear();
+        let frame = match self.plane.tick(&batch) {
+            Ok(()) => Frame::TickOk {
+                id,
+                tick: self.plane.ticks(),
+            },
+            Err(e) => ctrl_error(id, &e),
+        };
+        if matches!(frame, Frame::TickOk { .. }) {
+            self.push_events();
+        }
+        frame
+    }
+
+    /// Pushes a subscription event to every due subscriber, dropping any
+    /// whose connection has gone away.
+    fn push_events(&mut self) {
+        if self.subs.is_empty() {
+            return;
+        }
+        let tick = self.plane.ticks();
+        let due: Vec<u64> = self
+            .subs
+            .iter()
+            .filter(|(_, s)| tick.is_multiple_of(s.every as u64))
+            .map(|(&conn, _)| conn)
+            .collect();
+        if due.is_empty() {
+            return;
+        }
+        let event = match self.plane.snapshot() {
+            Ok(snap) => Frame::Event {
+                tick,
+                changes: snap.global.changes,
+                signalling_cost: snap.global.signalling_cost,
+            },
+            Err(_) => return,
+        };
+        for conn in due {
+            let dead = self
+                .subs
+                .get(&conn)
+                .is_some_and(|s| s.tx.send(ToConn::Event(event.clone())).is_err());
+            if dead {
+                self.subs.remove(&conn);
+            }
+        }
+    }
+
+    fn snapshot_frame(&mut self, id: u64) -> Frame {
+        match self.plane.snapshot() {
+            Ok(service) => {
+                let snap = GatewaySnapshot {
+                    service,
+                    wire: self.stats.snapshot(),
+                };
+                match snap.to_json_string() {
+                    Ok(json) => Frame::SnapshotOk { id, json },
+                    Err(e) => Frame::Error {
+                        id,
+                        code: ErrorCode::Ctrl,
+                        message: format!("snapshot serialisation failed: {e}"),
+                    },
+                }
+            }
+            Err(e) => ctrl_error(id, &e),
+        }
+    }
+
+    fn subscribe(&mut self, conn: u64, id: u64, every: u32, reply: &Sender<ToConn>) -> Frame {
+        if every == 0 {
+            return Frame::Error {
+                id,
+                code: ErrorCode::Proto,
+                message: "subscribe period must be at least 1 tick".into(),
+            };
+        }
+        self.subs.insert(
+            conn,
+            Subscription {
+                tx: reply.clone(),
+                every,
+            },
+        );
+        Frame::SubscribeOk { id }
+    }
+
+    fn conn_closed(&mut self, conn: u64) {
+        self.subs.remove(&conn);
+        let keys = self.owned.remove(&conn).unwrap_or_default();
+        for key in keys {
+            self.owners.remove(&key);
+            if self.pending_keys.remove(&key) {
+                self.pending.retain(|&(k, _)| k != key);
+            }
+            // Best-effort: the session may already be gone (e.g. its
+            // shard is down); the control plane stays authoritative.
+            let _ = self.plane.leave(key);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Wire-level observability: lock-free counters and a log-scale latency
+//! histogram, exported as a serde-friendly snapshot.
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const BUCKETS: usize = 64;
+
+/// A log₂-bucketed latency histogram over microseconds.
+///
+/// Bucket `i` counts samples with `2^i ≤ µs < 2^(i+1)` (bucket 0 also
+/// holds sub-microsecond samples). Percentile queries return the upper
+/// bound of the bucket the rank falls in — coarse, but lock-free and
+/// allocation-free on the hot path.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one sample in microseconds.
+    pub fn record(&self, micros: u64) {
+        let idx = (64 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The upper bucket bound (µs) containing the `q`-quantile sample,
+    /// with `q` in `[0, 1]`. Returns 0 for an empty histogram.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return 1u64 << (i + 1).min(63);
+            }
+        }
+        1u64 << 63
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Shared wire-level counters, updated lock-free by the accept loop and
+/// every connection worker.
+#[derive(Debug, Default)]
+pub struct WireStats {
+    /// Connections the accept loop handed to a worker.
+    pub connections_accepted: AtomicU64,
+    /// Connections currently being served (gauge).
+    pub connections_active: AtomicU64,
+    /// Connections closed by the idle harvester.
+    pub connections_harvested: AtomicU64,
+    /// Frames decoded off client sockets.
+    pub frames_in: AtomicU64,
+    /// Frames written to client sockets.
+    pub frames_out: AtomicU64,
+    /// Frames that failed to decode (framing or payload errors).
+    pub decode_errors: AtomicU64,
+    /// Requests refused with a typed `Busy` error (full accept or
+    /// service queue).
+    pub busy_rejections: AtomicU64,
+    /// Request-to-reply latency, measured at the connection worker.
+    pub latency: LatencyHistogram,
+}
+
+impl WireStats {
+    /// A zeroed stats block.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Freezes the counters into a serialisable snapshot.
+    pub fn snapshot(&self) -> WireSnapshot {
+        let o = Ordering::Relaxed;
+        WireSnapshot {
+            connections_accepted: self.connections_accepted.load(o),
+            connections_active: self.connections_active.load(o),
+            connections_harvested: self.connections_harvested.load(o),
+            frames_in: self.frames_in.load(o),
+            frames_out: self.frames_out.load(o),
+            decode_errors: self.decode_errors.load(o),
+            busy_rejections: self.busy_rejections.load(o),
+            requests: self.latency.count(),
+            latency_p50_us: self.latency.quantile_us(0.50),
+            latency_p99_us: self.latency.quantile_us(0.99),
+        }
+    }
+}
+
+/// A point-in-time copy of [`WireStats`], carried inside the gateway
+/// snapshot. Deliberately *not* part of
+/// [`ServiceSnapshot::invariant_view`](cdba_ctrl::ServiceSnapshot::invariant_view):
+/// wire traffic depends on connection count and timing, the allocation
+/// state does not.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireSnapshot {
+    /// Connections the accept loop handed to a worker.
+    pub connections_accepted: u64,
+    /// Connections being served when the snapshot was taken.
+    pub connections_active: u64,
+    /// Connections closed by the idle harvester.
+    pub connections_harvested: u64,
+    /// Frames decoded off client sockets.
+    pub frames_in: u64,
+    /// Frames written to client sockets.
+    pub frames_out: u64,
+    /// Frames that failed to decode.
+    pub decode_errors: u64,
+    /// Requests refused with a typed `Busy` error.
+    pub busy_rejections: u64,
+    /// Requests answered (latency samples recorded).
+    pub requests: u64,
+    /// Median request latency (µs, upper bucket bound).
+    pub latency_p50_us: u64,
+    /// 99th-percentile request latency (µs, upper bucket bound).
+    pub latency_p99_us: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_track_bucket_bounds() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.quantile_us(0.5), 0, "empty histogram reports zero");
+        for _ in 0..99 {
+            h.record(10); // bucket 3 (8..16), upper bound 16
+        }
+        h.record(10_000); // bucket 13 (8192..16384), upper bound 16384
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.quantile_us(0.50), 16);
+        assert_eq!(h.quantile_us(0.99), 16);
+        assert_eq!(h.quantile_us(1.0), 16384);
+    }
+
+    #[test]
+    fn snapshot_copies_counters() {
+        let s = WireStats::new();
+        s.frames_in.fetch_add(3, Ordering::Relaxed);
+        s.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        s.latency.record(100);
+        let snap = s.snapshot();
+        assert_eq!(snap.frames_in, 3);
+        assert_eq!(snap.busy_rejections, 1);
+        assert_eq!(snap.requests, 1);
+        assert!(snap.latency_p99_us >= 128);
+    }
+}

@@ -1,0 +1,213 @@
+//! Property tests on the gateway wire protocol: every frame kind
+//! round-trips bit-exactly, and malformed inputs (truncations, hostile
+//! length prefixes, unknown kinds, trailing garbage) decode to typed
+//! errors instead of panics.
+
+use bytes::{BufMut, Bytes, BytesMut};
+use cdba_gateway::proto::{
+    self, decode, decode_payload, encode, ErrorCode, Frame, ProtoError, MAX_FRAME,
+};
+use proptest::prelude::*;
+
+fn arb_string() -> impl Strategy<Value = String> {
+    proptest::collection::vec(97u8..123, 0..24)
+        .prop_map(|v| String::from_utf8(v).expect("ascii lowercase"))
+}
+
+fn arb_arrivals() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    proptest::collection::vec((0u64..10_000, 0.0f64..1e6), 0..16)
+}
+
+fn arb_keys() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..10_000, 0..16)
+}
+
+const ERROR_CODES: [ErrorCode; 11] = [
+    ErrorCode::BadMagic,
+    ErrorCode::BadVersion,
+    ErrorCode::BadFrame,
+    ErrorCode::Oversized,
+    ErrorCode::Busy,
+    ErrorCode::Timeout,
+    ErrorCode::Ctrl,
+    ErrorCode::NotOwner,
+    ErrorCode::Idle,
+    ErrorCode::Shutdown,
+    ErrorCode::Proto,
+];
+
+/// Builds one frame of every kind from generated scalars, selected by
+/// `kind`, so a single property covers the whole enum.
+fn build_frame(
+    kind: usize,
+    (id, key, n, x): (u64, u64, u32, f64),
+    s: String,
+    arrivals: Vec<(u64, f64)>,
+    keys: Vec<u64>,
+) -> Frame {
+    match kind {
+        0 => Frame::Hello {
+            magic: proto::MAGIC,
+            version: (n % 255) as u8,
+        },
+        1 => Frame::HelloOk {
+            version: (n % 255) as u8,
+        },
+        2 => Frame::Join { id, tenant: s },
+        3 => Frame::JoinGroup {
+            id,
+            tenant: s,
+            size: n,
+        },
+        4 => Frame::Leave { id, key },
+        5 => Frame::Stage { id, arrivals },
+        6 => Frame::Tick { id, arrivals },
+        7 => Frame::Snapshot { id },
+        8 => Frame::Subscribe { id, every: n },
+        9 => Frame::Goodbye { id },
+        10 => Frame::Joined { id, key },
+        11 => Frame::GroupJoined { id, members: keys },
+        12 => Frame::LeaveOk { id },
+        13 => Frame::StageOk { id, staged: n },
+        14 => Frame::TickOk { id, tick: key },
+        15 => Frame::SnapshotOk { id, json: s },
+        16 => Frame::SubscribeOk { id },
+        17 => Frame::GoodbyeOk { id },
+        18 => Frame::Event {
+            tick: key,
+            changes: id,
+            signalling_cost: x,
+        },
+        _ => Frame::Error {
+            id,
+            code: ERROR_CODES[kind % ERROR_CODES.len()],
+            message: s,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_frame_kind_round_trips_bit_exactly(
+        kind in 0usize..20,
+        id in 0u64..u64::MAX,
+        key in 0u64..u64::MAX,
+        n in 0u32..u32::MAX,
+        x in -1e12f64..1e12,
+        s in arb_string(),
+        arrivals in arb_arrivals(),
+        keys in arb_keys(),
+    ) {
+        let frame = build_frame(kind, (id, key, n, x), s, arrivals, keys);
+        let wire = encode(&frame);
+        let mut buf = wire.clone();
+        let back = decode(&mut buf).expect("round-trip decodes");
+        prop_assert_eq!(back, frame);
+        prop_assert_eq!(buf.len(), 0);
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error_never_a_panic(
+        kind in 0usize..20,
+        id in 0u64..1_000_000,
+        s in arb_string(),
+        arrivals in arb_arrivals(),
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let frame = build_frame(kind, (id, id ^ 7, 3, 1.5), s, arrivals, vec![1, 2]);
+        let wire = encode(&frame);
+        let cut = ((wire.len() as f64) * cut_frac) as usize;
+        if cut < wire.len() {
+            let mut partial = wire.slice(0..cut);
+            prop_assert_eq!(decode(&mut partial), Err(ProtoError::Truncated));
+        }
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_in_sequence(
+        ids in proptest::collection::vec(0u64..1_000_000, 1..8),
+    ) {
+        let mut wire = BytesMut::new();
+        for &id in &ids {
+            wire.put_slice(&encode(&Frame::Snapshot { id }));
+        }
+        let mut buf = wire.freeze();
+        for &id in &ids {
+            prop_assert_eq!(decode(&mut buf), Ok(Frame::Snapshot { id }));
+        }
+        prop_assert_eq!(buf.len(), 0);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_decoder(
+        raw in proptest::collection::vec(0u8..=255, 0..64),
+    ) {
+        // Whatever happens, it must be Ok or a typed ProtoError.
+        let _ = decode(&mut Bytes::from(raw.clone()));
+        let _ = decode_payload(Bytes::from(raw));
+    }
+}
+
+#[test]
+fn oversized_length_prefix_is_typed() {
+    let mut wire = BytesMut::new();
+    wire.put_u32_le((MAX_FRAME as u32) + 1);
+    wire.put_slice(&[0u8; 16]);
+    let mut buf = wire.freeze();
+    assert_eq!(
+        decode(&mut buf),
+        Err(ProtoError::Oversized {
+            declared: (MAX_FRAME as u64) + 1
+        })
+    );
+}
+
+#[test]
+fn unknown_kind_unknown_error_code_and_bad_utf8_are_typed() {
+    assert_eq!(
+        decode_payload(Bytes::from(vec![0x77u8])),
+        Err(ProtoError::UnknownKind(0x77))
+    );
+
+    let mut payload = BytesMut::new();
+    payload.put_u8(0x3F); // Error frame
+    payload.put_u64_le(1);
+    payload.put_u8(200); // no such error code
+    payload.put_u32_le(0);
+    assert_eq!(
+        decode_payload(payload.freeze()),
+        Err(ProtoError::BadErrorCode(200))
+    );
+
+    let mut payload = BytesMut::new();
+    payload.put_u8(0x10); // Join
+    payload.put_u64_le(1);
+    payload.put_u32_le(2);
+    payload.put_slice(&[0xFF, 0xFE]); // invalid UTF-8 tenant
+    assert_eq!(decode_payload(payload.freeze()), Err(ProtoError::BadString));
+}
+
+#[test]
+fn trailing_bytes_inside_a_declared_payload_are_typed() {
+    let inner = encode(&Frame::LeaveOk { id: 9 });
+    let payload_len = inner.len() - 4;
+    let mut wire = BytesMut::new();
+    wire.put_u32_le((payload_len + 3) as u32);
+    wire.put_slice(&inner[4..]);
+    wire.put_slice(&[0, 0, 0]);
+    let mut buf = wire.freeze();
+    assert_eq!(decode(&mut buf), Err(ProtoError::Trailing { extra: 3 }));
+}
+
+#[test]
+fn hostile_collection_counts_cannot_allocate_past_the_payload() {
+    // A Stage frame declaring u32::MAX arrivals in a tiny payload must be
+    // rejected by the length pre-check, not by attempting the allocation.
+    let mut payload = BytesMut::new();
+    payload.put_u8(0x13); // Stage
+    payload.put_u64_le(1);
+    payload.put_u32_le(u32::MAX);
+    assert_eq!(decode_payload(payload.freeze()), Err(ProtoError::Truncated));
+}

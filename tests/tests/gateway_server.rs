@@ -1,0 +1,422 @@
+//! End-to-end tests of the cdba-gateway TCP frontend: wire replays must
+//! be bitwise-identical to in-process runs (including under an injected
+//! shard kill), malformed input must be answered with typed error frames
+//! while the budget state stays consistent, and the backpressure /
+//! harvesting / shutdown paths must all be observable.
+
+use cdba_analysis::cost::CostModel;
+use cdba_bench::replay::{run_replay, ReplaySpec};
+use cdba_ctrl::{ControlPlane, ExecMode, FaultPlan, GlobalMetrics, ServiceConfig, SessionMetrics};
+use cdba_gateway::client::Client;
+use cdba_gateway::proto::{self, encode, ErrorCode, Frame};
+use cdba_gateway::{GatewayConfig, GatewayServer};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+type InvariantView = (u64, GlobalMetrics, Vec<SessionMetrics>);
+
+fn small_spec() -> ReplaySpec {
+    ReplaySpec {
+        sessions: 12,
+        ticks: 300,
+        churn_every: 100,
+        ..ReplaySpec::default()
+    }
+}
+
+/// The service config `cdba-cli serve`/`client` would build for `spec`.
+fn service_config(
+    spec: &ReplaySpec,
+    shards: usize,
+    exec: ExecMode,
+    fault: Option<FaultPlan>,
+) -> ServiceConfig {
+    let mut builder = spec
+        .service_builder(spec.default_budget())
+        .shards(shards)
+        .cost(CostModel::with_change_price(1.0))
+        .exec(exec)
+        .checkpoint_every(32);
+    if let Some(plan) = fault {
+        builder = builder.fault(plan);
+    }
+    builder.build().expect("valid test config")
+}
+
+fn in_process_view(spec: &ReplaySpec, cfg: ServiceConfig) -> InvariantView {
+    let mut plane = ControlPlane::new(cfg);
+    run_replay(&mut plane, spec).expect("in-process replay");
+    let snapshot = plane.snapshot().expect("snapshot");
+    plane.shutdown();
+    snapshot.invariant_view()
+}
+
+fn quick_gateway(cfg: ServiceConfig) -> GatewayServer {
+    let gateway_cfg = GatewayConfig {
+        read_timeout_ms: 10,
+        ..GatewayConfig::default()
+    };
+    GatewayServer::start(cfg, gateway_cfg).expect("gateway starts")
+}
+
+fn wire_view(spec: &ReplaySpec, cfg: ServiceConfig) -> (InvariantView, u64) {
+    let server = quick_gateway(cfg);
+    let mut client = Client::connect(server.local_addr()).expect("client connects");
+    run_replay(&mut client, spec).expect("wire replay");
+    let snapshot = client.snapshot().expect("wire snapshot");
+    client.goodbye().expect("clean goodbye");
+    server.shutdown().expect("graceful shutdown");
+    (snapshot.service.invariant_view(), snapshot.service.restarts)
+}
+
+#[test]
+fn wire_replay_is_bitwise_identical_to_in_process() {
+    let spec = small_spec();
+    let local = in_process_view(&spec, service_config(&spec, 2, ExecMode::Inline, None));
+    let (wire, restarts) = wire_view(&spec, service_config(&spec, 2, ExecMode::Inline, None));
+    assert_eq!(restarts, 0);
+    assert_eq!(local, wire, "gateway replay diverged from in-process run");
+}
+
+#[test]
+fn wire_replay_survives_a_shard_kill_bitwise() {
+    let spec = small_spec();
+    // Clean baseline: inline, no fault. Wire run: threaded with shard 1
+    // killed mid-replay and recovered from checkpoint + journal.
+    let local = in_process_view(&spec, service_config(&spec, 2, ExecMode::Inline, None));
+    let fault: FaultPlan = "1@100:kill".parse().expect("valid fault plan");
+    let (wire, restarts) = wire_view(
+        &spec,
+        service_config(&spec, 2, ExecMode::Threaded, Some(fault)),
+    );
+    assert!(restarts >= 1, "the injected kill never triggered a restart");
+    assert_eq!(local, wire, "recovered wire replay diverged from clean run");
+}
+
+// ---------------------------------------------------------------------------
+// Raw-socket malformed-input suite.
+// ---------------------------------------------------------------------------
+
+fn raw_connect(server: &GatewayServer) -> TcpStream {
+    let stream = TcpStream::connect(server.local_addr()).expect("raw connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("read timeout");
+    stream
+}
+
+fn raw_send(stream: &mut TcpStream, frame: &Frame) {
+    stream.write_all(&encode(frame)).expect("raw write");
+}
+
+fn raw_recv(stream: &mut TcpStream) -> Frame {
+    let mut head = [0u8; 4];
+    stream.read_exact(&mut head).expect("frame header");
+    let len = u32::from_le_bytes(head) as usize;
+    let mut body = vec![0u8; len];
+    stream.read_exact(&mut body).expect("frame body");
+    proto::decode_payload(bytes::Bytes::from(body)).expect("server frames decode")
+}
+
+fn raw_hello(stream: &mut TcpStream) {
+    raw_send(
+        stream,
+        &Frame::Hello {
+            magic: proto::MAGIC,
+            version: proto::VERSION,
+        },
+    );
+    assert!(matches!(raw_recv(stream), Frame::HelloOk { .. }));
+}
+
+fn expect_error(frame: Frame, code: ErrorCode) {
+    match frame {
+        Frame::Error { code: got, .. } => assert_eq!(got, code),
+        other => panic!("expected {code} error, got {other:?}"),
+    }
+}
+
+fn expect_closed(stream: &mut TcpStream) {
+    let mut byte = [0u8; 1];
+    match stream.read(&mut byte) {
+        Ok(0) => {}
+        other => panic!("expected closed connection, got {other:?}"),
+    }
+}
+
+fn inline_config(budget: f64) -> ServiceConfig {
+    ServiceConfig::builder(budget)
+        .session_b_max(16.0)
+        .offline_delay(8)
+        .offline_utilization(0.5)
+        .window(16)
+        .exec(ExecMode::Inline)
+        .build()
+        .expect("valid config")
+}
+
+#[test]
+fn handshake_rejects_bad_magic_and_bad_version() {
+    let server = quick_gateway(inline_config(256.0));
+
+    let mut conn = raw_connect(&server);
+    raw_send(
+        &mut conn,
+        &Frame::Hello {
+            magic: *b"NOPE",
+            version: proto::VERSION,
+        },
+    );
+    expect_error(raw_recv(&mut conn), ErrorCode::BadMagic);
+    expect_closed(&mut conn);
+
+    let mut conn = raw_connect(&server);
+    raw_send(
+        &mut conn,
+        &Frame::Hello {
+            magic: proto::MAGIC,
+            version: proto::VERSION + 1,
+        },
+    );
+    expect_error(raw_recv(&mut conn), ErrorCode::BadVersion);
+    expect_closed(&mut conn);
+
+    // The gateway itself survives both refusals.
+    let mut client = Client::connect(server.local_addr()).expect("fresh client");
+    client.join("acme").expect("join after refused handshakes");
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn oversized_length_prefix_fails_the_connection_not_the_gateway() {
+    let server = quick_gateway(inline_config(256.0));
+    let mut conn = raw_connect(&server);
+    raw_hello(&mut conn);
+
+    conn.write_all(&(proto::MAX_FRAME as u32 + 1).to_le_bytes())
+        .expect("hostile prefix");
+    expect_error(raw_recv(&mut conn), ErrorCode::Oversized);
+    expect_closed(&mut conn);
+
+    let wire = server.wire_stats();
+    assert!(wire.decode_errors >= 1);
+
+    let mut client = Client::connect(server.local_addr()).expect("fresh client");
+    let key = client.join("acme").expect("join still admits");
+    client.tick(&[(key, 1.0)]).expect("tick still works");
+    let snap = server.shutdown().expect("shutdown");
+    assert_eq!(snap.service.admitted, 1, "the refused conn perturbed state");
+    assert_eq!(snap.service.ticks, 1);
+}
+
+#[test]
+fn well_framed_garbage_gets_a_typed_error_and_the_connection_survives() {
+    let server = quick_gateway(inline_config(256.0));
+    let mut conn = raw_connect(&server);
+    raw_hello(&mut conn);
+
+    // A correctly framed payload with an unknown kind byte.
+    let mut wire = Vec::new();
+    wire.extend_from_slice(&3u32.to_le_bytes());
+    wire.extend_from_slice(&[0x77, 1, 2]);
+    conn.write_all(&wire).expect("garbage frame");
+    expect_error(raw_recv(&mut conn), ErrorCode::BadFrame);
+
+    // The frame boundary was intact, so the same connection keeps working.
+    raw_send(&mut conn, &Frame::Snapshot { id: 5 });
+    match raw_recv(&mut conn) {
+        Frame::SnapshotOk { id, .. } => assert_eq!(id, 5),
+        other => panic!("expected snapshot-ok on surviving connection, got {other:?}"),
+    }
+    assert!(server.wire_stats().decode_errors >= 1);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn truncated_frame_then_silence_is_failed_with_a_typed_error() {
+    let cfg = GatewayConfig {
+        read_timeout_ms: 10,
+        request_timeout_ms: 150,
+        ..GatewayConfig::default()
+    };
+    let server = GatewayServer::start(inline_config(256.0), cfg).expect("gateway starts");
+    let mut conn = raw_connect(&server);
+    raw_hello(&mut conn);
+
+    // Declare an 80-byte payload, deliver 3 bytes, then stall.
+    conn.write_all(&80u32.to_le_bytes()).expect("prefix");
+    conn.write_all(&[1, 2, 3]).expect("partial body");
+    expect_error(raw_recv(&mut conn), ErrorCode::BadFrame);
+    expect_closed(&mut conn);
+    assert!(server.wire_stats().decode_errors >= 1);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn idle_connections_are_harvested() {
+    let cfg = GatewayConfig {
+        read_timeout_ms: 10,
+        idle_timeout_ms: 120,
+        ..GatewayConfig::default()
+    };
+    let server = GatewayServer::start(inline_config(256.0), cfg).expect("gateway starts");
+    let mut conn = raw_connect(&server);
+    raw_hello(&mut conn);
+    expect_error(raw_recv(&mut conn), ErrorCode::Idle);
+    expect_closed(&mut conn);
+    assert_eq!(server.wire_stats().connections_harvested, 1);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn accept_backlog_overflow_is_a_typed_busy() {
+    let cfg = GatewayConfig {
+        workers: 1,
+        accept_backlog: 1,
+        read_timeout_ms: 10,
+        ..GatewayConfig::default()
+    };
+    let server = GatewayServer::start(inline_config(256.0), cfg).expect("gateway starts");
+
+    // First connection occupies the single worker...
+    let mut held = raw_connect(&server);
+    raw_hello(&mut held);
+    std::thread::sleep(Duration::from_millis(100));
+    // ...second waits in the accept backlog...
+    let _queued = raw_connect(&server);
+    std::thread::sleep(Duration::from_millis(100));
+    // ...third overflows and is refused with a typed Busy.
+    let mut refused = raw_connect(&server);
+    expect_error(raw_recv(&mut refused), ErrorCode::Busy);
+    assert!(server.wire_stats().busy_rejections >= 1);
+    server.shutdown().expect("shutdown");
+}
+
+// ---------------------------------------------------------------------------
+// Session ownership, batching, and subscriptions.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sessions_are_owned_by_their_connection() {
+    let server = quick_gateway(inline_config(256.0));
+    let mut alice = Client::connect(server.local_addr()).expect("alice");
+    let mut bob = Client::connect(server.local_addr()).expect("bob");
+
+    let key = alice.join("acme").expect("alice joins");
+    match bob.leave(key) {
+        Err(cdba_gateway::ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::NotOwner)
+        }
+        other => panic!("expected not-owner, got {other:?}"),
+    }
+    match bob.tick(&[(key, 1.0)]) {
+        Err(cdba_gateway::ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::NotOwner)
+        }
+        other => panic!("expected not-owner on foreign arrival, got {other:?}"),
+    }
+    alice.leave(key).expect("owner may leave");
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn cross_connection_staging_batches_into_one_deterministic_tick() {
+    let server = quick_gateway(inline_config(256.0));
+    let mut alice = Client::connect(server.local_addr()).expect("alice");
+    let mut bob = Client::connect(server.local_addr()).expect("bob");
+
+    let a = alice.join("acme").expect("a");
+    let b = bob.join("globex").expect("b");
+
+    assert_eq!(alice.stage(&[(a, 1.0)]).expect("alice stages"), 1);
+    assert_eq!(bob.stage(&[(b, 2.0)]).expect("bob stages"), 2);
+    // Restaging an already-pending key is a duplicate, all-or-nothing.
+    match alice.stage(&[(a, 1.0)]) {
+        Err(cdba_gateway::ClientError::Server { code, message }) => {
+            assert_eq!(code, ErrorCode::Ctrl);
+            assert!(message.contains("twice"), "unexpected message {message}");
+        }
+        other => panic!("expected duplicate-arrival error, got {other:?}"),
+    }
+    // Either connection may commit; the batch holds both arrivals.
+    let tick = bob.tick(&[]).expect("bob commits the batch");
+    assert_eq!(tick, 1);
+    let snap = alice.snapshot().expect("snapshot");
+    assert!((snap.service.global.total_arrived - 3.0).abs() < 1e-9);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn disconnect_returns_the_connections_budget() {
+    // Budget fits exactly three dedicated envelopes of b_max = 16.
+    let server = quick_gateway(inline_config(48.0));
+    let mut alice = Client::connect(server.local_addr()).expect("alice");
+    let mut bob = Client::connect(server.local_addr()).expect("bob");
+    alice.join("acme").expect("a1");
+    alice.join("acme").expect("a2");
+    bob.join("globex").expect("b");
+
+    // The budget is committed: a fourth session is refused by admission.
+    match bob.join("globex") {
+        Err(cdba_gateway::ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::Ctrl)
+        }
+        other => panic!("expected admission rejection, got {other:?}"),
+    }
+
+    drop(alice); // no goodbye, no leave: the gateway must clean up
+
+    // The gateway notices the closed socket, leaves alice's sessions on
+    // her behalf, and her two envelopes come back to the pool.
+    std::thread::sleep(Duration::from_millis(200));
+    bob.join("globex").expect("first returned envelope");
+    bob.join("globex").expect("second returned envelope");
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn subscriptions_push_signalling_events() {
+    let server = quick_gateway(inline_config(256.0));
+    let mut client = Client::connect(server.local_addr()).expect("client");
+    let key = client.join("acme").expect("join");
+    client.subscribe(2).expect("subscribe");
+    for t in 0..4u64 {
+        client.tick(&[(key, (t % 3) as f64)]).expect("tick");
+    }
+    let first = client
+        .next_event(Duration::from_secs(2))
+        .expect("event read")
+        .expect("first event");
+    assert_eq!(first.tick, 2);
+    let second = client
+        .next_event(Duration::from_secs(2))
+        .expect("event read")
+        .expect("second event");
+    assert_eq!(second.tick, 4);
+    assert!(second.changes >= first.changes);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn graceful_shutdown_reports_wire_observability() {
+    let spec = ReplaySpec {
+        sessions: 6,
+        ticks: 50,
+        churn_every: 20,
+        ..ReplaySpec::default()
+    };
+    let server = quick_gateway(service_config(&spec, 1, ExecMode::Inline, None));
+    let mut client = Client::connect(server.local_addr()).expect("client");
+    run_replay(&mut client, &spec).expect("replay");
+    client.goodbye().expect("goodbye");
+    let snap = server.shutdown().expect("graceful shutdown");
+    assert_eq!(snap.service.ticks, 50);
+    assert_eq!(snap.wire.connections_accepted, 1);
+    assert_eq!(snap.wire.connections_active, 0);
+    assert!(snap.wire.frames_in > 50);
+    assert!(snap.wire.frames_out > 50);
+    assert!(snap.wire.requests > 50);
+    assert!(snap.wire.latency_p99_us >= snap.wire.latency_p50_us);
+    assert_eq!(snap.wire.decode_errors, 0);
+}
