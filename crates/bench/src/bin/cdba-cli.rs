@@ -11,8 +11,8 @@
 //! cdba-cli offline       --trace t.cdba [--bandwidth 64] [--delay 8]
 //! cdba-cli serve         --sessions 100 [--shards 4] [--ticks 100000] [--json snap.json]
 //! cdba-cli gateway       --addr 127.0.0.1:4411 [--sessions 100] [--shards 4] ...
-//! cdba-cli client        --addr 127.0.0.1:4411 --sessions 100 [--ticks 100000] [--json snap.json]
-//! cdba-cli bench-gateway [--ticks 2000] [--out BENCH_gateway.json]
+//! cdba-cli client        --addr 127.0.0.1:4411 --sessions 100 [--ticks 100000] [--json snap.json] [--delta yes]
+//! cdba-cli bench-gateway [--ticks 2000] [--connections 1,4,16,32,64] [--out BENCH_gateway.json]
 //! ```
 //!
 //! (The full per-command flag lists are in `USAGE`, printed by `--help`.)
@@ -90,18 +90,22 @@ usage: cdba-cli <command> [options]
            [--bandwidth B] [--group-bandwidth B_O] [--delay D] [--utilization U]
            [--window W] [--group-size G] [--pool-frac F] [--churn-every C]
            [--budget B_A] [--quota Q] [--exec inline|threaded] [--json FILE]
-           [--fault SHARD@TICK:<kill|hang:MS|delay:MS>] [--checkpoint-every N]
-           [--max-restarts R] [--shard-timeout-ms MS]
+           [--summary FILE] [--fault SHARD@TICK:<kill|hang:MS|delay:MS>]
+           [--checkpoint-every N] [--max-restarts R] [--shard-timeout-ms MS]
   gateway  [--addr HOST:PORT] [--workers N] [--service-queue N]
            [--idle-timeout-ms MS] + every `serve` service/workload flag
            (the workload flags fix the default --budget so a `client`
            replay admits exactly like `serve`)
-  client   [--addr HOST:PORT] [--json FILE] + every `serve` workload flag:
-           replays the same deterministic churn workload over the wire and
-           writes the same snapshot JSON as `serve`
+  client   [--addr HOST:PORT] [--json FILE] [--delta yes] + every `serve`
+           workload flag: replays the same deterministic churn workload
+           over the wire and writes the same snapshot JSON as `serve`;
+           --delta yes polls wire-v2 delta snapshots and reconstructs the
+           final snapshot from the diff
   bench-gateway [--ticks T] [--sessions N] [--out FILE]
-           replays ticks at 1/4/16 connections against an in-process
-           gateway and writes machine-readable throughput/latency JSON";
+           [--connections 1,4,16,32,64]
+           drives ticks from one thread over each connection count using
+           no-ack staging + count-gated commits (one round trip per tick)
+           and writes machine-readable throughput/latency JSON";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -530,10 +534,12 @@ fn serve(args: &[String]) -> CliResult {
         "per_shard": serde_json::to_value(&snapshot.per_shard),
         "health": serde_json::to_value(&snapshot.health),
     });
-    println!(
-        "{}",
-        serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
-    );
+    let summary_body = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
+    println!("{summary_body}");
+    if let Some(path) = flags.get("summary") {
+        std::fs::write(path, &summary_body).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote summary to {path}");
+    }
     if let Some(path) = flags.get("json") {
         std::fs::write(path, snapshot.to_json_string())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -581,7 +587,9 @@ fn gateway(args: &[String]) -> CliResult {
 /// `client`: replay the deterministic churn workload over the gateway
 /// wire and report the same snapshot JSON as `serve`. With equal workload
 /// flags, the written snapshot's placement-invariant view is
-/// bitwise-identical to the in-process run's.
+/// bitwise-identical to the in-process run's — including when `--delta
+/// yes` fetches the final state as a wire-v2 delta against a pre-replay
+/// baseline and reconstructs it client-side.
 fn client(args: &[String]) -> CliResult {
     let flags = parse_flags(args)?;
     let spec = replay_spec_from_flags(&flags)?;
@@ -590,10 +598,20 @@ fn client(args: &[String]) -> CliResult {
         .get("addr")
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:4411".into());
+    let delta_mode = flags.get("delta").map(String::as_str) == Some("yes");
     let mut client =
         Client::connect_with(addr.as_str(), ClientConfig::default()).map_err(|e| e.to_string())?;
+    if delta_mode {
+        // Establish the delta baseline before the replay so the final
+        // poll diffs across the whole run's churn.
+        client.snapshot_delta().map_err(|e| e.to_string())?;
+    }
     let outcome = run_replay(&mut client, &spec)?;
-    let snap = client.snapshot().map_err(|e| e.to_string())?;
+    let snap = if delta_mode {
+        client.snapshot_delta().map_err(|e| e.to_string())?
+    } else {
+        client.snapshot().map_err(|e| e.to_string())?
+    };
     client.goodbye().map_err(|e| e.to_string())?;
 
     println!(
@@ -626,6 +644,12 @@ fn client(args: &[String]) -> CliResult {
         snap.wire.latency_p50_us,
         snap.wire.latency_p99_us,
     );
+    if delta_mode {
+        println!(
+            "snapshots: {} full, {} delta (final state reconstructed from the delta)",
+            snap.wire.full_snapshots, snap.wire.delta_snapshots,
+        );
+    }
     if let Some(path) = flags.get("json") {
         std::fs::write(path, snap.service.to_json_string())
             .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -634,9 +658,16 @@ fn client(args: &[String]) -> CliResult {
     Ok(())
 }
 
-/// `bench-gateway`: measure wire throughput and request latency at 1, 4,
-/// and 16 connections against an in-process gateway, writing a
+/// `bench-gateway`: measure wire throughput and request latency across a
+/// list of connection counts against an in-process gateway, writing a
 /// machine-readable JSON report.
+///
+/// One driver thread owns every connection — the wire v2 signalling-lean
+/// pattern: staging connections send unacknowledged `StageNoAck` frames
+/// (one write, zero reads) and the committing connection sends a
+/// count-gated `TickSync`, so a whole multi-connection tick costs one
+/// round trip instead of a reply per connection. The count gate keeps the
+/// committed batch independent of socket arrival order.
 fn bench_gateway(args: &[String]) -> CliResult {
     let flags = parse_flags(args)?;
     let ticks: u64 = get_parse(&flags, "ticks", 2_000)?;
@@ -648,9 +679,27 @@ fn bench_gateway(args: &[String]) -> CliResult {
     if sessions == 0 || ticks == 0 {
         return Err("--sessions and --ticks must be >= 1".into());
     }
+    let conn_list: Vec<usize> = match flags.get("connections") {
+        None => vec![1, 4, 16, 32, 64],
+        Some(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --connections entry {s}: {e}"))
+                    .and_then(|n| {
+                        if n == 0 {
+                            Err("--connections entries must be >= 1".into())
+                        } else {
+                            Ok(n)
+                        }
+                    })
+            })
+            .collect::<Result<_, String>>()?,
+    };
 
     let mut results = Vec::new();
-    for &conns in &[1usize, 4, 16] {
+    for &conns in &conn_list {
         let per_conn = (sessions / conns).max(1);
         let total = per_conn * conns;
         let b_max = 16.0;
@@ -663,8 +712,6 @@ fn bench_gateway(args: &[String]) -> CliResult {
             .exec(ExecMode::Inline)
             .build()
             .map_err(|e| e.to_string())?;
-        // Every connection participates in a per-tick barrier, so the
-        // worker pool must hold them all concurrently.
         let gateway_cfg = GatewayConfig {
             workers: conns + 2,
             accept_backlog: conns.max(16),
@@ -673,48 +720,54 @@ fn bench_gateway(args: &[String]) -> CliResult {
         let server = GatewayServer::start(cfg, gateway_cfg).map_err(|e| e.to_string())?;
         let addr = server.local_addr();
 
+        // One driver, `conns` sockets: connection 0 commits, the rest
+        // stage without acknowledgement.
+        let mut clients = Vec::with_capacity(conns);
+        let mut keys: Vec<Vec<u64>> = Vec::with_capacity(conns);
+        for _ in 0..conns {
+            let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+            let mut owned = Vec::with_capacity(per_conn);
+            for _ in 0..per_conn {
+                owned.push(client.join("bench").map_err(|e| e.to_string())?);
+            }
+            clients.push(client);
+            keys.push(owned);
+        }
+
         let started = std::time::Instant::now();
-        let barrier = std::sync::Barrier::new(conns);
-        std::thread::scope(|scope| -> CliResult {
-            let mut handles = Vec::new();
-            for c in 0..conns {
-                let barrier = &barrier;
-                handles.push(scope.spawn(move || -> CliResult {
-                    let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
-                    let mut keys = Vec::with_capacity(per_conn);
-                    for _ in 0..per_conn {
-                        keys.push(client.join("bench").map_err(|e| e.to_string())?);
+        let mut arrivals = Vec::with_capacity(per_conn);
+        for t in 0..ticks {
+            let mut staged: u32 = 0;
+            for c in 1..conns {
+                arrivals.clear();
+                for &key in &keys[c] {
+                    let bits = ((t + key) % 3) as f64;
+                    if bits > 0.0 {
+                        arrivals.push((key, bits));
                     }
-                    let mut arrivals = Vec::with_capacity(per_conn);
-                    for t in 0..ticks {
-                        arrivals.clear();
-                        for &key in &keys {
-                            let bits = ((t + key) % 3) as f64;
-                            if bits > 0.0 {
-                                arrivals.push((key, bits));
-                            }
-                        }
-                        if c == 0 {
-                            // Commit after every other connection staged.
-                            barrier.wait();
-                            client.tick(&arrivals).map_err(|e| e.to_string())?;
-                            barrier.wait();
-                        } else {
-                            client.stage(&arrivals).map_err(|e| e.to_string())?;
-                            barrier.wait();
-                            barrier.wait();
-                        }
-                    }
-                    client.goodbye().map_err(|e| e.to_string())
-                }));
+                }
+                staged += arrivals.len() as u32;
+                clients[c]
+                    .stage_noack(&arrivals)
+                    .map_err(|e| e.to_string())?;
             }
-            for handle in handles {
-                handle.join().map_err(|_| "bench connection panicked")??;
+            arrivals.clear();
+            for &key in &keys[0] {
+                let bits = ((t + key) % 3) as f64;
+                if bits > 0.0 {
+                    arrivals.push((key, bits));
+                }
             }
-            Ok(())
-        })?;
+            staged += arrivals.len() as u32;
+            clients[0]
+                .tick_sync(&arrivals, staged)
+                .map_err(|e| e.to_string())?;
+        }
         let elapsed = started.elapsed().as_secs_f64();
         let wire = server.wire_stats();
+        for client in clients {
+            client.goodbye().map_err(|e| e.to_string())?;
+        }
         server.shutdown().map_err(|e| e.to_string())?;
 
         let ticks_per_sec = if elapsed > 0.0 {

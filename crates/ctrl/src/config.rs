@@ -56,8 +56,14 @@ pub struct ServiceConfig {
     /// it permanently down.
     pub max_restarts: u32,
     /// How long the driver waits on an unresponsive shard (a full event
-    /// queue, or a missing snapshot reply) before restarting it.
+    /// queue, a missing tick ack, or a missing snapshot reply) before
+    /// restarting it.
     pub shard_timeout_ms: u64,
+    /// How many ticks the driver may dispatch to a shard beyond the last
+    /// one the shard acknowledged (threaded mode). Depth 1 waits for every
+    /// tick before dispatching the next; deeper pipelines overlap tick
+    /// `N+1`'s dispatch with tick `N`'s execution. Must be ≥ 1.
+    pub pipeline_depth: u32,
     /// An injected fault for the supervision test harness; `None` in
     /// production. Threaded mode only.
     pub fault: Option<FaultPlan>,
@@ -80,6 +86,7 @@ impl ServiceConfig {
             checkpoint_every: 64,
             max_restarts: 3,
             shard_timeout_ms: 2000,
+            pipeline_depth: 4,
             fault: None,
         }
     }
@@ -128,6 +135,7 @@ pub struct ServiceConfigBuilder {
     checkpoint_every: u64,
     max_restarts: u32,
     shard_timeout_ms: u64,
+    pipeline_depth: u32,
     fault: Option<FaultPlan>,
 }
 
@@ -205,6 +213,13 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Sets how many unacknowledged ticks may be in flight per shard
+    /// (threaded mode). Default 4.
+    pub fn pipeline_depth(mut self, depth: u32) -> Self {
+        self.pipeline_depth = depth;
+        self
+    }
+
     /// Injects a fault plan for the supervision test harness. Default none.
     pub fn fault(mut self, fault: FaultPlan) -> Self {
         self.fault = Some(fault);
@@ -249,6 +264,11 @@ impl ServiceConfigBuilder {
                 "shard timeout must be at least one millisecond".into(),
             ));
         }
+        if self.pipeline_depth == 0 {
+            return Err(CtrlError::InvalidService(
+                "pipeline depth must be at least 1".into(),
+            ));
+        }
         if let Some(fault) = &self.fault {
             if self.exec == ExecMode::Inline {
                 return Err(CtrlError::InvalidService(
@@ -284,6 +304,7 @@ impl ServiceConfigBuilder {
             checkpoint_every: self.checkpoint_every,
             max_restarts: self.max_restarts,
             shard_timeout_ms: self.shard_timeout_ms,
+            pipeline_depth: self.pipeline_depth,
             fault: self.fault,
         })
     }
@@ -352,6 +373,10 @@ mod tests {
         assert_eq!(cfg.fault, Some(FaultPlan::hang(1, 5, 100)));
         assert!(matches!(
             ServiceConfig::builder(64.0).shard_timeout_ms(0).build(),
+            Err(CtrlError::InvalidService(_))
+        ));
+        assert!(matches!(
+            ServiceConfig::builder(64.0).pipeline_depth(0).build(),
             Err(CtrlError::InvalidService(_))
         ));
     }

@@ -38,10 +38,10 @@
 use crate::admission::AdmissionController;
 use crate::config::{ExecMode, ServiceConfig};
 use crate::fault::FaultPlan;
+use crate::meter::SessionMetrics;
 use crate::metrics::{ServiceSnapshot, ShardHealth, SnapshotCounters};
 use crate::shard::{
-    panic_reason, run_worker, Event, ReplayEvent, ShardCheckpoint, ShardReport, ShardState,
-    WorkerCtx, WorkerMsg,
+    panic_reason, run_worker, Event, ReplayEvent, ShardCheckpoint, ShardState, WorkerCtx, WorkerMsg,
 };
 use crate::CtrlError;
 use crossbeam::channel::{bounded, unbounded, Receiver, SendTimeoutError, Sender};
@@ -66,13 +66,13 @@ enum PlacementKind {
 #[derive(Debug, Clone)]
 struct Placement {
     shard: usize,
-    tenant: String,
+    tenant: Arc<str>,
     kind: PlacementKind,
 }
 
 #[derive(Debug, Clone)]
 struct GroupInfo {
-    tenant: String,
+    tenant: Arc<str>,
     live: usize,
     envelope: f64,
 }
@@ -106,6 +106,9 @@ struct ShardSup {
     checkpoint: Option<ShardCheckpoint>,
     /// Live sessions placed on this shard, for least-loaded placement.
     live: usize,
+    /// Ticks dispatched to the current worker incarnation but not yet
+    /// acknowledged. Bounds how far the tick pipeline runs ahead.
+    inflight: u64,
 }
 
 impl ShardSup {
@@ -119,6 +122,7 @@ impl ShardSup {
             journal_base: 0,
             checkpoint: None,
             live: 0,
+            inflight: 0,
         }
     }
 }
@@ -176,6 +180,17 @@ pub struct ControlPlane {
     clock: u64,
     /// Per-shard arrival buffers reused across ticks.
     routes: Vec<Vec<(u64, f64)>>,
+    /// Duplicate-arrival scratch set reused across ticks.
+    seen: HashSet<u64>,
+    /// The shared empty arrival batch, so idle shards tick without a fresh
+    /// allocation.
+    empty_batch: Arc<[(u64, f64)]>,
+    /// Bumped on every mutation that can change a snapshot; the snapshot
+    /// cache is valid only while its stamp matches.
+    generation: u64,
+    /// The last assembled snapshot, stamped with the generation it
+    /// captured.
+    snapshot_cache: Option<(u64, Arc<ServiceSnapshot>)>,
 }
 
 impl ControlPlane {
@@ -237,6 +252,10 @@ impl ControlPlane {
             next_group: 0,
             clock: 0,
             routes,
+            seen: HashSet::new(),
+            empty_batch: Arc::from(Vec::new()),
+            generation: 0,
+            snapshot_cache: None,
         }
     }
 
@@ -294,10 +313,10 @@ impl ControlPlane {
     }
 
     /// Applies all pending out-of-band worker messages: accepts
-    /// current-epoch checkpoints (trimming the journal they cover) and
-    /// recovers shards that reported a failure. Recovery errors are not
-    /// propagated here — the failed shard is marked down and the caller's
-    /// own health check surfaces it.
+    /// current-epoch checkpoints (trimming the journal they cover), counts
+    /// tick acks against the pipeline, and recovers shards that reported a
+    /// failure. Recovery errors are not propagated here — the failed shard
+    /// is marked down and the caller's own health check surfaces it.
     fn drain_worker_msgs(&mut self) {
         loop {
             let msg = match &self.msgs {
@@ -307,16 +326,57 @@ impl ControlPlane {
                 },
                 None => return,
             };
-            match msg {
-                WorkerMsg::Checkpoint(cp) => self.accept_checkpoint(cp),
-                WorkerMsg::Failure(failure) => {
-                    let shard = failure.shard as usize;
-                    if self.sups[shard].epoch == failure.epoch {
-                        let _ = self.recover(shard, failure.reason);
-                    }
+            self.apply_worker_msg(msg);
+        }
+    }
+
+    /// Applies one out-of-band worker message. Messages stamped with a
+    /// superseded epoch are discarded.
+    fn apply_worker_msg(&mut self, msg: WorkerMsg) {
+        match msg {
+            WorkerMsg::Checkpoint(cp) => self.accept_checkpoint(cp),
+            WorkerMsg::TickAck { shard, epoch } => {
+                let sup = &mut self.sups[shard as usize];
+                if sup.epoch == epoch {
+                    sup.inflight = sup.inflight.saturating_sub(1);
+                }
+            }
+            WorkerMsg::Failure(failure) => {
+                let shard = failure.shard as usize;
+                if self.sups[shard].epoch == failure.epoch {
+                    let _ = self.recover(shard, failure.reason);
                 }
             }
         }
+    }
+
+    /// Blocks until `shard` has pipeline capacity for one more tick: fewer
+    /// than [`ServiceConfig::pipeline_depth`] dispatched-but-unacked ticks.
+    /// Worker messages that arrive while waiting (acks, checkpoints,
+    /// failures) are applied as they land, so a failure surfaces here as a
+    /// recovery rather than a stall. A shard that produces neither an ack
+    /// nor a failure within the shard timeout is restarted.
+    fn await_pipeline_slot(&mut self, shard: usize) -> Result<(), CtrlError> {
+        let depth = u64::from(self.cfg.pipeline_depth);
+        if !self.sups[shard].healthy || self.sups[shard].inflight < depth {
+            return Ok(());
+        }
+        let deadline = std::time::Instant::now() + Duration::from_millis(self.cfg.shard_timeout_ms);
+        while self.sups[shard].healthy && self.sups[shard].inflight >= depth {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            if remaining.is_zero() {
+                return self.recover(shard, "tick pipeline stalled past the shard timeout".into());
+            }
+            let msg = match &self.msgs {
+                Some((_, rx)) => match rx.recv_timeout(remaining) {
+                    Ok(msg) => msg,
+                    Err(_) => continue,
+                },
+                None => return Ok(()),
+            };
+            self.apply_worker_msg(msg);
+        }
+        Ok(())
     }
 
     fn accept_checkpoint(&mut self, cp: ShardCheckpoint) {
@@ -355,10 +415,14 @@ impl ControlPlane {
     /// replay itself panics (a deterministic poison event); the shard is
     /// marked permanently down in all three cases.
     fn recover(&mut self, shard: usize, reason: String) -> Result<(), CtrlError> {
+        self.generation += 1;
         self.retire_worker(shard);
         let max_restarts = u64::from(self.cfg.max_restarts);
         let sup = &mut self.sups[shard];
         sup.last_failure = Some(reason.clone());
+        // The replay below applies every journaled tick on this thread;
+        // nothing dispatched to the old worker is outstanding any more.
+        sup.inflight = 0;
         if self.cfg.checkpoint_every == 0 {
             sup.healthy = false;
             return Err(CtrlError::ShardDown {
@@ -496,6 +560,7 @@ impl ControlPlane {
     /// cover the envelope; [`CtrlError::ShardDown`] when no shard could
     /// take the session.
     pub fn admit(&mut self, tenant: &str) -> Result<u64, CtrlError> {
+        self.generation += 1;
         let envelope = self.cfg.dedicated_envelope();
         self.admission
             .lock()
@@ -509,9 +574,10 @@ impl ControlPlane {
             });
         };
         let key = self.next_key;
+        let tenant_shared: Arc<str> = tenant.into();
         let join = ReplayEvent::JoinDedicated {
             key,
-            tenant: tenant.to_string(),
+            tenant: tenant_shared.clone(),
         };
         if let Err(err) = self.dispatch(shard, join) {
             self.admission.lock().rollback(tenant, envelope);
@@ -522,7 +588,7 @@ impl ControlPlane {
             key,
             Placement {
                 shard,
-                tenant: tenant.to_string(),
+                tenant: tenant_shared,
                 kind: PlacementKind::Dedicated,
             },
         );
@@ -548,6 +614,7 @@ impl ControlPlane {
                 "pooled groups need at least 2 sessions, got {size}"
             )));
         }
+        self.generation += 1;
         let envelope = self.cfg.group_envelope();
         self.admission
             .lock()
@@ -561,10 +628,11 @@ impl ControlPlane {
             });
         };
         let group = self.next_group;
-        let members: Vec<u64> = (0..size as u64).map(|i| self.next_key + i).collect();
+        let members: Arc<[u64]> = (0..size as u64).map(|i| self.next_key + i).collect();
+        let tenant_shared: Arc<str> = tenant.into();
         let join = ReplayEvent::JoinGroup {
             group,
-            tenant: tenant.to_string(),
+            tenant: tenant_shared.clone(),
             members: members.clone(),
         };
         if let Err(err) = self.dispatch(shard, join) {
@@ -573,12 +641,12 @@ impl ControlPlane {
         }
         self.next_group += 1;
         self.next_key += size as u64;
-        for &key in &members {
+        for &key in members.iter() {
             self.placements.insert(
                 key,
                 Placement {
                     shard,
-                    tenant: tenant.to_string(),
+                    tenant: tenant_shared.clone(),
                     kind: PlacementKind::Pooled { group },
                 },
             );
@@ -586,13 +654,13 @@ impl ControlPlane {
         self.groups.insert(
             group,
             GroupInfo {
-                tenant: tenant.to_string(),
+                tenant: tenant_shared,
                 live: size,
                 envelope,
             },
         );
         self.sups[shard].live += size;
-        Ok(members)
+        Ok(members.to_vec())
     }
 
     /// Begins draining a session out. Its committed envelope is released
@@ -606,6 +674,7 @@ impl ControlPlane {
     /// [`CtrlError::ShardDown`] if the session's shard is permanently down
     /// (the session then stays registered and keeps its envelope).
     pub fn leave(&mut self, key: u64) -> Result<(), CtrlError> {
+        self.generation += 1;
         let (shard, kind) = {
             let placement = self
                 .placements
@@ -654,7 +723,7 @@ impl ControlPlane {
         for route in &mut self.routes {
             route.clear();
         }
-        let mut seen: HashSet<u64> = HashSet::with_capacity(arrivals.len());
+        self.seen.clear();
         for &(key, bits) in arrivals {
             if !bits.is_finite() || bits < 0.0 {
                 return Err(CtrlError::InvalidArrival { session: key, bits });
@@ -667,18 +736,35 @@ impl ControlPlane {
             if !self.sups[shard].healthy {
                 return Err(self.down_error(shard));
             }
-            if !seen.insert(key) {
+            if !self.seen.insert(key) {
                 return Err(CtrlError::DuplicateArrival(key));
             }
             self.routes[shard].push((key, bits));
         }
+        self.generation += 1;
+        // Inline fallback: run every shard's tick on this thread straight
+        // from the reused route buffers — no events, no journal, no
+        // allocations on the hot path.
+        if let Backend::Inline(states) = &mut self.backend {
+            for (state, route) in states.iter_mut().zip(&self.routes) {
+                state.tick(route);
+            }
+            self.clock += 1;
+            return Ok(());
+        }
+        // Threaded: fan the batches out to every healthy shard. Sends are
+        // non-blocking in the steady state — the pipeline-depth gate in
+        // `dispatch_tick` keeps each worker queue far below its capacity —
+        // so tick N+1's dispatch overlaps tick N's execution on every
+        // shard at once, up to the configured depth.
         let mut first_err = None;
         for shard in 0..self.cfg.shards {
-            let batch = std::mem::take(&mut self.routes[shard]);
             if !self.sups[shard].healthy {
-                continue; // validated above: no arrivals target a dead shard
+                // Validated above: no arrivals target a dead shard.
+                self.routes[shard].clear();
+                continue;
             }
-            if let Err(err) = self.dispatch(shard, ReplayEvent::Tick { arrivals: batch }) {
+            if let Err(err) = self.dispatch_tick(shard) {
                 first_err.get_or_insert(err);
             }
         }
@@ -689,84 +775,177 @@ impl ControlPlane {
         }
     }
 
-    /// Collects one healthy shard's report, restarting the shard and
-    /// retrying once if it fails or stalls mid-collection.
-    fn collect_shard(&mut self, shard: usize) -> Result<ShardReport, CtrlError> {
-        let timeout = Duration::from_millis(self.cfg.shard_timeout_ms);
-        for _attempt in 0..2 {
-            if !self.sups[shard].healthy {
-                return Err(self.down_error(shard));
-            }
-            let epoch = self.sups[shard].epoch;
-            let (reply, rx) = unbounded();
-            let sent = {
-                let Backend::Threaded { workers } = &self.backend else {
-                    unreachable!("collect_shard is only called in threaded mode")
-                };
-                let worker = workers[shard].as_ref().expect("healthy shard has a worker");
-                worker.tx.send_timeout(Event::Collect { reply }, timeout)
-            };
-            let reason = match sent {
-                Ok(()) => match rx.recv_timeout(timeout) {
-                    Ok(report) if report.epoch == epoch && report.shard == shard as u64 => {
-                        return Ok(report)
-                    }
-                    Ok(_) | Err(_) => "snapshot reply stalled past the shard timeout".to_string(),
-                },
-                Err(SendTimeoutError::Timeout(_)) => {
-                    "event queue stalled past the shard timeout".to_string()
-                }
-                Err(SendTimeoutError::Disconnected(_)) => {
-                    self.drain_worker_msgs();
-                    if self.sups[shard].epoch != epoch {
-                        continue; // the drain already handled the failure
-                    }
-                    "worker terminated without a failure report".to_string()
-                }
-            };
-            self.recover(shard, reason)?;
+    /// Dispatches one shard's tick batch: waits for pipeline capacity,
+    /// journals, and delivers. The route buffer keeps its capacity; the
+    /// batch payload is one shared allocation (none at all when empty).
+    fn dispatch_tick(&mut self, shard: usize) -> Result<(), CtrlError> {
+        self.await_pipeline_slot(shard)?;
+        if !self.sups[shard].healthy {
+            return Err(self.down_error(shard));
         }
-        // Two straight failed attempts: stop burning restarts on it.
-        let reason = "snapshot failed twice despite recovery".to_string();
-        self.retire_worker(shard);
-        let sup = &mut self.sups[shard];
-        sup.healthy = false;
-        sup.last_failure = Some(reason.clone());
-        Err(CtrlError::ShardDown { shard, reason })
+        let batch: Arc<[(u64, f64)]> = if self.routes[shard].is_empty() {
+            self.empty_batch.clone()
+        } else {
+            let batch = self.routes[shard].as_slice().into();
+            self.routes[shard].clear();
+            batch
+        };
+        let epoch = self.sups[shard].epoch;
+        let delivered = self.dispatch(shard, ReplayEvent::Tick { arrivals: batch });
+        // A recovery inside `dispatch` replayed the journaled tick on this
+        // thread; only a delivery to the same worker incarnation will ack.
+        if delivered.is_ok() && self.sups[shard].epoch == epoch {
+            self.sups[shard].inflight += 1;
+        }
+        delivered
+    }
+
+    /// Collects every shard's session metrics. Inline shards report
+    /// directly; threaded shards are collected fan-out/fan-in — one
+    /// `Collect` is broadcast to every healthy shard, then replies are
+    /// gathered off a shared channel as they land, bounded by the shard
+    /// timeout. A shard that misses the deadline is restarted and retried
+    /// once; a second miss marks it permanently down. Collection therefore
+    /// never blocks past `2 × shard_timeout_ms` and never errors — lost
+    /// shards degrade to `health: down`, exactly like the tick path.
+    fn collect_sessions(&mut self) -> Vec<SessionMetrics> {
+        let mut sessions = Vec::new();
+        if let Backend::Inline(states) = &mut self.backend {
+            for state in states.iter_mut() {
+                sessions.extend(state.report().sessions);
+            }
+            return sessions;
+        }
+        self.drain_worker_msgs();
+        let timeout = Duration::from_millis(self.cfg.shard_timeout_ms);
+        let mut collected = vec![false; self.cfg.shards];
+        for round in 0..2 {
+            // Fan-out: broadcast Collect to every healthy uncollected
+            // shard on one shared reply channel.
+            let (reply, rx) = unbounded();
+            let mut pending: Vec<(usize, u64)> = Vec::new();
+            for shard in 0..self.cfg.shards {
+                if collected[shard] || !self.sups[shard].healthy {
+                    continue;
+                }
+                let epoch = self.sups[shard].epoch;
+                let sent = {
+                    let Backend::Threaded { workers } = &self.backend else {
+                        unreachable!("inline handled above")
+                    };
+                    let worker = workers[shard].as_ref().expect("healthy shard has a worker");
+                    worker.tx.send_timeout(
+                        Event::Collect {
+                            reply: reply.clone(),
+                        },
+                        timeout,
+                    )
+                };
+                match sent {
+                    Ok(()) => pending.push((shard, epoch)),
+                    Err(SendTimeoutError::Timeout(_)) => {
+                        let _ = self
+                            .recover(shard, "event queue stalled past the shard timeout".into());
+                    }
+                    Err(SendTimeoutError::Disconnected(_)) => {
+                        // The worker's failure report, if any, is already in
+                        // the message channel; draining recovers the shard
+                        // for the next round.
+                        self.drain_worker_msgs();
+                        if self.sups[shard].epoch == epoch {
+                            let _ = self.recover(
+                                shard,
+                                "worker terminated without a failure report".into(),
+                            );
+                        }
+                    }
+                }
+            }
+            drop(reply);
+            // Fan-in: take replies as they land until every pending shard
+            // reported or the deadline passes.
+            let deadline = std::time::Instant::now() + timeout;
+            while !pending.is_empty() {
+                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                if remaining.is_zero() {
+                    break;
+                }
+                let Ok(report) = rx.recv_timeout(remaining) else {
+                    break; // timeout, or every pending worker died
+                };
+                let Some(at) = pending.iter().position(|&(shard, epoch)| {
+                    shard as u64 == report.shard && epoch == report.epoch
+                }) else {
+                    continue; // a superseded worker's stale reply
+                };
+                let (shard, _) = pending.swap_remove(at);
+                collected[shard] = true;
+                // The reply proves every previously dispatched event was
+                // applied (the queue is FIFO).
+                self.sups[shard].inflight = 0;
+                sessions.extend(report.sessions);
+            }
+            if pending.is_empty() {
+                break;
+            }
+            // Stragglers: restart and retry on the first round; give up on
+            // the second — stop burning restarts on a shard that cannot
+            // even report.
+            for (shard, epoch) in pending {
+                self.drain_worker_msgs();
+                if self.sups[shard].epoch != epoch {
+                    continue; // the drain already handled a reported failure
+                }
+                if round == 0 {
+                    let _ = self.recover(
+                        shard,
+                        "snapshot reply stalled past the shard timeout".into(),
+                    );
+                } else {
+                    self.generation += 1;
+                    self.retire_worker(shard);
+                    let sup = &mut self.sups[shard];
+                    sup.healthy = false;
+                    sup.inflight = 0;
+                    sup.last_failure = Some("snapshot failed twice despite recovery".into());
+                }
+            }
+        }
+        sessions
     }
 
     /// Collects a full metrics snapshot. In threaded mode this
     /// synchronizes with every healthy shard (the reply arrives only after
-    /// all previously sent events were applied); shards already marked
-    /// down are skipped — their loss shows up in
-    /// [`ServiceSnapshot::health`] rather than as an error.
+    /// all previously sent events were applied) via a bounded fan-out/
+    /// fan-in; shards already marked down are skipped, and a shard that
+    /// stalls past the timeout twice is marked down rather than wedging
+    /// the caller — its loss shows up in [`ServiceSnapshot::health`]
+    /// rather than as an error.
     ///
     /// # Errors
     ///
-    /// [`CtrlError::ShardDown`] when a shard that was healthy at entry
-    /// fails mid-collection and cannot be recovered.
+    /// Currently infallible; the `Result` is kept so recovery-related
+    /// failure modes can surface without an API break.
     pub fn snapshot(&mut self) -> Result<ServiceSnapshot, CtrlError> {
-        let mut sessions = Vec::new();
-        if let Backend::Inline(states) = &mut self.backend {
-            let (reply, rx) = unbounded();
-            for state in states.iter_mut() {
-                state.handle_event(Event::Collect {
-                    reply: reply.clone(),
-                });
-            }
-            drop(reply);
-            while let Ok(report) = rx.recv() {
-                sessions.extend(report.sessions);
-            }
-        } else {
-            self.drain_worker_msgs();
-            for shard in 0..self.cfg.shards {
-                if !self.sups[shard].healthy {
-                    continue;
-                }
-                sessions.extend(self.collect_shard(shard)?.sessions);
+        Ok(self.snapshot_shared()?.as_ref().clone())
+    }
+
+    /// Like [`ControlPlane::snapshot`], but returns a shared handle and
+    /// caches the assembled snapshot: repeated calls without an
+    /// intervening mutation (admit, leave, tick, recovery) are free — the
+    /// cache is stamped with a generation counter that every mutating
+    /// operation bumps.
+    ///
+    /// # Errors
+    ///
+    /// As [`ControlPlane::snapshot`].
+    pub fn snapshot_shared(&mut self) -> Result<Arc<ServiceSnapshot>, CtrlError> {
+        if let Some((stamp, cached)) = &self.snapshot_cache {
+            if *stamp == self.generation {
+                return Ok(cached.clone());
             }
         }
+        let sessions = self.collect_sessions();
         let (admitted, rejected) = {
             let admission = self.admission.lock();
             (admission.admitted(), admission.rejected())
@@ -782,7 +961,7 @@ impl ControlPlane {
                 last_failure: sup.last_failure.clone(),
             })
             .collect();
-        Ok(ServiceSnapshot::assemble(
+        let snapshot = Arc::new(ServiceSnapshot::assemble(
             SnapshotCounters {
                 ticks: self.clock,
                 shards: self.cfg.shards as u64,
@@ -793,7 +972,11 @@ impl ControlPlane {
             },
             health,
             sessions,
-        ))
+        ));
+        // Collection may itself have recovered or downed shards (bumping
+        // the generation); stamp with the value the assembly observed.
+        self.snapshot_cache = Some((self.generation, snapshot.clone()));
+        Ok(snapshot)
     }
 
     /// Stops the executor. Equivalent to dropping, but explicit: worker

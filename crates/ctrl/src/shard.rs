@@ -34,6 +34,10 @@ use std::sync::Arc;
 /// A control event delivered to one shard. Within a shard, events apply in
 /// send order (the channels are FIFO), which is all the ordering the
 /// executor needs.
+///
+/// Payloads are `Arc`-shared with the driver's journal: delivering an
+/// event costs a refcount bump, not a deep clone of tenants, member lists,
+/// or arrival batches.
 #[derive(Debug)]
 pub(crate) enum Event {
     /// Place a dedicated session running the single-session algorithm.
@@ -41,7 +45,7 @@ pub(crate) enum Event {
         /// Service-wide session key.
         key: u64,
         /// Owning tenant.
-        tenant: String,
+        tenant: Arc<str>,
     },
     /// Place a pooled group running the phased algorithm; all members land
     /// on this shard.
@@ -49,9 +53,9 @@ pub(crate) enum Event {
         /// Service-wide group id.
         group: u64,
         /// Owning tenant.
-        tenant: String,
+        tenant: Arc<str>,
         /// Service-wide keys of the members, in join order.
-        members: Vec<u64>,
+        members: Arc<[u64]>,
     },
     /// Begin draining a session out.
     Leave {
@@ -61,7 +65,7 @@ pub(crate) enum Event {
     /// Advance every session on this shard by one tick.
     Tick {
         /// `(key, bits)` arrivals for this tick; sessions not listed get 0.
-        arrivals: Vec<(u64, f64)>,
+        arrivals: Arc<[(u64, f64)]>,
     },
     /// Report all metrics (live and retired sessions) back.
     Collect {
@@ -87,6 +91,9 @@ pub(crate) struct ShardReport {
 
 /// A replayable control event, as the driver journals it. Everything but
 /// `Collect`/`Shutdown` — exactly the events that mutate shard state.
+///
+/// Journal entries share their payload allocations with the delivered
+/// [`Event`], so journaling costs a refcount bump per event.
 #[derive(Debug, Clone)]
 pub(crate) enum ReplayEvent {
     /// See [`Event::JoinDedicated`].
@@ -94,16 +101,16 @@ pub(crate) enum ReplayEvent {
         /// Service-wide session key.
         key: u64,
         /// Owning tenant.
-        tenant: String,
+        tenant: Arc<str>,
     },
     /// See [`Event::JoinGroup`].
     JoinGroup {
         /// Service-wide group id.
         group: u64,
         /// Owning tenant.
-        tenant: String,
+        tenant: Arc<str>,
         /// Member keys in join order.
-        members: Vec<u64>,
+        members: Arc<[u64]>,
     },
     /// See [`Event::Leave`].
     Leave {
@@ -113,12 +120,13 @@ pub(crate) enum ReplayEvent {
     /// See [`Event::Tick`].
     Tick {
         /// `(key, bits)` arrivals for the tick.
-        arrivals: Vec<(u64, f64)>,
+        arrivals: Arc<[(u64, f64)]>,
     },
 }
 
 impl ReplayEvent {
-    /// The executor event this journal entry replays as.
+    /// The executor event this journal entry replays as. Payloads are
+    /// shared, not copied.
     pub(crate) fn to_event(&self) -> Event {
         match self {
             ReplayEvent::JoinDedicated { key, tenant } => Event::JoinDedicated {
@@ -222,7 +230,7 @@ enum SessionKind {
 
 struct SessionEntry {
     key: u64,
-    tenant: String,
+    tenant: Arc<str>,
     meter: SignallingMeter,
     leaving: bool,
     kind: SessionKind,
@@ -288,7 +296,7 @@ impl ShardState {
                 };
                 SessionCheckpoint {
                     key: e.key,
-                    tenant: e.tenant.clone(),
+                    tenant: e.tenant.as_ref().to_string(),
                     meter: e.meter.checkpoint(),
                     leaving: e.leaving,
                     dedicated,
@@ -336,7 +344,7 @@ impl ShardState {
             };
             state.push_session(SessionEntry {
                 key: s.key,
-                tenant: s.tenant.clone(),
+                tenant: s.tenant.as_str().into(),
                 meter: SignallingMeter::restore(&s.meter),
                 leaving: s.leaving,
                 kind,
@@ -367,7 +375,7 @@ impl ShardState {
                 group,
                 tenant,
                 members,
-            } => self.join_group(group, tenant, members),
+            } => self.join_group(group, tenant, &members),
             Event::Leave { key } => self.leave(key),
             Event::Tick { arrivals } => self.tick(&arrivals),
             Event::Collect { reply } => {
@@ -384,7 +392,7 @@ impl ShardState {
         self.sessions.push(entry);
     }
 
-    fn join_dedicated(&mut self, key: u64, tenant: String) {
+    fn join_dedicated(&mut self, key: u64, tenant: Arc<str>) {
         let alg = Box::new(SingleSession::new(self.single_cfg.clone()));
         self.push_session(SessionEntry {
             key,
@@ -395,13 +403,13 @@ impl ShardState {
         });
     }
 
-    fn join_group(&mut self, group: u64, tenant: String, members: Vec<u64>) {
+    fn join_group(&mut self, group: u64, tenant: Arc<str>, members: &[u64]) {
         let entry = self.groups.entry(group).or_insert_with(|| GroupEntry {
             pool: SessionPool::new(self.multi_cfg.clone()),
             by_member: HashMap::new(),
         });
         let mut joined = Vec::with_capacity(members.len());
-        for key in members {
+        for &key in members {
             let member = entry.pool.join();
             entry.by_member.insert(member, key);
             joined.push((key, member));
@@ -444,7 +452,7 @@ impl ShardState {
         }
     }
 
-    fn tick(&mut self, arrivals: &[(u64, f64)]) {
+    pub(crate) fn tick(&mut self, arrivals: &[(u64, f64)]) {
         // Stage arrivals into a buffer parallel to the session vector.
         self.scratch.clear();
         self.scratch.resize(self.sessions.len(), 0.0);
@@ -531,7 +539,7 @@ impl ShardState {
             .push(entry.meter.metrics(entry.key, &entry.tenant, self.shard));
     }
 
-    fn report(&self) -> ShardReport {
+    pub(crate) fn report(&self) -> ShardReport {
         let mut sessions = self.retired.clone();
         sessions.extend(
             self.sessions
@@ -557,6 +565,15 @@ impl ShardState {
 pub(crate) enum WorkerMsg {
     /// A periodic state snapshot.
     Checkpoint(ShardCheckpoint),
+    /// One tick event was applied. The driver counts acks against its
+    /// dispatched ticks to bound how far the pipeline may run ahead.
+    TickAck {
+        /// The acking shard.
+        shard: u64,
+        /// Epoch of the worker that applied the tick; stale acks from a
+        /// superseded worker are discarded.
+        epoch: u64,
+    },
     /// The worker caught a panic and exited.
     Failure(ShardFailure),
 }
@@ -640,6 +657,12 @@ pub(crate) fn run_worker(
                 if replayable {
                     events_applied += 1;
                 }
+                if is_tick {
+                    let _ = ctx.msgs.send(WorkerMsg::TickAck {
+                        shard: state.shard,
+                        epoch: ctx.epoch,
+                    });
+                }
                 if is_tick
                     && ctx.checkpoint_every > 0
                     && state.ticks().is_multiple_of(ctx.checkpoint_every)
@@ -691,14 +714,16 @@ mod tests {
         });
         for _ in 0..8 {
             s.handle_event(Event::Tick {
-                arrivals: vec![(7, 2.0)],
+                arrivals: vec![(7, 2.0)].into(),
             });
         }
         assert_eq!(s.live(), 1);
         s.handle_event(Event::Leave { key: 7 });
         // Zero-arrival ticks drain the shadow queue, then the slot retires.
         for _ in 0..32 {
-            s.handle_event(Event::Tick { arrivals: vec![] });
+            s.handle_event(Event::Tick {
+                arrivals: vec![].into(),
+            });
         }
         assert_eq!(s.live(), 0);
         let report = s.report();
@@ -716,11 +741,11 @@ mod tests {
         s.handle_event(Event::JoinGroup {
             group: 1,
             tenant: "acme".into(),
-            members: vec![10, 11],
+            members: vec![10, 11].into(),
         });
         for _ in 0..12 {
             s.handle_event(Event::Tick {
-                arrivals: vec![(10, 1.0), (11, 1.0)],
+                arrivals: vec![(10, 1.0), (11, 1.0)].into(),
             });
         }
         let report = s.report();
@@ -732,14 +757,16 @@ mod tests {
         s.handle_event(Event::Leave { key: 10 });
         for _ in 0..32 {
             s.handle_event(Event::Tick {
-                arrivals: vec![(11, 1.0)],
+                arrivals: vec![(11, 1.0)].into(),
             });
         }
         assert_eq!(s.live(), 1);
         assert_eq!(s.groups.len(), 1);
         s.handle_event(Event::Leave { key: 11 });
         for _ in 0..32 {
-            s.handle_event(Event::Tick { arrivals: vec![] });
+            s.handle_event(Event::Tick {
+                arrivals: vec![].into(),
+            });
         }
         assert_eq!(s.live(), 0);
         assert!(s.groups.is_empty(), "empty group is dropped");
@@ -749,7 +776,7 @@ mod tests {
     fn unknown_keys_are_ignored() {
         let mut s = shard();
         s.handle_event(Event::Tick {
-            arrivals: vec![(99, 5.0)],
+            arrivals: vec![(99, 5.0)].into(),
         });
         s.handle_event(Event::Leave { key: 99 });
         assert_eq!(s.live(), 0);

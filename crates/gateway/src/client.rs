@@ -7,8 +7,10 @@
 //! subscription [`TickEvent`]s that arrive in between are buffered and
 //! surfaced through [`Client::next_event`].
 
+use crate::delta::{self, SnapshotDeltaBody};
 use crate::proto::{self, ErrorCode, Frame, ProtoError, MAX_FRAME, PUSH_ID};
 use crate::GatewaySnapshot;
+use cdba_ctrl::ServiceSnapshot;
 use std::collections::VecDeque;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -115,6 +117,9 @@ pub struct Client {
     cfg: ClientConfig,
     next_id: u64,
     pending_events: VecDeque<TickEvent>,
+    /// The last snapshot received via [`Client::snapshot_delta`] and its
+    /// sequence number: the baseline the next delta applies on top of.
+    baseline: Option<(u64, ServiceSnapshot)>,
 }
 
 impl Client {
@@ -160,6 +165,7 @@ impl Client {
             cfg,
             next_id: 1,
             pending_events: VecDeque::new(),
+            baseline: None,
         };
         client.write(&Frame::Hello {
             magic: proto::MAGIC,
@@ -348,6 +354,95 @@ impl Client {
             Frame::TickOk { tick, .. } => Ok(tick),
             other => Err(ClientError::Protocol(format!(
                 "expected tick-ok: {other:?}"
+            ))),
+        }
+    }
+
+    /// Buffers arrivals for the next committed tick **without waiting for
+    /// an acknowledgement** (wire v2). The server sends no reply on
+    /// success; a rejected batch surfaces as a [`ClientError::Server`] at
+    /// this client's next synchronous request. One write, zero reads —
+    /// half the round trips of [`Client::stage`] for fan-in staging.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on write failure only; validation failures are
+    /// deferred as described.
+    pub fn stage_noack(&mut self, arrivals: &[(u64, f64)]) -> Result<(), ClientError> {
+        self.write(&Frame::StageNoAck {
+            arrivals: arrivals.to_vec(),
+        })
+    }
+
+    /// Stages `arrivals`, then commits the batch tick once at least
+    /// `min_staged` arrivals are buffered gateway-wide (wire v2) — the
+    /// count gate makes the commit independent of socket arrival order
+    /// when other connections stage with [`Client::stage_noack`]. Blocks
+    /// for the (possibly parked) [`Frame::TickOk`]; returns the tick
+    /// count after the commit.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when validation rejects the batch, another
+    /// commit is already parked (`Busy`), or the gate times out waiting
+    /// for peers (`Timeout`).
+    pub fn tick_sync(
+        &mut self,
+        arrivals: &[(u64, f64)],
+        min_staged: u32,
+    ) -> Result<u64, ClientError> {
+        match self.request(|id| Frame::TickSync {
+            id,
+            arrivals: arrivals.to_vec(),
+            min_staged,
+        })? {
+            Frame::TickOk { tick, .. } => Ok(tick),
+            other => Err(ClientError::Protocol(format!(
+                "expected tick-ok: {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the gateway snapshot as a delta against the last snapshot
+    /// this connection received (wire v2), reconstructing the full
+    /// [`GatewaySnapshot`] client-side. The first call transfers a full
+    /// snapshot to establish the baseline; afterwards only changed and
+    /// removed sessions cross the wire. The result is byte-identical to
+    /// what [`Client::snapshot`] would have returned.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Json`] when a payload does not parse;
+    /// [`ClientError::Protocol`] when the server's delta does not chain
+    /// onto the held baseline.
+    pub fn snapshot_delta(&mut self) -> Result<GatewaySnapshot, ClientError> {
+        match self.request(|id| Frame::SnapshotDelta { id })? {
+            Frame::SnapshotDeltaOk {
+                seq, full, json, ..
+            } => {
+                let snap: GatewaySnapshot = if full {
+                    serde_json::from_str(&json).map_err(|e| ClientError::Json(e.to_string()))?
+                } else {
+                    let body: SnapshotDeltaBody = serde_json::from_str(&json)
+                        .map_err(|e| ClientError::Json(e.to_string()))?;
+                    let Some((base_seq, baseline)) = self.baseline.as_ref() else {
+                        return Err(ClientError::Protocol(
+                            "delta snapshot received without a baseline".into(),
+                        ));
+                    };
+                    if body.baseline_seq != *base_seq || body.seq != seq {
+                        return Err(ClientError::Protocol(format!(
+                            "delta chains {}→{}, client holds baseline {base_seq}",
+                            body.baseline_seq, body.seq
+                        )));
+                    }
+                    delta::apply(baseline, &body)
+                };
+                self.baseline = Some((seq, snap.service.clone()));
+                Ok(snap)
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected snapshot-delta-ok: {other:?}"
             ))),
         }
     }

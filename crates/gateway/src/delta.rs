@@ -1,0 +1,291 @@
+//! Delta snapshots: the wire-side answer to §1's "signalling is the
+//! expensive part".
+//!
+//! A full [`GatewaySnapshot`] is dominated by its per-session metrics —
+//! `O(N)` JSON for `N` sessions, most of which did not change between two
+//! polls. A [`SnapshotDeltaBody`] carries the cheap whole-service fields
+//! verbatim (they are `O(shards)`), plus only the sessions whose metrics
+//! differ from the baseline the client already holds and the keys of
+//! sessions that retired. Applying a delta on top of the baseline
+//! reconstructs the full snapshot **bitwise**: both sides keep sessions
+//! sorted by key and `serde_json` round-trips `f64` through the shortest
+//! exact representation, so a reconstructed snapshot is byte-identical to
+//! the full snapshot the server would have sent.
+
+use crate::stats::WireSnapshot;
+use crate::GatewaySnapshot;
+use cdba_ctrl::{GlobalMetrics, ServiceSnapshot, SessionMetrics, ShardHealth, ShardMetrics};
+use serde::{Deserialize, Serialize};
+
+/// The JSON body of a [`Frame::SnapshotDeltaOk`](crate::Frame) reply with
+/// `full == false`: everything needed to rebuild the current
+/// [`GatewaySnapshot`] from the baseline identified by `baseline_seq`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotDeltaBody {
+    /// Sequence number of the snapshot this delta applies on top of.
+    pub baseline_seq: u64,
+    /// Sequence number of the snapshot this delta reconstructs.
+    pub seq: u64,
+    /// Ticks the service has executed.
+    pub ticks: u64,
+    /// Configured shard count.
+    pub shards: u64,
+    /// Joins admitted.
+    pub admitted: u64,
+    /// Joins rejected by admission control.
+    pub rejected: u64,
+    /// Shard-worker restarts performed by the supervisor.
+    pub restarts: u64,
+    /// Journal events replayed during recovery.
+    pub events_replayed: u64,
+    /// Placement-invariant totals, carried in full (fixed size).
+    pub global: GlobalMetrics,
+    /// Per-shard totals, carried in full (`O(shards)`).
+    pub per_shard: Vec<ShardMetrics>,
+    /// Per-shard supervision status, carried in full (`O(shards)`).
+    pub health: Vec<ShardHealth>,
+    /// Sessions whose metrics differ from the baseline (new sessions
+    /// included), sorted by key.
+    pub changed_sessions: Vec<SessionMetrics>,
+    /// Keys present in the baseline but absent now, sorted.
+    pub removed_sessions: Vec<u64>,
+    /// Wire counters, carried in full (they change every request).
+    pub wire: WireSnapshot,
+}
+
+/// Diffs `current` against `baseline`, producing the delta that rebuilds
+/// `current` (with `wire` attached) when applied on top of `baseline`.
+///
+/// Both snapshots keep `sessions` sorted by key, so the diff is one merge
+/// pass.
+pub fn diff(
+    baseline: &ServiceSnapshot,
+    baseline_seq: u64,
+    current: &ServiceSnapshot,
+    seq: u64,
+    wire: WireSnapshot,
+) -> SnapshotDeltaBody {
+    let mut changed_sessions = Vec::new();
+    let mut removed_sessions = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < baseline.sessions.len() || j < current.sessions.len() {
+        let old = baseline.sessions.get(i);
+        let new = current.sessions.get(j);
+        match (old, new) {
+            (Some(o), Some(n)) if o.session == n.session => {
+                if o != n {
+                    changed_sessions.push(n.clone());
+                }
+                i += 1;
+                j += 1;
+            }
+            (Some(o), Some(n)) if o.session < n.session => {
+                removed_sessions.push(o.session);
+                i += 1;
+            }
+            (Some(_), Some(n)) => {
+                changed_sessions.push(n.clone());
+                j += 1;
+            }
+            (Some(o), None) => {
+                removed_sessions.push(o.session);
+                i += 1;
+            }
+            (None, Some(n)) => {
+                changed_sessions.push(n.clone());
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    SnapshotDeltaBody {
+        baseline_seq,
+        seq,
+        ticks: current.ticks,
+        shards: current.shards,
+        admitted: current.admitted,
+        rejected: current.rejected,
+        restarts: current.restarts,
+        events_replayed: current.events_replayed,
+        global: current.global.clone(),
+        per_shard: current.per_shard.clone(),
+        health: current.health.clone(),
+        changed_sessions,
+        removed_sessions,
+        wire,
+    }
+}
+
+/// Applies a delta on top of `baseline`, reconstructing the full snapshot
+/// the server held when it produced the delta.
+pub fn apply(baseline: &ServiceSnapshot, body: &SnapshotDeltaBody) -> GatewaySnapshot {
+    let mut sessions = Vec::with_capacity(
+        baseline.sessions.len() + body.changed_sessions.len() - body.removed_sessions.len().min(1),
+    );
+    let mut changed = body.changed_sessions.iter().peekable();
+    for old in &baseline.sessions {
+        // Changed sessions with smaller keys are new: splice them in.
+        while changed.peek().is_some_and(|n| n.session < old.session) {
+            sessions.push((*changed.next().expect("peeked")).clone());
+        }
+        if changed.peek().is_some_and(|n| n.session == old.session) {
+            sessions.push((*changed.next().expect("peeked")).clone());
+        } else if !body.removed_sessions.contains(&old.session) {
+            sessions.push(old.clone());
+        }
+    }
+    sessions.extend(changed.cloned());
+    GatewaySnapshot {
+        service: ServiceSnapshot {
+            ticks: body.ticks,
+            shards: body.shards,
+            admitted: body.admitted,
+            rejected: body.rejected,
+            restarts: body.restarts,
+            events_replayed: body.events_replayed,
+            global: body.global.clone(),
+            per_shard: body.per_shard.clone(),
+            health: body.health.clone(),
+            sessions,
+        },
+        wire: body.wire.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdba_ctrl::{ControlPlane, ExecMode, ServiceConfig};
+
+    fn plane() -> ControlPlane {
+        ControlPlane::new(
+            ServiceConfig::builder(256.0)
+                .session_b_max(16.0)
+                .offline_delay(4)
+                .window(4)
+                .exec(ExecMode::Inline)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn wire(requests: u64) -> WireSnapshot {
+        WireSnapshot {
+            connections_accepted: 1,
+            connections_active: 1,
+            connections_harvested: 0,
+            frames_in: requests + 1,
+            frames_out: requests + 1,
+            decode_errors: 0,
+            busy_rejections: 0,
+            noack_stages: 0,
+            delta_snapshots: 0,
+            full_snapshots: 1,
+            requests,
+            latency_p50_us: 5,
+            latency_p99_us: 9,
+        }
+    }
+
+    #[test]
+    fn delta_reconstructs_bitwise_across_churn() {
+        let mut service = plane();
+        let a = service.admit("acme").unwrap();
+        let b = service.admit("globex").unwrap();
+        service.tick(&[(a, 2.0), (b, 1.0)]).unwrap();
+        let baseline = service.snapshot().unwrap();
+
+        // Churn: retire one session, admit two, advance the clock.
+        service.leave(b).unwrap();
+        let c = service.admit("acme").unwrap();
+        let d = service.admit("initech").unwrap();
+        for t in 0..6u64 {
+            service
+                .tick(&[(a, (t % 3) as f64), (c, 1.5), (d, 0.5)])
+                .unwrap();
+        }
+        let current = service.snapshot().unwrap();
+        service.shutdown();
+
+        let body = diff(&baseline, 1, &current, 2, wire(10));
+        assert!(
+            body.removed_sessions.is_empty(),
+            "retired sessions keep their metrics; nothing is removed here"
+        );
+        assert!(body.changed_sessions.len() >= 3, "a, c, d all changed");
+
+        let rebuilt = apply(&baseline, &body);
+        assert_eq!(rebuilt.service, current);
+        // The wire contract is byte identity, not just struct equality.
+        let direct = GatewaySnapshot {
+            service: current,
+            wire: wire(10),
+        };
+        assert_eq!(
+            rebuilt.to_json_string().unwrap(),
+            direct.to_json_string().unwrap()
+        );
+    }
+
+    #[test]
+    fn unchanged_sessions_stay_out_of_the_delta() {
+        let mut service = plane();
+        let a = service.admit("acme").unwrap();
+        let b = service.admit("globex").unwrap();
+        service.tick(&[(a, 1.0), (b, 1.0)]).unwrap();
+        let baseline = service.snapshot().unwrap();
+        // Only `a` receives traffic; `b` idles but still ages a tick.
+        service.tick(&[(a, 2.0)]).unwrap();
+        let current = service.snapshot().unwrap();
+        service.shutdown();
+
+        let body = diff(&baseline, 1, &current, 2, wire(4));
+        // Ticking meters every live session, so both appear; the point of
+        // the size bound is sessions that did not tick at all.
+        let stable = diff(&current, 2, &current, 3, wire(4));
+        assert!(stable.changed_sessions.is_empty());
+        assert!(stable.removed_sessions.is_empty());
+        assert_eq!(apply(&current, &stable).service, current);
+        assert_eq!(apply(&baseline, &body).service, current);
+    }
+
+    #[test]
+    fn removals_and_insertions_merge_in_key_order() {
+        let mut service = plane();
+        let keys: Vec<u64> = (0..4).map(|_| service.admit("acme").unwrap()).collect();
+        let baseline = service.snapshot().unwrap();
+        service.shutdown();
+
+        // Hand-build a delta that removes two baseline sessions and keeps
+        // the rest untouched — exercising the removal path `diff` cannot
+        // produce from a live plane (retired sessions keep their metrics).
+        let mut target = baseline.clone();
+        target
+            .sessions
+            .retain(|s| s.session != keys[1] && s.session != keys[2]);
+        let body = diff(&baseline, 1, &target, 2, wire(1));
+        assert_eq!(body.removed_sessions, vec![keys[1], keys[2]]);
+        assert!(body.changed_sessions.is_empty());
+        let rebuilt = apply(&baseline, &body);
+        assert_eq!(rebuilt.service, target);
+        let back: Vec<u64> = rebuilt.service.sessions.iter().map(|s| s.session).collect();
+        assert_eq!(back, vec![keys[0], keys[3]]);
+    }
+
+    #[test]
+    fn delta_body_survives_json() {
+        let mut service = plane();
+        let a = service.admit("acme").unwrap();
+        service.tick(&[(a, 1.0)]).unwrap();
+        let baseline = service.snapshot().unwrap();
+        service.tick(&[(a, 2.0)]).unwrap();
+        let current = service.snapshot().unwrap();
+        service.shutdown();
+
+        let body = diff(&baseline, 1, &current, 2, wire(3));
+        let json = serde_json::to_string(&body).unwrap();
+        let back: SnapshotDeltaBody = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, body);
+        assert_eq!(apply(&baseline, &back).service, current);
+    }
+}

@@ -7,23 +7,30 @@
 //!
 //! - **Wire protocol** ([`proto`]): versioned, length-prefixed binary
 //!   frames (magic + version handshake, request ids, typed error frames),
-//!   following `cdba_traffic::codec` conventions.
-//! - **Server** ([`server`]): a threaded accept loop over `std::net` — no
-//!   async runtime — feeding a bounded worker pool over crossbeam
-//!   channels, with per-connection read/write timeouts, idle harvesting,
-//!   typed `Busy` backpressure from every bounded queue, and graceful
-//!   shutdown that drains in-flight ticks.
-//! - **Determinism** ([`service`], private): one service thread owns the
-//!   control plane; arrivals staged by any number of connections commit
-//!   in ascending session-key order, so a gateway run is bitwise-identical
-//!   to the same workload driven in-process (compare
+//!   following `cdba_traffic::codec` conventions. Version 2 adds the
+//!   signalling-lean frames: unacknowledged staging, count-gated tick
+//!   commits, and delta snapshots; version 1 clients are still accepted.
+//! - **Server** ([`server`]): one evented core thread over non-blocking
+//!   `std::net` sockets — no async runtime, no worker pool. The core owns
+//!   the listener, every connection, and the service state; requests
+//!   dispatch inline and replies land in per-connection write buffers, so
+//!   a request crosses zero threads and zero channels.
+//! - **Determinism** ([`service`], private): the single-threaded core
+//!   commits arrivals staged by any number of connections in ascending
+//!   session-key order, so a gateway run is bitwise-identical to the same
+//!   workload driven in-process (compare
 //!   [`ServiceSnapshot::invariant_view`](cdba_ctrl::ServiceSnapshot::invariant_view)).
+//! - **Delta snapshots** ([`delta`]): a v2 client polls snapshots as
+//!   diffs against the baseline it already holds — `O(changed sessions)`
+//!   on the wire instead of `O(all sessions)` — and reconstructs the full
+//!   snapshot byte-identically.
 //! - **Client** ([`client`]): a blocking client library used by the
 //!   `cdba-cli gateway` / `cdba-cli client` subcommands to replay traces
 //!   over the wire.
 //! - **Observability** ([`stats`]): connections accepted/active/harvested,
-//!   frames in/out, decode errors, busy rejections, and p50/p99 request
-//!   latency, carried next to the allocation snapshot in
+//!   frames in/out, decode errors, busy rejections, full/delta snapshot
+//!   counts, and p50/p99 request latency from a two-significant-digit
+//!   histogram, carried next to the allocation snapshot in
 //!   [`GatewaySnapshot`].
 //!
 //! # Example
@@ -58,12 +65,14 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod delta;
 pub mod proto;
 pub mod server;
 mod service;
 pub mod stats;
 
 pub use client::{Client, ClientConfig, ClientError, TickEvent};
+pub use delta::SnapshotDeltaBody;
 pub use proto::{ErrorCode, Frame, ProtoError};
 pub use server::{GatewayConfig, GatewayServer};
 pub use stats::{WireSnapshot, WireStats};

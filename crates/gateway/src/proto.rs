@@ -25,8 +25,15 @@ use std::fmt;
 /// The protocol magic, sent in [`Frame::Hello`].
 pub const MAGIC: [u8; 4] = *b"CDBG";
 
-/// The protocol version, sent in [`Frame::Hello`] / [`Frame::HelloOk`].
-pub const VERSION: u8 = 1;
+/// The newest protocol version, sent in [`Frame::Hello`] /
+/// [`Frame::HelloOk`]. Version 2 adds the signalling-lean frames:
+/// unacknowledged staging ([`Frame::StageNoAck`]), count-gated tick
+/// commits ([`Frame::TickSync`]), and delta snapshots
+/// ([`Frame::SnapshotDelta`] / [`Frame::SnapshotDeltaOk`]).
+pub const VERSION: u8 = 2;
+
+/// The oldest protocol version the server still accepts in a handshake.
+pub const MIN_VERSION: u8 = 1;
 
 /// Hard upper bound on one frame's payload, rejected before allocation.
 pub const MAX_FRAME: usize = 1 << 20;
@@ -125,12 +132,12 @@ pub enum Frame {
     Hello {
         /// Must equal [`MAGIC`].
         magic: [u8; 4],
-        /// Must equal [`VERSION`].
+        /// Must lie in [`MIN_VERSION`]`..=`[`VERSION`].
         version: u8,
     },
     /// Handshake accepted.
     HelloOk {
-        /// The server's protocol version.
+        /// The negotiated protocol version (the client's offer).
         version: u8,
     },
     /// Admit one dedicated session for `tenant`.
@@ -170,6 +177,37 @@ pub enum Frame {
         id: u64,
         /// `(session key, bits)` pairs to stage before committing.
         arrivals: Vec<(u64, f64)>,
+    },
+    /// Buffer arrivals without acknowledgement (v2). The server sends no
+    /// reply on success; a rejected batch is reported asynchronously with
+    /// a typed [`Frame::Error`] carrying [`PUSH_ID`], which the client
+    /// surfaces at its next synchronous request. This removes one round
+    /// trip per staging connection per tick — the wire-level analogue of
+    /// the paper's §1 drive to make signalling events cheap.
+    StageNoAck {
+        /// `(session key, bits)` pairs to stage.
+        arrivals: Vec<(u64, f64)>,
+    },
+    /// Stage `arrivals`, then commit the batch tick once at least
+    /// `min_staged` arrivals are buffered gateway-wide (v2). The commit is
+    /// parked until unacknowledged stages from other connections have
+    /// landed, which makes the commit's contents independent of socket
+    /// arrival order.
+    TickSync {
+        /// Request id, echoed by the deferred [`Frame::TickOk`].
+        id: u64,
+        /// `(session key, bits)` pairs to stage before committing.
+        arrivals: Vec<(u64, f64)>,
+        /// Arrivals that must be staged before the commit fires.
+        min_staged: u32,
+    },
+    /// Request a snapshot as a delta against the last snapshot this
+    /// connection received (v2). The first request on a connection — and
+    /// any request after the server lost the baseline — is answered with
+    /// a full snapshot instead.
+    SnapshotDelta {
+        /// Request id.
+        id: u64,
     },
     /// Request a full [`GatewaySnapshot`](crate::GatewaySnapshot).
     Snapshot {
@@ -226,6 +264,20 @@ pub enum Frame {
         /// Echoed request id.
         id: u64,
         /// A `GatewaySnapshot` as JSON.
+        json: String,
+    },
+    /// Response to [`Frame::SnapshotDelta`] (v2).
+    SnapshotDeltaOk {
+        /// Echoed request id.
+        id: u64,
+        /// Monotone per-connection snapshot sequence number; the next
+        /// delta diffs against the snapshot carrying this sequence.
+        seq: u64,
+        /// When true, `json` is a full `GatewaySnapshot` (baseline or
+        /// resync); when false, a `SnapshotDeltaBody` to apply on top of
+        /// the previous snapshot.
+        full: bool,
+        /// The snapshot or delta, as JSON.
         json: String,
     },
     /// Response to [`Frame::Subscribe`].
@@ -313,6 +365,9 @@ const K_TICK: u8 = 0x14;
 const K_SNAPSHOT: u8 = 0x15;
 const K_SUBSCRIBE: u8 = 0x16;
 const K_GOODBYE: u8 = 0x17;
+const K_STAGE_NOACK: u8 = 0x18;
+const K_TICK_SYNC: u8 = 0x19;
+const K_SNAPSHOT_DELTA: u8 = 0x1A;
 const K_JOINED: u8 = 0x20;
 const K_GROUP_JOINED: u8 = 0x21;
 const K_LEAVE_OK: u8 = 0x22;
@@ -321,6 +376,7 @@ const K_TICK_OK: u8 = 0x24;
 const K_SNAPSHOT_OK: u8 = 0x25;
 const K_SUBSCRIBE_OK: u8 = 0x26;
 const K_GOODBYE_OK: u8 = 0x27;
+const K_SNAPSHOT_DELTA_OK: u8 = 0x28;
 const K_EVENT: u8 = 0x30;
 const K_ERROR: u8 = 0x3F;
 
@@ -376,6 +432,24 @@ pub fn encode(frame: &Frame) -> Bytes {
             payload.put_u64_le(*id);
             put_arrivals(&mut payload, arrivals);
         }
+        Frame::StageNoAck { arrivals } => {
+            payload.put_u8(K_STAGE_NOACK);
+            put_arrivals(&mut payload, arrivals);
+        }
+        Frame::TickSync {
+            id,
+            arrivals,
+            min_staged,
+        } => {
+            payload.put_u8(K_TICK_SYNC);
+            payload.put_u64_le(*id);
+            payload.put_u32_le(*min_staged);
+            put_arrivals(&mut payload, arrivals);
+        }
+        Frame::SnapshotDelta { id } => {
+            payload.put_u8(K_SNAPSHOT_DELTA);
+            payload.put_u64_le(*id);
+        }
         Frame::Snapshot { id } => {
             payload.put_u8(K_SNAPSHOT);
             payload.put_u64_le(*id);
@@ -419,6 +493,18 @@ pub fn encode(frame: &Frame) -> Bytes {
         Frame::SnapshotOk { id, json } => {
             payload.put_u8(K_SNAPSHOT_OK);
             payload.put_u64_le(*id);
+            put_string(&mut payload, json);
+        }
+        Frame::SnapshotDeltaOk {
+            id,
+            seq,
+            full,
+            json,
+        } => {
+            payload.put_u8(K_SNAPSHOT_DELTA_OK);
+            payload.put_u64_le(*id);
+            payload.put_u64_le(*seq);
+            payload.put_u8(u8::from(*full));
             put_string(&mut payload, json);
         }
         Frame::SubscribeOk { id } => {
@@ -565,6 +651,15 @@ pub fn decode_payload(payload: Bytes) -> Result<Frame, ProtoError> {
             id: r.u64()?,
             arrivals: r.arrivals()?,
         },
+        K_STAGE_NOACK => Frame::StageNoAck {
+            arrivals: r.arrivals()?,
+        },
+        K_TICK_SYNC => Frame::TickSync {
+            id: r.u64()?,
+            min_staged: r.u32()?,
+            arrivals: r.arrivals()?,
+        },
+        K_SNAPSHOT_DELTA => Frame::SnapshotDelta { id: r.u64()? },
         K_SNAPSHOT => Frame::Snapshot { id: r.u64()? },
         K_SUBSCRIBE => Frame::Subscribe {
             id: r.u64()?,
@@ -590,6 +685,12 @@ pub fn decode_payload(payload: Bytes) -> Result<Frame, ProtoError> {
         },
         K_SNAPSHOT_OK => Frame::SnapshotOk {
             id: r.u64()?,
+            json: r.string()?,
+        },
+        K_SNAPSHOT_DELTA_OK => Frame::SnapshotDeltaOk {
+            id: r.u64()?,
+            seq: r.u64()?,
+            full: r.u8()? != 0,
             json: r.string()?,
         },
         K_SUBSCRIBE_OK => Frame::SubscribeOk { id: r.u64()? },
@@ -648,6 +749,7 @@ pub fn reply_id(frame: &Frame) -> Option<u64> {
         | Frame::StageOk { id, .. }
         | Frame::TickOk { id, .. }
         | Frame::SnapshotOk { id, .. }
+        | Frame::SnapshotDeltaOk { id, .. }
         | Frame::SubscribeOk { id }
         | Frame::GoodbyeOk { id } => Some(*id),
         _ => None,
@@ -691,6 +793,15 @@ mod tests {
             id: 11,
             arrivals: vec![],
         });
+        roundtrip(Frame::StageNoAck {
+            arrivals: vec![(5, 2.5)],
+        });
+        roundtrip(Frame::TickSync {
+            id: 21,
+            arrivals: vec![(1, 0.5)],
+            min_staged: 6,
+        });
+        roundtrip(Frame::SnapshotDelta { id: 22 });
         roundtrip(Frame::Snapshot { id: 12 });
         roundtrip(Frame::Subscribe { id: 13, every: 64 });
         roundtrip(Frame::Goodbye { id: 14 });
@@ -705,6 +816,12 @@ mod tests {
         roundtrip(Frame::SnapshotOk {
             id: 12,
             json: "{\"ticks\":1}".into(),
+        });
+        roundtrip(Frame::SnapshotDeltaOk {
+            id: 22,
+            seq: 3,
+            full: false,
+            json: "{\"baseline_seq\":2}".into(),
         });
         roundtrip(Frame::SubscribeOk { id: 13 });
         roundtrip(Frame::GoodbyeOk { id: 14 });

@@ -1,19 +1,25 @@
-//! The TCP server: a non-blocking accept loop, a bounded worker pool, and
-//! one connection handler per accepted socket.
+//! The TCP server: one evented core thread owning the listener, every
+//! connection, and the service state.
 //!
-//! Everything is `std::net` + vendored crossbeam channels — the container
-//! is air-gapped, so there is no async runtime. Blocking reads use a short
-//! poll quantum so every handler notices shutdown, idle connections, and
-//! queued subscription events promptly.
+//! Earlier revisions ran a thread-per-connection worker pool feeding a
+//! separate service thread over bounded channels. On the small machines
+//! this gateway targets that architecture spends most of each tick in
+//! context switches: every request crossed two threads and three channel
+//! operations before touching the control plane. The evented core removes
+//! all of it — non-blocking sockets polled in a single loop, requests
+//! dispatched inline into [`ServiceCore`](crate::service), replies and
+//! subscription events appended to per-connection write buffers. No async
+//! runtime: `std::net` non-blocking I/O and one thread.
+//!
+//! The loop backs off when idle (a few busy passes, then short sleeps),
+//! so an idle gateway costs ~0 CPU while a saturated one never sleeps.
 
 use crate::proto::{self, ErrorCode, Frame, ProtoError, MAX_FRAME, PUSH_ID};
-use crate::service::{self, Op, OpReq, Request, ToConn};
+use crate::service::{Outbox, ServiceCore};
 use crate::stats::WireStats;
 use crate::{GatewayError, GatewaySnapshot};
 use cdba_ctrl::ServiceConfig;
-use crossbeam::channel::{
-    bounded, unbounded, Receiver, RecvTimeoutError, SendTimeoutError, Sender, TryRecvError,
-};
+use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -28,24 +34,29 @@ use std::time::{Duration, Instant};
 pub struct GatewayConfig {
     /// Bind address; use port 0 to let the OS pick one.
     pub addr: String,
-    /// Connection-handler threads. Connections beyond this many wait in
-    /// the accept backlog; an overflowing backlog yields `Busy`.
+    /// Base connection capacity. The evented core serves
+    /// `workers + accept_backlog` concurrent connections; one past that
+    /// is refused with a typed `Busy` error. (The name survives from the
+    /// worker-pool era so existing configurations keep their meaning:
+    /// `workers` connections ran at once and `accept_backlog` waited.)
     pub workers: usize,
-    /// Accepted-socket queue depth between the accept loop and workers.
+    /// Additional connection capacity on top of `workers`.
     pub accept_backlog: usize,
-    /// Request queue depth into the service loop; a full queue yields a
-    /// typed `Busy` error instead of blocking the connection.
+    /// Retained for configuration compatibility with the worker-pool
+    /// server; the evented core dispatches inline and has no queue.
     pub service_queue: usize,
-    /// Socket read poll quantum in milliseconds. Short: it bounds how
-    /// stale shutdown/idle/event handling can get, not client patience.
+    /// Poll backoff ceiling in milliseconds: how long the idle core may
+    /// sleep between passes, which bounds how stale accept/idle/shutdown
+    /// handling can get. Not a per-read deadline.
     pub read_timeout_ms: u64,
-    /// Socket write timeout in milliseconds.
+    /// How long a connection's write buffer may stall (peer not reading)
+    /// before the connection is dropped.
     pub write_timeout_ms: u64,
     /// Idle harvest threshold in milliseconds; 0 disables harvesting.
     pub idle_timeout_ms: u64,
-    /// How long a connection waits for the service loop's reply — and how
-    /// long a half-received frame may dangle — before the connection is
-    /// failed with a typed `Timeout`/`BadFrame` error.
+    /// How long a half-received frame may dangle — and how long a parked
+    /// tick-sync commit may wait for its peers — before the connection is
+    /// failed with a typed `BadFrame`/`Timeout` error.
     pub request_timeout_ms: u64,
 }
 
@@ -64,35 +75,23 @@ impl Default for GatewayConfig {
     }
 }
 
-/// A running gateway: accept loop + worker pool + service loop, owning a
+/// A running gateway: one evented core thread owning a
 /// [`ControlPlane`](cdba_ctrl::ControlPlane) behind the wire protocol.
 #[derive(Debug)]
 pub struct GatewayServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
-    service: Option<JoinHandle<Result<GatewaySnapshot, String>>>,
-    service_tx: Option<Sender<Request>>,
+    core: Option<JoinHandle<Result<GatewaySnapshot, String>>>,
     stats: Arc<WireStats>,
-}
-
-#[derive(Clone)]
-struct ConnCtx {
-    service_tx: Sender<Request>,
-    stats: Arc<WireStats>,
-    stop: Arc<AtomicBool>,
-    cfg: GatewayConfig,
 }
 
 impl GatewayServer {
-    /// Binds, spawns the service loop and worker pool, and starts
-    /// accepting connections.
+    /// Binds and spawns the evented core.
     ///
     /// # Errors
     ///
     /// [`GatewayError::Io`] when the listener cannot bind or go
-    /// non-blocking.
+    /// non-blocking, or the core thread cannot spawn.
     pub fn start(service: ServiceConfig, gateway: GatewayConfig) -> Result<Self, GatewayError> {
         let listener = TcpListener::bind(&gateway.addr)
             .map_err(|e| GatewayError::Io(format!("bind {}: {e}", gateway.addr)))?;
@@ -105,47 +104,20 @@ impl GatewayServer {
 
         let stats = Arc::new(WireStats::new());
         let stop = Arc::new(AtomicBool::new(false));
-        let (service_tx, service_rx) = bounded::<Request>(gateway.service_queue.max(1));
-        let (conn_tx, conn_rx) = bounded::<(u64, TcpStream)>(gateway.accept_backlog.max(1));
-
-        let svc_stats = Arc::clone(&stats);
-        let service_handle = std::thread::Builder::new()
-            .name("gw-service".into())
-            .spawn(move || service::run(service, svc_stats, service_rx))
-            .map_err(|e| GatewayError::Io(format!("spawn service loop: {e}")))?;
-
-        let ctx = ConnCtx {
-            service_tx: service_tx.clone(),
-            stats: Arc::clone(&stats),
-            stop: Arc::clone(&stop),
-            cfg: gateway.clone(),
-        };
-        let mut workers = Vec::new();
-        for w in 0..gateway.workers.max(1) {
-            let rx = conn_rx.clone();
-            let ctx = ctx.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("gw-worker-{w}"))
-                .spawn(move || worker_loop(rx, ctx))
-                .map_err(|e| GatewayError::Io(format!("spawn worker {w}: {e}")))?;
-            workers.push(handle);
-        }
-
-        let accept_stop = Arc::clone(&stop);
-        let accept_stats = Arc::clone(&stats);
-        let accept_cfg = gateway;
-        let accept = std::thread::Builder::new()
-            .name("gw-accept".into())
-            .spawn(move || accept_loop(listener, conn_tx, accept_stop, accept_stats, accept_cfg))
-            .map_err(|e| GatewayError::Io(format!("spawn accept loop: {e}")))?;
+        let core_stats = Arc::clone(&stats);
+        let core_stop = Arc::clone(&stop);
+        let core = std::thread::Builder::new()
+            .name("gw-core".into())
+            .spawn(move || {
+                let service = ServiceCore::new(service, Arc::clone(&core_stats));
+                Core::new(listener, service, core_stats, core_stop, gateway).run()
+            })
+            .map_err(|e| GatewayError::Io(format!("spawn core: {e}")))?;
 
         Ok(Self {
             local_addr,
             stop,
-            accept: Some(accept),
-            workers,
-            service: Some(service_handle),
-            service_tx: Some(service_tx),
+            core: Some(core),
             stats,
         })
     }
@@ -160,35 +132,24 @@ impl GatewayServer {
         self.stats.snapshot()
     }
 
-    /// Graceful shutdown: stop accepting, drain in-flight requests, and
-    /// return the final snapshot (allocation state plus wire counters).
-    ///
-    /// Connections still open when shutdown starts receive a typed
-    /// `Shutdown` error; requests already queued to the service loop are
-    /// completed, not dropped.
+    /// Graceful shutdown: stop accepting, fail open connections with a
+    /// typed `Shutdown` error, and return the final snapshot (allocation
+    /// state plus wire counters). Requests already decoded are completed,
+    /// not dropped.
     ///
     /// # Errors
     ///
-    /// [`GatewayError::Service`] when the service loop panicked or could
-    /// not take its final snapshot.
+    /// [`GatewayError::Service`] when the core panicked or could not take
+    /// its final snapshot.
     pub fn shutdown(mut self) -> Result<GatewaySnapshot, GatewayError> {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
-        // Dropping the last request sender lets the service loop drain
-        // whatever is queued and exit with its final snapshot.
-        drop(self.service_tx.take());
-        match self.service.take() {
-            Some(service) => match service.join() {
+        match self.core.take() {
+            Some(core) => match core.join() {
                 Ok(Ok(snapshot)) => Ok(snapshot),
                 Ok(Err(e)) => Err(GatewayError::Service(e)),
-                Err(_) => Err(GatewayError::Service("service loop panicked".into())),
+                Err(_) => Err(GatewayError::Service("gateway core panicked".into())),
             },
-            None => Err(GatewayError::Service("service loop already joined".into())),
+            None => Err(GatewayError::Service("gateway core already joined".into())),
         }
     }
 }
@@ -196,74 +157,13 @@ impl GatewayServer {
 impl Drop for GatewayServer {
     fn drop(&mut self) {
         self.stop.store(true, Ordering::SeqCst);
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        for worker in self.workers.drain(..) {
-            let _ = worker.join();
-        }
-        drop(self.service_tx.take());
-        if let Some(service) = self.service.take() {
-            let _ = service.join();
+        if let Some(core) = self.core.take() {
+            let _ = core.join();
         }
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    conn_tx: Sender<(u64, TcpStream)>,
-    stop: Arc<AtomicBool>,
-    stats: Arc<WireStats>,
-    cfg: GatewayConfig,
-) {
-    let mut next_conn: u64 = 1;
-    while !stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                stats.connections_accepted.fetch_add(1, Ordering::Relaxed);
-                let conn = next_conn;
-                next_conn += 1;
-                match conn_tx.send_timeout((conn, stream), Duration::from_millis(0)) {
-                    Ok(()) => {}
-                    Err(SendTimeoutError::Timeout((_, mut stream))) => {
-                        // Every worker is busy and the backlog is full:
-                        // refuse with a typed Busy instead of queueing
-                        // unboundedly.
-                        stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
-                        let _ = stream.set_write_timeout(Some(Duration::from_millis(
-                            cfg.write_timeout_ms.max(1),
-                        )));
-                        let frame = Frame::Error {
-                            id: PUSH_ID,
-                            code: ErrorCode::Busy,
-                            message: "gateway at connection capacity".into(),
-                        };
-                        let _ = stream.write_all(&proto::encode(&frame));
-                    }
-                    Err(SendTimeoutError::Disconnected(_)) => break,
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(5));
-            }
-            Err(e) if e.kind() == ErrorKind::Interrupted => {}
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
-        }
-    }
-    // Dropping conn_tx here disconnects the worker pool's receiver, which
-    // ends each worker once the queued sockets are drained.
-}
-
-fn worker_loop(rx: Receiver<(u64, TcpStream)>, ctx: ConnCtx) {
-    while let Ok((conn, stream)) = rx.recv() {
-        ctx.stats.connections_active.fetch_add(1, Ordering::Relaxed);
-        handle_connection(conn, stream, &ctx);
-        ctx.stats.connections_active.fetch_sub(1, Ordering::Relaxed);
-        let _ = ctx.service_tx.send(Request::ConnClosed { conn });
-    }
-}
-
-/// Incremental frame reassembly over a polled blocking socket.
+/// Incremental frame reassembly over a non-blocking socket.
 struct FrameAccum {
     head: [u8; 4],
     head_filled: usize,
@@ -276,7 +176,7 @@ struct FrameAccum {
 enum Step {
     /// One whole frame decoded.
     Frame(Frame),
-    /// Poll quantum expired with no bytes.
+    /// The socket has no more bytes right now.
     NoData,
     /// Peer closed cleanly between frames.
     Closed,
@@ -310,8 +210,7 @@ impl FrameAccum {
         self.started = None;
     }
 
-    /// Reads whatever the socket has within one poll quantum and returns
-    /// the next protocol event.
+    /// Reads whatever the socket has and returns the next protocol event.
     fn step(&mut self, stream: &mut TcpStream) -> Step {
         loop {
             if self.head_filled < 4 {
@@ -374,248 +273,447 @@ impl FrameAccum {
     }
 }
 
-fn write_frame(stream: &mut TcpStream, stats: &WireStats, frame: &Frame) -> bool {
-    match stream.write_all(&proto::encode(frame)) {
-        Ok(()) => {
-            stats.frames_out.fetch_add(1, Ordering::Relaxed);
-            true
+/// One connection's state inside the core.
+struct Conn {
+    stream: TcpStream,
+    accum: FrameAccum,
+    /// Encoded frames waiting for the socket; `sent` bytes already went.
+    outbuf: Vec<u8>,
+    sent: usize,
+    /// Since when the write buffer has been non-empty without progress.
+    write_stalled: Option<Instant>,
+    hello_done: bool,
+    /// Negotiated protocol version (meaningful once `hello_done`).
+    version: u8,
+    last_activity: Instant,
+    /// Flush the write buffer, then close (goodbye, fatal errors).
+    closing: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Self {
+        Self {
+            stream,
+            accum: FrameAccum::new(),
+            outbuf: Vec::new(),
+            sent: 0,
+            write_stalled: None,
+            hello_done: false,
+            version: proto::VERSION,
+            last_activity: Instant::now(),
+            closing: false,
         }
-        Err(_) => false,
+    }
+
+    fn queue(&mut self, stats: &WireStats, frame: &Frame) {
+        self.outbuf.extend_from_slice(&proto::encode(frame));
+        stats.frames_out.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Writes as much buffered output as the socket accepts. Returns
+    /// `false` when the connection is dead (hard error or stalled past
+    /// `write_timeout`).
+    fn flush(&mut self, write_timeout: Duration) -> bool {
+        while self.sent < self.outbuf.len() {
+            match self.stream.write(&self.outbuf[self.sent..]) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    self.sent += n;
+                    self.write_stalled = None;
+                }
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    let stalled = *self.write_stalled.get_or_insert_with(Instant::now);
+                    return stalled.elapsed() < write_timeout;
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+        if self.sent > 0 {
+            self.outbuf.clear();
+            self.sent = 0;
+        }
+        self.write_stalled = None;
+        true
+    }
+
+    fn flushed(&self) -> bool {
+        self.sent >= self.outbuf.len()
     }
 }
 
-fn error_frame(id: u64, code: ErrorCode, message: impl Into<String>) -> Frame {
-    Frame::Error {
-        id,
-        code,
-        message: message.into(),
-    }
+/// What one frame's handling tells the core to do with the connection.
+enum After {
+    Keep,
+    /// Flush remaining output, then close.
+    Close,
 }
 
-fn handle_connection(conn: u64, mut stream: TcpStream, ctx: &ConnCtx) {
-    let cfg = &ctx.cfg;
-    let stats = &ctx.stats;
-    if stream
-        .set_read_timeout(Some(Duration::from_millis(cfg.read_timeout_ms.max(1))))
-        .is_err()
-        || stream
-            .set_write_timeout(Some(Duration::from_millis(cfg.write_timeout_ms.max(1))))
-            .is_err()
-    {
-        return;
+struct Core {
+    listener: TcpListener,
+    service: ServiceCore,
+    stats: Arc<WireStats>,
+    stop: Arc<AtomicBool>,
+    cfg: GatewayConfig,
+    conns: HashMap<u64, Conn>,
+    next_conn: u64,
+    out: Outbox,
+}
+
+impl Core {
+    fn new(
+        listener: TcpListener,
+        service: ServiceCore,
+        stats: Arc<WireStats>,
+        stop: Arc<AtomicBool>,
+        cfg: GatewayConfig,
+    ) -> Self {
+        Self {
+            listener,
+            service,
+            stats,
+            stop,
+            cfg,
+            conns: HashMap::new(),
+            next_conn: 1,
+            out: Outbox::new(),
+        }
     }
-    let _ = stream.set_nodelay(true);
 
-    // One reply channel for the connection's lifetime: the service loop
-    // clones its sender into the subscription table, so events survive
-    // across requests.
-    let (to_conn_tx, to_conn_rx) = unbounded::<ToConn>();
-    let idle = Duration::from_millis(cfg.idle_timeout_ms);
-    let request_timeout = Duration::from_millis(cfg.request_timeout_ms.max(1));
-    let mut accum = FrameAccum::new();
-    let mut hello_done = false;
-    let mut last_activity = Instant::now();
+    fn capacity(&self) -> usize {
+        (self.cfg.workers + self.cfg.accept_backlog).max(1)
+    }
 
-    loop {
-        // Flush any subscription events queued since the last request.
+    /// The event loop: accept, flush, read, dispatch — then back off when
+    /// nothing happened. Exits on the stop flag, failing open connections
+    /// with a typed `Shutdown` error, and returns the final snapshot.
+    fn run(mut self) -> Result<GatewaySnapshot, String> {
+        let write_timeout = Duration::from_millis(self.cfg.write_timeout_ms.max(1));
+        let request_timeout = Duration::from_millis(self.cfg.request_timeout_ms.max(1));
+        let idle = Duration::from_millis(self.cfg.idle_timeout_ms);
+        let backoff_ceiling = Duration::from_millis(self.cfg.read_timeout_ms.clamp(1, 25));
+        let mut calm_passes: u32 = 0;
+
+        while !self.stop.load(Ordering::SeqCst) {
+            let mut progressed = false;
+            progressed |= self.accept_pass();
+
+            let mut ids: Vec<u64> = self.conns.keys().copied().collect();
+            ids.sort_unstable();
+            let mut dead: Vec<u64> = Vec::new();
+            for conn_id in ids {
+                let (advance, closed) =
+                    self.conn_pass(conn_id, write_timeout, request_timeout, idle);
+                progressed |= advance;
+                if closed {
+                    dead.push(conn_id);
+                }
+            }
+            self.service.expire_parked(request_timeout, &mut self.out);
+            self.drain_outbox();
+            for conn_id in dead {
+                self.close_conn(conn_id);
+            }
+
+            if progressed {
+                calm_passes = 0;
+            } else {
+                calm_passes = calm_passes.saturating_add(1);
+                if calm_passes < 50 {
+                    std::thread::yield_now();
+                } else {
+                    // Past the busy window: sleep, ramping toward the
+                    // ceiling so an idle gateway costs ~0 CPU.
+                    let step = Duration::from_micros(100);
+                    let ramp = step.saturating_mul(calm_passes.saturating_sub(49).min(250));
+                    std::thread::sleep(ramp.min(backoff_ceiling));
+                }
+            }
+        }
+
+        // Shutdown: tell every open connection, flush best-effort, then
+        // release their sessions in connection order.
+        let mut ids: Vec<u64> = self.conns.keys().copied().collect();
+        ids.sort_unstable();
+        for conn_id in ids {
+            if let Some(conn) = self.conns.get_mut(&conn_id) {
+                let frame = Frame::Error {
+                    id: PUSH_ID,
+                    code: ErrorCode::Shutdown,
+                    message: "gateway shutting down".into(),
+                };
+                conn.queue(&self.stats, &frame);
+                let _ = conn.flush(write_timeout);
+            }
+            self.close_conn(conn_id);
+        }
+        self.service.finish()
+    }
+
+    /// Accepts whatever is queued on the listener. Connections beyond
+    /// capacity are refused with a typed `Busy` error.
+    fn accept_pass(&mut self) -> bool {
+        let mut progressed = false;
         loop {
-            match to_conn_rx.try_recv() {
-                Ok(ToConn::Event(frame)) => {
-                    if !write_frame(&mut stream, stats, &frame) {
-                        return;
-                    }
-                }
-                // A stale reply can only be from a request this handler
-                // already abandoned with a Timeout error; discard it.
-                Ok(ToConn::Reply(_)) => {}
-                Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => break,
-            }
-        }
-        if ctx.stop.load(Ordering::SeqCst) {
-            let frame = error_frame(PUSH_ID, ErrorCode::Shutdown, "gateway shutting down");
-            write_frame(&mut stream, stats, &frame);
-            return;
-        }
-
-        let frame = match accum.step(&mut stream) {
-            Step::Frame(frame) => frame,
-            Step::NoData => {
-                if accum.mid_frame() {
-                    let stale = accum
-                        .started
-                        .is_some_and(|t| t.elapsed() >= request_timeout);
-                    if stale {
-                        stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                        let frame = error_frame(
-                            PUSH_ID,
-                            ErrorCode::BadFrame,
-                            "truncated frame: peer stalled mid-frame",
-                        );
-                        write_frame(&mut stream, stats, &frame);
-                        return;
-                    }
-                } else if !idle.is_zero() && last_activity.elapsed() >= idle {
-                    stats.connections_harvested.fetch_add(1, Ordering::Relaxed);
-                    let frame = error_frame(PUSH_ID, ErrorCode::Idle, "idle connection harvested");
-                    write_frame(&mut stream, stats, &frame);
-                    return;
-                }
-                continue;
-            }
-            Step::Closed => return,
-            Step::ClosedMidFrame => {
-                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            Step::Proto(e) => {
-                stats.decode_errors.fetch_add(1, Ordering::Relaxed);
-                match e {
-                    // The length prefix cannot be trusted, so the stream
-                    // cannot be resynchronised: fail the connection.
-                    ProtoError::Oversized { .. } => {
-                        let frame = error_frame(PUSH_ID, ErrorCode::Oversized, e.to_string());
-                        write_frame(&mut stream, stats, &frame);
-                        return;
-                    }
-                    // The frame boundary was intact — only the payload was
-                    // garbage — so the connection stays usable.
-                    other => {
-                        let frame = error_frame(PUSH_ID, ErrorCode::BadFrame, other.to_string());
-                        if !write_frame(&mut stream, stats, &frame) {
-                            return;
-                        }
-                        last_activity = Instant::now();
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    progressed = true;
+                    self.stats
+                        .connections_accepted
+                        .fetch_add(1, Ordering::Relaxed);
+                    if self.conns.len() >= self.capacity() {
+                        self.stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
+                        let mut stream = stream;
+                        let _ = stream.set_write_timeout(Some(Duration::from_millis(
+                            self.cfg.write_timeout_ms.max(1),
+                        )));
+                        let frame = Frame::Error {
+                            id: PUSH_ID,
+                            code: ErrorCode::Busy,
+                            message: "gateway at connection capacity".into(),
+                        };
+                        let _ = stream.write_all(&proto::encode(&frame));
                         continue;
                     }
-                }
-            }
-            Step::Io => return,
-        };
-
-        stats.frames_in.fetch_add(1, Ordering::Relaxed);
-        last_activity = Instant::now();
-
-        if !hello_done {
-            match frame {
-                Frame::Hello { magic, version } => {
-                    if magic != proto::MAGIC {
-                        let frame =
-                            error_frame(PUSH_ID, ErrorCode::BadMagic, "handshake magic mismatch");
-                        write_frame(&mut stream, stats, &frame);
-                        return;
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
                     }
-                    if version != proto::VERSION {
-                        let frame = error_frame(
-                            PUSH_ID,
-                            ErrorCode::BadVersion,
-                            format!(
-                                "server speaks version {}, client sent {version}",
-                                proto::VERSION
-                            ),
-                        );
-                        write_frame(&mut stream, stats, &frame);
-                        return;
-                    }
-                    if !write_frame(
-                        &mut stream,
-                        stats,
-                        &Frame::HelloOk {
-                            version: proto::VERSION,
-                        },
-                    ) {
-                        return;
-                    }
-                    hello_done = true;
-                    continue;
+                    let _ = stream.set_nodelay(true);
+                    let conn_id = self.next_conn;
+                    self.next_conn += 1;
+                    self.stats
+                        .connections_active
+                        .fetch_add(1, Ordering::Relaxed);
+                    self.conns.insert(conn_id, Conn::new(stream));
                 }
-                _ => {
-                    let frame = error_frame(PUSH_ID, ErrorCode::Proto, "first frame must be hello");
-                    write_frame(&mut stream, stats, &frame);
-                    return;
-                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => break,
             }
         }
+        progressed
+    }
 
-        let (id, op) = match frame {
-            Frame::Goodbye { id } => {
-                write_frame(&mut stream, stats, &Frame::GoodbyeOk { id });
-                return;
+    /// One pass over one connection: flush pending output, then read and
+    /// dispatch every complete frame the socket holds. Returns
+    /// `(made_progress, close_now)`.
+    fn conn_pass(
+        &mut self,
+        conn_id: u64,
+        write_timeout: Duration,
+        request_timeout: Duration,
+        idle: Duration,
+    ) -> (bool, bool) {
+        let mut progressed = false;
+        loop {
+            let Some(conn) = self.conns.get_mut(&conn_id) else {
+                return (progressed, false);
+            };
+            if !conn.flush(write_timeout) {
+                return (true, true);
             }
-            Frame::Join { id, tenant } => (id, Op::Join { tenant }),
-            Frame::JoinGroup { id, tenant, size } => (id, Op::JoinGroup { tenant, size }),
-            Frame::Leave { id, key } => (id, Op::Leave { key }),
-            Frame::Stage { id, arrivals } => (id, Op::Stage { arrivals }),
-            Frame::Tick { id, arrivals } => (id, Op::Tick { arrivals }),
-            Frame::Snapshot { id } => (id, Op::Snapshot),
-            Frame::Subscribe { id, every } => (id, Op::Subscribe { every }),
-            Frame::Hello { .. } => {
-                let frame = error_frame(PUSH_ID, ErrorCode::Proto, "duplicate hello");
-                if !write_frame(&mut stream, stats, &frame) {
-                    return;
+            if conn.closing {
+                return (progressed, conn.flushed());
+            }
+            match conn.accum.step(&mut conn.stream) {
+                Step::Frame(frame) => {
+                    progressed = true;
+                    self.stats.frames_in.fetch_add(1, Ordering::Relaxed);
+                    conn.last_activity = Instant::now();
+                    match self.dispatch(conn_id, frame) {
+                        After::Keep => continue,
+                        After::Close => {
+                            if let Some(conn) = self.conns.get_mut(&conn_id) {
+                                conn.closing = true;
+                            }
+                            continue;
+                        }
+                    }
                 }
-                continue;
+                Step::NoData => {
+                    if conn.accum.mid_frame() {
+                        let stale = conn
+                            .accum
+                            .started
+                            .is_some_and(|t| t.elapsed() >= request_timeout);
+                        if stale {
+                            self.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                            let frame = Frame::Error {
+                                id: PUSH_ID,
+                                code: ErrorCode::BadFrame,
+                                message: "truncated frame: peer stalled mid-frame".into(),
+                            };
+                            conn.queue(&self.stats, &frame);
+                            conn.closing = true;
+                            continue;
+                        }
+                    } else if !idle.is_zero() && conn.last_activity.elapsed() >= idle {
+                        self.stats
+                            .connections_harvested
+                            .fetch_add(1, Ordering::Relaxed);
+                        let frame = Frame::Error {
+                            id: PUSH_ID,
+                            code: ErrorCode::Idle,
+                            message: "idle connection harvested".into(),
+                        };
+                        conn.queue(&self.stats, &frame);
+                        conn.closing = true;
+                        continue;
+                    }
+                    return (progressed, false);
+                }
+                Step::Closed => return (progressed, true),
+                Step::ClosedMidFrame => {
+                    self.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    return (true, true);
+                }
+                Step::Proto(e) => {
+                    progressed = true;
+                    self.stats.decode_errors.fetch_add(1, Ordering::Relaxed);
+                    match e {
+                        // The length prefix cannot be trusted, so the
+                        // stream cannot be resynchronised: fail the
+                        // connection.
+                        ProtoError::Oversized { .. } => {
+                            let frame = Frame::Error {
+                                id: PUSH_ID,
+                                code: ErrorCode::Oversized,
+                                message: e.to_string(),
+                            };
+                            conn.queue(&self.stats, &frame);
+                            conn.closing = true;
+                        }
+                        // The frame boundary was intact — only the payload
+                        // was garbage — so the connection stays usable.
+                        other => {
+                            let frame = Frame::Error {
+                                id: PUSH_ID,
+                                code: ErrorCode::BadFrame,
+                                message: other.to_string(),
+                            };
+                            conn.queue(&self.stats, &frame);
+                            conn.last_activity = Instant::now();
+                        }
+                    }
+                    continue;
+                }
+                Step::Io => return (true, true),
+            }
+        }
+    }
+
+    /// Routes one decoded frame: handshake, goodbye, and protocol-state
+    /// checks here; everything else into the service core.
+    fn dispatch(&mut self, conn_id: u64, frame: Frame) -> After {
+        let Some(conn) = self.conns.get_mut(&conn_id) else {
+            return After::Close;
+        };
+        if !conn.hello_done {
+            return match frame {
+                Frame::Hello { magic, version } => {
+                    if magic != proto::MAGIC {
+                        let frame = Frame::Error {
+                            id: PUSH_ID,
+                            code: ErrorCode::BadMagic,
+                            message: "handshake magic mismatch".into(),
+                        };
+                        conn.queue(&self.stats, &frame);
+                        return After::Close;
+                    }
+                    if !(proto::MIN_VERSION..=proto::VERSION).contains(&version) {
+                        let frame = Frame::Error {
+                            id: PUSH_ID,
+                            code: ErrorCode::BadVersion,
+                            message: format!(
+                                "server speaks versions {}..={}, client sent {version}",
+                                proto::MIN_VERSION,
+                                proto::VERSION
+                            ),
+                        };
+                        conn.queue(&self.stats, &frame);
+                        return After::Close;
+                    }
+                    conn.version = version;
+                    conn.hello_done = true;
+                    conn.queue(&self.stats, &Frame::HelloOk { version });
+                    After::Keep
+                }
+                _ => {
+                    let frame = Frame::Error {
+                        id: PUSH_ID,
+                        code: ErrorCode::Proto,
+                        message: "first frame must be hello".into(),
+                    };
+                    conn.queue(&self.stats, &frame);
+                    After::Close
+                }
+            };
+        }
+        match frame {
+            Frame::Goodbye { id } => {
+                conn.queue(&self.stats, &Frame::GoodbyeOk { id });
+                After::Close
+            }
+            Frame::Hello { .. } => {
+                let frame = Frame::Error {
+                    id: PUSH_ID,
+                    code: ErrorCode::Proto,
+                    message: "duplicate hello".into(),
+                };
+                conn.queue(&self.stats, &frame);
+                After::Keep
+            }
+            request @ (Frame::Join { .. }
+            | Frame::JoinGroup { .. }
+            | Frame::Leave { .. }
+            | Frame::Stage { .. }
+            | Frame::Tick { .. }
+            | Frame::StageNoAck { .. }
+            | Frame::TickSync { .. }
+            | Frame::SnapshotDelta { .. }
+            | Frame::Snapshot { .. }
+            | Frame::Subscribe { .. }) => {
+                let version = conn.version;
+                self.service
+                    .handle(conn_id, version, request, &mut self.out);
+                self.drain_outbox();
+                After::Keep
             }
             // Server-to-client kinds arriving from a client.
             other => {
                 let id = proto::reply_id(&other).unwrap_or(PUSH_ID);
-                let frame = error_frame(id, ErrorCode::Proto, "server-only frame from client");
-                if !write_frame(&mut stream, stats, &frame) {
-                    return;
-                }
-                continue;
-            }
-        };
-
-        let req = Request::Op(OpReq {
-            conn,
-            id,
-            op,
-            reply: to_conn_tx.clone(),
-        });
-        let sent_at = Instant::now();
-        match ctx.service_tx.send_timeout(req, Duration::from_millis(0)) {
-            Ok(()) => {}
-            Err(SendTimeoutError::Timeout(_)) => {
-                stats.busy_rejections.fetch_add(1, Ordering::Relaxed);
-                let frame = error_frame(id, ErrorCode::Busy, "service queue full, retry");
-                if !write_frame(&mut stream, stats, &frame) {
-                    return;
-                }
-                continue;
-            }
-            Err(SendTimeoutError::Disconnected(_)) => {
-                let frame = error_frame(id, ErrorCode::Shutdown, "gateway service stopped");
-                write_frame(&mut stream, stats, &frame);
-                return;
+                let frame = Frame::Error {
+                    id,
+                    code: ErrorCode::Proto,
+                    message: "server-only frame from client".into(),
+                };
+                conn.queue(&self.stats, &frame);
+                After::Keep
             }
         }
+    }
 
-        loop {
-            match to_conn_rx.recv_timeout(request_timeout) {
-                Ok(ToConn::Event(frame)) => {
-                    if !write_frame(&mut stream, stats, &frame) {
-                        return;
-                    }
-                }
-                Ok(ToConn::Reply(frame)) => {
-                    let micros = sent_at.elapsed().as_micros().min(u64::MAX as u128) as u64;
-                    stats.latency.record(micros);
-                    if !write_frame(&mut stream, stats, &frame) {
-                        return;
-                    }
-                    break;
-                }
-                Err(RecvTimeoutError::Timeout) => {
-                    let frame = error_frame(id, ErrorCode::Timeout, "service reply timed out");
-                    write_frame(&mut stream, stats, &frame);
-                    return;
-                }
-                Err(RecvTimeoutError::Disconnected) => {
-                    let frame = error_frame(id, ErrorCode::Shutdown, "gateway service stopped");
-                    write_frame(&mut stream, stats, &frame);
-                    return;
-                }
+    /// Copies service-produced frames into their target connections'
+    /// write buffers. Frames for connections that vanished are dropped —
+    /// the session cleanup already ran when they closed.
+    fn drain_outbox(&mut self) {
+        if self.out.is_empty() {
+            return;
+        }
+        let out = std::mem::take(&mut self.out);
+        for (conn_id, frame) in out {
+            if let Some(conn) = self.conns.get_mut(&conn_id) {
+                conn.queue(&self.stats, &frame);
             }
+        }
+    }
+
+    fn close_conn(&mut self, conn_id: u64) {
+        if self.conns.remove(&conn_id).is_some() {
+            self.stats
+                .connections_active
+                .fetch_sub(1, Ordering::Relaxed);
+            self.service.conn_closed(conn_id);
         }
     }
 }

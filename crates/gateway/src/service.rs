@@ -1,72 +1,53 @@
-//! The gateway service loop: a single thread that owns the
-//! [`ControlPlane`] and serialises every connection's requests onto it.
+//! The gateway service core: the single owner of the [`ControlPlane`],
+//! called inline from the connection core's event loop.
 //!
-//! Connection workers never touch the control plane directly — they send
-//! [`Request`]s down one bounded channel and block on a per-request reply
-//! channel. That single consumer is what makes the gateway deterministic:
-//! arrivals staged by any number of connections are committed in ascending
-//! session-key order, so a gateway run is bitwise-identical to the same
-//! operations applied in-process (see
+//! Earlier revisions ran this as a separate thread behind a bounded
+//! channel, with every connection worker blocking on a per-request reply
+//! channel — two context switches and three channel operations per
+//! request. The evented server owns this struct directly, so a request is
+//! now a plain method call; what made the gateway deterministic is
+//! unchanged: one single-threaded owner commits arrivals staged by any
+//! number of connections in ascending session-key order, so a gateway run
+//! is bitwise-identical to the same operations applied in-process (see
 //! [`ServiceSnapshot::invariant_view`](cdba_ctrl::ServiceSnapshot::invariant_view)).
+//!
+//! Replies are not written here. Every handler appends `(connection,
+//! frame)` pairs to an output list and the connection core copies them
+//! into the right write buffers — which is what lets one request fan out
+//! to other connections (subscription events, a parked
+//! [`Frame::TickSync`] commit released by another connection's
+//! [`Frame::StageNoAck`]).
 
-use crate::proto::{ErrorCode, Frame};
+use crate::delta;
+use crate::proto::{ErrorCode, Frame, PUSH_ID};
 use crate::stats::WireStats;
 use crate::GatewaySnapshot;
-use cdba_ctrl::{ControlPlane, CtrlError, ServiceConfig};
-use crossbeam::channel::{Receiver, Sender};
+use cdba_ctrl::{ControlPlane, CtrlError, ServiceConfig, ServiceSnapshot};
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
+use std::time::Instant;
 
-/// A frame travelling from the service loop back to a connection worker.
-#[derive(Debug)]
-pub(crate) enum ToConn {
-    /// The reply to the request the worker is blocked on.
-    Reply(Frame),
-    /// An out-of-band subscription push, flushed before the next reply.
-    Event(Frame),
+/// Frames the service core wants delivered, each to a specific
+/// connection's write buffer.
+pub(crate) type Outbox = Vec<(u64, Frame)>;
+
+/// A [`Frame::TickSync`] commit waiting for more staged arrivals.
+struct ParkedTick {
+    conn: u64,
+    id: u64,
+    min_staged: u32,
+    since: Instant,
 }
 
-/// One operation a connection asks the control plane to perform.
-#[derive(Debug)]
-pub(crate) enum Op {
-    Join { tenant: String },
-    JoinGroup { tenant: String, size: u32 },
-    Leave { key: u64 },
-    Stage { arrivals: Vec<(u64, f64)> },
-    Tick { arrivals: Vec<(u64, f64)> },
-    Snapshot,
-    Subscribe { every: u32 },
+/// The per-connection delta-snapshot baseline: the sequence number and
+/// service snapshot last sent to that connection.
+struct Baseline {
+    seq: u64,
+    snapshot: Arc<ServiceSnapshot>,
 }
 
-/// An envelope from a connection worker to the service loop.
-#[derive(Debug)]
-pub(crate) struct OpReq {
-    /// The connection's gateway-assigned id.
-    pub conn: u64,
-    /// The client's request id, echoed in the reply.
-    pub id: u64,
-    /// What to do.
-    pub op: Op,
-    /// Where the reply (and any queued events) goes.
-    pub reply: Sender<ToConn>,
-}
-
-/// Everything the service loop can receive.
-#[derive(Debug)]
-pub(crate) enum Request {
-    /// A client operation.
-    Op(OpReq),
-    /// A connection closed (cleanly or not); release its sessions.
-    ConnClosed { conn: u64 },
-}
-
-struct Subscription {
-    tx: Sender<ToConn>,
-    every: u32,
-}
-
-/// The state the service loop threads through every request.
-struct ServiceLoop {
+/// The single-threaded service state, owned by the connection core.
+pub(crate) struct ServiceCore {
     plane: ControlPlane,
     stats: Arc<WireStats>,
     /// session key → owning connection.
@@ -76,38 +57,12 @@ struct ServiceLoop {
     /// Arrivals staged for the next committed tick, across connections.
     pending: Vec<(u64, f64)>,
     pending_keys: HashSet<u64>,
-    subs: HashMap<u64, Subscription>,
-}
-
-/// Runs the service loop until every request sender is dropped, then
-/// takes a final snapshot and shuts the control plane down.
-pub(crate) fn run(
-    service: ServiceConfig,
-    stats: Arc<WireStats>,
-    rx: Receiver<Request>,
-) -> Result<GatewaySnapshot, String> {
-    let mut state = ServiceLoop {
-        plane: ControlPlane::new(service),
-        stats,
-        owners: HashMap::new(),
-        owned: HashMap::new(),
-        pending: Vec::new(),
-        pending_keys: HashSet::new(),
-        subs: HashMap::new(),
-    };
-    while let Ok(req) = rx.recv() {
-        match req {
-            Request::Op(op) => state.handle(op),
-            Request::ConnClosed { conn } => state.conn_closed(conn),
-        }
-    }
-    let service = state
-        .plane
-        .snapshot()
-        .map_err(|e| format!("final snapshot failed: {e}"))?;
-    let wire = state.stats.snapshot();
-    state.plane.shutdown();
-    Ok(GatewaySnapshot { service, wire })
+    /// connection → subscription period in ticks.
+    subs: HashMap<u64, u32>,
+    /// At most one count-gated tick commit may be parked at a time.
+    parked: Option<ParkedTick>,
+    /// Per-connection delta-snapshot baselines.
+    baselines: HashMap<u64, Baseline>,
 }
 
 fn ctrl_error(id: u64, e: &CtrlError) -> Frame {
@@ -118,26 +73,95 @@ fn ctrl_error(id: u64, e: &CtrlError) -> Frame {
     }
 }
 
-impl ServiceLoop {
-    fn handle(&mut self, req: OpReq) {
-        let OpReq {
-            conn,
-            id,
-            op,
-            reply,
-        } = req;
-        let frame = match op {
-            Op::Join { tenant } => self.join(conn, id, &tenant),
-            Op::JoinGroup { tenant, size } => self.join_group(conn, id, &tenant, size),
-            Op::Leave { key } => self.leave(conn, id, key),
-            Op::Stage { arrivals } => self.stage(conn, id, arrivals),
-            Op::Tick { arrivals } => self.tick(conn, id, arrivals, &reply),
-            Op::Snapshot => self.snapshot_frame(id),
-            Op::Subscribe { every } => self.subscribe(conn, id, every, &reply),
+impl ServiceCore {
+    pub(crate) fn new(service: ServiceConfig, stats: Arc<WireStats>) -> Self {
+        Self {
+            plane: ControlPlane::new(service),
+            stats,
+            owners: HashMap::new(),
+            owned: HashMap::new(),
+            pending: Vec::new(),
+            pending_keys: HashSet::new(),
+            subs: HashMap::new(),
+            parked: None,
+            baselines: HashMap::new(),
+        }
+    }
+
+    /// Handles one decoded client frame. `version` is the connection's
+    /// negotiated protocol version; v2-only frames on a v1 connection are
+    /// refused with a typed `Proto` error. Every produced frame — the
+    /// reply, subscription events, async stage failures, a released
+    /// parked commit — lands in `out` tagged with its target connection.
+    ///
+    /// One request latency sample is recorded per replied request;
+    /// [`Frame::StageNoAck`] deliberately records none (it has no reply —
+    /// that is its point).
+    pub(crate) fn handle(&mut self, conn: u64, version: u8, frame: Frame, out: &mut Outbox) {
+        let started = Instant::now();
+        let reply = match frame {
+            Frame::Join { id, tenant } => Some(self.join(conn, id, &tenant)),
+            Frame::JoinGroup { id, tenant, size } => Some(self.join_group(conn, id, &tenant, size)),
+            Frame::Leave { id, key } => Some(self.leave(conn, id, key)),
+            Frame::Stage { id, arrivals } => Some(self.stage(conn, id, &arrivals, out)),
+            Frame::Tick { id, arrivals } => Some(self.tick(conn, id, &arrivals, out)),
+            Frame::StageNoAck { arrivals } => {
+                if version < 2 {
+                    out.push((
+                        conn,
+                        Frame::Error {
+                            id: PUSH_ID,
+                            code: ErrorCode::Proto,
+                            message: "stage-no-ack requires protocol version 2".into(),
+                        },
+                    ));
+                } else {
+                    self.stage_noack(conn, &arrivals, out);
+                }
+                return;
+            }
+            Frame::TickSync {
+                id,
+                arrivals,
+                min_staged,
+            } => {
+                if version < 2 {
+                    Some(Frame::Error {
+                        id,
+                        code: ErrorCode::Proto,
+                        message: "tick-sync requires protocol version 2".into(),
+                    })
+                } else {
+                    self.tick_sync(conn, id, &arrivals, min_staged, started, out)
+                }
+            }
+            Frame::SnapshotDelta { id } => {
+                if version < 2 {
+                    Some(Frame::Error {
+                        id,
+                        code: ErrorCode::Proto,
+                        message: "snapshot-delta requires protocol version 2".into(),
+                    })
+                } else {
+                    Some(self.snapshot_delta(conn, id))
+                }
+            }
+            Frame::Snapshot { id } => Some(self.snapshot_frame(id)),
+            Frame::Subscribe { id, every } => Some(self.subscribe(conn, id, every)),
+            other => {
+                debug_assert!(false, "connection core routed a non-request: {other:?}");
+                return;
+            }
         };
-        // A dead reply channel means the worker already gave up on this
-        // request (timeout or disconnect); the state change still stands.
-        let _ = reply.send(ToConn::Reply(frame));
+        if let Some(frame) = reply {
+            self.record_latency(started);
+            out.push((conn, frame));
+        }
+    }
+
+    fn record_latency(&self, started: Instant) {
+        let micros = started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+        self.stats.latency.record(micros);
     }
 
     fn join(&mut self, conn: u64, id: u64, tenant: &str) -> Frame {
@@ -238,30 +262,34 @@ impl ServiceLoop {
         }
     }
 
-    fn stage(&mut self, conn: u64, id: u64, arrivals: Vec<(u64, f64)>) -> Frame {
-        match self.stage_arrivals(conn, &arrivals) {
-            Ok(()) => Frame::StageOk {
-                id,
-                staged: self.pending.len() as u32,
-            },
+    fn stage(&mut self, conn: u64, id: u64, arrivals: &[(u64, f64)], out: &mut Outbox) -> Frame {
+        match self.stage_arrivals(conn, arrivals) {
+            Ok(()) => {
+                let staged = self.pending.len() as u32;
+                self.try_release_parked(out);
+                Frame::StageOk { id, staged }
+            }
             Err(e) => Self::with_id(e, id),
         }
     }
 
-    fn tick(
-        &mut self,
-        conn: u64,
-        id: u64,
-        arrivals: Vec<(u64, f64)>,
-        _reply: &Sender<ToConn>,
-    ) -> Frame {
-        if let Err(e) = self.stage_arrivals(conn, &arrivals) {
-            // The committing connection's own batch was bad; earlier
-            // staged arrivals stay buffered for a retried tick.
-            return Self::with_id(e, id);
+    /// Stages without a reply; a rejected batch is reported as an async
+    /// error the client surfaces at its next synchronous request.
+    fn stage_noack(&mut self, conn: u64, arrivals: &[(u64, f64)], out: &mut Outbox) {
+        match self.stage_arrivals(conn, arrivals) {
+            Ok(()) => {
+                self.stats
+                    .noack_stages
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                self.try_release_parked(out);
+            }
+            Err(e) => out.push((conn, Self::with_id(e, PUSH_ID))),
         }
-        // Deterministic commit order: ascending session key, regardless of
-        // which connection staged what, when.
+    }
+
+    /// Commits the pending batch: ascending key order, then subscription
+    /// events, regardless of which connection staged what, when.
+    fn commit(&mut self, id: u64, out: &mut Outbox) -> Frame {
         self.pending.sort_by_key(|&(k, _)| k);
         let batch = std::mem::take(&mut self.pending);
         self.pending_keys.clear();
@@ -273,14 +301,105 @@ impl ServiceLoop {
             Err(e) => ctrl_error(id, &e),
         };
         if matches!(frame, Frame::TickOk { .. }) {
-            self.push_events();
+            self.push_events(out);
         }
         frame
     }
 
-    /// Pushes a subscription event to every due subscriber, dropping any
-    /// whose connection has gone away.
-    fn push_events(&mut self) {
+    fn tick(&mut self, conn: u64, id: u64, arrivals: &[(u64, f64)], out: &mut Outbox) -> Frame {
+        if self.parked.is_some() {
+            return Frame::Error {
+                id,
+                code: ErrorCode::Busy,
+                message: "a tick-sync commit is already parked".into(),
+            };
+        }
+        if let Err(e) = self.stage_arrivals(conn, arrivals) {
+            // The committing connection's own batch was bad; earlier
+            // staged arrivals stay buffered for a retried tick.
+            return Self::with_id(e, id);
+        }
+        self.commit(id, out)
+    }
+
+    /// Stages, then commits once `min_staged` arrivals are buffered
+    /// gateway-wide — parking the commit until unacknowledged stages from
+    /// other connections land, which makes the committed batch independent
+    /// of socket arrival order. Returns `None` when parked: the
+    /// [`Frame::TickOk`] is produced later by [`Self::try_release_parked`].
+    fn tick_sync(
+        &mut self,
+        conn: u64,
+        id: u64,
+        arrivals: &[(u64, f64)],
+        min_staged: u32,
+        started: Instant,
+        out: &mut Outbox,
+    ) -> Option<Frame> {
+        if self.parked.is_some() {
+            return Some(Frame::Error {
+                id,
+                code: ErrorCode::Busy,
+                message: "another tick-sync commit is already parked".into(),
+            });
+        }
+        if let Err(e) = self.stage_arrivals(conn, arrivals) {
+            return Some(Self::with_id(e, id));
+        }
+        if self.pending.len() as u32 >= min_staged {
+            return Some(self.commit(id, out));
+        }
+        self.parked = Some(ParkedTick {
+            conn,
+            id,
+            min_staged,
+            since: started,
+        });
+        None
+    }
+
+    /// Releases a parked commit if enough arrivals have landed.
+    fn try_release_parked(&mut self, out: &mut Outbox) {
+        let staged = self.pending.len() as u32;
+        let ready = self.parked.as_ref().is_some_and(|p| staged >= p.min_staged);
+        if !ready {
+            return;
+        }
+        let parked = self.parked.take().expect("checked above");
+        let frame = self.commit(parked.id, out);
+        self.record_latency(parked.since);
+        out.push((parked.conn, frame));
+    }
+
+    /// Fails a parked commit that has waited longer than `timeout`
+    /// (e.g. the peers it was counting on disconnected before staging).
+    /// Its staged arrivals stay buffered for a retried tick.
+    pub(crate) fn expire_parked(&mut self, timeout: std::time::Duration, out: &mut Outbox) {
+        let expired = self
+            .parked
+            .as_ref()
+            .is_some_and(|p| p.since.elapsed() >= timeout);
+        if !expired {
+            return;
+        }
+        let parked = self.parked.take().expect("checked above");
+        self.record_latency(parked.since);
+        out.push((
+            parked.conn,
+            Frame::Error {
+                id: parked.id,
+                code: ErrorCode::Timeout,
+                message: format!(
+                    "tick-sync commit timed out at {}/{} staged arrivals",
+                    self.pending.len(),
+                    parked.min_staged
+                ),
+            },
+        ));
+    }
+
+    /// Pushes a subscription event to every due subscriber.
+    fn push_events(&mut self, out: &mut Outbox) {
         if self.subs.is_empty() {
             return;
         }
@@ -288,13 +407,13 @@ impl ServiceLoop {
         let due: Vec<u64> = self
             .subs
             .iter()
-            .filter(|(_, s)| tick.is_multiple_of(s.every as u64))
+            .filter(|(_, &every)| tick.is_multiple_of(every as u64))
             .map(|(&conn, _)| conn)
             .collect();
         if due.is_empty() {
             return;
         }
-        let event = match self.plane.snapshot() {
+        let event = match self.plane.snapshot_shared() {
             Ok(snap) => Frame::Event {
                 tick,
                 changes: snap.global.changes,
@@ -303,37 +422,100 @@ impl ServiceLoop {
             Err(_) => return,
         };
         for conn in due {
-            let dead = self
-                .subs
-                .get(&conn)
-                .is_some_and(|s| s.tx.send(ToConn::Event(event.clone())).is_err());
-            if dead {
-                self.subs.remove(&conn);
-            }
+            out.push((conn, event.clone()));
         }
     }
 
+    fn gateway_snapshot(&mut self) -> Result<(Arc<ServiceSnapshot>, GatewaySnapshot), CtrlError> {
+        let service = self.plane.snapshot_shared()?;
+        let snap = GatewaySnapshot {
+            service: (*service).clone(),
+            wire: self.stats.snapshot(),
+        };
+        Ok((service, snap))
+    }
+
     fn snapshot_frame(&mut self, id: u64) -> Frame {
-        match self.plane.snapshot() {
-            Ok(service) => {
-                let snap = GatewaySnapshot {
-                    service,
-                    wire: self.stats.snapshot(),
-                };
-                match snap.to_json_string() {
-                    Ok(json) => Frame::SnapshotOk { id, json },
-                    Err(e) => Frame::Error {
-                        id,
-                        code: ErrorCode::Ctrl,
-                        message: format!("snapshot serialisation failed: {e}"),
-                    },
-                }
-            }
+        self.stats
+            .full_snapshots
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        match self.gateway_snapshot() {
+            Ok((_, snap)) => match snap.to_json_string() {
+                Ok(json) => Frame::SnapshotOk { id, json },
+                Err(e) => Frame::Error {
+                    id,
+                    code: ErrorCode::Ctrl,
+                    message: format!("snapshot serialisation failed: {e}"),
+                },
+            },
             Err(e) => ctrl_error(id, &e),
         }
     }
 
-    fn subscribe(&mut self, conn: u64, id: u64, every: u32, reply: &Sender<ToConn>) -> Frame {
+    /// Answers a v2 snapshot request: a delta against the last snapshot
+    /// this connection received, or a full snapshot when no baseline
+    /// exists yet. The new snapshot becomes the connection's baseline —
+    /// the blocking client acknowledges implicitly by sending its next
+    /// request, and a connection that never parses a reply simply
+    /// re-establishes with a full snapshot after reconnecting.
+    fn snapshot_delta(&mut self, conn: u64, id: u64) -> Frame {
+        // Count the poll before assembling the snapshot so the wire
+        // counters inside the reply include the reply itself.
+        let o = std::sync::atomic::Ordering::Relaxed;
+        if self.baselines.contains_key(&conn) {
+            self.stats.delta_snapshots.fetch_add(1, o);
+        } else {
+            self.stats.full_snapshots.fetch_add(1, o);
+        }
+        let (service, snap) = match self.gateway_snapshot() {
+            Ok(pair) => pair,
+            Err(e) => return ctrl_error(id, &e),
+        };
+        let reply = match self.baselines.get(&conn) {
+            Some(base) => {
+                let seq = base.seq + 1;
+                let body = delta::diff(&base.snapshot, base.seq, &service, seq, snap.wire);
+                match serde_json::to_string(&body) {
+                    Ok(json) => Frame::SnapshotDeltaOk {
+                        id,
+                        seq,
+                        full: false,
+                        json,
+                    },
+                    Err(e) => Frame::Error {
+                        id,
+                        code: ErrorCode::Ctrl,
+                        message: format!("delta serialisation failed: {e}"),
+                    },
+                }
+            }
+            None => match snap.to_json_string() {
+                Ok(json) => Frame::SnapshotDeltaOk {
+                    id,
+                    seq: 1,
+                    full: true,
+                    json,
+                },
+                Err(e) => Frame::Error {
+                    id,
+                    code: ErrorCode::Ctrl,
+                    message: format!("snapshot serialisation failed: {e}"),
+                },
+            },
+        };
+        if let Frame::SnapshotDeltaOk { seq, .. } = &reply {
+            self.baselines.insert(
+                conn,
+                Baseline {
+                    seq: *seq,
+                    snapshot: service,
+                },
+            );
+        }
+        reply
+    }
+
+    fn subscribe(&mut self, conn: u64, id: u64, every: u32) -> Frame {
         if every == 0 {
             return Frame::Error {
                 id,
@@ -341,27 +523,40 @@ impl ServiceLoop {
                 message: "subscribe period must be at least 1 tick".into(),
             };
         }
-        self.subs.insert(
-            conn,
-            Subscription {
-                tx: reply.clone(),
-                every,
-            },
-        );
+        self.subs.insert(conn, every);
         Frame::SubscribeOk { id }
     }
 
-    fn conn_closed(&mut self, conn: u64) {
+    /// Releases everything a closed connection held: subscriptions, its
+    /// delta baseline, a parked commit, and its sessions (best-effort —
+    /// a session may already be gone if its shard is down).
+    pub(crate) fn conn_closed(&mut self, conn: u64) {
         self.subs.remove(&conn);
+        self.baselines.remove(&conn);
+        if self.parked.as_ref().is_some_and(|p| p.conn == conn) {
+            self.parked = None;
+        }
         let keys = self.owned.remove(&conn).unwrap_or_default();
         for key in keys {
             self.owners.remove(&key);
             if self.pending_keys.remove(&key) {
                 self.pending.retain(|&(k, _)| k != key);
             }
-            // Best-effort: the session may already be gone (e.g. its
-            // shard is down); the control plane stays authoritative.
             let _ = self.plane.leave(key);
         }
+        // Removing staged arrivals can only lower the staged count, so a
+        // parked threshold cannot newly fire here; a parked commit now
+        // starved of its peers is failed by `expire_parked`.
+    }
+
+    /// Takes the final snapshot and shuts the control plane down.
+    pub(crate) fn finish(mut self) -> Result<GatewaySnapshot, String> {
+        let service = self
+            .plane
+            .snapshot()
+            .map_err(|e| format!("final snapshot failed: {e}"))?;
+        let wire = self.stats.snapshot();
+        self.plane.shutdown();
+        Ok(GatewaySnapshot { service, wire })
     }
 }

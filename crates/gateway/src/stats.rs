@@ -1,34 +1,70 @@
-//! Wire-level observability: lock-free counters and a log-scale latency
-//! histogram, exported as a serde-friendly snapshot.
+//! Wire-level observability: lock-free counters and a fixed-precision
+//! latency histogram, exported as a serde-friendly snapshot.
 
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-const BUCKETS: usize = 64;
+/// Values below [`LINEAR_MAX`] get one bucket each (exact).
+const LINEAR_MAX: u64 = 100;
+/// Buckets per decade above the linear range: two significant digits.
+const PER_DECADE: usize = 90;
+/// Decades covered above the linear range (`10^2` up to `> 10^19`, the
+/// full `u64` range).
+const DECADES: usize = 18;
+const BUCKETS: usize = LINEAR_MAX as usize + DECADES * PER_DECADE;
 
-/// A log₂-bucketed latency histogram over microseconds.
+/// A fixed-precision latency histogram over microseconds, HDR-style with
+/// two significant digits.
 ///
-/// Bucket `i` counts samples with `2^i ≤ µs < 2^(i+1)` (bucket 0 also
-/// holds sub-microsecond samples). Percentile queries return the upper
-/// bound of the bucket the rank falls in — coarse, but lock-free and
-/// allocation-free on the hot path.
+/// Samples below 100 µs land in exact one-microsecond buckets; larger
+/// samples keep their top two digits (`1234 µs` → bucket `[1200, 1300)`),
+/// so the relative quantisation error is bounded by one bucket width —
+/// 10% worst-case, against the 2× of a power-of-two histogram.
+/// Percentile queries return the upper bound of the bucket the rank falls
+/// in. Recording stays lock-free and allocation-free on the hot path.
 #[derive(Debug)]
 pub struct LatencyHistogram {
-    buckets: [AtomicU64; BUCKETS],
+    buckets: Box<[AtomicU64; BUCKETS]>,
+}
+
+/// The bucket index for a sample of `micros`.
+fn bucket_index(micros: u64) -> usize {
+    if micros < LINEAR_MAX {
+        return micros as usize;
+    }
+    // Reduce to the top two digits and count the discarded decades.
+    let mut top = micros;
+    let mut decade = 0usize;
+    while top >= 1000 {
+        top /= 10;
+        decade += 1;
+    }
+    // `top` is in [100, 999]; its leading two digits index the decade.
+    LINEAR_MAX as usize + (decade.min(DECADES - 1)) * PER_DECADE + (top as usize / 10 - 10)
+}
+
+/// The exclusive upper bound (µs) of bucket `index`.
+fn bucket_bound(index: usize) -> u64 {
+    if index < LINEAR_MAX as usize {
+        return index as u64 + 1;
+    }
+    let above = index - LINEAR_MAX as usize;
+    let decade = above / PER_DECADE;
+    let two = (above % PER_DECADE) as u64 + 10;
+    (two + 1).saturating_mul(10u64.saturating_pow(decade as u32 + 1))
 }
 
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
         Self {
-            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            buckets: Box::new(std::array::from_fn(|_| AtomicU64::new(0))),
         }
     }
 
     /// Records one sample in microseconds.
     pub fn record(&self, micros: u64) {
-        let idx = (64 - micros.max(1).leading_zeros() as usize - 1).min(BUCKETS - 1);
-        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.buckets[bucket_index(micros)].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Total samples recorded.
@@ -53,10 +89,10 @@ impl LatencyHistogram {
         for (i, &c) in counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return 1u64 << (i + 1).min(63);
+                return bucket_bound(i);
             }
         }
-        1u64 << 63
+        bucket_bound(BUCKETS - 1)
     }
 }
 
@@ -66,11 +102,10 @@ impl Default for LatencyHistogram {
     }
 }
 
-/// Shared wire-level counters, updated lock-free by the accept loop and
-/// every connection worker.
+/// Shared wire-level counters, updated lock-free by the connection core.
 #[derive(Debug, Default)]
 pub struct WireStats {
-    /// Connections the accept loop handed to a worker.
+    /// Connections the accept loop admitted into the connection core.
     pub connections_accepted: AtomicU64,
     /// Connections currently being served (gauge).
     pub connections_active: AtomicU64,
@@ -82,10 +117,17 @@ pub struct WireStats {
     pub frames_out: AtomicU64,
     /// Frames that failed to decode (framing or payload errors).
     pub decode_errors: AtomicU64,
-    /// Requests refused with a typed `Busy` error (full accept or
-    /// service queue).
+    /// Requests refused with a typed `Busy` error (connection capacity or
+    /// a parked tick commit already pending).
     pub busy_rejections: AtomicU64,
-    /// Request-to-reply latency, measured at the connection worker.
+    /// Unacknowledged stage frames accepted (wire v2 `StageNoAck`).
+    pub noack_stages: AtomicU64,
+    /// Snapshot requests answered with a delta frame (wire v2).
+    pub delta_snapshots: AtomicU64,
+    /// Snapshot requests answered with a full snapshot (v1 requests plus
+    /// v2 baseline establishment and resyncs).
+    pub full_snapshots: AtomicU64,
+    /// Request-to-reply latency, measured at the connection core.
     pub latency: LatencyHistogram,
 }
 
@@ -106,6 +148,9 @@ impl WireStats {
             frames_out: self.frames_out.load(o),
             decode_errors: self.decode_errors.load(o),
             busy_rejections: self.busy_rejections.load(o),
+            noack_stages: self.noack_stages.load(o),
+            delta_snapshots: self.delta_snapshots.load(o),
+            full_snapshots: self.full_snapshots.load(o),
             requests: self.latency.count(),
             latency_p50_us: self.latency.quantile_us(0.50),
             latency_p99_us: self.latency.quantile_us(0.99),
@@ -120,7 +165,7 @@ impl WireStats {
 /// state does not.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WireSnapshot {
-    /// Connections the accept loop handed to a worker.
+    /// Connections the accept loop admitted into the connection core.
     pub connections_accepted: u64,
     /// Connections being served when the snapshot was taken.
     pub connections_active: u64,
@@ -134,6 +179,15 @@ pub struct WireSnapshot {
     pub decode_errors: u64,
     /// Requests refused with a typed `Busy` error.
     pub busy_rejections: u64,
+    /// Unacknowledged stage frames accepted.
+    #[serde(default)]
+    pub noack_stages: u64,
+    /// Snapshot requests answered with a delta frame.
+    #[serde(default)]
+    pub delta_snapshots: u64,
+    /// Snapshot requests answered with a full snapshot.
+    #[serde(default)]
+    pub full_snapshots: u64,
     /// Requests answered (latency samples recorded).
     pub requests: u64,
     /// Median request latency (µs, upper bucket bound).
@@ -147,17 +201,58 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_quantiles_track_bucket_bounds() {
+    fn buckets_are_exact_below_100_us() {
         let h = LatencyHistogram::new();
         assert_eq!(h.quantile_us(0.5), 0, "empty histogram reports zero");
         for _ in 0..99 {
-            h.record(10); // bucket 3 (8..16), upper bound 16
+            h.record(10);
         }
-        h.record(10_000); // bucket 13 (8192..16384), upper bound 16384
+        h.record(10_000);
         assert_eq!(h.count(), 100);
-        assert_eq!(h.quantile_us(0.50), 16);
-        assert_eq!(h.quantile_us(0.99), 16);
-        assert_eq!(h.quantile_us(1.0), 16384);
+        assert_eq!(h.quantile_us(0.50), 11, "10 µs reports 11, not 16");
+        assert_eq!(h.quantile_us(0.99), 11);
+        assert_eq!(h.quantile_us(1.0), 11_000, "10 ms keeps two digits");
+    }
+
+    #[test]
+    fn quantisation_error_is_bounded_by_the_two_digit_precision() {
+        // Two significant digits: the reported upper bound overshoots the
+        // sample by at most one bucket width — 10% worst-case, against the
+        // 2× of the log₂ histogram this replaces.
+        for v in [0u64, 1, 7, 99, 100, 101, 999, 1234, 54_321, 987_654_321] {
+            let bound = bucket_bound(bucket_index(v));
+            assert!(bound > v, "upper bound {bound} must exceed sample {v}");
+            let err = (bound - v) as f64 / (v.max(1)) as f64;
+            assert!(
+                err <= 0.101 || v < LINEAR_MAX,
+                "sample {v}: bound {bound} overshoots by {err:.4}"
+            );
+        }
+    }
+
+    #[test]
+    fn bucket_indices_are_monotone_and_in_range() {
+        let mut last = 0usize;
+        for v in (0u64..200_000).step_by(7) {
+            let idx = bucket_index(v);
+            assert!(idx >= last, "index regressed at {v}");
+            assert!(idx < BUCKETS);
+            last = idx;
+        }
+        assert!(bucket_index(u64::MAX) < BUCKETS);
+        assert!(bucket_bound(bucket_index(u64::MAX)) >= u64::MAX / 10);
+    }
+
+    #[test]
+    fn close_latencies_are_distinguishable() {
+        // The log2 histogram this replaces could not tell 130 µs from
+        // 250 µs (both reported 256); two-digit precision can.
+        let a = LatencyHistogram::new();
+        a.record(130);
+        let b = LatencyHistogram::new();
+        b.record(250);
+        assert_eq!(a.quantile_us(0.5), 140);
+        assert_eq!(b.quantile_us(0.5), 260);
     }
 
     #[test]
@@ -165,11 +260,15 @@ mod tests {
         let s = WireStats::new();
         s.frames_in.fetch_add(3, Ordering::Relaxed);
         s.busy_rejections.fetch_add(1, Ordering::Relaxed);
+        s.noack_stages.fetch_add(2, Ordering::Relaxed);
+        s.delta_snapshots.fetch_add(1, Ordering::Relaxed);
         s.latency.record(100);
         let snap = s.snapshot();
         assert_eq!(snap.frames_in, 3);
         assert_eq!(snap.busy_rejections, 1);
+        assert_eq!(snap.noack_stages, 2);
+        assert_eq!(snap.delta_snapshots, 1);
         assert_eq!(snap.requests, 1);
-        assert!(snap.latency_p99_us >= 128);
+        assert_eq!(snap.latency_p99_us, 110);
     }
 }

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Fail when a measured benchmark regresses past a tolerance vs a committed baseline.
+
+Both files are JSON. A file either carries a ``results`` list (the
+``BENCH_gateway.json`` / ``BENCH_ctrl.json`` shape), from which one entry
+is picked with ``--select key=value``, or it is a single flat object (the
+``cdba-cli serve --summary`` shape) read as the entry directly.
+
+    bench_gate.py BASELINE MEASURED --metric ticks_per_sec \
+        [--select connections=16] [--tolerance 0.30]
+
+Exits 1 if ``measured < baseline * (1 - tolerance)``. Faster-than-baseline
+results always pass: the gate is one-sided, catching regressions only.
+"""
+
+import argparse
+import json
+import sys
+
+
+def pick_entry(path, selects):
+    with open(path) as fh:
+        doc = json.load(fh)
+    if "results" not in doc:
+        return doc
+    matches = [
+        entry
+        for entry in doc["results"]
+        if all(str(entry.get(key)) == value for key, value in selects)
+    ]
+    if len(matches) != 1:
+        raise SystemExit(
+            f"{path}: selector {selects!r} matched {len(matches)} of "
+            f"{len(doc['results'])} results (need exactly 1)"
+        )
+    return matches[0]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("measured")
+    parser.add_argument("--metric", required=True)
+    parser.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="pick the results[] entry with this field (repeatable)",
+    )
+    parser.add_argument("--tolerance", type=float, default=0.30)
+    args = parser.parse_args()
+
+    selects = []
+    for raw in args.select:
+        key, _, value = raw.partition("=")
+        if not value:
+            parser.error(f"--select needs KEY=VALUE, got {raw!r}")
+        selects.append((key, value))
+
+    baseline = float(pick_entry(args.baseline, selects)[args.metric])
+    measured = float(pick_entry(args.measured, selects)[args.metric])
+    floor = baseline * (1.0 - args.tolerance)
+    verdict = "ok" if measured >= floor else "REGRESSION"
+    print(
+        f"{args.metric}: baseline {baseline:.1f}, measured {measured:.1f}, "
+        f"floor {floor:.1f} (tolerance {args.tolerance:.0%}) -> {verdict}"
+    )
+    if measured < floor:
+        sys.exit(1)
+
+
+if __name__ == "__main__":
+    main()

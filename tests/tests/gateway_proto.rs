@@ -78,6 +78,19 @@ fn build_frame(
             changes: id,
             signalling_cost: x,
         },
+        19 => Frame::StageNoAck { arrivals },
+        20 => Frame::TickSync {
+            id,
+            arrivals,
+            min_staged: n,
+        },
+        21 => Frame::SnapshotDelta { id },
+        22 => Frame::SnapshotDeltaOk {
+            id,
+            seq: key,
+            full: n % 2 == 0,
+            json: s,
+        },
         _ => Frame::Error {
             id,
             code: ERROR_CODES[kind % ERROR_CODES.len()],
@@ -91,7 +104,7 @@ proptest! {
 
     #[test]
     fn every_frame_kind_round_trips_bit_exactly(
-        kind in 0usize..20,
+        kind in 0usize..24,
         id in 0u64..u64::MAX,
         key in 0u64..u64::MAX,
         n in 0u32..u32::MAX,
@@ -110,7 +123,7 @@ proptest! {
 
     #[test]
     fn every_truncation_is_a_typed_error_never_a_panic(
-        kind in 0usize..20,
+        kind in 0usize..24,
         id in 0u64..1_000_000,
         s in arb_string(),
         arrivals in arb_arrivals(),

@@ -70,6 +70,30 @@ fn wire_view(spec: &ReplaySpec, cfg: ServiceConfig) -> (InvariantView, u64) {
     (snapshot.service.invariant_view(), snapshot.service.restarts)
 }
 
+/// Like [`wire_view`], but the final state is fetched as a wire-v2 delta
+/// snapshot: a baseline is established before the replay, so the closing
+/// poll diffs across every join/leave/tick of the run and the client
+/// reconstructs the snapshot from `changed_sessions`/`removed_sessions`.
+fn wire_view_delta(spec: &ReplaySpec, cfg: ServiceConfig) -> (InvariantView, u64) {
+    let server = quick_gateway(cfg);
+    let mut client = Client::connect(server.local_addr()).expect("client connects");
+    client.snapshot_delta().expect("baseline snapshot");
+    run_replay(&mut client, spec).expect("wire replay");
+    let snapshot = client.snapshot_delta().expect("delta snapshot");
+    client.goodbye().expect("clean goodbye");
+    let restarts = snapshot.service.restarts;
+    assert_eq!(
+        snapshot.wire.full_snapshots, 1,
+        "only the baseline should have gone over the wire in full"
+    );
+    assert_eq!(
+        snapshot.wire.delta_snapshots, 1,
+        "the closing poll should have been served as a delta"
+    );
+    server.shutdown().expect("graceful shutdown");
+    (snapshot.service.invariant_view(), restarts)
+}
+
 #[test]
 fn wire_replay_is_bitwise_identical_to_in_process() {
     let spec = small_spec();
@@ -92,6 +116,31 @@ fn wire_replay_survives_a_shard_kill_bitwise() {
     );
     assert!(restarts >= 1, "the injected kill never triggered a restart");
     assert_eq!(local, wire, "recovered wire replay diverged from clean run");
+}
+
+#[test]
+fn delta_snapshot_replay_is_bitwise_identical_to_in_process() {
+    let spec = small_spec();
+    let local = in_process_view(&spec, service_config(&spec, 2, ExecMode::Inline, None));
+    let (wire, restarts) = wire_view_delta(&spec, service_config(&spec, 2, ExecMode::Inline, None));
+    assert_eq!(restarts, 0);
+    assert_eq!(local, wire, "delta-reconstructed replay diverged");
+}
+
+#[test]
+fn delta_snapshot_replay_survives_a_shard_kill_bitwise() {
+    let spec = small_spec();
+    let local = in_process_view(&spec, service_config(&spec, 2, ExecMode::Inline, None));
+    let fault: FaultPlan = "1@100:kill".parse().expect("valid fault plan");
+    let (wire, restarts) = wire_view_delta(
+        &spec,
+        service_config(&spec, 2, ExecMode::Threaded, Some(fault)),
+    );
+    assert!(restarts >= 1, "the injected kill never triggered a restart");
+    assert_eq!(
+        local, wire,
+        "recovered delta replay diverged from clean run"
+    );
 }
 
 // ---------------------------------------------------------------------------
@@ -344,6 +393,50 @@ fn cross_connection_staging_batches_into_one_deterministic_tick() {
     assert_eq!(tick, 1);
     let snap = alice.snapshot().expect("snapshot");
     assert!((snap.service.global.total_arrived - 3.0).abs() < 1e-9);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn noack_staging_feeds_a_count_gated_commit_across_connections() {
+    let server = quick_gateway(inline_config(256.0));
+    let mut alice = Client::connect(server.local_addr()).expect("alice");
+    let mut bob = Client::connect(server.local_addr()).expect("bob");
+    let a = alice.join("acme").expect("a");
+    let b = bob.join("globex").expect("b");
+
+    // Bob stages fire-and-forget; Alice commits once two arrivals are
+    // buffered gateway-wide. The commit parks if Bob's frame has not
+    // landed yet, so the batch is independent of socket arrival order.
+    bob.stage_noack(&[(b, 2.0)]).expect("no-ack stage");
+    let tick = alice.tick_sync(&[(a, 1.0)], 2).expect("count-gated commit");
+    assert_eq!(tick, 1);
+    let snap = alice.snapshot().expect("snapshot");
+    assert!((snap.service.global.total_arrived - 3.0).abs() < 1e-9);
+    assert_eq!(snap.wire.noack_stages, 1);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn starved_tick_sync_fails_with_a_typed_timeout() {
+    let cfg = GatewayConfig {
+        read_timeout_ms: 10,
+        request_timeout_ms: 150,
+        ..GatewayConfig::default()
+    };
+    let server = GatewayServer::start(inline_config(256.0), cfg).expect("gateway starts");
+    let mut client = Client::connect(server.local_addr()).expect("client");
+    let key = client.join("acme").expect("join");
+    match client.tick_sync(&[(key, 1.0)], 5) {
+        Err(cdba_gateway::ClientError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::Timeout)
+        }
+        other => panic!("expected starved commit to time out, got {other:?}"),
+    }
+    // The staged arrival is still pending; a plain tick commits it.
+    let tick = client.tick(&[]).expect("tick after expiry");
+    assert_eq!(tick, 1);
+    let snap = client.snapshot().expect("snapshot");
+    assert!((snap.service.global.total_arrived - 1.0).abs() < 1e-9);
     server.shutdown().expect("shutdown");
 }
 
