@@ -1,147 +1,52 @@
 //! Pipelined-tick bench: throughput of the cdba-ctrl tick path across
-//! pipeline depths, plus a machine-readable `BENCH_ctrl.json` report.
+//! pipeline depths and session populations, plus a machine-readable
+//! `BENCH_ctrl.json` report.
 //!
-//! The interesting comparison is depth 1 (every tick waits for all shard
-//! acks before the next dispatch) against the default depth 4 (up to four
-//! dispatched-but-unacked ticks in flight), read against the inline
-//! single-threaded baseline. The service is populated outside the timed
-//! region, matching `ctrl_service.rs`.
+//! The criterion pass compares the inline single-threaded baseline
+//! against the threaded backends at two population sizes — the small one
+//! where inline wins (per-tick work is too small to amortize cross-thread
+//! dispatch) and a larger one where sharding starts to pay. The full
+//! sessions × shards matrix (100 → 100 000 sessions) lives in
+//! [`cdba_bench::matrix`], shared with `cdba-cli bench-ctrl`.
 //!
 //! Unlike the other benches this one has a custom `main`: after the
-//! criterion run it re-measures each configuration with a plain
-//! wall-clock loop and writes `BENCH_ctrl.json` at the workspace root —
-//! the committed baseline the CI bench-smoke job gates against. The JSON
-//! pass is skipped in `--test` (smoke) mode.
+//! criterion run it re-measures the whole matrix with plain wall-clock
+//! loops and writes `BENCH_ctrl.json` at the workspace root — the
+//! committed baseline the CI bench-smoke job gates against, including the
+//! inline-vs-threaded inversion at ≥ 10 000 sessions. The JSON pass is
+//! skipped in `--test` (smoke) mode.
 
-use cdba_ctrl::{ControlPlane, ExecMode, ServiceConfig};
+use cdba_bench::matrix::{self, TICK_CASES};
 use criterion::{BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
-use std::time::Instant;
 
 const TICKS_PER_ITER: u64 = 64;
-const SESSIONS: usize = 100;
-const JSON_WARMUP_TICKS: u64 = 256;
-const JSON_MEASURED_TICKS: u64 = 2_048;
-
-/// One benchmarked service configuration.
-struct Case {
-    label: &'static str,
-    shards: usize,
-    exec: ExecMode,
-    depth: u32,
-}
-
-const CASES: &[Case] = &[
-    Case {
-        label: "inline/s1",
-        shards: 1,
-        exec: ExecMode::Inline,
-        depth: 1,
-    },
-    Case {
-        label: "threaded/s1/d4",
-        shards: 1,
-        exec: ExecMode::Threaded,
-        depth: 4,
-    },
-    Case {
-        label: "threaded/s4/d1",
-        shards: 4,
-        exec: ExecMode::Threaded,
-        depth: 1,
-    },
-    Case {
-        label: "threaded/s4/d4",
-        shards: 4,
-        exec: ExecMode::Threaded,
-        depth: 4,
-    },
-];
-
-fn service(case: &Case) -> (ControlPlane, Vec<u64>) {
-    let cfg = ServiceConfig::builder(SESSIONS as f64 * 16.0)
-        .session_b_max(16.0)
-        .group_b_o(8.0)
-        .offline_delay(8)
-        .window(16)
-        .shards(case.shards)
-        .exec(case.exec)
-        .pipeline_depth(case.depth)
-        .build()
-        .expect("valid service config");
-    let mut service = ControlPlane::new(cfg);
-    let keys: Vec<u64> = (0..SESSIONS)
-        .map(|i| {
-            service
-                .admit(["alpha", "beta", "gamma"][i % 3])
-                .expect("budget sized for the population")
-        })
-        .collect();
-    (service, keys)
-}
-
-fn drive(service: &mut ControlPlane, keys: &[u64], ticks: u64, round: &mut u64) {
-    let mut arrivals = Vec::with_capacity(keys.len());
-    for _ in 0..ticks {
-        arrivals.clear();
-        for (i, &key) in keys.iter().enumerate() {
-            arrivals.push((key, ((*round + i as u64) % 5) as f64));
-        }
-        service.tick(black_box(&arrivals)).expect("keys are live");
-        *round += 1;
-    }
-}
+const CRITERION_SESSIONS: &[usize] = &[100, 1_000];
 
 fn ctrl_tick(c: &mut Criterion) {
     let mut group = c.benchmark_group("ctrl_tick");
-    for case in CASES {
-        group.throughput(Throughput::Elements(SESSIONS as u64 * TICKS_PER_ITER));
-        let id = BenchmarkId::new(case.label, SESSIONS);
-        group.bench_with_input(id, case, |b, case| {
-            let (mut service, keys) = service(case);
-            let mut round = 0u64;
-            b.iter(|| drive(&mut service, &keys, TICKS_PER_ITER, &mut round));
-        });
+    for &sessions in CRITERION_SESSIONS {
+        for case in TICK_CASES {
+            group.throughput(Throughput::Elements(sessions as u64 * TICKS_PER_ITER));
+            let id = BenchmarkId::new(case.label, sessions);
+            group.bench_with_input(id, case, |b, case| {
+                let (mut service, keys) = matrix::tick_service(case, sessions);
+                let mut round = 0u64;
+                b.iter(|| matrix::drive(&mut service, &keys, TICKS_PER_ITER, &mut round));
+            });
+        }
     }
     group.finish();
 }
 
 /// Wall-clock pass producing the committed `BENCH_ctrl.json` baseline.
 fn write_report() -> Result<(), String> {
-    let mut results = Vec::new();
-    for case in CASES {
-        let (mut service, keys) = service(case);
-        let mut round = 0u64;
-        drive(&mut service, &keys, JSON_WARMUP_TICKS, &mut round);
-        let started = Instant::now();
-        drive(&mut service, &keys, JSON_MEASURED_TICKS, &mut round);
-        let elapsed = started.elapsed().as_secs_f64();
-        let ticks_per_sec = if elapsed > 0.0 {
-            JSON_MEASURED_TICKS as f64 / elapsed
-        } else {
-            f64::INFINITY
-        };
-        results.push(serde_json::json!({
-            "label": case.label,
-            "sessions": SESSIONS,
-            "shards": case.shards,
-            "exec": match case.exec {
-                ExecMode::Inline => "inline",
-                ExecMode::Threaded => "threaded",
-            },
-            "pipeline_depth": case.depth,
-            "ticks": JSON_MEASURED_TICKS,
-            "elapsed_sec": elapsed,
-            "ticks_per_sec": ticks_per_sec,
-            "session_ticks_per_sec": ticks_per_sec * SESSIONS as f64,
-        }));
-    }
-    let report = serde_json::json!({
-        "bench": "ctrl_tick",
-        "sessions": SESSIONS,
-        "ticks": JSON_MEASURED_TICKS,
-        "results": results,
+    let rows = matrix::run_matrix(matrix::SESSIONS_AXIS, None, None, |row| {
+        println!(
+            "{:>16} × {:>6} sessions: {:.0} ticks/s",
+            row.label, row.sessions, row.ticks_per_sec
+        );
     });
+    let report = matrix::matrix_report(&rows);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ctrl.json");
     let body = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
     std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;

@@ -11,7 +11,7 @@
 //! cdba-cli offline       --trace t.cdba [--bandwidth 64] [--delay 8]
 //! cdba-cli serve         --sessions 100 [--shards 4] [--ticks 100000] [--json snap.json]
 //! cdba-cli gateway       --addr 127.0.0.1:4411 [--sessions 100] [--shards 4] ...
-//! cdba-cli client        --addr 127.0.0.1:4411 --sessions 100 [--ticks 100000] [--json snap.json] [--delta yes]
+//! cdba-cli client        --addr 127.0.0.1:4411 --sessions 100 [--ticks 100000] [--json snap.json] [--delta yes] [--codec binary]
 //! cdba-cli bench-gateway [--ticks 2000] [--connections 1,4,16,32,64] [--out BENCH_gateway.json]
 //! ```
 //!
@@ -24,6 +24,7 @@
 //! multi-session).
 
 use cdba_analysis::cost::CostModel;
+use cdba_bench::matrix;
 use cdba_bench::replay::{run_replay, workload_kind, ReplaySpec};
 use cdba_core::combined::Combined;
 use cdba_core::config::{CombinedConfig, InnerMulti, MultiConfig, SingleConfig};
@@ -61,6 +62,7 @@ fn main() -> ExitCode {
         "serve" => serve(rest),
         "gateway" => gateway(rest),
         "client" => client(rest),
+        "bench-ctrl" => bench_ctrl(rest),
         "bench-gateway" => bench_gateway(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
@@ -96,16 +98,26 @@ usage: cdba-cli <command> [options]
            [--idle-timeout-ms MS] + every `serve` service/workload flag
            (the workload flags fix the default --budget so a `client`
            replay admits exactly like `serve`)
-  client   [--addr HOST:PORT] [--json FILE] [--delta yes] + every `serve`
-           workload flag: replays the same deterministic churn workload
-           over the wire and writes the same snapshot JSON as `serve`;
-           --delta yes polls wire-v2 delta snapshots and reconstructs the
-           final snapshot from the diff
+  client   [--addr HOST:PORT] [--json FILE] [--delta yes]
+           [--codec json|binary] + every `serve` workload flag: replays
+           the same deterministic churn workload over the wire and writes
+           the same snapshot JSON as `serve`; --delta yes polls wire-v2
+           delta snapshots and reconstructs the final snapshot from the
+           diff; --codec binary fetches wire-v3 binary bodies instead of
+           JSON (the decoded snapshot is identical either way)
+  bench-ctrl [--sessions 100,1000,10000,100000] [--warmup W] [--ticks T]
+           [--out BENCH_ctrl.json]
+           measures the in-process tick matrix (every exec/shards/depth
+           case over each session population) and writes the
+           machine-readable report the CI bench gate reads
   bench-gateway [--ticks T] [--sessions N] [--out FILE]
-           [--connections 1,4,16,32,64]
+           [--connections 1,4,16,32,64] [--session-sweep 100,1000,...]
            drives ticks from one thread over each connection count using
            no-ack staging + count-gated commits (one round trip per tick)
-           and writes machine-readable throughput/latency JSON";
+           and writes machine-readable throughput/latency JSON;
+           --session-sweep appends rows at 16 connections across the
+           given populations with the tick count scaled down as the
+           population grows";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -589,7 +601,8 @@ fn gateway(args: &[String]) -> CliResult {
 /// flags, the written snapshot's placement-invariant view is
 /// bitwise-identical to the in-process run's — including when `--delta
 /// yes` fetches the final state as a wire-v2 delta against a pre-replay
-/// baseline and reconstructs it client-side.
+/// baseline and reconstructs it client-side, and when `--codec binary`
+/// fetches wire-v3 binary bodies instead of JSON.
 fn client(args: &[String]) -> CliResult {
     let flags = parse_flags(args)?;
     let spec = replay_spec_from_flags(&flags)?;
@@ -599,18 +612,28 @@ fn client(args: &[String]) -> CliResult {
         .cloned()
         .unwrap_or_else(|| "127.0.0.1:4411".into());
     let delta_mode = flags.get("delta").map(String::as_str) == Some("yes");
+    let binary = match flags.get("codec").map(String::as_str) {
+        None | Some("json") => false,
+        Some("binary") => true,
+        Some(other) => return Err(format!("unknown --codec {other} (json|binary)")),
+    };
     let mut client =
         Client::connect_with(addr.as_str(), ClientConfig::default()).map_err(|e| e.to_string())?;
     if delta_mode {
         // Establish the delta baseline before the replay so the final
         // poll diffs across the whole run's churn.
-        client.snapshot_delta().map_err(|e| e.to_string())?;
+        if binary {
+            client.snapshot_delta_bin().map_err(|e| e.to_string())?;
+        } else {
+            client.snapshot_delta().map_err(|e| e.to_string())?;
+        }
     }
     let outcome = run_replay(&mut client, &spec)?;
-    let snap = if delta_mode {
-        client.snapshot_delta().map_err(|e| e.to_string())?
-    } else {
-        client.snapshot().map_err(|e| e.to_string())?
+    let snap = match (delta_mode, binary) {
+        (true, true) => client.snapshot_delta_bin().map_err(|e| e.to_string())?,
+        (true, false) => client.snapshot_delta().map_err(|e| e.to_string())?,
+        (false, true) => client.snapshot_bin().map_err(|e| e.to_string())?,
+        (false, false) => client.snapshot().map_err(|e| e.to_string())?,
     };
     client.goodbye().map_err(|e| e.to_string())?;
 
@@ -698,98 +721,38 @@ fn bench_gateway(args: &[String]) -> CliResult {
             .collect::<Result<_, String>>()?,
     };
 
+    let sweep_list: Vec<usize> = match flags.get("session-sweep") {
+        None => Vec::new(),
+        Some(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --session-sweep entry {s}: {e}"))
+                    .and_then(|n| {
+                        if n == 0 {
+                            Err("--session-sweep entries must be >= 1".into())
+                        } else {
+                            Ok(n)
+                        }
+                    })
+            })
+            .collect::<Result<_, String>>()?,
+    };
+
     let mut results = Vec::new();
+    // Connections sweep: the committed baseline's wire-scaling axis.
     for &conns in &conn_list {
-        let per_conn = (sessions / conns).max(1);
-        let total = per_conn * conns;
-        let b_max = 16.0;
-        let cfg = ServiceConfig::builder(total as f64 * b_max + b_max)
-            .session_b_max(b_max)
-            .offline_delay(8)
-            .offline_utilization(0.5)
-            .window(16)
-            .cost(CostModel::with_change_price(1.0))
-            .exec(ExecMode::Inline)
-            .build()
-            .map_err(|e| e.to_string())?;
-        let gateway_cfg = GatewayConfig {
-            workers: conns + 2,
-            accept_backlog: conns.max(16),
-            ..GatewayConfig::default()
-        };
-        let server = GatewayServer::start(cfg, gateway_cfg).map_err(|e| e.to_string())?;
-        let addr = server.local_addr();
-
-        // One driver, `conns` sockets: connection 0 commits, the rest
-        // stage without acknowledgement.
-        let mut clients = Vec::with_capacity(conns);
-        let mut keys: Vec<Vec<u64>> = Vec::with_capacity(conns);
-        for _ in 0..conns {
-            let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
-            let mut owned = Vec::with_capacity(per_conn);
-            for _ in 0..per_conn {
-                owned.push(client.join("bench").map_err(|e| e.to_string())?);
-            }
-            clients.push(client);
-            keys.push(owned);
-        }
-
-        let started = std::time::Instant::now();
-        let mut arrivals = Vec::with_capacity(per_conn);
-        for t in 0..ticks {
-            let mut staged: u32 = 0;
-            for c in 1..conns {
-                arrivals.clear();
-                for &key in &keys[c] {
-                    let bits = ((t + key) % 3) as f64;
-                    if bits > 0.0 {
-                        arrivals.push((key, bits));
-                    }
-                }
-                staged += arrivals.len() as u32;
-                clients[c]
-                    .stage_noack(&arrivals)
-                    .map_err(|e| e.to_string())?;
-            }
-            arrivals.clear();
-            for &key in &keys[0] {
-                let bits = ((t + key) % 3) as f64;
-                if bits > 0.0 {
-                    arrivals.push((key, bits));
-                }
-            }
-            staged += arrivals.len() as u32;
-            clients[0]
-                .tick_sync(&arrivals, staged)
-                .map_err(|e| e.to_string())?;
-        }
-        let elapsed = started.elapsed().as_secs_f64();
-        let wire = server.wire_stats();
-        for client in clients {
-            client.goodbye().map_err(|e| e.to_string())?;
-        }
-        server.shutdown().map_err(|e| e.to_string())?;
-
-        let ticks_per_sec = if elapsed > 0.0 {
-            ticks as f64 / elapsed
-        } else {
-            f64::INFINITY
-        };
-        println!(
-            "{conns:>2} connection(s) × {per_conn} session(s): {ticks_per_sec:.0} ticks/s, \
-             {} requests, p50 {} µs, p99 {} µs",
-            wire.requests, wire.latency_p50_us, wire.latency_p99_us,
-        );
-        results.push(serde_json::json!({
-            "connections": conns,
-            "sessions": total,
-            "ticks": ticks,
-            "elapsed_sec": elapsed,
-            "ticks_per_sec": ticks_per_sec,
-            "requests": wire.requests,
-            "latency_p50_us": wire.latency_p50_us,
-            "latency_p99_us": wire.latency_p99_us,
-        }));
+        let total = ((sessions / conns).max(1)) * conns;
+        results.push(gateway_cell(conns, total, ticks)?);
+    }
+    // Sessions sweep: fixed 16 connections, tick count scaled down as
+    // the population grows so every row stages a comparable number of
+    // session-ticks.
+    for &swept in &sweep_list {
+        let conns = 16;
+        let scaled = ((ticks * 16) / swept.max(1) as u64).clamp(20, ticks);
+        results.push(gateway_cell(conns, swept.max(conns), scaled)?);
     }
 
     let report = serde_json::json!({
@@ -797,6 +760,154 @@ fn bench_gateway(args: &[String]) -> CliResult {
         "ticks": ticks,
         "results": results,
     });
+    let body = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&out, body).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+/// One bench-gateway cell: `total` sessions spread over `conns`
+/// connections (remainder sessions go to the earliest connections),
+/// driven for `ticks` ticks from a single thread.
+fn gateway_cell(conns: usize, total: usize, ticks: u64) -> Result<serde_json::Value, String> {
+    let b_max = 16.0;
+    let cfg = ServiceConfig::builder(total as f64 * b_max + b_max)
+        .session_b_max(b_max)
+        .offline_delay(8)
+        .offline_utilization(0.5)
+        .window(16)
+        .cost(CostModel::with_change_price(1.0))
+        .exec(ExecMode::Inline)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let gateway_cfg = GatewayConfig {
+        workers: conns + 2,
+        accept_backlog: conns.max(16),
+        ..GatewayConfig::default()
+    };
+    let server = GatewayServer::start(cfg, gateway_cfg).map_err(|e| e.to_string())?;
+    let addr = server.local_addr();
+
+    // One driver, `conns` sockets: connection 0 commits, the rest
+    // stage without acknowledgement.
+    let mut clients = Vec::with_capacity(conns);
+    let mut keys: Vec<Vec<u64>> = Vec::with_capacity(conns);
+    for c in 0..conns {
+        let per_conn = total / conns + usize::from(c < total % conns);
+        let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+        let mut owned = Vec::with_capacity(per_conn);
+        for _ in 0..per_conn {
+            owned.push(client.join("bench").map_err(|e| e.to_string())?);
+        }
+        clients.push(client);
+        keys.push(owned);
+    }
+
+    let started = std::time::Instant::now();
+    let mut arrivals = Vec::with_capacity(total / conns + 1);
+    for t in 0..ticks {
+        let mut staged: u32 = 0;
+        for c in 1..conns {
+            arrivals.clear();
+            for &key in &keys[c] {
+                let bits = ((t + key) % 3) as f64;
+                if bits > 0.0 {
+                    arrivals.push((key, bits));
+                }
+            }
+            staged += arrivals.len() as u32;
+            clients[c]
+                .stage_noack(&arrivals)
+                .map_err(|e| e.to_string())?;
+        }
+        arrivals.clear();
+        for &key in &keys[0] {
+            let bits = ((t + key) % 3) as f64;
+            if bits > 0.0 {
+                arrivals.push((key, bits));
+            }
+        }
+        staged += arrivals.len() as u32;
+        clients[0]
+            .tick_sync(&arrivals, staged)
+            .map_err(|e| e.to_string())?;
+    }
+    let elapsed = started.elapsed().as_secs_f64();
+    let wire = server.wire_stats();
+    for client in clients {
+        client.goodbye().map_err(|e| e.to_string())?;
+    }
+    server.shutdown().map_err(|e| e.to_string())?;
+
+    let ticks_per_sec = if elapsed > 0.0 {
+        ticks as f64 / elapsed
+    } else {
+        f64::INFINITY
+    };
+    println!(
+        "{conns:>2} connection(s), {total} session(s): {ticks_per_sec:.0} ticks/s, \
+         {} requests, p50 {} µs, p99 {} µs",
+        wire.requests, wire.latency_p50_us, wire.latency_p99_us,
+    );
+    Ok(serde_json::json!({
+        "connections": conns,
+        "sessions": total,
+        "ticks": ticks,
+        "elapsed_sec": elapsed,
+        "ticks_per_sec": ticks_per_sec,
+        "requests": wire.requests,
+        "latency_p50_us": wire.latency_p50_us,
+        "latency_p99_us": wire.latency_p99_us,
+    }))
+}
+
+/// `bench-ctrl`: measure the in-process sessions × shards tick matrix
+/// and write the `BENCH_ctrl.json`-shaped report the CI bench gate reads.
+/// Shares [`cdba_bench::matrix`] with the `ctrl_tick` criterion bench, so
+/// a CLI run and a bench run measure identical configurations.
+fn bench_ctrl(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_ctrl.json".into());
+    let sessions_list: Vec<usize> = match flags.get("sessions") {
+        None => matrix::SESSIONS_AXIS.to_vec(),
+        Some(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --sessions entry {s}: {e}"))
+                    .and_then(|n| {
+                        if n == 0 {
+                            Err("--sessions entries must be >= 1".into())
+                        } else {
+                            Ok(n)
+                        }
+                    })
+            })
+            .collect::<Result<_, String>>()?,
+    };
+    let warmup: Option<u64> = flags
+        .get("warmup")
+        .map(|raw| raw.parse().map_err(|e| format!("bad --warmup {raw}: {e}")))
+        .transpose()?;
+    let ticks: Option<u64> = flags
+        .get("ticks")
+        .map(|raw| raw.parse().map_err(|e| format!("bad --ticks {raw}: {e}")))
+        .transpose()?;
+
+    let rows = matrix::run_matrix(&sessions_list, warmup, ticks, |row| {
+        println!(
+            "{:>16} × {:>6} sessions: {:.0} ticks/s ({:.0} session-ticks/s)",
+            row.label,
+            row.sessions,
+            row.ticks_per_sec,
+            row.ticks_per_sec * row.sessions as f64,
+        );
+    });
+    let report = matrix::matrix_report(&rows);
     let body = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
     std::fs::write(&out, body).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");

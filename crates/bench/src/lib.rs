@@ -1,10 +1,12 @@
-//! Shared fixtures for the criterion benches and the `repro` binary, plus
-//! the churn-replay workload ([`replay`]) shared by the `cdba-cli`
-//! serve/client/bench-gateway subcommands.
+//! Shared fixtures for the criterion benches and the `repro` binary, the
+//! churn-replay workload ([`replay`]) shared by the `cdba-cli`
+//! serve/client/bench-gateway subcommands, and the sessions × shards
+//! tick-throughput matrix ([`matrix`]) behind `BENCH_ctrl.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod matrix;
 pub mod replay;
 
 use cdba_traffic::models::{MmppParams, WorkloadKind};

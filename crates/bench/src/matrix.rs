@@ -1,0 +1,261 @@
+//! The sessions × shards tick-throughput matrix shared by the
+//! `ctrl_tick` criterion bench and the `cdba-cli bench-ctrl` subcommand.
+//!
+//! Both entry points must measure the *same* configurations the same way
+//! for the committed `BENCH_ctrl.json` baseline to mean anything: one
+//! populated control plane per (case, sessions) cell, arrivals built
+//! outside the service, a warmup pass, then a wall-clock measured pass.
+//! The sessions axis runs 100 → 100 000 with the measured tick count
+//! scaled down as the population grows, so every cell does a comparable
+//! amount of allocator work.
+//!
+//! The interesting shape of the matrix: at 100 sessions the inline
+//! single-threaded backend wins (per-tick work is too small to amortize
+//! cross-thread dispatch), while from 10 000 sessions up the threaded
+//! 4-shard backend must win — the inversion the CI gate pins.
+
+use cdba_ctrl::{ControlPlane, ExecMode, ServiceConfig};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// One benchmarked service configuration.
+pub struct TickCase {
+    /// Stable row label, e.g. `threaded/s4/d4`.
+    pub label: &'static str,
+    /// Shard count.
+    pub shards: usize,
+    /// Inline or threaded backend.
+    pub exec: ExecMode,
+    /// Pipeline depth (dispatched-but-unacked ticks in flight).
+    pub depth: u32,
+}
+
+/// The standard benchmarked configurations: the inline baseline against
+/// threaded backends across shard count and pipeline depth.
+pub const TICK_CASES: &[TickCase] = &[
+    TickCase {
+        label: "inline/s1",
+        shards: 1,
+        exec: ExecMode::Inline,
+        depth: 1,
+    },
+    TickCase {
+        label: "threaded/s1/d4",
+        shards: 1,
+        exec: ExecMode::Threaded,
+        depth: 4,
+    },
+    TickCase {
+        label: "threaded/s4/d1",
+        shards: 4,
+        exec: ExecMode::Threaded,
+        depth: 1,
+    },
+    TickCase {
+        label: "threaded/s4/d4",
+        shards: 4,
+        exec: ExecMode::Threaded,
+        depth: 4,
+    },
+];
+
+/// The standard session-population axis of the committed baseline.
+pub const SESSIONS_AXIS: &[usize] = &[100, 1_000, 10_000, 100_000];
+
+/// Measured ticks for a population size: scaled down as sessions grow so
+/// every cell drives a comparable number of session-ticks.
+pub fn measured_ticks(sessions: usize) -> u64 {
+    match sessions {
+        0..=100 => 2_048,
+        101..=1_000 => 1_024,
+        1_001..=10_000 => 512,
+        _ => 128,
+    }
+}
+
+/// Warmup ticks for a population size (an eighth of the measured pass).
+pub fn warmup_ticks(sessions: usize) -> u64 {
+    (measured_ticks(sessions) / 8).max(8)
+}
+
+/// Builds and populates the control plane for one matrix cell. The
+/// budget is sized to the population, so every admit succeeds.
+pub fn tick_service(case: &TickCase, sessions: usize) -> (ControlPlane, Vec<u64>) {
+    let cfg = ServiceConfig::builder(sessions as f64 * 16.0)
+        .session_b_max(16.0)
+        .group_b_o(8.0)
+        .offline_delay(8)
+        .window(16)
+        .shards(case.shards)
+        .exec(case.exec)
+        .pipeline_depth(case.depth)
+        .build()
+        .expect("valid service config");
+    let mut service = ControlPlane::new(cfg);
+    let keys: Vec<u64> = (0..sessions)
+        .map(|i| {
+            service
+                .admit(["alpha", "beta", "gamma"][i % 3])
+                .expect("budget sized for the population")
+        })
+        .collect();
+    (service, keys)
+}
+
+/// Drives `ticks` ticks of deterministic arrivals through the service.
+/// `round` carries the arrival phase across calls so warmup and measured
+/// passes see a continuous stream.
+pub fn drive(service: &mut ControlPlane, keys: &[u64], ticks: u64, round: &mut u64) {
+    let mut arrivals = Vec::with_capacity(keys.len());
+    for _ in 0..ticks {
+        arrivals.clear();
+        for (i, &key) in keys.iter().enumerate() {
+            arrivals.push((key, ((*round + i as u64) % 5) as f64));
+        }
+        service.tick(black_box(&arrivals)).expect("keys are live");
+        *round += 1;
+    }
+}
+
+/// One measured matrix cell, ready to serialize into `BENCH_ctrl.json`.
+#[derive(Debug, Clone)]
+pub struct TickMeasurement {
+    /// The case's row label.
+    pub label: &'static str,
+    /// Session population.
+    pub sessions: usize,
+    /// Shard count.
+    pub shards: usize,
+    /// `"inline"` or `"threaded"`.
+    pub exec: &'static str,
+    /// Pipeline depth.
+    pub depth: u32,
+    /// Measured ticks.
+    pub ticks: u64,
+    /// Wall-clock seconds for the measured pass.
+    pub elapsed_sec: f64,
+    /// Ticks per second.
+    pub ticks_per_sec: f64,
+}
+
+impl TickMeasurement {
+    /// The `BENCH_ctrl.json` row for this cell.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "label": self.label,
+            "sessions": self.sessions,
+            "shards": self.shards,
+            "exec": self.exec,
+            "pipeline_depth": self.depth,
+            "ticks": self.ticks,
+            "elapsed_sec": self.elapsed_sec,
+            "ticks_per_sec": self.ticks_per_sec,
+            "session_ticks_per_sec": self.ticks_per_sec * self.sessions as f64,
+        })
+    }
+}
+
+/// Measures one (case, sessions) cell: populate, warm up, then time a
+/// measured pass. `warmup`/`measured` default to the standard scaled
+/// counts when `None` (the CLI overrides them for quick smoke runs).
+pub fn measure_cell(
+    case: &TickCase,
+    sessions: usize,
+    warmup: Option<u64>,
+    measured: Option<u64>,
+) -> TickMeasurement {
+    let warmup = warmup.unwrap_or_else(|| warmup_ticks(sessions));
+    let measured = measured.unwrap_or_else(|| measured_ticks(sessions));
+    let (mut service, keys) = tick_service(case, sessions);
+    let mut round = 0u64;
+    drive(&mut service, &keys, warmup, &mut round);
+    let started = Instant::now();
+    drive(&mut service, &keys, measured, &mut round);
+    let elapsed = started.elapsed().as_secs_f64();
+    service.shutdown();
+    let ticks_per_sec = if elapsed > 0.0 {
+        measured as f64 / elapsed
+    } else {
+        f64::INFINITY
+    };
+    TickMeasurement {
+        label: case.label,
+        sessions,
+        shards: case.shards,
+        exec: match case.exec {
+            ExecMode::Inline => "inline",
+            ExecMode::Threaded => "threaded",
+        },
+        depth: case.depth,
+        ticks: measured,
+        elapsed_sec: elapsed,
+        ticks_per_sec,
+    }
+}
+
+/// Runs the full matrix: every standard case over `sessions_list`,
+/// reporting progress through `progress`. The returned rows are in
+/// (sessions, case) order — the order `BENCH_ctrl.json` commits.
+pub fn run_matrix(
+    sessions_list: &[usize],
+    warmup: Option<u64>,
+    measured: Option<u64>,
+    mut progress: impl FnMut(&TickMeasurement),
+) -> Vec<TickMeasurement> {
+    let mut rows = Vec::with_capacity(sessions_list.len() * TICK_CASES.len());
+    for &sessions in sessions_list {
+        for case in TICK_CASES {
+            let row = measure_cell(case, sessions, warmup, measured);
+            progress(&row);
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+/// Renders matrix rows as the `BENCH_ctrl.json` document. The measuring
+/// host's core count is recorded because the matrix's headline property —
+/// threaded/4-shard overtaking inline at ≥ 10 000 sessions — is a
+/// statement about parallel hardware: on a single-core host the threaded
+/// backends pay dispatch overhead with nothing to overlap against, and
+/// the inversion gate reads `cores` to know whether the comparison is
+/// meaningful.
+pub fn matrix_report(rows: &[TickMeasurement]) -> serde_json::Value {
+    serde_json::json!({
+        "bench": "ctrl_tick",
+        "cores": host_cores(),
+        "results": rows.iter().map(TickMeasurement::to_json).collect::<Vec<_>>(),
+    })
+}
+
+/// The measuring host's available parallelism.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_ticks_scale_down_with_population() {
+        let scaled: Vec<u64> = SESSIONS_AXIS.iter().map(|&s| measured_ticks(s)).collect();
+        assert_eq!(scaled, vec![2_048, 1_024, 512, 128]);
+        assert!(scaled.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn a_tiny_cell_measures_and_reports() {
+        let row = measure_cell(&TICK_CASES[0], 8, Some(4), Some(16));
+        assert_eq!(row.label, "inline/s1");
+        assert_eq!(row.sessions, 8);
+        assert_eq!(row.ticks, 16);
+        assert!(row.ticks_per_sec > 0.0);
+        let doc = matrix_report(std::slice::from_ref(&row));
+        let body = serde_json::to_string(&doc).expect("report renders");
+        assert!(body.contains("\"label\":\"inline/s1\""), "body: {body}");
+        assert!(body.contains("\"sessions\":8"), "body: {body}");
+    }
+}

@@ -145,9 +145,40 @@ impl HighTracker {
     ///
     /// # Panics
     ///
-    /// Panics under the same conditions as [`HighTracker::new`].
+    /// Panics under the same conditions as [`HighTracker::new`], and on a
+    /// state no tracker could have produced: a window longer than `w`, a
+    /// negative or non-finite `window_sum`, non-finite (or negative) window
+    /// entries, a non-finite `min_window_sum`, or fewer ticks than window
+    /// entries.
     pub fn restore(state: &HighTrackerState) -> Self {
         let mut t = HighTracker::new(state.u_o, state.w, state.grace);
+        assert!(
+            state.window.len() <= state.w,
+            "window holds {} entries but w is {}",
+            state.window.len(),
+            state.w
+        );
+        assert!(
+            state.window.iter().all(|a| a.is_finite() && *a >= 0.0),
+            "window entries must be non-negative and finite"
+        );
+        assert!(
+            state.window_sum.is_finite() && state.window_sum >= 0.0,
+            "window_sum {} must be non-negative and finite",
+            state.window_sum
+        );
+        if let Some(min) = state.min_window_sum {
+            assert!(
+                min.is_finite() && min >= 0.0,
+                "min_window_sum {min} must be non-negative and finite"
+            );
+        }
+        assert!(
+            state.ticks >= state.window.len(),
+            "{} ticks cannot have filled {} window entries",
+            state.ticks,
+            state.window.len()
+        );
         t.window = state.window.iter().copied().collect();
         t.window_sum = state.window_sum;
         t.min_window_sum = state.min_window_sum.unwrap_or(f64::INFINITY);
@@ -208,6 +239,52 @@ mod tests {
     #[should_panic(expected = "utilization")]
     fn bad_utilization_rejected() {
         HighTracker::new(0.0, 4, 8.0);
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_states() {
+        let good = {
+            let mut t = HighTracker::new(0.5, 4, 64.0);
+            for a in [3.0, 0.0, 5.0, 2.0, 1.0] {
+                t.push(a);
+            }
+            t.state()
+        };
+        assert_eq!(HighTracker::restore(&good).state(), good);
+
+        type Corruption = Box<dyn Fn(&mut HighTrackerState)>;
+        let cases: Vec<(&str, Corruption)> = vec![
+            ("window holds", Box::new(|s| s.window.push(1.0))),
+            ("window_sum", Box::new(|s| s.window_sum = -1.0)),
+            ("window_sum", Box::new(|s| s.window_sum = f64::NAN)),
+            (
+                "non-negative and finite",
+                Box::new(|s| s.window[0] = f64::INFINITY),
+            ),
+            ("non-negative and finite", Box::new(|s| s.window[1] = -2.0)),
+            (
+                "min_window_sum",
+                Box::new(|s| s.min_window_sum = Some(f64::NAN)),
+            ),
+            ("ticks", Box::new(|s| s.ticks = 2)),
+            ("utilization", Box::new(|s| s.u_o = 1.5)),
+            ("grace", Box::new(|s| s.grace = f64::INFINITY)),
+        ];
+        for (expected, corrupt) in cases {
+            let mut bad = good.clone();
+            corrupt(&mut bad);
+            let err = std::panic::catch_unwind(|| HighTracker::restore(&bad))
+                .expect_err("inconsistent state must be rejected");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            assert!(
+                msg.contains(expected),
+                "panic {msg:?} should mention {expected:?}"
+            );
+        }
     }
 
     #[test]

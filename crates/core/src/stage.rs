@@ -80,6 +80,12 @@ impl StageLog {
         &self.records
     }
 
+    /// Rebuilds a log from exported records (e.g. a decoded checkpoint).
+    /// The records are taken verbatim; ordering is the caller's contract.
+    pub fn from_records(records: Vec<StageRecord>) -> Self {
+        StageLog { records }
+    }
+
     /// Number of *completed* stages — the offline-change lower bound
     /// certificate (each completed stage forces ≥ 1 offline change).
     pub fn completed(&self) -> usize {

@@ -58,12 +58,14 @@
 //! ```
 
 pub mod admission;
+pub mod codec;
 pub mod config;
 pub mod fault;
 pub mod meter;
 pub mod metrics;
 pub mod service;
 pub(crate) mod shard;
+pub(crate) mod slab;
 
 pub use admission::{AdmissionController, AdmissionError};
 pub use config::{ExecMode, ServiceConfig, ServiceConfigBuilder};

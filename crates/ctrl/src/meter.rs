@@ -23,6 +23,7 @@ use cdba_sim::BitQueue;
 use cdba_traffic::EPS;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Rounds an exact (possibly fractional) delay up to reported whole ticks,
 /// with explicit non-finite handling: NaN and non-positive values report
@@ -43,8 +44,9 @@ fn delay_ticks(exact: f64) -> u64 {
 pub struct SessionMetrics {
     /// The service-wide session key.
     pub session: u64,
-    /// Owning tenant.
-    pub tenant: String,
+    /// Owning tenant. Shared with the driver's placement records: stamping
+    /// metrics costs a refcount bump, not a string copy per session.
+    pub tenant: Arc<str>,
     /// Shard the session ran on (placement detail; excluded from
     /// shard-count-invariance comparisons).
     pub shard: u64,
@@ -261,10 +263,10 @@ impl SignallingMeter {
     }
 
     /// The metered totals so far, labelled for export.
-    pub fn metrics(&self, session: u64, tenant: &str, shard: u64) -> SessionMetrics {
+    pub fn metrics(&self, session: u64, tenant: Arc<str>, shard: u64) -> SessionMetrics {
         SessionMetrics {
             session,
-            tenant: tenant.to_string(),
+            tenant,
             shard,
             ticks: self.ticks,
             changes: self.changes,
@@ -294,7 +296,7 @@ mod tests {
         m.record(2.0, 4.0); // 0 → 4: change
         m.record(2.0, 4.0);
         m.record(2.0, 8.0); // 4 → 8: change
-        let x = m.metrics(1, "acme", 0);
+        let x = m.metrics(1, "acme".into(), 0);
         assert_eq!(x.changes, 2);
         assert_eq!(x.signalling_cost, 20.0);
         assert_eq!(x.bandwidth_cost, 16.0);
@@ -311,7 +313,7 @@ mod tests {
             m.record(0.0, 2.0);
         }
         // 10 bits at 2/tick: last bit leaves during tick 4.
-        assert_eq!(m.metrics(0, "t", 0).max_delay, 4);
+        assert_eq!(m.metrics(0, "t".into(), 0).max_delay, 4);
         assert!(m.is_drained());
     }
 
@@ -321,11 +323,11 @@ mod tests {
         for _ in 0..4 {
             m.record(2.0, 4.0); // first full window: 8/16 = 0.5
         }
-        assert_eq!(m.metrics(0, "t", 0).windowed_utilization, Some(0.5));
+        assert_eq!(m.metrics(0, "t".into(), 0).windowed_utilization, Some(0.5));
         for _ in 0..4 {
             m.record(0.0, 4.0); // window decays to 0/16
         }
-        assert_eq!(m.metrics(0, "t", 0).windowed_utilization, Some(0.0));
+        assert_eq!(m.metrics(0, "t".into(), 0).windowed_utilization, Some(0.0));
     }
 
     #[test]
@@ -333,7 +335,7 @@ mod tests {
         let mut m = meter();
         m.record(1.0, 1.0);
         m.record(1.0, 1.0);
-        assert_eq!(m.metrics(0, "t", 0).windowed_utilization, None);
+        assert_eq!(m.metrics(0, "t".into(), 0).windowed_utilization, None);
     }
 
     #[test]
@@ -342,8 +344,8 @@ mod tests {
         for _ in 0..6 {
             m.record(0.0, 0.0);
         }
-        assert_eq!(m.metrics(0, "t", 0).windowed_utilization, None);
-        assert_eq!(m.metrics(0, "t", 0).changes, 0);
+        assert_eq!(m.metrics(0, "t".into(), 0).windowed_utilization, None);
+        assert_eq!(m.metrics(0, "t".into(), 0).changes, 0);
     }
 
     #[test]
@@ -355,7 +357,7 @@ mod tests {
         m.record(0.0, 4.0);
         m.record(0.0, 4.0);
         m.record(0.0, 4.0);
-        assert_eq!(m.metrics(0, "t", 0).max_delay, 3);
+        assert_eq!(m.metrics(0, "t".into(), 0).max_delay, 3);
         assert!(m.is_drained());
     }
 
@@ -384,7 +386,7 @@ mod tests {
             m.record(a, b);
             twin.record(a, b);
         }
-        assert_eq!(m.metrics(1, "t", 0), twin.metrics(1, "t", 0));
+        assert_eq!(m.metrics(1, "t".into(), 0), twin.metrics(1, "t".into(), 0));
         assert_eq!(m.backlog().to_bits(), twin.backlog().to_bits());
     }
 
@@ -393,7 +395,7 @@ mod tests {
         let mut m = meter();
         m.record(f64::NAN, f64::INFINITY);
         m.record(-3.0, -1.0);
-        let x = m.metrics(0, "t", 0);
+        let x = m.metrics(0, "t".into(), 0);
         assert_eq!(x.total_arrived, 0.0);
         assert_eq!(x.total_allocated, 0.0);
         assert_eq!(x.changes, 0);

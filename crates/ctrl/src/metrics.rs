@@ -265,7 +265,7 @@ mod tests {
     fn metric(session: u64, shard: u64, changes: u64, arrived: f64) -> SessionMetrics {
         SessionMetrics {
             session,
-            tenant: format!("t{session}"),
+            tenant: format!("t{session}").into(),
             shard,
             ticks: 10,
             changes,

@@ -446,10 +446,12 @@ impl ControlPlane {
         let cfg = self.cfg.clone();
         // The replay runs on the driver thread; guard it so a poison event
         // that deterministically panics the shard cannot take the driver
-        // down with it.
+        // down with it. The guard also covers decoding the checkpoint's
+        // binary payload: a malformed payload downs the shard, not the
+        // driver.
         let rebuilt = catch_unwind(AssertUnwindSafe(|| {
             let mut state = match &cp {
-                Some(cp) => ShardState::restore(shard as u64, &cfg, &cp.state),
+                Some(cp) => ShardState::restore(shard as u64, &cfg, &cp.decode_state()),
                 None => ShardState::new(shard as u64, &cfg),
             };
             for ev in &journal {
@@ -812,7 +814,9 @@ impl ControlPlane {
         let mut sessions = Vec::new();
         if let Backend::Inline(states) = &mut self.backend {
             for state in states.iter_mut() {
-                sessions.extend(state.report().sessions);
+                let report = state.report();
+                sessions.extend(report.retired.iter().cloned());
+                sessions.extend(report.live);
             }
             return sessions;
         }
@@ -883,7 +887,8 @@ impl ControlPlane {
                 // The reply proves every previously dispatched event was
                 // applied (the queue is FIFO).
                 self.sups[shard].inflight = 0;
-                sessions.extend(report.sessions);
+                sessions.extend(report.retired.iter().cloned());
+                sessions.extend(report.live);
             }
             if pending.is_empty() {
                 break;

@@ -8,10 +8,17 @@
 //! (a pooled group lives wholly on one shard), which is what makes the
 //! service's metrics invariant under the shard count.
 //!
+//! Sessions live in a dense generational [`Slab`] indexed by a
+//! direct-mapped [`KeyMap`] (see [`crate::slab`]): the tick hot path pays
+//! one array access per arrival instead of a hash + probe, and entries
+//! stay contiguous. Retired-session metrics accumulate behind an `Arc`
+//! with copy-on-retire sharing, so a steady-state report costs O(live
+//! sessions) regardless of how many sessions have come and gone.
+//!
 //! Threaded workers are supervised: [`run_worker`] catches panics
 //! (reporting a typed [`ShardFailure`] instead of dying silently),
-//! periodically ships a [`ShardCheckpoint`] — a serde snapshot of every
-//! session's meter and algorithm state — back to the driver, honours a
+//! periodically ships a [`ShardCheckpoint`] — the binary-encoded state of
+//! every session's meter and algorithm — back to the driver, honours a
 //! cancellation flag so a superseded worker cannot corrupt anything after
 //! the supervisor moves on, and hosts the fault-injection hooks of
 //! [`crate::fault`]. Every message carries the worker's *epoch* so the
@@ -20,13 +27,13 @@
 use crate::config::ServiceConfig;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::meter::{MeterCheckpoint, SessionMetrics, SignallingMeter};
+use crate::slab::{KeyMap, Slab, SlotId};
 use cdba_analysis::cost::CostModel;
 use cdba_core::config::{MultiConfig, SingleConfig};
 use cdba_core::multi::pool::{PoolCheckpoint, SessionId as PoolSessionId, SessionPool};
 use cdba_core::single::{SingleCheckpoint, SingleSession};
 use cdba_sim::Allocator;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -77,6 +84,10 @@ pub(crate) enum Event {
 }
 
 /// One shard's answer to [`Event::Collect`].
+///
+/// Retired metrics are shared with the shard's accumulator (`Arc`), so a
+/// steady-state report allocates proportionally to the *live* session
+/// count only.
 #[derive(Debug, Clone)]
 pub(crate) struct ShardReport {
     /// The reporting shard.
@@ -84,9 +95,10 @@ pub(crate) struct ShardReport {
     /// Epoch of the worker that produced the report (0 inline). The driver
     /// discards reports from superseded workers.
     pub epoch: u64,
-    /// Metrics of every session the shard has seen: live ones at their
-    /// current totals, retired ones frozen at retirement.
-    pub sessions: Vec<SessionMetrics>,
+    /// Metrics of retired sessions, frozen at retirement.
+    pub retired: Arc<Vec<SessionMetrics>>,
+    /// Metrics of live sessions at their current totals, in slot order.
+    pub live: Vec<SessionMetrics>,
 }
 
 /// A replayable control event, as the driver journals it. Everything but
@@ -164,6 +176,11 @@ pub(crate) struct ShardFailure {
 
 /// A periodic snapshot of one shard, shipped to the driver so a restarted
 /// worker can resume from it instead of replaying the whole history.
+///
+/// The state travels as one binary [`crate::codec`] payload: the worker
+/// encodes into a buffer it reuses across checkpoints, so the steady-state
+/// cost per checkpoint is one encode pass plus one `Arc<[u8]>` copy — not
+/// a deep clone of every session's meter and algorithm state.
 #[derive(Debug, Clone)]
 pub(crate) struct ShardCheckpoint {
     /// The checkpointing shard.
@@ -174,8 +191,22 @@ pub(crate) struct ShardCheckpoint {
     /// driver trims its journal to this point: recovery restores the
     /// state and replays only the journal suffix past this count.
     pub events_applied: u64,
-    /// The restorable shard state.
-    pub state: ShardStateCheckpoint,
+    /// The restorable shard state, binary-encoded
+    /// ([`crate::codec::checkpoint`]).
+    pub bytes: Arc<[u8]>,
+}
+
+impl ShardCheckpoint {
+    /// Decodes the carried state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the payload is malformed — impossible for worker-produced
+    /// checkpoints; recovery runs this under `catch_unwind`, so a decode
+    /// failure degrades to a downed shard rather than a driver crash.
+    pub fn decode_state(&self) -> ShardStateCheckpoint {
+        crate::codec::checkpoint::decode(&self.bytes).expect("shard checkpoint payload is valid")
+    }
 }
 
 /// A restorable snapshot of one session entry.
@@ -184,7 +215,7 @@ pub(crate) struct SessionCheckpoint {
     /// Service-wide session key.
     pub key: u64,
     /// Owning tenant.
-    pub tenant: String,
+    pub tenant: Arc<str>,
     /// The meter state.
     pub meter: MeterCheckpoint,
     /// `true` if the session is draining out.
@@ -207,9 +238,9 @@ pub(crate) struct GroupCheckpoint {
     pub members: Vec<(u64, u64)>,
 }
 
-/// The full serde-exportable state of a [`ShardState`]. Restoring with
-/// [`ShardState::restore`] reproduces the shard bitwise (the in-memory
-/// checkpoint preserves every `f64` exactly).
+/// The full exportable state of a [`ShardState`]. Restoring with
+/// [`ShardState::restore`] reproduces the shard bitwise (both the binary
+/// codec and the in-memory form preserve every `f64` exactly).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub(crate) struct ShardStateCheckpoint {
     /// Live sessions, in slot order (order matters: ticks process
@@ -217,8 +248,10 @@ pub(crate) struct ShardStateCheckpoint {
     pub sessions: Vec<SessionCheckpoint>,
     /// Pooled groups, sorted by group id.
     pub groups: Vec<GroupCheckpoint>,
-    /// Metrics of retired sessions, frozen at retirement.
-    pub retired: Vec<SessionMetrics>,
+    /// Metrics of retired sessions, frozen at retirement. Shared with the
+    /// shard's accumulator — capturing a checkpoint bumps a refcount
+    /// instead of cloning the history.
+    pub retired: Arc<Vec<SessionMetrics>>,
     /// Ticks the shard has processed.
     pub ticks: u64,
 }
@@ -237,8 +270,14 @@ struct SessionEntry {
 }
 
 struct GroupEntry {
+    /// Service-wide group id (the `group_index` key, kept for checkpoints
+    /// and cleanup).
+    group: u64,
     pool: SessionPool,
-    by_member: HashMap<PoolSessionId, u64>,
+    /// `(pool member id, session key, session slot)` in join order.
+    /// Groups are small (a handful of members), so linear scans beat any
+    /// map here.
+    by_member: Vec<(PoolSessionId, u64, SlotId)>,
 }
 
 /// The per-shard session store and tick loop.
@@ -251,10 +290,13 @@ pub(crate) struct ShardState {
     multi_cfg: MultiConfig,
     cost: CostModel,
     window: usize,
-    sessions: Vec<SessionEntry>,
-    index: HashMap<u64, usize>,
-    groups: HashMap<u64, GroupEntry>,
-    retired: Vec<SessionMetrics>,
+    sessions: Slab<SessionEntry>,
+    index: KeyMap,
+    groups: Slab<GroupEntry>,
+    group_index: KeyMap,
+    /// Copy-on-retire: shared with outstanding reports and checkpoints; a
+    /// retirement while shared clones once, then appends in place.
+    retired: Arc<Vec<SessionMetrics>>,
     scratch: Vec<f64>,
     ticks: u64,
 }
@@ -268,10 +310,11 @@ impl ShardState {
             multi_cfg: cfg.multi_config(),
             cost: cfg.cost,
             window: cfg.w,
-            sessions: Vec::new(),
-            index: HashMap::new(),
-            groups: HashMap::new(),
-            retired: Vec::new(),
+            sessions: Slab::new(),
+            index: KeyMap::new(),
+            groups: Slab::new(),
+            group_index: KeyMap::new(),
+            retired: Arc::new(Vec::new()),
             scratch: Vec::new(),
             ticks: 0,
         }
@@ -282,21 +325,21 @@ impl ShardState {
         self.ticks
     }
 
-    /// Exports the full restorable state. Group and member listings are
-    /// sorted by id so identical states checkpoint identically regardless
-    /// of hash-map iteration order.
+    /// Exports the full restorable state. Sessions are listed in slot
+    /// order; group and member listings are sorted by id — identical event
+    /// histories checkpoint identically.
     pub(crate) fn checkpoint(&self) -> ShardStateCheckpoint {
         let sessions = self
             .sessions
             .iter()
-            .map(|e| {
+            .map(|(_, e)| {
                 let (dedicated, pooled) = match &e.kind {
                     SessionKind::Dedicated(alg) => (Some(alg.checkpoint()), None),
                     SessionKind::Pooled { group, member } => (None, Some((*group, member.raw()))),
                 };
                 SessionCheckpoint {
                     key: e.key,
-                    tenant: e.tenant.as_ref().to_string(),
+                    tenant: e.tenant.clone(),
                     meter: e.meter.checkpoint(),
                     leaving: e.leaving,
                     dedicated,
@@ -307,15 +350,15 @@ impl ShardState {
         let mut groups: Vec<GroupCheckpoint> = self
             .groups
             .iter()
-            .map(|(&group, g)| {
+            .map(|(_, g)| {
                 let mut members: Vec<(u64, u64)> = g
                     .by_member
                     .iter()
-                    .map(|(&member, &key)| (member.raw(), key))
+                    .map(|&(member, key, _)| (member.raw(), key))
                     .collect();
                 members.sort_unstable();
                 GroupCheckpoint {
-                    group,
+                    group: g.group,
                     pool: g.pool.checkpoint(),
                     members,
                 }
@@ -325,12 +368,15 @@ impl ShardState {
         ShardStateCheckpoint {
             sessions,
             groups,
-            retired: self.retired.clone(),
+            retired: Arc::clone(&self.retired),
             ticks: self.ticks,
         }
     }
 
-    /// Rebuilds a shard from a checkpoint, bitwise.
+    /// Rebuilds a shard from a checkpoint, bitwise. Sessions re-insert in
+    /// checkpoint (slot) order, compacting slots to `0..n`; per-session
+    /// dynamics are placement-independent, so the invariant view is
+    /// unaffected.
     pub(crate) fn restore(shard: u64, cfg: &ServiceConfig, cp: &ShardStateCheckpoint) -> Self {
         let mut state = ShardState::new(shard, cfg);
         for s in &cp.sessions {
@@ -344,26 +390,32 @@ impl ShardState {
             };
             state.push_session(SessionEntry {
                 key: s.key,
-                tenant: s.tenant.as_str().into(),
+                tenant: s.tenant.clone(),
                 meter: SignallingMeter::restore(&s.meter),
                 leaving: s.leaving,
                 kind,
             });
         }
         for g in &cp.groups {
-            state.groups.insert(
-                g.group,
-                GroupEntry {
-                    pool: SessionPool::restore(&g.pool),
-                    by_member: g
-                        .members
-                        .iter()
-                        .map(|&(member, key)| (PoolSessionId::from_raw(member), key))
-                        .collect(),
-                },
-            );
+            let by_member = g
+                .members
+                .iter()
+                .map(|&(member, key)| {
+                    let slot = state
+                        .index
+                        .get(key)
+                        .expect("group member session is in the checkpoint");
+                    (PoolSessionId::from_raw(member), key, slot)
+                })
+                .collect();
+            let gslot = state.groups.insert(GroupEntry {
+                group: g.group,
+                pool: SessionPool::restore(&g.pool),
+                by_member,
+            });
+            state.group_index.insert(g.group, gslot);
         }
-        state.retired = cp.retired.clone();
+        state.retired = Arc::clone(&cp.retired);
         state.ticks = cp.ticks;
         state
     }
@@ -387,9 +439,11 @@ impl ShardState {
         }
     }
 
-    fn push_session(&mut self, entry: SessionEntry) {
-        self.index.insert(entry.key, self.sessions.len());
-        self.sessions.push(entry);
+    fn push_session(&mut self, entry: SessionEntry) -> SlotId {
+        let key = entry.key;
+        let slot = self.sessions.insert(entry);
+        self.index.insert(key, slot);
+        slot
     }
 
     fn join_dedicated(&mut self, key: u64, tenant: Arc<str>) {
@@ -404,106 +458,140 @@ impl ShardState {
     }
 
     fn join_group(&mut self, group: u64, tenant: Arc<str>, members: &[u64]) {
-        let entry = self.groups.entry(group).or_insert_with(|| GroupEntry {
-            pool: SessionPool::new(self.multi_cfg.clone()),
-            by_member: HashMap::new(),
-        });
+        let gslot = match self.group_index.get(group) {
+            Some(slot) => slot,
+            None => {
+                let slot = self.groups.insert(GroupEntry {
+                    group,
+                    pool: SessionPool::new(self.multi_cfg.clone()),
+                    by_member: Vec::new(),
+                });
+                self.group_index.insert(group, slot);
+                slot
+            }
+        };
+        // Two-phase: every member joins the pool first (the pool's phase
+        // arithmetic sees the whole batch), then the session entries land.
         let mut joined = Vec::with_capacity(members.len());
-        for &key in members {
-            let member = entry.pool.join();
-            entry.by_member.insert(member, key);
-            joined.push((key, member));
+        {
+            let entry = self.groups.get_mut(gslot).expect("group slot just placed");
+            for &key in members {
+                joined.push((key, entry.pool.join()));
+            }
         }
         for (key, member) in joined {
-            self.push_session(SessionEntry {
+            let slot = self.push_session(SessionEntry {
                 key,
                 tenant: tenant.clone(),
                 meter: SignallingMeter::new(self.cost, self.window),
                 leaving: false,
                 kind: SessionKind::Pooled { group, member },
             });
+            self.groups
+                .get_mut(gslot)
+                .expect("group slot just placed")
+                .by_member
+                .push((member, key, slot));
         }
     }
 
     fn leave(&mut self, key: u64) {
-        let Some(&idx) = self.index.get(&key) else {
+        let Some(slot) = self.index.get(key) else {
             return; // already retired — leave is idempotent at the shard
         };
-        let entry = &mut self.sessions[idx];
+        let Some(entry) = self.sessions.get_mut(slot) else {
+            return;
+        };
         if entry.leaving {
             return;
         }
         entry.leaving = true;
-        match entry.kind {
-            SessionKind::Dedicated(_) => {
-                // Nothing to tell the allocator; the session now receives
-                // zero arrivals and retires once its link queue drains.
-                if entry.meter.is_drained() {
-                    self.retire(key);
+        let pooled = match &entry.kind {
+            SessionKind::Pooled { group, member } => Some((*group, *member)),
+            // Nothing to tell the allocator; the session now receives zero
+            // arrivals and retires once its link queue drains.
+            SessionKind::Dedicated(_) => None,
+        };
+        let drained_now = pooled.is_none() && entry.meter.is_drained();
+        match pooled {
+            Some((group, member)) => {
+                // The pool moves the residual backlog to the overflow
+                // queue and retires the slot once it drains.
+                if let Some(gslot) = self.group_index.get(group) {
+                    if let Some(g) = self.groups.get_mut(gslot) {
+                        let _ = g.pool.leave(member);
+                    }
                 }
             }
-            SessionKind::Pooled { group, member } => {
-                if let Some(g) = self.groups.get_mut(&group) {
-                    // The pool moves the residual backlog to the overflow
-                    // queue and retires the slot once it drains.
-                    let _ = g.pool.leave(member);
-                }
-            }
+            None if drained_now => self.retire(key),
+            None => {}
         }
     }
 
     pub(crate) fn tick(&mut self, arrivals: &[(u64, f64)]) {
-        // Stage arrivals into a buffer parallel to the session vector.
+        if self.sessions.is_empty() {
+            // Idle shard: no sessions means no groups either (a group
+            // dissolves with its last member), so only the clock moves.
+            self.ticks += 1;
+            return;
+        }
+        // Stage arrivals into a buffer parallel to the slot space: one
+        // direct-mapped lookup and one array write per arrival.
         self.scratch.clear();
-        self.scratch.resize(self.sessions.len(), 0.0);
+        self.scratch.resize(self.sessions.slot_bound(), 0.0);
         for &(key, bits) in arrivals {
-            if let Some(&idx) = self.index.get(&key) {
-                self.scratch[idx] += bits.max(0.0);
+            if let Some(slot) = self.index.get(key) {
+                self.scratch[slot.index as usize] += bits.max(0.0);
             }
         }
 
+        let ShardState {
+            sessions,
+            groups,
+            scratch,
+            ..
+        } = self;
         let mut to_retire: Vec<u64> = Vec::new();
 
         // Pooled groups: submit, tick the pool once, meter each member.
-        for group in self.groups.values_mut() {
-            for (&member, &key) in &group.by_member {
-                let idx = self.index[&key];
-                if !self.sessions[idx].leaving {
-                    let _ = group.pool.submit(member, self.scratch[idx]);
+        for (_, group) in groups.iter_mut() {
+            for &(member, _, slot) in &group.by_member {
+                let entry = sessions.get(slot).expect("member slot is live");
+                if !entry.leaving {
+                    let _ = group.pool.submit(member, scratch[slot.index as usize]);
                 }
             }
             let allocs = group.pool.tick();
             let mut seen: Vec<PoolSessionId> = Vec::with_capacity(allocs.len());
             for (member, alloc) in allocs {
                 seen.push(member);
-                let key = group.by_member[&member];
-                let idx = self.index[&key];
-                let entry = &mut self.sessions[idx];
-                let arrived = if entry.leaving {
-                    0.0
-                } else {
-                    self.scratch[idx]
-                };
+                let &(_, _, slot) = group
+                    .by_member
+                    .iter()
+                    .find(|&&(m, _, _)| m == member)
+                    .expect("pool reported an unknown member");
+                let arrived_slot = scratch[slot.index as usize];
+                let entry = sessions.get_mut(slot).expect("member slot is live");
+                let arrived = if entry.leaving { 0.0 } else { arrived_slot };
                 entry.meter.record(arrived, alloc);
             }
             // A leaving member absent from the pool's output has retired
             // (its slot drained on an earlier tick).
-            for (&member, &key) in &group.by_member {
+            for &(member, key, _) in &group.by_member {
                 if !seen.contains(&member) {
                     to_retire.push(key);
                 }
             }
         }
 
-        // Dedicated sessions: one allocator step each.
-        for idx in 0..self.sessions.len() {
-            let arrived = if self.sessions[idx].leaving {
-                0.0
-            } else {
-                self.scratch[idx]
-            };
-            let entry = &mut self.sessions[idx];
+        // Dedicated sessions: one allocator step each, in slot order.
+        for (slot, entry) in sessions.iter_mut() {
             if let SessionKind::Dedicated(alg) = &mut entry.kind {
+                let arrived = if entry.leaving {
+                    0.0
+                } else {
+                    scratch[slot.index as usize]
+                };
                 let alloc = alg.on_tick(arrived);
                 entry.meter.record(arrived, alloc);
                 if entry.leaving && entry.meter.is_drained() {
@@ -520,36 +608,46 @@ impl ShardState {
 
     /// Freezes a session's metrics and removes it from the live set.
     fn retire(&mut self, key: u64) {
-        let Some(idx) = self.index.remove(&key) else {
+        let Some(slot) = self.index.remove(key) else {
             return;
         };
-        let entry = self.sessions.swap_remove(idx);
-        if let Some(moved) = self.sessions.get(idx) {
-            self.index.insert(moved.key, idx);
-        }
+        let Some(entry) = self.sessions.remove(slot) else {
+            return;
+        };
         if let SessionKind::Pooled { group, member } = entry.kind {
-            if let Some(g) = self.groups.get_mut(&group) {
-                g.by_member.remove(&member);
-                if g.by_member.is_empty() {
-                    self.groups.remove(&group);
+            if let Some(gslot) = self.group_index.get(group) {
+                let now_empty = match self.groups.get_mut(gslot) {
+                    Some(g) => {
+                        g.by_member.retain(|&(m, _, _)| m != member);
+                        g.by_member.is_empty()
+                    }
+                    None => false,
+                };
+                if now_empty {
+                    self.group_index.remove(group);
+                    self.groups.remove(gslot);
                 }
             }
         }
-        self.retired
-            .push(entry.meter.metrics(entry.key, &entry.tenant, self.shard));
+        Arc::make_mut(&mut self.retired).push(entry.meter.metrics(
+            entry.key,
+            entry.tenant,
+            self.shard,
+        ));
     }
 
     pub(crate) fn report(&self) -> ShardReport {
-        let mut sessions = self.retired.clone();
-        sessions.extend(
+        let mut live = Vec::with_capacity(self.sessions.len());
+        live.extend(
             self.sessions
                 .iter()
-                .map(|e| e.meter.metrics(e.key, &e.tenant, self.shard)),
+                .map(|(_, e)| e.meter.metrics(e.key, e.tenant.clone(), self.shard)),
         );
         ShardReport {
             shard: self.shard,
             epoch: self.epoch,
-            sessions,
+            retired: Arc::clone(&self.retired),
+            live,
         }
     }
 
@@ -619,6 +717,9 @@ pub(crate) fn run_worker(
     state.epoch = ctx.epoch;
     let mut events_applied = ctx.events_base;
     let mut fault = ctx.fault;
+    // Checkpoint encode buffer, reused across captures: steady-state
+    // checkpointing allocates only the shipped `Arc<[u8]>`.
+    let mut cp_buf: Vec<u8> = Vec::new();
     while let Ok(event) = rx.recv() {
         if ctx.cancel.load(Ordering::Acquire) {
             return;
@@ -667,11 +768,13 @@ pub(crate) fn run_worker(
                     && ctx.checkpoint_every > 0
                     && state.ticks().is_multiple_of(ctx.checkpoint_every)
                 {
+                    cp_buf.clear();
+                    crate::codec::checkpoint::encode(&state.checkpoint(), &mut cp_buf);
                     let _ = ctx.msgs.send(WorkerMsg::Checkpoint(ShardCheckpoint {
                         shard: state.shard,
                         epoch: ctx.epoch,
                         events_applied,
-                        state: state.checkpoint(),
+                        bytes: cp_buf.as_slice().into(),
                     }));
                 }
             }
@@ -705,6 +808,12 @@ mod tests {
         ShardState::new(0, &cfg)
     }
 
+    fn all_sessions(report: &ShardReport) -> Vec<SessionMetrics> {
+        let mut out: Vec<SessionMetrics> = report.retired.as_ref().clone();
+        out.extend(report.live.iter().cloned());
+        out
+    }
+
     #[test]
     fn dedicated_lifecycle_joins_ticks_retires() {
         let mut s = shard();
@@ -727,10 +836,11 @@ mod tests {
         }
         assert_eq!(s.live(), 0);
         let report = s.report();
-        assert_eq!(report.sessions.len(), 1);
-        let m = &report.sessions[0];
+        let sessions = all_sessions(&report);
+        assert_eq!(sessions.len(), 1);
+        let m = &sessions[0];
         assert_eq!(m.session, 7);
-        assert_eq!(m.tenant, "acme");
+        assert_eq!(&*m.tenant, "acme");
         assert!((m.total_served - m.total_arrived).abs() < 1e-9);
         assert!(m.changes > 0);
     }
@@ -749,8 +859,9 @@ mod tests {
             });
         }
         let report = s.report();
-        assert_eq!(report.sessions.len(), 2);
-        for m in &report.sessions {
+        let sessions = all_sessions(&report);
+        assert_eq!(sessions.len(), 2);
+        for m in &sessions {
             assert!(m.total_allocated > 0.0, "pool served {m:?}");
         }
         // One member leaves; the pool drains it and the shard retires it.
@@ -780,5 +891,88 @@ mod tests {
         });
         s.handle_event(Event::Leave { key: 99 });
         assert_eq!(s.live(), 0);
+    }
+
+    #[test]
+    fn retired_slots_are_reused_and_reports_share_the_retired_list() {
+        let mut s = shard();
+        s.handle_event(Event::JoinDedicated {
+            key: 0,
+            tenant: "acme".into(),
+        });
+        s.handle_event(Event::Leave { key: 0 }); // never ticked: drained, retires at once
+        assert_eq!(s.live(), 0);
+        s.handle_event(Event::JoinDedicated {
+            key: 1,
+            tenant: "acme".into(),
+        });
+        assert_eq!(
+            s.sessions.slot_bound(),
+            1,
+            "the retired session's slot is reused"
+        );
+        let r1 = s.report();
+        let r2 = s.report();
+        assert!(
+            Arc::ptr_eq(&r1.retired, &r2.retired),
+            "steady-state reports share one retired list"
+        );
+        assert_eq!(r1.retired.len(), 1);
+        assert_eq!(r1.live.len(), 1);
+        // A retirement after a report was taken must not mutate the shared
+        // list the earlier report still holds (copy-on-retire).
+        s.handle_event(Event::Leave { key: 1 });
+        assert_eq!(r1.retired.len(), 1, "earlier report is unaffected");
+        assert_eq!(s.report().retired.len(), 2);
+    }
+
+    #[test]
+    fn checkpoint_binary_roundtrip_restores_bitwise() {
+        let mut s = shard();
+        s.handle_event(Event::JoinDedicated {
+            key: 0,
+            tenant: "acme".into(),
+        });
+        s.handle_event(Event::JoinGroup {
+            group: 0,
+            tenant: "globex".into(),
+            members: vec![1, 2].into(),
+        });
+        for t in 0..20u64 {
+            s.handle_event(Event::Tick {
+                arrivals: vec![(0, (t % 3) as f64), (1, 1.0), (2, 2.0)].into(),
+            });
+        }
+        s.handle_event(Event::Leave { key: 1 });
+        for _ in 0..8 {
+            s.handle_event(Event::Tick {
+                arrivals: vec![(0, 1.0), (2, 2.0)].into(),
+            });
+        }
+        let cp = s.checkpoint();
+        let mut bytes = Vec::new();
+        crate::codec::checkpoint::encode(&cp, &mut bytes);
+        let decoded = crate::codec::checkpoint::decode(&bytes).unwrap();
+        assert_eq!(decoded, cp, "binary checkpoint round-trips exactly");
+
+        let cfg = ServiceConfig::builder(1024.0)
+            .session_b_max(16.0)
+            .group_b_o(8.0)
+            .offline_delay(4)
+            .window(4)
+            .build()
+            .unwrap();
+        let mut twin = ShardState::restore(0, &cfg, &decoded);
+        assert_eq!(twin.checkpoint(), cp, "restore is lossless");
+        // Lockstep continuation: the restored shard must stay bitwise
+        // identical to the original under further events.
+        for _ in 0..16 {
+            let arrivals: Arc<[(u64, f64)]> = vec![(0, 2.0), (2, 1.0)].into();
+            s.handle_event(Event::Tick {
+                arrivals: arrivals.clone(),
+            });
+            twin.handle_event(Event::Tick { arrivals });
+        }
+        assert_eq!(twin.checkpoint(), s.checkpoint());
     }
 }

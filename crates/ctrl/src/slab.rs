@@ -1,0 +1,270 @@
+//! A dense generational slab and a direct-mapped key index — the shard
+//! executor's session store.
+//!
+//! The per-tick hot path at 100k sessions is dominated by lookups and
+//! cache misses, not by bandwidth math. A `HashMap<u64, usize>` pays a
+//! hash + probe per arrival and scatters entries across the heap; the
+//! slab pays one bounds-checked array access and keeps live entries in
+//! one contiguous allocation.
+//!
+//! * [`Slab`] hands out stable `u32` slots with a LIFO free list, so a
+//!   session's slot never moves while it is live (no `swap_remove`
+//!   fix-ups) and retired slots are reused densely. Each slot carries a
+//!   generation; a [`SlotId`] from a previous occupancy no longer
+//!   resolves.
+//! * [`KeyMap`] maps the service's monotonically increasing session (or
+//!   group) keys straight to slots with a plain `Vec` — keys are handed
+//!   out sequentially by the driver, so the table is dense and a lookup
+//!   is one array index. Keys are never reissued, which is what makes the
+//!   sentinel-clearing scheme ABA-free.
+//!
+//! Iteration ([`Slab::iter`], [`Slab::iter_mut`]) runs in slot order.
+//! Restoring a checkpoint re-inserts entries in checkpoint order into a
+//! fresh slab, compacting slots to `0..n` while preserving relative
+//! order — per-session dynamics are placement-independent, so this keeps
+//! `invariant_view()` bitwise stable across crash/restore cycles.
+
+/// A stable handle to an occupied [`Slab`] slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) struct SlotId {
+    /// Slot index; stable for the lifetime of the occupancy.
+    pub index: u32,
+    /// Generation the slot had when this handle was issued.
+    pub generation: u32,
+}
+
+#[derive(Debug)]
+struct Entry<T> {
+    /// Bumped every time the slot is vacated, invalidating old handles.
+    generation: u32,
+    value: Option<T>,
+}
+
+/// A dense slab: O(1) insert/remove/lookup, stable `u32` slots, LIFO
+/// free-list reuse, iteration in slot order.
+#[derive(Debug)]
+pub(crate) struct Slab<T> {
+    entries: Vec<Entry<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Slab<T> {
+    pub(crate) fn new() -> Self {
+        Slab {
+            entries: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Occupied slots.
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// One past the highest slot index ever occupied — the bound for
+    /// slot-indexed scratch arrays.
+    pub(crate) fn slot_bound(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Inserts, reusing the most recently freed slot if any.
+    pub(crate) fn insert(&mut self, value: T) -> SlotId {
+        self.len += 1;
+        if let Some(index) = self.free.pop() {
+            let entry = &mut self.entries[index as usize];
+            debug_assert!(entry.value.is_none(), "free list pointed at a live slot");
+            entry.value = Some(value);
+            SlotId {
+                index,
+                generation: entry.generation,
+            }
+        } else {
+            let index = u32::try_from(self.entries.len()).expect("slab capped at u32 slots");
+            self.entries.push(Entry {
+                generation: 0,
+                value: Some(value),
+            });
+            SlotId {
+                index,
+                generation: 0,
+            }
+        }
+    }
+
+    /// Vacates `id`'s slot, returning its value. A stale handle (wrong
+    /// generation, already vacated, out of range) returns `None`.
+    pub(crate) fn remove(&mut self, id: SlotId) -> Option<T> {
+        let entry = self.entries.get_mut(id.index as usize)?;
+        if entry.generation != id.generation || entry.value.is_none() {
+            return None;
+        }
+        entry.generation = entry.generation.wrapping_add(1);
+        self.len -= 1;
+        self.free.push(id.index);
+        entry.value.take()
+    }
+
+    pub(crate) fn get(&self, id: SlotId) -> Option<&T> {
+        let entry = self.entries.get(id.index as usize)?;
+        if entry.generation != id.generation {
+            return None;
+        }
+        entry.value.as_ref()
+    }
+
+    pub(crate) fn get_mut(&mut self, id: SlotId) -> Option<&mut T> {
+        let entry = self.entries.get_mut(id.index as usize)?;
+        if entry.generation != id.generation {
+            return None;
+        }
+        entry.value.as_mut()
+    }
+
+    /// Occupied slots in slot order.
+    pub(crate) fn iter(&self) -> impl Iterator<Item = (SlotId, &T)> {
+        self.entries.iter().enumerate().filter_map(|(i, e)| {
+            e.value.as_ref().map(|v| {
+                (
+                    SlotId {
+                        index: i as u32,
+                        generation: e.generation,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+
+    /// Occupied slots in slot order, mutably.
+    pub(crate) fn iter_mut(&mut self) -> impl Iterator<Item = (SlotId, &mut T)> {
+        self.entries.iter_mut().enumerate().filter_map(|(i, e)| {
+            e.value.as_mut().map(|v| {
+                (
+                    SlotId {
+                        index: i as u32,
+                        generation: e.generation,
+                    },
+                    v,
+                )
+            })
+        })
+    }
+}
+
+/// A direct-mapped index from dense `u64` keys to slab slots.
+///
+/// The driver issues session and group keys from one monotone counter, so
+/// the key space is dense and never recycled: a `Vec<SlotId>` beats any
+/// hash map. Absent keys hold a sentinel.
+#[derive(Debug)]
+pub(crate) struct KeyMap {
+    slots: Vec<SlotId>,
+}
+
+/// The "no mapping" sentinel.
+const NIL: SlotId = SlotId {
+    index: u32::MAX,
+    generation: u32::MAX,
+};
+
+impl KeyMap {
+    pub(crate) fn new() -> Self {
+        KeyMap { slots: Vec::new() }
+    }
+
+    /// Maps `key` to `slot`, growing the table as needed.
+    pub(crate) fn insert(&mut self, key: u64, slot: SlotId) {
+        let key = usize::try_from(key).expect("keys are driver counters");
+        if key >= self.slots.len() {
+            self.slots.resize(key + 1, NIL);
+        }
+        self.slots[key] = slot;
+    }
+
+    /// The slot mapped to `key`, if any.
+    pub(crate) fn get(&self, key: u64) -> Option<SlotId> {
+        let slot = *self.slots.get(usize::try_from(key).ok()?)?;
+        if slot == NIL {
+            None
+        } else {
+            Some(slot)
+        }
+    }
+
+    /// Clears `key`'s mapping, returning the slot it held.
+    pub(crate) fn remove(&mut self, key: u64) -> Option<SlotId> {
+        let entry = self.slots.get_mut(usize::try_from(key).ok()?)?;
+        if *entry == NIL {
+            None
+        } else {
+            Some(std::mem::replace(entry, NIL))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_remove_roundtrip() {
+        let mut slab = Slab::new();
+        let a = slab.insert("a");
+        let b = slab.insert("b");
+        assert_eq!(slab.len(), 2);
+        assert_eq!(slab.get(a), Some(&"a"));
+        assert_eq!(slab.get(b), Some(&"b"));
+        assert_eq!(slab.remove(a), Some("a"));
+        assert_eq!(slab.get(a), None, "vacated handle no longer resolves");
+        assert_eq!(slab.remove(a), None, "double remove is a no-op");
+        assert_eq!(slab.len(), 1);
+    }
+
+    #[test]
+    fn freed_slots_are_reused_with_fresh_generations() {
+        let mut slab = Slab::new();
+        let a = slab.insert(1);
+        let _b = slab.insert(2);
+        slab.remove(a).unwrap();
+        let c = slab.insert(3);
+        assert_eq!(c.index, a.index, "LIFO reuse of the freed slot");
+        assert_ne!(c.generation, a.generation);
+        assert_eq!(slab.get(a), None, "stale handle sees the new generation");
+        assert_eq!(slab.get(c), Some(&3));
+        assert_eq!(slab.slot_bound(), 2, "no growth past the reused slot");
+    }
+
+    #[test]
+    fn iteration_is_in_slot_order() {
+        let mut slab = Slab::new();
+        let ids: Vec<SlotId> = (0..5).map(|i| slab.insert(i * 10)).collect();
+        slab.remove(ids[1]).unwrap();
+        slab.remove(ids[3]).unwrap();
+        let seen: Vec<(u32, i32)> = slab.iter().map(|(id, &v)| (id.index, v)).collect();
+        assert_eq!(seen, vec![(0, 0), (2, 20), (4, 40)]);
+        for (id, v) in slab.iter_mut() {
+            *v += i32::try_from(id.index).unwrap();
+        }
+        assert_eq!(slab.get(ids[4]), Some(&44));
+    }
+
+    #[test]
+    fn keymap_is_a_dense_direct_map() {
+        let mut slab = Slab::new();
+        let mut map = KeyMap::new();
+        let s7 = slab.insert("seven");
+        map.insert(7, s7);
+        assert_eq!(map.get(7), Some(s7));
+        assert_eq!(map.get(3), None, "hole inside the table");
+        assert_eq!(map.get(100), None, "past the table");
+        assert_eq!(map.remove(7), Some(s7));
+        assert_eq!(map.get(7), None);
+        assert_eq!(map.remove(7), None);
+    }
+}

@@ -7,6 +7,7 @@
 //! subscription [`TickEvent`]s that arrive in between are buffered and
 //! surfaced through [`Client::next_event`].
 
+use crate::codec;
 use crate::delta::{self, SnapshotDeltaBody};
 use crate::proto::{self, ErrorCode, Frame, ProtoError, MAX_FRAME, PUSH_ID};
 use crate::GatewaySnapshot;
@@ -54,6 +55,8 @@ pub enum ClientError {
     Protocol(String),
     /// A snapshot payload failed to parse as JSON.
     Json(String),
+    /// A binary snapshot body failed to decode (wire v3).
+    Codec(String),
 }
 
 impl std::fmt::Display for ClientError {
@@ -65,6 +68,7 @@ impl std::fmt::Display for ClientError {
             }
             ClientError::Protocol(e) => write!(f, "gateway protocol violation: {e}"),
             ClientError::Json(e) => write!(f, "gateway snapshot unparseable: {e}"),
+            ClientError::Codec(e) => write!(f, "gateway binary body undecodable: {e}"),
         }
     }
 }
@@ -108,6 +112,16 @@ pub struct TickEvent {
     pub changes: u64,
     /// Cumulative signalling cost under the service's price model.
     pub signalling_cost: f64,
+}
+
+impl From<proto::EventBody> for TickEvent {
+    fn from(e: proto::EventBody) -> Self {
+        Self {
+            tick: e.tick,
+            changes: e.changes,
+            signalling_cost: e.signalling_cost,
+        }
+    }
 }
 
 /// A blocking gateway client over one TCP connection.
@@ -252,6 +266,10 @@ impl Client {
                     changes,
                     signalling_cost,
                 }),
+                Frame::EventBatch { events } => {
+                    self.pending_events
+                        .extend(events.into_iter().map(TickEvent::from));
+                }
                 Frame::Error {
                     id: got,
                     code,
@@ -464,6 +482,66 @@ impl Client {
         }
     }
 
+    /// Fetches the full gateway snapshot over the binary codec (wire
+    /// v3). Decodes to a snapshot bitwise-identical to what
+    /// [`Client::snapshot`] returns, with no JSON on the wire.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Codec`] when the binary body does not decode.
+    pub fn snapshot_bin(&mut self) -> Result<GatewaySnapshot, ClientError> {
+        match self.request(|id| Frame::SnapshotBin { id })? {
+            Frame::SnapshotBinOk { bytes, .. } => codec::decode_gateway_snapshot(&bytes)
+                .map_err(|e| ClientError::Codec(e.to_string())),
+            other => Err(ClientError::Protocol(format!(
+                "expected snapshot-bin-ok: {other:?}"
+            ))),
+        }
+    }
+
+    /// The binary-codec sibling of [`Client::snapshot_delta`] (wire v3):
+    /// same baseline chaining, binary bodies on the wire. The baseline is
+    /// shared with the JSON variant, so the two may be mixed freely on
+    /// one connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Codec`] when a body does not decode;
+    /// [`ClientError::Protocol`] when the server's delta does not chain
+    /// onto the held baseline.
+    pub fn snapshot_delta_bin(&mut self) -> Result<GatewaySnapshot, ClientError> {
+        match self.request(|id| Frame::SnapshotDeltaBin { id })? {
+            Frame::SnapshotDeltaBinOk {
+                seq, full, bytes, ..
+            } => {
+                let snap: GatewaySnapshot = if full {
+                    codec::decode_gateway_snapshot(&bytes)
+                        .map_err(|e| ClientError::Codec(e.to_string()))?
+                } else {
+                    let body = codec::decode_delta_body(&bytes)
+                        .map_err(|e| ClientError::Codec(e.to_string()))?;
+                    let Some((base_seq, baseline)) = self.baseline.as_ref() else {
+                        return Err(ClientError::Protocol(
+                            "delta snapshot received without a baseline".into(),
+                        ));
+                    };
+                    if body.baseline_seq != *base_seq || body.seq != seq {
+                        return Err(ClientError::Protocol(format!(
+                            "delta chains {}→{}, client holds baseline {base_seq}",
+                            body.baseline_seq, body.seq
+                        )));
+                    }
+                    delta::apply(baseline, &body)
+                };
+                self.baseline = Some((seq, snap.service.clone()));
+                Ok(snap)
+            }
+            other => Err(ClientError::Protocol(format!(
+                "expected snapshot-delta-bin-ok: {other:?}"
+            ))),
+        }
+    }
+
     /// Subscribes this connection to a [`TickEvent`] every `every`
     /// committed ticks.
     ///
@@ -472,6 +550,24 @@ impl Client {
     /// [`ClientError::Server`] when `every` is zero.
     pub fn subscribe(&mut self, every: u32) -> Result<(), ClientError> {
         match self.request(|id| Frame::Subscribe { id, every })? {
+            Frame::SubscribeOk { .. } => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected subscribe-ok: {other:?}"
+            ))),
+        }
+    }
+
+    /// Subscribes with batched delivery (wire v3): the server ships due
+    /// events `batch` at a time in one frame. [`Client::next_event`]
+    /// surfaces them one by one, so only the wire framing changes — but a
+    /// partial batch is held server-side until it fills, so worst-case
+    /// event latency is `every × batch` committed ticks.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] when `every` or `batch` is zero.
+    pub fn subscribe_batched(&mut self, every: u32, batch: u32) -> Result<(), ClientError> {
+        match self.request(|id| Frame::SubscribeBatch { id, every, batch })? {
             Frame::SubscribeOk { .. } => Ok(()),
             other => Err(ClientError::Protocol(format!(
                 "expected subscribe-ok: {other:?}"
@@ -504,6 +600,11 @@ impl Client {
                 changes,
                 signalling_cost,
             })),
+            Ok(Some(Frame::EventBatch { events })) => {
+                self.pending_events
+                    .extend(events.into_iter().map(TickEvent::from));
+                Ok(self.pending_events.pop_front())
+            }
             Ok(Some(Frame::Error { code, message, .. })) => {
                 Err(ClientError::Server { code, message })
             }

@@ -1,0 +1,327 @@
+//! The binary encoding of the gateway's snapshot bodies (wire v3).
+//!
+//! JSON remains the reference encoding — every field a binary body
+//! carries decodes to the *bitwise-identical* value the JSON path
+//! produces (`f64` compared by `to_bits`), which the tests here and the
+//! integration suite assert. Binary is strictly an efficiency measure:
+//! a snapshot body is one length-prefixed buffer with fixed-width
+//! little-endian integers and `f64::to_bits` floats, built on
+//! [`cdba_ctrl::codec`] so the service section shares its layout (and
+//! its hostile-input guards) with the control plane's checkpoints.
+//!
+//! Layouts (after the leading codec-version byte):
+//!
+//! ```text
+//! gateway-snapshot := service-snapshot · wire-counters
+//! delta-body       := baseline_seq u64 · seq u64 · ticks u64 ·
+//!                     shards u64 · admitted u64 · rejected u64 ·
+//!                     restarts u64 · events_replayed u64 · global ·
+//!                     per_shard vec · health vec · changed_sessions vec ·
+//!                     removed_sessions vec · wire-counters
+//! ```
+
+use crate::delta::SnapshotDeltaBody;
+use crate::stats::WireSnapshot;
+use crate::GatewaySnapshot;
+use cdba_ctrl::codec::{
+    decode_global_metrics, decode_session_metrics, decode_shard_health, decode_shard_metrics,
+    decode_snapshot_fragment, encode_global_metrics, encode_session_metrics, encode_shard_health,
+    encode_shard_metrics, encode_snapshot_fragment, CodecError, Dec, Enc, CODEC_VERSION,
+};
+
+/// Encodes the wire counters (fixed-width, field order = struct order).
+fn encode_wire(w: &WireSnapshot, e: &mut Enc<'_>) {
+    e.u64(w.connections_accepted);
+    e.u64(w.connections_active);
+    e.u64(w.connections_harvested);
+    e.u64(w.frames_in);
+    e.u64(w.frames_out);
+    e.u64(w.decode_errors);
+    e.u64(w.busy_rejections);
+    e.u64(w.noack_stages);
+    e.u64(w.delta_snapshots);
+    e.u64(w.full_snapshots);
+    e.u64(w.event_batches);
+    e.u64(w.requests);
+    e.u64(w.latency_p50_us);
+    e.u64(w.latency_p99_us);
+}
+
+fn decode_wire(d: &mut Dec<'_>) -> Result<WireSnapshot, CodecError> {
+    Ok(WireSnapshot {
+        connections_accepted: d.u64()?,
+        connections_active: d.u64()?,
+        connections_harvested: d.u64()?,
+        frames_in: d.u64()?,
+        frames_out: d.u64()?,
+        decode_errors: d.u64()?,
+        busy_rejections: d.u64()?,
+        noack_stages: d.u64()?,
+        delta_snapshots: d.u64()?,
+        full_snapshots: d.u64()?,
+        event_batches: d.u64()?,
+        requests: d.u64()?,
+        latency_p50_us: d.u64()?,
+        latency_p99_us: d.u64()?,
+    })
+}
+
+/// Encodes a full gateway snapshot as one binary body.
+pub fn encode_gateway_snapshot(snap: &GatewaySnapshot) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut e = Enc::new(&mut buf);
+    e.u8(CODEC_VERSION);
+    encode_snapshot_fragment(&snap.service, &mut e);
+    encode_wire(&snap.wire, &mut e);
+    buf
+}
+
+/// Decodes a binary gateway snapshot body.
+///
+/// # Errors
+///
+/// [`CodecError`] on a version mismatch, truncation, hostile lengths,
+/// or trailing bytes.
+pub fn decode_gateway_snapshot(payload: &[u8]) -> Result<GatewaySnapshot, CodecError> {
+    let mut d = Dec::new(payload);
+    d.version()?;
+    let service = decode_snapshot_fragment(&mut d)?;
+    let wire = decode_wire(&mut d)?;
+    d.finish()?;
+    Ok(GatewaySnapshot { service, wire })
+}
+
+/// Encodes a delta-snapshot body as one binary body.
+pub fn encode_delta_body(body: &SnapshotDeltaBody) -> Vec<u8> {
+    let mut buf = Vec::new();
+    let mut e = Enc::new(&mut buf);
+    e.u8(CODEC_VERSION);
+    e.u64(body.baseline_seq);
+    e.u64(body.seq);
+    e.u64(body.ticks);
+    e.u64(body.shards);
+    e.u64(body.admitted);
+    e.u64(body.rejected);
+    e.u64(body.restarts);
+    e.u64(body.events_replayed);
+    encode_global_metrics(&body.global, &mut e);
+    e.len(body.per_shard.len());
+    for s in &body.per_shard {
+        encode_shard_metrics(s, &mut e);
+    }
+    e.len(body.health.len());
+    for h in &body.health {
+        encode_shard_health(h, &mut e);
+    }
+    e.len(body.changed_sessions.len());
+    for m in &body.changed_sessions {
+        encode_session_metrics(m, &mut e);
+    }
+    e.len(body.removed_sessions.len());
+    for &key in &body.removed_sessions {
+        e.u64(key);
+    }
+    encode_wire(&body.wire, &mut e);
+    buf
+}
+
+/// Decodes a binary delta-snapshot body.
+///
+/// # Errors
+///
+/// As [`decode_gateway_snapshot`].
+pub fn decode_delta_body(payload: &[u8]) -> Result<SnapshotDeltaBody, CodecError> {
+    let mut d = Dec::new(payload);
+    d.version()?;
+    let baseline_seq = d.u64()?;
+    let seq = d.u64()?;
+    let ticks = d.u64()?;
+    let shards = d.u64()?;
+    let admitted = d.u64()?;
+    let rejected = d.u64()?;
+    let restarts = d.u64()?;
+    let events_replayed = d.u64()?;
+    let global = decode_global_metrics(&mut d)?;
+    let n = d.len(8 * 6)?;
+    let mut per_shard = Vec::with_capacity(n);
+    for _ in 0..n {
+        per_shard.push(decode_shard_metrics(&mut d)?);
+    }
+    let n = d.len(1 + 8 + 8 + 1)?;
+    let mut health = Vec::with_capacity(n);
+    for _ in 0..n {
+        health.push(decode_shard_health(&mut d)?);
+    }
+    let n = d.len(8 * 4)?;
+    let mut changed_sessions = Vec::with_capacity(n);
+    for _ in 0..n {
+        changed_sessions.push(decode_session_metrics(&mut d)?);
+    }
+    let n = d.len(8)?;
+    let mut removed_sessions = Vec::with_capacity(n);
+    for _ in 0..n {
+        removed_sessions.push(d.u64()?);
+    }
+    let wire = decode_wire(&mut d)?;
+    d.finish()?;
+    Ok(SnapshotDeltaBody {
+        baseline_seq,
+        seq,
+        ticks,
+        shards,
+        admitted,
+        rejected,
+        restarts,
+        events_replayed,
+        global,
+        per_shard,
+        health,
+        changed_sessions,
+        removed_sessions,
+        wire,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::delta;
+    use cdba_ctrl::{ControlPlane, ExecMode, ServiceConfig};
+    use serde::Deserialize;
+
+    fn plane() -> ControlPlane {
+        ControlPlane::new(
+            ServiceConfig::builder(256.0)
+                .session_b_max(16.0)
+                .offline_delay(4)
+                .window(4)
+                .exec(ExecMode::Inline)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    fn wire() -> WireSnapshot {
+        WireSnapshot {
+            connections_accepted: 3,
+            connections_active: 2,
+            connections_harvested: 1,
+            frames_in: 40,
+            frames_out: 41,
+            decode_errors: 0,
+            busy_rejections: 1,
+            noack_stages: 7,
+            delta_snapshots: 2,
+            full_snapshots: 1,
+            event_batches: 4,
+            requests: 30,
+            latency_p50_us: 12,
+            latency_p99_us: 140,
+        }
+    }
+
+    fn churned_snapshot() -> GatewaySnapshot {
+        let mut service = plane();
+        let a = service.admit("acme").unwrap();
+        let b = service.admit("globex").unwrap();
+        let group = service.admit_group("initech", 3).unwrap();
+        service.leave(b).unwrap();
+        for t in 0..12u64 {
+            let mut arrivals = vec![(a, (t % 3) as f64)];
+            arrivals.extend(group.iter().map(|&k| (k, 0.5 + (t % 2) as f64)));
+            service.tick(&arrivals).unwrap();
+        }
+        let snap = GatewaySnapshot {
+            service: service.snapshot().unwrap(),
+            wire: wire(),
+        };
+        service.shutdown();
+        snap
+    }
+
+    #[test]
+    fn gateway_snapshot_binary_roundtrip_is_exact() {
+        let snap = churned_snapshot();
+        let bytes = encode_gateway_snapshot(&snap);
+        let back = decode_gateway_snapshot(&bytes).unwrap();
+        assert_eq!(back, snap);
+        // Byte identity through the JSON reference encoding proves the
+        // float bits survived, not just `PartialEq`.
+        assert_eq!(
+            back.to_json_string().unwrap(),
+            snap.to_json_string().unwrap()
+        );
+    }
+
+    #[test]
+    fn binary_decode_matches_json_decode() {
+        let snap = churned_snapshot();
+        let json = snap.to_json_string().unwrap();
+        let via_json = GatewaySnapshot::deserialize(&serde_json::from_str(&json).unwrap()).unwrap();
+        let via_binary = decode_gateway_snapshot(&encode_gateway_snapshot(&snap)).unwrap();
+        assert_eq!(via_binary, via_json);
+        for (b, j) in via_binary
+            .service
+            .sessions
+            .iter()
+            .zip(via_json.service.sessions.iter())
+        {
+            assert_eq!(b.total_arrived.to_bits(), j.total_arrived.to_bits());
+            assert_eq!(b.signalling_cost.to_bits(), j.signalling_cost.to_bits());
+            assert_eq!(b.bandwidth_cost.to_bits(), j.bandwidth_cost.to_bits());
+        }
+    }
+
+    #[test]
+    fn delta_body_binary_roundtrip_matches_json() {
+        let mut service = plane();
+        let a = service.admit("acme").unwrap();
+        service.tick(&[(a, 1.0)]).unwrap();
+        let baseline = service.snapshot().unwrap();
+        let b = service.admit("globex").unwrap();
+        service.tick(&[(a, 2.0), (b, 0.5)]).unwrap();
+        let current = service.snapshot().unwrap();
+        service.shutdown();
+
+        let body = delta::diff(&baseline, 1, &current, 2, wire());
+        let bytes = encode_delta_body(&body);
+        let back = decode_delta_body(&bytes).unwrap();
+        assert_eq!(back, body);
+
+        let via_json = SnapshotDeltaBody::deserialize(
+            &serde_json::from_str(&serde_json::to_string(&body).unwrap()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back, via_json);
+        assert_eq!(delta::apply(&baseline, &back).service, current);
+    }
+
+    #[test]
+    fn truncated_and_trailing_bodies_are_rejected() {
+        let snap = churned_snapshot();
+        let bytes = encode_gateway_snapshot(&snap);
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(
+                decode_gateway_snapshot(&bytes[..cut]).is_err(),
+                "cut at {cut}"
+            );
+        }
+        let mut padded = bytes.clone();
+        padded.push(0);
+        assert!(matches!(
+            decode_gateway_snapshot(&padded),
+            Err(CodecError::Trailing(1))
+        ));
+    }
+
+    #[test]
+    fn wrong_codec_version_is_rejected() {
+        let snap = churned_snapshot();
+        let mut bytes = encode_gateway_snapshot(&snap);
+        bytes[0] = CODEC_VERSION + 1;
+        assert!(matches!(
+            decode_gateway_snapshot(&bytes),
+            Err(CodecError::BadVersion(_))
+        ));
+    }
+}

@@ -181,6 +181,7 @@ mod tests {
             noack_stages: 0,
             delta_snapshots: 0,
             full_snapshots: 1,
+            event_batches: 0,
             requests,
             latency_p50_us: 5,
             latency_p99_us: 9,

@@ -9,7 +9,9 @@
 //!   frames (magic + version handshake, request ids, typed error frames),
 //!   following `cdba_traffic::codec` conventions. Version 2 adds the
 //!   signalling-lean frames: unacknowledged staging, count-gated tick
-//!   commits, and delta snapshots; version 1 clients are still accepted.
+//!   commits, and delta snapshots; version 3 adds the binary snapshot
+//!   codec ([`codec`]) and batched subscription events; version 1 and 2
+//!   clients are still accepted, and JSON stays the reference encoding.
 //! - **Server** ([`server`]): one evented core thread over non-blocking
 //!   `std::net` sockets — no async runtime, no worker pool. The core owns
 //!   the listener, every connection, and the service state; requests
@@ -65,6 +67,7 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod codec;
 pub mod delta;
 pub mod proto;
 pub mod server;
@@ -73,7 +76,7 @@ pub mod stats;
 
 pub use client::{Client, ClientConfig, ClientError, TickEvent};
 pub use delta::SnapshotDeltaBody;
-pub use proto::{ErrorCode, Frame, ProtoError};
+pub use proto::{ErrorCode, EventBody, Frame, ProtoError};
 pub use server::{GatewayConfig, GatewayServer};
 pub use stats::{WireSnapshot, WireStats};
 

@@ -29,14 +29,23 @@ pub const MAGIC: [u8; 4] = *b"CDBG";
 /// [`Frame::HelloOk`]. Version 2 adds the signalling-lean frames:
 /// unacknowledged staging ([`Frame::StageNoAck`]), count-gated tick
 /// commits ([`Frame::TickSync`]), and delta snapshots
-/// ([`Frame::SnapshotDelta`] / [`Frame::SnapshotDeltaOk`]).
-pub const VERSION: u8 = 2;
+/// ([`Frame::SnapshotDelta`] / [`Frame::SnapshotDeltaOk`]). Version 3
+/// adds the binary codec: snapshot and delta requests answered with
+/// length-prefixed binary bodies instead of JSON
+/// ([`Frame::SnapshotBin`] / [`Frame::SnapshotDeltaBin`]) and batched
+/// subscription events ([`Frame::SubscribeBatch`] /
+/// [`Frame::EventBatch`]). JSON frames remain available at every
+/// version — binary is an opt-in encoding of the same data, decoding
+/// bitwise-identical to the JSON path.
+pub const VERSION: u8 = 3;
 
 /// The oldest protocol version the server still accepts in a handshake.
 pub const MIN_VERSION: u8 = 1;
 
 /// Hard upper bound on one frame's payload, rejected before allocation.
-pub const MAX_FRAME: usize = 1 << 20;
+/// Raised from `1 << 20` with wire v3: a 100k-session binary snapshot is
+/// ~14 MiB, and the JSON form of the same snapshot is larger still.
+pub const MAX_FRAME: usize = 1 << 26;
 
 /// The request id used by server-push frames and by errors raised before a
 /// request id could be parsed.
@@ -123,6 +132,18 @@ impl fmt::Display for ErrorCode {
         };
         f.write_str(name)
     }
+}
+
+/// One subscription event as carried inside a [`Frame::EventBatch`]:
+/// the same fields as a standalone [`Frame::Event`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventBody {
+    /// Ticks committed so far.
+    pub tick: u64,
+    /// Cumulative allocation changes across all sessions.
+    pub changes: u64,
+    /// Cumulative signalling cost under the service's price model.
+    pub signalling_cost: f64,
 }
 
 /// One wire frame, client→server or server→client.
@@ -214,12 +235,40 @@ pub enum Frame {
         /// Request id.
         id: u64,
     },
+    /// Request a full snapshot in the binary codec (v3). Same data as
+    /// [`Frame::Snapshot`], answered with [`Frame::SnapshotBinOk`]
+    /// carrying a [`crate::codec`] body instead of JSON text.
+    SnapshotBin {
+        /// Request id.
+        id: u64,
+    },
+    /// Request a delta snapshot in the binary codec (v3). Same baseline
+    /// chaining as [`Frame::SnapshotDelta`]; the reply body is binary.
+    SnapshotDeltaBin {
+        /// Request id.
+        id: u64,
+    },
     /// Subscribe to [`Frame::Event`] pushes every `every` committed ticks.
     Subscribe {
         /// Request id.
         id: u64,
         /// Event period in ticks (≥ 1).
         every: u32,
+    },
+    /// Subscribe with batched delivery (v3): the server buffers `batch`
+    /// due events and ships them as one [`Frame::EventBatch`] — one frame
+    /// header and one socket write per `batch` events instead of per
+    /// event. A partial batch is held until it fills, so worst-case event
+    /// latency is `every × batch` committed ticks; clients that need
+    /// every event promptly use [`Frame::Subscribe`] (equivalent to
+    /// `batch == 1`).
+    SubscribeBatch {
+        /// Request id.
+        id: u64,
+        /// Event period in ticks (≥ 1).
+        every: u32,
+        /// Events per [`Frame::EventBatch`] push (≥ 1).
+        batch: u32,
     },
     /// Clean client-initiated close.
     Goodbye {
@@ -266,6 +315,27 @@ pub enum Frame {
         /// A `GatewaySnapshot` as JSON.
         json: String,
     },
+    /// Response to [`Frame::SnapshotBin`] (v3).
+    SnapshotBinOk {
+        /// Echoed request id.
+        id: u64,
+        /// A `GatewaySnapshot` in the [`crate::codec`] binary encoding.
+        bytes: Vec<u8>,
+    },
+    /// Response to [`Frame::SnapshotDeltaBin`] (v3).
+    SnapshotDeltaBinOk {
+        /// Echoed request id.
+        id: u64,
+        /// Monotone per-connection snapshot sequence number; the next
+        /// delta diffs against the snapshot carrying this sequence.
+        seq: u64,
+        /// When true, `bytes` is a full `GatewaySnapshot` (baseline or
+        /// resync); when false, a `SnapshotDeltaBody` to apply on top of
+        /// the previous snapshot.
+        full: bool,
+        /// The snapshot or delta in the [`crate::codec`] binary encoding.
+        bytes: Vec<u8>,
+    },
     /// Response to [`Frame::SnapshotDelta`] (v2).
     SnapshotDeltaOk {
         /// Echoed request id.
@@ -299,6 +369,12 @@ pub enum Frame {
         changes: u64,
         /// Cumulative signalling cost under the service's price model.
         signalling_cost: f64,
+    },
+    /// Server push to batched subscribers (v3): `batch` due events in one
+    /// frame, oldest first. See [`Frame::SubscribeBatch`].
+    EventBatch {
+        /// The buffered events, in commit order.
+        events: Vec<EventBody>,
     },
     /// Typed error response; the connection may or may not survive it
     /// (framing-level errors close it, semantic ones do not).
@@ -368,6 +444,9 @@ const K_GOODBYE: u8 = 0x17;
 const K_STAGE_NOACK: u8 = 0x18;
 const K_TICK_SYNC: u8 = 0x19;
 const K_SNAPSHOT_DELTA: u8 = 0x1A;
+const K_SNAPSHOT_BIN: u8 = 0x1B;
+const K_SNAPSHOT_DELTA_BIN: u8 = 0x1C;
+const K_SUBSCRIBE_BATCH: u8 = 0x1D;
 const K_JOINED: u8 = 0x20;
 const K_GROUP_JOINED: u8 = 0x21;
 const K_LEAVE_OK: u8 = 0x22;
@@ -377,7 +456,10 @@ const K_SNAPSHOT_OK: u8 = 0x25;
 const K_SUBSCRIBE_OK: u8 = 0x26;
 const K_GOODBYE_OK: u8 = 0x27;
 const K_SNAPSHOT_DELTA_OK: u8 = 0x28;
+const K_SNAPSHOT_BIN_OK: u8 = 0x29;
+const K_SNAPSHOT_DELTA_BIN_OK: u8 = 0x2A;
 const K_EVENT: u8 = 0x30;
+const K_EVENT_BATCH: u8 = 0x31;
 const K_ERROR: u8 = 0x3F;
 
 fn put_string(buf: &mut BytesMut, s: &str) {
@@ -391,6 +473,11 @@ fn put_arrivals(buf: &mut BytesMut, arrivals: &[(u64, f64)]) {
         buf.put_u64_le(key);
         buf.put_f64_le(bits);
     }
+}
+
+fn put_bytes(buf: &mut BytesMut, bytes: &[u8]) {
+    buf.put_u32_le(bytes.len() as u32);
+    buf.put_slice(bytes);
 }
 
 /// Encodes one frame to its full wire form (length prefix + payload).
@@ -454,10 +541,24 @@ pub fn encode(frame: &Frame) -> Bytes {
             payload.put_u8(K_SNAPSHOT);
             payload.put_u64_le(*id);
         }
+        Frame::SnapshotBin { id } => {
+            payload.put_u8(K_SNAPSHOT_BIN);
+            payload.put_u64_le(*id);
+        }
+        Frame::SnapshotDeltaBin { id } => {
+            payload.put_u8(K_SNAPSHOT_DELTA_BIN);
+            payload.put_u64_le(*id);
+        }
         Frame::Subscribe { id, every } => {
             payload.put_u8(K_SUBSCRIBE);
             payload.put_u64_le(*id);
             payload.put_u32_le(*every);
+        }
+        Frame::SubscribeBatch { id, every, batch } => {
+            payload.put_u8(K_SUBSCRIBE_BATCH);
+            payload.put_u64_le(*id);
+            payload.put_u32_le(*every);
+            payload.put_u32_le(*batch);
         }
         Frame::Goodbye { id } => {
             payload.put_u8(K_GOODBYE);
@@ -507,6 +608,23 @@ pub fn encode(frame: &Frame) -> Bytes {
             payload.put_u8(u8::from(*full));
             put_string(&mut payload, json);
         }
+        Frame::SnapshotBinOk { id, bytes } => {
+            payload.put_u8(K_SNAPSHOT_BIN_OK);
+            payload.put_u64_le(*id);
+            put_bytes(&mut payload, bytes);
+        }
+        Frame::SnapshotDeltaBinOk {
+            id,
+            seq,
+            full,
+            bytes,
+        } => {
+            payload.put_u8(K_SNAPSHOT_DELTA_BIN_OK);
+            payload.put_u64_le(*id);
+            payload.put_u64_le(*seq);
+            payload.put_u8(u8::from(*full));
+            put_bytes(&mut payload, bytes);
+        }
         Frame::SubscribeOk { id } => {
             payload.put_u8(K_SUBSCRIBE_OK);
             payload.put_u64_le(*id);
@@ -524,6 +642,15 @@ pub fn encode(frame: &Frame) -> Bytes {
             payload.put_u64_le(*tick);
             payload.put_u64_le(*changes);
             payload.put_f64_le(*signalling_cost);
+        }
+        Frame::EventBatch { events } => {
+            payload.put_u8(K_EVENT_BATCH);
+            payload.put_u32_le(events.len() as u32);
+            for e in events {
+                payload.put_u64_le(e.tick);
+                payload.put_u64_le(e.changes);
+                payload.put_f64_le(e.signalling_cost);
+            }
         }
         Frame::Error { id, code, message } => {
             payload.put_u8(K_ERROR);
@@ -604,6 +731,26 @@ impl Reader {
         Ok((0..count).map(|_| self.buf.get_u64_le()).collect())
     }
 
+    fn bytes(&mut self) -> Result<Vec<u8>, ProtoError> {
+        let len = self.u32()? as usize;
+        self.need(len)?;
+        let mut raw = vec![0u8; len];
+        self.buf.copy_to_slice(&mut raw);
+        Ok(raw)
+    }
+
+    fn events(&mut self) -> Result<Vec<EventBody>, ProtoError> {
+        let count = self.u32()? as usize;
+        self.need(count * 24)?;
+        Ok((0..count)
+            .map(|_| EventBody {
+                tick: self.buf.get_u64_le(),
+                changes: self.buf.get_u64_le(),
+                signalling_cost: self.buf.get_f64_le(),
+            })
+            .collect())
+    }
+
     fn finish(self, frame: Frame) -> Result<Frame, ProtoError> {
         if self.buf.remaining() > 0 {
             Err(ProtoError::Trailing {
@@ -661,9 +808,16 @@ pub fn decode_payload(payload: Bytes) -> Result<Frame, ProtoError> {
         },
         K_SNAPSHOT_DELTA => Frame::SnapshotDelta { id: r.u64()? },
         K_SNAPSHOT => Frame::Snapshot { id: r.u64()? },
+        K_SNAPSHOT_BIN => Frame::SnapshotBin { id: r.u64()? },
+        K_SNAPSHOT_DELTA_BIN => Frame::SnapshotDeltaBin { id: r.u64()? },
         K_SUBSCRIBE => Frame::Subscribe {
             id: r.u64()?,
             every: r.u32()?,
+        },
+        K_SUBSCRIBE_BATCH => Frame::SubscribeBatch {
+            id: r.u64()?,
+            every: r.u32()?,
+            batch: r.u32()?,
         },
         K_GOODBYE => Frame::Goodbye { id: r.u64()? },
         K_JOINED => Frame::Joined {
@@ -693,12 +847,25 @@ pub fn decode_payload(payload: Bytes) -> Result<Frame, ProtoError> {
             full: r.u8()? != 0,
             json: r.string()?,
         },
+        K_SNAPSHOT_BIN_OK => Frame::SnapshotBinOk {
+            id: r.u64()?,
+            bytes: r.bytes()?,
+        },
+        K_SNAPSHOT_DELTA_BIN_OK => Frame::SnapshotDeltaBinOk {
+            id: r.u64()?,
+            seq: r.u64()?,
+            full: r.u8()? != 0,
+            bytes: r.bytes()?,
+        },
         K_SUBSCRIBE_OK => Frame::SubscribeOk { id: r.u64()? },
         K_GOODBYE_OK => Frame::GoodbyeOk { id: r.u64()? },
         K_EVENT => Frame::Event {
             tick: r.u64()?,
             changes: r.u64()?,
             signalling_cost: r.f64()?,
+        },
+        K_EVENT_BATCH => Frame::EventBatch {
+            events: r.events()?,
         },
         K_ERROR => {
             let id = r.u64()?;
@@ -750,6 +917,8 @@ pub fn reply_id(frame: &Frame) -> Option<u64> {
         | Frame::TickOk { id, .. }
         | Frame::SnapshotOk { id, .. }
         | Frame::SnapshotDeltaOk { id, .. }
+        | Frame::SnapshotBinOk { id, .. }
+        | Frame::SnapshotDeltaBinOk { id, .. }
         | Frame::SubscribeOk { id }
         | Frame::GoodbyeOk { id } => Some(*id),
         _ => None,
@@ -803,7 +972,14 @@ mod tests {
         });
         roundtrip(Frame::SnapshotDelta { id: 22 });
         roundtrip(Frame::Snapshot { id: 12 });
+        roundtrip(Frame::SnapshotBin { id: 23 });
+        roundtrip(Frame::SnapshotDeltaBin { id: 24 });
         roundtrip(Frame::Subscribe { id: 13, every: 64 });
+        roundtrip(Frame::SubscribeBatch {
+            id: 25,
+            every: 8,
+            batch: 16,
+        });
         roundtrip(Frame::Goodbye { id: 14 });
         roundtrip(Frame::Joined { id: 7, key: 42 });
         roundtrip(Frame::GroupJoined {
@@ -823,12 +999,36 @@ mod tests {
             full: false,
             json: "{\"baseline_seq\":2}".into(),
         });
+        roundtrip(Frame::SnapshotBinOk {
+            id: 23,
+            bytes: vec![1, 0, 255, 42],
+        });
+        roundtrip(Frame::SnapshotDeltaBinOk {
+            id: 24,
+            seq: 5,
+            full: true,
+            bytes: vec![],
+        });
         roundtrip(Frame::SubscribeOk { id: 13 });
         roundtrip(Frame::GoodbyeOk { id: 14 });
         roundtrip(Frame::Event {
             tick: 100,
             changes: 12,
             signalling_cost: 12.0,
+        });
+        roundtrip(Frame::EventBatch {
+            events: vec![
+                EventBody {
+                    tick: 101,
+                    changes: 13,
+                    signalling_cost: 13.5,
+                },
+                EventBody {
+                    tick: 102,
+                    changes: 14,
+                    signalling_cost: -0.0,
+                },
+            ],
         });
         roundtrip(Frame::Error {
             id: 15,

@@ -672,7 +672,10 @@ impl Core {
             | Frame::TickSync { .. }
             | Frame::SnapshotDelta { .. }
             | Frame::Snapshot { .. }
-            | Frame::Subscribe { .. }) => {
+            | Frame::SnapshotBin { .. }
+            | Frame::SnapshotDeltaBin { .. }
+            | Frame::Subscribe { .. }
+            | Frame::SubscribeBatch { .. }) => {
                 let version = conn.version;
                 self.service
                     .handle(conn_id, version, request, &mut self.out);

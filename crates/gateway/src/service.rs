@@ -18,8 +18,9 @@
 //! [`Frame::TickSync`] commit released by another connection's
 //! [`Frame::StageNoAck`]).
 
+use crate::codec;
 use crate::delta;
-use crate::proto::{ErrorCode, Frame, PUSH_ID};
+use crate::proto::{ErrorCode, EventBody, Frame, PUSH_ID};
 use crate::stats::WireStats;
 use crate::GatewaySnapshot;
 use cdba_ctrl::{ControlPlane, CtrlError, ServiceConfig, ServiceSnapshot};
@@ -46,6 +47,24 @@ struct Baseline {
     snapshot: Arc<ServiceSnapshot>,
 }
 
+/// How a snapshot body goes on the wire: JSON text (v1/v2, and the v3
+/// reference encoding) or the v3 binary codec. Both decode to bitwise
+/// identical snapshots.
+#[derive(Clone, Copy)]
+enum BodyCodec {
+    Json,
+    Binary,
+}
+
+/// One connection's subscription: period, batch size, and the events
+/// buffered toward the next [`Frame::EventBatch`] (empty when
+/// `batch == 1`, which pushes plain [`Frame::Event`]s immediately).
+struct Sub {
+    every: u32,
+    batch: u32,
+    buffered: Vec<EventBody>,
+}
+
 /// The single-threaded service state, owned by the connection core.
 pub(crate) struct ServiceCore {
     plane: ControlPlane,
@@ -57,8 +76,8 @@ pub(crate) struct ServiceCore {
     /// Arrivals staged for the next committed tick, across connections.
     pending: Vec<(u64, f64)>,
     pending_keys: HashSet<u64>,
-    /// connection → subscription period in ticks.
-    subs: HashMap<u64, u32>,
+    /// connection → its subscription.
+    subs: HashMap<u64, Sub>,
     /// At most one count-gated tick commit may be parked at a time.
     parked: Option<ParkedTick>,
     /// Per-connection delta-snapshot baselines.
@@ -143,11 +162,44 @@ impl ServiceCore {
                         message: "snapshot-delta requires protocol version 2".into(),
                     })
                 } else {
-                    Some(self.snapshot_delta(conn, id))
+                    Some(self.snapshot_delta(conn, id, BodyCodec::Json))
                 }
             }
             Frame::Snapshot { id } => Some(self.snapshot_frame(id)),
-            Frame::Subscribe { id, every } => Some(self.subscribe(conn, id, every)),
+            Frame::SnapshotBin { id } => {
+                if version < 3 {
+                    Some(Frame::Error {
+                        id,
+                        code: ErrorCode::Proto,
+                        message: "snapshot-bin requires protocol version 3".into(),
+                    })
+                } else {
+                    Some(self.snapshot_bin_frame(id))
+                }
+            }
+            Frame::SnapshotDeltaBin { id } => {
+                if version < 3 {
+                    Some(Frame::Error {
+                        id,
+                        code: ErrorCode::Proto,
+                        message: "snapshot-delta-bin requires protocol version 3".into(),
+                    })
+                } else {
+                    Some(self.snapshot_delta(conn, id, BodyCodec::Binary))
+                }
+            }
+            Frame::Subscribe { id, every } => Some(self.subscribe(conn, id, every, 1)),
+            Frame::SubscribeBatch { id, every, batch } => {
+                if version < 3 {
+                    Some(Frame::Error {
+                        id,
+                        code: ErrorCode::Proto,
+                        message: "subscribe-batch requires protocol version 3".into(),
+                    })
+                } else {
+                    Some(self.subscribe(conn, id, every, batch))
+                }
+            }
             other => {
                 debug_assert!(false, "connection core routed a non-request: {other:?}");
                 return;
@@ -398,31 +450,61 @@ impl ServiceCore {
         ));
     }
 
-    /// Pushes a subscription event to every due subscriber.
+    /// Pushes a subscription event to every due subscriber. Batched
+    /// subscribers (v3) buffer until `batch` events are due, then get
+    /// them all in one [`Frame::EventBatch`].
     fn push_events(&mut self, out: &mut Outbox) {
         if self.subs.is_empty() {
             return;
         }
         let tick = self.plane.ticks();
-        let due: Vec<u64> = self
+        if !self
             .subs
-            .iter()
-            .filter(|(_, &every)| tick.is_multiple_of(every as u64))
-            .map(|(&conn, _)| conn)
-            .collect();
-        if due.is_empty() {
+            .values()
+            .any(|s| tick.is_multiple_of(s.every as u64))
+        {
             return;
         }
         let event = match self.plane.snapshot_shared() {
-            Ok(snap) => Frame::Event {
+            Ok(snap) => EventBody {
                 tick,
                 changes: snap.global.changes,
                 signalling_cost: snap.global.signalling_cost,
             },
             Err(_) => return,
         };
+        let mut due: Vec<u64> = self
+            .subs
+            .iter()
+            .filter(|(_, s)| tick.is_multiple_of(s.every as u64))
+            .map(|(&conn, _)| conn)
+            .collect();
+        due.sort_unstable();
         for conn in due {
-            out.push((conn, event.clone()));
+            let sub = self.subs.get_mut(&conn).expect("collected above");
+            if sub.batch <= 1 {
+                out.push((
+                    conn,
+                    Frame::Event {
+                        tick: event.tick,
+                        changes: event.changes,
+                        signalling_cost: event.signalling_cost,
+                    },
+                ));
+                continue;
+            }
+            sub.buffered.push(event);
+            if sub.buffered.len() >= sub.batch as usize {
+                self.stats
+                    .event_batches
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                out.push((
+                    conn,
+                    Frame::EventBatch {
+                        events: std::mem::take(&mut sub.buffered),
+                    },
+                ));
+            }
         }
     }
 
@@ -452,13 +534,31 @@ impl ServiceCore {
         }
     }
 
-    /// Answers a v2 snapshot request: a delta against the last snapshot
-    /// this connection received, or a full snapshot when no baseline
-    /// exists yet. The new snapshot becomes the connection's baseline —
-    /// the blocking client acknowledges implicitly by sending its next
-    /// request, and a connection that never parses a reply simply
-    /// re-establishes with a full snapshot after reconnecting.
-    fn snapshot_delta(&mut self, conn: u64, id: u64) -> Frame {
+    /// The v3 sibling of [`Self::snapshot_frame`]: same snapshot, binary
+    /// body.
+    fn snapshot_bin_frame(&mut self, id: u64) -> Frame {
+        self.stats
+            .full_snapshots
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        match self.gateway_snapshot() {
+            Ok((_, snap)) => Frame::SnapshotBinOk {
+                id,
+                bytes: codec::encode_gateway_snapshot(&snap),
+            },
+            Err(e) => ctrl_error(id, &e),
+        }
+    }
+
+    /// Answers a v2/v3 snapshot request: a delta against the last
+    /// snapshot this connection received, or a full snapshot when no
+    /// baseline exists yet. The new snapshot becomes the connection's
+    /// baseline — the blocking client acknowledges implicitly by sending
+    /// its next request, and a connection that never parses a reply
+    /// simply re-establishes with a full snapshot after reconnecting.
+    /// The baseline is shared between the JSON and binary requests: both
+    /// reconstruct the identical `ServiceSnapshot`, so a client may mix
+    /// encodings on one connection.
+    fn snapshot_delta(&mut self, conn: u64, id: u64, body_codec: BodyCodec) -> Frame {
         // Count the poll before assembling the snapshot so the wire
         // counters inside the reply include the reply itself.
         let o = std::sync::atomic::Ordering::Relaxed;
@@ -475,35 +575,51 @@ impl ServiceCore {
             Some(base) => {
                 let seq = base.seq + 1;
                 let body = delta::diff(&base.snapshot, base.seq, &service, seq, snap.wire);
-                match serde_json::to_string(&body) {
-                    Ok(json) => Frame::SnapshotDeltaOk {
+                match body_codec {
+                    BodyCodec::Binary => Frame::SnapshotDeltaBinOk {
                         id,
                         seq,
                         full: false,
+                        bytes: codec::encode_delta_body(&body),
+                    },
+                    BodyCodec::Json => match serde_json::to_string(&body) {
+                        Ok(json) => Frame::SnapshotDeltaOk {
+                            id,
+                            seq,
+                            full: false,
+                            json,
+                        },
+                        Err(e) => Frame::Error {
+                            id,
+                            code: ErrorCode::Ctrl,
+                            message: format!("delta serialisation failed: {e}"),
+                        },
+                    },
+                }
+            }
+            None => match body_codec {
+                BodyCodec::Binary => Frame::SnapshotDeltaBinOk {
+                    id,
+                    seq: 1,
+                    full: true,
+                    bytes: codec::encode_gateway_snapshot(&snap),
+                },
+                BodyCodec::Json => match snap.to_json_string() {
+                    Ok(json) => Frame::SnapshotDeltaOk {
+                        id,
+                        seq: 1,
+                        full: true,
                         json,
                     },
                     Err(e) => Frame::Error {
                         id,
                         code: ErrorCode::Ctrl,
-                        message: format!("delta serialisation failed: {e}"),
+                        message: format!("snapshot serialisation failed: {e}"),
                     },
-                }
-            }
-            None => match snap.to_json_string() {
-                Ok(json) => Frame::SnapshotDeltaOk {
-                    id,
-                    seq: 1,
-                    full: true,
-                    json,
-                },
-                Err(e) => Frame::Error {
-                    id,
-                    code: ErrorCode::Ctrl,
-                    message: format!("snapshot serialisation failed: {e}"),
                 },
             },
         };
-        if let Frame::SnapshotDeltaOk { seq, .. } = &reply {
+        if let Frame::SnapshotDeltaOk { seq, .. } | Frame::SnapshotDeltaBinOk { seq, .. } = &reply {
             self.baselines.insert(
                 conn,
                 Baseline {
@@ -515,7 +631,7 @@ impl ServiceCore {
         reply
     }
 
-    fn subscribe(&mut self, conn: u64, id: u64, every: u32) -> Frame {
+    fn subscribe(&mut self, conn: u64, id: u64, every: u32, batch: u32) -> Frame {
         if every == 0 {
             return Frame::Error {
                 id,
@@ -523,7 +639,21 @@ impl ServiceCore {
                 message: "subscribe period must be at least 1 tick".into(),
             };
         }
-        self.subs.insert(conn, every);
+        if batch == 0 {
+            return Frame::Error {
+                id,
+                code: ErrorCode::Proto,
+                message: "subscribe batch must be at least 1 event".into(),
+            };
+        }
+        self.subs.insert(
+            conn,
+            Sub {
+                every,
+                batch,
+                buffered: Vec::new(),
+            },
+        );
         Frame::SubscribeOk { id }
     }
 

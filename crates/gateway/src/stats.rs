@@ -127,6 +127,8 @@ pub struct WireStats {
     /// Snapshot requests answered with a full snapshot (v1 requests plus
     /// v2 baseline establishment and resyncs).
     pub full_snapshots: AtomicU64,
+    /// Batched subscription event frames pushed (wire v3 `EventBatch`).
+    pub event_batches: AtomicU64,
     /// Request-to-reply latency, measured at the connection core.
     pub latency: LatencyHistogram,
 }
@@ -151,6 +153,7 @@ impl WireStats {
             noack_stages: self.noack_stages.load(o),
             delta_snapshots: self.delta_snapshots.load(o),
             full_snapshots: self.full_snapshots.load(o),
+            event_batches: self.event_batches.load(o),
             requests: self.latency.count(),
             latency_p50_us: self.latency.quantile_us(0.50),
             latency_p99_us: self.latency.quantile_us(0.99),
@@ -188,6 +191,9 @@ pub struct WireSnapshot {
     /// Snapshot requests answered with a full snapshot.
     #[serde(default)]
     pub full_snapshots: u64,
+    /// Batched subscription event frames pushed (wire v3).
+    #[serde(default)]
+    pub event_batches: u64,
     /// Requests answered (latency samples recorded).
     pub requests: u64,
     /// Median request latency (µs, upper bucket bound).

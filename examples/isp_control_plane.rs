@@ -126,14 +126,14 @@ fn main() {
     println!("1-shard inline replay == 4-shard threaded replay: identical global metrics");
 
     println!("\nper-tenant signalling bill:");
-    let mut tenants: Vec<&str> = single.sessions.iter().map(|m| m.tenant.as_str()).collect();
+    let mut tenants: Vec<&str> = single.sessions.iter().map(|m| &*m.tenant).collect();
     tenants.sort_unstable();
     tenants.dedup();
     for tenant in tenants {
         let (changes, cost): (u64, f64) = single
             .sessions
             .iter()
-            .filter(|m| m.tenant == tenant)
+            .filter(|m| &*m.tenant == tenant)
             .fold((0, 0.0), |(c, s), m| (c + m.changes, s + m.signalling_cost));
         println!("  {tenant:<10} {changes:>6} changes  {cost:>10.1}");
     }

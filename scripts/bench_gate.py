@@ -1,16 +1,43 @@
 #!/usr/bin/env python3
-"""Fail when a measured benchmark regresses past a tolerance vs a committed baseline.
+"""Gate benchmark reports: regressions vs a committed baseline, and ordering.
 
-Both files are JSON. A file either carries a ``results`` list (the
-``BENCH_gateway.json`` / ``BENCH_ctrl.json`` shape), from which one entry
-is picked with ``--select key=value``, or it is a single flat object (the
-``cdba-cli serve --summary`` shape) read as the entry directly.
+All files are JSON. A file either carries a ``results`` list (the
+``BENCH_gateway.json`` / ``BENCH_ctrl.json`` shape), from which entries
+are picked with ``--select key=value``, or it is a single flat object
+(the ``cdba-cli serve --summary`` shape) read as the entry directly.
 
-    bench_gate.py BASELINE MEASURED --metric ticks_per_sec \
+Three modes:
+
+Single-entry regression gate (the original mode)::
+
+    bench_gate.py BASELINE MEASURED --metric ticks_per_sec \\
         [--select connections=16] [--tolerance 0.30]
 
-Exits 1 if ``measured < baseline * (1 - tolerance)``. Faster-than-baseline
-results always pass: the gate is one-sided, catching regressions only.
+  Exits 1 if ``measured < baseline * (1 - tolerance)``.
+
+Matrix regression gate — every measured entry against its baseline
+counterpart, matched on the listed keys::
+
+    bench_gate.py BASELINE MEASURED --metric ticks_per_sec \\
+        --matrix label,sessions [--tolerance 0.30]
+
+  Measured entries with no baseline counterpart are skipped (CI smoke
+  runs measure a subset of the committed matrix); any matched entry
+  below its floor fails the gate.
+
+Ordering (inversion) gate — one file, two entries, strict inequality::
+
+    bench_gate.py MEASURED --metric ticks_per_sec --select sessions=10000 \\
+        --exceeds label=threaded/s4/d4 --over label=inline/s1 [--min-cores 2]
+
+  Exits 1 unless the ``--exceeds`` entry's metric strictly exceeds the
+  ``--over`` entry's. The ordering is a statement about parallel
+  hardware, so when the report records a ``cores`` field below
+  ``--min-cores`` the check is skipped with a notice instead of
+  asserting parallelism a single-core host cannot exhibit.
+
+Faster-than-baseline results always pass: the regression gates are
+one-sided, catching slowdowns only.
 """
 
 import argparse
@@ -18,28 +45,104 @@ import json
 import sys
 
 
-def pick_entry(path, selects):
+def load(path):
     with open(path) as fh:
-        doc = json.load(fh)
+        return json.load(fh)
+
+
+def entries(doc):
+    return doc["results"] if "results" in doc else [doc]
+
+
+def pick_entry(doc, selects, path):
     if "results" not in doc:
-        return doc
+        return doc  # a flat summary *is* the entry; selectors address lists
     matches = [
         entry
-        for entry in doc["results"]
+        for entry in entries(doc)
         if all(str(entry.get(key)) == value for key, value in selects)
     ]
     if len(matches) != 1:
         raise SystemExit(
             f"{path}: selector {selects!r} matched {len(matches)} of "
-            f"{len(doc['results'])} results (need exactly 1)"
+            f"{len(entries(doc))} results (need exactly 1)"
         )
     return matches[0]
 
 
+def parse_kv(raw, parser, flag):
+    key, _, value = raw.partition("=")
+    if not value:
+        parser.error(f"{flag} needs KEY=VALUE, got {raw!r}")
+    return (key, value)
+
+
+def gate_pair(label, baseline, measured, metric, tolerance):
+    floor = baseline * (1.0 - tolerance)
+    verdict = "ok" if measured >= floor else "REGRESSION"
+    print(
+        f"{label}{metric}: baseline {baseline:.1f}, measured {measured:.1f}, "
+        f"floor {floor:.1f} (tolerance {tolerance:.0%}) -> {verdict}"
+    )
+    return measured >= floor
+
+
+def run_matrix(args, keys):
+    base_doc, meas_doc = load(args.baseline), load(args.measured)
+    index = {
+        tuple(str(entry.get(k)) for k in keys): entry for entry in entries(base_doc)
+    }
+    gated, ok = 0, True
+    for entry in entries(meas_doc):
+        ident = tuple(str(entry.get(k)) for k in keys)
+        base = index.get(ident)
+        if base is None:
+            print(f"{'/'.join(ident)}: no baseline counterpart, skipped")
+            continue
+        gated += 1
+        label = f"[{'/'.join(ident)}] "
+        ok &= gate_pair(
+            label, float(base[args.metric]), float(entry[args.metric]),
+            args.metric, args.tolerance,
+        )
+    if gated == 0:
+        raise SystemExit(f"--matrix {','.join(keys)}: nothing matched the baseline")
+    return ok
+
+
+def run_exceeds(args, parser):
+    doc = load(args.baseline)  # single-file mode: the first positional
+    if args.measured is not None:
+        parser.error("--exceeds reads one file; drop the second positional")
+    cores = doc.get("cores")
+    if cores is not None and int(cores) < args.min_cores:
+        print(
+            f"cores={cores} < {args.min_cores}: ordering check skipped "
+            f"(threaded backends cannot overtake inline without parallelism)"
+        )
+        return True
+    selects = [parse_kv(raw, parser, "--select") for raw in args.select]
+    fast = pick_entry(
+        doc, selects + [parse_kv(args.exceeds, parser, "--exceeds")], args.baseline
+    )
+    slow = pick_entry(
+        doc, selects + [parse_kv(args.over, parser, "--over")], args.baseline
+    )
+    fast_v, slow_v = float(fast[args.metric]), float(slow[args.metric])
+    verdict = "ok" if fast_v > slow_v else "INVERSION LOST"
+    print(
+        f"{args.metric}: {args.exceeds} {fast_v:.1f} vs {args.over} {slow_v:.1f} "
+        f"-> {verdict}"
+    )
+    return fast_v > slow_v
+
+
 def main():
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
     parser.add_argument("baseline")
-    parser.add_argument("measured")
+    parser.add_argument("measured", nargs="?")
     parser.add_argument("--metric", required=True)
     parser.add_argument(
         "--select",
@@ -49,24 +152,48 @@ def main():
         help="pick the results[] entry with this field (repeatable)",
     )
     parser.add_argument("--tolerance", type=float, default=0.30)
+    parser.add_argument(
+        "--matrix",
+        metavar="KEY,KEY",
+        help="gate every measured entry against the baseline entry matching "
+        "on these comma-separated keys",
+    )
+    parser.add_argument(
+        "--exceeds",
+        metavar="KEY=VALUE",
+        help="ordering gate: this entry's metric must strictly exceed --over's",
+    )
+    parser.add_argument("--over", metavar="KEY=VALUE")
+    parser.add_argument(
+        "--min-cores",
+        type=int,
+        default=2,
+        help="skip the --exceeds check when the report's cores field is lower",
+    )
     args = parser.parse_args()
 
-    selects = []
-    for raw in args.select:
-        key, _, value = raw.partition("=")
-        if not value:
-            parser.error(f"--select needs KEY=VALUE, got {raw!r}")
-        selects.append((key, value))
+    if (args.exceeds is None) != (args.over is None):
+        parser.error("--exceeds and --over go together")
 
-    baseline = float(pick_entry(args.baseline, selects)[args.metric])
-    measured = float(pick_entry(args.measured, selects)[args.metric])
-    floor = baseline * (1.0 - args.tolerance)
-    verdict = "ok" if measured >= floor else "REGRESSION"
-    print(
-        f"{args.metric}: baseline {baseline:.1f}, measured {measured:.1f}, "
-        f"floor {floor:.1f} (tolerance {args.tolerance:.0%}) -> {verdict}"
-    )
-    if measured < floor:
+    if args.exceeds is not None:
+        ok = run_exceeds(args, parser)
+    elif args.matrix is not None:
+        if args.measured is None:
+            parser.error("--matrix needs BASELINE and MEASURED")
+        ok = run_matrix(args, [k for k in args.matrix.split(",") if k])
+    else:
+        if args.measured is None:
+            parser.error("regression gate needs BASELINE and MEASURED")
+        selects = [parse_kv(raw, parser, "--select") for raw in args.select]
+        baseline = float(
+            pick_entry(load(args.baseline), selects, args.baseline)[args.metric]
+        )
+        measured = float(
+            pick_entry(load(args.measured), selects, args.measured)[args.metric]
+        )
+        ok = gate_pair("", baseline, measured, args.metric, args.tolerance)
+
+    if not ok:
         sys.exit(1)
 
 

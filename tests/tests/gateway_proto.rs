@@ -5,7 +5,7 @@
 
 use bytes::{BufMut, Bytes, BytesMut};
 use cdba_gateway::proto::{
-    self, decode, decode_payload, encode, ErrorCode, Frame, ProtoError, MAX_FRAME,
+    self, decode, decode_payload, encode, ErrorCode, EventBody, Frame, ProtoError, MAX_FRAME,
 };
 use proptest::prelude::*;
 
@@ -91,6 +91,33 @@ fn build_frame(
             full: n % 2 == 0,
             json: s,
         },
+        23 => Frame::SnapshotBin { id },
+        24 => Frame::SnapshotDeltaBin { id },
+        25 => Frame::SubscribeBatch {
+            id,
+            every: n,
+            batch: n.rotate_left(7),
+        },
+        26 => Frame::SnapshotBinOk {
+            id,
+            bytes: s.into_bytes(),
+        },
+        27 => Frame::SnapshotDeltaBinOk {
+            id,
+            seq: key,
+            full: n % 2 == 0,
+            bytes: s.into_bytes(),
+        },
+        28 => Frame::EventBatch {
+            events: arrivals
+                .iter()
+                .map(|&(k, bits)| EventBody {
+                    tick: k,
+                    changes: k ^ id,
+                    signalling_cost: bits,
+                })
+                .collect(),
+        },
         _ => Frame::Error {
             id,
             code: ERROR_CODES[kind % ERROR_CODES.len()],
@@ -104,7 +131,7 @@ proptest! {
 
     #[test]
     fn every_frame_kind_round_trips_bit_exactly(
-        kind in 0usize..24,
+        kind in 0usize..30,
         id in 0u64..u64::MAX,
         key in 0u64..u64::MAX,
         n in 0u32..u32::MAX,
@@ -123,7 +150,7 @@ proptest! {
 
     #[test]
     fn every_truncation_is_a_typed_error_never_a_panic(
-        kind in 0usize..24,
+        kind in 0usize..30,
         id in 0u64..1_000_000,
         s in arb_string(),
         arrivals in arb_arrivals(),

@@ -94,6 +94,51 @@ fn wire_view_delta(spec: &ReplaySpec, cfg: ServiceConfig) -> (InvariantView, u64
     (snapshot.service.invariant_view(), restarts)
 }
 
+/// Like [`wire_view`], but the final state is fetched **twice** on the
+/// same connection — once as JSON (`Snapshot`) and once as a wire-v3
+/// binary body (`SnapshotBin`) — and the two decoded service snapshots
+/// are asserted byte-identical through their JSON rendering (which pins
+/// every `f64` to its exact shortest representation).
+fn wire_view_bin(spec: &ReplaySpec, cfg: ServiceConfig) -> (InvariantView, u64) {
+    let server = quick_gateway(cfg);
+    let mut client = Client::connect(server.local_addr()).expect("client connects");
+    run_replay(&mut client, spec).expect("wire replay");
+    let json_snap = client.snapshot().expect("json snapshot");
+    let bin_snap = client.snapshot_bin().expect("binary snapshot");
+    client.goodbye().expect("clean goodbye");
+    server.shutdown().expect("graceful shutdown");
+    assert_eq!(
+        json_snap.service.to_json_string(),
+        bin_snap.service.to_json_string(),
+        "binary snapshot body decoded differently from the JSON one"
+    );
+    (bin_snap.service.invariant_view(), bin_snap.service.restarts)
+}
+
+/// Like [`wire_view_delta`], but the pre-replay baseline is fetched as a
+/// **JSON** delta and the closing poll as a **binary** one: deltas from
+/// either codec reconstruct the identical snapshot, so a client may mix
+/// encodings against one shared baseline chain.
+fn wire_view_delta_bin(spec: &ReplaySpec, cfg: ServiceConfig) -> (InvariantView, u64) {
+    let server = quick_gateway(cfg);
+    let mut client = Client::connect(server.local_addr()).expect("client connects");
+    client.snapshot_delta().expect("baseline snapshot (json)");
+    run_replay(&mut client, spec).expect("wire replay");
+    let snapshot = client.snapshot_delta_bin().expect("binary delta snapshot");
+    client.goodbye().expect("clean goodbye");
+    let restarts = snapshot.service.restarts;
+    assert_eq!(
+        snapshot.wire.full_snapshots, 1,
+        "only the baseline should have gone over the wire in full"
+    );
+    assert_eq!(
+        snapshot.wire.delta_snapshots, 1,
+        "the closing poll should have been served as a delta"
+    );
+    server.shutdown().expect("graceful shutdown");
+    (snapshot.service.invariant_view(), restarts)
+}
+
 #[test]
 fn wire_replay_is_bitwise_identical_to_in_process() {
     let spec = small_spec();
@@ -140,6 +185,57 @@ fn delta_snapshot_replay_survives_a_shard_kill_bitwise() {
     assert_eq!(
         local, wire,
         "recovered delta replay diverged from clean run"
+    );
+}
+
+#[test]
+fn binary_snapshot_replay_is_bitwise_identical_to_in_process() {
+    let spec = small_spec();
+    let local = in_process_view(&spec, service_config(&spec, 2, ExecMode::Inline, None));
+    let (wire, restarts) = wire_view_bin(&spec, service_config(&spec, 2, ExecMode::Inline, None));
+    assert_eq!(restarts, 0);
+    assert_eq!(local, wire, "binary-decoded replay diverged");
+}
+
+#[test]
+fn binary_snapshot_replay_survives_a_shard_kill_bitwise() {
+    let spec = small_spec();
+    let local = in_process_view(&spec, service_config(&spec, 2, ExecMode::Inline, None));
+    let fault: FaultPlan = "1@100:kill".parse().expect("valid fault plan");
+    let (wire, restarts) = wire_view_bin(
+        &spec,
+        service_config(&spec, 2, ExecMode::Threaded, Some(fault)),
+    );
+    assert!(restarts >= 1, "the injected kill never triggered a restart");
+    assert_eq!(
+        local, wire,
+        "recovered binary-decoded replay diverged from clean run"
+    );
+}
+
+#[test]
+fn binary_delta_snapshot_replay_is_bitwise_identical_to_in_process() {
+    let spec = small_spec();
+    let local = in_process_view(&spec, service_config(&spec, 2, ExecMode::Inline, None));
+    let (wire, restarts) =
+        wire_view_delta_bin(&spec, service_config(&spec, 2, ExecMode::Inline, None));
+    assert_eq!(restarts, 0);
+    assert_eq!(local, wire, "binary delta-reconstructed replay diverged");
+}
+
+#[test]
+fn binary_delta_snapshot_replay_survives_a_shard_kill_bitwise() {
+    let spec = small_spec();
+    let local = in_process_view(&spec, service_config(&spec, 2, ExecMode::Inline, None));
+    let fault: FaultPlan = "1@100:kill".parse().expect("valid fault plan");
+    let (wire, restarts) = wire_view_delta_bin(
+        &spec,
+        service_config(&spec, 2, ExecMode::Threaded, Some(fault)),
+    );
+    assert!(restarts >= 1, "the injected kill never triggered a restart");
+    assert_eq!(
+        local, wire,
+        "recovered binary delta replay diverged from clean run"
     );
 }
 
@@ -203,6 +299,56 @@ fn inline_config(budget: f64) -> ServiceConfig {
         .exec(ExecMode::Inline)
         .build()
         .expect("valid config")
+}
+
+#[test]
+fn v3_frames_are_refused_on_a_v2_connection() {
+    let server = quick_gateway(inline_config(256.0));
+    let mut conn = raw_connect(&server);
+    // Negotiate wire v2 explicitly: the binary-codec and batch frames
+    // must then be refused with a typed Proto error, not served.
+    raw_send(
+        &mut conn,
+        &Frame::Hello {
+            magic: proto::MAGIC,
+            version: 2,
+        },
+    );
+    match raw_recv(&mut conn) {
+        Frame::HelloOk { version } => assert_eq!(version, 2),
+        other => panic!("expected hello-ok at v2, got {other:?}"),
+    }
+    for (request, label) in [
+        (Frame::SnapshotBin { id: 1 }, "snapshot-bin"),
+        (Frame::SnapshotDeltaBin { id: 2 }, "snapshot-delta-bin"),
+        (
+            Frame::SubscribeBatch {
+                id: 3,
+                every: 2,
+                batch: 2,
+            },
+            "subscribe-batch",
+        ),
+    ] {
+        raw_send(&mut conn, &request);
+        match raw_recv(&mut conn) {
+            Frame::Error { code, message, .. } => {
+                assert_eq!(code, ErrorCode::Proto, "{label} got the wrong code");
+                assert!(
+                    message.contains("version 3"),
+                    "{label} error should name the required version: {message}"
+                );
+            }
+            other => panic!("expected typed refusal for {label}, got {other:?}"),
+        }
+    }
+    // The v2 connection survives its refused v3 requests.
+    raw_send(&mut conn, &Frame::Snapshot { id: 9 });
+    assert!(matches!(
+        raw_recv(&mut conn),
+        Frame::SnapshotOk { id: 9, .. }
+    ));
+    server.shutdown().expect("shutdown");
 }
 
 #[test]
@@ -488,6 +634,40 @@ fn subscriptions_push_signalling_events() {
         .expect("second event");
     assert_eq!(second.tick, 4);
     assert!(second.changes >= first.changes);
+    server.shutdown().expect("shutdown");
+}
+
+#[test]
+fn batched_subscriptions_deliver_the_same_events_in_fewer_frames() {
+    let server = quick_gateway(inline_config(256.0));
+    let mut client = Client::connect(server.local_addr()).expect("client");
+    let key = client.join("acme").expect("join");
+    // Every 2 ticks, flushed 2 events at a time: 8 ticks -> events at
+    // ticks 2, 4, 6, 8, delivered as two EventBatch frames.
+    client.subscribe_batched(2, 2).expect("subscribe-batch");
+    for t in 0..8u64 {
+        client.tick(&[(key, (t % 3) as f64)]).expect("tick");
+    }
+    let mut ticks = Vec::new();
+    let mut changes = Vec::new();
+    for _ in 0..4 {
+        let event = client
+            .next_event(Duration::from_secs(2))
+            .expect("event read")
+            .expect("batched event");
+        ticks.push(event.tick);
+        changes.push(event.changes);
+    }
+    assert_eq!(ticks, vec![2, 4, 6, 8]);
+    assert!(
+        changes.windows(2).all(|w| w[0] <= w[1]),
+        "change counters must be monotone within batches: {changes:?}"
+    );
+    let wire = server.wire_stats();
+    assert_eq!(
+        wire.event_batches, 2,
+        "4 due events at batch=2 should flush exactly 2 batch frames"
+    );
     server.shutdown().expect("shutdown");
 }
 

@@ -111,6 +111,27 @@ impl Deserialize for String {
     }
 }
 
+impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(std::sync::Arc::from(s.as_str())),
+            other => Err(DeError::custom(format!("expected string, found {other:?}"))),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::sync::Arc<T> {
+    fn deserialize(v: &Value) -> Result<Self, DeError> {
+        Ok(std::sync::Arc::new(T::deserialize(v)?))
+    }
+}
+
 impl Serialize for f64 {
     fn serialize(&self) -> Value {
         Value::Number(*self)

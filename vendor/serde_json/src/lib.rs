@@ -157,9 +157,15 @@ fn write_number(out: &mut String, n: f64) {
     use std::fmt::Write as _;
     if !n.is_finite() {
         out.push_str("null");
-    } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+    } else if n.fract() == 0.0
+        && n.abs() < 9.007_199_254_740_992e15
+        && !(n == 0.0 && n.is_sign_negative())
+    {
         let _ = write!(out, "{}", n as i64);
     } else {
+        // `{}` prints the shortest decimal that parses back to the same
+        // bits — including "-0" for negative zero, which the integer
+        // branch above would flatten to "0".
         let _ = write!(out, "{n}");
     }
 }
@@ -408,6 +414,16 @@ mod tests {
         assert_eq!(to_string(&3.0f64).unwrap(), "3");
         assert_eq!(to_string(&3.5f64).unwrap(), "3.5");
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn negative_zero_keeps_its_sign() {
+        assert_eq!(to_string(&-0.0f64).unwrap(), "-0");
+        let back: Value = from_str("-0").unwrap();
+        let Value::Number(n) = back else {
+            panic!("expected a number")
+        };
+        assert_eq!(n.to_bits(), (-0.0f64).to_bits());
     }
 
     #[test]
