@@ -12,25 +12,35 @@
 //! cdba-cli serve         --sessions 100 [--shards 4] [--ticks 100000] [--json snap.json]
 //! cdba-cli gateway       --addr 127.0.0.1:4411 [--sessions 100] [--shards 4] ...
 //! cdba-cli client        --addr 127.0.0.1:4411 --sessions 100 [--ticks 100000] [--json snap.json] [--delta yes] [--codec binary]
+//! cdba-cli fleet         [--ctrl-procs 2] [--gateways 2] [--placement p2c] [--json snap.json]
+//! cdba-cli relay         --backends HOST:PORT,HOST:PORT
 //! cdba-cli bench-gateway [--ticks 2000] [--connections 1,4,16,32,64] [--out BENCH_gateway.json]
+//! cdba-cli bench-fleet   [--ticks 2000] [--out BENCH_fleet.json]
 //! ```
 //!
 //! (The full per-command flag lists are in `USAGE`, printed by `--help`.)
 //! `serve` and `client` replay the same deterministic churn workload, so a
 //! snapshot taken over the wire is bitwise-identical — in its
-//! placement-invariant view — to one taken in-process.
+//! placement-invariant view — to one taken in-process. `fleet` replays it
+//! once more across a multi-process fleet (`cdba-fleet`): M `gateway`
+//! children behind N `relay` children, sessions placed by a pluggable
+//! policy and live-migrated over the wire-v4 lease frames — and the
+//! assembled fleet snapshot is *still* bitwise-identical in its invariant
+//! view, including under a forced drain-and-migrate and a `--fault` kill
+//! of one ctrl process.
 //!
 //! Traces use the compact binary format of `cdba_traffic::codec` (single- or
 //! multi-session).
 
 use cdba_analysis::cost::CostModel;
 use cdba_bench::matrix;
-use cdba_bench::replay::{run_replay, workload_kind, ReplaySpec};
+use cdba_bench::replay::{run_replay, workload_kind, ReplaySpec, ReplayTarget};
 use cdba_core::combined::Combined;
 use cdba_core::config::{CombinedConfig, InnerMulti, MultiConfig, SingleConfig};
 use cdba_core::multi::{Continuous, Phased};
 use cdba_core::single::{LookbackSingle, SingleSession};
 use cdba_ctrl::{ControlPlane, ExecMode, FaultPlan, ServiceConfig};
+use cdba_fleet::{Fleet, FleetConfig, LeastLoaded, Placement, PowerOfTwoChoices, RoundRobin};
 use cdba_gateway::client::{Client, ClientConfig};
 use cdba_gateway::{GatewayConfig, GatewayServer};
 use cdba_offline::multi::greedy_multi_offline;
@@ -62,8 +72,11 @@ fn main() -> ExitCode {
         "serve" => serve(rest),
         "gateway" => gateway(rest),
         "client" => client(rest),
+        "fleet" => fleet(rest),
+        "relay" => relay(rest),
         "bench-ctrl" => bench_ctrl(rest),
         "bench-gateway" => bench_gateway(rest),
+        "bench-fleet" => bench_fleet(rest),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(())
@@ -105,6 +118,18 @@ usage: cdba-cli <command> [options]
            delta snapshots and reconstructs the final snapshot from the
            diff; --codec binary fetches wire-v3 binary bodies instead of
            JSON (the decoded snapshot is identical either way)
+  fleet    [--ctrl-procs 2] [--gateways 2] [--placement p2c|least-loaded|round-robin]
+           [--drain PROC|none] [--drain-at TICK] [--fault PROC@TICK:kill]
+           [--json FILE] + every `serve` workload/service flag: replays
+           the same deterministic churn workload across a multi-process
+           fleet (ctrl-proc children behind relay children, spawned from
+           this binary), live-migrating every dedicated session off the
+           drained process at the drain tick; the assembled fleet
+           snapshot's invariant view is bitwise-identical to `serve`'s
+  relay    --backends HOST:PORT,HOST:PORT
+           byte-shuttle frontend: binds one loopback listener per
+           backend and pipes accepted connections through (spawned by
+           `fleet`; rarely useful by hand)
   bench-ctrl [--sessions 100,1000,10000,100000] [--warmup W] [--ticks T]
            [--out BENCH_ctrl.json]
            measures the in-process tick matrix (every exec/shards/depth
@@ -117,7 +142,12 @@ usage: cdba-cli <command> [options]
            and writes machine-readable throughput/latency JSON;
            --session-sweep appends rows at 16 connections across the
            given populations with the tick count scaled down as the
-           population grows";
+           population grows
+  bench-fleet [--ticks T] [--sessions N] [--ctrl-procs 2] [--gateways 2]
+           [--out BENCH_fleet.json]
+           runs the fleet replay (with its forced drain-and-migrate)
+           once per placement policy and writes a machine-readable
+           throughput/migration report";
 
 fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
     let mut flags = HashMap::new();
@@ -678,6 +708,373 @@ fn client(args: &[String]) -> CliResult {
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         println!("wrote full snapshot to {path}");
     }
+    Ok(())
+}
+
+/// Resolves a `--placement` name; the p2c policy draws its two samples
+/// from the replay seed so a fleet run is reproducible end to end.
+fn placement_from_flags(
+    flags: &HashMap<String, String>,
+    seed: u64,
+) -> Result<Box<dyn Placement>, String> {
+    Ok(match flags.get("placement").map(String::as_str) {
+        None | Some("p2c") => Box::new(PowerOfTwoChoices::new(seed)),
+        Some("least-loaded") => Box::new(LeastLoaded),
+        Some("round-robin") => Box::new(RoundRobin::default()),
+        Some(other) => {
+            return Err(format!(
+                "unknown --placement {other} (p2c|least-loaded|round-robin)"
+            ))
+        }
+    })
+}
+
+/// Parses the fleet's `--fault PROC@TICK:kill` (kill one ctrl process at
+/// a tick boundary; the fleet recovers it by genesis replay on its next
+/// operation). Distinct from `serve`'s intra-process shard faults.
+fn parse_proc_fault(raw: &str) -> Result<(usize, u64), String> {
+    let err = || format!("bad --fault {raw}: want PROC@TICK:kill");
+    let (proc, rest) = raw.split_once('@').ok_or_else(err)?;
+    let (tick, action) = rest.split_once(':').ok_or_else(err)?;
+    if action != "kill" {
+        return Err(format!(
+            "bad --fault action {action}: the fleet only injects kill"
+        ));
+    }
+    Ok((
+        proc.parse().map_err(|_| err())?,
+        tick.parse().map_err(|_| err())?,
+    ))
+}
+
+/// The service/workload flags forwarded verbatim to every ctrl-proc
+/// child, so each child computes the exact same default budget (and
+/// shard/exec/supervision shape) a single-process `serve` would use. The
+/// workload values come from the parsed spec so defaults forward too.
+fn fleet_child_args(spec: &ReplaySpec, flags: &HashMap<String, String>) -> Vec<String> {
+    let mut args = vec![
+        "--sessions".into(),
+        spec.sessions.to_string(),
+        "--bandwidth".into(),
+        spec.b_max.to_string(),
+        "--group-bandwidth".into(),
+        spec.b_o.to_string(),
+        "--delay".into(),
+        spec.d_o.to_string(),
+        "--utilization".into(),
+        spec.u_o.to_string(),
+        "--window".into(),
+        spec.w.to_string(),
+        "--group-size".into(),
+        spec.group_size.to_string(),
+        "--pool-frac".into(),
+        spec.pool_frac.to_string(),
+    ];
+    for key in [
+        "shards",
+        "exec",
+        "budget",
+        "quota",
+        "checkpoint-every",
+        "max-restarts",
+        "shard-timeout-ms",
+        "workers",
+        "service-queue",
+        "idle-timeout-ms",
+    ] {
+        if let Some(value) = flags.get(key) {
+            args.push(format!("--{key}"));
+            args.push(value.clone());
+        }
+    }
+    args
+}
+
+/// Drives [`run_replay`] against a [`Fleet`], firing the scheduled drain
+/// and fault at their tick boundaries (fault first, so a drain landing on
+/// the same tick exercises recovery rather than racing it).
+struct FleetTarget {
+    fleet: Fleet,
+    now: u64,
+    /// `(tick, proc)`: drain `proc` and live-migrate its sessions away.
+    drain: Option<(u64, usize)>,
+    /// `(tick, proc)`: kill `proc` outright; genesis replay recovers it.
+    fault: Option<(u64, usize)>,
+}
+
+impl ReplayTarget for FleetTarget {
+    fn admit(&mut self, tenant: &str) -> Result<u64, String> {
+        self.fleet.admit(tenant).map_err(|e| e.to_string())
+    }
+
+    fn admit_group(&mut self, tenant: &str, size: usize) -> Result<Vec<u64>, String> {
+        self.fleet
+            .admit_group(tenant, size as u32)
+            .map_err(|e| e.to_string())
+    }
+
+    fn leave(&mut self, key: u64) -> Result<(), String> {
+        self.fleet.leave(key).map_err(|e| e.to_string())
+    }
+
+    fn tick(&mut self, arrivals: &[(u64, f64)]) -> Result<(), String> {
+        if let Some((at, proc)) = self.fault {
+            if at == self.now {
+                self.fleet.kill(proc);
+                self.fault = None;
+            }
+        }
+        if let Some((at, proc)) = self.drain {
+            if at == self.now {
+                let moved = self
+                    .fleet
+                    .drain_and_migrate(proc)
+                    .map_err(|e| e.to_string())?;
+                println!("tick {at}: drained process {proc}, migrated {moved} session(s)");
+                self.drain = None;
+            }
+        }
+        self.fleet.tick(arrivals).map_err(|e| e.to_string())?;
+        self.now += 1;
+        Ok(())
+    }
+}
+
+/// Spawns a fleet from the parsed flags and replays the spec's workload
+/// through it. Shared by `fleet` and `bench-fleet` so a benchmarked run
+/// is exactly the run the determinism gate checks.
+fn run_fleet(
+    spec: &ReplaySpec,
+    flags: &HashMap<String, String>,
+    placement: Box<dyn Placement>,
+) -> Result<(cdba_bench::replay::ReplayOutcome, FleetTarget), String> {
+    let ctrl_procs: usize = get_parse(flags, "ctrl-procs", 2)?;
+    let gateways: usize = get_parse(flags, "gateways", 2)?;
+    let drain: Option<usize> = match flags.get("drain").map(String::as_str) {
+        Some("none") => None,
+        Some(raw) => Some(raw.parse().map_err(|e| format!("bad --drain {raw}: {e}"))?),
+        None => Some(0),
+    };
+    let drain_at: u64 = get_parse(flags, "drain-at", spec.ticks / 2)?;
+    let fault: Option<(u64, usize)> = match flags.get("fault") {
+        Some(raw) => {
+            let (proc, tick) = parse_proc_fault(raw)?;
+            if proc >= ctrl_procs {
+                return Err(format!(
+                    "--fault process {proc} >= --ctrl-procs {ctrl_procs}"
+                ));
+            }
+            Some((tick, proc))
+        }
+        None => None,
+    };
+    if let Some(proc) = drain {
+        if proc >= ctrl_procs {
+            return Err(format!(
+                "--drain process {proc} >= --ctrl-procs {ctrl_procs}"
+            ));
+        }
+    }
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let cfg = FleetConfig {
+        exe,
+        ctrl_procs,
+        gateways,
+        child_args: fleet_child_args(spec, flags),
+        migration_price: 1.0,
+    };
+    let fleet = Fleet::start(cfg, placement).map_err(|e| e.to_string())?;
+    let mut target = FleetTarget {
+        fleet,
+        now: 0,
+        drain: drain.map(|proc| (drain_at, proc)),
+        fault,
+    };
+    let outcome = run_replay(&mut target, spec)?;
+    Ok((outcome, target))
+}
+
+/// `fleet`: replay the deterministic churn workload across a
+/// multi-process fleet — ctrl-proc children behind relay children, both
+/// spawned from this very binary — with a forced drain-and-migrate
+/// mid-run, and report the assembled fleet snapshot. Its
+/// placement-invariant view is bitwise-identical to `serve`'s for the
+/// same workload flags, under any placement policy, across live
+/// migrations, and under a `--fault` kill of one ctrl process.
+fn fleet(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let spec = replay_spec_from_flags(&flags)?;
+    let split = spec.split();
+    let placement = placement_from_flags(&flags, spec.seed)?;
+    let (outcome, mut target) = run_fleet(&spec, &flags, placement)?;
+    let snapshot = target.fleet.snapshot().map_err(|e| e.to_string())?;
+    let fleet_summary = target.fleet.summary();
+
+    println!(
+        "fleet served {} sessions ({} pooled in {} groups) × {} ticks on {} ctrl \
+         process(es) behind {} gateway(s): {:.0} session-ticks/s, {} churn events",
+        spec.sessions,
+        split.pooled,
+        split.groups,
+        spec.ticks,
+        fleet_summary.ctrl_procs,
+        fleet_summary.gateways,
+        outcome.throughput(),
+        outcome.churn_events,
+    );
+    println!(
+        "placement {}: live per process {:?}; {} migration(s) costing {:.1}, {} respawn(s)",
+        fleet_summary.placement,
+        fleet_summary.live,
+        fleet_summary.migrations,
+        fleet_summary.migration_cost,
+        fleet_summary.respawns,
+    );
+    println!(
+        "signalling: {} changes, total cost {:.1}; max delay {} ticks; admitted {}, rejected {}",
+        snapshot.global.changes,
+        snapshot.global.total_cost(),
+        snapshot.global.max_delay,
+        snapshot.admitted,
+        snapshot.rejected,
+    );
+    let summary = serde_json::json!({
+        "sessions": spec.sessions,
+        "ticks": spec.ticks,
+        "ctrl_procs": fleet_summary.ctrl_procs,
+        "gateways": fleet_summary.gateways,
+        "placement": fleet_summary.placement,
+        "migrations": fleet_summary.migrations,
+        "migration_cost": fleet_summary.migration_cost,
+        "respawns": fleet_summary.respawns,
+        "live": fleet_summary.live,
+        "churn_events": outcome.churn_events,
+        "elapsed_sec": outcome.elapsed_sec,
+        "session_ticks_per_sec": outcome.throughput(),
+        "global": serde_json::to_value(&snapshot.global),
+    });
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?
+    );
+    if let Some(path) = flags.get("json") {
+        std::fs::write(path, snapshot.to_json_string())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote full snapshot to {path}");
+    }
+    Ok(())
+}
+
+/// `relay`: the fleet's byte-shuttle frontend. One loopback listener per
+/// backend; every accepted connection gets a fresh upstream connection
+/// and two copy threads (one per direction). The relay is protocol-blind:
+/// the lease frames, like everything else, are just bytes to it.
+fn relay(args: &[String]) -> CliResult {
+    let flags = parse_flags(args)?;
+    let backends: Vec<String> = get(&flags, "backends")?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    if backends.is_empty() {
+        return Err("--backends needs at least one HOST:PORT".into());
+    }
+    for backend in backends {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0")
+            .map_err(|e| format!("cannot bind relay listener: {e}"))?;
+        let local = listener.local_addr().map_err(|e| e.to_string())?;
+        // The parent fleet parses these lines, in backend order, to learn
+        // where to connect.
+        println!("cdba-relay listening on {local} -> {backend}");
+        std::thread::spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(down) = conn else { continue };
+                let backend = backend.clone();
+                std::thread::spawn(move || relay_conn(down, &backend));
+            }
+        });
+    }
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
+}
+
+/// Shuttles one accepted connection to `backend` until either side
+/// closes, then drops both (shutdown propagates the close).
+fn relay_conn(down: std::net::TcpStream, backend: &str) {
+    let Ok(up) = std::net::TcpStream::connect(backend) else {
+        return;
+    };
+    let (Ok(down_read), Ok(up_read)) = (down.try_clone(), up.try_clone()) else {
+        return;
+    };
+    let forward = std::thread::spawn(move || {
+        let mut from = down_read;
+        let mut to = up;
+        let _ = std::io::copy(&mut from, &mut to);
+        let _ = to.shutdown(std::net::Shutdown::Both);
+    });
+    let mut from = up_read;
+    let mut to = down;
+    let _ = std::io::copy(&mut from, &mut to);
+    let _ = to.shutdown(std::net::Shutdown::Both);
+    let _ = forward.join();
+}
+
+/// `bench-fleet`: run the fleet replay — forced drain-and-migrate
+/// included — once per placement policy and write the machine-readable
+/// report the CI bench gate reads.
+fn bench_fleet(args: &[String]) -> CliResult {
+    let mut flags = parse_flags(args)?;
+    // Bench defaults: a smaller population and tick count than serve's,
+    // sized so the three placement rows finish in seconds.
+    flags
+        .entry("sessions".into())
+        .or_insert_with(|| "40".into());
+    flags.entry("ticks".into()).or_insert_with(|| "2000".into());
+    let spec = replay_spec_from_flags(&flags)?;
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "BENCH_fleet.json".into());
+    let ctrl_procs: usize = get_parse(&flags, "ctrl-procs", 2)?;
+    let gateways: usize = get_parse(&flags, "gateways", 2)?;
+
+    let mut results = Vec::new();
+    for name in ["p2c", "least-loaded", "round-robin"] {
+        flags.insert("placement".into(), name.into());
+        let placement = placement_from_flags(&flags, spec.seed)?;
+        let (outcome, target) = run_fleet(&spec, &flags, placement)?;
+        let fleet_summary = target.fleet.summary();
+        println!(
+            "{name:>12}: {:.0} session-ticks/s, {} migration(s) costing {:.1}, live {:?}",
+            outcome.throughput(),
+            fleet_summary.migrations,
+            fleet_summary.migration_cost,
+            fleet_summary.live,
+        );
+        results.push(serde_json::json!({
+            "placement": name,
+            "ctrl_procs": ctrl_procs,
+            "gateways": gateways,
+            "sessions": spec.sessions,
+            "ticks": spec.ticks,
+            "elapsed_sec": outcome.elapsed_sec,
+            "session_ticks_per_sec": outcome.throughput(),
+            "migrations": fleet_summary.migrations,
+            "migration_cost": fleet_summary.migration_cost,
+            "respawns": fleet_summary.respawns,
+        }));
+    }
+
+    let report = serde_json::json!({
+        "bench": "fleet",
+        "ticks": spec.ticks,
+        "results": results,
+    });
+    let body = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
+    std::fs::write(&out, body).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
     Ok(())
 }
 

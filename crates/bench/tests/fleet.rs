@@ -1,0 +1,167 @@
+//! Process-level fleet tests: real `cdba-cli gateway` children spawned
+//! from the compiled binary (hence this file lives in `cdba-bench`,
+//! which owns the bin and gets `CARGO_BIN_EXE_cdba-cli`).
+
+use cdba_bench::replay::{run_replay, ReplaySpec, ReplayTarget};
+use cdba_ctrl::{ControlPlane, ExecMode};
+use cdba_fleet::{Fleet, FleetConfig, FleetError, LeastLoaded};
+use std::path::PathBuf;
+
+/// Small single-shard inline children so each test run stays in the
+/// hundreds of milliseconds.
+fn config(ctrl_procs: usize, gateways: usize, child_args: &[&str]) -> FleetConfig {
+    FleetConfig {
+        exe: PathBuf::from(env!("CARGO_BIN_EXE_cdba-cli")),
+        ctrl_procs,
+        gateways,
+        child_args: child_args.iter().map(|s| s.to_string()).collect(),
+        migration_price: 1.0,
+    }
+}
+
+/// Satellite regression: a gateway child dying mid-migration (after the
+/// source revoked the lease, before the target granted it) must surface
+/// as the typed `MigrationFailed` error with the lease returned to the
+/// source — the session keeps running there, its budget stays accounted,
+/// and nothing panics. A later retry, once the target recovers, succeeds.
+#[test]
+fn killed_target_mid_migration_returns_the_lease_to_the_source() {
+    let cfg = config(
+        2,
+        0,
+        &["--sessions", "8", "--shards", "1", "--exec", "inline"],
+    );
+    let mut fleet = Fleet::start(cfg, Box::new(LeastLoaded)).expect("fleet starts");
+    // Least-loaded with lowest-index ties: keys 0 and 2 land on process
+    // 0, keys 1 and 3 on process 1.
+    for i in 0..4 {
+        assert_eq!(fleet.admit("alpha").expect("admit"), i);
+    }
+    fleet.tick(&[(0, 2.0), (1, 1.0)]).expect("tick");
+
+    // The target dies between the revoke and the grant.
+    fleet.kill(1);
+    let err = fleet.migrate(0, 1).expect_err("grant against a dead child");
+    match err {
+        FleetError::MigrationFailed { key, from, to, .. } => {
+            assert_eq!((key, from, to), (0, 1 - 1, 1));
+        }
+        other => panic!("expected MigrationFailed, got {other}"),
+    }
+
+    // The session still runs at the source: ticking it succeeds, and the
+    // fleet snapshot still carries all four sessions with zero
+    // rejections (the re-granted lease re-took its budget envelope —
+    // a leak would double-book and reject the next admit below).
+    fleet
+        .tick(&[(0, 2.0)])
+        .expect("session ticks at the source");
+    let snap = fleet.snapshot().expect("snapshot");
+    assert_eq!(snap.global.sessions, 4);
+    assert_eq!(snap.rejected, 0);
+    assert!(snap.sessions.iter().any(|s| s.session == 0));
+
+    // The dead process was recovered by genesis replay during the tick
+    // above, so the identical migration now goes through, and the
+    // session admitted after it all still fits the budget.
+    fleet.migrate(0, 1).expect("retry after recovery");
+    fleet
+        .admit("beta")
+        .expect("budget intact after the round trip");
+    let summary = fleet.summary();
+    assert_eq!(summary.migrations, 1);
+    assert_eq!(summary.respawns, 1);
+}
+
+/// Drives the shared churn replay through a fleet, forcing one
+/// drain-and-migrate mid-run.
+struct FleetTarget {
+    fleet: Fleet,
+    now: u64,
+    drain_at: u64,
+    drain_proc: usize,
+}
+
+impl ReplayTarget for FleetTarget {
+    fn admit(&mut self, tenant: &str) -> Result<u64, String> {
+        self.fleet.admit(tenant).map_err(|e| e.to_string())
+    }
+
+    fn admit_group(&mut self, tenant: &str, size: usize) -> Result<Vec<u64>, String> {
+        self.fleet
+            .admit_group(tenant, size as u32)
+            .map_err(|e| e.to_string())
+    }
+
+    fn leave(&mut self, key: u64) -> Result<(), String> {
+        self.fleet.leave(key).map_err(|e| e.to_string())
+    }
+
+    fn tick(&mut self, arrivals: &[(u64, f64)]) -> Result<(), String> {
+        if self.now == self.drain_at {
+            self.fleet
+                .drain_and_migrate(self.drain_proc)
+                .map_err(|e| e.to_string())?;
+        }
+        self.fleet.tick(arrivals).map_err(|e| e.to_string())?;
+        self.now += 1;
+        Ok(())
+    }
+}
+
+/// The tentpole guarantee at test scale: the fleet replay — relays,
+/// placement, churn, and a forced drain-and-migrate — produces an
+/// invariant view bitwise-identical to the in-process run of the same
+/// spec.
+#[test]
+fn fleet_replay_matches_the_in_process_invariant_view_across_a_migration() {
+    let spec = ReplaySpec {
+        sessions: 8,
+        ticks: 200,
+        churn_every: 50,
+        pool_frac: 0.5,
+        ..ReplaySpec::default()
+    };
+
+    let cfg = spec
+        .service_builder(spec.default_budget())
+        .exec(ExecMode::Inline)
+        .build()
+        .expect("service config");
+    let mut plane = ControlPlane::new(cfg);
+    run_replay(&mut plane, &spec).expect("in-process replay");
+    let inline_view = plane.snapshot().expect("snapshot").invariant_view();
+    plane.shutdown();
+
+    let cfg = config(
+        2,
+        1,
+        &[
+            "--sessions",
+            "8",
+            "--pool-frac",
+            "0.5",
+            "--shards",
+            "1",
+            "--exec",
+            "inline",
+        ],
+    );
+    let fleet = Fleet::start(cfg, Box::new(LeastLoaded)).expect("fleet starts");
+    // Least-loaded puts the pooled group on process 0 and every
+    // dedicated session on process 1; draining 1 forces real migrations.
+    let mut target = FleetTarget {
+        fleet,
+        now: 0,
+        drain_at: 100,
+        drain_proc: 1,
+    };
+    run_replay(&mut target, &spec).expect("fleet replay");
+    assert!(
+        target.fleet.migrations() >= 1,
+        "the drain must have moved at least one session"
+    );
+    let fleet_view = target.fleet.snapshot().expect("snapshot").invariant_view();
+
+    assert_eq!(inline_view, fleet_view);
+}

@@ -906,6 +906,27 @@ pub(crate) mod checkpoint {
         d.finish()?;
         Ok(cp)
     }
+
+    /// Encodes one session's checkpoint as a standalone payload — the
+    /// migration blob a live session travels between processes as.
+    pub(crate) fn encode_session(cp: &SessionCheckpoint, buf: &mut Vec<u8>) {
+        let mut e = Enc::new(buf);
+        e.u8(CODEC_VERSION);
+        enc_session(cp, &mut e);
+    }
+
+    /// Decodes a standalone session-checkpoint payload.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] raised by a malformed payload.
+    pub(crate) fn decode_session(payload: &[u8]) -> Result<SessionCheckpoint, CodecError> {
+        let mut d = Dec::new(payload);
+        d.version()?;
+        let cp = dec_session(&mut d)?;
+        d.finish()?;
+        Ok(cp)
+    }
 }
 
 #[cfg(test)]

@@ -71,7 +71,7 @@ pub use admission::{AdmissionController, AdmissionError};
 pub use config::{ExecMode, ServiceConfig, ServiceConfigBuilder};
 pub use fault::{FaultKind, FaultPlan};
 pub use meter::{SessionMetrics, SignallingMeter};
-pub use metrics::{GlobalMetrics, ServiceSnapshot, ShardHealth, ShardMetrics};
+pub use metrics::{GlobalMetrics, ServiceSnapshot, ShardHealth, ShardMetrics, SnapshotCounters};
 pub use service::ControlPlane;
 
 use std::fmt;

@@ -137,13 +137,23 @@ pub struct ServiceSnapshot {
 
 /// The driver-side counters a snapshot carries verbatim: clock, shape,
 /// admission tallies, and the supervisor's recovery bookkeeping.
+///
+/// Public so an out-of-process orchestrator (the fleet driver) can
+/// re-assemble a fleet-wide [`ServiceSnapshot`] from per-process parts
+/// with its own clock and summed tallies.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct SnapshotCounters {
+pub struct SnapshotCounters {
+    /// Ticks the service has executed.
     pub ticks: u64,
+    /// Configured shard count.
     pub shards: u64,
+    /// Joins admitted.
     pub admitted: u64,
+    /// Joins rejected by admission control.
     pub rejected: u64,
+    /// Shard-worker restarts performed by the supervisor.
     pub restarts: u64,
+    /// Journal events replayed into restarted shards during recovery.
     pub events_replayed: u64,
 }
 
@@ -151,7 +161,7 @@ impl ServiceSnapshot {
     /// Builds a snapshot from raw per-session metrics (any order) and the
     /// driver's counters. `health` must be sorted by shard index (the
     /// supervisor stores it that way).
-    pub(crate) fn assemble(
+    pub fn assemble(
         counters: SnapshotCounters,
         health: Vec<ShardHealth>,
         mut sessions: Vec<SessionMetrics>,

@@ -706,6 +706,189 @@ impl ControlPlane {
         Ok(())
     }
 
+    /// Keys a live migration can move out of this service: every live
+    /// *dedicated* session, sorted. Pooled members are excluded — a pool
+    /// member's dynamics are not separable from its group.
+    pub fn migratable_keys(&self) -> Vec<u64> {
+        let mut keys: Vec<u64> = self
+            .placements
+            .iter()
+            .filter(|(_, p)| p.kind == PlacementKind::Dedicated)
+            .map(|(&key, _)| key)
+            .collect();
+        keys.sort_unstable();
+        keys
+    }
+
+    /// Exports one *dedicated* session as a standalone migration blob and
+    /// removes it from this service. The export quiesces the session —
+    /// in threaded mode the capture reply arrives only after every
+    /// previously dispatched event was applied (the queue is FIFO) — then
+    /// captures its slab row bitwise via the binary codec, forgets it
+    /// *without* retiring its metrics (they travel inside the blob), and
+    /// releases its admission envelope. Feeding the blob to
+    /// [`ControlPlane::import_session`] on another service resumes the
+    /// session bitwise at its next tick.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::UnknownSession`] if the key is not live;
+    /// [`CtrlError::InvalidService`] for pooled members;
+    /// [`CtrlError::ShardDown`] if the session's shard is down or fails
+    /// during the export (the session then stays registered and keeps its
+    /// envelope).
+    pub fn export_session(&mut self, key: u64) -> Result<Vec<u8>, CtrlError> {
+        self.generation += 1;
+        let (shard, kind) = {
+            let placement = self
+                .placements
+                .get(&key)
+                .ok_or(CtrlError::UnknownSession(key))?;
+            (placement.shard, placement.kind)
+        };
+        if kind != PlacementKind::Dedicated {
+            return Err(CtrlError::InvalidService(format!(
+                "session {key} is pooled; only dedicated sessions can migrate"
+            )));
+        }
+        let cp = self.capture_session(shard, key)?;
+        let Some(cp) = cp else {
+            // The placement table says dedicated-and-live, so the shard
+            // must know the key; a miss means the shard lost state.
+            return Err(CtrlError::ShardDown {
+                shard,
+                reason: format!("shard does not know session {key}"),
+            });
+        };
+        self.dispatch(shard, ReplayEvent::Forget { key })?;
+        let placement = self.placements.remove(&key).expect("checked above");
+        self.sups[shard].live -= 1;
+        self.admission
+            .lock()
+            .release(&placement.tenant, self.cfg.dedicated_envelope());
+        let mut blob = Vec::new();
+        crate::codec::checkpoint::encode_session(&cp, &mut blob);
+        Ok(blob)
+    }
+
+    /// Captures `key`'s checkpoint from its shard. Read-only (like the
+    /// snapshot path): not journaled, and the reply synchronizes the
+    /// shard. A shard that stalls is restarted and retried once, exactly
+    /// like [`ControlPlane::collect_sessions`]; a second miss marks it
+    /// permanently down.
+    fn capture_session(
+        &mut self,
+        shard: usize,
+        key: u64,
+    ) -> Result<Option<crate::shard::SessionCheckpoint>, CtrlError> {
+        if let Backend::Inline(states) = &mut self.backend {
+            return Ok(states[shard].checkpoint_session(key));
+        }
+        let timeout = Duration::from_millis(self.cfg.shard_timeout_ms);
+        for round in 0..2u32 {
+            self.drain_worker_msgs();
+            if !self.sups[shard].healthy {
+                return Err(self.down_error(shard));
+            }
+            let epoch = self.sups[shard].epoch;
+            let (reply, rx) = bounded(1);
+            let sent = {
+                let Backend::Threaded { workers } = &self.backend else {
+                    unreachable!("inline handled above")
+                };
+                let worker = workers[shard].as_ref().expect("healthy shard has a worker");
+                worker
+                    .tx
+                    .send_timeout(Event::ExportSession { key, reply }, timeout)
+            };
+            let failure = match sent {
+                Ok(()) => match rx.recv_timeout(timeout) {
+                    Ok(cp) => {
+                        // The reply proves every previously dispatched
+                        // event was applied (the queue is FIFO).
+                        self.sups[shard].inflight = 0;
+                        return Ok(cp);
+                    }
+                    Err(_) => "session export stalled past the shard timeout",
+                },
+                Err(SendTimeoutError::Timeout(_)) => "event queue stalled past the shard timeout",
+                Err(SendTimeoutError::Disconnected(_)) => {
+                    "worker terminated without a failure report"
+                }
+            };
+            self.drain_worker_msgs();
+            if self.sups[shard].epoch == epoch {
+                if round == 0 {
+                    let _ = self.recover(shard, failure.into());
+                } else {
+                    self.generation += 1;
+                    self.retire_worker(shard);
+                    let sup = &mut self.sups[shard];
+                    sup.healthy = false;
+                    sup.inflight = 0;
+                    sup.last_failure = Some("session export failed twice despite recovery".into());
+                }
+            }
+        }
+        Err(self.down_error(shard))
+    }
+
+    /// Admits a migrated-in dedicated session from a blob produced by
+    /// [`ControlPlane::export_session`], under a fresh key (returned).
+    /// The session passes admission control like any join — its tenant is
+    /// charged the dedicated envelope here, mirroring the release on
+    /// export — and resumes bitwise: meter totals, allocator state, and
+    /// the draining flag all carry over.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::InvalidService`] for a malformed blob or one that is
+    /// not a dedicated session; [`CtrlError::Admission`] when the budget
+    /// or tenant quota cannot cover the envelope; [`CtrlError::ShardDown`]
+    /// when no shard could take the session. Admission is rolled back on
+    /// a failed delivery, exactly like [`ControlPlane::admit`].
+    pub fn import_session(&mut self, blob: &[u8]) -> Result<u64, CtrlError> {
+        let mut cp = crate::codec::checkpoint::decode_session(blob)
+            .map_err(|err| CtrlError::InvalidService(format!("bad migration blob: {err}")))?;
+        if cp.dedicated.is_none() || cp.pooled.is_some() {
+            return Err(CtrlError::InvalidService(
+                "migration blob is not a dedicated session".into(),
+            ));
+        }
+        self.generation += 1;
+        let envelope = self.cfg.dedicated_envelope();
+        let tenant = cp.tenant.clone();
+        self.admission
+            .lock()
+            .request(&tenant, envelope)
+            .map_err(CtrlError::Admission)?;
+        let Some(shard) = self.place() else {
+            self.admission.lock().rollback(&tenant, envelope);
+            return Err(CtrlError::ShardDown {
+                shard: 0,
+                reason: "no healthy shard to place the session on".into(),
+            });
+        };
+        let key = self.next_key;
+        cp.key = key;
+        let import = ReplayEvent::Import { cp: Arc::new(cp) };
+        if let Err(err) = self.dispatch(shard, import) {
+            self.admission.lock().rollback(&tenant, envelope);
+            return Err(err);
+        }
+        self.next_key += 1;
+        self.placements.insert(
+            key,
+            Placement {
+                shard,
+                tenant,
+                kind: PlacementKind::Dedicated,
+            },
+        );
+        self.sups[shard].live += 1;
+        Ok(key)
+    }
+
     /// Advances the whole service by one tick. `arrivals` lists the bits
     /// each named session submits this tick (unlisted live sessions submit
     /// zero). Every healthy shard ticks, listed or not, so session clocks
@@ -1158,6 +1341,106 @@ mod tests {
         assert_eq!(service.ticks(), 0);
         service.tick(&[(a, 1.0), (b, 0.0)]).unwrap();
         assert_eq!(service.ticks(), 1);
+    }
+
+    /// A session exported from one control plane and imported into
+    /// another continues bitwise — the core guarantee behind fleet live
+    /// migration — and the admission budget moves with it.
+    #[test]
+    fn export_import_moves_a_session_between_services_bitwise() {
+        let mut src = ControlPlane::new(config(1, ExecMode::Inline));
+        let mut dst = ControlPlane::new(config(1, ExecMode::Inline));
+        let mut twin = ControlPlane::new(config(1, ExecMode::Inline));
+
+        let key = src.admit("acme").unwrap();
+        let group = src.admit_group("globex", 2).unwrap();
+        let twin_key = twin.admit("acme").unwrap();
+        for t in 0..40u64 {
+            src.tick(&[(key, (t % 5) as f64)]).unwrap();
+            twin.tick(&[(twin_key, (t % 5) as f64)]).unwrap();
+        }
+
+        // Pooled members refuse to migrate; unknown keys error.
+        assert!(matches!(
+            src.export_session(group[0]),
+            Err(CtrlError::InvalidService(_))
+        ));
+        assert!(matches!(
+            src.export_session(999),
+            Err(CtrlError::UnknownSession(999))
+        ));
+
+        let src_budget_before = src.available_budget();
+        let dst_budget_before = dst.available_budget();
+        let blob = src.export_session(key).unwrap();
+        let moved = dst.import_session(&blob).unwrap();
+
+        // The envelope moved: released at the source, charged at the
+        // target.
+        let envelope = src.config().dedicated_envelope();
+        assert_eq!(src.available_budget(), src_budget_before + envelope);
+        assert_eq!(dst.available_budget(), dst_budget_before - envelope);
+        assert!(src.migratable_keys().is_empty());
+        assert_eq!(dst.migratable_keys(), vec![moved]);
+
+        // The source neither serves nor reports the session any more.
+        assert!(matches!(
+            src.tick(&[(key, 1.0)]),
+            Err(CtrlError::UnknownSession(_))
+        ));
+        let src_snap = src.snapshot().unwrap();
+        assert!(src_snap.sessions.iter().all(|m| m.session != key));
+
+        // The moved session and its undisturbed twin agree bitwise after
+        // identical continuations.
+        for t in 0..25u64 {
+            dst.tick(&[(moved, ((t + 1) % 4) as f64)]).unwrap();
+            twin.tick(&[(twin_key, ((t + 1) % 4) as f64)]).unwrap();
+        }
+        let moved_m = dst
+            .snapshot()
+            .unwrap()
+            .sessions
+            .iter()
+            .find(|m| m.session == moved)
+            .cloned()
+            .unwrap();
+        let twin_m = twin
+            .snapshot()
+            .unwrap()
+            .sessions
+            .iter()
+            .find(|m| m.session == twin_key)
+            .cloned()
+            .unwrap();
+        assert_eq!(
+            SessionMetrics {
+                session: twin_key,
+                ..moved_m
+            },
+            twin_m,
+            "migrated session diverged from its single-service twin"
+        );
+    }
+
+    /// The threaded export path (quiesce over the worker channel) emits
+    /// the same blob as the inline path after the same history.
+    #[test]
+    fn threaded_export_matches_inline_export() {
+        let run = |exec: ExecMode| {
+            let mut plane = ControlPlane::new(config(2, exec));
+            let key = plane.admit("acme").unwrap();
+            let other = plane.admit("acme").unwrap();
+            for t in 0..30u64 {
+                plane
+                    .tick(&[(key, (t % 3) as f64), (other, ((t + 1) % 3) as f64)])
+                    .unwrap();
+            }
+            let blob = plane.export_session(key).unwrap();
+            plane.shutdown();
+            blob
+        };
+        assert_eq!(run(ExecMode::Inline), run(ExecMode::Threaded));
     }
 
     #[test]

@@ -79,6 +79,26 @@ pub(crate) enum Event {
         /// Where to send the report.
         reply: crossbeam::channel::Sender<ShardReport>,
     },
+    /// Capture one session's restorable state (read-only, like
+    /// [`Event::Collect`]) for a live migration. `None` if the key is not
+    /// live on this shard or the session is pooled.
+    ExportSession {
+        /// The session to capture.
+        key: u64,
+        /// Where to send the captured state.
+        reply: crossbeam::channel::Sender<Option<SessionCheckpoint>>,
+    },
+    /// Remove a migrated-away session *without* retiring its metrics —
+    /// the session lives on elsewhere and its meter travelled with it.
+    Forget {
+        /// The session to remove.
+        key: u64,
+    },
+    /// Re-create a migrated-in dedicated session from its checkpoint.
+    Import {
+        /// The captured state (key already rewritten to this service's).
+        cp: Arc<SessionCheckpoint>,
+    },
     /// Stop the worker loop.
     Shutdown,
 }
@@ -134,6 +154,16 @@ pub(crate) enum ReplayEvent {
         /// `(key, bits)` arrivals for the tick.
         arrivals: Arc<[(u64, f64)]>,
     },
+    /// See [`Event::Forget`].
+    Forget {
+        /// The session to remove without retiring.
+        key: u64,
+    },
+    /// See [`Event::Import`].
+    Import {
+        /// The captured state to re-create the session from.
+        cp: Arc<SessionCheckpoint>,
+    },
 }
 
 impl ReplayEvent {
@@ -158,6 +188,8 @@ impl ReplayEvent {
             ReplayEvent::Tick { arrivals } => Event::Tick {
                 arrivals: arrivals.clone(),
             },
+            ReplayEvent::Forget { key } => Event::Forget { key: *key },
+            ReplayEvent::Import { cp } => Event::Import { cp: cp.clone() },
         }
     }
 }
@@ -435,8 +467,62 @@ impl ShardState {
                 // torn-down snapshot); losing the report is then harmless.
                 let _ = reply.send(self.report());
             }
+            Event::ExportSession { key, reply } => {
+                let _ = reply.send(self.checkpoint_session(key));
+            }
+            Event::Forget { key } => self.forget(key),
+            Event::Import { cp } => self.import(&cp),
             Event::Shutdown => {}
         }
+    }
+
+    /// Captures one dedicated session's restorable state — the same shape
+    /// [`ShardState::checkpoint`] emits for it, standalone. `None` for
+    /// unknown keys and pooled members (a pool member's dynamics are not
+    /// separable from its group).
+    pub(crate) fn checkpoint_session(&self, key: u64) -> Option<SessionCheckpoint> {
+        let slot = self.index.get(key)?;
+        let entry = self.sessions.get(slot)?;
+        let dedicated = match &entry.kind {
+            SessionKind::Dedicated(alg) => Some(alg.checkpoint()),
+            SessionKind::Pooled { .. } => return None,
+        };
+        Some(SessionCheckpoint {
+            key: entry.key,
+            tenant: entry.tenant.clone(),
+            meter: entry.meter.checkpoint(),
+            leaving: entry.leaving,
+            dedicated,
+            pooled: None,
+        })
+    }
+
+    /// Removes a migrated-away session without pushing retired metrics:
+    /// the session continues on another shard (possibly in another
+    /// process) and its meter state travelled with the checkpoint, so
+    /// retiring it here would double-count it in the merged view.
+    fn forget(&mut self, key: u64) {
+        let Some(slot) = self.index.remove(key) else {
+            return;
+        };
+        // Only dedicated sessions are exported, so no group bookkeeping.
+        let _ = self.sessions.remove(slot);
+    }
+
+    /// Re-creates a migrated-in dedicated session bitwise from its
+    /// checkpoint. The caller has already rewritten `cp.key` to a key
+    /// that is fresh in this service.
+    fn import(&mut self, cp: &SessionCheckpoint) {
+        let Some(alg) = &cp.dedicated else {
+            return; // only dedicated sessions migrate
+        };
+        self.push_session(SessionEntry {
+            key: cp.key,
+            tenant: cp.tenant.clone(),
+            meter: SignallingMeter::restore(&cp.meter),
+            leaving: cp.leaving,
+            kind: SessionKind::Dedicated(Box::new(SingleSession::restore(alg))),
+        });
     }
 
     fn push_session(&mut self, entry: SessionEntry) -> SlotId {
@@ -728,7 +814,9 @@ pub(crate) fn run_worker(
             return;
         }
         let is_tick = matches!(event, Event::Tick { .. });
-        let replayable = !matches!(event, Event::Collect { .. });
+        // Read-only events never enter the journal, so they must not
+        // advance the applied-events count the checkpoint trim keys on.
+        let replayable = !matches!(event, Event::Collect { .. } | Event::ExportSession { .. });
         // Fault injection: fires when the worker is about to process the
         // planned tick, then disarms.
         let mut inject_kill = false;
@@ -924,6 +1012,67 @@ mod tests {
         s.handle_event(Event::Leave { key: 1 });
         assert_eq!(r1.retired.len(), 1, "earlier report is unaffected");
         assert_eq!(s.report().retired.len(), 2);
+    }
+
+    #[test]
+    fn export_forget_import_moves_a_session_bitwise() {
+        let mut src = shard();
+        let mut dst = shard();
+        src.handle_event(Event::JoinDedicated {
+            key: 3,
+            tenant: "acme".into(),
+        });
+        src.handle_event(Event::JoinGroup {
+            group: 0,
+            tenant: "globex".into(),
+            members: vec![4, 5].into(),
+        });
+        for t in 0..24u64 {
+            src.handle_event(Event::Tick {
+                arrivals: vec![(3, (t % 3) as f64), (4, 1.0), (5, 2.0)].into(),
+            });
+        }
+        // Pooled members refuse to export; dedicated sessions capture.
+        assert!(src.checkpoint_session(4).is_none());
+        assert!(src.checkpoint_session(99).is_none());
+        let mut cp = src.checkpoint_session(3).expect("dedicated exports");
+        // Move it: forget at the source (no retired metrics left behind),
+        // import at the destination under a fresh key.
+        src.handle_event(Event::Forget { key: 3 });
+        assert_eq!(src.live(), 2);
+        assert_eq!(src.report().retired.len(), 0, "forget must not retire");
+        cp.key = 7;
+        src.handle_event(Event::Tick {
+            arrivals: vec![(4, 1.0), (5, 1.0)].into(),
+        });
+        dst.handle_event(Event::Import { cp: Arc::new(cp) });
+        assert_eq!(dst.live(), 1);
+        // A twin that never migrated, driven through the same arrival
+        // history under key 7, stays bitwise identical to the migrated
+        // session.
+        let mut twin_ref = shard();
+        twin_ref.handle_event(Event::JoinDedicated {
+            key: 7,
+            tenant: "acme".into(),
+        });
+        for t in 0..24u64 {
+            twin_ref.handle_event(Event::Tick {
+                arrivals: vec![(7, (t % 3) as f64)].into(),
+            });
+        }
+        for t in 0..16u64 {
+            let bits = ((t + 1) % 4) as f64;
+            dst.handle_event(Event::Tick {
+                arrivals: vec![(7, bits)].into(),
+            });
+            twin_ref.handle_event(Event::Tick {
+                arrivals: vec![(7, bits)].into(),
+            });
+        }
+        let moved = dst.report().live;
+        let stayed = twin_ref.report().live;
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved, stayed, "migration is bitwise-invisible");
     }
 
     #[test]

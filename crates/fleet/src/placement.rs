@@ -1,0 +1,150 @@
+//! Placement policies: which process a new session (or group) lands on.
+//!
+//! The orchestrator samples live per-process session counts right before
+//! every admission and hands them to the policy; processes that are
+//! draining or dead are filtered out *before* the call, so a policy only
+//! ever sees (and picks among) eligible candidates. Because per-session
+//! dynamics are placement-invariant — a session computes the same
+//! schedule wherever it runs — every policy here produces the identical
+//! fleet-wide [`invariant_view`], and the policies differ only in load
+//! spread and migration pressure.
+//!
+//! [`invariant_view`]: cdba_ctrl::ServiceSnapshot::invariant_view
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A placement policy over live per-process load samples.
+pub trait Placement {
+    /// The policy's label, as reported in summaries and bench rows.
+    fn name(&self) -> &'static str;
+
+    /// Picks one index into `loads`, the live session counts of the
+    /// eligible processes (non-empty; indices are positions in the
+    /// candidate list, not raw process ids).
+    fn pick(&mut self, loads: &[usize]) -> usize;
+}
+
+/// Cycles through the processes in order, ignoring load.
+#[derive(Debug, Default)]
+pub struct RoundRobin {
+    next: usize,
+}
+
+impl Placement for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn pick(&mut self, loads: &[usize]) -> usize {
+        let at = self.next % loads.len();
+        self.next = self.next.wrapping_add(1);
+        at
+    }
+}
+
+/// Always the least-loaded process, lowest index on ties — the fleet
+/// analogue of the control plane's own shard placement.
+#[derive(Debug, Default)]
+pub struct LeastLoaded;
+
+impl Placement for LeastLoaded {
+    fn name(&self) -> &'static str {
+        "least-loaded"
+    }
+
+    fn pick(&mut self, loads: &[usize]) -> usize {
+        (0..loads.len())
+            .min_by_key(|&i| (loads[i], i))
+            .expect("loads is non-empty")
+    }
+}
+
+/// Power-of-two-choices: sample two distinct processes uniformly, take
+/// the less loaded (lowest index on ties). Two samples are enough to
+/// shrink the maximum load gap from `Θ(log n / log log n)` (random) to
+/// `Θ(log log n)` — the balanced-allocation bound that motivates
+/// sampling *any* second choice instead of scanning the whole fleet.
+#[derive(Debug)]
+pub struct PowerOfTwoChoices {
+    rng: StdRng,
+}
+
+impl PowerOfTwoChoices {
+    /// A policy drawing its choices from the given seed, so a fleet run
+    /// is reproducible end to end.
+    pub fn new(seed: u64) -> Self {
+        PowerOfTwoChoices {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Placement for PowerOfTwoChoices {
+    fn name(&self) -> &'static str {
+        "p2c"
+    }
+
+    fn pick(&mut self, loads: &[usize]) -> usize {
+        let n = loads.len();
+        if n == 1 {
+            return 0;
+        }
+        let a = self.rng.random_range(0..n);
+        let mut b = self.rng.random_range(0..n - 1);
+        if b >= a {
+            b += 1; // second sample drawn from the remaining n-1 processes
+        }
+        if (loads[a], a) <= (loads[b], b) {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut p = RoundRobin::default();
+        let loads = [5, 0, 9];
+        let picks: Vec<usize> = (0..6).map(|_| p.pick(&loads)).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn least_loaded_breaks_ties_low() {
+        let mut p = LeastLoaded;
+        assert_eq!(p.pick(&[3, 1, 2]), 1);
+        assert_eq!(p.pick(&[2, 2, 2]), 0);
+        assert_eq!(p.pick(&[7]), 0);
+    }
+
+    #[test]
+    fn p2c_picks_the_lighter_of_two_distinct_samples() {
+        let mut p = PowerOfTwoChoices::new(0xCDBA);
+        // With one process there is no choice to make.
+        assert_eq!(p.pick(&[9]), 0);
+        // One process is far heavier than the rest: over many picks the
+        // heavy one can only be chosen when both samples land on it —
+        // impossible, since the samples are distinct.
+        let loads = [1000, 1, 1, 1];
+        for _ in 0..200 {
+            assert_ne!(p.pick(&loads), 0, "both samples cannot hit one process");
+        }
+    }
+
+    #[test]
+    fn p2c_is_deterministic_under_a_seed() {
+        let loads = [4, 2, 7, 2, 5];
+        let run = |seed| {
+            let mut p = PowerOfTwoChoices::new(seed);
+            (0..50).map(|_| p.pick(&loads)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds explore differently");
+    }
+}

@@ -337,6 +337,69 @@ impl Client {
         }
     }
 
+    /// Revokes session `key`'s ownership lease (wire v4): the session is
+    /// quiesced, removed from the process with its budget released, and
+    /// its `(lease epoch, checkpoint blob)` returned. Feed the blob to
+    /// [`Client::lease_grant`] on the migration target verbatim.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] with [`ErrorCode::NotOwner`] if another
+    /// connection owns the session, or with
+    /// [`ErrorCode::Ctrl`] for unknown keys and pooled
+    /// members (only dedicated sessions migrate).
+    ///
+    /// [`ErrorCode::NotOwner`]: crate::proto::ErrorCode::NotOwner
+    /// [`ErrorCode::Ctrl`]: crate::proto::ErrorCode::Ctrl
+    pub fn lease_revoke(&mut self, key: u64) -> Result<(u64, Vec<u8>), ClientError> {
+        match self.request(|id| Frame::LeaseRevoke { id, key })? {
+            Frame::LeaseRevoked { epoch, bytes, .. } => Ok((epoch, bytes)),
+            other => Err(ClientError::Protocol(format!(
+                "expected lease-revoked: {other:?}"
+            ))),
+        }
+    }
+
+    /// Grants the connected process a lease on a migrated-in session
+    /// (wire v4): `bytes` is the blob a [`Client::lease_revoke`]
+    /// returned, `epoch` the lease epoch the session resumes at (bump the
+    /// revoked epoch so a stale source can never pose as the owner).
+    /// Returns the session's fresh key on this process; this connection
+    /// owns it.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for malformed blobs or when admission
+    /// cannot cover the session's envelope.
+    pub fn lease_grant(&mut self, epoch: u64, bytes: Vec<u8>) -> Result<u64, ClientError> {
+        match self.request(|id| Frame::LeaseGrant { id, epoch, bytes })? {
+            Frame::LeaseGranted { key, .. } => Ok(key),
+            other => Err(ClientError::Protocol(format!(
+                "expected lease-granted: {other:?}"
+            ))),
+        }
+    }
+
+    /// Puts the connected process in draining mode (wire v4): new joins
+    /// are refused with [`ErrorCode::Draining`] while existing sessions
+    /// keep ticking. Returns the keys of every migratable (dedicated)
+    /// session, sorted, for the orchestrator to move away.
+    ///
+    /// [`ErrorCode::Draining`]: crate::proto::ErrorCode::Draining
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] / [`ClientError::Protocol`] on socket or
+    /// framing failures.
+    pub fn drain(&mut self) -> Result<Vec<u64>, ClientError> {
+        match self.request(|id| Frame::Drain { id })? {
+            Frame::DrainOk { keys, .. } => Ok(keys),
+            other => Err(ClientError::Protocol(format!(
+                "expected drain-ok: {other:?}"
+            ))),
+        }
+    }
+
     /// Buffers arrivals for the next committed tick; returns the total
     /// number now staged gateway-wide.
     ///

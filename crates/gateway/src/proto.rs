@@ -36,8 +36,13 @@ pub const MAGIC: [u8; 4] = *b"CDBG";
 /// subscription events ([`Frame::SubscribeBatch`] /
 /// [`Frame::EventBatch`]). JSON frames remain available at every
 /// version — binary is an opt-in encoding of the same data, decoding
-/// bitwise-identical to the JSON path.
-pub const VERSION: u8 = 3;
+/// bitwise-identical to the JSON path. Version 4 adds the fleet
+/// migration frames: lease hand-off ([`Frame::LeaseRevoke`] /
+/// [`Frame::LeaseGrant`], moving one session's checkpoint blob between
+/// processes) and draining ([`Frame::Drain`], which lists migratable
+/// sessions and makes the process refuse new joins with
+/// [`ErrorCode::Draining`]).
+pub const VERSION: u8 = 4;
 
 /// The oldest protocol version the server still accepts in a handshake.
 pub const MIN_VERSION: u8 = 1;
@@ -78,6 +83,9 @@ pub enum ErrorCode {
     /// A protocol-state violation (request before hello, server-only
     /// frame from a client, …).
     Proto,
+    /// The process is draining: it refuses new sessions so an
+    /// orchestrator can migrate the existing ones away.
+    Draining,
 }
 
 impl ErrorCode {
@@ -94,6 +102,7 @@ impl ErrorCode {
             ErrorCode::Idle => 9,
             ErrorCode::Shutdown => 10,
             ErrorCode::Proto => 11,
+            ErrorCode::Draining => 12,
         }
     }
 
@@ -110,6 +119,7 @@ impl ErrorCode {
             9 => ErrorCode::Idle,
             10 => ErrorCode::Shutdown,
             11 => ErrorCode::Proto,
+            12 => ErrorCode::Draining,
             _ => return None,
         })
     }
@@ -129,6 +139,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::Idle => "idle",
             ErrorCode::Shutdown => "shutdown",
             ErrorCode::Proto => "proto",
+            ErrorCode::Draining => "draining",
         };
         f.write_str(name)
     }
@@ -270,6 +281,39 @@ pub enum Frame {
         /// Events per [`Frame::EventBatch`] push (≥ 1).
         batch: u32,
     },
+    /// Revoke one session's ownership lease and take its state (v4): the
+    /// session is quiesced, its slab row captured as a binary checkpoint
+    /// blob, and it is removed from this process with its budget envelope
+    /// released. First half of a fleet live migration; the orchestrator
+    /// feeds the blob to [`Frame::LeaseGrant`] on the target process.
+    LeaseRevoke {
+        /// Request id.
+        id: u64,
+        /// The session whose lease is revoked. Must be owned by this
+        /// connection and dedicated (pooled members cannot migrate).
+        key: u64,
+    },
+    /// Grant this process a lease on a migrated-in session (v4): the blob
+    /// from a [`Frame::LeaseRevoked`] is imported under a fresh key and
+    /// the session resumes bitwise at the bumped lease epoch.
+    LeaseGrant {
+        /// Request id.
+        id: u64,
+        /// The lease epoch the session resumes at; the orchestrator bumps
+        /// the epoch returned by the revoke so a stale source process can
+        /// never be mistaken for the owner.
+        epoch: u64,
+        /// The session checkpoint blob, verbatim from the revoke.
+        bytes: Vec<u8>,
+    },
+    /// Put the process in draining mode (v4): new joins are refused with
+    /// [`ErrorCode::Draining`] while existing sessions keep ticking, and
+    /// the reply lists every migratable (dedicated) session so the
+    /// orchestrator can move them away.
+    Drain {
+        /// Request id.
+        id: u64,
+    },
     /// Clean client-initiated close.
     Goodbye {
         /// Request id.
@@ -349,6 +393,31 @@ pub enum Frame {
         full: bool,
         /// The snapshot or delta, as JSON.
         json: String,
+    },
+    /// Response to [`Frame::LeaseRevoke`] (v4).
+    LeaseRevoked {
+        /// Echoed request id.
+        id: u64,
+        /// The lease epoch the session held on this process.
+        epoch: u64,
+        /// The session's checkpoint blob (binary codec); feed it to
+        /// [`Frame::LeaseGrant`] on the target process verbatim.
+        bytes: Vec<u8>,
+    },
+    /// Response to [`Frame::LeaseGrant`] (v4).
+    LeaseGranted {
+        /// Echoed request id.
+        id: u64,
+        /// The key the session resumed under on this process.
+        key: u64,
+    },
+    /// Response to [`Frame::Drain`] (v4).
+    DrainOk {
+        /// Echoed request id.
+        id: u64,
+        /// Keys of every migratable (dedicated) session still live on
+        /// this process, sorted ascending.
+        keys: Vec<u64>,
     },
     /// Response to [`Frame::Subscribe`].
     SubscribeOk {
@@ -458,9 +527,17 @@ const K_GOODBYE_OK: u8 = 0x27;
 const K_SNAPSHOT_DELTA_OK: u8 = 0x28;
 const K_SNAPSHOT_BIN_OK: u8 = 0x29;
 const K_SNAPSHOT_DELTA_BIN_OK: u8 = 0x2A;
+const K_LEASE_REVOKED: u8 = 0x2B;
+const K_LEASE_GRANTED: u8 = 0x2C;
+const K_DRAIN_OK: u8 = 0x2D;
 const K_EVENT: u8 = 0x30;
 const K_EVENT_BATCH: u8 = 0x31;
 const K_ERROR: u8 = 0x3F;
+// The 0x1E/0x1F request slots were exhausted by v3; v4 requests start a
+// fresh block at 0x40.
+const K_LEASE_REVOKE: u8 = 0x40;
+const K_LEASE_GRANT: u8 = 0x41;
+const K_DRAIN: u8 = 0x42;
 
 fn put_string(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -560,6 +637,21 @@ pub fn encode(frame: &Frame) -> Bytes {
             payload.put_u32_le(*every);
             payload.put_u32_le(*batch);
         }
+        Frame::LeaseRevoke { id, key } => {
+            payload.put_u8(K_LEASE_REVOKE);
+            payload.put_u64_le(*id);
+            payload.put_u64_le(*key);
+        }
+        Frame::LeaseGrant { id, epoch, bytes } => {
+            payload.put_u8(K_LEASE_GRANT);
+            payload.put_u64_le(*id);
+            payload.put_u64_le(*epoch);
+            put_bytes(&mut payload, bytes);
+        }
+        Frame::Drain { id } => {
+            payload.put_u8(K_DRAIN);
+            payload.put_u64_le(*id);
+        }
         Frame::Goodbye { id } => {
             payload.put_u8(K_GOODBYE);
             payload.put_u64_le(*id);
@@ -624,6 +716,25 @@ pub fn encode(frame: &Frame) -> Bytes {
             payload.put_u64_le(*seq);
             payload.put_u8(u8::from(*full));
             put_bytes(&mut payload, bytes);
+        }
+        Frame::LeaseRevoked { id, epoch, bytes } => {
+            payload.put_u8(K_LEASE_REVOKED);
+            payload.put_u64_le(*id);
+            payload.put_u64_le(*epoch);
+            put_bytes(&mut payload, bytes);
+        }
+        Frame::LeaseGranted { id, key } => {
+            payload.put_u8(K_LEASE_GRANTED);
+            payload.put_u64_le(*id);
+            payload.put_u64_le(*key);
+        }
+        Frame::DrainOk { id, keys } => {
+            payload.put_u8(K_DRAIN_OK);
+            payload.put_u64_le(*id);
+            payload.put_u32_le(keys.len() as u32);
+            for &key in keys {
+                payload.put_u64_le(key);
+            }
         }
         Frame::SubscribeOk { id } => {
             payload.put_u8(K_SUBSCRIBE_OK);
@@ -819,6 +930,29 @@ pub fn decode_payload(payload: Bytes) -> Result<Frame, ProtoError> {
             every: r.u32()?,
             batch: r.u32()?,
         },
+        K_LEASE_REVOKE => Frame::LeaseRevoke {
+            id: r.u64()?,
+            key: r.u64()?,
+        },
+        K_LEASE_GRANT => Frame::LeaseGrant {
+            id: r.u64()?,
+            epoch: r.u64()?,
+            bytes: r.bytes()?,
+        },
+        K_DRAIN => Frame::Drain { id: r.u64()? },
+        K_LEASE_REVOKED => Frame::LeaseRevoked {
+            id: r.u64()?,
+            epoch: r.u64()?,
+            bytes: r.bytes()?,
+        },
+        K_LEASE_GRANTED => Frame::LeaseGranted {
+            id: r.u64()?,
+            key: r.u64()?,
+        },
+        K_DRAIN_OK => Frame::DrainOk {
+            id: r.u64()?,
+            keys: r.keys()?,
+        },
         K_GOODBYE => Frame::Goodbye { id: r.u64()? },
         K_JOINED => Frame::Joined {
             id: r.u64()?,
@@ -919,6 +1053,9 @@ pub fn reply_id(frame: &Frame) -> Option<u64> {
         | Frame::SnapshotDeltaOk { id, .. }
         | Frame::SnapshotBinOk { id, .. }
         | Frame::SnapshotDeltaBinOk { id, .. }
+        | Frame::LeaseRevoked { id, .. }
+        | Frame::LeaseGranted { id, .. }
+        | Frame::DrainOk { id, .. }
         | Frame::SubscribeOk { id }
         | Frame::GoodbyeOk { id } => Some(*id),
         _ => None,
@@ -980,6 +1117,23 @@ mod tests {
             every: 8,
             batch: 16,
         });
+        roundtrip(Frame::LeaseRevoke { id: 26, key: 42 });
+        roundtrip(Frame::LeaseGrant {
+            id: 27,
+            epoch: 3,
+            bytes: vec![1, 0, 9],
+        });
+        roundtrip(Frame::Drain { id: 28 });
+        roundtrip(Frame::LeaseRevoked {
+            id: 26,
+            epoch: 2,
+            bytes: vec![7, 7],
+        });
+        roundtrip(Frame::LeaseGranted { id: 27, key: 5 });
+        roundtrip(Frame::DrainOk {
+            id: 28,
+            keys: vec![1, 4, 9],
+        });
         roundtrip(Frame::Goodbye { id: 14 });
         roundtrip(Frame::Joined { id: 7, key: 42 });
         roundtrip(Frame::GroupJoined {
@@ -1034,6 +1188,11 @@ mod tests {
             id: 15,
             code: ErrorCode::Busy,
             message: "queue full".into(),
+        });
+        roundtrip(Frame::Error {
+            id: 16,
+            code: ErrorCode::Draining,
+            message: "process is draining".into(),
         });
     }
 

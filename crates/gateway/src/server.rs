@@ -675,7 +675,10 @@ impl Core {
             | Frame::SnapshotBin { .. }
             | Frame::SnapshotDeltaBin { .. }
             | Frame::Subscribe { .. }
-            | Frame::SubscribeBatch { .. }) => {
+            | Frame::SubscribeBatch { .. }
+            | Frame::LeaseRevoke { .. }
+            | Frame::LeaseGrant { .. }
+            | Frame::Drain { .. }) => {
                 let version = conn.version;
                 self.service
                     .handle(conn_id, version, request, &mut self.out);

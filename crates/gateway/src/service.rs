@@ -82,6 +82,13 @@ pub(crate) struct ServiceCore {
     parked: Option<ParkedTick>,
     /// Per-connection delta-snapshot baselines.
     baselines: HashMap<u64, Baseline>,
+    /// session key → lease epoch (v4). Joins start at epoch 0; a
+    /// migrated-in session resumes at whatever epoch its
+    /// [`Frame::LeaseGrant`] carried (the orchestrator bumps it per hop).
+    leases: HashMap<u64, u64>,
+    /// Set by [`Frame::Drain`]: new joins are refused with
+    /// [`ErrorCode::Draining`] while existing sessions keep ticking.
+    draining: bool,
 }
 
 fn ctrl_error(id: u64, e: &CtrlError) -> Frame {
@@ -104,6 +111,8 @@ impl ServiceCore {
             subs: HashMap::new(),
             parked: None,
             baselines: HashMap::new(),
+            leases: HashMap::new(),
+            draining: false,
         }
     }
 
@@ -188,6 +197,39 @@ impl ServiceCore {
                     Some(self.snapshot_delta(conn, id, BodyCodec::Binary))
                 }
             }
+            Frame::LeaseRevoke { id, key } => {
+                if version < 4 {
+                    Some(Frame::Error {
+                        id,
+                        code: ErrorCode::Proto,
+                        message: "lease-revoke requires protocol version 4".into(),
+                    })
+                } else {
+                    Some(self.lease_revoke(conn, id, key))
+                }
+            }
+            Frame::LeaseGrant { id, epoch, bytes } => {
+                if version < 4 {
+                    Some(Frame::Error {
+                        id,
+                        code: ErrorCode::Proto,
+                        message: "lease-grant requires protocol version 4".into(),
+                    })
+                } else {
+                    Some(self.lease_grant(conn, id, epoch, &bytes))
+                }
+            }
+            Frame::Drain { id } => {
+                if version < 4 {
+                    Some(Frame::Error {
+                        id,
+                        code: ErrorCode::Proto,
+                        message: "drain requires protocol version 4".into(),
+                    })
+                } else {
+                    Some(self.drain(id))
+                }
+            }
             Frame::Subscribe { id, every } => Some(self.subscribe(conn, id, every, 1)),
             Frame::SubscribeBatch { id, every, batch } => {
                 if version < 3 {
@@ -216,11 +258,23 @@ impl ServiceCore {
         self.stats.latency.record(micros);
     }
 
+    fn draining_error(id: u64) -> Frame {
+        Frame::Error {
+            id,
+            code: ErrorCode::Draining,
+            message: "process is draining; new sessions are refused".into(),
+        }
+    }
+
     fn join(&mut self, conn: u64, id: u64, tenant: &str) -> Frame {
+        if self.draining {
+            return Self::draining_error(id);
+        }
         match self.plane.admit(tenant) {
             Ok(key) => {
                 self.owners.insert(key, conn);
                 self.owned.entry(conn).or_default().push(key);
+                self.leases.insert(key, 0);
                 Frame::Joined { id, key }
             }
             Err(e) => ctrl_error(id, &e),
@@ -228,15 +282,70 @@ impl ServiceCore {
     }
 
     fn join_group(&mut self, conn: u64, id: u64, tenant: &str, size: u32) -> Frame {
+        if self.draining {
+            return Self::draining_error(id);
+        }
         match self.plane.admit_group(tenant, size as usize) {
             Ok(members) => {
                 for &key in &members {
                     self.owners.insert(key, conn);
                     self.owned.entry(conn).or_default().push(key);
+                    self.leases.insert(key, 0);
                 }
                 Frame::GroupJoined { id, members }
             }
             Err(e) => ctrl_error(id, &e),
+        }
+    }
+
+    /// Revokes `key`'s lease: quiesce, capture the checkpoint blob,
+    /// remove the session (its envelope is released), and hand the blob
+    /// plus the lease epoch back to the caller. First half of a live
+    /// migration; a failed export leaves the session untouched.
+    fn lease_revoke(&mut self, conn: u64, id: u64, key: u64) -> Frame {
+        match self.owners.get(&key) {
+            Some(&owner) if owner != conn => {
+                return Frame::Error {
+                    id,
+                    code: ErrorCode::NotOwner,
+                    message: format!("session {key} is owned by another connection"),
+                };
+            }
+            _ => {}
+        }
+        match self.plane.export_session(key) {
+            Ok(bytes) => {
+                let epoch = self.leases.get(&key).copied().unwrap_or(0);
+                self.forget_session(key);
+                Frame::LeaseRevoked { id, epoch, bytes }
+            }
+            Err(e) => ctrl_error(id, &e),
+        }
+    }
+
+    /// Grants this process a lease on a migrated-in session: the blob is
+    /// imported under a fresh key owned by the granting connection, at
+    /// the epoch the orchestrator chose. Deliberately *not* refused while
+    /// draining — returning a lease to its source after a failed hop must
+    /// always succeed, or the session (and its budget) would be lost.
+    fn lease_grant(&mut self, conn: u64, id: u64, epoch: u64, bytes: &[u8]) -> Frame {
+        match self.plane.import_session(bytes) {
+            Ok(key) => {
+                self.owners.insert(key, conn);
+                self.owned.entry(conn).or_default().push(key);
+                self.leases.insert(key, epoch);
+                Frame::LeaseGranted { id, key }
+            }
+            Err(e) => ctrl_error(id, &e),
+        }
+    }
+
+    /// Enters draining mode and lists every migratable session.
+    fn drain(&mut self, id: u64) -> Frame {
+        self.draining = true;
+        Frame::DrainOk {
+            id,
+            keys: self.plane.migratable_keys(),
         }
     }
 
@@ -266,6 +375,7 @@ impl ServiceCore {
                 keys.retain(|&k| k != key);
             }
         }
+        self.leases.remove(&key);
         if self.pending_keys.remove(&key) {
             self.pending.retain(|&(k, _)| k != key);
         }
@@ -669,6 +779,7 @@ impl ServiceCore {
         let keys = self.owned.remove(&conn).unwrap_or_default();
         for key in keys {
             self.owners.remove(&key);
+            self.leases.remove(&key);
             if self.pending_keys.remove(&key) {
                 self.pending.retain(|&(k, _)| k != key);
             }

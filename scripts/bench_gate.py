@@ -37,7 +37,10 @@ Ordering (inversion) gate — one file, two entries, strict inequality::
   asserting parallelism a single-core host cannot exhibit.
 
 Faster-than-baseline results always pass: the regression gates are
-one-sided, catching slowdowns only.
+one-sided, catching slowdowns only. And a brand-new bench passes too:
+a missing baseline file, or a matrix where no measured entry has a
+baseline counterpart, prints a notice and exits 0 — the first committed
+report becomes the baseline the next run gates against.
 """
 
 import argparse
@@ -48,6 +51,16 @@ import sys
 def load(path):
     with open(path) as fh:
         return json.load(fh)
+
+
+def load_baseline(path):
+    """A brand-new bench has no committed baseline yet; that is a notice,
+    not a failure — the first committed report becomes the baseline."""
+    try:
+        return load(path)
+    except FileNotFoundError:
+        print(f"{path}: no committed baseline yet, gate skipped")
+        sys.exit(0)
 
 
 def entries(doc):
@@ -88,7 +101,7 @@ def gate_pair(label, baseline, measured, metric, tolerance):
 
 
 def run_matrix(args, keys):
-    base_doc, meas_doc = load(args.baseline), load(args.measured)
+    base_doc, meas_doc = load_baseline(args.baseline), load(args.measured)
     index = {
         tuple(str(entry.get(k)) for k in keys): entry for entry in entries(base_doc)
     }
@@ -106,7 +119,12 @@ def run_matrix(args, keys):
             args.metric, args.tolerance,
         )
     if gated == 0:
-        raise SystemExit(f"--matrix {','.join(keys)}: nothing matched the baseline")
+        # The baseline predates this bench's rows (new matrix axis, new
+        # labels): nothing to regress against, so pass with a notice.
+        print(
+            f"--matrix {','.join(keys)}: no measured entry has a baseline "
+            f"counterpart yet, gate skipped"
+        )
     return ok
 
 
@@ -186,7 +204,7 @@ def main():
             parser.error("regression gate needs BASELINE and MEASURED")
         selects = [parse_kv(raw, parser, "--select") for raw in args.select]
         baseline = float(
-            pick_entry(load(args.baseline), selects, args.baseline)[args.metric]
+            pick_entry(load_baseline(args.baseline), selects, args.baseline)[args.metric]
         )
         measured = float(
             pick_entry(load(args.measured), selects, args.measured)[args.metric]

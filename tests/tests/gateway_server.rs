@@ -671,6 +671,84 @@ fn batched_subscriptions_deliver_the_same_events_in_fewer_frames() {
     server.shutdown().expect("shutdown");
 }
 
+/// A batched subscriber that goes quiet mid-batch — events buffered
+/// toward an [`Frame::EventBatch`] that never fills — must not wedge the
+/// push path: the idle harvest reclaims the connection slot, the buffered
+/// events die with it, and a fresh subscriber on a clean connection gets
+/// exactly its own batches.
+#[test]
+fn subscriber_dropped_mid_batch_leaves_no_stuck_push_state() {
+    let cfg = GatewayConfig {
+        read_timeout_ms: 10,
+        idle_timeout_ms: 150,
+        ..GatewayConfig::default()
+    };
+    let server = GatewayServer::start(inline_config(256.0), cfg).expect("gateway starts");
+    let mut driver = Client::connect(server.local_addr()).expect("driver");
+    let key = driver.join("acme").expect("join");
+
+    // Events due every 2 ticks, flushed 64 at a time: the run never
+    // produces 64 due events, so the subscriber sits mid-batch (events
+    // buffered server-side, batch frame never flushed) for its whole life.
+    let mut sub = Client::connect(server.local_addr()).expect("subscriber");
+    sub.subscribe_batched(2, 64).expect("subscribe-batch");
+    for t in 0..6u64 {
+        driver.tick(&[(key, (t % 3) as f64)]).expect("tick");
+    }
+    assert_eq!(
+        server.wire_stats().event_batches,
+        0,
+        "an unfilled batch must not have flushed"
+    );
+    // The subscriber now falls silent mid-batch — socket open, never
+    // another frame — while the driver keeps the service busy; the idle
+    // harvest must reclaim the subscriber's slot out from under its
+    // buffered events.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.wire_stats().connections_harvested == 0 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "subscriber was never harvested"
+        );
+        driver.tick(&[(key, 1.0)]).expect("tick while waiting");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    // Ticking past more due events must not push toward the dead
+    // connection or panic on its vanished state.
+    for t in 0..4u64 {
+        driver
+            .tick(&[(key, (t % 3) as f64)])
+            .expect("tick after harvest");
+    }
+    assert_eq!(server.wire_stats().event_batches, 0);
+
+    // A fresh batched subscriber gets exactly its own events: the push
+    // path is clean and the slot is reusable.
+    let mut sub2 = Client::connect(server.local_addr()).expect("second subscriber");
+    sub2.subscribe_batched(2, 2).expect("subscribe-batch");
+    for t in 0..4u64 {
+        driver
+            .tick(&[(key, (t % 3) as f64)])
+            .expect("tick for sub2");
+    }
+    let first = sub2
+        .next_event(Duration::from_secs(2))
+        .expect("event read")
+        .expect("first event");
+    let second = sub2
+        .next_event(Duration::from_secs(2))
+        .expect("event read")
+        .expect("second event");
+    assert!(first.tick < second.tick);
+    assert!(first.tick.is_multiple_of(2) && second.tick.is_multiple_of(2));
+    let wire = server.wire_stats();
+    assert_eq!(wire.event_batches, 1, "exactly sub2's one full batch");
+    assert_eq!(wire.connections_harvested, 1);
+    drop(sub); // the harvested connection was dead all along
+    server.shutdown().expect("shutdown");
+}
+
 #[test]
 fn graceful_shutdown_reports_wire_observability() {
     let spec = ReplaySpec {
