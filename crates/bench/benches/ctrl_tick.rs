@@ -16,7 +16,7 @@
 //! inline-vs-threaded inversion at ≥ 10 000 sessions. The JSON pass is
 //! skipped in `--test` (smoke) mode.
 
-use cdba_bench::matrix::{self, TICK_CASES};
+use cdba_bench::matrix;
 use criterion::{BenchmarkId, Criterion, Throughput};
 
 const TICKS_PER_ITER: u64 = 64;
@@ -24,8 +24,9 @@ const CRITERION_SESSIONS: &[usize] = &[100, 1_000];
 
 fn ctrl_tick(c: &mut Criterion) {
     let mut group = c.benchmark_group("ctrl_tick");
+    let cases = matrix::tick_cases();
     for &sessions in CRITERION_SESSIONS {
-        for case in TICK_CASES {
+        for case in &cases {
             group.throughput(Throughput::Elements(sessions as u64 * TICKS_PER_ITER));
             let id = BenchmarkId::new(case.label, sessions);
             group.bench_with_input(id, case, |b, case| {

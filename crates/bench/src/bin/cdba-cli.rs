@@ -104,7 +104,8 @@ usage: cdba-cli <command> [options]
   serve    --sessions N [--shards S] [--ticks T] [--seed X] [--model M]
            [--bandwidth B] [--group-bandwidth B_O] [--delay D] [--utilization U]
            [--window W] [--group-size G] [--pool-frac F] [--churn-every C]
-           [--budget B_A] [--quota Q] [--exec inline|threaded] [--json FILE]
+           [--budget B_A] [--quota Q] [--exec inline|threaded|adaptive]
+           [--json FILE]
            [--summary FILE] [--fault SHARD@TICK:<kill|hang:MS|delay:MS>]
            [--checkpoint-every N] [--max-restarts R] [--shard-timeout-ms MS]
   gateway  [--addr HOST:PORT] [--workers N] [--service-queue N]
@@ -464,6 +465,15 @@ fn replay_spec_from_flags(flags: &HashMap<String, String>) -> Result<ReplaySpec,
     })
 }
 
+/// The exec mode's flag spelling, for reporting.
+fn exec_name(exec: ExecMode) -> &'static str {
+    match exec {
+        ExecMode::Inline => "inline",
+        ExecMode::Threaded => "threaded",
+        ExecMode::Adaptive => "adaptive",
+    }
+}
+
 /// Builds the control-plane config from the service flags, defaulting the
 /// budget to the spec's exact-fit value. Returns the config plus the
 /// parsed exec mode and shard count (for reporting).
@@ -475,7 +485,8 @@ fn service_config_from_flags(
     let exec = match flags.get("exec").map(String::as_str) {
         None | Some("threaded") => ExecMode::Threaded,
         Some("inline") => ExecMode::Inline,
-        Some(other) => return Err(format!("unknown --exec {other} (inline|threaded)")),
+        Some("adaptive") => ExecMode::Adaptive,
+        Some(other) => return Err(format!("unknown --exec {other} (inline|threaded|adaptive)")),
     };
     let checkpoint_every: u64 = get_parse(flags, "checkpoint-every", 64)?;
     let max_restarts: u32 = get_parse(flags, "max-restarts", 3)?;
@@ -527,10 +538,7 @@ fn serve(args: &[String]) -> CliResult {
         split.groups,
         spec.ticks,
         shards,
-        match exec {
-            ExecMode::Inline => "inline",
-            ExecMode::Threaded => "threaded",
-        },
+        exec_name(exec),
         outcome.throughput(),
         outcome.churn_events,
     );
@@ -614,10 +622,7 @@ fn gateway(args: &[String]) -> CliResult {
         "cdba-gateway listening on {} ({} {} shard(s), budget fits {} sessions)",
         server.local_addr(),
         shards,
-        match exec {
-            ExecMode::Inline => "inline",
-            ExecMode::Threaded => "threaded",
-        },
+        exec_name(exec),
         spec.sessions,
     );
     // Serve until killed; clients come and go on their own schedule.

@@ -12,7 +12,11 @@
 //! The interesting shape of the matrix: at 100 sessions the inline
 //! single-threaded backend wins (per-tick work is too small to amortize
 //! cross-thread dispatch), while from 10 000 sessions up the threaded
-//! 4-shard backend must win — the inversion the CI gate pins.
+//! 4-shard backend must win — the inversion the CI gate pins. That claim
+//! only means something on parallel hardware, so [`tick_cases`] includes
+//! the pure threaded rows only when the host has more than one core; the
+//! adaptive rows run everywhere, since adaptive execution makes the
+//! inline-vs-threaded call itself from measured per-tick cost.
 
 use cdba_ctrl::{ControlPlane, ExecMode, ServiceConfig};
 use std::hint::black_box;
@@ -30,34 +34,50 @@ pub struct TickCase {
     pub depth: u32,
 }
 
-/// The standard benchmarked configurations: the inline baseline against
-/// threaded backends across shard count and pipeline depth.
-pub const TICK_CASES: &[TickCase] = &[
-    TickCase {
+/// The standard benchmarked configurations *for this host*: the inline
+/// baseline and the adaptive backend always; the pure threaded backends
+/// only on multi-core hosts. On one core a worker thread has nothing to
+/// overlap against — every threaded row would just pin a meaningless
+/// inversion into the committed baseline — while adaptive mode makes its
+/// own inline-vs-threaded call from measured cost, so its rows are
+/// honest on any hardware.
+pub fn tick_cases() -> Vec<TickCase> {
+    let mut cases = vec![TickCase {
         label: "inline/s1",
         shards: 1,
         exec: ExecMode::Inline,
         depth: 1,
-    },
-    TickCase {
-        label: "threaded/s1/d4",
-        shards: 1,
-        exec: ExecMode::Threaded,
-        depth: 4,
-    },
-    TickCase {
-        label: "threaded/s4/d1",
+    }];
+    if host_cores() > 1 {
+        cases.extend([
+            TickCase {
+                label: "threaded/s1/d4",
+                shards: 1,
+                exec: ExecMode::Threaded,
+                depth: 4,
+            },
+            TickCase {
+                label: "threaded/s4/d1",
+                shards: 4,
+                exec: ExecMode::Threaded,
+                depth: 1,
+            },
+            TickCase {
+                label: "threaded/s4/d4",
+                shards: 4,
+                exec: ExecMode::Threaded,
+                depth: 4,
+            },
+        ]);
+    }
+    cases.push(TickCase {
+        label: "adaptive/s4/d4",
         shards: 4,
-        exec: ExecMode::Threaded,
-        depth: 1,
-    },
-    TickCase {
-        label: "threaded/s4/d4",
-        shards: 4,
-        exec: ExecMode::Threaded,
+        exec: ExecMode::Adaptive,
         depth: 4,
-    },
-];
+    });
+    cases
+}
 
 /// The standard session-population axis of the committed baseline.
 pub const SESSIONS_AXIS: &[usize] = &[100, 1_000, 10_000, 100_000];
@@ -104,15 +124,22 @@ pub fn tick_service(case: &TickCase, sessions: usize) -> (ControlPlane, Vec<u64>
 
 /// Drives `ticks` ticks of deterministic arrivals through the service.
 /// `round` carries the arrival phase across calls so warmup and measured
-/// passes see a continuous stream.
+/// passes see a continuous stream. The arrival pattern
+/// `(round + i) mod 5` has period 5 in `round`, so the five distinct
+/// batches are built once up front and the timed loop measures the
+/// service, not the batch construction.
 pub fn drive(service: &mut ControlPlane, keys: &[u64], ticks: u64, round: &mut u64) {
-    let mut arrivals = Vec::with_capacity(keys.len());
+    let batches: Vec<Vec<(u64, f64)>> = (0..5u64)
+        .map(|phase| {
+            keys.iter()
+                .enumerate()
+                .map(|(i, &key)| (key, ((phase + i as u64) % 5) as f64))
+                .collect()
+        })
+        .collect();
     for _ in 0..ticks {
-        arrivals.clear();
-        for (i, &key) in keys.iter().enumerate() {
-            arrivals.push((key, ((*round + i as u64) % 5) as f64));
-        }
-        service.tick(black_box(&arrivals)).expect("keys are live");
+        let batch = &batches[(*round % 5) as usize];
+        service.tick(black_box(batch)).expect("keys are live");
         *round += 1;
     }
 }
@@ -185,6 +212,7 @@ pub fn measure_cell(
         exec: match case.exec {
             ExecMode::Inline => "inline",
             ExecMode::Threaded => "threaded",
+            ExecMode::Adaptive => "adaptive",
         },
         depth: case.depth,
         ticks: measured,
@@ -202,9 +230,10 @@ pub fn run_matrix(
     measured: Option<u64>,
     mut progress: impl FnMut(&TickMeasurement),
 ) -> Vec<TickMeasurement> {
-    let mut rows = Vec::with_capacity(sessions_list.len() * TICK_CASES.len());
+    let cases = tick_cases();
+    let mut rows = Vec::with_capacity(sessions_list.len() * cases.len());
     for &sessions in sessions_list {
-        for case in TICK_CASES {
+        for case in &cases {
             let row = measure_cell(case, sessions, warmup, measured);
             progress(&row);
             rows.push(row);
@@ -247,8 +276,21 @@ mod tests {
     }
 
     #[test]
+    fn host_cases_always_cover_inline_and_adaptive() {
+        let cases = tick_cases();
+        let labels: Vec<&str> = cases.iter().map(|c| c.label).collect();
+        assert!(labels.contains(&"inline/s1"));
+        assert!(labels.contains(&"adaptive/s4/d4"));
+        assert_eq!(
+            labels.iter().any(|l| l.starts_with("threaded/")),
+            host_cores() > 1,
+            "threaded rows appear exactly on multi-core hosts"
+        );
+    }
+
+    #[test]
     fn a_tiny_cell_measures_and_reports() {
-        let row = measure_cell(&TICK_CASES[0], 8, Some(4), Some(16));
+        let row = measure_cell(&tick_cases()[0], 8, Some(4), Some(16));
         assert_eq!(row.label, "inline/s1");
         assert_eq!(row.sessions, 8);
         assert_eq!(row.ticks, 16);

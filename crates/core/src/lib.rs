@@ -87,15 +87,21 @@ pub fn next_power_of_two(x: f64) -> f64 {
     if x <= 1.0 {
         return 1.0;
     }
-    let exp = x.log2().ceil();
-    let candidate = 2f64.powi(exp as i32);
-    // Guard the edge where x is an exact power of two but log2 rounded up
-    // through float noise.
-    if candidate / 2.0 >= x {
-        candidate / 2.0
-    } else {
-        candidate
+    // Exact powers of two have a zero mantissa; everything else rounds up by
+    // bumping the exponent and clearing the mantissa. Branch-light and exact
+    // for every finite f64, unlike the log2/ceil route, which needs a
+    // float-noise guard.
+    let bits = x.to_bits();
+    let exponent = bits >> 52; // sign bit is 0: x > 1.0
+    let mantissa = bits & ((1u64 << 52) - 1);
+    if mantissa == 0 {
+        return x;
     }
+    if exponent >= 0x7FE {
+        // Rounding up from the top binade (or from infinity) overflows.
+        return f64::INFINITY;
+    }
+    f64::from_bits((exponent + 1) << 52)
 }
 
 #[cfg(test)]

@@ -7,8 +7,13 @@ use crate::stage::{StageKind, StageLog};
 use cdba_sim::{Allocator, BitQueue};
 use serde::{Deserialize, Serialize};
 
-/// Relative tolerance for the `high(t) < low(t)` stage-end comparison.
-fn crossed(low: f64, high: f64) -> bool {
+/// The `high(t) < low(t)` stage-end test with a relative tolerance.
+///
+/// Exposed so external drivers of the per-session state machines (the ctrl
+/// crate's columnar tick kernel) apply the exact comparison
+/// [`SingleSession::on_tick`] uses; any deviation here would break bitwise
+/// equivalence between the two paths.
+pub fn crossed(low: f64, high: f64) -> bool {
     low - high > 1e-9 * low.max(1.0)
 }
 

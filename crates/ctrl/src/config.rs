@@ -23,6 +23,14 @@ pub enum ExecMode {
     Inline,
     /// One worker thread per shard, fed over bounded channels.
     Threaded,
+    /// Starts inline and escalates — once, irreversibly — to the threaded
+    /// backend when an EWMA of the measured per-tick cost says the work is
+    /// heavy enough to pay for channel hops and thread wakeups. On a
+    /// single-core host (or with one shard) it never escalates. The switch
+    /// is invisible in results: shard state moves into the workers bitwise,
+    /// so snapshots' placement-invariant parts are identical to both pure
+    /// modes throughout.
+    Adaptive,
 }
 
 /// Full configuration of a [`crate::service::ControlPlane`].
@@ -270,7 +278,9 @@ impl ServiceConfigBuilder {
             ));
         }
         if let Some(fault) = &self.fault {
-            if self.exec == ExecMode::Inline {
+            // Adaptive starts inline and may never escalate, so a fault
+            // plan (which arms on the initial worker) cannot be honoured.
+            if self.exec != ExecMode::Threaded {
                 return Err(CtrlError::InvalidService(
                     "fault injection requires threaded execution".into(),
                 ));
@@ -349,14 +359,17 @@ mod tests {
 
     #[test]
     fn fault_plans_are_validated() {
-        // Inline execution cannot host a fault.
-        assert!(matches!(
-            ServiceConfig::builder(64.0)
-                .exec(ExecMode::Inline)
-                .fault(FaultPlan::kill(0, 5))
-                .build(),
-            Err(CtrlError::InvalidService(_))
-        ));
+        // Only threaded execution can host a fault: inline never spawns a
+        // worker, and adaptive may never escalate to one.
+        for exec in [ExecMode::Inline, ExecMode::Adaptive] {
+            assert!(matches!(
+                ServiceConfig::builder(64.0)
+                    .exec(exec)
+                    .fault(FaultPlan::kill(0, 5))
+                    .build(),
+                Err(CtrlError::InvalidService(_))
+            ));
+        }
         // The targeted shard must exist.
         assert!(matches!(
             ServiceConfig::builder(64.0)

@@ -114,6 +114,24 @@ pub enum CtrlError {
     },
     /// A tick listed the same session key twice.
     DuplicateArrival(u64),
+    /// A migration blob decoded structurally but carried a value outside
+    /// its domain — a non-finite or negative float, or an impossible
+    /// tracker shape — that would corrupt a shard if imported.
+    InvalidCheckpoint {
+        /// The first offending field.
+        field: &'static str,
+    },
+}
+
+/// The one arrival validator every kernel entry routes through: the bits
+/// of an arrival must be finite and non-negative. The shard kernel
+/// `debug_assert!`s this contract instead of clamping.
+pub(crate) fn validate_arrival(session: u64, bits: f64) -> Result<(), CtrlError> {
+    if bits.is_finite() && bits >= 0.0 {
+        Ok(())
+    } else {
+        Err(CtrlError::InvalidArrival { session, bits })
+    }
 }
 
 impl fmt::Display for CtrlError {
@@ -137,6 +155,9 @@ impl fmt::Display for CtrlError {
             }
             CtrlError::DuplicateArrival(key) => {
                 write!(f, "session {key} listed twice in one tick")
+            }
+            CtrlError::InvalidCheckpoint { field } => {
+                write!(f, "migration blob rejected: {field} is out of domain")
             }
         }
     }

@@ -29,7 +29,7 @@ use std::sync::Arc;
 /// with explicit non-finite handling: NaN and non-positive values report
 /// 0, `+∞` saturates to `u64::MAX`. A measured delay of 2.9 ticks reports
 /// as 3, never truncated to 2.
-fn delay_ticks(exact: f64) -> u64 {
+pub(crate) fn delay_ticks(exact: f64) -> u64 {
     if exact.is_nan() || exact <= 0.0 {
         0
     } else if exact.is_infinite() {

@@ -46,16 +46,28 @@ use crate::shard::{
 use crate::CtrlError;
 use crossbeam::channel::{bounded, unbounded, Receiver, SendTimeoutError, Sender};
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Events a worker shard can buffer before the driver blocks. Bounded so a
 /// slow shard applies backpressure instead of ballooning memory.
 const SHARD_QUEUE: usize = 256;
+
+/// Ticks [`ExecMode::Adaptive`] observes before it may escalate — enough
+/// for the EWMA to settle past start-up noise.
+const ADAPTIVE_WARMUP_TICKS: u64 = 32;
+
+/// Smoothed per-tick cost above which [`ExecMode::Adaptive`] escalates to
+/// the threaded backend. Below this, channel hops and thread wakeups cost
+/// more than the shard work they would overlap.
+const ADAPTIVE_ESCALATE_NS: f64 = 100_000.0;
+
+/// EWMA smoothing factor for the adaptive per-tick cost estimate.
+const ADAPTIVE_EWMA_ALPHA: f64 = 0.2;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PlacementKind {
@@ -68,6 +80,120 @@ struct Placement {
     shard: usize,
     tenant: Arc<str>,
     kind: PlacementKind,
+}
+
+/// Direct-mapped placement table. Session keys are dense monotone
+/// counters, so a `Vec` indexed by key replaces a hash map on the tick
+/// hot path: the per-arrival lookup is one bounds check and a load.
+/// Slots of departed sessions stay occupied-free but allocated (keys are
+/// never reused), so the footprint is bounded by the highest key issued.
+struct PlacementTable {
+    slots: Vec<Option<Placement>>,
+    /// Dense routing column, parallel to `slots`: the owning shard per
+    /// key, `u32::MAX` for a key that is not live. The tick hot loop
+    /// resolves each arrival with a 4-byte read here instead of chasing
+    /// the full placement record.
+    shard_of: Vec<u32>,
+    live: usize,
+}
+
+/// `shard_of` sentinel for a key with no live placement.
+const NO_SHARD: u32 = u32::MAX;
+
+impl PlacementTable {
+    fn new() -> Self {
+        PlacementTable {
+            slots: Vec::new(),
+            shard_of: Vec::new(),
+            live: 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.live
+    }
+
+    fn get(&self, key: u64) -> Option<&Placement> {
+        self.slots.get(key as usize).and_then(Option::as_ref)
+    }
+
+    /// The owning shard of a live key (the hot-path subset of
+    /// [`PlacementTable::get`]).
+    fn shard_of(&self, key: u64) -> Option<usize> {
+        match self.shard_of.get(key as usize) {
+            Some(&shard) if shard != NO_SHARD => Some(shard as usize),
+            _ => None,
+        }
+    }
+
+    fn insert(&mut self, key: u64, placement: Placement) {
+        let at = key as usize;
+        if self.slots.len() <= at {
+            self.slots.resize_with(at + 1, || None);
+            self.shard_of.resize(at + 1, NO_SHARD);
+        }
+        debug_assert!(self.slots[at].is_none(), "session key {key} reused");
+        self.shard_of[at] = placement.shard as u32;
+        self.slots[at] = Some(placement);
+        self.live += 1;
+    }
+
+    fn remove(&mut self, key: u64) -> Option<Placement> {
+        let taken = self.slots.get_mut(key as usize).and_then(Option::take);
+        if taken.is_some() {
+            self.shard_of[key as usize] = NO_SHARD;
+            self.live -= 1;
+        }
+        taken
+    }
+
+    /// Live placements in ascending key order.
+    fn iter(&self) -> impl Iterator<Item = (u64, &Placement)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(key, slot)| slot.as_ref().map(|p| (key as u64, p)))
+    }
+}
+
+/// The escalation estimator behind [`ExecMode::Adaptive`]: an EWMA of the
+/// measured inline per-tick cost. Dropped (set to `None` on the service)
+/// once escalation happens — the switch is one-way.
+struct AdaptiveExec {
+    ewma_ns: f64,
+    observed: u64,
+    /// Host parallelism, sampled once at construction. On one core the
+    /// threaded backend can only lose, so escalation is disabled.
+    cores: usize,
+}
+
+impl AdaptiveExec {
+    fn new() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        AdaptiveExec {
+            ewma_ns: 0.0,
+            observed: 0,
+            cores,
+        }
+    }
+
+    fn observe(&mut self, tick_ns: f64) {
+        self.ewma_ns = if self.observed == 0 {
+            tick_ns
+        } else {
+            ADAPTIVE_EWMA_ALPHA * tick_ns + (1.0 - ADAPTIVE_EWMA_ALPHA) * self.ewma_ns
+        };
+        self.observed += 1;
+    }
+
+    fn should_escalate(&self, shards: usize) -> bool {
+        self.observed >= ADAPTIVE_WARMUP_TICKS
+            && self.ewma_ns > ADAPTIVE_ESCALATE_NS
+            && shards > 1
+            && self.cores > 1
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -165,7 +291,7 @@ fn spawn_worker(
 pub struct ControlPlane {
     cfg: ServiceConfig,
     admission: Mutex<AdmissionController>,
-    placements: HashMap<u64, Placement>,
+    placements: PlacementTable,
     groups: HashMap<u64, GroupInfo>,
     backend: Backend,
     /// Out-of-band worker→driver channel (threaded mode only).
@@ -180,8 +306,15 @@ pub struct ControlPlane {
     clock: u64,
     /// Per-shard arrival buffers reused across ticks.
     routes: Vec<Vec<(u64, f64)>>,
-    /// Duplicate-arrival scratch set reused across ticks.
-    seen: HashSet<u64>,
+    /// Per-key stamp of the tick that last listed the key, indexed by
+    /// session key; replaces a hash set on the duplicate-arrival check
+    /// with one indexed load, and never needs clearing between ticks.
+    seen_at: Vec<u64>,
+    /// The stamp naming the current tick in `seen_at`.
+    seen_stamp: u64,
+    /// Escalation estimator while running adaptively inline; `None` in the
+    /// pure modes and after escalation.
+    adaptive: Option<AdaptiveExec>,
     /// The shared empty arrival batch, so idle shards tick without a fresh
     /// allocation.
     empty_batch: Arc<[(u64, f64)]>,
@@ -200,7 +333,9 @@ impl ControlPlane {
     pub fn new(cfg: ServiceConfig) -> Self {
         let mut sups: Vec<ShardSup> = (0..cfg.shards).map(|_| ShardSup::new()).collect();
         let (backend, msgs) = match cfg.exec {
-            ExecMode::Inline => (
+            // Adaptive starts on the inline backend and escalates from
+            // `tick` once the measured per-tick cost justifies workers.
+            ExecMode::Inline | ExecMode::Adaptive => (
                 Backend::Inline(
                     (0..cfg.shards)
                         .map(|s| ShardState::new(s as u64, &cfg))
@@ -238,10 +373,11 @@ impl ControlPlane {
         };
         let admission = Mutex::new(AdmissionController::new(cfg.budget, cfg.default_quota));
         let routes = vec![Vec::new(); cfg.shards];
+        let adaptive = (cfg.exec == ExecMode::Adaptive).then(AdaptiveExec::new);
         ControlPlane {
             cfg,
             admission,
-            placements: HashMap::new(),
+            placements: PlacementTable::new(),
             groups: HashMap::new(),
             backend,
             msgs,
@@ -252,7 +388,9 @@ impl ControlPlane {
             next_group: 0,
             clock: 0,
             routes,
-            seen: HashSet::new(),
+            seen_at: Vec::new(),
+            seen_stamp: 0,
+            adaptive,
             empty_batch: Arc::from(Vec::new()),
             generation: 0,
             snapshot_cache: None,
@@ -310,6 +448,67 @@ impl ControlPlane {
         (0..self.cfg.shards)
             .filter(|&s| self.sups[s].healthy)
             .min_by_key(|&s| (self.sups[s].live, s))
+    }
+
+    /// One-way switch from the inline to the threaded backend
+    /// ([`ExecMode::Adaptive`] only). Each shard's state moves into its
+    /// worker *bitwise* — no encode/decode round trip — so results are
+    /// unaffected; each supervisor gets a fresh epoch, an empty journal,
+    /// and (when recovery is enabled) a checkpoint seeded from the state
+    /// being handed over, so a worker that fails before its first periodic
+    /// checkpoint still recovers to the escalation point.
+    fn escalate_to_threaded(&mut self) {
+        let states = match std::mem::replace(
+            &mut self.backend,
+            Backend::Threaded {
+                workers: Vec::new(),
+            },
+        ) {
+            Backend::Inline(states) => states,
+            threaded => {
+                self.backend = threaded;
+                return;
+            }
+        };
+        let (msg_tx, msg_rx) = unbounded();
+        let mut workers = Vec::with_capacity(self.cfg.shards);
+        for (s, state) in states.into_iter().enumerate() {
+            let sup = &mut self.sups[s];
+            sup.epoch += 1;
+            sup.journal.clear();
+            sup.journal_base = 0;
+            sup.inflight = 0;
+            let epoch = sup.epoch;
+            if self.cfg.checkpoint_every > 0 {
+                let mut bytes = Vec::new();
+                crate::codec::checkpoint::encode(&state.checkpoint(), &mut bytes);
+                sup.checkpoint = Some(ShardCheckpoint {
+                    shard: s as u64,
+                    epoch,
+                    events_applied: 0,
+                    bytes: bytes.into(),
+                });
+            }
+            match spawn_worker(s, epoch, state, 0, self.cfg.checkpoint_every, None, &msg_tx) {
+                Ok(worker) => workers.push(Some(worker)),
+                Err(err) => {
+                    // Degrade exactly like a failed spawn at start-up.
+                    sup.healthy = false;
+                    sup.last_failure = Some(err.to_string());
+                    workers.push(None);
+                }
+            }
+        }
+        self.backend = Backend::Threaded { workers };
+        self.msgs = Some((msg_tx, msg_rx));
+        self.adaptive = None;
+        self.generation += 1;
+    }
+
+    /// Whether the service is currently running on worker threads.
+    #[cfg(test)]
+    fn is_threaded(&self) -> bool {
+        matches!(self.backend, Backend::Threaded { .. })
     }
 
     /// Applies all pending out-of-band worker messages: accepts
@@ -680,12 +879,12 @@ impl ControlPlane {
         let (shard, kind) = {
             let placement = self
                 .placements
-                .get(&key)
+                .get(key)
                 .ok_or(CtrlError::UnknownSession(key))?;
             (placement.shard, placement.kind)
         };
         self.dispatch(shard, ReplayEvent::Leave { key })?;
-        let placement = self.placements.remove(&key).expect("checked above");
+        let placement = self.placements.remove(key).expect("checked above");
         self.sups[shard].live -= 1;
         match kind {
             PlacementKind::Dedicated => {
@@ -710,14 +909,12 @@ impl ControlPlane {
     /// *dedicated* session, sorted. Pooled members are excluded — a pool
     /// member's dynamics are not separable from its group.
     pub fn migratable_keys(&self) -> Vec<u64> {
-        let mut keys: Vec<u64> = self
-            .placements
+        // The table iterates in ascending key order already.
+        self.placements
             .iter()
             .filter(|(_, p)| p.kind == PlacementKind::Dedicated)
-            .map(|(&key, _)| key)
-            .collect();
-        keys.sort_unstable();
-        keys
+            .map(|(key, _)| key)
+            .collect()
     }
 
     /// Exports one *dedicated* session as a standalone migration blob and
@@ -742,7 +939,7 @@ impl ControlPlane {
         let (shard, kind) = {
             let placement = self
                 .placements
-                .get(&key)
+                .get(key)
                 .ok_or(CtrlError::UnknownSession(key))?;
             (placement.shard, placement.kind)
         };
@@ -761,7 +958,7 @@ impl ControlPlane {
             });
         };
         self.dispatch(shard, ReplayEvent::Forget { key })?;
-        let placement = self.placements.remove(&key).expect("checked above");
+        let placement = self.placements.remove(key).expect("checked above");
         self.sups[shard].live -= 1;
         self.admission
             .lock()
@@ -843,7 +1040,10 @@ impl ControlPlane {
     /// # Errors
     ///
     /// [`CtrlError::InvalidService`] for a malformed blob or one that is
-    /// not a dedicated session; [`CtrlError::Admission`] when the budget
+    /// not a dedicated session; [`CtrlError::InvalidCheckpoint`] for a
+    /// blob that decodes structurally but carries an out-of-domain value
+    /// (a non-finite or negative float, an impossible tracker shape);
+    /// [`CtrlError::Admission`] when the budget
     /// or tenant quota cannot cover the envelope; [`CtrlError::ShardDown`]
     /// when no shard could take the session. Admission is rolled back on
     /// a failed delivery, exactly like [`ControlPlane::admit`].
@@ -855,6 +1055,15 @@ impl ControlPlane {
                 "migration blob is not a dedicated session".into(),
             ));
         }
+        // Structural decode is not enough: a hostile or corrupted blob can
+        // carry NaN/negative floats or impossible tracker shapes that the
+        // codec happily round-trips — and even a well-formed session must
+        // run *this* service's configuration (the kernel applies one
+        // shard-wide parameter block, not per-session config copies).
+        // Reject both before admission.
+        cp.validate()
+            .and_then(|()| cp.conforms(&self.cfg))
+            .map_err(|field| CtrlError::InvalidCheckpoint { field })?;
         self.generation += 1;
         let envelope = self.cfg.dedicated_envelope();
         let tenant = cp.tenant.clone();
@@ -908,33 +1117,57 @@ impl ControlPlane {
         for route in &mut self.routes {
             route.clear();
         }
-        self.seen.clear();
+        self.seen_stamp += 1;
+        let stamp = self.seen_stamp;
+        if self.seen_at.len() < self.next_key as usize {
+            self.seen_at.resize(self.next_key as usize, 0);
+        }
+        // With one shard and the inline backend, the validated batch *is*
+        // shard 0's route (same entries, same order), so the copy into the
+        // route buffer is skipped and the shard ticks straight from the
+        // caller's slice.
+        let passthrough = self.cfg.shards == 1 && matches!(self.backend, Backend::Inline(_));
         for &(key, bits) in arrivals {
-            if !bits.is_finite() || bits < 0.0 {
-                return Err(CtrlError::InvalidArrival { session: key, bits });
-            }
+            crate::validate_arrival(key, bits)?;
             let shard = self
                 .placements
-                .get(&key)
-                .ok_or(CtrlError::UnknownSession(key))?
-                .shard;
+                .shard_of(key)
+                .ok_or(CtrlError::UnknownSession(key))?;
             if !self.sups[shard].healthy {
                 return Err(self.down_error(shard));
             }
-            if !self.seen.insert(key) {
+            // A live placement proves `key < next_key`, so it indexes
+            // `seen_at` after the resize above.
+            let seen = &mut self.seen_at[key as usize];
+            if *seen == stamp {
                 return Err(CtrlError::DuplicateArrival(key));
             }
-            self.routes[shard].push((key, bits));
+            *seen = stamp;
+            if !passthrough {
+                self.routes[shard].push((key, bits));
+            }
         }
         self.generation += 1;
         // Inline fallback: run every shard's tick on this thread straight
         // from the reused route buffers — no events, no journal, no
-        // allocations on the hot path.
+        // allocations on the hot path. Adaptive mode times the loop and
+        // escalates to workers once the smoothed cost warrants them.
         if let Backend::Inline(states) = &mut self.backend {
-            for (state, route) in states.iter_mut().zip(&self.routes) {
-                state.tick(route);
+            let timer = self.adaptive.as_ref().map(|_| Instant::now());
+            if passthrough {
+                states[0].tick(arrivals);
+            } else {
+                for (state, route) in states.iter_mut().zip(&self.routes) {
+                    state.tick(route);
+                }
             }
             self.clock += 1;
+            if let (Some(start), Some(adaptive)) = (timer, self.adaptive.as_mut()) {
+                adaptive.observe(start.elapsed().as_nanos() as f64);
+                if adaptive.should_escalate(self.cfg.shards) {
+                    self.escalate_to_threaded();
+                }
+            }
             return Ok(());
         }
         // Threaded: fan the batches out to every healthy shard. Sends are
@@ -1441,6 +1674,53 @@ mod tests {
             blob
         };
         assert_eq!(run(ExecMode::Inline), run(ExecMode::Threaded));
+    }
+
+    /// Escalating from the inline to the threaded backend mid-run is
+    /// invisible in results: the full snapshot (not just the invariant
+    /// view) matches a pure inline run of the same scenario.
+    #[test]
+    fn forced_escalation_is_bitwise_invisible() {
+        let baseline = run_scenario(ControlPlane::new(config(2, ExecMode::Inline)));
+        let mut service = ControlPlane::new(config(2, ExecMode::Adaptive));
+        assert!(!service.is_threaded(), "adaptive starts inline");
+        let mut live: Vec<u64> = Vec::new();
+        for _ in 0..6 {
+            live.push(service.admit("acme").unwrap());
+        }
+        live.extend(service.admit_group("globex", 3).unwrap());
+        for t in 0..200u64 {
+            if t == 60 {
+                let gone = live.remove(0);
+                service.leave(gone).unwrap();
+                live.push(service.admit("initech").unwrap());
+            }
+            if t == 100 {
+                service.escalate_to_threaded();
+                assert!(service.is_threaded(), "escalation switched backends");
+            }
+            let arrivals: Vec<(u64, f64)> = live
+                .iter()
+                .enumerate()
+                .map(|(i, &key)| (key, ((t + i as u64) % 4) as f64))
+                .collect();
+            service.tick(&arrivals).unwrap();
+        }
+        let snapshot = service.snapshot().unwrap();
+        service.shutdown();
+        assert_eq!(baseline, snapshot, "escalation changed results");
+    }
+
+    /// A single shard gains nothing from a worker thread, so adaptive mode
+    /// never escalates there regardless of measured cost.
+    #[test]
+    fn adaptive_single_shard_never_escalates() {
+        let mut service = ControlPlane::new(config(1, ExecMode::Adaptive));
+        let key = service.admit("acme").unwrap();
+        for t in 0..100u64 {
+            service.tick(&[(key, (t % 3) as f64)]).unwrap();
+        }
+        assert!(!service.is_threaded());
     }
 
     #[test]

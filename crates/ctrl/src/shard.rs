@@ -8,12 +8,20 @@
 //! (a pooled group lives wholly on one shard), which is what makes the
 //! service's metrics invariant under the shard count.
 //!
-//! Sessions live in a dense generational [`Slab`] indexed by a
-//! direct-mapped [`KeyMap`] (see [`crate::slab`]): the tick hot path pays
-//! one array access per arrival instead of a hash + probe, and entries
-//! stay contiguous. Retired-session metrics accumulate behind an `Arc`
-//! with copy-on-retire sharing, so a steady-state report costs O(live
-//! sessions) regardless of how many sessions have come and gone.
+//! The per-session hot state lives in a structure-of-arrays [`Columns`]
+//! store parallel to the session [`Slab`]: every scalar the tick kernel
+//! touches (staged arrivals, link backlogs, the `B_on` ladder level, the
+//! meter counters and rolling window sums) is a column indexed by slot,
+//! while the slab entry keeps only identity (key, tenant, kind, leaving).
+//! A tick is then a few linear passes over the columns — scatter the
+//! batched arrivals, step each pooled group, step each dedicated session —
+//! instead of a pointer chase through boxed per-session objects. The
+//! variable-size pieces (the low/high stage trackers, the delay tracker,
+//! the utilization window) stay per-slot objects in side columns; the
+//! float-op order inside the kernel replicates `SingleSession::on_tick`
+//! and `SignallingMeter::record` exactly, so the columnar kernel is
+//! bitwise-identical to the entry-based one it replaced (the `reference`
+//! module keeps the old kernel as the lockstep oracle).
 //!
 //! Threaded workers are supervised: [`run_worker`] catches panics
 //! (reporting a typed [`ShardFailure`] instead of dying silently),
@@ -26,14 +34,21 @@
 
 use crate::config::ServiceConfig;
 use crate::fault::{FaultKind, FaultPlan};
-use crate::meter::{MeterCheckpoint, SessionMetrics, SignallingMeter};
+use crate::meter::{delay_ticks, MeterCheckpoint, SessionMetrics};
 use crate::slab::{KeyMap, Slab, SlotId};
 use cdba_analysis::cost::CostModel;
 use cdba_core::config::{MultiConfig, SingleConfig};
 use cdba_core::multi::pool::{PoolCheckpoint, SessionId as PoolSessionId, SessionPool};
-use cdba_core::single::{SingleCheckpoint, SingleSession};
-use cdba_sim::Allocator;
+use cdba_core::single::{crossed, SingleCheckpoint};
+use cdba_core::stage::{StageKind, StageLog};
+use cdba_core::{
+    bounds::{HighTrackerState, LowTrackerState},
+    next_power_of_two,
+};
+use cdba_sim::streaming::DelayTrackerState;
+use cdba_traffic::EPS;
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -259,6 +274,163 @@ pub(crate) struct SessionCheckpoint {
     pub pooled: Option<(u64, u64)>,
 }
 
+impl SessionCheckpoint {
+    /// Domain-validates a decoded migration blob before any of it reaches
+    /// a shard: every `f64` must be finite (non-negative where the domain
+    /// requires it) and the tracker shapes must be internally consistent,
+    /// i.e. exactly the states `HighTracker::restore` and friends would
+    /// otherwise reject by panicking. Returns the first offending field.
+    ///
+    /// Worker-produced checkpoints satisfy this by construction; only
+    /// blobs crossing a trust boundary (fleet migration import) pay the
+    /// scan.
+    pub(crate) fn validate(&self) -> Result<(), &'static str> {
+        fn nn(v: f64) -> bool {
+            v.is_finite() && v >= 0.0
+        }
+        let m = &self.meter;
+        if m.window == 0 {
+            return Err("meter.window");
+        }
+        if !nn(m.cost.per_bandwidth_tick) || !nn(m.cost.per_change) {
+            return Err("meter.cost");
+        }
+        if !nn(m.shadow_backlog) {
+            return Err("meter.shadow_backlog");
+        }
+        if !nn(m.delay.max_delay_exact) {
+            return Err("meter.delay.max_delay_exact");
+        }
+        if m.delay.pending.iter().any(|&(_, bits)| !nn(bits)) {
+            return Err("meter.delay.pending");
+        }
+        if m.recent.len() > m.window {
+            return Err("meter.recent");
+        }
+        if m.recent.iter().any(|&(a, b)| !nn(a) || !nn(b)) {
+            return Err("meter.recent");
+        }
+        if !m.window_arrived.is_finite() || !m.window_allocated.is_finite() {
+            return Err("meter.window_sums");
+        }
+        if m.min_windowed_utilization.is_some_and(|u| !nn(u)) {
+            return Err("meter.min_windowed_utilization");
+        }
+        if !nn(m.current_alloc) {
+            return Err("meter.current_alloc");
+        }
+        if !nn(m.peak_allocation) {
+            return Err("meter.peak_allocation");
+        }
+        if !nn(m.total_arrived) || !nn(m.total_served) || !nn(m.total_allocated) {
+            return Err("meter.totals");
+        }
+        if self.dedicated.is_some() == self.pooled.is_some() {
+            return Err("kind");
+        }
+        if let Some(alg) = &self.dedicated {
+            let cfg = &alg.cfg;
+            if !(cfg.b_max.is_finite() && cfg.b_max > 0.0) {
+                return Err("alg.cfg.b_max");
+            }
+            if !(cfg.u_o.is_finite() && cfg.u_o > 0.0 && cfg.u_o <= 1.0) {
+                return Err("alg.cfg.u_o");
+            }
+            if cfg.d_o == 0 {
+                return Err("alg.cfg.d_o");
+            }
+            if cfg.w == 0 {
+                return Err("alg.cfg.w");
+            }
+            if !nn(alg.backlog) {
+                return Err("alg.backlog");
+            }
+            if !nn(alg.b_on) {
+                return Err("alg.b_on");
+            }
+            match (&alg.stage_low, &alg.stage_high) {
+                (Some(low), Some(high)) => {
+                    if low.d_o == 0 {
+                        return Err("alg.stage_low.d_o");
+                    }
+                    if low
+                        .hull
+                        .iter()
+                        .any(|&(x, y)| !x.is_finite() || !y.is_finite())
+                    {
+                        return Err("alg.stage_low.hull");
+                    }
+                    if !nn(low.total) || !nn(low.low) {
+                        return Err("alg.stage_low");
+                    }
+                    if !(high.u_o.is_finite() && high.u_o > 0.0 && high.u_o <= 1.0) {
+                        return Err("alg.stage_high.u_o");
+                    }
+                    if high.w == 0 {
+                        return Err("alg.stage_high.w");
+                    }
+                    if !(high.grace.is_finite() && high.grace > 0.0) {
+                        return Err("alg.stage_high.grace");
+                    }
+                    if high.window.len() > high.w || high.window.iter().any(|&a| !nn(a)) {
+                        return Err("alg.stage_high.window");
+                    }
+                    if !nn(high.window_sum) {
+                        return Err("alg.stage_high.window_sum");
+                    }
+                    if high.min_window_sum.is_some_and(|s| !nn(s)) {
+                        return Err("alg.stage_high.min_window_sum");
+                    }
+                    if high.ticks < high.window.len() {
+                        return Err("alg.stage_high.ticks");
+                    }
+                }
+                (None, None) => {}
+                _ => return Err("alg.stage"),
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks that an imported checkpoint runs the importing service's
+    /// configuration: algorithm config, meter window, pricing, and stage
+    /// tracker parameters must all match, and the two stage trackers must
+    /// agree on the stage clock. Checkpoints produced by a service with
+    /// the same configuration conform by construction; anything else
+    /// would silently continue the session under different rules than it
+    /// was admitted with — the kernel keeps one shard-wide parameter
+    /// block instead of per-session config copies and would apply the
+    /// service's parameters regardless, so a non-conforming blob is
+    /// rejected here with a typed error instead.
+    pub(crate) fn conforms(&self, cfg: &ServiceConfig) -> Result<(), &'static str> {
+        let single = cfg.single_config();
+        let m = &self.meter;
+        if m.window != cfg.w {
+            return Err("meter.window differs from the service window");
+        }
+        if m.cost != cfg.cost {
+            return Err("meter.cost differs from the service pricing");
+        }
+        if let Some(alg) = &self.dedicated {
+            if alg.cfg != single {
+                return Err("alg.cfg differs from the service config");
+            }
+            if let (Some(low), Some(high)) = (&alg.stage_low, &alg.stage_high) {
+                if low.d_o != single.d_o {
+                    return Err("alg.stage_low.d_o differs from the service config");
+                }
+                if high.u_o != single.u_o || high.w != single.w || high.grace != single.b_max {
+                    return Err("alg.stage_high differs from the service config");
+                }
+                if low.ticks != high.ticks {
+                    return Err("alg.stage clocks disagree");
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 /// A restorable snapshot of one pooled group.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub(crate) struct GroupCheckpoint {
@@ -289,14 +461,15 @@ pub(crate) struct ShardStateCheckpoint {
 }
 
 enum SessionKind {
-    Dedicated(Box<SingleSession>),
+    Dedicated,
     Pooled { group: u64, member: PoolSessionId },
 }
 
+/// Identity-only session entry; every scalar the tick kernel reads or
+/// writes lives in [`Columns`], indexed by this entry's slot.
 struct SessionEntry {
     key: u64,
     tenant: Arc<str>,
-    meter: SignallingMeter,
     leaving: bool,
     kind: SessionKind,
 }
@@ -306,10 +479,720 @@ struct GroupEntry {
     /// and cleanup).
     group: u64,
     pool: SessionPool,
-    /// `(pool member id, session key, session slot)` in join order.
-    /// Groups are small (a handful of members), so linear scans beat any
-    /// map here.
+    /// `(pool member id, session key, session slot)` in join order. Pool
+    /// ids are issued by one monotone counter, so this is ascending by
+    /// member id — the tick kernel merges it against the pool's (equally
+    /// ascending) allocation output with one cursor.
     by_member: Vec<(PoolSessionId, u64, SlotId)>,
+}
+
+/// Slot flags packed into [`HotState::flags`].
+const F_LIVE: u32 = 1;
+/// The slot runs the single-session algorithm (vs a pooled member).
+const F_DEDICATED: u32 = 2;
+/// The session is draining out.
+const F_LEAVING: u32 = 4;
+/// The bounds trackers are active — the columnar form of the algorithm's
+/// `Mode::Stage` (clear during a RESET).
+const F_STAGE_OPEN: u32 = 8;
+
+/// Shard-uniform kernel parameters, derived once per tick from the
+/// service config. Every session on a shard runs the same configuration
+/// (joins read it, and imports are validated against it), so none of
+/// these belong in per-session state.
+#[derive(Clone, Copy)]
+struct KernelParams {
+    /// Per-session allocation cap `B_max` (also the stage grace value).
+    b_max: f64,
+    /// Offline delay `D_O`.
+    d_o: u64,
+    /// `high(t)` denominator `U_O · W` — one multiply hoisted out of the
+    /// per-session division; the product is the same f64 every time, so
+    /// hoisting it cannot move a bit.
+    high_denom: f64,
+    /// Window length `W` (bounds-tracker and meter windows share it).
+    w: usize,
+}
+
+/// The hot per-slot state: every scalar the tick kernel reads or writes,
+/// packed into one 256-byte record (four cache lines) so a session's
+/// tick touches one contiguous record plus the ring arenas instead of a
+/// dozen parallel column streams and per-session heap buffers.
+///
+/// Lines 0–1 hold the f64 working set (meter, allocator, bounds-tracker
+/// scalars), line 2 the counters and ring cursors, line 3 the inline
+/// delay-FIFO head and the flags.
+#[repr(C, align(64))]
+#[derive(Clone, Copy)]
+struct HotState {
+    // -- line 0: the meter (`SignallingMeter` scalars) --
+    /// Meter shadow link-queue backlog.
+    shadow_backlog: f64,
+    /// Allocation of the previous tick (change detection).
+    current_alloc: f64,
+    /// Peak single-tick allocation.
+    peak_alloc: f64,
+    /// Total bits arrived.
+    total_arrived: f64,
+    /// Total bits served.
+    total_served: f64,
+    /// Total allocated bandwidth.
+    total_allocated: f64,
+    /// Rolling sum of windowed arrivals.
+    window_arrived: f64,
+    /// Rolling sum of windowed allocation.
+    window_allocated: f64,
+    // -- line 1: allocator + bounds-tracker scalars --
+    /// Dedicated link-queue backlog (`SingleSession`'s `BitQueue`).
+    backlog: f64,
+    /// Current `B_on` ladder level.
+    b_on: f64,
+    /// Low tracker: total bits arrived this stage.
+    low_total: f64,
+    /// Low tracker: running-max `low`.
+    low_low: f64,
+    /// High tracker: running sum of the window ring.
+    high_window_sum: f64,
+    /// High tracker: minimum full-window sum (`+∞` while in grace).
+    high_min_window_sum: f64,
+    /// Minimum windowed utilization so far (`NaN` encodes "none yet";
+    /// a real minimum is never NaN — the ratio has a positive finite
+    /// denominator).
+    min_util: f64,
+    /// Maximum exact (fractional) FIFO delay observed.
+    max_delay_exact: f64,
+    // -- line 2: counters and ring cursors --
+    /// Ticks the algorithm has processed.
+    alg_tick: u64,
+    /// Stage ticks consumed — the low and high trackers open together
+    /// and advance in lockstep, so one counter serves both (imports are
+    /// validated to agree).
+    stage_ticks: u64,
+    /// Ticks metered.
+    meter_ticks: u64,
+    /// Allocation changes counted.
+    changes: u64,
+    /// Ticks the delay tracker has consumed.
+    delay_tick: u64,
+    /// Maximum whole-tick FIFO delay observed.
+    max_delay: u64,
+    /// High-tracker window ring: oldest-entry index.
+    high_head: u32,
+    /// High-tracker window ring: occupancy (≤ `W`).
+    high_len: u32,
+    /// Meter recent ring: oldest-entry index.
+    recent_head: u32,
+    /// Meter recent ring: occupancy (≤ `W`).
+    recent_len: u32,
+    // -- line 3: inline delay-FIFO head + flags --
+    /// Arrival tick of the delay FIFO's head entry.
+    pend_tick: u64,
+    /// Unserved bits of the delay FIFO's head entry.
+    pend_bits: f64,
+    /// Delay FIFO occupancy, counting the inline head; entries past the
+    /// head live in the `pend_spill` column.
+    pend_len: u32,
+    /// `F_*` occupancy and mode bits.
+    flags: u32,
+}
+
+impl HotState {
+    /// A vacant slot: zeros, with the grace/none sentinels armed.
+    const EMPTY: HotState = HotState {
+        shadow_backlog: 0.0,
+        current_alloc: 0.0,
+        peak_alloc: 0.0,
+        total_arrived: 0.0,
+        total_served: 0.0,
+        total_allocated: 0.0,
+        window_arrived: 0.0,
+        window_allocated: 0.0,
+        backlog: 0.0,
+        b_on: 0.0,
+        low_total: 0.0,
+        low_low: 0.0,
+        high_window_sum: 0.0,
+        high_min_window_sum: f64::INFINITY,
+        min_util: f64::NAN,
+        max_delay_exact: 0.0,
+        alg_tick: 0,
+        stage_ticks: 0,
+        meter_ticks: 0,
+        changes: 0,
+        delay_tick: 0,
+        max_delay: 0,
+        high_head: 0,
+        high_len: 0,
+        recent_head: 0,
+        recent_len: 0,
+        pend_tick: 0,
+        pend_bits: 0.0,
+        pend_len: 0,
+        flags: 0,
+    };
+}
+
+/// Pops hull points while the new point makes the tail non-convex —
+/// `HullLowTracker::add_point`, same cross-product test.
+fn hull_add_point(hull: &mut Vec<(f64, f64)>, p: (f64, f64)) {
+    while hull.len() >= 2 {
+        let a = hull[hull.len() - 2];
+        let b = hull[hull.len() - 1];
+        let cross = (b.0 - a.0) * (p.1 - a.1) - (b.1 - a.1) * (p.0 - a.0);
+        if cross <= 0.0 {
+            hull.pop();
+        } else {
+            break;
+        }
+    }
+    hull.push(p);
+}
+
+/// Maximum slope from a hull vertex to the query point —
+/// `HullLowTracker::max_slope`, same unimodal binary search. The slope
+/// at the answer index was already computed by the search's last
+/// comparison, so it is reused instead of divided again (the same index
+/// gives the same f64 — division is deterministic).
+fn hull_max_slope(hull: &[(f64, f64)], q: (f64, f64)) -> f64 {
+    debug_assert!(!hull.is_empty());
+    let slope_to = |i: usize| {
+        let p = hull[i];
+        (q.1 - p.1) / (q.0 - p.0)
+    };
+    let (mut lo, mut hi) = (0usize, hull.len() - 1);
+    let mut cached = None;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let a = slope_to(mid);
+        let b = slope_to(mid + 1);
+        if a < b {
+            lo = mid + 1;
+            cached = Some((mid + 1, b));
+        } else {
+            hi = mid;
+            cached = Some((mid, a));
+        }
+    }
+    match cached {
+        Some((i, s)) if i == lo => s,
+        _ => slope_to(lo),
+    }
+}
+
+/// Structure-of-arrays per-session state, indexed by session slot. The
+/// tick kernel's entire per-session working set is the packed
+/// [`HotState`] record plus two slot-strided ring arenas — no per-session
+/// heap objects, no `Option` discriminants, no per-slot configuration
+/// (every session on a shard runs the shard's [`KernelParams`]; imports
+/// are validated to conform at the service boundary).
+///
+/// The kernel methods ([`Columns::alg_step`], [`Columns::meter_record`])
+/// replicate `SingleSession::on_tick` (with its `HullLowTracker` /
+/// `HighTracker` pushes inlined) and `SignallingMeter::record` float-op
+/// for float-op; any reordering would break the bitwise equivalence the
+/// checkpoint/migration paths and the invariant view depend on.
+#[derive(Default)]
+struct Columns {
+    /// Batched arrivals staged for the current tick (the scatter target).
+    arrived: Vec<f64>,
+    /// The packed hot records.
+    hot: Vec<HotState>,
+    /// Session key per slot, so the dedicated pass can emit retirements
+    /// without walking the identity slab.
+    keys: Vec<u64>,
+    /// Low tracker: lower convex hull vertices `(x, P[x])` per slot.
+    hull: Vec<Vec<(f64, f64)>>,
+    /// High-tracker window rings, slot-strided: slot `i` owns
+    /// `high_ring[i·W .. (i+1)·W]`, a circular buffer under the slot's
+    /// `high_head`/`high_len` cursors.
+    high_ring: Vec<f64>,
+    /// Meter `(arrivals, allocation)` rings, slot-strided like
+    /// `high_ring` under `recent_head`/`recent_len`.
+    recent_ring: Vec<(f64, f64)>,
+    /// Delay-FIFO entries past the inline head. Steady traffic keeps at
+    /// most one pending entry (served each tick), so the spill deque is
+    /// cold; only a backlogged session touches it.
+    pend_spill: Vec<VecDeque<(u64, f64)>>,
+    /// Stage transition log (touched only on open/close).
+    stages: Vec<StageLog>,
+}
+
+impl Columns {
+    /// Extends every column to cover `bound` slots (rings grow by whole
+    /// `W`-sized strides; existing ring contents are append-stable).
+    fn grow_to(&mut self, bound: usize, w: usize) {
+        if self.hot.len() >= bound {
+            return;
+        }
+        self.arrived.resize(bound, 0.0);
+        self.hot.resize_with(bound, || HotState::EMPTY);
+        self.keys.resize(bound, 0);
+        self.hull.resize_with(bound, Vec::new);
+        self.high_ring.resize(bound * w, 0.0);
+        self.recent_ring.resize(bound * w, (0.0, 0.0));
+        self.pend_spill.resize_with(bound, VecDeque::new);
+        self.stages.resize_with(bound, StageLog::new);
+    }
+
+    /// Initializes slot `i` for a fresh session (meter state as
+    /// `SignallingMeter::new`; dedicated slots additionally get their
+    /// allocator state via [`Columns::init_dedicated`]). The ring regions
+    /// need no clearing: their cursors reset and writes precede reads.
+    fn init_fresh(&mut self, i: usize) {
+        self.arrived[i] = 0.0;
+        let mut h = HotState::EMPTY;
+        h.flags = F_LIVE;
+        self.hot[i] = h;
+        self.hull[i].clear();
+        self.pend_spill[i].clear();
+        self.stages[i] = StageLog::new();
+    }
+
+    /// Gives slot `i` a fresh dedicated allocator — `SingleSession::new`
+    /// over the columns: stage 0 opens immediately with fresh trackers
+    /// (which [`HotState::EMPTY`] already encodes).
+    fn init_dedicated(&mut self, i: usize) {
+        let mut stages = StageLog::new();
+        stages.open(0);
+        self.stages[i] = stages;
+        self.hot[i].flags |= F_DEDICATED | F_STAGE_OPEN;
+    }
+
+    /// Restores slot `i` from a session checkpoint, bitwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint does not conform to the shard's
+    /// configuration. The migration import path pre-validates at the
+    /// service boundary ([`SessionCheckpoint::validate`]), turning
+    /// hostile blobs into typed errors before they get here; crash
+    /// recovery restores the shard's own checkpoints, which conform by
+    /// construction. A panic here therefore means a corrupted recovery
+    /// payload, and degrades to a downed shard under `catch_unwind`.
+    fn restore_slot(&mut self, i: usize, cp: &SessionCheckpoint, cfg: &SingleConfig) {
+        let w = cfg.w;
+        let m = &cp.meter;
+        assert_eq!(m.window, w, "meter window must match the service window");
+        assert!(
+            m.recent.len() <= w,
+            "recent holds {} entries but the window is {w}",
+            m.recent.len()
+        );
+        self.arrived[i] = 0.0;
+        self.hull[i].clear();
+        let spill = &mut self.pend_spill[i];
+        spill.clear();
+        let mut h = HotState::EMPTY;
+        h.flags = F_LIVE;
+        if cp.leaving {
+            h.flags |= F_LEAVING;
+        }
+        h.shadow_backlog = m.shadow_backlog;
+        h.current_alloc = m.current_alloc;
+        h.peak_alloc = m.peak_allocation;
+        h.total_arrived = m.total_arrived;
+        h.total_served = m.total_served;
+        h.total_allocated = m.total_allocated;
+        h.window_arrived = m.window_arrived;
+        h.window_allocated = m.window_allocated;
+        h.meter_ticks = m.ticks;
+        h.changes = m.changes;
+        h.min_util = m.min_windowed_utilization.unwrap_or(f64::NAN);
+        for (j, &pair) in m.recent.iter().enumerate() {
+            self.recent_ring[i * w + j] = pair;
+        }
+        h.recent_len = m.recent.len() as u32;
+        let d = &m.delay;
+        h.delay_tick = d.tick as u64;
+        h.max_delay = d.max_delay as u64;
+        h.max_delay_exact = d.max_delay_exact;
+        h.pend_len = d.pending.len() as u32;
+        if let Some(&(t0, bits)) = d.pending.first() {
+            h.pend_tick = t0 as u64;
+            h.pend_bits = bits;
+            spill.extend(d.pending[1..].iter().map(|&(t, b)| (t as u64, b)));
+        }
+        match &cp.dedicated {
+            Some(alg) => {
+                assert_eq!(
+                    &alg.cfg, cfg,
+                    "imported algorithm config must match the service's"
+                );
+                h.flags |= F_DEDICATED;
+                h.backlog = alg.backlog;
+                h.b_on = alg.b_on;
+                h.alg_tick = alg.tick as u64;
+                match (&alg.stage_low, &alg.stage_high) {
+                    (Some(low), Some(high)) => {
+                        assert!(
+                            low.d_o == cfg.d_o
+                                && high.u_o == cfg.u_o
+                                && high.w == w
+                                && high.grace == cfg.b_max,
+                            "imported stage trackers must match the service config"
+                        );
+                        assert_eq!(low.ticks, high.ticks, "stage trackers advance in lockstep");
+                        assert!(
+                            high.window.len() <= w,
+                            "window holds {} entries but w is {w}",
+                            high.window.len()
+                        );
+                        assert!(
+                            high.ticks >= high.window.len(),
+                            "{} ticks cannot have filled {} window entries",
+                            high.ticks,
+                            high.window.len()
+                        );
+                        h.flags |= F_STAGE_OPEN;
+                        h.stage_ticks = low.ticks as u64;
+                        h.low_total = low.total;
+                        h.low_low = low.low;
+                        self.hull[i].extend_from_slice(&low.hull);
+                        for (j, &a) in high.window.iter().enumerate() {
+                            self.high_ring[i * w + j] = a;
+                        }
+                        h.high_len = high.window.len() as u32;
+                        h.high_window_sum = high.window_sum;
+                        h.high_min_window_sum = high.min_window_sum.unwrap_or(f64::INFINITY);
+                    }
+                    (None, None) => {}
+                    _ => panic!("checkpoint carries exactly one of the two stage trackers"),
+                }
+                self.stages[i] = alg.stages.clone();
+            }
+            None => {
+                self.stages[i] = StageLog::new();
+            }
+        }
+        self.hot[i] = h;
+    }
+
+    /// Releases a vacated slot's heavy state; the next occupant re-inits.
+    fn clear_slot(&mut self, i: usize) {
+        self.hot[i] = HotState::EMPTY;
+        self.keys[i] = 0;
+        self.hull[i] = Vec::new();
+        self.pend_spill[i] = VecDeque::new();
+        self.stages[i] = StageLog::new();
+    }
+
+    /// One Fig. 3 allocator step on slot `i` — `SingleSession::on_tick`
+    /// with the `HullLowTracker` and `HighTracker` pushes inlined over
+    /// the packed record and the ring arena: same float-op order, same
+    /// `crossed` / `next_power_of_two` helpers. Returns the allocation.
+    fn alg_step(&mut self, i: usize, arrivals: f64, p: &KernelParams) -> f64 {
+        let Columns {
+            hot,
+            hull,
+            high_ring,
+            stages,
+            ..
+        } = self;
+        let h = &mut hot[i];
+        let alloc = if h.flags & F_STAGE_OPEN != 0 {
+            // Both trackers clamp identically; one shared clamp is the
+            // same value.
+            let a2 = arrivals.max(0.0);
+            // Low push: candidate window-start x = stage tick, P[x] =
+            // total so far; the query uses the post-arrival total.
+            hull_add_point(&mut hull[i], (h.stage_ticks as f64, h.low_total));
+            h.low_total += a2;
+            // High push: circular window of the last W arrivals. The
+            // running sum adds the new entry before subtracting the
+            // evicted one, exactly as the VecDeque form did.
+            let ring = &mut high_ring[i * p.w..(i + 1) * p.w];
+            if (h.high_len as usize) < p.w {
+                ring[h.high_len as usize] = a2;
+                h.high_len += 1;
+                h.high_window_sum += a2;
+            } else {
+                let idx = h.high_head as usize;
+                let old = ring[idx];
+                ring[idx] = a2;
+                h.high_head = if idx + 1 == p.w { 0 } else { (idx + 1) as u32 };
+                h.high_window_sum += a2;
+                h.high_window_sum -= old;
+                if h.high_window_sum < 0.0 {
+                    h.high_window_sum = 0.0; // float-noise guard
+                }
+            }
+            // One shared stage clock: the two trackers advance in
+            // lockstep.
+            h.stage_ticks += 1;
+            let q = ((h.stage_ticks + p.d_o) as f64, h.low_total);
+            let candidate = hull_max_slope(&hull[i], q);
+            if candidate > h.low_low {
+                h.low_low = candidate;
+            }
+            let l = h.low_low;
+            if h.high_len as usize == p.w {
+                h.high_min_window_sum = h.high_min_window_sum.min(h.high_window_sum);
+            }
+            let hi = if h.high_min_window_sum.is_infinite() {
+                p.b_max // grace: no full window constrains the offline yet
+            } else {
+                h.high_min_window_sum / p.high_denom
+            };
+            if crossed(l, hi) {
+                // Certificate fired: end the stage, enter RESET.
+                stages[i].close(h.alg_tick as usize, StageKind::BoundsCrossed);
+                h.flags &= !F_STAGE_OPEN;
+                h.b_on = p.b_max;
+                p.b_max
+            } else {
+                if h.b_on < l {
+                    h.b_on = next_power_of_two(l).min(p.b_max);
+                }
+                h.b_on
+            }
+        } else {
+            p.b_max
+        };
+        // The session's link queue (`BitQueue::tick` on the backlog
+        // field; inputs are validated upstream, so the clamps it would
+        // apply are identities).
+        let offered = h.backlog + arrivals;
+        let served = offered.min(alloc);
+        let mut backlog = offered - served;
+        if backlog < EPS {
+            backlog = 0.0;
+        }
+        h.backlog = backlog;
+        if h.flags & F_STAGE_OPEN == 0 && backlog <= EPS {
+            // RESET complete: the next tick starts a new stage with
+            // fresh trackers (cursors and sentinels re-armed in place).
+            stages[i].open(h.alg_tick as usize + 1);
+            h.flags |= F_STAGE_OPEN;
+            hull[i].clear();
+            h.stage_ticks = 0;
+            h.low_total = 0.0;
+            h.low_low = 0.0;
+            h.high_head = 0;
+            h.high_len = 0;
+            h.high_window_sum = 0.0;
+            h.high_min_window_sum = f64::INFINITY;
+            h.b_on = 0.0;
+        }
+        h.alg_tick += 1;
+        alloc
+    }
+
+    /// One meter step on slot `i` — `SignallingMeter::record` with the
+    /// delay tracker and utilization window inlined, same float-op
+    /// order. The hostile-input clamps the meter applied are gone: the
+    /// service boundary validates every arrival and allocations come
+    /// from the allocators, which produce finite non-negatives, so the
+    /// kernel asserts the contract instead of silently rewriting NaN to
+    /// zero.
+    fn meter_record(&mut self, i: usize, arrivals: f64, allocation: f64, p: &KernelParams) {
+        debug_assert!(
+            arrivals.is_finite() && arrivals >= 0.0,
+            "arrival {arrivals} entered the kernel unvalidated"
+        );
+        debug_assert!(
+            allocation.is_finite() && allocation >= 0.0,
+            "allocation {allocation} entered the kernel unvalidated"
+        );
+        let Columns {
+            hot,
+            recent_ring,
+            pend_spill,
+            ..
+        } = self;
+        let h = &mut hot[i];
+        if (allocation - h.current_alloc).abs() > EPS {
+            h.changes += 1;
+            h.current_alloc = allocation;
+        }
+        // Shadow link queue (`BitQueue::tick` on the backlog field).
+        let offered = h.shadow_backlog + arrivals;
+        let served = offered.min(allocation);
+        let mut backlog = offered - served;
+        if backlog < EPS {
+            backlog = 0.0;
+        }
+        h.shadow_backlog = backlog;
+        // FIFO delay tracker (`OnlineDelayTracker::push`): the head
+        // entry lives inline in the record; older entries spill.
+        if arrivals > EPS {
+            if h.pend_len == 0 {
+                h.pend_tick = h.delay_tick;
+                h.pend_bits = arrivals;
+            } else {
+                pend_spill[i].push_back((h.delay_tick, arrivals));
+            }
+            h.pend_len += 1;
+        }
+        let total = served;
+        let mut left = served;
+        while left > EPS && h.pend_len > 0 {
+            let take = h.pend_bits.min(left);
+            h.pend_bits -= take;
+            left -= take;
+            if h.pend_bits <= EPS {
+                h.max_delay = h.max_delay.max(h.delay_tick - h.pend_tick);
+                // The entry completes after the fraction of this tick's
+                // service consumed so far (see `OnlineDelayTracker`).
+                let consumed = ((total - left) / total).clamp(0.0, 1.0);
+                let exact = ((h.delay_tick - h.pend_tick) as f64 - 1.0 + consumed).max(0.0);
+                h.max_delay_exact = h.max_delay_exact.max(exact);
+                h.pend_len -= 1;
+                if h.pend_len > 0 {
+                    let (t0, bits) = pend_spill[i].pop_front().expect("len counts the spill");
+                    h.pend_tick = t0;
+                    h.pend_bits = bits;
+                }
+            }
+        }
+        // A still-pending head already implies at least this much delay.
+        if h.pend_len > 0 {
+            h.max_delay = h.max_delay.max(h.delay_tick - h.pend_tick);
+            h.max_delay_exact = h.max_delay_exact.max((h.delay_tick - h.pend_tick) as f64);
+        }
+        h.delay_tick += 1;
+        h.meter_ticks += 1;
+        h.total_arrived += arrivals;
+        h.total_served += served;
+        h.total_allocated += allocation;
+        h.peak_alloc = h.peak_alloc.max(allocation);
+        // Rolling utilization window over the ring; the running sums add
+        // the new pair before subtracting the evicted one, as the
+        // VecDeque form did.
+        let ring = &mut recent_ring[i * p.w..(i + 1) * p.w];
+        if (h.recent_len as usize) < p.w {
+            ring[h.recent_len as usize] = (arrivals, allocation);
+            h.recent_len += 1;
+            h.window_arrived += arrivals;
+            h.window_allocated += allocation;
+        } else {
+            let idx = h.recent_head as usize;
+            let (a0, b0) = ring[idx];
+            ring[idx] = (arrivals, allocation);
+            h.recent_head = if idx + 1 == p.w { 0 } else { (idx + 1) as u32 };
+            h.window_arrived += arrivals;
+            h.window_allocated += allocation;
+            h.window_arrived -= a0;
+            h.window_allocated -= b0;
+        }
+        if h.recent_len as usize == p.w && h.window_allocated > EPS {
+            let ratio = h.window_arrived.max(0.0) / h.window_allocated;
+            // `min` returns the other operand when one side is NaN, so
+            // the NaN "none yet" sentinel picks up the first ratio.
+            h.min_util = h.min_util.min(ratio);
+        }
+    }
+
+    /// Collects slot `i`'s ring region into a `Vec`, oldest first.
+    fn ring_to_vec<T: Copy>(ring: &[T], i: usize, w: usize, head: u32, len: u32) -> Vec<T> {
+        let region = &ring[i * w..(i + 1) * w];
+        (0..len as usize)
+            .map(|j| {
+                let idx = head as usize + j;
+                region[if idx >= w { idx - w } else { idx }]
+            })
+            .collect()
+    }
+
+    /// The meter state of slot `i`, in checkpoint form.
+    fn meter_checkpoint(&self, i: usize, cost: CostModel, w: usize) -> MeterCheckpoint {
+        let h = &self.hot[i];
+        let mut pending = Vec::with_capacity(h.pend_len as usize);
+        if h.pend_len > 0 {
+            pending.push((h.pend_tick as usize, h.pend_bits));
+            pending.extend(self.pend_spill[i].iter().map(|&(t, b)| (t as usize, b)));
+        }
+        MeterCheckpoint {
+            cost,
+            window: w,
+            shadow_backlog: h.shadow_backlog,
+            delay: DelayTrackerState {
+                pending,
+                tick: h.delay_tick as usize,
+                max_delay: h.max_delay as usize,
+                max_delay_exact: h.max_delay_exact,
+            },
+            recent: Self::ring_to_vec(&self.recent_ring, i, w, h.recent_head, h.recent_len),
+            window_arrived: h.window_arrived,
+            window_allocated: h.window_allocated,
+            min_windowed_utilization: if h.min_util.is_nan() {
+                None
+            } else {
+                Some(h.min_util)
+            },
+            current_alloc: h.current_alloc,
+            ticks: h.meter_ticks,
+            changes: h.changes,
+            peak_allocation: h.peak_alloc,
+            total_arrived: h.total_arrived,
+            total_served: h.total_served,
+            total_allocated: h.total_allocated,
+        }
+    }
+
+    /// The algorithm state of slot `i`, in checkpoint form.
+    fn alg_checkpoint(&self, i: usize, cfg: &SingleConfig) -> SingleCheckpoint {
+        let h = &self.hot[i];
+        debug_assert!(h.flags & F_DEDICATED != 0, "slot holds algorithm state");
+        let open = h.flags & F_STAGE_OPEN != 0;
+        SingleCheckpoint {
+            cfg: cfg.clone(),
+            backlog: h.backlog,
+            stage_low: open.then(|| LowTrackerState {
+                d_o: cfg.d_o,
+                hull: self.hull[i].clone(),
+                ticks: h.stage_ticks as usize,
+                total: h.low_total,
+                low: h.low_low,
+            }),
+            stage_high: open.then(|| HighTrackerState {
+                u_o: cfg.u_o,
+                w: cfg.w,
+                grace: cfg.b_max,
+                window: Self::ring_to_vec(&self.high_ring, i, cfg.w, h.high_head, h.high_len),
+                window_sum: h.high_window_sum,
+                min_window_sum: if h.high_min_window_sum.is_infinite() {
+                    None
+                } else {
+                    Some(h.high_min_window_sum)
+                },
+                ticks: h.stage_ticks as usize,
+            }),
+            b_on: h.b_on,
+            tick: h.alg_tick as usize,
+            stages: self.stages[i].clone(),
+        }
+    }
+
+    /// The metered totals of slot `i`, labelled for export.
+    fn metrics(
+        &self,
+        i: usize,
+        session: u64,
+        tenant: Arc<str>,
+        shard: u64,
+        cost: CostModel,
+    ) -> SessionMetrics {
+        let h = &self.hot[i];
+        SessionMetrics {
+            session,
+            tenant,
+            shard,
+            ticks: h.meter_ticks,
+            changes: h.changes,
+            peak_allocation: h.peak_alloc,
+            max_delay: delay_ticks(h.max_delay_exact),
+            total_arrived: h.total_arrived,
+            total_served: h.total_served,
+            total_allocated: h.total_allocated,
+            windowed_utilization: if h.min_util.is_nan() {
+                None
+            } else {
+                Some(h.min_util)
+            },
+            signalling_cost: h.changes as f64 * cost.per_change,
+            bandwidth_cost: h.total_allocated * cost.per_bandwidth_tick,
+        }
+    }
 }
 
 /// The per-shard session store and tick loop.
@@ -326,10 +1209,11 @@ pub(crate) struct ShardState {
     index: KeyMap,
     groups: Slab<GroupEntry>,
     group_index: KeyMap,
+    /// Per-session hot state, parallel to `sessions` by slot.
+    cols: Columns,
     /// Copy-on-retire: shared with outstanding reports and checkpoints; a
     /// retirement while shared clones once, then appends in place.
     retired: Arc<Vec<SessionMetrics>>,
-    scratch: Vec<f64>,
     ticks: u64,
 }
 
@@ -346,8 +1230,8 @@ impl ShardState {
             index: KeyMap::new(),
             groups: Slab::new(),
             group_index: KeyMap::new(),
+            cols: Columns::default(),
             retired: Arc::new(Vec::new()),
-            scratch: Vec::new(),
             ticks: 0,
         }
     }
@@ -364,20 +1248,7 @@ impl ShardState {
         let sessions = self
             .sessions
             .iter()
-            .map(|(_, e)| {
-                let (dedicated, pooled) = match &e.kind {
-                    SessionKind::Dedicated(alg) => (Some(alg.checkpoint()), None),
-                    SessionKind::Pooled { group, member } => (None, Some((*group, member.raw()))),
-                };
-                SessionCheckpoint {
-                    key: e.key,
-                    tenant: e.tenant.clone(),
-                    meter: e.meter.checkpoint(),
-                    leaving: e.leaving,
-                    dedicated,
-                    pooled,
-                }
-            })
+            .map(|(slot, e)| self.session_checkpoint_at(slot, e))
             .collect();
         let mut groups: Vec<GroupCheckpoint> = self
             .groups
@@ -412,21 +1283,7 @@ impl ShardState {
     pub(crate) fn restore(shard: u64, cfg: &ServiceConfig, cp: &ShardStateCheckpoint) -> Self {
         let mut state = ShardState::new(shard, cfg);
         for s in &cp.sessions {
-            let kind = match (&s.dedicated, &s.pooled) {
-                (Some(alg), None) => SessionKind::Dedicated(Box::new(SingleSession::restore(alg))),
-                (None, &Some((group, member))) => SessionKind::Pooled {
-                    group,
-                    member: PoolSessionId::from_raw(member),
-                },
-                _ => panic!("session checkpoint must be exactly one of dedicated or pooled"),
-            };
-            state.push_session(SessionEntry {
-                key: s.key,
-                tenant: s.tenant.clone(),
-                meter: SignallingMeter::restore(&s.meter),
-                leaving: s.leaving,
-                kind,
-            });
+            state.insert_restored(s);
         }
         for g in &cp.groups {
             let by_member = g
@@ -476,6 +1333,24 @@ impl ShardState {
         }
     }
 
+    /// One session's restorable state, as [`ShardState::checkpoint`] lists
+    /// it.
+    fn session_checkpoint_at(&self, slot: SlotId, e: &SessionEntry) -> SessionCheckpoint {
+        let i = slot.index as usize;
+        let (dedicated, pooled) = match &e.kind {
+            SessionKind::Dedicated => (Some(self.cols.alg_checkpoint(i, &self.single_cfg)), None),
+            SessionKind::Pooled { group, member } => (None, Some((*group, member.raw()))),
+        };
+        SessionCheckpoint {
+            key: e.key,
+            tenant: e.tenant.clone(),
+            meter: self.cols.meter_checkpoint(i, self.cost, self.window),
+            leaving: e.leaving,
+            dedicated,
+            pooled,
+        }
+    }
+
     /// Captures one dedicated session's restorable state — the same shape
     /// [`ShardState::checkpoint`] emits for it, standalone. `None` for
     /// unknown keys and pooled members (a pool member's dynamics are not
@@ -483,18 +1358,10 @@ impl ShardState {
     pub(crate) fn checkpoint_session(&self, key: u64) -> Option<SessionCheckpoint> {
         let slot = self.index.get(key)?;
         let entry = self.sessions.get(slot)?;
-        let dedicated = match &entry.kind {
-            SessionKind::Dedicated(alg) => Some(alg.checkpoint()),
-            SessionKind::Pooled { .. } => return None,
-        };
-        Some(SessionCheckpoint {
-            key: entry.key,
-            tenant: entry.tenant.clone(),
-            meter: entry.meter.checkpoint(),
-            leaving: entry.leaving,
-            dedicated,
-            pooled: None,
-        })
+        if !matches!(entry.kind, SessionKind::Dedicated) {
+            return None;
+        }
+        Some(self.session_checkpoint_at(slot, entry))
     }
 
     /// Removes a migrated-away session without pushing retired metrics:
@@ -506,41 +1373,72 @@ impl ShardState {
             return;
         };
         // Only dedicated sessions are exported, so no group bookkeeping.
-        let _ = self.sessions.remove(slot);
+        if self.sessions.remove(slot).is_some() {
+            self.cols.clear_slot(slot.index as usize);
+        }
     }
 
     /// Re-creates a migrated-in dedicated session bitwise from its
     /// checkpoint. The caller has already rewritten `cp.key` to a key
     /// that is fresh in this service.
     fn import(&mut self, cp: &SessionCheckpoint) {
-        let Some(alg) = &cp.dedicated else {
+        if cp.dedicated.is_none() || cp.pooled.is_some() {
             return; // only dedicated sessions migrate
-        };
-        self.push_session(SessionEntry {
-            key: cp.key,
-            tenant: cp.tenant.clone(),
-            meter: SignallingMeter::restore(&cp.meter),
-            leaving: cp.leaving,
-            kind: SessionKind::Dedicated(Box::new(SingleSession::restore(alg))),
-        });
+        }
+        self.insert_restored(cp);
     }
 
-    fn push_session(&mut self, entry: SessionEntry) -> SlotId {
-        let key = entry.key;
-        let slot = self.sessions.insert(entry);
+    /// The shard-uniform kernel parameters, derived from the service
+    /// config every session on this shard runs.
+    fn params(&self) -> KernelParams {
+        KernelParams {
+            b_max: self.single_cfg.b_max,
+            d_o: self.single_cfg.d_o as u64,
+            high_denom: self.single_cfg.u_o * self.single_cfg.w as f64,
+            w: self.window,
+        }
+    }
+
+    /// Places an identity entry and grows the columns to cover its slot.
+    fn insert_entry(
+        &mut self,
+        key: u64,
+        tenant: Arc<str>,
+        leaving: bool,
+        kind: SessionKind,
+    ) -> SlotId {
+        let slot = self.sessions.insert(SessionEntry {
+            key,
+            tenant,
+            leaving,
+            kind,
+        });
         self.index.insert(key, slot);
+        self.cols.grow_to(self.sessions.slot_bound(), self.window);
+        self.cols.keys[slot.index as usize] = key;
         slot
     }
 
+    /// Re-creates one session from its checkpoint, bitwise.
+    fn insert_restored(&mut self, cp: &SessionCheckpoint) {
+        let kind = match (&cp.dedicated, &cp.pooled) {
+            (Some(_), None) => SessionKind::Dedicated,
+            (None, &Some((group, member))) => SessionKind::Pooled {
+                group,
+                member: PoolSessionId::from_raw(member),
+            },
+            _ => panic!("session checkpoint must be exactly one of dedicated or pooled"),
+        };
+        let slot = self.insert_entry(cp.key, cp.tenant.clone(), cp.leaving, kind);
+        self.cols
+            .restore_slot(slot.index as usize, cp, &self.single_cfg);
+    }
+
     fn join_dedicated(&mut self, key: u64, tenant: Arc<str>) {
-        let alg = Box::new(SingleSession::new(self.single_cfg.clone()));
-        self.push_session(SessionEntry {
-            key,
-            tenant,
-            meter: SignallingMeter::new(self.cost, self.window),
-            leaving: false,
-            kind: SessionKind::Dedicated(alg),
-        });
+        let slot = self.insert_entry(key, tenant, false, SessionKind::Dedicated);
+        let i = slot.index as usize;
+        self.cols.init_fresh(i);
+        self.cols.init_dedicated(i);
     }
 
     fn join_group(&mut self, group: u64, tenant: Arc<str>, members: &[u64]) {
@@ -566,13 +1464,13 @@ impl ShardState {
             }
         }
         for (key, member) in joined {
-            let slot = self.push_session(SessionEntry {
+            let slot = self.insert_entry(
                 key,
-                tenant: tenant.clone(),
-                meter: SignallingMeter::new(self.cost, self.window),
-                leaving: false,
-                kind: SessionKind::Pooled { group, member },
-            });
+                tenant.clone(),
+                false,
+                SessionKind::Pooled { group, member },
+            );
+            self.cols.init_fresh(slot.index as usize);
             self.groups
                 .get_mut(gslot)
                 .expect("group slot just placed")
@@ -592,13 +1490,15 @@ impl ShardState {
             return;
         }
         entry.leaving = true;
+        self.cols.hot[slot.index as usize].flags |= F_LEAVING;
         let pooled = match &entry.kind {
             SessionKind::Pooled { group, member } => Some((*group, *member)),
             // Nothing to tell the allocator; the session now receives zero
             // arrivals and retires once its link queue drains.
-            SessionKind::Dedicated(_) => None,
+            SessionKind::Dedicated => None,
         };
-        let drained_now = pooled.is_none() && entry.meter.is_drained();
+        let drained_now =
+            pooled.is_none() && self.cols.hot[slot.index as usize].shadow_backlog <= EPS;
         match pooled {
             Some((group, member)) => {
                 // The pool moves the residual backlog to the overflow
@@ -621,68 +1521,88 @@ impl ShardState {
             self.ticks += 1;
             return;
         }
-        // Stage arrivals into a buffer parallel to the slot space: one
-        // direct-mapped lookup and one array write per arrival.
-        self.scratch.clear();
-        self.scratch.resize(self.sessions.slot_bound(), 0.0);
+        let bound = self.sessions.slot_bound();
+        self.cols.grow_to(bound, self.window);
+        // Scatter pass: stage the batched arrivals into the arrived column
+        // — one direct-mapped lookup and one array write per arrival. The
+        // service boundary validated every entry (finite, non-negative);
+        // the kernel asserts that contract instead of clamping.
+        self.cols.arrived[..bound].fill(0.0);
         for &(key, bits) in arrivals {
+            debug_assert!(
+                bits.is_finite() && bits >= 0.0,
+                "arrival ({key}, {bits}) entered the kernel unvalidated"
+            );
             if let Some(slot) = self.index.get(key) {
-                self.scratch[slot.index as usize] += bits.max(0.0);
+                self.cols.arrived[slot.index as usize] += bits;
             }
         }
 
-        let ShardState {
-            sessions,
-            groups,
-            scratch,
-            ..
-        } = self;
+        let p = self.params();
+        let ShardState { groups, cols, .. } = self;
         let mut to_retire: Vec<u64> = Vec::new();
 
-        // Pooled groups: submit, tick the pool once, meter each member.
+        // Group pass: submit, tick each pool once, meter the members.
         for (_, group) in groups.iter_mut() {
             for &(member, _, slot) in &group.by_member {
-                let entry = sessions.get(slot).expect("member slot is live");
-                if !entry.leaving {
-                    let _ = group.pool.submit(member, scratch[slot.index as usize]);
+                let i = slot.index as usize;
+                if cols.hot[i].flags & F_LEAVING == 0 {
+                    let _ = group.pool.submit(member, cols.arrived[i]);
                 }
             }
             let allocs = group.pool.tick();
-            let mut seen: Vec<PoolSessionId> = Vec::with_capacity(allocs.len());
-            for (member, alloc) in allocs {
-                seen.push(member);
-                let &(_, _, slot) = group
-                    .by_member
-                    .iter()
-                    .find(|&&(m, _, _)| m == member)
-                    .expect("pool reported an unknown member");
-                let arrived_slot = scratch[slot.index as usize];
-                let entry = sessions.get_mut(slot).expect("member slot is live");
-                let arrived = if entry.leaving { 0.0 } else { arrived_slot };
-                entry.meter.record(arrived, alloc);
-            }
-            // A leaving member absent from the pool's output has retired
+            // Pool member ids come from one monotone counter and both the
+            // pool's slot order and `by_member` preserve join order, so
+            // the allocation output and the membership are two ascending
+            // runs: matching them is a single merge cursor. A `by_member`
+            // entry the output skips is a leaving member the pool retired
             // (its slot drained on an earlier tick).
-            for &(member, key, _) in &group.by_member {
-                if !seen.contains(&member) {
+            debug_assert!(
+                group.by_member.windows(2).all(|w| w[0].0 < w[1].0),
+                "group membership is ascending by pool member id"
+            );
+            let mut mi = 0usize;
+            for (member, alloc) in allocs {
+                while group.by_member.get(mi).map(|&(m, _, _)| m) != Some(member) {
+                    let &(_, key, _) = group
+                        .by_member
+                        .get(mi)
+                        .expect("pool reported an unknown member");
                     to_retire.push(key);
+                    mi += 1;
                 }
+                let (_, _, slot) = group.by_member[mi];
+                mi += 1;
+                let i = slot.index as usize;
+                let arrived = if cols.hot[i].flags & F_LEAVING != 0 {
+                    0.0
+                } else {
+                    cols.arrived[i]
+                };
+                cols.meter_record(i, arrived, alloc, &p);
+            }
+            for &(_, key, _) in &group.by_member[mi..] {
+                to_retire.push(key);
             }
         }
 
-        // Dedicated sessions: one allocator step each, in slot order.
-        for (slot, entry) in sessions.iter_mut() {
-            if let SessionKind::Dedicated(alg) = &mut entry.kind {
-                let arrived = if entry.leaving {
-                    0.0
-                } else {
-                    scratch[slot.index as usize]
-                };
-                let alloc = alg.on_tick(arrived);
-                entry.meter.record(arrived, alloc);
-                if entry.leaving && entry.meter.is_drained() {
-                    to_retire.push(entry.key);
-                }
+        // Dedicated pass: one allocator step and one meter step per
+        // session, in slot order, straight over the columns. The flags
+        // column alone selects the slots — the identity slab stays cold.
+        for i in 0..bound {
+            let f = cols.hot[i].flags;
+            if f & F_DEDICATED == 0 {
+                continue;
+            }
+            let arrived = if f & F_LEAVING != 0 {
+                0.0
+            } else {
+                cols.arrived[i]
+            };
+            let alloc = cols.alg_step(i, arrived, &p);
+            cols.meter_record(i, arrived, alloc, &p);
+            if f & F_LEAVING != 0 && cols.hot[i].shadow_backlog <= EPS {
+                to_retire.push(cols.keys[i]);
             }
         }
 
@@ -715,20 +1635,25 @@ impl ShardState {
                 }
             }
         }
-        Arc::make_mut(&mut self.retired).push(entry.meter.metrics(
-            entry.key,
-            entry.tenant,
-            self.shard,
-        ));
+        let i = slot.index as usize;
+        let metrics = self
+            .cols
+            .metrics(i, entry.key, entry.tenant, self.shard, self.cost);
+        self.cols.clear_slot(i);
+        Arc::make_mut(&mut self.retired).push(metrics);
     }
 
     pub(crate) fn report(&self) -> ShardReport {
         let mut live = Vec::with_capacity(self.sessions.len());
-        live.extend(
-            self.sessions
-                .iter()
-                .map(|(_, e)| e.meter.metrics(e.key, e.tenant.clone(), self.shard)),
-        );
+        live.extend(self.sessions.iter().map(|(slot, e)| {
+            self.cols.metrics(
+                slot.index as usize,
+                e.key,
+                e.tenant.clone(),
+                self.shard,
+                self.cost,
+            )
+        }));
         ShardReport {
             shard: self.shard,
             epoch: self.epoch,
@@ -881,25 +1806,417 @@ pub(crate) fn run_worker(
 }
 
 #[cfg(test)]
+mod reference {
+    //! The pre-refactor entry-based kernel, kept verbatim as the bitwise
+    //! oracle for the columnar kernel (see
+    //! `tests::soa_kernel_matches_entry_based_reference`). Deliberately
+    //! retains the original O(n²) member matching.
+
+    use super::*;
+    use crate::meter::SignallingMeter;
+    use cdba_core::single::SingleSession;
+    use cdba_sim::Allocator;
+
+    enum RefKind {
+        Dedicated(Box<SingleSession>),
+        Pooled { group: u64, member: PoolSessionId },
+    }
+
+    struct RefEntry {
+        key: u64,
+        tenant: Arc<str>,
+        meter: SignallingMeter,
+        leaving: bool,
+        kind: RefKind,
+    }
+
+    struct RefGroup {
+        group: u64,
+        pool: SessionPool,
+        by_member: Vec<(PoolSessionId, u64, SlotId)>,
+    }
+
+    pub(crate) struct RefShard {
+        shard: u64,
+        single_cfg: SingleConfig,
+        multi_cfg: MultiConfig,
+        cost: CostModel,
+        window: usize,
+        sessions: Slab<RefEntry>,
+        index: KeyMap,
+        groups: Slab<RefGroup>,
+        group_index: KeyMap,
+        retired: Arc<Vec<SessionMetrics>>,
+        scratch: Vec<f64>,
+        ticks: u64,
+    }
+
+    impl RefShard {
+        pub(crate) fn new(shard: u64, cfg: &ServiceConfig) -> Self {
+            RefShard {
+                shard,
+                single_cfg: cfg.single_config(),
+                multi_cfg: cfg.multi_config(),
+                cost: cfg.cost,
+                window: cfg.w,
+                sessions: Slab::new(),
+                index: KeyMap::new(),
+                groups: Slab::new(),
+                group_index: KeyMap::new(),
+                retired: Arc::new(Vec::new()),
+                scratch: Vec::new(),
+                ticks: 0,
+            }
+        }
+
+        fn push_session(&mut self, entry: RefEntry) -> SlotId {
+            let key = entry.key;
+            let slot = self.sessions.insert(entry);
+            self.index.insert(key, slot);
+            slot
+        }
+
+        pub(crate) fn join_dedicated(&mut self, key: u64, tenant: Arc<str>) {
+            let alg = Box::new(SingleSession::new(self.single_cfg.clone()));
+            self.push_session(RefEntry {
+                key,
+                tenant,
+                meter: SignallingMeter::new(self.cost, self.window),
+                leaving: false,
+                kind: RefKind::Dedicated(alg),
+            });
+        }
+
+        pub(crate) fn join_group(&mut self, group: u64, tenant: Arc<str>, members: &[u64]) {
+            let gslot = match self.group_index.get(group) {
+                Some(slot) => slot,
+                None => {
+                    let slot = self.groups.insert(RefGroup {
+                        group,
+                        pool: SessionPool::new(self.multi_cfg.clone()),
+                        by_member: Vec::new(),
+                    });
+                    self.group_index.insert(group, slot);
+                    slot
+                }
+            };
+            let mut joined = Vec::with_capacity(members.len());
+            {
+                let entry = self.groups.get_mut(gslot).expect("group slot just placed");
+                for &key in members {
+                    joined.push((key, entry.pool.join()));
+                }
+            }
+            for (key, member) in joined {
+                let slot = self.push_session(RefEntry {
+                    key,
+                    tenant: tenant.clone(),
+                    meter: SignallingMeter::new(self.cost, self.window),
+                    leaving: false,
+                    kind: RefKind::Pooled { group, member },
+                });
+                self.groups
+                    .get_mut(gslot)
+                    .expect("group slot just placed")
+                    .by_member
+                    .push((member, key, slot));
+            }
+        }
+
+        pub(crate) fn leave(&mut self, key: u64) {
+            let Some(slot) = self.index.get(key) else {
+                return;
+            };
+            let Some(entry) = self.sessions.get_mut(slot) else {
+                return;
+            };
+            if entry.leaving {
+                return;
+            }
+            entry.leaving = true;
+            let pooled = match &entry.kind {
+                RefKind::Pooled { group, member } => Some((*group, *member)),
+                RefKind::Dedicated(_) => None,
+            };
+            let drained_now = pooled.is_none() && entry.meter.is_drained();
+            match pooled {
+                Some((group, member)) => {
+                    if let Some(gslot) = self.group_index.get(group) {
+                        if let Some(g) = self.groups.get_mut(gslot) {
+                            let _ = g.pool.leave(member);
+                        }
+                    }
+                }
+                None if drained_now => self.retire(key),
+                None => {}
+            }
+        }
+
+        pub(crate) fn tick(&mut self, arrivals: &[(u64, f64)]) {
+            if self.sessions.is_empty() {
+                self.ticks += 1;
+                return;
+            }
+            self.scratch.clear();
+            self.scratch.resize(self.sessions.slot_bound(), 0.0);
+            for &(key, bits) in arrivals {
+                if let Some(slot) = self.index.get(key) {
+                    self.scratch[slot.index as usize] += bits.max(0.0);
+                }
+            }
+
+            let RefShard {
+                sessions,
+                groups,
+                scratch,
+                ..
+            } = self;
+            let mut to_retire: Vec<u64> = Vec::new();
+
+            for (_, group) in groups.iter_mut() {
+                for &(member, _, slot) in &group.by_member {
+                    let entry = sessions.get(slot).expect("member slot is live");
+                    if !entry.leaving {
+                        let _ = group.pool.submit(member, scratch[slot.index as usize]);
+                    }
+                }
+                let allocs = group.pool.tick();
+                let mut seen: Vec<PoolSessionId> = Vec::with_capacity(allocs.len());
+                for (member, alloc) in allocs {
+                    seen.push(member);
+                    let &(_, _, slot) = group
+                        .by_member
+                        .iter()
+                        .find(|&&(m, _, _)| m == member)
+                        .expect("pool reported an unknown member");
+                    let arrived_slot = scratch[slot.index as usize];
+                    let entry = sessions.get_mut(slot).expect("member slot is live");
+                    let arrived = if entry.leaving { 0.0 } else { arrived_slot };
+                    entry.meter.record(arrived, alloc);
+                }
+                for &(member, key, _) in &group.by_member {
+                    if !seen.contains(&member) {
+                        to_retire.push(key);
+                    }
+                }
+            }
+
+            for (slot, entry) in sessions.iter_mut() {
+                if let RefKind::Dedicated(alg) = &mut entry.kind {
+                    let arrived = if entry.leaving {
+                        0.0
+                    } else {
+                        scratch[slot.index as usize]
+                    };
+                    let alloc = alg.on_tick(arrived);
+                    entry.meter.record(arrived, alloc);
+                    if entry.leaving && entry.meter.is_drained() {
+                        to_retire.push(entry.key);
+                    }
+                }
+            }
+
+            for key in to_retire {
+                self.retire(key);
+            }
+            self.ticks += 1;
+        }
+
+        fn retire(&mut self, key: u64) {
+            let Some(slot) = self.index.remove(key) else {
+                return;
+            };
+            let Some(entry) = self.sessions.remove(slot) else {
+                return;
+            };
+            if let RefKind::Pooled { group, member } = entry.kind {
+                if let Some(gslot) = self.group_index.get(group) {
+                    let now_empty = match self.groups.get_mut(gslot) {
+                        Some(g) => {
+                            g.by_member.retain(|&(m, _, _)| m != member);
+                            g.by_member.is_empty()
+                        }
+                        None => false,
+                    };
+                    if now_empty {
+                        self.group_index.remove(group);
+                        self.groups.remove(gslot);
+                    }
+                }
+            }
+            Arc::make_mut(&mut self.retired).push(entry.meter.metrics(
+                entry.key,
+                entry.tenant,
+                self.shard,
+            ));
+        }
+
+        pub(crate) fn report(&self) -> ShardReport {
+            let mut live = Vec::with_capacity(self.sessions.len());
+            live.extend(
+                self.sessions
+                    .iter()
+                    .map(|(_, e)| e.meter.metrics(e.key, e.tenant.clone(), self.shard)),
+            );
+            ShardReport {
+                shard: self.shard,
+                epoch: 0,
+                retired: Arc::clone(&self.retired),
+                live,
+            }
+        }
+
+        pub(crate) fn checkpoint(&self) -> ShardStateCheckpoint {
+            let sessions = self
+                .sessions
+                .iter()
+                .map(|(_, e)| {
+                    let (dedicated, pooled) = match &e.kind {
+                        RefKind::Dedicated(alg) => (Some(alg.checkpoint()), None),
+                        RefKind::Pooled { group, member } => (None, Some((*group, member.raw()))),
+                    };
+                    SessionCheckpoint {
+                        key: e.key,
+                        tenant: e.tenant.clone(),
+                        meter: e.meter.checkpoint(),
+                        leaving: e.leaving,
+                        dedicated,
+                        pooled,
+                    }
+                })
+                .collect();
+            let mut groups: Vec<GroupCheckpoint> = self
+                .groups
+                .iter()
+                .map(|(_, g)| {
+                    let mut members: Vec<(u64, u64)> = g
+                        .by_member
+                        .iter()
+                        .map(|&(member, key, _)| (member.raw(), key))
+                        .collect();
+                    members.sort_unstable();
+                    GroupCheckpoint {
+                        group: g.group,
+                        pool: g.pool.checkpoint(),
+                        members,
+                    }
+                })
+                .collect();
+            groups.sort_unstable_by_key(|g| g.group);
+            ShardStateCheckpoint {
+                sessions,
+                groups,
+                retired: Arc::clone(&self.retired),
+                ticks: self.ticks,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::ServiceConfig;
+    use proptest::prelude::*;
 
     fn shard() -> ShardState {
-        let cfg = ServiceConfig::builder(1024.0)
+        ShardState::new(0, &shard_cfg())
+    }
+
+    fn shard_cfg() -> ServiceConfig {
+        ServiceConfig::builder(1024.0)
             .session_b_max(16.0)
             .group_b_o(8.0)
             .offline_delay(4)
             .window(4)
             .build()
-            .unwrap();
-        ShardState::new(0, &cfg)
+            .unwrap()
     }
 
     fn all_sessions(report: &ShardReport) -> Vec<SessionMetrics> {
         let mut out: Vec<SessionMetrics> = report.retired.as_ref().clone();
         out.extend(report.live.iter().cloned());
         out
+    }
+
+    #[test]
+    #[ignore = "manual perf probe: cargo test --release -p cdba-ctrl kernel_throughput -- --ignored --nocapture"]
+    fn kernel_throughput_probe() {
+        let n: usize = 100_000;
+        let cfg = ServiceConfig::builder(n as f64 * 16.0)
+            .session_b_max(16.0)
+            .group_b_o(8.0)
+            .offline_delay(8)
+            .window(16)
+            .build()
+            .unwrap();
+        let mut arrivals = Vec::with_capacity(n);
+        let ticks = 20u64;
+
+        let mut soa = ShardState::new(0, &cfg);
+        for key in 0..n as u64 {
+            soa.join_dedicated(key, "acme".into());
+        }
+        let started = std::time::Instant::now();
+        for round in 0..ticks {
+            arrivals.clear();
+            arrivals.extend((0..n as u64).map(|k| (k, ((round + k) % 5) as f64)));
+            soa.tick(&arrivals);
+        }
+        let soa_elapsed = started.elapsed();
+
+        let mut entry = reference::RefShard::new(0, &cfg);
+        for key in 0..n as u64 {
+            entry.join_dedicated(key, "acme".into());
+        }
+        let started = std::time::Instant::now();
+        for round in 0..ticks {
+            arrivals.clear();
+            arrivals.extend((0..n as u64).map(|k| (k, ((round + k) % 5) as f64)));
+            entry.tick(&arrivals);
+        }
+        let entry_elapsed = started.elapsed();
+        println!(
+            "soa: {:.1} ticks/s, entry-based: {:.1} ticks/s",
+            ticks as f64 / soa_elapsed.as_secs_f64(),
+            ticks as f64 / entry_elapsed.as_secs_f64(),
+        );
+
+        // Component timings over the warmed SoA state.
+        let p = soa.params();
+        let cols = &mut soa.cols;
+        let rounds = 20u32;
+        let per = |d: std::time::Duration| d.as_nanos() as f64 / (rounds as f64 * n as f64);
+        let started = std::time::Instant::now();
+        let mut sink = 0.0f64;
+        for r in 0..rounds {
+            for i in 0..n {
+                sink += cols.alg_step(i, ((r as usize + i) % 5) as f64, &p);
+            }
+        }
+        let alg_elapsed = started.elapsed();
+        let started = std::time::Instant::now();
+        for r in 0..rounds {
+            for i in 0..n {
+                cols.meter_record(i, ((r as usize + i) % 5) as f64, 4.0, &p);
+            }
+        }
+        let meter_elapsed = started.elapsed();
+        let mut hull_points = 0usize;
+        let mut open_stages = 0usize;
+        for i in 0..n {
+            if cols.hot[i].flags & F_STAGE_OPEN != 0 {
+                open_stages += 1;
+                hull_points += cols.hull[i].len();
+            }
+        }
+        println!(
+            "alg_step: {:.1} ns/session, meter_record: {:.1} ns/session \
+             (open stages {open_stages}, avg hull {:.1} pts, sink {sink:.0})",
+            per(alg_elapsed),
+            per(meter_elapsed),
+            hull_points as f64 / open_stages.max(1) as f64,
+        );
     }
 
     #[test]
@@ -1104,14 +2421,7 @@ mod tests {
         let decoded = crate::codec::checkpoint::decode(&bytes).unwrap();
         assert_eq!(decoded, cp, "binary checkpoint round-trips exactly");
 
-        let cfg = ServiceConfig::builder(1024.0)
-            .session_b_max(16.0)
-            .group_b_o(8.0)
-            .offline_delay(4)
-            .window(4)
-            .build()
-            .unwrap();
-        let mut twin = ShardState::restore(0, &cfg, &decoded);
+        let mut twin = ShardState::restore(0, &shard_cfg(), &decoded);
         assert_eq!(twin.checkpoint(), cp, "restore is lossless");
         // Lockstep continuation: the restored shard must stay bitwise
         // identical to the original under further events.
@@ -1123,5 +2433,140 @@ mod tests {
             twin.handle_event(Event::Tick { arrivals });
         }
         assert_eq!(twin.checkpoint(), s.checkpoint());
+    }
+
+    #[test]
+    fn checkpoint_validation_rejects_out_of_domain_floats() {
+        let mut s = shard();
+        s.handle_event(Event::JoinDedicated {
+            key: 0,
+            tenant: "acme".into(),
+        });
+        for t in 0..12u64 {
+            s.handle_event(Event::Tick {
+                arrivals: vec![(0, (t % 4) as f64)].into(),
+            });
+        }
+        let cp = s.checkpoint_session(0).expect("dedicated exports");
+        assert_eq!(cp.validate(), Ok(()), "honest checkpoints validate");
+
+        let mut bad = cp.clone();
+        bad.meter.shadow_backlog = f64::NAN;
+        assert_eq!(bad.validate(), Err("meter.shadow_backlog"));
+
+        let mut bad = cp.clone();
+        bad.meter.total_arrived = -5.0;
+        assert_eq!(bad.validate(), Err("meter.totals"));
+
+        let mut bad = cp.clone();
+        if let Some(alg) = &mut bad.dedicated {
+            alg.backlog = f64::INFINITY;
+        }
+        assert_eq!(bad.validate(), Err("alg.backlog"));
+
+        let mut bad = cp.clone();
+        if let Some(alg) = &mut bad.dedicated {
+            if let Some(high) = &mut alg.stage_high {
+                high.window_sum = -1.0;
+            }
+        }
+        assert_eq!(bad.validate(), Err("alg.stage_high.window_sum"));
+
+        let mut bad = cp.clone();
+        bad.pooled = Some((0, 0));
+        assert_eq!(bad.validate(), Err("kind"), "dedicated+pooled is rejected");
+    }
+
+    /// Random lifecycle script for the lockstep oracle test.
+    #[derive(Debug, Clone)]
+    enum Op {
+        JoinDedicated,
+        JoinGroup(usize),
+        Leave(usize),
+        Ticks(u8, u8),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        (0u8..9u8, 0usize..32usize, 1u8..=6u8, 0u8..=255u8).prop_map(|(class, idx, n, seed)| {
+            match class {
+                0 | 1 => Op::JoinDedicated,
+                2 => Op::JoinGroup(2 + idx % 3),
+                3 | 4 => Op::Leave(idx),
+                _ => Op::Ticks(n, seed),
+            }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24 })]
+
+        /// The columnar kernel against the retained entry-based kernel:
+        /// after every tick of a random join/leave/arrival script, the two
+        /// shards' binary-encoded checkpoints must be byte-identical —
+        /// i.e. every per-session float (backlogs, tracker hulls, window
+        /// sums, metric totals) matches bitwise, not just approximately.
+        #[test]
+        fn soa_kernel_matches_entry_based_reference(
+            ops in proptest::collection::vec(op_strategy(), 1..40)
+        ) {
+            let cfg = shard_cfg();
+            let mut soa = ShardState::new(0, &cfg);
+            let mut oracle = reference::RefShard::new(0, &cfg);
+            let mut keys: Vec<u64> = Vec::new();
+            let mut next_key = 0u64;
+            let mut next_group = 0u64;
+            let mut tick_no = 0u64;
+            for op in &ops {
+                match op {
+                    Op::JoinDedicated => {
+                        soa.join_dedicated(next_key, "acme".into());
+                        oracle.join_dedicated(next_key, "acme".into());
+                        keys.push(next_key);
+                        next_key += 1;
+                    }
+                    Op::JoinGroup(n) => {
+                        let members: Vec<u64> = (0..*n as u64).map(|j| next_key + j).collect();
+                        soa.join_group(next_group, "globex".into(), &members);
+                        oracle.join_group(next_group, "globex".into(), &members);
+                        keys.extend_from_slice(&members);
+                        next_key += *n as u64;
+                        next_group += 1;
+                    }
+                    Op::Leave(i) => {
+                        if !keys.is_empty() {
+                            let key = keys[i % keys.len()];
+                            soa.leave(key);
+                            oracle.leave(key);
+                        }
+                    }
+                    Op::Ticks(n, seed) => {
+                        for _ in 0..*n {
+                            // Arrivals for every key ever issued — retired
+                            // and draining keys included, which both
+                            // kernels must ignore identically.
+                            let arrivals: Vec<(u64, f64)> = keys
+                                .iter()
+                                .enumerate()
+                                .map(|(j, &k)| {
+                                    let lcg = (*seed as u64 + tick_no * 31 + j as u64 * 7) % 5;
+                                    (k, lcg as f64 * 0.75)
+                                })
+                                .collect();
+                            soa.tick(&arrivals);
+                            oracle.tick(&arrivals);
+                            tick_no += 1;
+                            let mut a = Vec::new();
+                            let mut b = Vec::new();
+                            crate::codec::checkpoint::encode(&soa.checkpoint(), &mut a);
+                            crate::codec::checkpoint::encode(&oracle.checkpoint(), &mut b);
+                            prop_assert_eq!(a, b);
+                        }
+                    }
+                }
+            }
+            let (soa_report, oracle_report) = (soa.report(), oracle.report());
+            prop_assert_eq!(soa_report.live, oracle_report.live);
+            prop_assert_eq!(soa_report.retired.as_ref(), oracle_report.retired.as_ref());
+        }
     }
 }

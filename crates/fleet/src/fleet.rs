@@ -391,8 +391,13 @@ impl Fleet {
             return Err(FleetError::NoCapacity);
         }
         let loads: Vec<usize> = candidates.iter().map(|&p| self.procs[p].live).collect();
-        let at = self.placement.pick(&loads);
-        Ok(candidates[at.min(candidates.len() - 1)])
+        // A policy that declines (or picks out of range) on a non-empty
+        // list is misbehaving; surface that as a typed error rather than
+        // clamping it to an arbitrary process.
+        match self.placement.pick(&loads) {
+            Some(at) if at < candidates.len() => Ok(candidates[at]),
+            _ => Err(FleetError::NoHealthyProcess),
+        }
     }
 
     /// Admits one dedicated session for `tenant` on a placement-chosen

@@ -84,6 +84,11 @@ pub enum FleetError {
     NotMigratable(u64),
     /// No eligible process to place on (all draining or lost).
     NoCapacity,
+    /// The placement policy declined to pick a process — it returned no
+    /// index (or one out of range) for a non-empty candidate list. Keeps
+    /// a misbehaving policy a typed error instead of a panic or a
+    /// silently clamped pick.
+    NoHealthyProcess,
 }
 
 impl fmt::Display for FleetError {
@@ -114,6 +119,9 @@ impl fmt::Display for FleetError {
                 write!(f, "session {key} is pooled and cannot migrate alone")
             }
             FleetError::NoCapacity => write!(f, "no eligible process to place on"),
+            FleetError::NoHealthyProcess => {
+                write!(f, "placement policy produced no usable process")
+            }
         }
     }
 }

@@ -20,9 +20,10 @@ pub trait Placement {
     fn name(&self) -> &'static str;
 
     /// Picks one index into `loads`, the live session counts of the
-    /// eligible processes (non-empty; indices are positions in the
-    /// candidate list, not raw process ids).
-    fn pick(&mut self, loads: &[usize]) -> usize;
+    /// eligible processes (indices are positions in the candidate list,
+    /// not raw process ids), or `None` when `loads` is empty — a policy
+    /// must be total over every slice, never panic on a drained fleet.
+    fn pick(&mut self, loads: &[usize]) -> Option<usize>;
 }
 
 /// Cycles through the processes in order, ignoring load.
@@ -36,10 +37,13 @@ impl Placement for RoundRobin {
         "round-robin"
     }
 
-    fn pick(&mut self, loads: &[usize]) -> usize {
+    fn pick(&mut self, loads: &[usize]) -> Option<usize> {
+        if loads.is_empty() {
+            return None;
+        }
         let at = self.next % loads.len();
         self.next = self.next.wrapping_add(1);
-        at
+        Some(at)
     }
 }
 
@@ -53,10 +57,8 @@ impl Placement for LeastLoaded {
         "least-loaded"
     }
 
-    fn pick(&mut self, loads: &[usize]) -> usize {
-        (0..loads.len())
-            .min_by_key(|&i| (loads[i], i))
-            .expect("loads is non-empty")
+    fn pick(&mut self, loads: &[usize]) -> Option<usize> {
+        (0..loads.len()).min_by_key(|&i| (loads[i], i))
     }
 }
 
@@ -85,21 +87,20 @@ impl Placement for PowerOfTwoChoices {
         "p2c"
     }
 
-    fn pick(&mut self, loads: &[usize]) -> usize {
+    fn pick(&mut self, loads: &[usize]) -> Option<usize> {
         let n = loads.len();
+        if n == 0 {
+            return None;
+        }
         if n == 1 {
-            return 0;
+            return Some(0);
         }
         let a = self.rng.random_range(0..n);
         let mut b = self.rng.random_range(0..n - 1);
         if b >= a {
             b += 1; // second sample drawn from the remaining n-1 processes
         }
-        if (loads[a], a) <= (loads[b], b) {
-            a
-        } else {
-            b
-        }
+        Some(if (loads[a], a) <= (loads[b], b) { a } else { b })
     }
 }
 
@@ -111,30 +112,46 @@ mod tests {
     fn round_robin_cycles() {
         let mut p = RoundRobin::default();
         let loads = [5, 0, 9];
-        let picks: Vec<usize> = (0..6).map(|_| p.pick(&loads)).collect();
-        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        let picks: Vec<Option<usize>> = (0..6).map(|_| p.pick(&loads)).collect();
+        assert_eq!(
+            picks,
+            vec![Some(0), Some(1), Some(2), Some(0), Some(1), Some(2)]
+        );
     }
 
     #[test]
     fn least_loaded_breaks_ties_low() {
         let mut p = LeastLoaded;
-        assert_eq!(p.pick(&[3, 1, 2]), 1);
-        assert_eq!(p.pick(&[2, 2, 2]), 0);
-        assert_eq!(p.pick(&[7]), 0);
+        assert_eq!(p.pick(&[3, 1, 2]), Some(1));
+        assert_eq!(p.pick(&[2, 2, 2]), Some(0));
+        assert_eq!(p.pick(&[7]), Some(0));
     }
 
     #[test]
     fn p2c_picks_the_lighter_of_two_distinct_samples() {
         let mut p = PowerOfTwoChoices::new(0xCDBA);
         // With one process there is no choice to make.
-        assert_eq!(p.pick(&[9]), 0);
+        assert_eq!(p.pick(&[9]), Some(0));
         // One process is far heavier than the rest: over many picks the
         // heavy one can only be chosen when both samples land on it —
         // impossible, since the samples are distinct.
         let loads = [1000, 1, 1, 1];
         for _ in 0..200 {
-            assert_ne!(p.pick(&loads), 0, "both samples cannot hit one process");
+            assert_ne!(
+                p.pick(&loads),
+                Some(0),
+                "both samples cannot hit one process"
+            );
         }
+    }
+
+    /// Every policy is total: an empty candidate list yields `None`,
+    /// never a panic — a fully drained fleet must surface a typed error.
+    #[test]
+    fn empty_candidate_list_yields_none() {
+        assert_eq!(RoundRobin::default().pick(&[]), None);
+        assert_eq!(LeastLoaded.pick(&[]), None);
+        assert_eq!(PowerOfTwoChoices::new(1).pick(&[]), None);
     }
 
     #[test]
@@ -142,7 +159,7 @@ mod tests {
         let loads = [4, 2, 7, 2, 5];
         let run = |seed| {
             let mut p = PowerOfTwoChoices::new(seed);
-            (0..50).map(|_| p.pick(&loads)).collect::<Vec<_>>()
+            (0..50).map(|_| p.pick(&loads).unwrap()).collect::<Vec<_>>()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8), "different seeds explore differently");

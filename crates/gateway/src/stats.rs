@@ -43,13 +43,18 @@ fn bucket_index(micros: u64) -> usize {
     LINEAR_MAX as usize + (decade.min(DECADES - 1)) * PER_DECADE + (top as usize / 10 - 10)
 }
 
-/// The exclusive upper bound (µs) of bucket `index`.
+/// The upper bound (µs) of bucket `index` — exclusive, except where the
+/// arithmetic saturates near the top of the `u64` range: a returned
+/// bound of `u64::MAX` is *inclusive*, since no recordable sample can
+/// exceed it. The decade is clamped exactly as [`bucket_index`] clamps
+/// it, so an out-of-range index maps into the top decade instead of
+/// saturating straight to `u64::MAX` and losing its two-digit bucket.
 fn bucket_bound(index: usize) -> u64 {
     if index < LINEAR_MAX as usize {
         return index as u64 + 1;
     }
     let above = index - LINEAR_MAX as usize;
-    let decade = above / PER_DECADE;
+    let decade = (above / PER_DECADE).min(DECADES - 1);
     let two = (above % PER_DECADE) as u64 + 10;
     (two + 1).saturating_mul(10u64.saturating_pow(decade as u32 + 1))
 }
@@ -247,6 +252,25 @@ mod tests {
         }
         assert!(bucket_index(u64::MAX) < BUCKETS);
         assert!(bucket_bound(bucket_index(u64::MAX)) >= u64::MAX / 10);
+    }
+
+    /// The bound function clamps its decade exactly like the index
+    /// function: an index past the last real bucket stays in the top
+    /// decade (keeping its two-digit bucket) instead of saturating every
+    /// such bound to `u64::MAX`.
+    #[test]
+    fn bucket_bound_clamps_the_decade_like_bucket_index() {
+        assert_eq!(bucket_bound(BUCKETS), bucket_bound(BUCKETS - PER_DECADE));
+        // The top real bucket saturates; that bound is inclusive.
+        assert_eq!(bucket_bound(bucket_index(u64::MAX)), u64::MAX);
+        // Everywhere else the bound strictly exceeds the sample.
+        for x in [0, LINEAR_MAX, 1_000, 10_000_000, u64::MAX / 2, u64::MAX - 1] {
+            let bound = bucket_bound(bucket_index(x));
+            assert!(
+                bound > x || bound == u64::MAX,
+                "sample {x}: bound {bound} does not cover it"
+            );
+        }
     }
 
     #[test]

@@ -22,8 +22,15 @@ counterpart, matched on the listed keys::
         --matrix label,sessions [--tolerance 0.30]
 
   Measured entries with no baseline counterpart are skipped (CI smoke
-  runs measure a subset of the committed matrix); any matched entry
-  below its floor fails the gate.
+  runs measure a subset of the committed matrix, and the matrix's row
+  set is host-gated — ``adaptive/*`` rows appear everywhere, pure
+  ``threaded/*`` rows only on multi-core hosts); any matched entry
+  below its floor fails the gate. When both reports record a ``cores``
+  field and they differ, the whole matrix gate is skipped with a
+  notice: a host with a different core count measures a different row
+  set at incomparable speeds, so the first report from the new
+  hardware becomes the baseline instead of being gated against the
+  old one.
 
 Ordering (inversion) gate — one file, two entries, strict inequality::
 
@@ -102,6 +109,18 @@ def gate_pair(label, baseline, measured, metric, tolerance):
 
 def run_matrix(args, keys):
     base_doc, meas_doc = load_baseline(args.baseline), load(args.measured)
+    base_cores, meas_cores = base_doc.get("cores"), meas_doc.get("cores")
+    if None not in (base_cores, meas_cores) and int(base_cores) != int(meas_cores):
+        # The matrix's row set is host-gated (threaded rows only exist on
+        # multi-core hosts) and its speeds are a property of the measuring
+        # hardware, so a report from a host with a different core count is
+        # incomparable. The first report from the new hardware becomes the
+        # baseline the next same-cores run gates against.
+        print(
+            f"cores={meas_cores} vs baseline cores={base_cores}: matrix gate "
+            f"skipped (this report baselines the new core count)"
+        )
+        return True
     index = {
         tuple(str(entry.get(k)) for k in keys): entry for entry in entries(base_doc)
     }

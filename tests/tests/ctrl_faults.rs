@@ -256,3 +256,79 @@ fn admission_rolls_back_when_no_shard_can_take_the_join() {
     );
     service.shutdown();
 }
+
+/// Builds an inline single-shard service for migration-blob tests.
+fn inline_service() -> ControlPlane {
+    let cfg = ServiceConfig::builder(4096.0)
+        .session_b_max(B_MAX)
+        .group_b_o(B_O)
+        .offline_delay(D_O)
+        .window(2 * D_O)
+        .exec(ExecMode::Inline)
+        .build()
+        .expect("valid test config");
+    ControlPlane::new(cfg)
+}
+
+/// Exports a session whose meter totals are a known float value, so the
+/// tests can locate and poison a specific f64 inside the blob.
+fn blob_with_known_totals() -> Vec<u8> {
+    let mut src = inline_service();
+    let key = src.admit("acme").unwrap();
+    for _ in 0..10u64 {
+        src.tick(&[(key, 1.5)]).unwrap();
+    }
+    src.export_session(key).unwrap()
+}
+
+/// A migration blob that decodes structurally but carries an
+/// out-of-domain float (NaN, negative, infinite) must be refused with
+/// the typed [`CtrlError::InvalidCheckpoint`] — not imported, not
+/// panicked on — and the refused import must hold no budget.
+#[test]
+fn out_of_domain_floats_in_a_migration_blob_are_rejected_typed() {
+    let blob = blob_with_known_totals();
+
+    // Control: the pristine blob imports cleanly.
+    let mut dst = inline_service();
+    assert!(dst.import_session(&blob).is_ok());
+
+    // 10 ticks × 1.5 bits: the meter's total_arrived bytes are in the
+    // blob verbatim. Poisoning them must trip the domain validator.
+    let needle = 15.0f64.to_le_bytes();
+    let at = blob
+        .windows(8)
+        .position(|w| w == needle)
+        .expect("the known meter total appears in the blob");
+    for bad in [f64::NAN, -5.0, f64::INFINITY, f64::NEG_INFINITY] {
+        let mut evil = blob.clone();
+        evil[at..at + 8].copy_from_slice(&bad.to_le_bytes());
+        let mut target = inline_service();
+        let budget = target.available_budget();
+        let err = target.import_session(&evil).unwrap_err();
+        assert!(
+            matches!(err, CtrlError::InvalidCheckpoint { .. }),
+            "poisoned with {bad}: got {err}"
+        );
+        assert_eq!(target.live_sessions(), 0, "nothing was imported");
+        assert_eq!(target.available_budget(), budget, "no budget held");
+    }
+}
+
+/// Every single-byte corruption of a migration blob either imports (a
+/// benign flip) or returns a typed error — `import_session` never
+/// panics, whatever the wire delivers.
+#[test]
+fn corrupted_migration_blobs_never_panic_the_importer() {
+    let blob = blob_with_known_totals();
+    let mut dst = inline_service();
+    for at in 0..blob.len() {
+        for mask in [0x01u8, 0x80, 0xFF] {
+            let mut evil = blob.clone();
+            evil[at] ^= mask;
+            // Ok (benign) or typed Err (caught) — both fine; a panic
+            // fails the test.
+            let _ = dst.import_session(&evil);
+        }
+    }
+}

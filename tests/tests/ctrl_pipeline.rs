@@ -1,10 +1,11 @@
 //! Determinism of the pipelined parallel tick executor: for any seeded
 //! churn workload, `invariant_view()` must be **bitwise identical** across
-//! the inline fallback, threaded execution at 1 and 4 shards, and
-//! pipelined execution at depths 1 and 4 — and a run whose shard is killed
-//! and recovered mid-stream must agree with all of them. Pipelining only
-//! changes how far dispatch runs ahead of execution; it must never change
-//! a single bit of the results.
+//! the inline fallback, threaded execution at 1 and 4 shards, pipelined
+//! execution at depths 1 and 4, and adaptive execution (which may escalate
+//! from inline to threaded mid-run on its own cost measurements) — and a
+//! run whose shard is killed and recovered mid-stream must agree with all
+//! of them. Pipelining only changes how far dispatch runs ahead of
+//! execution; it must never change a single bit of the results.
 
 use cdba_ctrl::{ControlPlane, ExecMode, FaultPlan, GlobalMetrics, ServiceConfig, SessionMetrics};
 use proptest::prelude::*;
@@ -101,6 +102,21 @@ proptest! {
             sessions,
         );
         prop_assert_eq!(&reference, &threaded4_deep);
+        // Adaptive mode starts inline and may escalate to workers from
+        // its own cost measurements at any tick — whatever it decides,
+        // the results must not move.
+        let adaptive1 = run_churn(
+            ControlPlane::new(config(1, ExecMode::Adaptive, 4, None)),
+            seed,
+            sessions,
+        );
+        prop_assert_eq!(&reference, &adaptive1);
+        let adaptive4 = run_churn(
+            ControlPlane::new(config(4, ExecMode::Adaptive, 4, None)),
+            seed,
+            sessions,
+        );
+        prop_assert_eq!(&reference, &adaptive4);
         // Kill a shard mid-run: past the first checkpoint, so recovery
         // combines a checkpoint restore with a journal replay — under an
         // active pipeline of unacked ticks.

@@ -7,6 +7,7 @@ use bytes::{BufMut, Bytes, BytesMut};
 use cdba_gateway::proto::{
     self, decode, decode_payload, encode, ErrorCode, EventBody, Frame, ProtoError, MAX_FRAME,
 };
+use cdba_gateway::stats::LatencyHistogram;
 use proptest::prelude::*;
 
 fn arb_string() -> impl Strategy<Value = String> {
@@ -188,6 +189,32 @@ proptest! {
         let _ = decode(&mut Bytes::from(raw.clone()));
         let _ = decode_payload(Bytes::from(raw));
     }
+
+    /// The latency histogram's reported bound covers every recordable
+    /// sample across the full `u64` range (`raw >> shift` sweeps every
+    /// decade log-uniformly): the bound strictly exceeds the sample,
+    /// except at the saturated top bucket whose `u64::MAX` bound is
+    /// inclusive.
+    #[test]
+    fn histogram_bound_covers_every_sample(
+        shift in 0u32..64,
+        raw in 0u64..u64::MAX,
+    ) {
+        let x = raw >> shift;
+        let h = LatencyHistogram::new();
+        h.record(x);
+        let bound = h.quantile_us(1.0);
+        prop_assert!(bound > x || bound == u64::MAX);
+    }
+}
+
+/// The one sample no bound can strictly exceed: the top bucket saturates
+/// and reports an inclusive `u64::MAX`.
+#[test]
+fn histogram_top_bucket_bound_is_inclusive_u64_max() {
+    let h = LatencyHistogram::new();
+    h.record(u64::MAX);
+    assert_eq!(h.quantile_us(1.0), u64::MAX);
 }
 
 #[test]
