@@ -43,6 +43,7 @@ use cdba_ctrl::{ControlPlane, ExecMode, FaultPlan, ServiceConfig};
 use cdba_fleet::{Fleet, FleetConfig, LeastLoaded, Placement, PowerOfTwoChoices, RoundRobin};
 use cdba_gateway::client::{Client, ClientConfig};
 use cdba_gateway::{GatewayConfig, GatewayServer};
+use cdba_obs::{MetricsServer, Registry, TraceRing};
 use cdba_offline::multi::greedy_multi_offline;
 use cdba_offline::single::greedy_offline;
 use cdba_offline::OfflineConstraints;
@@ -109,9 +110,11 @@ usage: cdba-cli <command> [options]
            [--summary FILE] [--fault SHARD@TICK:<kill|hang:MS|delay:MS>]
            [--checkpoint-every N] [--max-restarts R] [--shard-timeout-ms MS]
   gateway  [--addr HOST:PORT] [--workers N] [--service-queue N]
-           [--idle-timeout-ms MS] + every `serve` service/workload flag
-           (the workload flags fix the default --budget so a `client`
-           replay admits exactly like `serve`)
+           [--idle-timeout-ms MS] [--metrics-addr HOST:PORT]
+           + every `serve` service/workload flag (the workload flags fix
+           the default --budget so a `client` replay admits exactly like
+           `serve`); --metrics-addr serves GET /metrics (Prometheus text)
+           and GET /trace (JSON lines) on a dedicated plain-HTTP listener
   client   [--addr HOST:PORT] [--json FILE] [--delta yes]
            [--codec json|binary] + every `serve` workload flag: replays
            the same deterministic churn workload over the wire and writes
@@ -121,6 +124,8 @@ usage: cdba-cli <command> [options]
            JSON (the decoded snapshot is identical either way)
   fleet    [--ctrl-procs 2] [--gateways 2] [--placement p2c|least-loaded|round-robin]
            [--drain PROC|none] [--drain-at TICK] [--fault PROC@TICK:kill]
+           [--metrics-addr HOST:PORT] (serves the orchestrator's
+           cdba_fleet_* series and trace over plain HTTP)
            [--json FILE] + every `serve` workload/service flag: replays
            the same deterministic churn workload across a multi-process
            fleet (ctrl-proc children behind relay children, spawned from
@@ -512,6 +517,25 @@ fn service_config_from_flags(
     Ok((builder.build().map_err(|e| e.to_string())?, exec, shards))
 }
 
+/// The load-imbalance gauge reported in summary JSON: max and mean
+/// sessions over a set of placement units (shards or processes), plus
+/// their ratio (1.0 = perfectly even; 0 units or an empty fleet reports
+/// a ratio of 1.0 so dashboards need no special case).
+fn imbalance(counts: &[u64]) -> serde_json::Value {
+    let max = counts.iter().copied().max().unwrap_or(0);
+    let mean = if counts.is_empty() {
+        0.0
+    } else {
+        counts.iter().sum::<u64>() as f64 / counts.len() as f64
+    };
+    let ratio = if mean > 0.0 { max as f64 / mean } else { 1.0 };
+    serde_json::json!({
+        "max_sessions": max,
+        "mean_sessions": mean,
+        "ratio": ratio,
+    })
+}
+
 /// `serve`: spin up the cdba-ctrl control plane, replay a generated
 /// `MultiTrace` through it with mid-run session churn, and report
 /// throughput plus the service's JSON metrics snapshot. The
@@ -583,6 +607,13 @@ fn serve(args: &[String]) -> CliResult {
         "global": serde_json::to_value(&snapshot.global),
         "per_shard": serde_json::to_value(&snapshot.per_shard),
         "health": serde_json::to_value(&snapshot.health),
+        "imbalance": imbalance(
+            &snapshot
+                .per_shard
+                .iter()
+                .map(|s| s.sessions)
+                .collect::<Vec<_>>(),
+        ),
     });
     let summary_body = serde_json::to_string_pretty(&summary).map_err(|e| e.to_string())?;
     println!("{summary_body}");
@@ -615,6 +646,7 @@ fn gateway(args: &[String]) -> CliResult {
         workers: get_parse(&flags, "workers", defaults.workers)?,
         service_queue: get_parse(&flags, "service-queue", defaults.service_queue)?,
         idle_timeout_ms: get_parse(&flags, "idle-timeout-ms", defaults.idle_timeout_ms)?,
+        metrics_addr: flags.get("metrics-addr").cloned(),
         ..defaults
     };
     let server = GatewayServer::start(cfg, gateway_cfg).map_err(|e| e.to_string())?;
@@ -625,6 +657,9 @@ fn gateway(args: &[String]) -> CliResult {
         exec_name(exec),
         spec.sessions,
     );
+    if let Some(addr) = server.metrics_addr() {
+        println!("cdba-gateway metrics on http://{addr}/metrics");
+    }
     // Serve until killed; clients come and go on their own schedule.
     loop {
         std::thread::sleep(std::time::Duration::from_secs(3600));
@@ -805,6 +840,8 @@ struct FleetTarget {
     drain: Option<(u64, usize)>,
     /// `(tick, proc)`: kill `proc` outright; genesis replay recovers it.
     fault: Option<(u64, usize)>,
+    /// The `--metrics-addr` listener, held alive for the run.
+    _metrics: Option<MetricsServer>,
 }
 
 impl ReplayTarget for FleetTarget {
@@ -888,12 +925,28 @@ fn run_fleet(
         child_args: fleet_child_args(spec, flags),
         migration_price: 1.0,
     };
-    let fleet = Fleet::start(cfg, placement).map_err(|e| e.to_string())?;
+    let mut fleet = Fleet::start(cfg, placement).map_err(|e| e.to_string())?;
+    let mut metrics = None;
+    if let Some(addr) = flags.get("metrics-addr") {
+        let registry = std::sync::Arc::new(Registry::new());
+        let trace = std::sync::Arc::new(TraceRing::new(4096));
+        fleet.attach_metrics(&registry);
+        fleet.attach_trace(std::sync::Arc::clone(&trace));
+        metrics = Some(
+            MetricsServer::start(addr, registry, Some(trace))
+                .map_err(|e| format!("bind metrics {addr}: {e}"))?,
+        );
+        println!(
+            "cdba-fleet metrics on http://{}/metrics",
+            metrics.as_ref().unwrap().local_addr()
+        );
+    }
     let mut target = FleetTarget {
         fleet,
         now: 0,
         drain: drain.map(|proc| (drain_at, proc)),
         fault,
+        _metrics: metrics,
     };
     let outcome = run_replay(&mut target, spec)?;
     Ok((outcome, target))
@@ -953,6 +1006,13 @@ fn fleet(args: &[String]) -> CliResult {
         "migration_cost": fleet_summary.migration_cost,
         "respawns": fleet_summary.respawns,
         "live": fleet_summary.live,
+        "imbalance": imbalance(
+            &fleet_summary
+                .live
+                .iter()
+                .map(|&n| n as u64)
+                .collect::<Vec<_>>(),
+        ),
         "churn_events": outcome.churn_events,
         "elapsed_sec": outcome.elapsed_sec,
         "session_ticks_per_sec": outcome.throughput(),
@@ -1069,6 +1129,14 @@ fn bench_fleet(args: &[String]) -> CliResult {
             "migrations": fleet_summary.migrations,
             "migration_cost": fleet_summary.migration_cost,
             "respawns": fleet_summary.respawns,
+            "live": fleet_summary.live,
+            "imbalance": imbalance(
+                &fleet_summary
+                    .live
+                    .iter()
+                    .map(|&n| n as u64)
+                    .collect::<Vec<_>>(),
+            ),
         }));
     }
 

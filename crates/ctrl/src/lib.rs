@@ -63,6 +63,7 @@ pub mod config;
 pub mod fault;
 pub mod meter;
 pub mod metrics;
+pub(crate) mod obs;
 pub mod service;
 pub(crate) mod shard;
 pub(crate) mod slab;

@@ -40,10 +40,12 @@ use crate::config::{ExecMode, ServiceConfig};
 use crate::fault::FaultPlan;
 use crate::meter::SessionMetrics;
 use crate::metrics::{ServiceSnapshot, ShardHealth, SnapshotCounters};
+use crate::obs::CtrlMetrics;
 use crate::shard::{
     panic_reason, run_worker, Event, ReplayEvent, ShardCheckpoint, ShardState, WorkerCtx, WorkerMsg,
 };
 use crate::CtrlError;
+use cdba_obs::{Registry, TraceEvent, TraceKind, TraceRing};
 use crossbeam::channel::{bounded, unbounded, Receiver, SendTimeoutError, Sender};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -324,6 +326,13 @@ pub struct ControlPlane {
     /// The last assembled snapshot, stamped with the generation it
     /// captured.
     snapshot_cache: Option<(u64, Arc<ServiceSnapshot>)>,
+    /// Pre-resolved metric handles; `None` until
+    /// [`ControlPlane::attach_metrics`]. Every hook is one branch when
+    /// unattached.
+    obs: Option<CtrlMetrics>,
+    /// Structured-event ring; `None` until
+    /// [`ControlPlane::attach_trace`].
+    trace: Option<Arc<TraceRing>>,
 }
 
 impl ControlPlane {
@@ -394,6 +403,45 @@ impl ControlPlane {
             empty_batch: Arc::from(Vec::new()),
             generation: 0,
             snapshot_cache: None,
+            obs: None,
+            trace: None,
+        }
+    }
+
+    /// Resolves this plane's metric series against `registry` and starts
+    /// updating them. The hooks live on the driver thread only (the tick
+    /// kernel is untouched); snapshot-derived gauges (signalling cost,
+    /// change count, max delay) refresh whenever a snapshot is assembled.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        self.obs = Some(CtrlMetrics::register(registry, self.cfg.shards));
+        self.sync_membership_gauges();
+    }
+
+    /// Starts pushing structured control-plane events (admissions,
+    /// restarts, checkpoints) into `ring`.
+    pub fn attach_trace(&mut self, ring: Arc<TraceRing>) {
+        self.trace = Some(ring);
+    }
+
+    /// Refreshes the membership-scoped gauges: live totals, per-shard
+    /// placement, slab key-space size, and uncommitted budget. Called on
+    /// every membership mutation — churn-rate, not tick-rate.
+    fn sync_membership_gauges(&self) {
+        let Some(m) = &self.obs else { return };
+        m.live_sessions.set(self.placements.len() as f64);
+        m.slab_slots.set(self.next_key as f64);
+        m.available_budget.set(self.admission.lock().available());
+        for (shard, sup) in self.sups.iter().enumerate() {
+            if let Some(gauge) = m.shard_sessions.get(shard) {
+                gauge.set(sup.live as f64);
+            }
+        }
+    }
+
+    /// Pushes one trace event if a ring is attached.
+    fn trace_push(&self, event: TraceEvent) {
+        if let Some(ring) = &self.trace {
+            ring.push(event);
         }
     }
 
@@ -579,7 +627,9 @@ impl ControlPlane {
     }
 
     fn accept_checkpoint(&mut self, cp: ShardCheckpoint) {
-        let sup = &mut self.sups[cp.shard as usize];
+        let shard = cp.shard as usize;
+        let payload_bytes = cp.bytes.len() as u64;
+        let sup = &mut self.sups[shard];
         if sup.epoch != cp.epoch {
             return; // stale: a superseded worker's parting checkpoint
         }
@@ -588,6 +638,21 @@ impl ControlPlane {
         sup.journal.drain(..covered);
         sup.journal_base = cp.events_applied;
         sup.checkpoint = Some(cp);
+        if let Some(m) = &self.obs {
+            if let Some(counter) = m.shard_checkpoints.get(shard) {
+                counter.inc();
+            }
+            if let Some(counter) = m.shard_checkpoint_bytes.get(shard) {
+                counter.add(payload_bytes);
+            }
+        }
+        if self.trace.is_some() {
+            self.trace_push(
+                TraceEvent::at(self.clock, TraceKind::Checkpoint)
+                    .shard(shard as u32)
+                    .detail(format!("{payload_bytes} bytes")),
+            );
+        }
     }
 
     /// Cancels and retires `shard`'s current worker, if any. The handle
@@ -696,6 +761,19 @@ impl ControlPlane {
             unreachable!("recover is only reachable in threaded mode")
         };
         workers[shard] = Some(worker);
+        if let Some(m) = &self.obs {
+            if let Some(counter) = m.shard_restarts.get(shard) {
+                counter.inc();
+            }
+            m.events_replayed.add(journal.len() as u64);
+        }
+        if self.trace.is_some() {
+            self.trace_push(
+                TraceEvent::at(self.clock, TraceKind::ShardRestart)
+                    .shard(shard as u32)
+                    .detail(reason),
+            );
+        }
         Ok(())
     }
 
@@ -763,10 +841,12 @@ impl ControlPlane {
     pub fn admit(&mut self, tenant: &str) -> Result<u64, CtrlError> {
         self.generation += 1;
         let envelope = self.cfg.dedicated_envelope();
-        self.admission
-            .lock()
-            .request(tenant, envelope)
-            .map_err(CtrlError::Admission)?;
+        if let Err(refused) = self.admission.lock().request(tenant, envelope) {
+            if let Some(m) = &self.obs {
+                m.rejected.inc();
+            }
+            return Err(CtrlError::Admission(refused));
+        }
         let Some(shard) = self.place() else {
             self.admission.lock().rollback(tenant, envelope);
             return Err(CtrlError::ShardDown {
@@ -794,6 +874,17 @@ impl ControlPlane {
             },
         );
         self.sups[shard].live += 1;
+        if let Some(m) = &self.obs {
+            m.admitted.inc();
+            self.sync_membership_gauges();
+        }
+        if self.trace.is_some() {
+            self.trace_push(
+                TraceEvent::at(self.clock, TraceKind::Admit)
+                    .shard(shard as u32)
+                    .session(key),
+            );
+        }
         Ok(key)
     }
 
@@ -817,10 +908,12 @@ impl ControlPlane {
         }
         self.generation += 1;
         let envelope = self.cfg.group_envelope();
-        self.admission
-            .lock()
-            .request(tenant, envelope)
-            .map_err(CtrlError::Admission)?;
+        if let Err(refused) = self.admission.lock().request(tenant, envelope) {
+            if let Some(m) = &self.obs {
+                m.rejected.inc();
+            }
+            return Err(CtrlError::Admission(refused));
+        }
         let Some(shard) = self.place() else {
             self.admission.lock().rollback(tenant, envelope);
             return Err(CtrlError::ShardDown {
@@ -861,6 +954,18 @@ impl ControlPlane {
             },
         );
         self.sups[shard].live += size;
+        if let Some(m) = &self.obs {
+            m.admitted.inc();
+            self.sync_membership_gauges();
+        }
+        if self.trace.is_some() {
+            self.trace_push(
+                TraceEvent::at(self.clock, TraceKind::AdmitGroup)
+                    .shard(shard as u32)
+                    .session(members[0])
+                    .detail(format!("{size} members")),
+            );
+        }
         Ok(members.to_vec())
     }
 
@@ -901,6 +1006,17 @@ impl ControlPlane {
                     }
                 }
             }
+        }
+        if let Some(m) = &self.obs {
+            m.leaves.inc();
+            self.sync_membership_gauges();
+        }
+        if self.trace.is_some() {
+            self.trace_push(
+                TraceEvent::at(self.clock, TraceKind::Leave)
+                    .shard(shard as u32)
+                    .session(key),
+            );
         }
         Ok(())
     }
@@ -965,6 +1081,15 @@ impl ControlPlane {
             .release(&placement.tenant, self.cfg.dedicated_envelope());
         let mut blob = Vec::new();
         crate::codec::checkpoint::encode_session(&cp, &mut blob);
+        self.sync_membership_gauges();
+        if self.trace.is_some() {
+            self.trace_push(
+                TraceEvent::at(self.clock, TraceKind::Migration)
+                    .shard(shard as u32)
+                    .session(key)
+                    .detail("exported"),
+            );
+        }
         Ok(blob)
     }
 
@@ -1095,6 +1220,15 @@ impl ControlPlane {
             },
         );
         self.sups[shard].live += 1;
+        self.sync_membership_gauges();
+        if self.trace.is_some() {
+            self.trace_push(
+                TraceEvent::at(self.clock, TraceKind::Migration)
+                    .shard(shard as u32)
+                    .session(key)
+                    .detail("imported"),
+            );
+        }
         Ok(key)
     }
 
@@ -1162,6 +1296,10 @@ impl ControlPlane {
                 }
             }
             self.clock += 1;
+            if let Some(m) = &self.obs {
+                m.ticks.inc();
+                m.arrivals.add(arrivals.len() as u64);
+            }
             if let (Some(start), Some(adaptive)) = (timer, self.adaptive.as_mut()) {
                 adaptive.observe(start.elapsed().as_nanos() as f64);
                 if adaptive.should_escalate(self.cfg.shards) {
@@ -1187,6 +1325,10 @@ impl ControlPlane {
             }
         }
         self.clock += 1;
+        if let Some(m) = &self.obs {
+            m.ticks.inc();
+            m.arrivals.add(arrivals.len() as u64);
+        }
         match first_err {
             None => Ok(()),
             Some(err) => Err(err),
@@ -1394,6 +1536,16 @@ impl ControlPlane {
             health,
             sessions,
         ));
+        // The fold above is placement-invariant and bitwise-deterministic,
+        // so these gauges are too — a clean and a faulted run expose the
+        // same values once recovered.
+        if let Some(m) = &self.obs {
+            m.changes.set(snapshot.global.changes as f64);
+            m.signalling_cost.set(snapshot.global.signalling_cost);
+            m.bandwidth_cost.set(snapshot.global.bandwidth_cost);
+            m.max_delay.set(snapshot.global.max_delay as f64);
+            m.snapshot_tick.set(snapshot.ticks as f64);
+        }
         // Collection may itself have recovered or downed shards (bumping
         // the generation); stamp with the value the assembly observed.
         self.snapshot_cache = Some((self.generation, snapshot.clone()));

@@ -20,10 +20,12 @@ use crate::FleetError;
 use cdba_analysis::cost::CostModel;
 use cdba_ctrl::{ServiceSnapshot, SnapshotCounters};
 use cdba_gateway::{Client, ClientError};
+use cdba_obs::{Counter, Gauge, Registry, TraceEvent, TraceKind, TraceRing};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader};
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
 
 /// How a fleet is built.
 #[derive(Debug, Clone)]
@@ -140,6 +142,60 @@ pub struct FleetSummary {
     pub live: Vec<usize>,
 }
 
+/// Pre-resolved orchestrator metric handles (see
+/// [`Fleet::attach_metrics`]). Every update runs on the orchestrator
+/// thread around a wire round-trip, so the relaxed-atomic cost is
+/// invisible.
+struct FleetMetrics {
+    /// `cdba_fleet_ticks_total`.
+    ticks: Counter,
+    /// `cdba_fleet_migrations_total`.
+    migrations: Counter,
+    /// `cdba_fleet_lease_failures_total`.
+    lease_failures: Counter,
+    /// `cdba_fleet_respawns_total`.
+    respawns: Counter,
+    /// `cdba_fleet_placements_total{policy}`.
+    placements: Counter,
+    /// `cdba_fleet_proc_sessions{proc}`, indexed by process.
+    proc_sessions: Vec<Gauge>,
+}
+
+impl FleetMetrics {
+    fn register(registry: &Registry, policy: &str, procs: usize) -> Self {
+        FleetMetrics {
+            ticks: registry.counter("cdba_fleet_ticks_total", "Fleet-wide ticks committed"),
+            migrations: registry.counter(
+                "cdba_fleet_migrations_total",
+                "Completed live migrations (lease revoked, blob granted, key rebound)",
+            ),
+            lease_failures: registry.counter(
+                "cdba_fleet_lease_failures_total",
+                "Migrations whose lease grant failed at the target (the blob was \
+                 handed back to the source)",
+            ),
+            respawns: registry.counter(
+                "cdba_fleet_respawns_total",
+                "Child processes respawned and genesis-replayed after a loss",
+            ),
+            placements: registry.counter_with(
+                "cdba_fleet_placements_total",
+                "Placement decisions taken, labelled by the policy that made them",
+                &[("policy", policy)],
+            ),
+            proc_sessions: (0..procs)
+                .map(|p| {
+                    registry.gauge_with(
+                        "cdba_fleet_proc_sessions",
+                        "Live sessions placed on the backend process",
+                        &[("proc", &p.to_string())],
+                    )
+                })
+                .collect(),
+        }
+    }
+}
+
 /// A running fleet. See the crate docs for the determinism argument.
 pub struct Fleet {
     cfg: FleetConfig,
@@ -152,6 +208,8 @@ pub struct Fleet {
     clock: u64,
     keys: HashMap<u64, SessionLoc>,
     migrations: u64,
+    obs: Option<FleetMetrics>,
+    trace: Option<Arc<TraceRing>>,
 }
 
 /// Reads one stdout line from a freshly spawned child and extracts the
@@ -287,7 +345,40 @@ impl Fleet {
             clock: 0,
             keys: HashMap::new(),
             migrations: 0,
+            obs: None,
+            trace: None,
         })
+    }
+
+    /// Registers the orchestrator's metric series (`cdba_fleet_*`) with
+    /// `registry` and starts updating them. Opt-in: an unattached fleet
+    /// pays one branch per hook.
+    pub fn attach_metrics(&mut self, registry: &Registry) {
+        let m = FleetMetrics::register(registry, self.placement.name(), self.procs.len());
+        self.obs = Some(m);
+        self.sync_proc_gauges();
+    }
+
+    /// Starts recording structured fleet events (migrations, lease
+    /// failures, respawns, placements) into `ring`.
+    pub fn attach_trace(&mut self, ring: Arc<TraceRing>) {
+        self.trace = Some(ring);
+    }
+
+    fn trace_push(&self, event: TraceEvent) {
+        if let Some(ring) = &self.trace {
+            ring.push(event);
+        }
+    }
+
+    /// Refreshes the per-process live-session gauges after any placement
+    /// change (admit, leave, migrate, recovery replay).
+    fn sync_proc_gauges(&self) {
+        if let Some(m) = &self.obs {
+            for (p, gauge) in m.proc_sessions.iter().enumerate() {
+                gauge.set(self.procs[p].live as f64);
+            }
+        }
     }
 
     /// Backend worker processes.
@@ -378,6 +469,14 @@ impl Fleet {
         p.addr = addr;
         p.client = client;
         p.respawns += 1;
+        if let Some(m) = &self.obs {
+            m.respawns.inc();
+        }
+        self.trace_push(
+            TraceEvent::at(self.clock, TraceKind::Respawn)
+                .shard(proc as u32)
+                .detail(format!("genesis replay after: {cause}")),
+        );
         Ok(())
     }
 
@@ -395,7 +494,16 @@ impl Fleet {
         // list is misbehaving; surface that as a typed error rather than
         // clamping it to an arbitrary process.
         match self.placement.pick(&loads) {
-            Some(at) if at < candidates.len() => Ok(candidates[at]),
+            Some(at) if at < candidates.len() => {
+                let chosen = candidates[at];
+                if let Some(m) = &self.obs {
+                    m.placements.inc();
+                }
+                self.trace_push(
+                    TraceEvent::at(self.clock, TraceKind::Placement).shard(chosen as u32),
+                );
+                Ok(chosen)
+            }
             _ => Err(FleetError::NoHealthyProcess),
         }
     }
@@ -426,6 +534,7 @@ impl Fleet {
                 migratable: true,
             },
         );
+        self.sync_proc_gauges();
         Ok(key)
     }
 
@@ -459,6 +568,7 @@ impl Fleet {
             members.push(key);
         }
         self.procs[proc].live += members.len();
+        self.sync_proc_gauges();
         Ok(members)
     }
 
@@ -478,6 +588,7 @@ impl Fleet {
         self.keys.remove(&key);
         // local_to_global keeps the entry: the retired session still
         // reports under its local key and must remap in snapshots.
+        self.sync_proc_gauges();
         Ok(())
     }
 
@@ -503,6 +614,9 @@ impl Fleet {
                 .push(FleetOp::Tick { arrivals: batch });
         }
         self.clock += 1;
+        if let Some(m) = &self.obs {
+            m.ticks.inc();
+        }
         Ok(())
     }
 
@@ -561,6 +675,16 @@ impl Fleet {
                     },
                 );
                 self.migrations += 1;
+                if let Some(m) = &self.obs {
+                    m.migrations.inc();
+                }
+                self.trace_push(
+                    TraceEvent::at(self.clock, TraceKind::Migration)
+                        .session(key)
+                        .shard(target as u32)
+                        .detail(format!("from proc {} to proc {target}", loc.proc)),
+                );
+                self.sync_proc_gauges();
                 Ok(())
             }
             Err(err) => {
@@ -580,6 +704,19 @@ impl Fleet {
                         migratable: true,
                     },
                 );
+                if let Some(m) = &self.obs {
+                    m.lease_failures.inc();
+                }
+                self.trace_push(
+                    TraceEvent::at(self.clock, TraceKind::LeaseFailure)
+                        .session(key)
+                        .shard(target as u32)
+                        .detail(format!(
+                            "grant failed, session stays on {}: {err}",
+                            loc.proc
+                        )),
+                );
+                self.sync_proc_gauges();
                 Err(FleetError::MigrationFailed {
                     key,
                     from: loc.proc,

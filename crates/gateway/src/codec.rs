@@ -21,7 +21,7 @@
 //! ```
 
 use crate::delta::SnapshotDeltaBody;
-use crate::stats::WireSnapshot;
+use crate::stats::{LatencyBucket, WireSnapshot};
 use crate::GatewaySnapshot;
 use cdba_ctrl::codec::{
     decode_global_metrics, decode_session_metrics, decode_shard_health, decode_shard_metrics,
@@ -45,24 +45,52 @@ fn encode_wire(w: &WireSnapshot, e: &mut Enc<'_>) {
     e.u64(w.requests);
     e.u64(w.latency_p50_us);
     e.u64(w.latency_p99_us);
+    e.len(w.latency_buckets.len());
+    for b in &w.latency_buckets {
+        e.u64(b.bound_us);
+        e.u64(b.count);
+    }
 }
 
 fn decode_wire(d: &mut Dec<'_>) -> Result<WireSnapshot, CodecError> {
+    let connections_accepted = d.u64()?;
+    let connections_active = d.u64()?;
+    let connections_harvested = d.u64()?;
+    let frames_in = d.u64()?;
+    let frames_out = d.u64()?;
+    let decode_errors = d.u64()?;
+    let busy_rejections = d.u64()?;
+    let noack_stages = d.u64()?;
+    let delta_snapshots = d.u64()?;
+    let full_snapshots = d.u64()?;
+    let event_batches = d.u64()?;
+    let requests = d.u64()?;
+    let latency_p50_us = d.u64()?;
+    let latency_p99_us = d.u64()?;
+    let n = d.len(8 * 2)?;
+    let mut latency_buckets = Vec::with_capacity(n);
+    for _ in 0..n {
+        latency_buckets.push(LatencyBucket {
+            bound_us: d.u64()?,
+            count: d.u64()?,
+        });
+    }
     Ok(WireSnapshot {
-        connections_accepted: d.u64()?,
-        connections_active: d.u64()?,
-        connections_harvested: d.u64()?,
-        frames_in: d.u64()?,
-        frames_out: d.u64()?,
-        decode_errors: d.u64()?,
-        busy_rejections: d.u64()?,
-        noack_stages: d.u64()?,
-        delta_snapshots: d.u64()?,
-        full_snapshots: d.u64()?,
-        event_batches: d.u64()?,
-        requests: d.u64()?,
-        latency_p50_us: d.u64()?,
-        latency_p99_us: d.u64()?,
+        connections_accepted,
+        connections_active,
+        connections_harvested,
+        frames_in,
+        frames_out,
+        decode_errors,
+        busy_rejections,
+        noack_stages,
+        delta_snapshots,
+        full_snapshots,
+        event_batches,
+        requests,
+        latency_p50_us,
+        latency_p99_us,
+        latency_buckets,
     })
 }
 
@@ -217,6 +245,16 @@ mod tests {
             requests: 30,
             latency_p50_us: 12,
             latency_p99_us: 140,
+            latency_buckets: vec![
+                LatencyBucket {
+                    bound_us: 12,
+                    count: 26,
+                },
+                LatencyBucket {
+                    bound_us: 140,
+                    count: 4,
+                },
+            ],
         }
     }
 

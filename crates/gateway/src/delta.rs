@@ -185,6 +185,10 @@ mod tests {
             requests,
             latency_p50_us: 5,
             latency_p99_us: 9,
+            latency_buckets: vec![crate::stats::LatencyBucket {
+                bound_us: 9,
+                count: requests,
+            }],
         }
     }
 

@@ -78,7 +78,7 @@ pub use client::{Client, ClientConfig, ClientError, TickEvent};
 pub use delta::SnapshotDeltaBody;
 pub use proto::{ErrorCode, EventBody, Frame, ProtoError};
 pub use server::{GatewayConfig, GatewayServer};
-pub use stats::{WireSnapshot, WireStats};
+pub use stats::{LatencyBucket, WireSnapshot, WireStats};
 
 use cdba_ctrl::ServiceSnapshot;
 use serde::{Deserialize, Serialize};

@@ -19,6 +19,7 @@ use crate::service::{Outbox, ServiceCore};
 use crate::stats::WireStats;
 use crate::{GatewayError, GatewaySnapshot};
 use cdba_ctrl::ServiceConfig;
+use cdba_obs::{MetricsServer, Registry, TraceRing};
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -58,6 +59,12 @@ pub struct GatewayConfig {
     /// tick-sync commit may wait for its peers — before the connection is
     /// failed with a typed `BadFrame`/`Timeout` error.
     pub request_timeout_ms: u64,
+    /// Bind address for the plain-HTTP observability listener
+    /// (`GET /metrics` Prometheus text, `GET /trace` JSON lines), or
+    /// `None` to run without one. The listener lives on its own thread
+    /// ([`cdba_obs::MetricsServer`]) and reads only atomics, so scraping
+    /// never touches the wire protocol or perturbs tick batching.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for GatewayConfig {
@@ -71,6 +78,7 @@ impl Default for GatewayConfig {
             write_timeout_ms: 2_000,
             idle_timeout_ms: 30_000,
             request_timeout_ms: 10_000,
+            metrics_addr: None,
         }
     }
 }
@@ -83,6 +91,8 @@ pub struct GatewayServer {
     stop: Arc<AtomicBool>,
     core: Option<JoinHandle<Result<GatewaySnapshot, String>>>,
     stats: Arc<WireStats>,
+    /// The observability listener, held for its Drop (stop + join).
+    metrics: Option<MetricsServer>,
 }
 
 impl GatewayServer {
@@ -104,12 +114,35 @@ impl GatewayServer {
 
         let stats = Arc::new(WireStats::new());
         let stop = Arc::new(AtomicBool::new(false));
+
+        // Observability is opt-in and fully isolated: a dedicated scrape
+        // thread serves the registry, whose reads are all atomics — the
+        // evented core never sees a scrape.
+        let mut metrics = None;
+        let mut obs = None;
+        if let Some(metrics_addr) = &gateway.metrics_addr {
+            let registry = Arc::new(Registry::new());
+            let trace = Arc::new(TraceRing::new(4096));
+            stats.register_collector(&registry);
+            let server = MetricsServer::start(
+                metrics_addr,
+                Arc::clone(&registry),
+                Some(Arc::clone(&trace)),
+            )
+            .map_err(|e| GatewayError::Io(format!("bind metrics {metrics_addr}: {e}")))?;
+            metrics = Some(server);
+            obs = Some((registry, trace));
+        }
+
         let core_stats = Arc::clone(&stats);
         let core_stop = Arc::clone(&stop);
         let core = std::thread::Builder::new()
             .name("gw-core".into())
             .spawn(move || {
-                let service = ServiceCore::new(service, Arc::clone(&core_stats));
+                let mut service = ServiceCore::new(service, Arc::clone(&core_stats));
+                if let Some((registry, trace)) = obs {
+                    service.attach_obs(&registry, trace);
+                }
                 Core::new(listener, service, core_stats, core_stop, gateway).run()
             })
             .map_err(|e| GatewayError::Io(format!("spawn core: {e}")))?;
@@ -119,12 +152,19 @@ impl GatewayServer {
             stop,
             core: Some(core),
             stats,
+            metrics,
         })
     }
 
     /// The bound address (resolves port 0 to the OS-assigned port).
     pub fn local_addr(&self) -> SocketAddr {
         self.local_addr
+    }
+
+    /// The observability listener's bound address, when one was
+    /// configured (resolves port 0 to the OS-assigned port).
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics.as_ref().map(|m| m.local_addr())
     }
 
     /// A point-in-time copy of the wire counters.

@@ -116,6 +116,18 @@ impl ServiceCore {
         }
     }
 
+    /// Attaches the observability registry and trace ring to the owned
+    /// control plane. Called once before the event loop starts; the plane
+    /// pays one branch per hook when attached, nothing when not.
+    pub(crate) fn attach_obs(
+        &mut self,
+        registry: &cdba_obs::Registry,
+        trace: Arc<cdba_obs::TraceRing>,
+    ) {
+        self.plane.attach_metrics(registry);
+        self.plane.attach_trace(trace);
+    }
+
     /// Handles one decoded client frame. `version` is the connection's
     /// negotiated protocol version; v2-only frames on a v1 connection are
     /// refused with a typed `Proto` error. Every produced frame — the

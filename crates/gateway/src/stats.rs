@@ -1,8 +1,11 @@
 //! Wire-level observability: lock-free counters and a fixed-precision
-//! latency histogram, exported as a serde-friendly snapshot.
+//! latency histogram, exported as a serde-friendly snapshot and mirrored
+//! into a [`cdba_obs::Registry`] at scrape time.
 
+use cdba_obs::Registry;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Values below [`LINEAR_MAX`] get one bucket each (exact).
 const LINEAR_MAX: u64 = 100;
@@ -77,6 +80,26 @@ impl LatencyHistogram {
         self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
     }
 
+    /// The full bucket dump: `(upper bound µs, count)` for every bucket
+    /// holding at least one sample, in ascending bound order. This is the
+    /// one source of truth both consumers derive from — the
+    /// [`WireSnapshot`] carries it verbatim, and the `/metrics` exposition
+    /// re-buckets it into its coarser `le` bounds — so the endpoint and
+    /// the snapshot can never disagree about the recorded distribution.
+    pub fn buckets(&self) -> Vec<LatencyBucket> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                let count = c.load(Ordering::Relaxed);
+                (count > 0).then(|| LatencyBucket {
+                    bound_us: bucket_bound(i),
+                    count,
+                })
+            })
+            .collect()
+    }
+
     /// The upper bucket bound (µs) containing the `q`-quantile sample,
     /// with `q` in `[0, 1]`. Returns 0 for an empty histogram.
     pub fn quantile_us(&self, q: f64) -> u64 {
@@ -105,6 +128,16 @@ impl Default for LatencyHistogram {
     fn default() -> Self {
         Self::new()
     }
+}
+
+/// One occupied latency bucket: its exclusive upper bound in µs (see
+/// [`LatencyHistogram`] for the saturated-top exception) and its count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyBucket {
+    /// Upper bound of the bucket, in microseconds.
+    pub bound_us: u64,
+    /// Samples recorded in the bucket.
+    pub count: u64,
 }
 
 /// Shared wire-level counters, updated lock-free by the connection core.
@@ -162,7 +195,109 @@ impl WireStats {
             requests: self.latency.count(),
             latency_p50_us: self.latency.quantile_us(0.50),
             latency_p99_us: self.latency.quantile_us(0.99),
+            latency_buckets: self.latency.buckets(),
         }
+    }
+
+    /// Exposes every wire series through `registry` via a scrape-time
+    /// collector: the atomics here stay the single source of truth and the
+    /// hot path keeps its existing one-RMW cost; the collector projects
+    /// them into registry handles only when a scrape renders. The latency
+    /// histogram is re-bucketed from [`LatencyHistogram::buckets`] into
+    /// coarse `le` bounds (its native ~1700 two-significant-digit buckets
+    /// would bloat every scrape), with each fine bucket contributing at
+    /// its upper bound — the same rounding `quantile_us` reports.
+    pub fn register_collector(self: &Arc<Self>, registry: &Registry) {
+        let bounds: Vec<f64> = [
+            50u64, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000,
+            500_000, 1_000_000, 5_000_000,
+        ]
+        .iter()
+        .map(|&b| b as f64)
+        .collect();
+        let latency = registry.histogram(
+            "cdba_gateway_request_latency_us",
+            "Request-to-reply latency at the connection core, microseconds",
+            &bounds,
+        );
+        let accepted = registry.counter(
+            "cdba_gateway_connections_accepted_total",
+            "Connections admitted into the connection core",
+        );
+        let active = registry.gauge(
+            "cdba_gateway_connections_active",
+            "Connections currently being served",
+        );
+        let harvested = registry.counter(
+            "cdba_gateway_connections_harvested_total",
+            "Connections closed by the idle harvester",
+        );
+        let frames_in = registry.counter_with(
+            "cdba_gateway_frames_total",
+            "Wire frames by direction",
+            &[("direction", "in")],
+        );
+        let frames_out = registry.counter_with(
+            "cdba_gateway_frames_total",
+            "Wire frames by direction",
+            &[("direction", "out")],
+        );
+        let decode_errors = registry.counter(
+            "cdba_gateway_decode_errors_total",
+            "Frames that failed to decode (framing or payload errors)",
+        );
+        let busy = registry.counter(
+            "cdba_gateway_busy_rejections_total",
+            "Requests refused with a typed Busy error",
+        );
+        let noack = registry.counter(
+            "cdba_gateway_noack_stages_total",
+            "Unacknowledged stage frames accepted (wire v2)",
+        );
+        let snap_delta = registry.counter_with(
+            "cdba_gateway_snapshots_total",
+            "Snapshot requests answered, by reply kind",
+            &[("kind", "delta")],
+        );
+        let snap_full = registry.counter_with(
+            "cdba_gateway_snapshots_total",
+            "Snapshot requests answered, by reply kind",
+            &[("kind", "full")],
+        );
+        let event_batches = registry.counter(
+            "cdba_gateway_event_batches_total",
+            "Batched subscription event frames pushed (wire v3)",
+        );
+        let stats = Arc::clone(self);
+        registry.register_collector(move || {
+            let o = Ordering::Relaxed;
+            accepted.store(stats.connections_accepted.load(o));
+            active.set(stats.connections_active.load(o) as f64);
+            harvested.store(stats.connections_harvested.load(o));
+            frames_in.store(stats.frames_in.load(o));
+            frames_out.store(stats.frames_out.load(o));
+            decode_errors.store(stats.decode_errors.load(o));
+            busy.store(stats.busy_rejections.load(o));
+            noack.store(stats.noack_stages.load(o));
+            snap_delta.store(stats.delta_snapshots.load(o));
+            snap_full.store(stats.full_snapshots.load(o));
+            event_batches.store(stats.event_batches.load(o));
+
+            let fine = stats.latency.buckets();
+            let coarse_bounds = latency.bounds().to_vec();
+            let mut per_bucket = vec![0u64; coarse_bounds.len() + 1];
+            let mut sum = 0.0f64;
+            for bucket in fine {
+                let value = bucket.bound_us as f64;
+                let idx = coarse_bounds
+                    .iter()
+                    .position(|&b| value <= b)
+                    .unwrap_or(coarse_bounds.len());
+                per_bucket[idx] += bucket.count;
+                sum += value * bucket.count as f64;
+            }
+            latency.overwrite(&per_bucket, sum);
+        });
     }
 }
 
@@ -205,6 +340,11 @@ pub struct WireSnapshot {
     pub latency_p50_us: u64,
     /// 99th-percentile request latency (µs, upper bucket bound).
     pub latency_p99_us: u64,
+    /// Every occupied latency bucket, ascending by bound — the same dump
+    /// the `/metrics` exposition re-buckets, so the two can never
+    /// disagree.
+    #[serde(default)]
+    pub latency_buckets: Vec<LatencyBucket>,
 }
 
 #[cfg(test)]

@@ -1,0 +1,239 @@
+//! The scrape listener: a dedicated thread answering plain-HTTP
+//! `GET /metrics` (text exposition) and `GET /trace` (JSON lines).
+//!
+//! Deliberately *not* part of any evented core's poll loop: the whole
+//! point of pull-based metrics is that an operator polling every few
+//! seconds must never contend with the data plane. Everything a scrape
+//! reads is atomics (or the trace mutex), so this thread touches the wire
+//! protocol and the tick batcher not at all — a slow or hostile scraper
+//! can stall only itself.
+
+use crate::registry::Registry;
+use crate::trace::TraceRing;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// The longest request head the listener will buffer before answering
+/// `400`. Scrapes are one short GET; anything bigger is not a scraper.
+const MAX_REQUEST: usize = 8 * 1024;
+
+/// A running scrape listener. Dropping it stops the thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (port 0 picks a free port) and serves `registry` —
+    /// and, when given, `trace` — until the server is dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind/configure I/O error.
+    pub fn start(
+        addr: &str,
+        registry: Arc<Registry>,
+        trace: Option<Arc<TraceRing>>,
+    ) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("obs-scrape".into())
+            .spawn(move || serve(listener, registry, trace, thread_stop))?;
+        Ok(MetricsServer {
+            local_addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the OS-assigned port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve(
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    trace: Option<Arc<TraceRing>>,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                // One scrape at a time, handled inline: scrapes are rare
+                // and the response is a few KB of atomics reads.
+                let _ = answer(stream, &registry, trace.as_deref());
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+fn answer(
+    mut stream: TcpStream,
+    registry: &Registry,
+    trace: Option<&TraceRing>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(2_000)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(2_000)))?;
+    let head = match read_head(&mut stream) {
+        Some(head) => head,
+        None => {
+            return respond(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain",
+                "bad request\n",
+            );
+        }
+    };
+    let mut parts = head.split_whitespace();
+    let (method, path) = (parts.next().unwrap_or(""), parts.next().unwrap_or(""));
+    if method != "GET" {
+        return respond(
+            &mut stream,
+            "405 Method Not Allowed",
+            "text/plain",
+            "only GET is served\n",
+        );
+    }
+    let path = path.split('?').next().unwrap_or("");
+    match path {
+        "/metrics" => {
+            let body = registry.render();
+            respond(
+                &mut stream,
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                &body,
+            )
+        }
+        "/trace" => match trace {
+            Some(ring) => {
+                let body = ring.drain_json_lines();
+                respond(&mut stream, "200 OK", "application/x-ndjson", &body)
+            }
+            None => respond(
+                &mut stream,
+                "404 Not Found",
+                "text/plain",
+                "tracing is not enabled\n",
+            ),
+        },
+        _ => respond(
+            &mut stream,
+            "404 Not Found",
+            "text/plain",
+            "try /metrics or /trace\n",
+        ),
+    }
+}
+
+/// Reads the request head (through the blank line); `None` on a
+/// malformed, oversized, or timed-out request. Only the request line is
+/// interpreted.
+fn read_head(stream: &mut TcpStream) -> Option<String> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
+                {
+                    return Some(String::from_utf8_lossy(&buf).into_owned());
+                }
+                if buf.len() > MAX_REQUEST {
+                    return None;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+fn respond(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceEvent, TraceKind};
+
+    fn get(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).unwrap();
+        let (head, body) = response.split_once("\r\n\r\n").unwrap();
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_metrics_and_trace_and_404s() {
+        let registry = Arc::new(Registry::new());
+        registry.counter("up_total", "liveness").inc();
+        let ring = Arc::new(TraceRing::new(16));
+        ring.push(TraceEvent::at(3, TraceKind::Admit).session(9));
+        let server = MetricsServer::start(
+            "127.0.0.1:0",
+            Arc::clone(&registry),
+            Some(Arc::clone(&ring)),
+        )
+        .unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = get(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("up_total 1"));
+
+        let (head, body) = get(addr, "/trace");
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("\"kind\":\"admit\""));
+        // Drained: a second poll returns an empty body.
+        let (_, body) = get(addr, "/trace");
+        assert!(body.is_empty());
+
+        let (head, _) = get(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+}

@@ -1,0 +1,34 @@
+//! cdba-obs: production observability for the cdba stack, with zero
+//! dependencies.
+//!
+//! Three pieces, used together or separately:
+//!
+//! - **[`registry`]** — a metrics registry of [`Counter`], [`Gauge`], and
+//!   fixed-bucket [`Histogram`] handles with label sets. Handles are
+//!   resolved once at registration and are plain atomics after that, so
+//!   instrumenting a hot path costs one relaxed atomic RMW — no lock, no
+//!   lookup, no allocation. [`Registry::render`] emits the Prometheus
+//!   text exposition format (`# HELP`/`# TYPE`, escaped labels) in
+//!   sorted, deterministic order.
+//! - **[`trace`]** — a bounded ring of typed [`TraceEvent`]s with
+//!   tick/shard/session context, drained as JSON lines. For control-plane
+//!   events (admissions, restarts, migrations), not per-tick data.
+//! - **[`http`]** — a [`MetricsServer`]: a dedicated scrape thread
+//!   answering plain-HTTP `GET /metrics` and `GET /trace`, so operators
+//!   never contend with the data plane they are observing.
+//!
+//! The crate is std-only by design: the air-gapped build vendors its
+//! external deps, and observability must never be the reason a hot path
+//! grows a dependency tree. See DESIGN.md §"Observability" for the cost
+//! argument and the endpoint-isolation rationale.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod registry;
+pub mod trace;
+
+pub use http::MetricsServer;
+pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use trace::{TraceEvent, TraceKind, TraceRing};

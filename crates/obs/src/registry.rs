@@ -1,0 +1,698 @@
+//! The metrics registry: typed series handles over atomics, rendered in
+//! the Prometheus text exposition format.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Hot-path cost.** A handle is an `Arc` around atomics; `inc`/`add`
+//!    are single relaxed RMW operations with no lock, no allocation, and
+//!    no name lookup — registration resolves the series once, up front.
+//! 2. **No panics on hostile names.** Arbitrary metric and label names are
+//!    sanitised into the exposition charset at registration; re-registering
+//!    an existing series returns the *same* underlying handle, so a name
+//!    can never produce two series. A registration that conflicts with an
+//!    existing family (different kind or label arity under the same name)
+//!    returns a *detached* handle: increments still work, the series just
+//!    is not exported twice under one name.
+//! 3. **Deterministic output.** Families and series render in sorted
+//!    order, so two runs that performed the same deterministic work render
+//!    byte-identical sections — which is what lets CI diff a clean run's
+//!    scrape against a faulted run's.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing integer series handle.
+///
+/// Cloning is cheap and clones share the underlying cell.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A handle not attached to any registry (also what conflicting
+    /// registrations return).
+    pub fn detached() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Overwrites the value. For scrape-time mirror collectors that
+    /// project an externally-maintained monotone counter into the
+    /// registry; hot paths should use [`Counter::inc`]/[`Counter::add`].
+    #[inline]
+    pub fn store(&self, v: u64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable floating-point series handle (f64 bits in an atomic).
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// A handle not attached to any registry.
+    pub fn detached() -> Self {
+        Gauge(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+
+    /// Sets the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `d` (compare-and-swap loop; keep off per-event hot paths).
+    pub fn add(&self, d: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + d).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Finite upper bounds, strictly increasing. The implicit `+Inf`
+    /// bucket is `counts[bounds.len()]`.
+    bounds: Arc<[f64]>,
+    /// Per-bucket (non-cumulative) counts; rendered cumulatively.
+    counts: Box<[AtomicU64]>,
+    sum_bits: AtomicU64,
+}
+
+/// A fixed-bucket histogram handle.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    fn with_bounds(bounds: Arc<[f64]>) -> Self {
+        let counts = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramCore {
+            bounds,
+            counts,
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }))
+    }
+
+    /// A handle not attached to any registry, over `bounds` (sanitised
+    /// like [`Registry::histogram_with`] does).
+    pub fn detached(bounds: &[f64]) -> Self {
+        Self::with_bounds(sanitize_bounds(bounds))
+    }
+
+    /// The finite upper bounds this histogram buckets into.
+    pub fn bounds(&self) -> &[f64] {
+        &self.0.bounds
+    }
+
+    /// Records one sample. Bucket search is a linear scan — bound sets
+    /// are small by construction (tens of buckets, picked at build time).
+    pub fn observe(&self, v: f64) {
+        let core = &self.0;
+        let idx = core
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(core.bounds.len());
+        core.counts[idx].fetch_add(1, Ordering::Relaxed);
+        let mut cur = core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match core.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Overwrites the whole histogram from externally maintained state:
+    /// per-bucket (non-cumulative) counts in bound order — index
+    /// `bounds().len()` is the overflow bucket — plus the sample sum.
+    /// Missing trailing counts zero their buckets; extra counts fold into
+    /// the overflow bucket. This is the mirror API: a scrape-time
+    /// collector projects an existing histogram (e.g. the gateway's wire
+    /// latency histogram) into the registry without double bookkeeping on
+    /// the hot path.
+    pub fn overwrite(&self, per_bucket: &[u64], sum: f64) {
+        let core = &self.0;
+        let n = core.counts.len();
+        for (i, cell) in core.counts.iter().enumerate() {
+            let v = if i + 1 == n {
+                // Overflow bucket absorbs everything past the bound set.
+                per_bucket.iter().skip(i).sum()
+            } else {
+                per_bucket.get(i).copied().unwrap_or(0)
+            };
+            cell.store(v, Ordering::Relaxed);
+        }
+        core.sum_bits.store(sum.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.0
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Sum of recorded samples.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.0.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+#[derive(Debug)]
+struct Family {
+    help: String,
+    kind: Kind,
+    /// Sanitised label names, in registration order.
+    labels: Vec<String>,
+    /// Label values (in `labels` order) → the live handle.
+    series: BTreeMap<Vec<String>, Series>,
+    /// Histogram families share one bound set.
+    bounds: Option<Arc<[f64]>>,
+}
+
+type Collector = Box<dyn Fn() + Send + Sync>;
+
+/// The registry. Shared via `Arc`; all methods take `&self`.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+    collectors: Mutex<Vec<Collector>>,
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.families.lock().map(|m| m.len()).unwrap_or(0);
+        write!(f, "Registry({n} families)")
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or re-resolves) an unlabelled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Counter {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Registers (or re-resolves) a counter with label pairs.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.series(name, help, labels, Kind::Counter, None) {
+            Some(Series::Counter(c)) => c,
+            _ => Counter::detached(),
+        }
+    }
+
+    /// Registers (or re-resolves) an unlabelled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Gauge {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Registers (or re-resolves) a gauge with label pairs.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.series(name, help, labels, Kind::Gauge, None) {
+            Some(Series::Gauge(g)) => g,
+            _ => Gauge::detached(),
+        }
+    }
+
+    /// Registers (or re-resolves) an unlabelled histogram over `bounds`
+    /// (non-finite and non-increasing entries are dropped; the `+Inf`
+    /// bucket is implicit). If the family already exists its bound set
+    /// wins, so every series in a family buckets identically.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Histogram {
+        self.histogram_with(name, help, bounds, &[])
+    }
+
+    /// Registers (or re-resolves) a histogram with label pairs.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[f64],
+        labels: &[(&str, &str)],
+    ) -> Histogram {
+        let bounds = sanitize_bounds(bounds);
+        match self.series(name, help, labels, Kind::Histogram, Some(bounds)) {
+            Some(Series::Histogram(h)) => h,
+            _ => Histogram::detached(&[]),
+        }
+    }
+
+    /// Registers a scrape-time collector: a closure run at the start of
+    /// every [`Registry::render`], for series whose truth lives elsewhere
+    /// (it captures its own handles and sets them). Collectors must not
+    /// call back into this registry's registration or render methods.
+    pub fn register_collector(&self, f: impl Fn() + Send + Sync + 'static) {
+        if let Ok(mut collectors) = self.collectors.lock() {
+            collectors.push(Box::new(f));
+        }
+    }
+
+    fn series(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: Kind,
+        bounds: Option<Arc<[f64]>>,
+    ) -> Option<Series> {
+        let name = sanitize_metric_name(name);
+        // Canonical label order: sorted by sanitised name, first value
+        // wins on duplicates.
+        let mut pairs: Vec<(String, String)> = Vec::with_capacity(labels.len());
+        for &(ln, lv) in labels {
+            let ln = sanitize_label_name(ln, kind == Kind::Histogram);
+            if pairs.iter().all(|(existing, _)| *existing != ln) {
+                pairs.push((ln, lv.to_string()));
+            }
+        }
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let (names, values): (Vec<String>, Vec<String>) = pairs.into_iter().unzip();
+
+        let mut families = self.families.lock().ok()?;
+        let family = families.entry(name).or_insert_with(|| Family {
+            help: escape_help(help),
+            kind,
+            labels: names.clone(),
+            series: BTreeMap::new(),
+            bounds: bounds.clone(),
+        });
+        if family.kind != kind || family.labels != names {
+            return None; // conflicting registration: caller gets a detached handle
+        }
+        let entry = family.series.entry(values).or_insert_with(|| match kind {
+            Kind::Counter => Series::Counter(Counter::detached()),
+            Kind::Gauge => Series::Gauge(Gauge::detached()),
+            Kind::Histogram => {
+                let bounds = family
+                    .bounds
+                    .clone()
+                    .unwrap_or_else(|| sanitize_bounds(&[]));
+                Series::Histogram(Histogram::with_bounds(bounds))
+            }
+        });
+        Some(entry.clone())
+    }
+
+    /// Runs the collectors, then renders every family in the Prometheus
+    /// text exposition format (sorted, so deterministic work renders
+    /// byte-identically across runs).
+    pub fn render(&self) -> String {
+        if let Ok(collectors) = self.collectors.lock() {
+            for collector in collectors.iter() {
+                collector();
+            }
+        }
+        let families = match self.families.lock() {
+            Ok(families) => families,
+            Err(_) => return String::new(),
+        };
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            out.push_str("# HELP ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&family.help);
+            out.push('\n');
+            out.push_str("# TYPE ");
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(family.kind.as_str());
+            out.push('\n');
+            for (values, series) in family.series.iter() {
+                match series {
+                    Series::Counter(c) => {
+                        render_sample(&mut out, name, &family.labels, values, None);
+                        out.push(' ');
+                        out.push_str(&c.get().to_string());
+                        out.push('\n');
+                    }
+                    Series::Gauge(g) => {
+                        render_sample(&mut out, name, &family.labels, values, None);
+                        out.push(' ');
+                        out.push_str(&format_value(g.get()));
+                        out.push('\n');
+                    }
+                    Series::Histogram(h) => {
+                        let mut cumulative = 0u64;
+                        let bucket_name = format!("{name}_bucket");
+                        for (i, &bound) in h.bounds().iter().enumerate() {
+                            cumulative += h.0.counts[i].load(Ordering::Relaxed);
+                            render_sample(
+                                &mut out,
+                                &bucket_name,
+                                &family.labels,
+                                values,
+                                Some(&format_value(bound)),
+                            );
+                            out.push(' ');
+                            out.push_str(&cumulative.to_string());
+                            out.push('\n');
+                        }
+                        let total =
+                            cumulative + h.0.counts[h.bounds().len()].load(Ordering::Relaxed);
+                        render_sample(&mut out, &bucket_name, &family.labels, values, Some("+Inf"));
+                        out.push(' ');
+                        out.push_str(&total.to_string());
+                        out.push('\n');
+                        render_sample(
+                            &mut out,
+                            &format!("{name}_sum"),
+                            &family.labels,
+                            values,
+                            None,
+                        );
+                        out.push(' ');
+                        out.push_str(&format_value(h.sum()));
+                        out.push('\n');
+                        render_sample(
+                            &mut out,
+                            &format!("{name}_count"),
+                            &family.labels,
+                            values,
+                            None,
+                        );
+                        out.push(' ');
+                        out.push_str(&total.to_string());
+                        out.push('\n');
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Writes `name{l1="v1",...}` (plus the trailing `le` pair for histogram
+/// buckets); no braces when there are no labels.
+fn render_sample(
+    out: &mut String,
+    name: &str,
+    labels: &[String],
+    values: &[String],
+    le: Option<&str>,
+) {
+    out.push_str(name);
+    if labels.is_empty() && le.is_none() {
+        return;
+    }
+    out.push('{');
+    let mut first = true;
+    for (ln, lv) in labels.iter().zip(values) {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(ln);
+        out.push_str("=\"");
+        out.push_str(&escape_label_value(lv));
+        out.push('"');
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        out.push_str("le=\"");
+        out.push_str(le);
+        out.push('"');
+    }
+    out.push('}');
+}
+
+/// Exposition float formatting: `Debug`-free, parseable by any
+/// Prometheus-compatible scraper.
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".into()
+    } else if v.is_infinite() {
+        if v > 0.0 {
+            "+Inf".into()
+        } else {
+            "-Inf".into()
+        }
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Maps an arbitrary string into the metric-name charset
+/// `[a-zA-Z_:][a-zA-Z0-9_:]*`. Never panics, never returns an empty or
+/// invalid name.
+fn sanitize_metric_name(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len().max(1));
+    for (i, c) in raw.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    out
+}
+
+/// Maps an arbitrary string into the label-name charset
+/// `[a-zA-Z_][a-zA-Z0-9_]*`, avoiding the reserved `__` prefix and — for
+/// histograms — the reserved `le` name.
+fn sanitize_label_name(raw: &str, histogram: bool) -> String {
+    let mut out = String::with_capacity(raw.len().max(1));
+    for (i, c) in raw.chars().enumerate() {
+        let ok = c.is_ascii_alphabetic() || c == '_' || (i > 0 && c.is_ascii_digit());
+        if ok {
+            out.push(c);
+        } else if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    while out.starts_with("__") {
+        out.remove(0);
+    }
+    if out.is_empty() {
+        out.push('_');
+    }
+    if histogram && out == "le" {
+        out = "le_".into();
+    }
+    out
+}
+
+/// Escapes a HELP line: backslash and newline.
+fn escape_help(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a label value: backslash, double quote, newline.
+fn escape_label_value(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    for c in raw.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Keeps finite, strictly increasing bounds.
+fn sanitize_bounds(raw: &[f64]) -> Arc<[f64]> {
+    let mut out: Vec<f64> = Vec::with_capacity(raw.len());
+    for &b in raw {
+        if b.is_finite() && out.last().is_none_or(|&last| b > last) {
+            out.push(b);
+        }
+    }
+    out.into()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_sorted_with_labels() {
+        let r = Registry::new();
+        let b = r.counter_with("ticks_total", "ticks", &[("shard", "1")]);
+        let a = r.counter_with("ticks_total", "ticks", &[("shard", "0")]);
+        a.add(3);
+        b.inc();
+        let g = r.gauge("live_sessions", "live");
+        g.set(41.5);
+        let text = r.render();
+        let want = "\
+# HELP live_sessions live
+# TYPE live_sessions gauge
+live_sessions 41.5
+# HELP ticks_total ticks
+# TYPE ticks_total counter
+ticks_total{shard=\"0\"} 3
+ticks_total{shard=\"1\"} 1
+";
+        assert_eq!(text, want);
+    }
+
+    #[test]
+    fn reregistration_returns_the_same_cell() {
+        let r = Registry::new();
+        r.counter("c", "h").inc();
+        r.counter("c", "other help ignored").inc();
+        assert_eq!(r.counter("c", "h").get(), 2);
+        assert_eq!(text_lines_named(&r.render(), "c"), 1);
+    }
+
+    #[test]
+    fn conflicting_kind_detaches_instead_of_panicking() {
+        let r = Registry::new();
+        let c = r.counter("series", "as counter");
+        c.inc();
+        let g = r.gauge("series", "as gauge");
+        g.set(7.0); // works, just unexported
+        let text = r.render();
+        assert!(text.contains("series 1"));
+        assert!(!text.contains("series 7"));
+    }
+
+    #[test]
+    fn hostile_names_sanitize_and_values_escape() {
+        let r = Registry::new();
+        let c = r.counter_with(
+            "9bad name",
+            "help with \\ and\nnewline",
+            &[("0weird label!", "va\"lu\\e\n")],
+        );
+        c.inc();
+        let text = r.render();
+        assert!(text.contains("# HELP _9bad_name help with \\\\ and\\nnewline"));
+        assert!(text.contains("_9bad_name{_0weird_label_=\"va\\\"lu\\\\e\\n\"} 1"));
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_with_inf() {
+        let r = Registry::new();
+        let h = r.histogram("lat", "latency", &[1.0, 10.0, 100.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(5000.0);
+        let text = r.render();
+        assert!(text.contains("lat_bucket{le=\"1\"} 1"));
+        assert!(text.contains("lat_bucket{le=\"10\"} 2"));
+        assert!(text.contains("lat_bucket{le=\"100\"} 2"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_count 3"));
+        assert!(text.contains("lat_sum 5005.5"));
+    }
+
+    #[test]
+    fn histogram_overwrite_mirrors_external_state() {
+        let r = Registry::new();
+        let h = r.histogram("m", "mirrored", &[1.0, 2.0]);
+        h.overwrite(&[4, 5, 6, 7], 99.0);
+        assert_eq!(h.count(), 22);
+        let text = r.render();
+        assert!(text.contains("m_bucket{le=\"+Inf\"} 22"));
+        assert!(text.contains("m_sum 99"));
+    }
+
+    #[test]
+    fn collectors_run_at_render_time() {
+        let r = Registry::new();
+        let g = r.gauge("freshness", "set by collector");
+        let src = Arc::new(AtomicU64::new(17));
+        let src2 = Arc::clone(&src);
+        r.register_collector(move || g.set(src2.load(Ordering::Relaxed) as f64));
+        assert!(r.render().contains("freshness 17"));
+        src.store(23, Ordering::Relaxed);
+        assert!(r.render().contains("freshness 23"));
+    }
+
+    fn text_lines_named(text: &str, name: &str) -> usize {
+        text.lines()
+            .filter(|l| {
+                !l.starts_with('#') && l.split(['{', ' ']).next() == Some(name)
+            })
+            .count()
+    }
+}
