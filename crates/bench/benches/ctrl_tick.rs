@@ -47,7 +47,18 @@ fn write_report() -> Result<(), String> {
             row.label, row.sessions, row.ticks_per_sec
         );
     });
-    let report = matrix::matrix_report(&rows);
+    let checkpoint = matrix::run_checkpoint_matrix(matrix::CHECKPOINT_SESSIONS_AXIS, |row| {
+        println!(
+            "checkpoint × {:>7} sessions: encode {:.1} ms, restore {:.1} ms \
+             (warm {:.1} ms), {:.1} B/dirty-session",
+            row.sessions,
+            row.encode_ms,
+            row.restore_ms,
+            row.restore_warm_ms,
+            row.bytes_per_dirty_session
+        );
+    });
+    let report = matrix::matrix_report(&rows, &checkpoint);
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_ctrl.json");
     let body = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
     std::fs::write(path, body).map_err(|e| format!("cannot write {path}: {e}"))?;

@@ -137,10 +137,14 @@ usage: cdba-cli <command> [options]
            backend and pipes accepted connections through (spawned by
            `fleet`; rarely useful by hand)
   bench-ctrl [--sessions 100,1000,10000,100000] [--warmup W] [--ticks T]
+           [--checkpoint-sessions 10000,100000,1000000]
            [--out BENCH_ctrl.json]
            measures the in-process tick matrix (every exec/shards/depth
-           case over each session population) and writes the
-           machine-readable report the CI bench gate reads
+           case over each session population) plus the columnar
+           checkpoint axis (genesis encode, dirty-only incremental,
+           chain restore) and writes the machine-readable report the CI
+           bench gate reads; a run restricted with --sessions skips the
+           checkpoint axis unless --checkpoint-sessions names one
   bench-gateway [--ticks T] [--sessions N] [--out FILE]
            [--connections 1,4,16,32,64] [--session-sweep 100,1000,...]
            drives ticks from one thread over each connection count using
@@ -1368,6 +1372,30 @@ fn bench_ctrl(args: &[String]) -> CliResult {
         .map(|raw| raw.parse().map_err(|e| format!("bad --ticks {raw}: {e}")))
         .transpose()?;
 
+    // The checkpoint axis: measured in full on a default (committed
+    // baseline) run, on demand via --checkpoint-sessions, and skipped
+    // when only a tick subset was asked for — CI's tick smoke must not
+    // pay for a million-session checkpoint cell it does not gate.
+    let checkpoint_list: Vec<usize> = match flags.get("checkpoint-sessions") {
+        Some(raw) => raw
+            .split(',')
+            .map(|s| {
+                s.trim()
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad --checkpoint-sessions entry {s}: {e}"))
+                    .and_then(|n| {
+                        if n == 0 {
+                            Err("--checkpoint-sessions entries must be >= 1".into())
+                        } else {
+                            Ok(n)
+                        }
+                    })
+            })
+            .collect::<Result<_, String>>()?,
+        None if flags.contains_key("sessions") => Vec::new(),
+        None => matrix::CHECKPOINT_SESSIONS_AXIS.to_vec(),
+    };
+
     let rows = matrix::run_matrix(&sessions_list, warmup, ticks, |row| {
         println!(
             "{:>16} × {:>6} sessions: {:.0} ticks/s ({:.0} session-ticks/s)",
@@ -1377,7 +1405,18 @@ fn bench_ctrl(args: &[String]) -> CliResult {
             row.ticks_per_sec * row.sessions as f64,
         );
     });
-    let report = matrix::matrix_report(&rows);
+    let checkpoint = matrix::run_checkpoint_matrix(&checkpoint_list, |row| {
+        println!(
+            "checkpoint × {:>7} sessions: encode {:.1} ms, restore {:.1} ms \
+             (warm {:.1} ms), {:.1} B/dirty-session",
+            row.sessions,
+            row.encode_ms,
+            row.restore_ms,
+            row.restore_warm_ms,
+            row.bytes_per_dirty_session
+        );
+    });
+    let report = matrix::matrix_report(&rows, &checkpoint);
     let body = serde_json::to_string_pretty(&report).map_err(|e| e.to_string())?;
     std::fs::write(&out, body).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");

@@ -18,7 +18,7 @@
 //! adaptive rows run everywhere, since adaptive execution makes the
 //! inline-vs-threaded call itself from measured per-tick cost.
 
-use cdba_ctrl::{ControlPlane, ExecMode, ServiceConfig};
+use cdba_ctrl::{CheckpointMirror, CheckpointProbe, ControlPlane, ExecMode, ServiceConfig};
 use std::hint::black_box;
 use std::time::Instant;
 
@@ -242,18 +242,174 @@ pub fn run_matrix(
     rows
 }
 
+// ---------------------------------------------------------------------------
+// Checkpoint codec matrix
+// ---------------------------------------------------------------------------
+
+/// The population axis of the committed checkpoint rows. It runs an
+/// order of magnitude past the tick matrix because the columnar codec's
+/// claims are about scale: a 1M-session genesis encode and chain restore
+/// must stay inside the CI wall-clock ceiling, and the bytes an
+/// incremental spends per dirty session must not move with population.
+pub const CHECKPOINT_SESSIONS_AXIS: &[usize] = &[10_000, 100_000, 1_000_000];
+
+/// Sessions dirtied *between ticks* before the measured incremental
+/// encode. Fixed across the population axis on purpose: a dirty-only
+/// columnar encode does O(dirty) work, so
+/// `checkpoint_bytes_per_dirty_session` must come out
+/// population-independent — the property the CI gate pins.
+pub const CHECKPOINT_DIRTY_SESSIONS: usize = 1_024;
+
+/// One measured checkpoint cell, ready to serialize into the
+/// `checkpoint` section of `BENCH_ctrl.json`.
+#[derive(Debug, Clone)]
+pub struct CheckpointMeasurement {
+    /// Session population on the probe shard.
+    pub sessions: usize,
+    /// Rows dirtied before the measured incremental encode.
+    pub dirty_sessions: usize,
+    /// Wall-clock milliseconds for a warm full-population genesis encode.
+    pub encode_ms: f64,
+    /// Wall-clock milliseconds for the dirty-only incremental encode.
+    pub dirty_encode_ms: f64,
+    /// Wall-clock milliseconds to rebuild a fresh mirror from the
+    /// genesis + incremental chain. Cold: dominated by first-touch page
+    /// faults on the mirror's slab, so it scales with the host's memory
+    /// subsystem as much as with the codec.
+    pub restore_ms: f64,
+    /// Wall-clock milliseconds to re-apply the genesis frame onto the
+    /// already-populated mirror — the steady-state decode into
+    /// preallocated columns, with zero per-session heap allocation. This
+    /// is the codec's own speed, free of the cold slab's fault noise.
+    pub restore_warm_ms: f64,
+    /// Genesis frame size in bytes.
+    pub checkpoint_bytes: usize,
+    /// Incremental frame bytes divided by the rows it carries.
+    pub bytes_per_dirty_session: f64,
+}
+
+impl CheckpointMeasurement {
+    /// The `BENCH_ctrl.json` checkpoint row for this cell.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "sessions": self.sessions,
+            "dirty_sessions": self.dirty_sessions,
+            "checkpoint_encode_ms": self.encode_ms,
+            "dirty_encode_ms": self.dirty_encode_ms,
+            "restore_ms": self.restore_ms,
+            "restore_warm_ms": self.restore_warm_ms,
+            "checkpoint_bytes": self.checkpoint_bytes,
+            "checkpoint_bytes_per_dirty_session": self.bytes_per_dirty_session,
+        })
+    }
+}
+
+/// The service config the checkpoint cells run. Narrower window than the
+/// tick matrix so a 1M-session slab (probe + mirror + frame all resident
+/// at once) stays comfortably inside CI memory.
+pub fn checkpoint_config(sessions: usize) -> ServiceConfig {
+    ServiceConfig::builder(sessions as f64 * 16.0)
+        .session_b_max(16.0)
+        .group_b_o(8.0)
+        .offline_delay(4)
+        .window(8)
+        .build()
+        .expect("valid service config")
+}
+
+/// Measures one checkpoint cell: populate a probe shard, meter a few
+/// ticks of history into the rings, then time a warm genesis encode, a
+/// dirty-only incremental encode (`dirty` rows churned between ticks —
+/// the mutation pattern incrementals exist for; a metered tick dirties
+/// the whole population), and a fresh-mirror restore of the two-frame
+/// chain.
+pub fn measure_checkpoint(sessions: usize, dirty: usize) -> CheckpointMeasurement {
+    let cfg = checkpoint_config(sessions);
+    let mut probe = CheckpointProbe::new(&cfg);
+    probe.populate(sessions);
+    probe.tick(4);
+    let mut genesis = Vec::new();
+    // First encode grows the pooled column buffers; the measured pass is
+    // the steady-state (allocation-free) one, like a live worker's.
+    probe.encode(true, &mut genesis);
+    let started = Instant::now();
+    let rows = probe.encode(true, black_box(&mut genesis));
+    let encode_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(rows as usize, sessions, "genesis carries the population");
+
+    let dirty = dirty.min(sessions);
+    probe.churn(dirty);
+    let mut incr = Vec::new();
+    let started = Instant::now();
+    let dirty_rows = probe.encode(false, black_box(&mut incr));
+    let dirty_encode_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(
+        dirty_rows as usize, dirty,
+        "an incremental carries exactly the dirtied rows"
+    );
+
+    let mut mirror = CheckpointMirror::new(&cfg);
+    let started = Instant::now();
+    mirror.apply(&genesis).expect("genesis frame applies");
+    mirror.apply(&incr).expect("incremental frame applies");
+    let restore_ms = started.elapsed().as_secs_f64() * 1e3;
+    // Warm pass: the mirror's slab is already sized, so this is the
+    // decode alone — no per-session allocation, no first-touch faults.
+    let started = Instant::now();
+    mirror.apply(&genesis).expect("warm genesis re-applies");
+    let restore_warm_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(mirror.live_sessions(), sessions);
+
+    CheckpointMeasurement {
+        sessions,
+        dirty_sessions: dirty,
+        encode_ms,
+        dirty_encode_ms,
+        restore_ms,
+        restore_warm_ms,
+        checkpoint_bytes: genesis.len(),
+        bytes_per_dirty_session: incr.len() as f64 / dirty as f64,
+    }
+}
+
+/// Runs the checkpoint axis, reporting progress through `progress`.
+pub fn run_checkpoint_matrix(
+    sessions_list: &[usize],
+    mut progress: impl FnMut(&CheckpointMeasurement),
+) -> Vec<CheckpointMeasurement> {
+    sessions_list
+        .iter()
+        .map(|&sessions| {
+            let row = measure_checkpoint(sessions, CHECKPOINT_DIRTY_SESSIONS);
+            progress(&row);
+            row
+        })
+        .collect()
+}
+
 /// Renders matrix rows as the `BENCH_ctrl.json` document. The measuring
 /// host's core count is recorded because the matrix's headline property —
 /// threaded/4-shard overtaking inline at ≥ 10 000 sessions — is a
 /// statement about parallel hardware: on a single-core host the threaded
 /// backends pay dispatch overhead with nothing to overlap against, and
 /// the inversion gate reads `cores` to know whether the comparison is
-/// meaningful.
-pub fn matrix_report(rows: &[TickMeasurement]) -> serde_json::Value {
+/// meaningful. The checkpoint rows live in their own `checkpoint` list
+/// (they carry different columns, and the tick-matrix gates must not
+/// trip over them); an empty slice omits nothing — the section is always
+/// present so gates can tell "not measured this run" from "file predates
+/// the bench".
+pub fn matrix_report(
+    rows: &[TickMeasurement],
+    checkpoint: &[CheckpointMeasurement],
+) -> serde_json::Value {
     serde_json::json!({
         "bench": "ctrl_tick",
         "cores": host_cores(),
         "results": rows.iter().map(TickMeasurement::to_json).collect::<Vec<_>>(),
+        "checkpoint": checkpoint
+            .iter()
+            .map(CheckpointMeasurement::to_json)
+            .collect::<Vec<_>>(),
     })
 }
 
@@ -295,9 +451,35 @@ mod tests {
         assert_eq!(row.sessions, 8);
         assert_eq!(row.ticks, 16);
         assert!(row.ticks_per_sec > 0.0);
-        let doc = matrix_report(std::slice::from_ref(&row));
+        let ckpt = measure_checkpoint(8, 4);
+        let doc = matrix_report(std::slice::from_ref(&row), std::slice::from_ref(&ckpt));
         let body = serde_json::to_string(&doc).expect("report renders");
         assert!(body.contains("\"label\":\"inline/s1\""), "body: {body}");
         assert!(body.contains("\"sessions\":8"), "body: {body}");
+        assert!(
+            body.contains("\"checkpoint_bytes_per_dirty_session\""),
+            "body: {body}"
+        );
+    }
+
+    /// The tentpole's economy claim at test scale: the bytes an
+    /// incremental spends per dirty session must not move with the
+    /// population it is cut from (CI re-pins this at 10k → 1M).
+    #[test]
+    fn incremental_bytes_per_dirty_session_ignore_population() {
+        let small = measure_checkpoint(512, 64);
+        let large = measure_checkpoint(4_096, 64);
+        assert_eq!(small.dirty_sessions, 64);
+        assert_eq!(large.dirty_sessions, 64);
+        let ratio = large.bytes_per_dirty_session / small.bytes_per_dirty_session;
+        assert!(
+            (0.9..=1.1).contains(&ratio),
+            "an 8× population moved bytes/dirty-session by {ratio:.3}× \
+             (small {:.1}, large {:.1})",
+            small.bytes_per_dirty_session,
+            large.bytes_per_dirty_session,
+        );
+        // And a genesis is population-proportional, as it must be.
+        assert!(large.checkpoint_bytes > 4 * small.checkpoint_bytes);
     }
 }

@@ -86,6 +86,15 @@ impl StageLog {
         StageLog { records }
     }
 
+    /// Replaces the log's contents in place, keeping the existing
+    /// allocation — the restore path for columnar checkpoint decode,
+    /// which must not allocate per session when the target is warm.
+    /// The records are taken verbatim; ordering is the caller's contract.
+    pub fn restore_from_iter(&mut self, records: impl Iterator<Item = StageRecord>) {
+        self.records.clear();
+        self.records.extend(records);
+    }
+
     /// Number of *completed* stages — the offline-change lower bound
     /// certificate (each completed stage forces ≥ 1 offline change).
     pub fn completed(&self) -> usize {

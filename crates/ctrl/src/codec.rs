@@ -103,6 +103,12 @@ impl<'a> Enc<'a> {
         self.buf.extend_from_slice(v.as_bytes());
     }
 
+    /// Appends pre-encoded bytes verbatim (no length prefix) — the
+    /// columnar encoder splices pooled column bodies with this.
+    pub fn raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
     pub fn opt_f64(&mut self, v: Option<f64>) {
         match v {
             None => self.u8(0),
@@ -207,6 +213,19 @@ impl<'a> Dec<'a> {
         let n = self.u32()? as usize;
         let bytes = self.take(n)?;
         String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// Borrows a string straight out of the payload — the columnar
+    /// decoder's zero-copy path (schema names, the tenant table).
+    pub fn str_ref(&mut self) -> Result<&'a str, CodecError> {
+        let n = self.u32()? as usize;
+        let bytes = self.take(n)?;
+        std::str::from_utf8(bytes).map_err(|_| CodecError::BadUtf8)
+    }
+
+    /// Borrows `n` raw bytes out of the payload (a column body).
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        self.take(n)
     }
 
     fn opt<T>(
@@ -469,9 +488,13 @@ pub fn decode_snapshot_fragment(d: &mut Dec<'_>) -> Result<ServiceSnapshot, Code
 }
 
 // ---------------------------------------------------------------------------
-// Checkpoint family (crate-private: the worker ships these to the driver).
+// Checkpoint family v1 — the row-oriented reference codec. The columnar
+// module below replaced it on the worker/driver and migration paths; it
+// is retained as the independent oracle the lockstep proptests compare
+// against, and as the legacy decode path for v1 migration blobs.
 // ---------------------------------------------------------------------------
 
+#[cfg_attr(not(test), allow(dead_code))]
 pub(crate) mod checkpoint {
     use super::*;
     use crate::meter::MeterCheckpoint;
@@ -829,7 +852,7 @@ pub(crate) mod checkpoint {
         })
     }
 
-    fn enc_group(cp: &GroupCheckpoint, e: &mut Enc<'_>) {
+    pub(crate) fn enc_group(cp: &GroupCheckpoint, e: &mut Enc<'_>) {
         e.u64(cp.group);
         enc_pool(&cp.pool, e);
         e.len(cp.members.len());
@@ -839,7 +862,7 @@ pub(crate) mod checkpoint {
         }
     }
 
-    fn dec_group(d: &mut Dec<'_>) -> Result<GroupCheckpoint, CodecError> {
+    pub(crate) fn dec_group(d: &mut Dec<'_>) -> Result<GroupCheckpoint, CodecError> {
         let group = d.u64()?;
         let pool = dec_pool(d)?;
         let n = d.len(16)?;
@@ -926,6 +949,847 @@ pub(crate) mod checkpoint {
         let cp = dec_session(&mut d)?;
         d.finish()?;
         Ok(cp)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Columnar checkpoint frames (v2): schema-described struct-of-arrays.
+// ---------------------------------------------------------------------------
+
+pub(crate) mod columnar {
+    //! The columnar checkpoint codec: shard state as schema-described
+    //! struct-of-arrays columns mirroring the kernel's `HotState` layout.
+    //!
+    //! A frame is: version byte ([`FRAME_VERSION`], distinct from the v1
+    //! [`CODEC_VERSION`] so the two formats self-select), a kind byte
+    //! (genesis = every live session, incremental = only sessions dirtied
+    //! since the previous frame), the shard clock and row count, the
+    //! shard-uniform configuration (window, pricing, algorithm parameters
+    //! — one copy per frame instead of one per session), a tenant string
+    //! table, then the column set. Every column is self-describing
+    //! (`name, type, width, count, body length`), so a decoder can skip
+    //! columns it does not know and reject bodies whose byte length
+    //! disagrees with their cell count *before* touching any state.
+    //! Fixed-width columns carry one cell per row; ragged columns
+    //! (tracker hulls, window rings, delay spills, stage logs) carry the
+    //! rows' runs concatenated in row order, with a sibling `*_len`
+    //! fixed column giving each row's run length. Ring columns are
+    //! normalized to head = 0 on encode, so no cursor columns travel.
+    //! After the columns: the group section (always the *full* group set
+    //! — group state is tiny and rewriting it wholesale keeps apply
+    //! trivially idempotent per frame), the tombstone list (keys removed
+    //! since the previous frame; must be empty in a genesis frame), and
+    //! the retired-metrics delta (the suffix appended since the previous
+    //! frame; genesis carries the full list).
+    //!
+    //! `f64` cells are raw IEEE-754 bits, so the hot-state sentinels
+    //! (`+∞` for "still in grace", `NaN` for "no utilization minimum
+    //! yet") travel verbatim and the decode is bitwise.
+
+    use super::*;
+    use crate::meter::MeterCheckpoint;
+    use crate::shard::{
+        GroupCheckpoint, SessionCheckpoint, F_DEDICATED, F_LEAVING, F_LIVE, F_STAGE_OPEN,
+    };
+    use cdba_analysis::cost::CostModel;
+    use cdba_core::bounds::{HighTrackerState, LowTrackerState};
+    use cdba_core::config::SingleConfig;
+    use cdba_core::single::SingleCheckpoint;
+    use cdba_core::stage::{StageKind, StageLog, StageRecord};
+    use cdba_sim::streaming::DelayTrackerState;
+    use std::collections::HashMap;
+
+    /// Version byte leading every columnar frame.
+    pub(crate) const FRAME_VERSION: u8 = 2;
+    /// Frame kind: every live session, full retired list, no tombstones.
+    pub(crate) const KIND_GENESIS: u8 = 0;
+    /// Frame kind: only sessions dirtied since the previous frame.
+    pub(crate) const KIND_INCREMENTAL: u8 = 1;
+
+    /// Cell type: `u64`, little-endian.
+    pub(crate) const T_U64: u8 = 0;
+    /// Cell type: `f64` as raw IEEE-754 bits, little-endian.
+    pub(crate) const T_F64: u8 = 1;
+    /// Cell type: `u32`, little-endian.
+    pub(crate) const T_U32: u8 = 2;
+    /// Ragged cell type: a run of `f64`s (the high-tracker ring).
+    pub(crate) const T_RF64: u8 = 3;
+    /// Ragged cell type: a run of `(f64, f64)` pairs (hull, recent ring).
+    pub(crate) const T_RPAIR: u8 = 4;
+    /// Ragged cell type: a run of `(u64, f64)` delay-FIFO entries.
+    pub(crate) const T_RPEND: u8 = 5;
+    /// Ragged cell type: a run of stage records
+    /// (`start u64, end u64 (u64::MAX = open), kind u8`).
+    pub(crate) const T_RSTAGE: u8 = 6;
+
+    /// Bytes per cell for each type tag.
+    pub(crate) const fn type_width(ty: u8) -> u32 {
+        match ty {
+            T_U32 => 4,
+            T_RPAIR | T_RPEND => 16,
+            T_RSTAGE => 17,
+            _ => 8, // T_U64 | T_F64 | T_RF64
+        }
+    }
+
+    // Column indices, fixed by the encoder. Decoders resolve columns by
+    // (name, type) — the indices are a convenience for the canonical
+    // schema, not part of the wire contract — so a future frame may
+    // append columns without breaking older readers.
+    pub(crate) const C_KEY: usize = 0;
+    pub(crate) const C_TENANT: usize = 1;
+    pub(crate) const C_FLAGS: usize = 2;
+    pub(crate) const C_GROUP: usize = 3;
+    pub(crate) const C_MEMBER: usize = 4;
+    /// First of the 16 `HotState` f64 scalar columns (declaration order).
+    pub(crate) const C_F64: usize = 5;
+    /// First of the 6 `HotState` u64 counter columns (declaration order).
+    pub(crate) const C_U64: usize = 21;
+    pub(crate) const C_HULL_LEN: usize = 27;
+    pub(crate) const C_HULL: usize = 28;
+    pub(crate) const C_HIGH_LEN: usize = 29;
+    pub(crate) const C_HIGH: usize = 30;
+    pub(crate) const C_RECENT_LEN: usize = 31;
+    pub(crate) const C_RECENT: usize = 32;
+    pub(crate) const C_PEND_LEN: usize = 33;
+    pub(crate) const C_PEND: usize = 34;
+    pub(crate) const C_STAGE_LEN: usize = 35;
+    pub(crate) const C_STAGES: usize = 36;
+    pub(crate) const NCOLS: usize = 37;
+
+    /// The canonical schema: `(name, type)` per column index.
+    pub(crate) const SPECS: [(&str, u8); NCOLS] = [
+        ("key", T_U64),
+        ("tenant", T_U32),
+        ("flags", T_U32),
+        ("group", T_U64),
+        ("member", T_U64),
+        ("shadow_backlog", T_F64),
+        ("current_alloc", T_F64),
+        ("peak_alloc", T_F64),
+        ("total_arrived", T_F64),
+        ("total_served", T_F64),
+        ("total_allocated", T_F64),
+        ("window_arrived", T_F64),
+        ("window_allocated", T_F64),
+        ("backlog", T_F64),
+        ("b_on", T_F64),
+        ("low_total", T_F64),
+        ("low_low", T_F64),
+        ("high_window_sum", T_F64),
+        ("high_min_window_sum", T_F64),
+        ("min_util", T_F64),
+        ("max_delay_exact", T_F64),
+        ("alg_tick", T_U64),
+        ("stage_ticks", T_U64),
+        ("meter_ticks", T_U64),
+        ("changes", T_U64),
+        ("delay_tick", T_U64),
+        ("max_delay", T_U64),
+        ("hull_len", T_U32),
+        ("hull", T_RPAIR),
+        ("high_len", T_U32),
+        ("high", T_RF64),
+        ("recent_len", T_U32),
+        ("recent", T_RPAIR),
+        ("pend_len", T_U32),
+        ("pend", T_RPEND),
+        ("stage_len", T_U32),
+        ("stages", T_RSTAGE),
+    ];
+
+    fn put_u32(buf: &mut Vec<u8>, v: u32) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_u64(buf: &mut Vec<u8>, v: u64) {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_f64(buf: &mut Vec<u8>, v: f64) {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+
+    fn stage_kind_tag(kind: StageKind) -> u8 {
+        match kind {
+            StageKind::BoundsCrossed => 0,
+            StageKind::RegularOverflow => 1,
+            StageKind::GlobalBoundsCrossed => 2,
+            StageKind::BudgetChanged => 3,
+        }
+    }
+
+    fn stage_kind_from_tag(tag: u8) -> StageKind {
+        match tag {
+            0 => StageKind::BoundsCrossed,
+            1 => StageKind::RegularOverflow,
+            2 => StageKind::GlobalBoundsCrossed,
+            3 => StageKind::BudgetChanged,
+            t => unreachable!("stage tag {t} survived parse validation"),
+        }
+    }
+
+    /// A circular buffer viewed as its (up to two) contiguous runs,
+    /// oldest first — how rings and deques are borrowed for encoding
+    /// without materializing a session-sized temporary.
+    pub(crate) type RingHalves<'a, T> = (&'a [T], &'a [T]);
+
+    /// The delay-FIFO source of one encoded row. The shard keeps the FIFO
+    /// head inline in `HotState` with the tail spilled to a `VecDeque`;
+    /// a `SessionCheckpoint` keeps one flat list. Both feed the same
+    /// `pend` column.
+    pub(crate) enum PendRows<'a> {
+        /// Inline head + the spill deque's two contiguous halves.
+        Split {
+            head: Option<(u64, f64)>,
+            spill: RingHalves<'a, (u64, f64)>,
+        },
+        /// A checkpoint's flat pending list.
+        Flat(&'a [(usize, f64)]),
+    }
+
+    /// One session row, borrowed from wherever the state lives (slab
+    /// columns or a `SessionCheckpoint`) — the shared input of the shard
+    /// checkpoint path and the single-session migration path. Rings are
+    /// `(first, second)` contiguous halves so the encoder never
+    /// materializes a session-sized temporary.
+    pub(crate) struct RowRef<'a> {
+        pub key: u64,
+        pub tenant: &'a Arc<str>,
+        /// `F_*` bits; the encoder's caller masks `F_DIRTY` out.
+        pub flags: u32,
+        /// Owning group id; `u64::MAX` for dedicated sessions.
+        pub group: u64,
+        /// Raw pool member id; 0 for dedicated sessions.
+        pub member: u64,
+        /// The 16 `HotState` f64 scalars, declaration order.
+        pub f64s: [f64; 16],
+        /// The 6 `HotState` u64 counters, declaration order.
+        pub u64s: [u64; 6],
+        pub hull: &'a [(f64, f64)],
+        pub high: RingHalves<'a, f64>,
+        pub recent: RingHalves<'a, (f64, f64)>,
+        pub pend: PendRows<'a>,
+        pub stages: &'a [StageRecord],
+    }
+
+    /// Everything frame-scoped the encoder needs beyond the rows.
+    pub(crate) struct FrameHeader {
+        pub kind: u8,
+        /// The shard clock at capture.
+        pub ticks: u64,
+        /// The shared meter/tracker window `W`.
+        pub w: u32,
+        pub cost: CostModel,
+        /// Single-session config (`b_max`, `d_o`, `u_o`; `w` above) — the
+        /// shard-uniform parameters every dedicated session runs.
+        pub b_max: f64,
+        pub d_o: u64,
+        pub u_o: f64,
+    }
+
+    /// The pooled column encoder: one buffer per column, reused across
+    /// frames, so steady-state encoding allocates nothing once the
+    /// buffers have grown to the working set.
+    pub(crate) struct ColumnSink {
+        bufs: Vec<Vec<u8>>,
+        rows: u32,
+        /// Per-frame tenant string table, in first-appearance order (the
+        /// deterministic interning order; the map is lookup only).
+        tenants: Vec<Arc<str>>,
+        tenant_idx: HashMap<Arc<str>, u32>,
+    }
+
+    impl ColumnSink {
+        pub(crate) fn new() -> Self {
+            ColumnSink {
+                bufs: (0..NCOLS).map(|_| Vec::new()).collect(),
+                rows: 0,
+                tenants: Vec::new(),
+                tenant_idx: HashMap::new(),
+            }
+        }
+
+        /// Resets for a new frame, keeping every buffer's allocation.
+        pub(crate) fn begin(&mut self) {
+            for b in &mut self.bufs {
+                b.clear();
+            }
+            self.rows = 0;
+            self.tenants.clear();
+            self.tenant_idx.clear();
+        }
+
+        fn intern(&mut self, tenant: &Arc<str>) -> u32 {
+            if let Some(&i) = self.tenant_idx.get(tenant.as_ref() as &str) {
+                return i;
+            }
+            let i = u32::try_from(self.tenants.len()).expect("tenant table fits a u32");
+            self.tenants.push(Arc::clone(tenant));
+            self.tenant_idx.insert(Arc::clone(tenant), i);
+            i
+        }
+
+        /// Appends one session row across all columns.
+        pub(crate) fn push_row(&mut self, r: &RowRef<'_>) {
+            self.rows += 1;
+            let tenant = self.intern(r.tenant);
+            put_u64(&mut self.bufs[C_KEY], r.key);
+            put_u32(&mut self.bufs[C_TENANT], tenant);
+            put_u32(&mut self.bufs[C_FLAGS], r.flags);
+            put_u64(&mut self.bufs[C_GROUP], r.group);
+            put_u64(&mut self.bufs[C_MEMBER], r.member);
+            for (j, &v) in r.f64s.iter().enumerate() {
+                put_f64(&mut self.bufs[C_F64 + j], v);
+            }
+            for (j, &v) in r.u64s.iter().enumerate() {
+                put_u64(&mut self.bufs[C_U64 + j], v);
+            }
+            put_u32(&mut self.bufs[C_HULL_LEN], r.hull.len() as u32);
+            for &(x, y) in r.hull {
+                put_f64(&mut self.bufs[C_HULL], x);
+                put_f64(&mut self.bufs[C_HULL], y);
+            }
+            put_u32(
+                &mut self.bufs[C_HIGH_LEN],
+                (r.high.0.len() + r.high.1.len()) as u32,
+            );
+            for &a in r.high.0.iter().chain(r.high.1) {
+                put_f64(&mut self.bufs[C_HIGH], a);
+            }
+            put_u32(
+                &mut self.bufs[C_RECENT_LEN],
+                (r.recent.0.len() + r.recent.1.len()) as u32,
+            );
+            for &(a, b) in r.recent.0.iter().chain(r.recent.1) {
+                put_f64(&mut self.bufs[C_RECENT], a);
+                put_f64(&mut self.bufs[C_RECENT], b);
+            }
+            match r.pend {
+                PendRows::Split { head, spill } => {
+                    let n = usize::from(head.is_some()) + spill.0.len() + spill.1.len();
+                    put_u32(&mut self.bufs[C_PEND_LEN], n as u32);
+                    for &(t, b) in head.iter().chain(spill.0).chain(spill.1) {
+                        put_u64(&mut self.bufs[C_PEND], t);
+                        put_f64(&mut self.bufs[C_PEND], b);
+                    }
+                }
+                PendRows::Flat(pending) => {
+                    put_u32(&mut self.bufs[C_PEND_LEN], pending.len() as u32);
+                    for &(t, b) in pending {
+                        put_u64(&mut self.bufs[C_PEND], t as u64);
+                        put_f64(&mut self.bufs[C_PEND], b);
+                    }
+                }
+            }
+            put_u32(&mut self.bufs[C_STAGE_LEN], r.stages.len() as u32);
+            for rec in r.stages {
+                put_u64(&mut self.bufs[C_STAGES], rec.start as u64);
+                put_u64(
+                    &mut self.bufs[C_STAGES],
+                    rec.end.map_or(u64::MAX, |e| e as u64),
+                );
+                self.bufs[C_STAGES].push(stage_kind_tag(rec.kind));
+            }
+        }
+
+        /// Assembles the frame: header, tenant table, schema + column
+        /// bodies, groups, tombstones, retired delta. Appends to `out`.
+        pub(crate) fn finish(
+            &self,
+            hdr: &FrameHeader,
+            groups: &[GroupCheckpoint],
+            tombstones: &[u64],
+            retired: &[SessionMetrics],
+            out: &mut Vec<u8>,
+        ) {
+            debug_assert!(
+                hdr.kind != KIND_GENESIS || tombstones.is_empty(),
+                "a genesis frame carries no tombstones"
+            );
+            let mut e = Enc::new(out);
+            e.u8(FRAME_VERSION);
+            e.u8(hdr.kind);
+            e.u64(hdr.ticks);
+            e.u32(self.rows);
+            e.u32(hdr.w);
+            e.f64(hdr.cost.per_bandwidth_tick);
+            e.f64(hdr.cost.per_change);
+            e.f64(hdr.b_max);
+            e.u64(hdr.d_o);
+            e.f64(hdr.u_o);
+            e.len(self.tenants.len());
+            for t in &self.tenants {
+                e.str(t.as_ref());
+            }
+            e.u32(NCOLS as u32);
+            for (i, &(name, ty)) in SPECS.iter().enumerate() {
+                let body = &self.bufs[i];
+                let width = type_width(ty);
+                e.str(name);
+                e.u8(ty);
+                e.u32(width);
+                e.u32((body.len() / width as usize) as u32);
+                e.u32(u32::try_from(body.len()).expect("column body fits a u32"));
+                e.raw(body);
+            }
+            e.len(groups.len());
+            for g in groups {
+                checkpoint::enc_group(g, &mut e);
+            }
+            e.len(tombstones.len());
+            for &k in tombstones {
+                e.u64(k);
+            }
+            e.len(retired.len());
+            for m in retired {
+                encode_session_metrics(m, &mut e);
+            }
+        }
+    }
+
+    /// One parsed column: the schema entry plus its raw body, still
+    /// borrowing the payload (cells are read in place — no per-session
+    /// copy is made until the rows land in slab columns).
+    pub(crate) struct RawColumn<'a> {
+        pub name: &'a str,
+        pub ty: u8,
+        pub count: u32,
+        pub body: &'a [u8],
+    }
+
+    /// A structurally validated frame: header fields, the tenant table
+    /// and column bodies borrowed zero-copy from the payload, and the
+    /// (small) eagerly decoded group/tombstone/retired sections. All
+    /// *structural* invariants hold — version/kind/type tags are known,
+    /// every body length equals `count × width`, stage-kind bytes are in
+    /// domain — but nothing row-semantic has been checked yet; that is
+    /// the applier's job, against the target shard.
+    pub(crate) struct RawFrame<'a> {
+        pub kind: u8,
+        pub ticks: u64,
+        pub rows: u32,
+        pub w: u32,
+        pub cost: CostModel,
+        pub b_max: f64,
+        pub d_o: u64,
+        pub u_o: f64,
+        pub strings: Vec<&'a str>,
+        pub cols: Vec<RawColumn<'a>>,
+        pub groups: Vec<GroupCheckpoint>,
+        pub tombstones: Vec<u64>,
+        pub retired: Vec<SessionMetrics>,
+    }
+
+    impl<'a> RawFrame<'a> {
+        /// Resolves canonical column `idx` by `(name, type)`. Unknown
+        /// extra columns in the frame are simply never looked up —
+        /// forward compatibility — while a frame missing a canonical
+        /// column fails here with a typed field.
+        pub(crate) fn col(&self, idx: usize) -> Result<&RawColumn<'a>, &'static str> {
+            let (name, ty) = SPECS[idx];
+            self.cols
+                .iter()
+                .find(|c| c.name == name && c.ty == ty)
+                .ok_or("columnar.missing")
+        }
+
+        /// Resolves canonical column `idx` and checks it carries exactly
+        /// one cell per row.
+        pub(crate) fn fixed(&self, idx: usize) -> Result<&RawColumn<'a>, &'static str> {
+            let c = self.col(idx)?;
+            if c.count != self.rows {
+                return Err("columnar.count");
+            }
+            Ok(c)
+        }
+    }
+
+    fn le8(body: &[u8], off: usize) -> u64 {
+        u64::from_le_bytes(body[off..off + 8].try_into().expect("8"))
+    }
+
+    /// Cell `i` of a `T_U64` column.
+    pub(crate) fn u64_at(c: &RawColumn<'_>, i: usize) -> u64 {
+        le8(c.body, i * 8)
+    }
+
+    /// Cell `i` of a `T_U32` column.
+    pub(crate) fn u32_at(c: &RawColumn<'_>, i: usize) -> u32 {
+        u32::from_le_bytes(c.body[i * 4..i * 4 + 4].try_into().expect("4"))
+    }
+
+    /// Cell `i` of a `T_F64` or `T_RF64` column.
+    pub(crate) fn f64_at(c: &RawColumn<'_>, i: usize) -> f64 {
+        f64::from_bits(le8(c.body, i * 8))
+    }
+
+    /// Cell `i` of a `T_RPAIR` column.
+    pub(crate) fn pair_at(c: &RawColumn<'_>, i: usize) -> (f64, f64) {
+        (
+            f64::from_bits(le8(c.body, i * 16)),
+            f64::from_bits(le8(c.body, i * 16 + 8)),
+        )
+    }
+
+    /// Cell `i` of a `T_RPEND` column.
+    pub(crate) fn pend_at(c: &RawColumn<'_>, i: usize) -> (u64, f64) {
+        (le8(c.body, i * 16), f64::from_bits(le8(c.body, i * 16 + 8)))
+    }
+
+    /// Cell `i` of a `T_RSTAGE` column (tag validity guaranteed by
+    /// [`parse`]).
+    pub(crate) fn stage_at(c: &RawColumn<'_>, i: usize) -> StageRecord {
+        let off = i * 17;
+        let end = le8(c.body, off + 8);
+        StageRecord {
+            start: le8(c.body, off) as usize,
+            end: (end != u64::MAX).then_some(end as usize),
+            kind: stage_kind_from_tag(c.body[off + 16]),
+        }
+    }
+
+    /// Parses and structurally validates a columnar frame. Zero-copy for
+    /// the column bodies and string table; the group/tombstone/retired
+    /// tail sections (small, frame-scoped) decode eagerly.
+    ///
+    /// # Errors
+    ///
+    /// [`CodecError::BadVersion`] for a non-v2 payload, [`CodecError::BadTag`]
+    /// for an unknown kind/type/stage tag, [`CodecError::BadLength`] for a
+    /// width or body-length mismatch, and any cursor error for truncation
+    /// or trailing bytes.
+    pub(crate) fn parse(payload: &[u8]) -> Result<RawFrame<'_>, CodecError> {
+        let mut d = Dec::new(payload);
+        match d.u8()? {
+            FRAME_VERSION => {}
+            v => return Err(CodecError::BadVersion(v)),
+        }
+        let kind = d.u8()?;
+        if kind > KIND_INCREMENTAL {
+            return Err(CodecError::BadTag(kind));
+        }
+        let ticks = d.u64()?;
+        let rows = d.u32()?;
+        let w = d.u32()?;
+        let cost = CostModel {
+            per_bandwidth_tick: d.f64()?,
+            per_change: d.f64()?,
+        };
+        let b_max = d.f64()?;
+        let d_o = d.u64()?;
+        let u_o = d.f64()?;
+        let n = d.len(4)?;
+        let mut strings = Vec::with_capacity(n);
+        for _ in 0..n {
+            strings.push(d.str_ref()?);
+        }
+        let ncols = d.len(17)?;
+        let mut cols = Vec::with_capacity(ncols);
+        for _ in 0..ncols {
+            let name = d.str_ref()?;
+            let ty = d.u8()?;
+            if ty > T_RSTAGE {
+                return Err(CodecError::BadTag(ty));
+            }
+            let width = d.u32()?;
+            if width != type_width(ty) {
+                return Err(CodecError::BadLength(u64::from(width)));
+            }
+            let count = d.u32()?;
+            let body_len = d.u32()? as usize;
+            if body_len != count as usize * width as usize {
+                return Err(CodecError::BadLength(body_len as u64));
+            }
+            let body = d.bytes(body_len)?;
+            if ty == T_RSTAGE {
+                for cell in body.chunks_exact(17) {
+                    if cell[16] > 3 {
+                        return Err(CodecError::BadTag(cell[16]));
+                    }
+                }
+            }
+            cols.push(RawColumn {
+                name,
+                ty,
+                count,
+                body,
+            });
+        }
+        let n = d.len(8)?;
+        let mut groups = Vec::with_capacity(n);
+        for _ in 0..n {
+            groups.push(checkpoint::dec_group(&mut d)?);
+        }
+        let n = d.len(8)?;
+        let mut tombstones = Vec::with_capacity(n);
+        for _ in 0..n {
+            tombstones.push(d.u64()?);
+        }
+        let n = d.len(8)?;
+        let mut retired = Vec::with_capacity(n);
+        for _ in 0..n {
+            retired.push(decode_session_metrics(&mut d)?);
+        }
+        d.finish()?;
+        Ok(RawFrame {
+            kind,
+            ticks,
+            rows,
+            w,
+            cost,
+            b_max,
+            d_o,
+            u_o,
+            strings,
+            cols,
+            groups,
+            tombstones,
+            retired,
+        })
+    }
+
+    /// Maps a structural [`CodecError`] to the typed field names the
+    /// service's `InvalidCheckpoint` error carries.
+    pub(crate) fn error_field(err: &CodecError) -> &'static str {
+        match err {
+            CodecError::Eof => "columnar.truncated",
+            CodecError::BadTag(_) => "columnar.type",
+            CodecError::BadUtf8 => "columnar.utf8",
+            CodecError::BadVersion(_) => "columnar.version",
+            CodecError::BadLength(_) => "columnar.count",
+            CodecError::Trailing(_) => "columnar.trailing",
+        }
+    }
+
+    /// Encodes one session checkpoint as a standalone single-row genesis
+    /// frame — the v2 migration blob. Same sink, same column layout, same
+    /// decode path as a full shard frame: a quiesced session is just a
+    /// one-session column slice.
+    pub(crate) fn encode_session_frame(
+        cp: &SessionCheckpoint,
+        sink: &mut ColumnSink,
+        out: &mut Vec<u8>,
+    ) {
+        sink.begin();
+        let m = &cp.meter;
+        let mut flags = F_LIVE;
+        if cp.leaving {
+            flags |= F_LEAVING;
+        }
+        let (group, member) = cp.pooled.map_or((u64::MAX, 0), |p| p);
+        let mut f64s = [0.0f64; 16];
+        f64s[0] = m.shadow_backlog;
+        f64s[1] = m.current_alloc;
+        f64s[2] = m.peak_allocation;
+        f64s[3] = m.total_arrived;
+        f64s[4] = m.total_served;
+        f64s[5] = m.total_allocated;
+        f64s[6] = m.window_arrived;
+        f64s[7] = m.window_allocated;
+        f64s[13] = f64::INFINITY; // grace sentinel when no stage travels
+        f64s[14] = m.min_windowed_utilization.unwrap_or(f64::NAN);
+        f64s[15] = m.delay.max_delay_exact;
+        let mut u64s = [0u64; 6];
+        u64s[2] = m.ticks;
+        u64s[3] = m.changes;
+        u64s[4] = m.delay.tick as u64;
+        u64s[5] = m.delay.max_delay as u64;
+        let mut hull: &[(f64, f64)] = &[];
+        let mut high: &[f64] = &[];
+        let mut stages: &[StageRecord] = &[];
+        let (mut b_max, mut d_o, mut u_o) = (0.0f64, 0u64, 0.0f64);
+        if let Some(alg) = &cp.dedicated {
+            flags |= F_DEDICATED;
+            b_max = alg.cfg.b_max;
+            d_o = alg.cfg.d_o as u64;
+            u_o = alg.cfg.u_o;
+            f64s[8] = alg.backlog;
+            f64s[9] = alg.b_on;
+            u64s[0] = alg.tick as u64;
+            stages = alg.stages.records();
+            if let (Some(low), Some(high_t)) = (&alg.stage_low, &alg.stage_high) {
+                flags |= F_STAGE_OPEN;
+                u64s[1] = low.ticks as u64;
+                f64s[10] = low.total;
+                f64s[11] = low.low;
+                f64s[12] = high_t.window_sum;
+                f64s[13] = high_t.min_window_sum.unwrap_or(f64::INFINITY);
+                hull = &low.hull;
+                high = &high_t.window;
+            }
+        }
+        sink.push_row(&RowRef {
+            key: cp.key,
+            tenant: &cp.tenant,
+            flags,
+            group,
+            member,
+            f64s,
+            u64s,
+            hull,
+            high: (high, &[]),
+            recent: (&m.recent, &[]),
+            pend: PendRows::Flat(&m.delay.pending),
+            stages,
+        });
+        sink.finish(
+            &FrameHeader {
+                kind: KIND_GENESIS,
+                ticks: 0,
+                w: m.window as u32,
+                cost: m.cost,
+                b_max,
+                d_o,
+                u_o,
+            },
+            &[],
+            &[],
+            &[],
+            out,
+        );
+    }
+
+    /// Materializes the [`SessionCheckpoint`] of a single-row migration
+    /// frame, so the v2 import path feeds the exact `validate()` /
+    /// `conforms()` gauntlet the v1 blob path established. Rejects frames
+    /// that are not a pure one-session slice.
+    ///
+    /// # Errors
+    ///
+    /// A typed `columnar.*` field name, suitable for
+    /// `CtrlError::InvalidCheckpoint`.
+    pub(crate) fn session_from_frame(f: &RawFrame<'_>) -> Result<SessionCheckpoint, &'static str> {
+        if f.kind != KIND_GENESIS
+            || f.rows != 1
+            || !f.groups.is_empty()
+            || !f.tombstones.is_empty()
+            || !f.retired.is_empty()
+        {
+            return Err("columnar.migration");
+        }
+        let w = f.w as usize;
+        if w == 0 {
+            return Err("columnar.w");
+        }
+        let flags = u32_at(f.fixed(C_FLAGS)?, 0);
+        const KNOWN: u32 = F_LIVE | F_DEDICATED | F_LEAVING | F_STAGE_OPEN;
+        if flags & !KNOWN != 0 || flags & F_LIVE == 0 {
+            return Err("columnar.flags");
+        }
+        let group = u64_at(f.fixed(C_GROUP)?, 0);
+        let dedicated = flags & F_DEDICATED != 0;
+        if dedicated != (group == u64::MAX) || (!dedicated && flags & F_STAGE_OPEN != 0) {
+            return Err("columnar.flags");
+        }
+        let tenant_i = u32_at(f.fixed(C_TENANT)?, 0) as usize;
+        let tenant: Arc<str> = Arc::from(*f.strings.get(tenant_i).ok_or("columnar.tenant")?);
+        let mut f64s = [0.0f64; 16];
+        for (j, v) in f64s.iter_mut().enumerate() {
+            *v = f64_at(f.fixed(C_F64 + j)?, 0);
+        }
+        let mut u64s = [0u64; 6];
+        for (j, v) in u64s.iter_mut().enumerate() {
+            *v = u64_at(f.fixed(C_U64 + j)?, 0);
+        }
+        let ragged =
+            |len_idx: usize, col_idx: usize| -> Result<(usize, &RawColumn<'_>), &'static str> {
+                let n = u32_at(f.fixed(len_idx)?, 0) as usize;
+                let c = f.col(col_idx)?;
+                if c.count as usize != n {
+                    return Err("columnar.ragged");
+                }
+                Ok((n, c))
+            };
+        let (hull_n, hull_c) = ragged(C_HULL_LEN, C_HULL)?;
+        let (high_n, high_c) = ragged(C_HIGH_LEN, C_HIGH)?;
+        let (recent_n, recent_c) = ragged(C_RECENT_LEN, C_RECENT)?;
+        let (pend_n, pend_c) = ragged(C_PEND_LEN, C_PEND)?;
+        let (stage_n, stage_c) = ragged(C_STAGE_LEN, C_STAGES)?;
+        if high_n > w || recent_n > w {
+            return Err("columnar.ring");
+        }
+        let meter = MeterCheckpoint {
+            cost: f.cost,
+            window: w,
+            shadow_backlog: f64s[0],
+            delay: DelayTrackerState {
+                pending: (0..pend_n)
+                    .map(|j| {
+                        let (t, b) = pend_at(pend_c, j);
+                        (t as usize, b)
+                    })
+                    .collect(),
+                tick: u64s[4] as usize,
+                max_delay: u64s[5] as usize,
+                max_delay_exact: f64s[15],
+            },
+            recent: (0..recent_n).map(|j| pair_at(recent_c, j)).collect(),
+            window_arrived: f64s[6],
+            window_allocated: f64s[7],
+            min_windowed_utilization: (!f64s[14].is_nan()).then_some(f64s[14]),
+            current_alloc: f64s[1],
+            ticks: u64s[2],
+            changes: u64s[3],
+            peak_allocation: f64s[2],
+            total_arrived: f64s[3],
+            total_served: f64s[4],
+            total_allocated: f64s[5],
+        };
+        let dedicated = if dedicated {
+            let cfg = SingleConfig {
+                b_max: f.b_max,
+                d_o: f.d_o as usize,
+                u_o: f.u_o,
+                w,
+            };
+            let open = flags & F_STAGE_OPEN != 0;
+            let stage_low = if open {
+                Some(LowTrackerState {
+                    d_o: cfg.d_o,
+                    hull: (0..hull_n).map(|j| pair_at(hull_c, j)).collect(),
+                    ticks: u64s[1] as usize,
+                    total: f64s[10],
+                    low: f64s[11],
+                })
+            } else {
+                None
+            };
+            let stage_high = if open {
+                Some(HighTrackerState {
+                    u_o: cfg.u_o,
+                    w,
+                    grace: cfg.b_max,
+                    window: (0..high_n).map(|j| f64_at(high_c, j)).collect(),
+                    window_sum: f64s[12],
+                    min_window_sum: (!f64s[13].is_infinite()).then_some(f64s[13]),
+                    ticks: u64s[1] as usize,
+                })
+            } else {
+                None
+            };
+            Some(SingleCheckpoint {
+                cfg,
+                backlog: f64s[8],
+                stage_low,
+                stage_high,
+                b_on: f64s[9],
+                tick: u64s[0] as usize,
+                stages: StageLog::from_records(
+                    (0..stage_n).map(|j| stage_at(stage_c, j)).collect(),
+                ),
+            })
+        } else {
+            None
+        };
+        Ok(SessionCheckpoint {
+            key: u64_at(f.fixed(C_KEY)?, 0),
+            tenant,
+            meter,
+            leaving: flags & F_LEAVING != 0,
+            dedicated,
+            pooled: (group != u64::MAX).then_some((group, u64_at(f.fixed(C_MEMBER)?, 0))),
+        })
     }
 }
 

@@ -63,6 +63,7 @@ pub mod config;
 pub mod fault;
 pub mod meter;
 pub mod metrics;
+pub mod mirror;
 pub(crate) mod obs;
 pub mod service;
 pub(crate) mod shard;
@@ -73,6 +74,7 @@ pub use config::{ExecMode, ServiceConfig, ServiceConfigBuilder};
 pub use fault::{FaultKind, FaultPlan};
 pub use meter::{SessionMetrics, SignallingMeter};
 pub use metrics::{GlobalMetrics, ServiceSnapshot, ShardHealth, ShardMetrics, SnapshotCounters};
+pub use mirror::{CheckpointMirror, CheckpointProbe};
 pub use service::ControlPlane;
 
 use std::fmt;

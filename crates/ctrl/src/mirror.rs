@@ -1,0 +1,251 @@
+//! Public consumers of the columnar checkpoint stream.
+//!
+//! Two façades over the crate-private shard machinery:
+//!
+//! * [`CheckpointMirror`] — a passive replica of one shard, fed the same
+//!   columnar frames the driver retains (over the wire, from a file, or
+//!   straight from a bench harness). A genesis frame resets it; an
+//!   incremental extends it. Frames land in the mirror's preallocated
+//!   slab columns — after the first genesis at a given population, a
+//!   warm re-apply performs no per-session heap allocation.
+//! * [`CheckpointProbe`] — a self-contained shard driver for benchmarks:
+//!   populate, tick, churn, and encode checkpoint frames without spinning
+//!   up a [`crate::ControlPlane`], its threads, or its channels. The
+//!   probe reuses one encode sink and hands out frames byte-identical to
+//!   what a worker would ship.
+//!
+//! Both speak the frame format of [`crate::codec::columnar`]; nothing
+//! here can diverge from the service path because it *is* the service
+//! path, minus the supervisor.
+
+use crate::codec::columnar;
+use crate::config::ServiceConfig;
+use crate::shard::{ApplyScratch, Event, ShardState};
+use crate::CtrlError;
+use std::sync::Arc;
+
+/// A passive shard replica built from columnar checkpoint frames.
+///
+/// The mirror enforces the same validate-then-mutate contract the
+/// driver's recovery path does: a frame that fails validation leaves the
+/// mirror untouched and returns [`CtrlError::InvalidCheckpoint`] with a
+/// typed field, so a hostile or corrupted stream cannot leave a
+/// half-written replica behind.
+pub struct CheckpointMirror {
+    state: ShardState,
+    scratch: ApplyScratch,
+}
+
+impl CheckpointMirror {
+    /// An empty mirror running `cfg`. The config must match the service
+    /// that produced the frames — the frame header carries the kernel
+    /// parameters and [`CheckpointMirror::apply`] rejects a mismatch
+    /// (`columnar.cfg`).
+    pub fn new(cfg: &ServiceConfig) -> Self {
+        CheckpointMirror {
+            state: ShardState::new(0, cfg),
+            scratch: ApplyScratch::default(),
+        }
+    }
+
+    /// Applies one columnar frame (genesis or incremental), returning the
+    /// number of session rows it carried.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::InvalidCheckpoint`] with the offending field for a
+    /// frame that is truncated, structurally malformed, or semantically
+    /// inconsistent with the mirror's state; the mirror is unchanged.
+    pub fn apply(&mut self, frame: &[u8]) -> Result<u64, CtrlError> {
+        let parsed = columnar::parse(frame).map_err(|err| CtrlError::InvalidCheckpoint {
+            field: columnar::error_field(&err),
+        })?;
+        let rows = parsed.rows;
+        self.state
+            .apply_frame(&parsed, &mut self.scratch)
+            .map_err(|field| CtrlError::InvalidCheckpoint { field })?;
+        Ok(u64::from(rows))
+    }
+
+    /// Ticks the mirrored shard has processed (as of the last frame).
+    pub fn ticks(&self) -> u64 {
+        self.state.ticks()
+    }
+
+    /// Live sessions in the mirrored shard.
+    pub fn live_sessions(&self) -> usize {
+        self.state.live_sessions()
+    }
+}
+
+/// A bench harness around one shard: drive a population directly and
+/// encode/apply checkpoint frames with no control plane in the way.
+pub struct CheckpointProbe {
+    state: ShardState,
+    sink: columnar::ColumnSink,
+    /// Next session key to hand out (keys are dense, like the driver's).
+    next_key: u64,
+    /// Oldest key not yet marked leaving, for churn.
+    churn_cursor: u64,
+    /// Tenant handles, reused so joins don't allocate per session.
+    tenants: Vec<Arc<str>>,
+}
+
+/// Tenants the probe spreads sessions across — enough to exercise the
+/// frame's string table without dominating it.
+const PROBE_TENANTS: usize = 16;
+
+impl CheckpointProbe {
+    /// An empty probe shard running `cfg`.
+    pub fn new(cfg: &ServiceConfig) -> Self {
+        CheckpointProbe {
+            state: ShardState::new(0, cfg),
+            sink: columnar::ColumnSink::new(),
+            next_key: 0,
+            churn_cursor: 0,
+            tenants: (0..PROBE_TENANTS)
+                .map(|t| Arc::from(format!("bench-{t}").as_str()))
+                .collect(),
+        }
+    }
+
+    /// Joins `sessions` fresh dedicated sessions (each starts dirty, as
+    /// in the live path).
+    pub fn populate(&mut self, sessions: usize) {
+        for _ in 0..sessions {
+            let key = self.next_key;
+            self.next_key += 1;
+            self.state.handle_event(Event::JoinDedicated {
+                key,
+                tenant: Arc::clone(&self.tenants[key as usize % PROBE_TENANTS]),
+            });
+        }
+    }
+
+    /// Advances the shard `n` ticks, every not-yet-churned session
+    /// receiving arrivals (so each carries backlog and a later
+    /// [`CheckpointProbe::churn`] marks it leaving instead of retiring it
+    /// on the spot). A tick dirties the whole live population regardless
+    /// — the meter's clocks and window sums advance on every session —
+    /// exactly like production.
+    pub fn tick(&mut self, n: usize) {
+        let arrivals: Arc<[(u64, f64)]> = (self.churn_cursor..self.next_key)
+            .map(|k| (k, 8.0))
+            .collect();
+        for _ in 0..n {
+            self.state.handle_event(Event::Tick {
+                arrivals: Arc::clone(&arrivals),
+            });
+        }
+    }
+
+    /// Dirties exactly `k` sessions *without* advancing the clock, by
+    /// marking the oldest `k` live sessions as leaving — the scenario an
+    /// incremental checkpoint is built for (between-tick mutations touch
+    /// a few rows, not the population).
+    pub fn churn(&mut self, k: usize) {
+        for _ in 0..k {
+            if self.churn_cursor >= self.next_key {
+                break;
+            }
+            let key = self.churn_cursor;
+            self.churn_cursor += 1;
+            self.state.handle_event(Event::Leave { key });
+        }
+    }
+
+    /// Encodes a checkpoint frame into `out` (cleared first), returning
+    /// the number of session rows encoded. `full` selects a genesis
+    /// frame; otherwise only rows dirtied since the last encode are
+    /// carried. Either way the dirty bits are cleared, as on the worker.
+    pub fn encode(&mut self, full: bool, out: &mut Vec<u8>) -> u64 {
+        out.clear();
+        let kind = if full {
+            columnar::KIND_GENESIS
+        } else {
+            columnar::KIND_INCREMENTAL
+        };
+        self.state.encode_columnar(kind, &mut self.sink, out)
+    }
+
+    /// Live sessions on the probe shard.
+    pub fn live_sessions(&self) -> usize {
+        self.state.live_sessions()
+    }
+
+    /// Ticks the probe shard has processed.
+    pub fn ticks(&self) -> u64 {
+        self.state.ticks()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ServiceConfig {
+        ServiceConfig::builder(4096.0)
+            .session_b_max(16.0)
+            .group_b_o(8.0)
+            .offline_delay(4)
+            .window(4)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn probe_frames_replicate_into_a_mirror() {
+        let cfg = cfg();
+        let mut probe = CheckpointProbe::new(&cfg);
+        let mut mirror = CheckpointMirror::new(&cfg);
+        let mut frame = Vec::new();
+
+        probe.populate(100);
+        probe.tick(6);
+        let rows = probe.encode(true, &mut frame);
+        assert_eq!(rows, 100);
+        assert_eq!(mirror.apply(&frame).unwrap(), 100);
+        assert_eq!(mirror.live_sessions(), 100);
+        assert_eq!(mirror.ticks(), 6);
+
+        // Between-tick churn dirties exactly the churned rows; the
+        // incremental carries them and nothing else.
+        probe.churn(7);
+        let rows = probe.encode(false, &mut frame);
+        assert_eq!(rows, 7, "incremental carries only the churned rows");
+        assert_eq!(mirror.apply(&frame).unwrap(), 7);
+        assert_eq!(mirror.live_sessions(), 100, "leaving sessions stay live");
+
+        // A tick dirties the whole population again.
+        probe.tick(1);
+        let rows = probe.encode(false, &mut frame);
+        assert!(rows >= 93, "a metered tick dirties every live session");
+        mirror.apply(&frame).unwrap();
+        assert_eq!(mirror.ticks(), 7);
+    }
+
+    #[test]
+    fn malformed_frame_leaves_the_mirror_untouched() {
+        let cfg = cfg();
+        let mut probe = CheckpointProbe::new(&cfg);
+        let mut mirror = CheckpointMirror::new(&cfg);
+        let mut frame = Vec::new();
+        probe.populate(10);
+        probe.tick(2);
+        probe.encode(true, &mut frame);
+        mirror.apply(&frame).unwrap();
+
+        probe.churn(3);
+        probe.encode(false, &mut frame);
+        let err = mirror.apply(&frame[..frame.len() - 1]).unwrap_err();
+        assert!(
+            matches!(err, CtrlError::InvalidCheckpoint { field } if field.starts_with("columnar.")),
+            "truncation yields a typed columnar error, got {err:?}"
+        );
+        assert_eq!(mirror.live_sessions(), 10, "failed apply mutated nothing");
+        assert_eq!(mirror.ticks(), 2);
+        mirror
+            .apply(&frame)
+            .expect("the intact frame still applies after the failed one");
+    }
+}

@@ -11,7 +11,12 @@
 //! computes them is placement-invariant and already cached, so the gauges
 //! inherit the bitwise determinism of `invariant_view()`.
 
-use cdba_obs::{Counter, Gauge, Registry};
+use cdba_obs::{Counter, Gauge, Histogram, Registry};
+
+/// Bucket bounds for `cdba_ctrl_restore_seconds`: a journal-only restore
+/// lands in the sub-millisecond bucket, a 1M-session genesis replay in
+/// the sub-second ones, and anything over ten seconds is pathological.
+const RESTORE_BOUNDS: &[f64] = &[0.001, 0.01, 0.1, 1.0, 10.0];
 
 /// Pre-resolved metric handles for one [`crate::ControlPlane`].
 #[derive(Debug)]
@@ -34,6 +39,15 @@ pub(crate) struct CtrlMetrics {
     pub shard_checkpoints: Vec<Counter>,
     /// `cdba_ctrl_checkpoint_bytes_total{shard}`, indexed by shard.
     pub shard_checkpoint_bytes: Vec<Counter>,
+    /// `cdba_ctrl_checkpoint_encoded_sessions_total{kind="full"}` —
+    /// sessions carried by genesis (full-population) frames.
+    pub checkpoint_full_sessions: Counter,
+    /// `cdba_ctrl_checkpoint_encoded_sessions_total{kind="dirty"}` —
+    /// sessions carried by incremental (dirty-only) frames.
+    pub checkpoint_dirty_sessions: Counter,
+    /// `cdba_ctrl_restore_seconds` — wall-clock seconds per shard
+    /// restore (chain apply + journal replay).
+    pub restore_seconds: Histogram,
     /// `cdba_ctrl_shard_sessions{shard}`, indexed by shard.
     pub shard_sessions: Vec<Gauge>,
     /// `cdba_ctrl_live_sessions`.
@@ -105,6 +119,22 @@ impl CtrlMetrics {
             shard_checkpoint_bytes: per_shard_counter(
                 "cdba_ctrl_checkpoint_bytes_total",
                 "Binary-encoded checkpoint payload bytes accepted by the driver",
+            ),
+            checkpoint_full_sessions: registry.counter_with(
+                "cdba_ctrl_checkpoint_encoded_sessions_total",
+                "Session rows carried by accepted checkpoint frames, by frame kind",
+                &[("kind", "full")],
+            ),
+            checkpoint_dirty_sessions: registry.counter_with(
+                "cdba_ctrl_checkpoint_encoded_sessions_total",
+                "Session rows carried by accepted checkpoint frames, by frame kind",
+                &[("kind", "dirty")],
+            ),
+            restore_seconds: registry.histogram(
+                "cdba_ctrl_restore_seconds",
+                "Wall-clock seconds spent rebuilding a shard from its checkpoint \
+                 chain plus journal replay",
+                RESTORE_BOUNDS,
             ),
             shard_sessions: per_shard_gauge(
                 "cdba_ctrl_shard_sessions",

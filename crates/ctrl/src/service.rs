@@ -227,11 +227,19 @@ struct ShardSup {
     /// Replayable events sent since the last accepted checkpoint, in send
     /// order. Trimmed on every checkpoint receipt.
     journal: Vec<ReplayEvent>,
-    /// Replayable events covered by `checkpoint` (i.e. sent before
+    /// Replayable events covered by the chain tip (i.e. sent before
     /// `journal[0]`).
     journal_base: u64,
-    /// The most recent current-epoch checkpoint.
-    checkpoint: Option<ShardCheckpoint>,
+    /// The retained columnar checkpoint chain: a genesis frame followed
+    /// by the incremental frames since it, in emission order. Recovery
+    /// applies the whole chain, then replays the journal. A genesis
+    /// receipt resets the chain, which is what bounds its length to the
+    /// configured genesis cadence.
+    chain: Vec<ShardCheckpoint>,
+    /// Frames ever pushed onto `chain` (a genesis reset does not rewind
+    /// it) — the cursor space checkpoint subscribers resume from. The
+    /// chain always holds frames `frames_seq - chain.len()..frames_seq`.
+    frames_seq: u64,
     /// Live sessions placed on this shard, for least-loaded placement.
     live: usize,
     /// Ticks dispatched to the current worker incarnation but not yet
@@ -248,7 +256,8 @@ impl ShardSup {
             last_failure: None,
             journal: Vec::new(),
             journal_base: 0,
-            checkpoint: None,
+            chain: Vec::new(),
+            frames_seq: 0,
             live: 0,
             inflight: 0,
         }
@@ -265,7 +274,7 @@ fn spawn_worker(
     epoch: u64,
     state: ShardState,
     events_base: u64,
-    checkpoint_every: u64,
+    cfg: &ServiceConfig,
     fault: Option<FaultPlan>,
     msgs: &Sender<WorkerMsg>,
 ) -> Result<Worker, CtrlError> {
@@ -275,7 +284,8 @@ fn spawn_worker(
         epoch,
         cancel: cancel.clone(),
         msgs: msgs.clone(),
-        checkpoint_every,
+        checkpoint_every: cfg.checkpoint_every,
+        full_every: cfg.checkpoint_full_every,
         events_base,
         fault,
     };
@@ -288,6 +298,11 @@ fn spawn_worker(
         })?;
     Ok(Worker { tx, handle, cancel })
 }
+
+/// A resume cursor plus the retained columnar checkpoint frames past a
+/// subscriber's cursor, each frame as `(kind, bytes)` — the return shape
+/// of [`ControlPlane::checkpoint_frames_since`].
+pub type CheckpointFrames = (u64, Vec<(u8, Arc<[u8]>)>);
 
 /// The sharded multi-tenant allocation service. See the module docs.
 pub struct ControlPlane {
@@ -365,7 +380,7 @@ impl ControlPlane {
                         0,
                         ShardState::new(s as u64, &cfg),
                         0,
-                        cfg.checkpoint_every,
+                        &cfg,
                         fault,
                         &msg_tx,
                     ) {
@@ -520,7 +535,8 @@ impl ControlPlane {
         };
         let (msg_tx, msg_rx) = unbounded();
         let mut workers = Vec::with_capacity(self.cfg.shards);
-        for (s, state) in states.into_iter().enumerate() {
+        let mut sink = crate::codec::columnar::ColumnSink::new();
+        for (s, mut state) in states.into_iter().enumerate() {
             let sup = &mut self.sups[s];
             sup.epoch += 1;
             sup.journal.clear();
@@ -528,16 +544,26 @@ impl ControlPlane {
             sup.inflight = 0;
             let epoch = sup.epoch;
             if self.cfg.checkpoint_every > 0 {
+                // Seed the chain with a genesis frame of the state being
+                // handed over; the worker's incrementals chain onto it.
                 let mut bytes = Vec::new();
-                crate::codec::checkpoint::encode(&state.checkpoint(), &mut bytes);
-                sup.checkpoint = Some(ShardCheckpoint {
+                let sessions = state.encode_columnar(
+                    crate::codec::columnar::KIND_GENESIS,
+                    &mut sink,
+                    &mut bytes,
+                );
+                sup.chain.clear();
+                sup.chain.push(ShardCheckpoint {
                     shard: s as u64,
                     epoch,
                     events_applied: 0,
+                    kind: crate::codec::columnar::KIND_GENESIS,
+                    sessions,
                     bytes: bytes.into(),
                 });
+                sup.frames_seq += 1;
             }
-            match spawn_worker(s, epoch, state, 0, self.cfg.checkpoint_every, None, &msg_tx) {
+            match spawn_worker(s, epoch, state, 0, &self.cfg, None, &msg_tx) {
                 Ok(worker) => workers.push(Some(worker)),
                 Err(err) => {
                     // Degrade exactly like a failed spawn at start-up.
@@ -637,13 +663,25 @@ impl ControlPlane {
             (cp.events_applied.saturating_sub(sup.journal_base) as usize).min(sup.journal.len());
         sup.journal.drain(..covered);
         sup.journal_base = cp.events_applied;
-        sup.checkpoint = Some(cp);
+        // A genesis frame supersedes everything before it; an incremental
+        // extends the chain it was emitted against.
+        let (kind, sessions) = (cp.kind, cp.sessions);
+        if kind == crate::codec::columnar::KIND_GENESIS {
+            sup.chain.clear();
+        }
+        sup.chain.push(cp);
+        sup.frames_seq += 1;
         if let Some(m) = &self.obs {
             if let Some(counter) = m.shard_checkpoints.get(shard) {
                 counter.inc();
             }
             if let Some(counter) = m.shard_checkpoint_bytes.get(shard) {
                 counter.add(payload_bytes);
+            }
+            if kind == crate::codec::columnar::KIND_GENESIS {
+                m.checkpoint_full_sessions.add(sessions);
+            } else {
+                m.checkpoint_dirty_sessions.add(sessions);
             }
         }
         if self.trace.is_some() {
@@ -705,24 +743,31 @@ impl ControlPlane {
         sup.epoch += 1;
         let epoch = sup.epoch;
         let events_base = sup.journal_base + sup.journal.len() as u64;
-        let cp = sup.checkpoint.clone();
+        let chain = sup.chain.clone();
         let journal = sup.journal.clone();
         let cfg = self.cfg.clone();
         // The replay runs on the driver thread; guard it so a poison event
         // that deterministically panics the shard cannot take the driver
-        // down with it. The guard also covers decoding the checkpoint's
-        // binary payload: a malformed payload downs the shard, not the
-        // driver.
+        // down with it. The guard also covers decoding the checkpoint
+        // chain's binary payloads: a malformed payload downs the shard,
+        // not the driver.
+        let restore_started = std::time::Instant::now();
         let rebuilt = catch_unwind(AssertUnwindSafe(|| {
-            let mut state = match &cp {
-                Some(cp) => ShardState::restore(shard as u64, &cfg, &cp.decode_state()),
-                None => ShardState::new(shard as u64, &cfg),
-            };
+            let mut state = ShardState::new(shard as u64, &cfg);
+            let mut scratch = crate::shard::ApplyScratch::default();
+            for cp in &chain {
+                let frame = crate::codec::columnar::parse(&cp.bytes)
+                    .expect("retained checkpoint frame must parse");
+                state
+                    .apply_frame(&frame, &mut scratch)
+                    .expect("retained checkpoint chain must apply");
+            }
             for ev in &journal {
                 state.handle_event(ev.to_event());
             }
             state
         }));
+        let restore_seconds = restore_started.elapsed().as_secs_f64();
         let state = match rebuilt {
             Ok(state) => state,
             Err(payload) => {
@@ -740,15 +785,8 @@ impl ControlPlane {
             .expect("threaded mode has a message channel")
             .0
             .clone();
-        let worker = match spawn_worker(
-            shard,
-            epoch,
-            state,
-            events_base,
-            self.cfg.checkpoint_every,
-            None,
-            &msg_tx,
-        ) {
+        let worker = match spawn_worker(shard, epoch, state, events_base, &self.cfg, None, &msg_tx)
+        {
             Ok(worker) => worker,
             Err(err) => {
                 let sup = &mut self.sups[shard];
@@ -766,6 +804,7 @@ impl ControlPlane {
                 counter.inc();
             }
             m.events_replayed.add(journal.len() as u64);
+            m.restore_seconds.observe(restore_seconds);
         }
         if self.trace.is_some() {
             self.trace_push(
@@ -775,6 +814,69 @@ impl ControlPlane {
             );
         }
         Ok(())
+    }
+
+    /// Forces `shard` through the full recovery path — retire its worker,
+    /// rebuild from the retained checkpoint chain plus a journal replay,
+    /// spawn a fresh epoch — exactly as if the worker had failed. An
+    /// operator uses this to rotate a worker in place (or a harness to
+    /// exercise restore determinism); it counts against the restart
+    /// budget like any recovery. Inline mode has no worker to rotate, so
+    /// the call is a no-op there.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::ShardDown`] under the same conditions as a
+    /// failure-driven recovery (budget exhausted, recovery disabled, or a
+    /// poisoned replay).
+    pub fn restart_shard(&mut self, shard: usize) -> Result<(), CtrlError> {
+        if shard >= self.cfg.shards {
+            return Err(CtrlError::InvalidService(format!(
+                "shard {shard} out of range (shards = {})",
+                self.cfg.shards
+            )));
+        }
+        if matches!(self.backend, Backend::Inline(_)) {
+            return Ok(());
+        }
+        self.drain_worker_msgs();
+        if !self.sups[shard].healthy {
+            return Err(self.down_error(shard));
+        }
+        self.recover(shard, "operator-requested restart".into())
+    }
+
+    /// The columnar checkpoint frames accepted for `shard` since `cursor`
+    /// (a value returned by a previous call; 0 for "from the beginning"),
+    /// oldest first, plus the cursor to resume from. A subscriber that
+    /// fell behind the retained chain gets the whole chain instead — its
+    /// first frame is a genesis, which resets the subscriber's
+    /// [`crate::CheckpointMirror`] cleanly. Inline mode emits no
+    /// checkpoints, so the cursor stays 0 and the list empty.
+    ///
+    /// # Errors
+    ///
+    /// [`CtrlError::InvalidService`] for an out-of-range shard.
+    pub fn checkpoint_frames_since(
+        &mut self,
+        shard: usize,
+        cursor: u64,
+    ) -> Result<CheckpointFrames, CtrlError> {
+        if shard >= self.cfg.shards {
+            return Err(CtrlError::InvalidService(format!(
+                "shard {shard} out of range (shards = {})",
+                self.cfg.shards
+            )));
+        }
+        self.drain_worker_msgs();
+        let sup = &self.sups[shard];
+        let base = sup.frames_seq - sup.chain.len() as u64;
+        let skip = cursor.saturating_sub(base).min(sup.chain.len() as u64) as usize;
+        let frames = sup.chain[skip..]
+            .iter()
+            .map(|cp| (cp.kind, Arc::clone(&cp.bytes)))
+            .collect();
+        Ok((sup.frames_seq, frames))
     }
 
     /// Delivers one replayable event to `shard`, journaling it first so a
@@ -1079,8 +1181,11 @@ impl ControlPlane {
         self.admission
             .lock()
             .release(&placement.tenant, self.cfg.dedicated_envelope());
+        // A migration blob is a one-session columnar genesis frame — the
+        // same frame format (and decoder) the checkpoint chain uses.
         let mut blob = Vec::new();
-        crate::codec::checkpoint::encode_session(&cp, &mut blob);
+        let mut sink = crate::codec::columnar::ColumnSink::new();
+        crate::codec::columnar::encode_session_frame(&cp, &mut sink, &mut blob);
         self.sync_membership_gauges();
         if self.trace.is_some() {
             self.trace_push(
@@ -1173,8 +1278,22 @@ impl ControlPlane {
     /// when no shard could take the session. Admission is rolled back on
     /// a failed delivery, exactly like [`ControlPlane::admit`].
     pub fn import_session(&mut self, blob: &[u8]) -> Result<u64, CtrlError> {
-        let mut cp = crate::codec::checkpoint::decode_session(blob)
-            .map_err(|err| CtrlError::InvalidService(format!("bad migration blob: {err}")))?;
+        // Current exporters emit columnar (v2) one-session frames; the v1
+        // session codec is still accepted so blobs exported by an older
+        // build keep migrating in.
+        let mut cp = match blob.first() {
+            Some(&crate::codec::columnar::FRAME_VERSION) => {
+                let frame = crate::codec::columnar::parse(blob).map_err(|err| {
+                    CtrlError::InvalidCheckpoint {
+                        field: crate::codec::columnar::error_field(&err),
+                    }
+                })?;
+                crate::codec::columnar::session_from_frame(&frame)
+                    .map_err(|field| CtrlError::InvalidCheckpoint { field })?
+            }
+            _ => crate::codec::checkpoint::decode_session(blob)
+                .map_err(|err| CtrlError::InvalidService(format!("bad migration blob: {err}")))?,
+        };
         if cp.dedicated.is_none() || cp.pooled.is_some() {
             return Err(CtrlError::InvalidService(
                 "migration blob is not a dedicated session".into(),

@@ -32,6 +32,7 @@
 //! [`crate::fault`]. Every message carries the worker's *epoch* so the
 //! driver can discard stragglers from replaced workers.
 
+use crate::codec::columnar;
 use crate::config::ServiceConfig;
 use crate::fault::{FaultKind, FaultPlan};
 use crate::meter::{delay_ticks, MeterCheckpoint, SessionMetrics};
@@ -221,13 +222,16 @@ pub(crate) struct ShardFailure {
     pub reason: String,
 }
 
-/// A periodic snapshot of one shard, shipped to the driver so a restarted
-/// worker can resume from it instead of replaying the whole history.
+/// One periodic checkpoint frame of one shard, shipped to the driver so a
+/// restarted worker can resume from the retained chain instead of
+/// replaying the whole history.
 ///
-/// The state travels as one binary [`crate::codec`] payload: the worker
-/// encodes into a buffer it reuses across checkpoints, so the steady-state
-/// cost per checkpoint is one encode pass plus one `Arc<[u8]>` copy — not
-/// a deep clone of every session's meter and algorithm state.
+/// The state travels as one columnar frame ([`crate::codec::columnar`]):
+/// a genesis frame carries every live session, an incremental frame only
+/// the sessions dirtied since the previous frame. The worker encodes into
+/// pooled column buffers it reuses across frames, so the steady-state
+/// cost per checkpoint is one O(dirty) encode pass plus one `Arc<[u8]>`
+/// copy — not a full-population serialization.
 #[derive(Debug, Clone)]
 pub(crate) struct ShardCheckpoint {
     /// The checkpointing shard.
@@ -236,24 +240,17 @@ pub(crate) struct ShardCheckpoint {
     pub epoch: u64,
     /// Replayable events applied when the checkpoint was taken. The
     /// driver trims its journal to this point: recovery restores the
-    /// state and replays only the journal suffix past this count.
+    /// chain and replays only the journal suffix past this count.
     pub events_applied: u64,
-    /// The restorable shard state, binary-encoded
-    /// ([`crate::codec::checkpoint`]).
+    /// [`columnar::KIND_GENESIS`] or [`columnar::KIND_INCREMENTAL`]; the
+    /// driver resets its retained chain on every genesis.
+    pub kind: u8,
+    /// Session rows the frame carries (the whole population for a
+    /// genesis, the dirty set for an incremental) — observability only.
+    pub sessions: u64,
+    /// The frame payload ([`columnar::parse`] +
+    /// [`ShardState::apply_frame`] restore it).
     pub bytes: Arc<[u8]>,
-}
-
-impl ShardCheckpoint {
-    /// Decodes the carried state.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the payload is malformed — impossible for worker-produced
-    /// checkpoints; recovery runs this under `catch_unwind`, so a decode
-    /// failure degrades to a downed shard rather than a driver crash.
-    pub fn decode_state(&self) -> ShardStateCheckpoint {
-        crate::codec::checkpoint::decode(&self.bytes).expect("shard checkpoint payload is valid")
-    }
 }
 
 /// A restorable snapshot of one session entry.
@@ -444,7 +441,10 @@ pub(crate) struct GroupCheckpoint {
 
 /// The full exportable state of a [`ShardState`]. Restoring with
 /// [`ShardState::restore`] reproduces the shard bitwise (both the binary
-/// codec and the in-memory form preserve every `f64` exactly).
+/// codec and the in-memory form preserve every `f64` exactly). The live
+/// checkpoint path ships columnar frames instead; this row-oriented form
+/// is the reference the lockstep tests canonicalize through.
+#[cfg_attr(not(test), allow(dead_code))]
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub(crate) struct ShardStateCheckpoint {
     /// Live sessions, in slot order (order matters: ticks process
@@ -486,15 +486,36 @@ struct GroupEntry {
     by_member: Vec<(PoolSessionId, u64, SlotId)>,
 }
 
-/// Slot flags packed into [`HotState::flags`].
-const F_LIVE: u32 = 1;
+/// Slot flags packed into [`HotState::flags`]. Crate-visible because the
+/// columnar checkpoint codec encodes the flags column verbatim (minus
+/// [`F_DIRTY`]) and validates decoded frames against these bits.
+pub(crate) const F_LIVE: u32 = 1;
 /// The slot runs the single-session algorithm (vs a pooled member).
-const F_DEDICATED: u32 = 2;
+pub(crate) const F_DEDICATED: u32 = 2;
 /// The session is draining out.
-const F_LEAVING: u32 = 4;
+pub(crate) const F_LEAVING: u32 = 4;
 /// The bounds trackers are active — the columnar form of the algorithm's
 /// `Mode::Stage` (clear during a RESET).
-const F_STAGE_OPEN: u32 = 8;
+pub(crate) const F_STAGE_OPEN: u32 = 8;
+/// The slot mutated since the last checkpoint frame was encoded. Set by
+/// every mutation path (join, tick, leave, import), cleared when a
+/// columnar checkpoint captures the slot, and masked out of the encoded
+/// flags column — the bit is emission bookkeeping, not session state.
+/// Note a tick dirties *every* live session (the meter's clocks, rings,
+/// and window sums all advance), so dirty-only frames pay off on the
+/// churn between ticks, not within a ticking interval.
+const F_DIRTY: u32 = 16;
+
+/// Upper bound on the session and group keys a checkpoint frame may
+/// carry. The driver issues keys from one monotone counter and the
+/// [`crate::slab::KeyMap`] is direct-mapped (one table slot per key up to
+/// the maximum), so the table a frame forces into existence is
+/// proportional to its largest key — a hostile frame naming key `2^60`
+/// would otherwise demand an exbi-scale allocation before any row
+/// semantics are checked. `2^28` keys (a 2 GiB table, far past any
+/// population this service addresses) keeps the worst case survivable
+/// while never rejecting a frame a real driver could produce.
+pub(crate) const MAX_FRAME_KEY: u64 = 1 << 28;
 
 /// Shard-uniform kernel parameters, derived once per tick from the
 /// service config. Every session on a shard runs the same configuration
@@ -741,7 +762,7 @@ impl Columns {
     fn init_fresh(&mut self, i: usize) {
         self.arrived[i] = 0.0;
         let mut h = HotState::EMPTY;
-        h.flags = F_LIVE;
+        h.flags = F_LIVE | F_DIRTY;
         self.hot[i] = h;
         self.hull[i].clear();
         self.pend_spill[i].clear();
@@ -876,58 +897,86 @@ impl Columns {
         self.stages[i] = StageLog::new();
     }
 
-    /// One Fig. 3 allocator step on slot `i` — `SingleSession::on_tick`
-    /// with the `HullLowTracker` and `HighTracker` pushes inlined over
-    /// the packed record and the ring arena: same float-op order, same
-    /// `crossed` / `next_power_of_two` helpers. Returns the allocation.
-    fn alg_step(&mut self, i: usize, arrivals: f64, p: &KernelParams) -> f64 {
+    /// The tracker-push phase of one Fig. 3 allocator step on a
+    /// stage-open slot: the `HullLowTracker` point push and the
+    /// `HighTracker` ring push, same float-op order as
+    /// `SingleSession::on_tick`. The hull *query* is deliberately not
+    /// here — it is hoisted into [`Columns::alg_hull_query`] — so this
+    /// phase is straight-line ring arithmetic the compiler can
+    /// vectorize once the sweep runs it as its own pass.
+    fn alg_track(&mut self, i: usize, arrivals: f64, p: &KernelParams) {
         let Columns {
             hot,
             hull,
             high_ring,
-            stages,
             ..
         } = self;
         let h = &mut hot[i];
+        debug_assert!(h.flags & F_STAGE_OPEN != 0, "tracker push on an open stage");
+        // Both trackers clamp identically; one shared clamp is the
+        // same value.
+        let a2 = arrivals.max(0.0);
+        // Low push: candidate window-start x = stage tick, P[x] =
+        // total so far; the query uses the post-arrival total.
+        hull_add_point(&mut hull[i], (h.stage_ticks as f64, h.low_total));
+        h.low_total += a2;
+        // High push: circular window of the last W arrivals. The
+        // running sum adds the new entry before subtracting the
+        // evicted one, exactly as the VecDeque form did.
+        let ring = &mut high_ring[i * p.w..(i + 1) * p.w];
+        if (h.high_len as usize) < p.w {
+            ring[h.high_len as usize] = a2;
+            h.high_len += 1;
+            h.high_window_sum += a2;
+        } else {
+            let idx = h.high_head as usize;
+            let old = ring[idx];
+            ring[idx] = a2;
+            h.high_head = if idx + 1 == p.w { 0 } else { (idx + 1) as u32 };
+            h.high_window_sum += a2;
+            h.high_window_sum -= old;
+            if h.high_window_sum < 0.0 {
+                h.high_window_sum = 0.0; // float-noise guard
+            }
+        }
+        // One shared stage clock: the two trackers advance in
+        // lockstep.
+        h.stage_ticks += 1;
+        // The full-window minimum merge reads only high-tracker fields,
+        // so folding it into this phase (ahead of the hull query it
+        // used to follow) cannot move a bit of either tracker.
+        if h.high_len as usize == p.w {
+            h.high_min_window_sum = h.high_min_window_sum.min(h.high_window_sum);
+        }
+    }
+
+    /// The hoisted hull query: the `HullLowTracker::max_slope` binary
+    /// search over slot `i`'s hull, merged into the running `low`
+    /// maximum — the one data-dependent, branchy part of the allocator
+    /// step, split out so the tracker-push phase stays vectorizable.
+    fn alg_hull_query(&mut self, i: usize, p: &KernelParams) {
+        let Columns { hot, hull, .. } = self;
+        let h = &mut hot[i];
+        let q = ((h.stage_ticks + p.d_o) as f64, h.low_total);
+        let candidate = hull_max_slope(&hull[i], q);
+        if candidate > h.low_low {
+            h.low_low = candidate;
+        }
+    }
+
+    /// The decision phase of one Fig. 3 allocator step on slot `i`:
+    /// certificate check, `B_on` ladder, link queue, and RESET reopen —
+    /// `SingleSession::on_tick` after the tracker pushes and the hull
+    /// query ([`Columns::alg_track`] / [`Columns::alg_hull_query`])
+    /// already ran this tick for stage-open slots. Returns the
+    /// allocation.
+    fn alg_decide(&mut self, i: usize, arrivals: f64, p: &KernelParams) -> f64 {
+        let Columns {
+            hot, hull, stages, ..
+        } = self;
+        let h = &mut hot[i];
         let alloc = if h.flags & F_STAGE_OPEN != 0 {
-            // Both trackers clamp identically; one shared clamp is the
-            // same value.
-            let a2 = arrivals.max(0.0);
-            // Low push: candidate window-start x = stage tick, P[x] =
-            // total so far; the query uses the post-arrival total.
-            hull_add_point(&mut hull[i], (h.stage_ticks as f64, h.low_total));
-            h.low_total += a2;
-            // High push: circular window of the last W arrivals. The
-            // running sum adds the new entry before subtracting the
-            // evicted one, exactly as the VecDeque form did.
-            let ring = &mut high_ring[i * p.w..(i + 1) * p.w];
-            if (h.high_len as usize) < p.w {
-                ring[h.high_len as usize] = a2;
-                h.high_len += 1;
-                h.high_window_sum += a2;
-            } else {
-                let idx = h.high_head as usize;
-                let old = ring[idx];
-                ring[idx] = a2;
-                h.high_head = if idx + 1 == p.w { 0 } else { (idx + 1) as u32 };
-                h.high_window_sum += a2;
-                h.high_window_sum -= old;
-                if h.high_window_sum < 0.0 {
-                    h.high_window_sum = 0.0; // float-noise guard
-                }
-            }
-            // One shared stage clock: the two trackers advance in
-            // lockstep.
-            h.stage_ticks += 1;
-            let q = ((h.stage_ticks + p.d_o) as f64, h.low_total);
-            let candidate = hull_max_slope(&hull[i], q);
-            if candidate > h.low_low {
-                h.low_low = candidate;
-            }
             let l = h.low_low;
-            if h.high_len as usize == p.w {
-                h.high_min_window_sum = h.high_min_window_sum.min(h.high_window_sum);
-            }
             let hi = if h.high_min_window_sum.is_infinite() {
                 p.b_max // grace: no full window constrains the offline yet
             } else {
@@ -1000,6 +1049,10 @@ impl Columns {
             ..
         } = self;
         let h = &mut hot[i];
+        // Every metered tick mutates the slot (clocks, rings, window
+        // sums), so the meter is the one mutation path that covers all
+        // live sessions.
+        h.flags |= F_DIRTY;
         if (allocation - h.current_alloc).abs() > EPS {
             h.changes += 1;
             h.current_alloc = allocation;
@@ -1195,6 +1248,29 @@ impl Columns {
     }
 }
 
+/// Slot `i`'s ring region as its (up to two) contiguous runs, oldest
+/// first — the columnar encoder's zero-copy view of a circular buffer.
+fn ring_slices<T>(ring: &[T], i: usize, w: usize, head: u32, len: u32) -> (&[T], &[T]) {
+    let region = &ring[i * w..(i + 1) * w];
+    let (head, len) = (head as usize, len as usize);
+    if head + len <= w {
+        (&region[head..head + len], &[])
+    } else {
+        let first = w - head;
+        (&region[head..], &region[..len - first])
+    }
+}
+
+/// Reusable scratch for [`ShardState::apply_frame`]'s validation pass, so
+/// applying a long incremental chain allocates the key tables once.
+#[derive(Default)]
+pub(crate) struct ApplyScratch {
+    /// `(key, row)` of the frame being validated, sorted by key.
+    keys: Vec<(u64, u32)>,
+    /// The frame's tombstones, sorted.
+    tombs: Vec<u64>,
+}
+
 /// The per-shard session store and tick loop.
 pub(crate) struct ShardState {
     shard: u64,
@@ -1215,6 +1291,12 @@ pub(crate) struct ShardState {
     /// retirement while shared clones once, then appends in place.
     retired: Arc<Vec<SessionMetrics>>,
     ticks: u64,
+    /// Keys removed (retired or forgotten) since the last checkpoint
+    /// frame was encoded — the tombstone list of the next incremental.
+    removed_since_checkpoint: Vec<u64>,
+    /// How many `retired` entries the last checkpoint frame already
+    /// carried; the next incremental ships only the suffix past this.
+    retired_base: usize,
 }
 
 impl ShardState {
@@ -1233,7 +1315,14 @@ impl ShardState {
             cols: Columns::default(),
             retired: Arc::new(Vec::new()),
             ticks: 0,
+            removed_since_checkpoint: Vec::new(),
+            retired_base: 0,
         }
+    }
+
+    /// Live sessions on this shard.
+    pub(crate) fn live_sessions(&self) -> usize {
+        self.sessions.len()
     }
 
     /// Ticks this shard has processed.
@@ -1243,7 +1332,9 @@ impl ShardState {
 
     /// Exports the full restorable state. Sessions are listed in slot
     /// order; group and member listings are sorted by id — identical event
-    /// histories checkpoint identically.
+    /// histories checkpoint identically. Retained as the reference
+    /// representation the columnar lockstep tests canonicalize through.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn checkpoint(&self) -> ShardStateCheckpoint {
         let sessions = self
             .sessions
@@ -1279,7 +1370,9 @@ impl ShardState {
     /// Rebuilds a shard from a checkpoint, bitwise. Sessions re-insert in
     /// checkpoint (slot) order, compacting slots to `0..n`; per-session
     /// dynamics are placement-independent, so the invariant view is
-    /// unaffected.
+    /// unaffected. Retained as the reference restore path the columnar
+    /// lockstep tests compare against.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub(crate) fn restore(shard: u64, cfg: &ServiceConfig, cp: &ShardStateCheckpoint) -> Self {
         let mut state = ShardState::new(shard, cfg);
         for s in &cp.sessions {
@@ -1305,8 +1398,466 @@ impl ShardState {
             state.group_index.insert(g.group, gslot);
         }
         state.retired = Arc::clone(&cp.retired);
+        state.retired_base = state.retired.len();
         state.ticks = cp.ticks;
         state
+    }
+
+    /// Encodes a columnar checkpoint frame ([`columnar::KIND_GENESIS`]
+    /// captures every live session; [`columnar::KIND_INCREMENTAL`] only
+    /// the sessions dirtied since the previous frame), appends it to
+    /// `out`, and advances the emission bookkeeping: dirty bits clear,
+    /// the tombstone list drains, and the retired cursor moves up.
+    /// Returns the number of session rows encoded.
+    pub(crate) fn encode_columnar(
+        &mut self,
+        kind: u8,
+        sink: &mut columnar::ColumnSink,
+        out: &mut Vec<u8>,
+    ) -> u64 {
+        sink.begin();
+        let w = self.window;
+        let mut encoded = 0u64;
+        {
+            let ShardState { sessions, cols, .. } = self;
+            for (slot, e) in sessions.iter() {
+                let i = slot.index as usize;
+                let h = &cols.hot[i];
+                if kind == columnar::KIND_INCREMENTAL && h.flags & F_DIRTY == 0 {
+                    continue;
+                }
+                encoded += 1;
+                let (group, member) = match &e.kind {
+                    SessionKind::Dedicated => (u64::MAX, 0),
+                    SessionKind::Pooled { group, member } => (*group, member.raw()),
+                };
+                sink.push_row(&columnar::RowRef {
+                    key: e.key,
+                    tenant: &e.tenant,
+                    flags: h.flags & !F_DIRTY,
+                    group,
+                    member,
+                    f64s: [
+                        h.shadow_backlog,
+                        h.current_alloc,
+                        h.peak_alloc,
+                        h.total_arrived,
+                        h.total_served,
+                        h.total_allocated,
+                        h.window_arrived,
+                        h.window_allocated,
+                        h.backlog,
+                        h.b_on,
+                        h.low_total,
+                        h.low_low,
+                        h.high_window_sum,
+                        h.high_min_window_sum,
+                        h.min_util,
+                        h.max_delay_exact,
+                    ],
+                    u64s: [
+                        h.alg_tick,
+                        h.stage_ticks,
+                        h.meter_ticks,
+                        h.changes,
+                        h.delay_tick,
+                        h.max_delay,
+                    ],
+                    hull: &cols.hull[i],
+                    high: ring_slices(&cols.high_ring, i, w, h.high_head, h.high_len),
+                    recent: ring_slices(&cols.recent_ring, i, w, h.recent_head, h.recent_len),
+                    pend: columnar::PendRows::Split {
+                        head: (h.pend_len > 0).then_some((h.pend_tick, h.pend_bits)),
+                        spill: cols.pend_spill[i].as_slices(),
+                    },
+                    stages: cols.stages[i].records(),
+                });
+            }
+        }
+        // Group state is tiny relative to the session columns, so every
+        // frame rewrites it wholesale (sorted by id, like
+        // [`ShardState::checkpoint`]) — apply never has to merge it.
+        let mut groups: Vec<GroupCheckpoint> = self
+            .groups
+            .iter()
+            .map(|(_, g)| {
+                let mut members: Vec<(u64, u64)> = g
+                    .by_member
+                    .iter()
+                    .map(|&(member, key, _)| (member.raw(), key))
+                    .collect();
+                members.sort_unstable();
+                GroupCheckpoint {
+                    group: g.group,
+                    pool: g.pool.checkpoint(),
+                    members,
+                }
+            })
+            .collect();
+        groups.sort_unstable_by_key(|g| g.group);
+        let hdr = columnar::FrameHeader {
+            kind,
+            ticks: self.ticks,
+            w: w as u32,
+            cost: self.cost,
+            b_max: self.single_cfg.b_max,
+            d_o: self.single_cfg.d_o as u64,
+            u_o: self.single_cfg.u_o,
+        };
+        let (tombs, retired): (&[u64], &[SessionMetrics]) = if kind == columnar::KIND_GENESIS {
+            (&[], &self.retired)
+        } else {
+            (
+                &self.removed_since_checkpoint,
+                &self.retired[self.retired_base..],
+            )
+        };
+        sink.finish(&hdr, &groups, tombs, retired, out);
+        // The chain now covers everything up to this instant.
+        for h in &mut self.cols.hot[..self.sessions.slot_bound()] {
+            if h.flags & F_LIVE != 0 {
+                h.flags &= !F_DIRTY;
+            }
+        }
+        self.removed_since_checkpoint.clear();
+        self.retired_base = self.retired.len();
+        encoded
+    }
+
+    /// Applies one parsed columnar frame. Validation runs in full before
+    /// any mutation — a hostile frame yields a typed `columnar.*` field
+    /// with the shard untouched; once mutation starts, nothing can fail.
+    ///
+    /// A genesis frame replaces the whole population (slots compact to
+    /// `0..n` in row order, like [`ShardState::restore`]); an incremental
+    /// frame removes the tombstoned keys, overwrites/inserts the carried
+    /// rows, and appends the retired suffix. Restored slots are *not*
+    /// marked dirty: the chain being applied already covers them.
+    ///
+    /// # Errors
+    ///
+    /// A `columnar.*` field name for `CtrlError::InvalidCheckpoint`.
+    pub(crate) fn apply_frame(
+        &mut self,
+        f: &columnar::RawFrame<'_>,
+        scratch: &mut ApplyScratch,
+    ) -> Result<(), &'static str> {
+        use crate::codec::columnar::{f64_at, pair_at, pend_at, stage_at, u32_at, u64_at};
+        let w = self.window;
+        // ---- validate: nothing below this block may touch state ----
+        if f.w as usize != w {
+            return Err("columnar.w");
+        }
+        let cfg = &self.single_cfg;
+        if f.cost.per_bandwidth_tick.to_bits() != self.cost.per_bandwidth_tick.to_bits()
+            || f.cost.per_change.to_bits() != self.cost.per_change.to_bits()
+            || f.b_max.to_bits() != cfg.b_max.to_bits()
+            || f.d_o != cfg.d_o as u64
+            || f.u_o.to_bits() != cfg.u_o.to_bits()
+        {
+            return Err("columnar.cfg");
+        }
+        let genesis = f.kind == columnar::KIND_GENESIS;
+        if genesis && !f.tombstones.is_empty() {
+            return Err("columnar.tombstones");
+        }
+        let rows = f.rows as usize;
+        let key_c = f.fixed(columnar::C_KEY)?;
+        let tenant_c = f.fixed(columnar::C_TENANT)?;
+        let flags_c = f.fixed(columnar::C_FLAGS)?;
+        let group_c = f.fixed(columnar::C_GROUP)?;
+        let member_c = f.fixed(columnar::C_MEMBER)?;
+        let mut f64_cs = Vec::with_capacity(16);
+        for j in 0..16 {
+            f64_cs.push(f.fixed(columnar::C_F64 + j)?);
+        }
+        let mut u64_cs = Vec::with_capacity(6);
+        for j in 0..6 {
+            u64_cs.push(f.fixed(columnar::C_U64 + j)?);
+        }
+        let hull_len_c = f.fixed(columnar::C_HULL_LEN)?;
+        let hull_c = f.col(columnar::C_HULL)?;
+        let high_len_c = f.fixed(columnar::C_HIGH_LEN)?;
+        let high_c = f.col(columnar::C_HIGH)?;
+        let recent_len_c = f.fixed(columnar::C_RECENT_LEN)?;
+        let recent_c = f.col(columnar::C_RECENT)?;
+        let pend_len_c = f.fixed(columnar::C_PEND_LEN)?;
+        let pend_c = f.col(columnar::C_PEND)?;
+        let stage_len_c = f.fixed(columnar::C_STAGE_LEN)?;
+        let stage_c = f.col(columnar::C_STAGES)?;
+        // Ragged bodies must account for exactly the sum of the per-row
+        // run lengths — a mismatched cursor would smear rows together.
+        for (len_c, body_c) in [
+            (hull_len_c, hull_c),
+            (high_len_c, high_c),
+            (recent_len_c, recent_c),
+            (pend_len_c, pend_c),
+            (stage_len_c, stage_c),
+        ] {
+            let total: u64 = (0..rows).map(|r| u64::from(u32_at(len_c, r))).sum();
+            if total != u64::from(body_c.count) {
+                return Err("columnar.ragged");
+            }
+        }
+        const KNOWN: u32 = F_LIVE | F_DEDICATED | F_LEAVING | F_STAGE_OPEN;
+        scratch.keys.clear();
+        for r in 0..rows {
+            // The key index is direct-mapped — one table slot per key up
+            // to the maximum — so an astronomical key in a hostile frame
+            // would translate straight into an astronomical allocation.
+            if u64_at(key_c, r) >= MAX_FRAME_KEY {
+                return Err("columnar.key");
+            }
+            if u32_at(high_len_c, r) as usize > w || u32_at(recent_len_c, r) as usize > w {
+                return Err("columnar.ring");
+            }
+            let flags = u32_at(flags_c, r);
+            if flags & !KNOWN != 0 || flags & F_LIVE == 0 {
+                return Err("columnar.flags");
+            }
+            let dedicated = flags & F_DEDICATED != 0;
+            if dedicated != (u64_at(group_c, r) == u64::MAX)
+                || (!dedicated && flags & F_STAGE_OPEN != 0)
+            {
+                return Err("columnar.flags");
+            }
+            if u32_at(tenant_c, r) as usize >= f.strings.len() {
+                return Err("columnar.tenant");
+            }
+            scratch.keys.push((u64_at(key_c, r), r as u32));
+        }
+        scratch.keys.sort_unstable();
+        if scratch.keys.windows(2).any(|p| p[0].0 == p[1].0) {
+            return Err("columnar.keys"); // overlapping dirty rows
+        }
+        scratch.tombs.clear();
+        scratch.tombs.extend_from_slice(&f.tombstones);
+        scratch.tombs.sort_unstable();
+        for &(key, r) in &scratch.keys {
+            if scratch.tombs.binary_search(&key).is_ok() {
+                return Err("columnar.keys"); // a row cannot also be removed
+            }
+            if !genesis {
+                // An incremental row overwriting a live session must keep
+                // its kind — sessions never convert in place.
+                if let Some(e) = self.index.get(key).and_then(|s| self.sessions.get(s)) {
+                    let row_group = u64_at(group_c, r as usize);
+                    let stable = match &e.kind {
+                        SessionKind::Dedicated => row_group == u64::MAX,
+                        SessionKind::Pooled { group, member } => {
+                            row_group == *group && u64_at(member_c, r as usize) == member.raw()
+                        }
+                    };
+                    if !stable {
+                        return Err("columnar.kind");
+                    }
+                }
+            }
+        }
+        if !f.groups.windows(2).all(|g| g[0].group < g[1].group) {
+            return Err("columnar.groups");
+        }
+        for g in &f.groups {
+            // Group ids feed the same direct-mapped index as session keys.
+            if g.group >= MAX_FRAME_KEY {
+                return Err("columnar.key");
+            }
+            if !g.members.windows(2).all(|m| m[0].0 < m[1].0) {
+                return Err("columnar.groups");
+            }
+            for &(member, key) in &g.members {
+                // Every listed member must resolve to a session that is
+                // live after the frame applies, pooled into exactly this
+                // (group, member) — from the frame's rows, or (for an
+                // incremental) already on the shard and not tombstoned.
+                match scratch.keys.binary_search_by_key(&key, |&(k, _)| k) {
+                    Ok(pos) => {
+                        let r = scratch.keys[pos].1 as usize;
+                        if u64_at(group_c, r) != g.group || u64_at(member_c, r) != member {
+                            return Err("columnar.groups");
+                        }
+                    }
+                    Err(_) => {
+                        if genesis || scratch.tombs.binary_search(&key).is_ok() {
+                            return Err("columnar.groups");
+                        }
+                        let resident = self
+                            .index
+                            .get(key)
+                            .and_then(|s| self.sessions.get(s))
+                            .is_some_and(|e| {
+                                matches!(&e.kind, SessionKind::Pooled { group, member: m }
+                                    if *group == g.group && m.raw() == member)
+                            });
+                        if !resident {
+                            return Err("columnar.groups");
+                        }
+                    }
+                }
+            }
+        }
+        for r in 0..rows {
+            // ... and conversely, every pooled row must be listed by its
+            // group, or the rebuilt pool would silently drop it.
+            let group = u64_at(group_c, r);
+            if group == u64::MAX {
+                continue;
+            }
+            let Ok(gi) = f.groups.binary_search_by_key(&group, |g| g.group) else {
+                return Err("columnar.groups");
+            };
+            let members = &f.groups[gi].members;
+            let listed = members
+                .binary_search_by_key(&u64_at(member_c, r), |&(m, _)| m)
+                .is_ok_and(|pos| members[pos].1 == u64_at(key_c, r));
+            if !listed {
+                return Err("columnar.groups");
+            }
+        }
+        // ---- mutate: infallible from here on ----
+        if genesis {
+            self.index.clear();
+            self.sessions.clear();
+            self.group_index.clear();
+            self.groups.clear();
+            self.sessions.reserve(rows);
+            self.cols.grow_to(rows, w);
+        } else {
+            for &key in &f.tombstones {
+                // Unknown keys are fine: the removal may have raced a
+                // retirement this shard already processed.
+                if let Some(slot) = self.index.remove(key) {
+                    if self.sessions.remove(slot).is_some() {
+                        self.cols.clear_slot(slot.index as usize);
+                    }
+                }
+            }
+        }
+        let frame_tenants: Vec<Arc<str>> = f.strings.iter().map(|&s| Arc::from(s)).collect();
+        let (mut hull_off, mut high_off, mut recent_off, mut pend_off, mut stage_off) =
+            (0usize, 0usize, 0usize, 0usize, 0usize);
+        for r in 0..rows {
+            let key = u64_at(key_c, r);
+            let flags = u32_at(flags_c, r);
+            let group = u64_at(group_c, r);
+            let leaving = flags & F_LEAVING != 0;
+            let slot = match self.index.get(key) {
+                Some(slot) => {
+                    let e = self
+                        .sessions
+                        .get_mut(slot)
+                        .expect("the index maps only to live slots");
+                    e.leaving = leaving;
+                    slot
+                }
+                None => {
+                    let kind = if group == u64::MAX {
+                        SessionKind::Dedicated
+                    } else {
+                        SessionKind::Pooled {
+                            group,
+                            member: PoolSessionId::from_raw(u64_at(member_c, r)),
+                        }
+                    };
+                    let tenant = Arc::clone(&frame_tenants[u32_at(tenant_c, r) as usize]);
+                    self.insert_entry(key, tenant, leaving, kind)
+                }
+            };
+            let i = slot.index as usize;
+            let hull_n = u32_at(hull_len_c, r) as usize;
+            let high_n = u32_at(high_len_c, r) as usize;
+            let recent_n = u32_at(recent_len_c, r) as usize;
+            let pend_n = u32_at(pend_len_c, r) as usize;
+            let stage_n = u32_at(stage_len_c, r) as usize;
+            let cols = &mut self.cols;
+            cols.arrived[i] = 0.0;
+            cols.keys[i] = key;
+            let mut h = HotState::EMPTY;
+            h.flags = flags;
+            h.shadow_backlog = f64_at(f64_cs[0], r);
+            h.current_alloc = f64_at(f64_cs[1], r);
+            h.peak_alloc = f64_at(f64_cs[2], r);
+            h.total_arrived = f64_at(f64_cs[3], r);
+            h.total_served = f64_at(f64_cs[4], r);
+            h.total_allocated = f64_at(f64_cs[5], r);
+            h.window_arrived = f64_at(f64_cs[6], r);
+            h.window_allocated = f64_at(f64_cs[7], r);
+            h.backlog = f64_at(f64_cs[8], r);
+            h.b_on = f64_at(f64_cs[9], r);
+            h.low_total = f64_at(f64_cs[10], r);
+            h.low_low = f64_at(f64_cs[11], r);
+            h.high_window_sum = f64_at(f64_cs[12], r);
+            h.high_min_window_sum = f64_at(f64_cs[13], r);
+            h.min_util = f64_at(f64_cs[14], r);
+            h.max_delay_exact = f64_at(f64_cs[15], r);
+            h.alg_tick = u64_at(u64_cs[0], r);
+            h.stage_ticks = u64_at(u64_cs[1], r);
+            h.meter_ticks = u64_at(u64_cs[2], r);
+            h.changes = u64_at(u64_cs[3], r);
+            h.delay_tick = u64_at(u64_cs[4], r);
+            h.max_delay = u64_at(u64_cs[5], r);
+            // Rings land at head = 0, exactly how the encoder read them.
+            for j in 0..high_n {
+                cols.high_ring[i * w + j] = f64_at(high_c, high_off + j);
+            }
+            h.high_len = high_n as u32;
+            for j in 0..recent_n {
+                cols.recent_ring[i * w + j] = pair_at(recent_c, recent_off + j);
+            }
+            h.recent_len = recent_n as u32;
+            let hull = &mut cols.hull[i];
+            hull.clear();
+            hull.extend((0..hull_n).map(|j| pair_at(hull_c, hull_off + j)));
+            let spill = &mut cols.pend_spill[i];
+            spill.clear();
+            h.pend_len = pend_n as u32;
+            if pend_n > 0 {
+                let (t0, b0) = pend_at(pend_c, pend_off);
+                h.pend_tick = t0;
+                h.pend_bits = b0;
+                spill.extend((1..pend_n).map(|j| pend_at(pend_c, pend_off + j)));
+            }
+            cols.stages[i]
+                .restore_from_iter((0..stage_n).map(|j| stage_at(stage_c, stage_off + j)));
+            cols.hot[i] = h;
+            hull_off += hull_n;
+            high_off += high_n;
+            recent_off += recent_n;
+            pend_off += pend_n;
+            stage_off += stage_n;
+        }
+        // Groups: full overwrite from the frame, every member validated
+        // above to resolve.
+        self.group_index.clear();
+        self.groups.clear();
+        for g in &f.groups {
+            let by_member = g
+                .members
+                .iter()
+                .map(|&(member, key)| {
+                    let slot = self
+                        .index
+                        .get(key)
+                        .expect("validated: member sessions are live after the frame");
+                    (PoolSessionId::from_raw(member), key, slot)
+                })
+                .collect();
+            let gslot = self.groups.insert(GroupEntry {
+                group: g.group,
+                pool: SessionPool::restore(&g.pool),
+                by_member,
+            });
+            self.group_index.insert(g.group, gslot);
+        }
+        let retired = Arc::make_mut(&mut self.retired);
+        if genesis {
+            retired.clear();
+        }
+        retired.extend(f.retired.iter().cloned());
+        self.ticks = f.ticks;
+        self.retired_base = self.retired.len();
+        self.removed_since_checkpoint.clear();
+        Ok(())
     }
 
     pub(crate) fn handle_event(&mut self, event: Event) {
@@ -1375,6 +1926,7 @@ impl ShardState {
         // Only dedicated sessions are exported, so no group bookkeeping.
         if self.sessions.remove(slot).is_some() {
             self.cols.clear_slot(slot.index as usize);
+            self.removed_since_checkpoint.push(key);
         }
     }
 
@@ -1386,6 +1938,13 @@ impl ShardState {
             return; // only dedicated sessions migrate
         }
         self.insert_restored(cp);
+        // A migrated-in session is new to this shard's checkpoint chain;
+        // a crash restore ([`ShardState::restore`]) deliberately does
+        // *not* set the bit — restored state is already captured by the
+        // chain being restored from.
+        if let Some(slot) = self.index.get(cp.key) {
+            self.cols.hot[slot.index as usize].flags |= F_DIRTY;
+        }
     }
 
     /// The shard-uniform kernel parameters, derived from the service
@@ -1490,7 +2049,7 @@ impl ShardState {
             return;
         }
         entry.leaving = true;
-        self.cols.hot[slot.index as usize].flags |= F_LEAVING;
+        self.cols.hot[slot.index as usize].flags |= F_LEAVING | F_DIRTY;
         let pooled = match &entry.kind {
             SessionKind::Pooled { group, member } => Some((*group, *member)),
             // Nothing to tell the allocator; the session now receives zero
@@ -1589,6 +2148,20 @@ impl ShardState {
         // Dedicated pass: one allocator step and one meter step per
         // session, in slot order, straight over the columns. The flags
         // column alone selects the slots — the identity slab stays cold.
+        // The allocator step is split into phase functions — the
+        // tracker pushes ([`Columns::alg_track`], straight-line ring
+        // arithmetic with the hull query hoisted out, so the phase is
+        // vectorizable), the hull query, and the branchy decision — but
+        // the sweep drives all phases per slot in one fused loop:
+        // separate per-phase passes re-stream the hot column (a
+        // measured 10–20 % tick-throughput loss at 10k–100k sessions,
+        // even tiled over cache-sized blocks), so the pass split waits
+        // for an actual vectorized tracker phase to pay for it. Slots
+        // are independent across the phases and per-slot float-op order
+        // is unchanged from the unsplit step, so the function split is
+        // bitwise-invisible (the lockstep proptest against the
+        // entry-based oracle holds it).
+        const OPEN: u32 = F_DEDICATED | F_STAGE_OPEN;
         for i in 0..bound {
             let f = cols.hot[i].flags;
             if f & F_DEDICATED == 0 {
@@ -1599,7 +2172,11 @@ impl ShardState {
             } else {
                 cols.arrived[i]
             };
-            let alloc = cols.alg_step(i, arrived, &p);
+            if f & OPEN == OPEN {
+                cols.alg_track(i, arrived, &p);
+                cols.alg_hull_query(i, &p);
+            }
+            let alloc = cols.alg_decide(i, arrived, &p);
             cols.meter_record(i, arrived, alloc, &p);
             if f & F_LEAVING != 0 && cols.hot[i].shadow_backlog <= EPS {
                 to_retire.push(cols.keys[i]);
@@ -1641,6 +2218,7 @@ impl ShardState {
             .metrics(i, entry.key, entry.tenant, self.shard, self.cost);
         self.cols.clear_slot(i);
         Arc::make_mut(&mut self.retired).push(metrics);
+        self.removed_since_checkpoint.push(key);
     }
 
     pub(crate) fn report(&self) -> ShardReport {
@@ -1698,6 +2276,9 @@ pub(crate) struct WorkerCtx {
     pub msgs: crossbeam::channel::Sender<WorkerMsg>,
     /// Checkpoint cadence in ticks (0 = never).
     pub checkpoint_every: u64,
+    /// Genesis cadence in checkpoints (every `full_every`-th emission is
+    /// a full frame; always ≥ 1).
+    pub full_every: u64,
     /// Replayable events already applied to the state at spawn (the
     /// journal replay baseline).
     pub events_base: u64,
@@ -1728,9 +2309,11 @@ pub(crate) fn run_worker(
     state.epoch = ctx.epoch;
     let mut events_applied = ctx.events_base;
     let mut fault = ctx.fault;
-    // Checkpoint encode buffer, reused across captures: steady-state
-    // checkpointing allocates only the shipped `Arc<[u8]>`.
+    // Checkpoint encode buffer and pooled column sink, reused across
+    // captures: steady-state checkpointing allocates only the shipped
+    // `Arc<[u8]>`.
     let mut cp_buf: Vec<u8> = Vec::new();
+    let mut cp_sink = columnar::ColumnSink::new();
     while let Ok(event) = rx.recv() {
         if ctx.cancel.load(Ordering::Acquire) {
             return;
@@ -1781,12 +2364,24 @@ pub(crate) fn run_worker(
                     && ctx.checkpoint_every > 0
                     && state.ticks().is_multiple_of(ctx.checkpoint_every)
                 {
+                    // The genesis cadence keys on the shard clock, not a
+                    // per-worker counter, so it is stable across restarts
+                    // (a replacement worker's incrementals chain onto the
+                    // frames the driver already holds).
+                    let emit_no = state.ticks() / ctx.checkpoint_every;
+                    let kind = if ctx.full_every <= 1 || emit_no.is_multiple_of(ctx.full_every) {
+                        columnar::KIND_GENESIS
+                    } else {
+                        columnar::KIND_INCREMENTAL
+                    };
                     cp_buf.clear();
-                    crate::codec::checkpoint::encode(&state.checkpoint(), &mut cp_buf);
+                    let sessions = state.encode_columnar(kind, &mut cp_sink, &mut cp_buf);
                     let _ = ctx.msgs.send(WorkerMsg::Checkpoint(ShardCheckpoint {
                         shard: state.shard,
                         epoch: ctx.epoch,
                         events_applied,
+                        kind,
+                        sessions,
                         bytes: cp_buf.as_slice().into(),
                     }));
                 }
@@ -2191,7 +2786,12 @@ mod tests {
         let mut sink = 0.0f64;
         for r in 0..rounds {
             for i in 0..n {
-                sink += cols.alg_step(i, ((r as usize + i) % 5) as f64, &p);
+                let a = ((r as usize + i) % 5) as f64;
+                if cols.hot[i].flags & F_STAGE_OPEN != 0 {
+                    cols.alg_track(i, a, &p);
+                    cols.alg_hull_query(i, &p);
+                }
+                sink += cols.alg_decide(i, a, &p);
             }
         }
         let alg_elapsed = started.elapsed();
@@ -2568,5 +3168,101 @@ mod tests {
             prop_assert_eq!(soa_report.live, oracle_report.live);
             prop_assert_eq!(soa_report.retired.as_ref(), oracle_report.retired.as_ref());
         }
+
+        /// The columnar chain against the full v1 codec: a mirror shard
+        /// fed only (genesis + dirty incremental) frames must stay
+        /// bitwise-identical to the live shard it mirrors, session for
+        /// session. Slot placement may diverge (the mirror compacts in
+        /// frame-row order), so both sides are compared through their
+        /// key-sorted canonical checkpoints — still a per-float bitwise
+        /// comparison, just order-insensitive. Every dedicated session is
+        /// also round-tripped through the single-row migration frame.
+        #[test]
+        fn columnar_chain_matches_full_checkpoint(
+            ops in proptest::collection::vec(op_strategy(), 1..40),
+            full_every in 1u64..5,
+        ) {
+            let cfg = shard_cfg();
+            let mut live = ShardState::new(0, &cfg);
+            let mut mirror = ShardState::new(0, &cfg);
+            let mut sink = columnar::ColumnSink::new();
+            let mut scratch = ApplyScratch::default();
+            let mut buf = Vec::new();
+            let mut keys: Vec<u64> = Vec::new();
+            let mut next_key = 0u64;
+            let mut next_group = 0u64;
+            let mut tick_no = 0u64;
+            for (frame_no, op) in ops.iter().enumerate() {
+                match op {
+                    Op::JoinDedicated => {
+                        live.join_dedicated(next_key, "acme".into());
+                        keys.push(next_key);
+                        next_key += 1;
+                    }
+                    Op::JoinGroup(n) => {
+                        let members: Vec<u64> = (0..*n as u64).map(|j| next_key + j).collect();
+                        live.join_group(next_group, "globex".into(), &members);
+                        keys.extend_from_slice(&members);
+                        next_key += *n as u64;
+                        next_group += 1;
+                    }
+                    Op::Leave(i) => {
+                        if !keys.is_empty() {
+                            live.leave(keys[i % keys.len()]);
+                        }
+                    }
+                    Op::Ticks(n, seed) => {
+                        for _ in 0..*n {
+                            let arrivals: Vec<(u64, f64)> = keys
+                                .iter()
+                                .enumerate()
+                                .map(|(j, &k)| {
+                                    let lcg = (*seed as u64 + tick_no * 31 + j as u64 * 7) % 5;
+                                    (k, lcg as f64 * 0.75)
+                                })
+                                .collect();
+                            live.tick(&arrivals);
+                            tick_no += 1;
+                        }
+                    }
+                }
+                let kind = if (frame_no as u64).is_multiple_of(full_every) {
+                    columnar::KIND_GENESIS
+                } else {
+                    columnar::KIND_INCREMENTAL
+                };
+                buf.clear();
+                live.encode_columnar(kind, &mut sink, &mut buf);
+                let frame = columnar::parse(&buf).expect("own frames parse");
+                mirror.apply_frame(&frame, &mut scratch).expect("own frames apply");
+                prop_assert_eq!(canonical_bytes(&live), canonical_bytes(&mirror));
+            }
+            // The v1 restore of the mirrored state is equivalent too.
+            let restored = ShardState::restore(0, &cfg, &mirror.checkpoint());
+            prop_assert_eq!(canonical_bytes(&live), canonical_bytes(&restored));
+            // Migration frames: every session round-trips bitwise through
+            // the single-row column slice.
+            for s in &live.checkpoint().sessions {
+                buf.clear();
+                columnar::encode_session_frame(s, &mut sink, &mut buf);
+                let frame = columnar::parse(&buf).expect("migration frame parses");
+                let rt = columnar::session_from_frame(&frame).expect("migration frame lands");
+                let (mut a, mut b) = (Vec::new(), Vec::new());
+                crate::codec::checkpoint::encode_session(s, &mut a);
+                crate::codec::checkpoint::encode_session(&rt, &mut b);
+                prop_assert_eq!(a, b);
+            }
+        }
+    }
+
+    /// Both shards' full state, key-sorted and v1-encoded: the bitwise
+    /// yardstick for chain-vs-full comparisons (slot order is placement,
+    /// not state).
+    fn canonical_bytes(state: &ShardState) -> Vec<u8> {
+        let mut cp = state.checkpoint();
+        cp.sessions.sort_by_key(|s| s.key);
+        let mut out = Vec::new();
+        crate::codec::checkpoint::encode(&cp, &mut out);
+        out
     }
 }

@@ -73,6 +73,25 @@ impl<T> Slab<T> {
         self.entries.len()
     }
 
+    /// Vacates every slot, keeping the entry table's allocation. The
+    /// result is indistinguishable from a fresh slab (generations restart
+    /// at 0; the next inserts fill slots `0..n` densely), so any handle
+    /// issued before the clear must also be discarded — the genesis
+    /// restore path clears its `KeyMap` and group tables in the same
+    /// breath.
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+        self.free.clear();
+        self.len = 0;
+    }
+
+    /// Pre-grows the entry table to hold `n` slots without reallocation —
+    /// the genesis-restore path sizes the slab once for the whole
+    /// population before inserting.
+    pub(crate) fn reserve(&mut self, n: usize) {
+        self.entries.reserve(n.saturating_sub(self.entries.len()));
+    }
+
     /// Inserts, reusing the most recently freed slot if any.
     pub(crate) fn insert(&mut self, value: T) -> SlotId {
         self.len += 1;
@@ -176,6 +195,12 @@ const NIL: SlotId = SlotId {
 impl KeyMap {
     pub(crate) fn new() -> Self {
         KeyMap { slots: Vec::new() }
+    }
+
+    /// Drops every mapping, keeping the table's allocation. Keys are
+    /// never reissued, so clearing cannot introduce ABA hazards.
+    pub(crate) fn clear(&mut self) {
+        self.slots.clear();
     }
 
     /// Maps `key` to `slot`, growing the table as needed.

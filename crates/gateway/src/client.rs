@@ -400,6 +400,30 @@ impl Client {
         }
     }
 
+    /// Pulls the columnar checkpoint frames retained for `shard` since
+    /// `cursor` (v5): returns the cursor to resume from and the frames,
+    /// oldest first, each as `(kind, payload)` with kind 0 a genesis and
+    /// kind 1 an incremental. Feed the payloads in order to a
+    /// [`cdba_ctrl::CheckpointMirror`] built with the server's service
+    /// config to maintain a passive replica of the shard.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for an out-of-range shard.
+    #[allow(clippy::type_complexity)]
+    pub fn checkpoint_delta_bin(
+        &mut self,
+        shard: u32,
+        cursor: u64,
+    ) -> Result<(u64, Vec<(u8, Vec<u8>)>), ClientError> {
+        match self.request(|id| Frame::CheckpointDeltaBin { id, shard, cursor })? {
+            Frame::CheckpointDeltaBinOk { cursor, frames, .. } => Ok((cursor, frames)),
+            other => Err(ClientError::Protocol(format!(
+                "expected checkpoint-delta-bin-ok: {other:?}"
+            ))),
+        }
+    }
+
     /// Buffers arrivals for the next committed tick; returns the total
     /// number now staged gateway-wide.
     ///

@@ -42,7 +42,13 @@ pub const MAGIC: [u8; 4] = *b"CDBG";
 /// processes) and draining ([`Frame::Drain`], which lists migratable
 /// sessions and makes the process refuse new joins with
 /// [`ErrorCode::Draining`]).
-pub const VERSION: u8 = 4;
+/// Version 5 adds the checkpoint subscription frames
+/// ([`Frame::CheckpointDeltaBin`] / [`Frame::CheckpointDeltaBinOk`]):
+/// a cursor-chained pull of the columnar checkpoint frames the driver
+/// retains for one shard, which a
+/// [`CheckpointMirror`](cdba_ctrl::CheckpointMirror) replays into a
+/// passive replica.
+pub const VERSION: u8 = 5;
 
 /// The oldest protocol version the server still accepts in a handshake.
 pub const MIN_VERSION: u8 = 1;
@@ -306,6 +312,21 @@ pub enum Frame {
         /// The session checkpoint blob, verbatim from the revoke.
         bytes: Vec<u8>,
     },
+    /// Pull the columnar checkpoint frames retained for one shard since
+    /// `cursor` (v5). The first request uses cursor 0; every reply
+    /// carries the cursor to resume from, so a subscriber polls its way
+    /// along the chain and pays only for frames it has not seen.
+    CheckpointDeltaBin {
+        /// Request id.
+        id: u64,
+        /// The shard whose checkpoint chain to read.
+        shard: u32,
+        /// The cursor from the previous reply (0 from the beginning). A
+        /// cursor older than the retained chain is answered with the
+        /// whole chain, whose first frame is a genesis — applying it
+        /// resets the subscriber's mirror cleanly.
+        cursor: u64,
+    },
     /// Put the process in draining mode (v4): new joins are refused with
     /// [`ErrorCode::Draining`] while existing sessions keep ticking, and
     /// the reply lists every migratable (dedicated) session so the
@@ -410,6 +431,18 @@ pub enum Frame {
         id: u64,
         /// The key the session resumed under on this process.
         key: u64,
+    },
+    /// Response to [`Frame::CheckpointDeltaBin`] (v5).
+    CheckpointDeltaBinOk {
+        /// Echoed request id.
+        id: u64,
+        /// Cursor to pass on the next pull; equal to the request's
+        /// cursor when no new frames were retained.
+        cursor: u64,
+        /// The frames since the request's cursor, oldest first: the
+        /// frame kind (0 genesis, 1 incremental) and the columnar
+        /// payload, verbatim as the shard worker emitted it.
+        frames: Vec<(u8, Vec<u8>)>,
     },
     /// Response to [`Frame::Drain`] (v4).
     DrainOk {
@@ -538,6 +571,8 @@ const K_ERROR: u8 = 0x3F;
 const K_LEASE_REVOKE: u8 = 0x40;
 const K_LEASE_GRANT: u8 = 0x41;
 const K_DRAIN: u8 = 0x42;
+const K_CHECKPOINT_DELTA_BIN: u8 = 0x43;
+const K_CHECKPOINT_DELTA_BIN_OK: u8 = 0x2E;
 
 fn put_string(buf: &mut BytesMut, s: &str) {
     buf.put_u32_le(s.len() as u32);
@@ -651,6 +686,22 @@ pub fn encode(frame: &Frame) -> Bytes {
         Frame::Drain { id } => {
             payload.put_u8(K_DRAIN);
             payload.put_u64_le(*id);
+        }
+        Frame::CheckpointDeltaBin { id, shard, cursor } => {
+            payload.put_u8(K_CHECKPOINT_DELTA_BIN);
+            payload.put_u64_le(*id);
+            payload.put_u32_le(*shard);
+            payload.put_u64_le(*cursor);
+        }
+        Frame::CheckpointDeltaBinOk { id, cursor, frames } => {
+            payload.put_u8(K_CHECKPOINT_DELTA_BIN_OK);
+            payload.put_u64_le(*id);
+            payload.put_u64_le(*cursor);
+            payload.put_u32_le(frames.len() as u32);
+            for (kind, bytes) in frames {
+                payload.put_u8(*kind);
+                put_bytes(&mut payload, bytes);
+            }
         }
         Frame::Goodbye { id } => {
             payload.put_u8(K_GOODBYE);
@@ -940,6 +991,22 @@ pub fn decode_payload(payload: Bytes) -> Result<Frame, ProtoError> {
             bytes: r.bytes()?,
         },
         K_DRAIN => Frame::Drain { id: r.u64()? },
+        K_CHECKPOINT_DELTA_BIN => Frame::CheckpointDeltaBin {
+            id: r.u64()?,
+            shard: r.u32()?,
+            cursor: r.u64()?,
+        },
+        K_CHECKPOINT_DELTA_BIN_OK => {
+            let id = r.u64()?;
+            let cursor = r.u64()?;
+            let count = r.u32()? as usize;
+            let mut frames = Vec::new();
+            for _ in 0..count {
+                let kind = r.u8()?;
+                frames.push((kind, r.bytes()?));
+            }
+            Frame::CheckpointDeltaBinOk { id, cursor, frames }
+        }
         K_LEASE_REVOKED => Frame::LeaseRevoked {
             id: r.u64()?,
             epoch: r.u64()?,
@@ -1056,6 +1123,7 @@ pub fn reply_id(frame: &Frame) -> Option<u64> {
         | Frame::LeaseRevoked { id, .. }
         | Frame::LeaseGranted { id, .. }
         | Frame::DrainOk { id, .. }
+        | Frame::CheckpointDeltaBinOk { id, .. }
         | Frame::SubscribeOk { id }
         | Frame::GoodbyeOk { id } => Some(*id),
         _ => None,
@@ -1124,6 +1192,16 @@ mod tests {
             bytes: vec![1, 0, 9],
         });
         roundtrip(Frame::Drain { id: 28 });
+        roundtrip(Frame::CheckpointDeltaBin {
+            id: 29,
+            shard: 1,
+            cursor: 12,
+        });
+        roundtrip(Frame::CheckpointDeltaBinOk {
+            id: 29,
+            cursor: 14,
+            frames: vec![(0, vec![2, 0, 7]), (1, vec![])],
+        });
         roundtrip(Frame::LeaseRevoked {
             id: 26,
             epoch: 2,

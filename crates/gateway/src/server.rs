@@ -718,7 +718,8 @@ impl Core {
             | Frame::SubscribeBatch { .. }
             | Frame::LeaseRevoke { .. }
             | Frame::LeaseGrant { .. }
-            | Frame::Drain { .. }) => {
+            | Frame::Drain { .. }
+            | Frame::CheckpointDeltaBin { .. }) => {
                 let version = conn.version;
                 self.service
                     .handle(conn_id, version, request, &mut self.out);

@@ -242,6 +242,17 @@ impl ServiceCore {
                     Some(self.drain(id))
                 }
             }
+            Frame::CheckpointDeltaBin { id, shard, cursor } => {
+                if version < 5 {
+                    Some(Frame::Error {
+                        id,
+                        code: ErrorCode::Proto,
+                        message: "checkpoint-delta-bin requires protocol version 5".into(),
+                    })
+                } else {
+                    Some(self.checkpoint_delta_bin(id, shard, cursor))
+                }
+            }
             Frame::Subscribe { id, every } => Some(self.subscribe(conn, id, every, 1)),
             Frame::SubscribeBatch { id, every, batch } => {
                 if version < 3 {
@@ -348,6 +359,23 @@ impl ServiceCore {
                 self.leases.insert(key, epoch);
                 Frame::LeaseGranted { id, key }
             }
+            Err(e) => ctrl_error(id, &e),
+        }
+    }
+
+    /// Answers a checkpoint pull: the columnar frames retained for
+    /// `shard` past the subscriber's cursor, verbatim (`Arc`-shared with
+    /// the driver's chain until the wire encode copies them out).
+    fn checkpoint_delta_bin(&mut self, id: u64, shard: u32, cursor: u64) -> Frame {
+        match self.plane.checkpoint_frames_since(shard as usize, cursor) {
+            Ok((cursor, frames)) => Frame::CheckpointDeltaBinOk {
+                id,
+                cursor,
+                frames: frames
+                    .into_iter()
+                    .map(|(kind, bytes)| (kind, bytes.to_vec()))
+                    .collect(),
+            },
             Err(e) => ctrl_error(id, &e),
         }
     }

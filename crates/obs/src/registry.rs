@@ -690,9 +690,7 @@ ticks_total{shard=\"1\"} 1
 
     fn text_lines_named(text: &str, name: &str) -> usize {
         text.lines()
-            .filter(|l| {
-                !l.starts_with('#') && l.split(['{', ' ']).next() == Some(name)
-            })
+            .filter(|l| !l.starts_with('#') && l.split(['{', ' ']).next() == Some(name))
             .count()
     }
 }

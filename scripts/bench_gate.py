@@ -5,6 +5,10 @@ All files are JSON. A file either carries a ``results`` list (the
 ``BENCH_gateway.json`` / ``BENCH_ctrl.json`` shape), from which entries
 are picked with ``--select key=value``, or it is a single flat object
 (the ``cdba-cli serve --summary`` shape) read as the entry directly.
+``--list NAME`` reads a different top-level list (e.g. the ``checkpoint``
+section of ``BENCH_ctrl.json``); ``--lower-better`` flips the regression
+direction for latency/size metrics, failing when
+``measured > baseline * (1 + tolerance)``.
 
 Three modes:
 
@@ -70,22 +74,22 @@ def load_baseline(path):
         sys.exit(0)
 
 
-def entries(doc):
-    return doc["results"] if "results" in doc else [doc]
+def entries(doc, list_name="results"):
+    return doc[list_name] if list_name in doc else [doc]
 
 
-def pick_entry(doc, selects, path):
-    if "results" not in doc:
+def pick_entry(doc, selects, path, list_name="results"):
+    if list_name not in doc:
         return doc  # a flat summary *is* the entry; selectors address lists
     matches = [
         entry
-        for entry in entries(doc)
+        for entry in entries(doc, list_name)
         if all(str(entry.get(key)) == value for key, value in selects)
     ]
     if len(matches) != 1:
         raise SystemExit(
             f"{path}: selector {selects!r} matched {len(matches)} of "
-            f"{len(entries(doc))} results (need exactly 1)"
+            f"{len(entries(doc, list_name))} results (need exactly 1)"
         )
     return matches[0]
 
@@ -97,7 +101,16 @@ def parse_kv(raw, parser, flag):
     return (key, value)
 
 
-def gate_pair(label, baseline, measured, metric, tolerance):
+def gate_pair(label, baseline, measured, metric, tolerance, lower_better=False):
+    if lower_better:
+        ceiling = baseline * (1.0 + tolerance)
+        ok = measured <= ceiling
+        print(
+            f"{label}{metric}: baseline {baseline:.1f}, measured {measured:.1f}, "
+            f"ceiling {ceiling:.1f} (tolerance {tolerance:.0%}) -> "
+            f"{'ok' if ok else 'REGRESSION'}"
+        )
+        return ok
     floor = baseline * (1.0 - tolerance)
     verdict = "ok" if measured >= floor else "REGRESSION"
     print(
@@ -122,10 +135,11 @@ def run_matrix(args, keys):
         )
         return True
     index = {
-        tuple(str(entry.get(k)) for k in keys): entry for entry in entries(base_doc)
+        tuple(str(entry.get(k)) for k in keys): entry
+        for entry in entries(base_doc, args.list)
     }
     gated, ok = 0, True
-    for entry in entries(meas_doc):
+    for entry in entries(meas_doc, args.list):
         ident = tuple(str(entry.get(k)) for k in keys)
         base = index.get(ident)
         if base is None:
@@ -135,7 +149,7 @@ def run_matrix(args, keys):
         label = f"[{'/'.join(ident)}] "
         ok &= gate_pair(
             label, float(base[args.metric]), float(entry[args.metric]),
-            args.metric, args.tolerance,
+            args.metric, args.tolerance, args.lower_better,
         )
     if gated == 0:
         # The baseline predates this bench's rows (new matrix axis, new
@@ -160,10 +174,12 @@ def run_exceeds(args, parser):
         return True
     selects = [parse_kv(raw, parser, "--select") for raw in args.select]
     fast = pick_entry(
-        doc, selects + [parse_kv(args.exceeds, parser, "--exceeds")], args.baseline
+        doc, selects + [parse_kv(args.exceeds, parser, "--exceeds")],
+        args.baseline, args.list,
     )
     slow = pick_entry(
-        doc, selects + [parse_kv(args.over, parser, "--over")], args.baseline
+        doc, selects + [parse_kv(args.over, parser, "--over")],
+        args.baseline, args.list,
     )
     fast_v, slow_v = float(fast[args.metric]), float(slow[args.metric])
     verdict = "ok" if fast_v > slow_v else "INVERSION LOST"
@@ -202,6 +218,18 @@ def main():
     )
     parser.add_argument("--over", metavar="KEY=VALUE")
     parser.add_argument(
+        "--list",
+        default="results",
+        metavar="NAME",
+        help="read this top-level list instead of results (e.g. checkpoint)",
+    )
+    parser.add_argument(
+        "--lower-better",
+        action="store_true",
+        help="regression direction for latency/size metrics: fail when "
+        "measured exceeds baseline * (1 + tolerance)",
+    )
+    parser.add_argument(
         "--min-cores",
         type=int,
         default=2,
@@ -223,12 +251,18 @@ def main():
             parser.error("regression gate needs BASELINE and MEASURED")
         selects = [parse_kv(raw, parser, "--select") for raw in args.select]
         baseline = float(
-            pick_entry(load_baseline(args.baseline), selects, args.baseline)[args.metric]
+            pick_entry(
+                load_baseline(args.baseline), selects, args.baseline, args.list
+            )[args.metric]
         )
         measured = float(
-            pick_entry(load(args.measured), selects, args.measured)[args.metric]
+            pick_entry(load(args.measured), selects, args.measured, args.list)[
+                args.metric
+            ]
         )
-        ok = gate_pair("", baseline, measured, args.metric, args.tolerance)
+        ok = gate_pair(
+            "", baseline, measured, args.metric, args.tolerance, args.lower_better
+        )
 
     if not ok:
         sys.exit(1)

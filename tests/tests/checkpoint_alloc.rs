@@ -1,0 +1,103 @@
+//! Allocation accounting for the warm columnar-decode path.
+//!
+//! The columnar checkpoint codec's restore-side claim is that a frame
+//! decodes *into* the mirror's preallocated slab columns: once a mirror
+//! has absorbed a genesis frame at a given population, re-applying a
+//! frame performs a small constant number of heap allocations (frame
+//! parse scaffolding and the per-frame tenant table) and **zero
+//! allocations proportional to the session count**. This file pins that
+//! with a counting global allocator: the warm-apply allocation count at
+//! 8× the population must match the count at 1× — any per-session
+//! allocation on the decode path would scale the delta by thousands.
+//!
+//! The counting allocator is process-global, so this file holds exactly
+//! one `#[test]` — integration tests compile per-file, which keeps the
+//! counter isolated from the rest of the suite.
+
+use cdba_ctrl::{CheckpointMirror, CheckpointProbe, ServiceConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Heap allocations observed process-wide (alloc + realloc + zeroed).
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter is a relaxed atomic
+// with no side effects on allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn cfg() -> ServiceConfig {
+    ServiceConfig::builder(65_536.0)
+        .session_b_max(16.0)
+        .group_b_o(8.0)
+        .offline_delay(4)
+        .window(8)
+        .build()
+        .unwrap()
+}
+
+/// Allocations performed by one warm re-apply of a genesis frame at the
+/// given population. The first two applies are untimed: the cold one
+/// builds the slab, the second settles any lazily grown scratch so the
+/// measured pass is pure steady state.
+fn warm_apply_allocs(sessions: usize) -> u64 {
+    let cfg = cfg();
+    let mut probe = CheckpointProbe::new(&cfg);
+    probe.populate(sessions);
+    probe.tick(4);
+    let mut frame = Vec::new();
+    probe.encode(true, &mut frame);
+
+    let mut mirror = CheckpointMirror::new(&cfg);
+    mirror.apply(&frame).expect("cold apply populates the slab");
+    mirror.apply(&frame).expect("second apply settles scratch");
+
+    let before = ALLOCS.load(Ordering::Relaxed);
+    mirror.apply(&frame).expect("warm apply");
+    let count = ALLOCS.load(Ordering::Relaxed) - before;
+
+    assert_eq!(mirror.live_sessions(), sessions);
+    count
+}
+
+#[test]
+fn warm_decode_allocations_do_not_scale_with_population() {
+    let small = warm_apply_allocs(1_024);
+    let large = warm_apply_allocs(8_192);
+
+    // Per-frame scaffolding (parse-time column table, the 16-entry
+    // tenant table) is allowed; anything per-session would put the
+    // large count thousands of allocations above the small one.
+    assert!(
+        large <= small + 16,
+        "warm decode allocates per session: {small} allocs at 1k sessions, \
+         {large} at 8k"
+    );
+    assert!(
+        small < 256,
+        "warm decode scaffolding should be a small constant, got {small}"
+    );
+}

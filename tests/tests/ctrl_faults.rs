@@ -108,6 +108,82 @@ fn kill_before_any_checkpoint_recovers_via_journal_alone() {
     assert!(faulted.events_replayed > 0);
 }
 
+/// The journal and the dirty bitmap must agree. Chain replay rebuilds a
+/// killed shard *without* setting dirty bits (restored rows are clean by
+/// construction), so every journaled mutation replayed on top must
+/// re-dirty the rows it touches — otherwise the replacement worker's next
+/// incremental checkpoint silently omits them and a *second* restore
+/// diverges. The second restore is forced mid-run with
+/// [`ControlPlane::restart_shard`], and the final snapshot must stay
+/// bitwise-identical to the clean run.
+#[test]
+fn journal_replay_re_dirties_sessions_for_the_next_incremental() {
+    fn run(fault: Option<FaultPlan>, restart_at: Option<u64>) -> ServiceSnapshot {
+        let mut builder = ServiceConfig::builder(4096.0)
+            .session_b_max(B_MAX)
+            .group_b_o(B_O)
+            .offline_delay(D_O)
+            .window(2 * D_O)
+            .shards(2)
+            .exec(ExecMode::Threaded)
+            .checkpoint_every(16)
+            // Emissions: incr@16, incr@32, genesis@48, incr@64, incr@80,
+            // genesis@96, incr@112.
+            .checkpoint_full_every(3)
+            .max_restarts(3);
+        if let Some(plan) = fault {
+            builder = builder.fault(plan);
+        }
+        let mut service = ControlPlane::new(builder.build().unwrap());
+        let mut live: Vec<u64> = Vec::new();
+        for i in 0..6 {
+            live.push(service.admit(["acme", "globex"][i % 2]).unwrap());
+        }
+        for t in 0..TICKS {
+            // Between-checkpoint churn right after incr@64: the swap sits
+            // in the journal the rebuild replays, and its replay must
+            // re-dirty the touched rows for incr@80 to carry them.
+            if t == 65 {
+                let gone = live.remove(0);
+                service.leave(gone).unwrap();
+                live.push(service.admit("globex").unwrap());
+            }
+            if restart_at == Some(t) {
+                service.restart_shard(1).expect("operator restart");
+            }
+            let arrivals: Vec<(u64, f64)> = live
+                .iter()
+                .enumerate()
+                .map(|(i, &key)| (key, ((t + 3 * i as u64) % 5) as f64))
+                .collect();
+            service.tick(&arrivals).unwrap();
+        }
+        let snapshot = service.snapshot().expect("no shard is permanently down");
+        service.shutdown();
+        snapshot
+    }
+
+    let clean = run(None, None);
+    // Kill shard 1 when it is about to process tick 66: the retained
+    // chain is [genesis@48, incr@64] and the journal holds the tick-65
+    // swap. At tick 90 the rebuilt shard — whose incr@80 was encoded from
+    // a journal-replayed state — is restored a second time from that very
+    // incremental.
+    let faulted = run(Some(FaultPlan::kill(1, 66)), Some(90));
+    assert_eq!(
+        clean.invariant_view(),
+        faulted.invariant_view(),
+        "a checkpoint chain crossing two restores must lose no mutation"
+    );
+    assert_eq!(
+        faulted.restarts, 2,
+        "the injected kill plus the operator-requested restart"
+    );
+    assert!(faulted.events_replayed > 0);
+    assert!(faulted.health[1].healthy, "the shard came back twice");
+    assert_eq!(clean.restarts, 0);
+}
+
 #[test]
 fn hung_shard_is_detected_and_replaced() {
     let mut builder = ServiceConfig::builder(4096.0)

@@ -6,7 +6,10 @@
 
 use cdba_analysis::cost::CostModel;
 use cdba_bench::replay::{run_replay, ReplaySpec};
-use cdba_ctrl::{ControlPlane, ExecMode, FaultPlan, GlobalMetrics, ServiceConfig, SessionMetrics};
+use cdba_ctrl::{
+    CheckpointMirror, ControlPlane, ExecMode, FaultPlan, GlobalMetrics, ServiceConfig,
+    SessionMetrics,
+};
 use cdba_gateway::client::Client;
 use cdba_gateway::proto::{self, encode, ErrorCode, Frame};
 use cdba_gateway::{GatewayConfig, GatewayServer};
@@ -747,6 +750,86 @@ fn subscriber_dropped_mid_batch_leaves_no_stuck_push_state() {
     assert_eq!(wire.connections_harvested, 1);
     drop(sub); // the harvested connection was dead all along
     server.shutdown().expect("shutdown");
+}
+
+/// Wire-v5 checkpoint subscription: a client pulls the retained columnar
+/// frame chain over TCP and replays it into a passive
+/// [`CheckpointMirror`], then resumes from the returned cursor and gets
+/// only the frames emitted since. A cursor older than the retained chain
+/// resyncs from the genesis frame the chain starts with.
+#[test]
+fn checkpoint_delta_bin_feeds_a_passive_mirror() {
+    let spec = small_spec();
+    let cfg = spec
+        .service_builder(spec.default_budget())
+        .shards(1)
+        .cost(CostModel::with_change_price(1.0))
+        .exec(ExecMode::Threaded)
+        .checkpoint_every(8)
+        .checkpoint_full_every(2)
+        .build()
+        .expect("valid test config");
+    let mirror_cfg = cfg.clone();
+    let server = quick_gateway(cfg);
+    let mut client = Client::connect(server.local_addr()).expect("client connects");
+
+    let mut keys = Vec::new();
+    for s in 0..10 {
+        keys.push(client.join(&format!("tenant-{}", s % 3)).expect("join"));
+    }
+    for _ in 0..20 {
+        client.tick(&[(keys[0], 2.0)]).expect("tick");
+    }
+    // A snapshot round-trips a Collect through each worker, which the
+    // worker processes after any checkpoint it emitted — so the frames
+    // from ticks 8 and 16 are drainable once this returns.
+    client.snapshot().expect("sync snapshot");
+
+    // checkpoint_every=8, full_every=2: tick 8 emits an incremental,
+    // tick 16 a genesis that resets the chain — so the first pull sees
+    // exactly one genesis frame.
+    let (cursor, frames) = client.checkpoint_delta_bin(0, 0).expect("first pull");
+    assert_eq!(frames.len(), 1, "genesis emission reset the chain");
+    assert_eq!(frames[0].0, 0, "chain starts with a genesis frame");
+    let mut mirror = CheckpointMirror::new(&mirror_cfg);
+    for (_, bytes) in &frames {
+        mirror.apply(bytes).expect("frame applies");
+    }
+    assert_eq!(mirror.ticks(), 16, "mirror is at the genesis tick");
+    assert_eq!(mirror.live_sessions(), 10);
+
+    // Eight more ticks emit one incremental (tick 24); resuming from the
+    // cursor fetches only that frame and advances the mirror.
+    for _ in 0..8 {
+        client.tick(&[(keys[1], 1.0)]).expect("tick");
+    }
+    client.snapshot().expect("sync snapshot");
+    let (cursor2, frames) = client.checkpoint_delta_bin(0, cursor).expect("resume pull");
+    assert_eq!(frames.len(), 1, "only the new frame since the cursor");
+    assert_eq!(frames[0].0, 1, "the new frame is an incremental");
+    mirror.apply(&frames[0].1).expect("incremental applies");
+    assert_eq!(mirror.ticks(), 24);
+    assert_eq!(mirror.live_sessions(), 10);
+
+    // Caught up: pulling again from the new cursor returns nothing.
+    let (cursor3, frames) = client.checkpoint_delta_bin(0, cursor2).expect("idle pull");
+    assert_eq!(cursor3, cursor2);
+    assert!(frames.is_empty(), "no frames when caught up");
+
+    // A cursor older than the retained chain gets the whole chain, which
+    // starts with a genesis — a stale mirror resyncs from scratch.
+    let (_, frames) = client.checkpoint_delta_bin(0, 0).expect("stale pull");
+    assert_eq!(frames.len(), 2);
+    assert_eq!(frames[0].0, 0, "resync starts at the genesis frame");
+    let mut resync = CheckpointMirror::new(&mirror_cfg);
+    for (_, bytes) in &frames {
+        resync.apply(bytes).expect("resync frame applies");
+    }
+    assert_eq!(resync.ticks(), mirror.ticks());
+    assert_eq!(resync.live_sessions(), mirror.live_sessions());
+
+    client.goodbye().expect("clean goodbye");
+    server.shutdown().expect("graceful shutdown");
 }
 
 #[test]
