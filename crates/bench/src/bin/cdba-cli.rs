@@ -109,6 +109,7 @@ usage: cdba-cli <command> [options]
            [--json FILE]
            [--summary FILE] [--fault SHARD@TICK:<kill|hang:MS|delay:MS>]
            [--checkpoint-every N] [--max-restarts R] [--shard-timeout-ms MS]
+           [--kernel-threads K]
   gateway  [--addr HOST:PORT] [--workers N] [--service-queue N]
            [--idle-timeout-ms MS] [--metrics-addr HOST:PORT]
            + every `serve` service/workload flag (the workload flags fix
@@ -500,6 +501,7 @@ fn service_config_from_flags(
     let checkpoint_every: u64 = get_parse(flags, "checkpoint-every", 64)?;
     let max_restarts: u32 = get_parse(flags, "max-restarts", 3)?;
     let shard_timeout_ms: u64 = get_parse(flags, "shard-timeout-ms", 2000)?;
+    let kernel_threads: usize = get_parse(flags, "kernel-threads", 1)?;
     let fault: Option<FaultPlan> = match flags.get("fault") {
         Some(raw) => Some(raw.parse()?),
         None => None,
@@ -514,7 +516,8 @@ fn service_config_from_flags(
         .exec(exec)
         .checkpoint_every(checkpoint_every)
         .max_restarts(max_restarts)
-        .shard_timeout_ms(shard_timeout_ms);
+        .shard_timeout_ms(shard_timeout_ms)
+        .kernel_threads(kernel_threads);
     if let Some(plan) = fault {
         builder = builder.fault(plan);
     }
@@ -822,6 +825,7 @@ fn fleet_child_args(spec: &ReplaySpec, flags: &HashMap<String, String>) -> Vec<S
         "checkpoint-every",
         "max-restarts",
         "shard-timeout-ms",
+        "kernel-threads",
         "workers",
         "service-queue",
         "idle-timeout-ms",

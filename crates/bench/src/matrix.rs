@@ -24,7 +24,7 @@ use std::time::Instant;
 
 /// One benchmarked service configuration.
 pub struct TickCase {
-    /// Stable row label, e.g. `threaded/s4/d4`.
+    /// Stable row label, e.g. `threaded/s4/d4` or `inline/s1/k2`.
     pub label: &'static str,
     /// Shard count.
     pub shards: usize,
@@ -32,6 +32,8 @@ pub struct TickCase {
     pub exec: ExecMode,
     /// Pipeline depth (dispatched-but-unacked ticks in flight).
     pub depth: u32,
+    /// Intra-shard kernel threads (1 = sequential sweep).
+    pub kernel_threads: usize,
 }
 
 /// The standard benchmarked configurations *for this host*: the inline
@@ -47,26 +49,49 @@ pub fn tick_cases() -> Vec<TickCase> {
         shards: 1,
         exec: ExecMode::Inline,
         depth: 1,
+        kernel_threads: 1,
     }];
     if host_cores() > 1 {
         cases.extend([
+            // The kernel-thread axis: the same inline single-shard
+            // workload with the slot range swept by 2 and 4 worker
+            // threads. Like the threaded rows, the scaling claim (more
+            // kernel threads must not be slower at scale) only means
+            // something on parallel hardware.
+            TickCase {
+                label: "inline/s1/k2",
+                shards: 1,
+                exec: ExecMode::Inline,
+                depth: 1,
+                kernel_threads: 2,
+            },
+            TickCase {
+                label: "inline/s1/k4",
+                shards: 1,
+                exec: ExecMode::Inline,
+                depth: 1,
+                kernel_threads: 4,
+            },
             TickCase {
                 label: "threaded/s1/d4",
                 shards: 1,
                 exec: ExecMode::Threaded,
                 depth: 4,
+                kernel_threads: 1,
             },
             TickCase {
                 label: "threaded/s4/d1",
                 shards: 4,
                 exec: ExecMode::Threaded,
                 depth: 1,
+                kernel_threads: 1,
             },
             TickCase {
                 label: "threaded/s4/d4",
                 shards: 4,
                 exec: ExecMode::Threaded,
                 depth: 4,
+                kernel_threads: 1,
             },
         ]);
     }
@@ -75,6 +100,7 @@ pub fn tick_cases() -> Vec<TickCase> {
         shards: 4,
         exec: ExecMode::Adaptive,
         depth: 4,
+        kernel_threads: 1,
     });
     cases
 }
@@ -109,6 +135,7 @@ pub fn tick_service(case: &TickCase, sessions: usize) -> (ControlPlane, Vec<u64>
         .shards(case.shards)
         .exec(case.exec)
         .pipeline_depth(case.depth)
+        .kernel_threads(case.kernel_threads)
         .build()
         .expect("valid service config");
     let mut service = ControlPlane::new(cfg);
@@ -157,6 +184,8 @@ pub struct TickMeasurement {
     pub exec: &'static str,
     /// Pipeline depth.
     pub depth: u32,
+    /// Intra-shard kernel threads.
+    pub kernel_threads: usize,
     /// Measured ticks.
     pub ticks: u64,
     /// Wall-clock seconds for the measured pass.
@@ -174,6 +203,7 @@ impl TickMeasurement {
             "shards": self.shards,
             "exec": self.exec,
             "pipeline_depth": self.depth,
+            "kernel_threads": self.kernel_threads,
             "ticks": self.ticks,
             "elapsed_sec": self.elapsed_sec,
             "ticks_per_sec": self.ticks_per_sec,
@@ -215,6 +245,7 @@ pub fn measure_cell(
             ExecMode::Adaptive => "adaptive",
         },
         depth: case.depth,
+        kernel_threads: case.kernel_threads,
         ticks: measured,
         elapsed_sec: elapsed,
         ticks_per_sec,
@@ -442,6 +473,19 @@ mod tests {
             host_cores() > 1,
             "threaded rows appear exactly on multi-core hosts"
         );
+        assert_eq!(
+            labels.iter().any(|l| l.contains("/k")),
+            host_cores() > 1,
+            "kernel-thread rows appear exactly on multi-core hosts"
+        );
+        for case in &cases {
+            assert_eq!(
+                case.label.contains("/k"),
+                case.kernel_threads > 1,
+                "label {} carries its kernel-thread suffix",
+                case.label
+            );
+        }
     }
 
     #[test]

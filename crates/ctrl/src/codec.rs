@@ -1135,9 +1135,9 @@ pub(crate) mod columnar {
     pub(crate) type RingHalves<'a, T> = (&'a [T], &'a [T]);
 
     /// The delay-FIFO source of one encoded row. The shard keeps the FIFO
-    /// head inline in `HotState` with the tail spilled to a `VecDeque`;
-    /// a `SessionCheckpoint` keeps one flat list. Both feed the same
-    /// `pend` column.
+    /// head inline in the pend columns with the tail spilled to a
+    /// `VecDeque`; a `SessionCheckpoint` keeps one flat list. Both feed
+    /// the same `pend` column.
     pub(crate) enum PendRows<'a> {
         /// Inline head + the spill deque's two contiguous halves.
         Split {
@@ -1148,9 +1148,13 @@ pub(crate) mod columnar {
         Flat(&'a [(usize, f64)]),
     }
 
-    /// One session row, borrowed from wherever the state lives (slab
-    /// columns or a `SessionCheckpoint`) — the shared input of the shard
-    /// checkpoint path and the single-session migration path. Rings are
+    /// One session row's identity and ragged state, borrowed from
+    /// wherever it lives (slab columns or a `SessionCheckpoint`) — the
+    /// shared input of the shard checkpoint path and the single-session
+    /// migration path. The 22 fixed scalar cells are *not* here: they
+    /// stream column-major via [`ColumnSink::put_f64_col`] /
+    /// [`ColumnSink::put_u64_col`] straight from the shard's per-field
+    /// columns (or per cell, for the one-row migration path). Rings are
     /// `(first, second)` contiguous halves so the encoder never
     /// materializes a session-sized temporary.
     pub(crate) struct RowRef<'a> {
@@ -1162,10 +1166,6 @@ pub(crate) mod columnar {
         pub group: u64,
         /// Raw pool member id; 0 for dedicated sessions.
         pub member: u64,
-        /// The 16 `HotState` f64 scalars, declaration order.
-        pub f64s: [f64; 16],
-        /// The 6 `HotState` u64 counters, declaration order.
-        pub u64s: [u64; 6],
         pub hull: &'a [(f64, f64)],
         pub high: RingHalves<'a, f64>,
         pub recent: RingHalves<'a, (f64, f64)>,
@@ -1230,7 +1230,10 @@ pub(crate) mod columnar {
             i
         }
 
-        /// Appends one session row across all columns.
+        /// Appends one session row's identity and ragged columns; the
+        /// fixed scalar columns stream separately
+        /// ([`ColumnSink::put_f64_col`] and friends), one column at a
+        /// time.
         pub(crate) fn push_row(&mut self, r: &RowRef<'_>) {
             self.rows += 1;
             let tenant = self.intern(r.tenant);
@@ -1239,12 +1242,6 @@ pub(crate) mod columnar {
             put_u32(&mut self.bufs[C_FLAGS], r.flags);
             put_u64(&mut self.bufs[C_GROUP], r.group);
             put_u64(&mut self.bufs[C_MEMBER], r.member);
-            for (j, &v) in r.f64s.iter().enumerate() {
-                put_f64(&mut self.bufs[C_F64 + j], v);
-            }
-            for (j, &v) in r.u64s.iter().enumerate() {
-                put_u64(&mut self.bufs[C_U64 + j], v);
-            }
             put_u32(&mut self.bufs[C_HULL_LEN], r.hull.len() as u32);
             for &(x, y) in r.hull {
                 put_f64(&mut self.bufs[C_HULL], x);
@@ -1291,6 +1288,43 @@ pub(crate) mod columnar {
                 );
                 self.bufs[C_STAGES].push(stage_kind_tag(rec.kind));
             }
+        }
+
+        /// Streams `src[i]` for every listed slot into fixed column
+        /// `col` — the shard's column-major scalar encode: one
+        /// sequential append pass per column, straight from the
+        /// per-field slab column, no per-row gather through a packed
+        /// record.
+        pub(crate) fn put_f64_col(&mut self, col: usize, src: &[f64], idx: &[u32]) {
+            debug_assert_eq!(SPECS[col].1, T_F64);
+            let buf = &mut self.bufs[col];
+            buf.reserve(idx.len() * 8);
+            for &i in idx {
+                buf.extend_from_slice(&src[i as usize].to_bits().to_le_bytes());
+            }
+        }
+
+        /// [`ColumnSink::put_f64_col`] for a u64 column.
+        pub(crate) fn put_u64_col(&mut self, col: usize, src: &[u64], idx: &[u32]) {
+            debug_assert_eq!(SPECS[col].1, T_U64);
+            let buf = &mut self.bufs[col];
+            buf.reserve(idx.len() * 8);
+            for &i in idx {
+                buf.extend_from_slice(&src[i as usize].to_le_bytes());
+            }
+        }
+
+        /// Appends one f64 cell to fixed column `col` — the one-row
+        /// migration frame's scalar path.
+        pub(crate) fn put_f64_cell(&mut self, col: usize, v: f64) {
+            debug_assert_eq!(SPECS[col].1, T_F64);
+            put_f64(&mut self.bufs[col], v);
+        }
+
+        /// Appends one u64 cell to fixed column `col`.
+        pub(crate) fn put_u64_cell(&mut self, col: usize, v: u64) {
+            debug_assert_eq!(SPECS[col].1, T_U64);
+            put_u64(&mut self.bufs[col], v);
         }
 
         /// Assembles the frame: header, tenant table, schema + column
@@ -1625,14 +1659,18 @@ pub(crate) mod columnar {
             flags,
             group,
             member,
-            f64s,
-            u64s,
             hull,
             high: (high, &[]),
             recent: (&m.recent, &[]),
             pend: PendRows::Flat(&m.delay.pending),
             stages,
         });
+        for (j, &v) in f64s.iter().enumerate() {
+            sink.put_f64_cell(C_F64 + j, v);
+        }
+        for (j, &v) in u64s.iter().enumerate() {
+            sink.put_u64_cell(C_U64 + j, v);
+        }
         sink.finish(
             &FrameHeader {
                 kind: KIND_GENESIS,

@@ -79,6 +79,14 @@ pub struct ServiceConfig {
     /// tick before dispatching the next; deeper pipelines overlap tick
     /// `N+1`'s dispatch with tick `N`'s execution. Must be ≥ 1.
     pub pipeline_depth: u32,
+    /// How many threads sweep one shard's slot range inside a tick (≥ 1).
+    /// `1` runs the kernel sequentially on the driving thread; higher
+    /// values split the range into that many fixed chunks swept by a
+    /// reusable per-shard worker pool with a fixed-order reduction, so
+    /// results are bitwise-identical across thread counts. Applies to
+    /// every execution backend (each threaded shard worker drives its own
+    /// kernel pool).
+    pub kernel_threads: usize,
     /// An injected fault for the supervision test harness; `None` in
     /// production. Threaded mode only.
     pub fault: Option<FaultPlan>,
@@ -103,6 +111,7 @@ impl ServiceConfig {
             max_restarts: 3,
             shard_timeout_ms: 2000,
             pipeline_depth: 4,
+            kernel_threads: 1,
             fault: None,
         }
     }
@@ -153,6 +162,7 @@ pub struct ServiceConfigBuilder {
     max_restarts: u32,
     shard_timeout_ms: u64,
     pipeline_depth: u32,
+    kernel_threads: usize,
     fault: Option<FaultPlan>,
 }
 
@@ -245,6 +255,13 @@ impl ServiceConfigBuilder {
         self
     }
 
+    /// Sets how many threads sweep one shard's slot range inside a tick.
+    /// Default 1 (sequential kernel).
+    pub fn kernel_threads(mut self, threads: usize) -> Self {
+        self.kernel_threads = threads;
+        self
+    }
+
     /// Injects a fault plan for the supervision test harness. Default none.
     pub fn fault(mut self, fault: FaultPlan) -> Self {
         self.fault = Some(fault);
@@ -299,6 +316,11 @@ impl ServiceConfigBuilder {
                 "checkpoint_full_every must be at least 1".into(),
             ));
         }
+        if self.kernel_threads == 0 {
+            return Err(CtrlError::InvalidService(
+                "kernel threads must be at least 1".into(),
+            ));
+        }
         if let Some(fault) = &self.fault {
             // Adaptive starts inline and may never escalate, so a fault
             // plan (which arms on the initial worker) cannot be honoured.
@@ -338,6 +360,7 @@ impl ServiceConfigBuilder {
             max_restarts: self.max_restarts,
             shard_timeout_ms: self.shard_timeout_ms,
             pipeline_depth: self.pipeline_depth,
+            kernel_threads: self.kernel_threads,
             fault: self.fault,
         })
     }
@@ -413,6 +436,10 @@ mod tests {
         ));
         assert!(matches!(
             ServiceConfig::builder(64.0).pipeline_depth(0).build(),
+            Err(CtrlError::InvalidService(_))
+        ));
+        assert!(matches!(
+            ServiceConfig::builder(64.0).kernel_threads(0).build(),
             Err(CtrlError::InvalidService(_))
         ));
     }

@@ -167,10 +167,14 @@ struct AdaptiveExec {
     /// Host parallelism, sampled once at construction. On one core the
     /// threaded backend can only lose, so escalation is disabled.
     cores: usize,
+    /// The configured intra-shard kernel thread count: those threads
+    /// already occupy cores during every inline tick, so escalation to
+    /// one worker per shard only helps when cores remain beyond them.
+    kernel_threads: usize,
 }
 
 impl AdaptiveExec {
-    fn new() -> Self {
+    fn new(kernel_threads: usize) -> Self {
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
@@ -178,6 +182,7 @@ impl AdaptiveExec {
             ewma_ns: 0.0,
             observed: 0,
             cores,
+            kernel_threads,
         }
     }
 
@@ -194,7 +199,7 @@ impl AdaptiveExec {
         self.observed >= ADAPTIVE_WARMUP_TICKS
             && self.ewma_ns > ADAPTIVE_ESCALATE_NS
             && shards > 1
-            && self.cores > 1
+            && self.cores > self.kernel_threads
     }
 }
 
@@ -397,7 +402,8 @@ impl ControlPlane {
         };
         let admission = Mutex::new(AdmissionController::new(cfg.budget, cfg.default_quota));
         let routes = vec![Vec::new(); cfg.shards];
-        let adaptive = (cfg.exec == ExecMode::Adaptive).then(AdaptiveExec::new);
+        let adaptive =
+            (cfg.exec == ExecMode::Adaptive).then(|| AdaptiveExec::new(cfg.kernel_threads));
         ControlPlane {
             cfg,
             admission,
@@ -1721,6 +1727,19 @@ mod tests {
             .unwrap()
     }
 
+    fn config_k(shards: usize, exec: ExecMode, threads: usize) -> ServiceConfig {
+        ServiceConfig::builder(1024.0)
+            .session_b_max(16.0)
+            .group_b_o(8.0)
+            .offline_delay(4)
+            .window(4)
+            .shards(shards)
+            .exec(exec)
+            .kernel_threads(threads)
+            .build()
+            .unwrap()
+    }
+
     /// A deterministic churn scenario driven against any service.
     fn run_scenario(mut service: ControlPlane) -> ServiceSnapshot {
         let mut live: Vec<u64> = Vec::new();
@@ -1980,6 +1999,102 @@ mod tests {
         let snapshot = service.snapshot().unwrap();
         service.shutdown();
         assert_eq!(baseline, snapshot, "escalation changed results");
+    }
+
+    /// The kernel-thread knob is bitwise-invisible end to end on a clean
+    /// run: full snapshots (not just the invariant view) agree across
+    /// `kernel_threads` 1/2/4 × inline/threaded exec.
+    #[test]
+    fn kernel_threads_matrix_agrees_on_clean_runs() {
+        let baseline = run_scenario(ControlPlane::new(config(2, ExecMode::Inline)));
+        for threads in [2usize, 4] {
+            for exec in [ExecMode::Inline, ExecMode::Threaded] {
+                let snap = run_scenario(ControlPlane::new(config_k(2, exec, threads)));
+                assert_eq!(
+                    baseline, snap,
+                    "clean run diverged at {threads} kernel threads ({exec:?})"
+                );
+            }
+        }
+    }
+
+    /// A shard kill and recovery replay cannot observe the thread count:
+    /// the recovered run's invariant view is identical at 1/2/4 kernel
+    /// threads.
+    #[test]
+    fn kernel_threads_matrix_agrees_across_shard_kill() {
+        let run = |threads: usize| {
+            let cfg = ServiceConfig::builder(1024.0)
+                .session_b_max(16.0)
+                .group_b_o(8.0)
+                .offline_delay(4)
+                .window(4)
+                .shards(2)
+                .exec(ExecMode::Threaded)
+                .checkpoint_every(8)
+                .fault(FaultPlan::kill(0, 50))
+                .kernel_threads(threads)
+                .build()
+                .unwrap();
+            run_scenario(ControlPlane::new(cfg)).invariant_view()
+        };
+        let base = run(1);
+        assert_eq!(base, run(2), "kill recovery diverged at 2 kernel threads");
+        assert_eq!(base, run(4), "kill recovery diverged at 4 kernel threads");
+    }
+
+    /// Drain-and-migrate runs cannot observe the thread count either: a
+    /// session exported mid-run and imported into a second plane while
+    /// another session drains out leaves both planes' invariant views
+    /// identical at 1/2/4 kernel threads.
+    #[test]
+    fn kernel_threads_matrix_agrees_across_drain_and_migrate() {
+        let tick_all = |plane: &mut ControlPlane, live: &[u64], t: u64| {
+            let arrivals: Vec<(u64, f64)> = live
+                .iter()
+                .enumerate()
+                .map(|(i, &key)| (key, ((t + i as u64) % 4) as f64))
+                .collect();
+            plane.tick(&arrivals).unwrap();
+        };
+        let run = |threads: usize| {
+            let mut src = ControlPlane::new(config_k(1, ExecMode::Inline, threads));
+            let mut dst = ControlPlane::new(config_k(1, ExecMode::Inline, threads));
+            let keys: Vec<u64> = (0..4).map(|_| src.admit("acme").unwrap()).collect();
+            let group = src.admit_group("globex", 3).unwrap();
+            let mut live: Vec<u64> = keys.iter().chain(group.iter()).copied().collect();
+            for t in 0..60u64 {
+                tick_all(&mut src, &live, t);
+            }
+            // One session drains out while another migrates over.
+            src.leave(keys[0]).unwrap();
+            live.retain(|&k| k != keys[0]);
+            let blob = src.export_session(keys[1]).unwrap();
+            let moved = dst.import_session(&blob).unwrap();
+            live.retain(|&k| k != keys[1]);
+            for t in 60..120u64 {
+                tick_all(&mut src, &live, t);
+                tick_all(&mut dst, &[moved], t);
+            }
+            let views = (
+                src.snapshot().unwrap().invariant_view(),
+                dst.snapshot().unwrap().invariant_view(),
+            );
+            src.shutdown();
+            dst.shutdown();
+            views
+        };
+        let base = run(1);
+        assert_eq!(
+            base,
+            run(2),
+            "drain-and-migrate diverged at 2 kernel threads"
+        );
+        assert_eq!(
+            base,
+            run(4),
+            "drain-and-migrate diverged at 4 kernel threads"
+        );
     }
 
     /// A single shard gains nothing from a worker thread, so adaptive mode

@@ -486,7 +486,7 @@ struct GroupEntry {
     by_member: Vec<(PoolSessionId, u64, SlotId)>,
 }
 
-/// Slot flags packed into [`HotState::flags`]. Crate-visible because the
+/// Slot flags packed into the `flags` column. Crate-visible because the
 /// columnar checkpoint codec encodes the flags column verbatim (minus
 /// [`F_DIRTY`]) and validates decoded frames against these bits.
 pub(crate) const F_LIVE: u32 = 1;
@@ -533,124 +533,6 @@ struct KernelParams {
     high_denom: f64,
     /// Window length `W` (bounds-tracker and meter windows share it).
     w: usize,
-}
-
-/// The hot per-slot state: every scalar the tick kernel reads or writes,
-/// packed into one 256-byte record (four cache lines) so a session's
-/// tick touches one contiguous record plus the ring arenas instead of a
-/// dozen parallel column streams and per-session heap buffers.
-///
-/// Lines 0–1 hold the f64 working set (meter, allocator, bounds-tracker
-/// scalars), line 2 the counters and ring cursors, line 3 the inline
-/// delay-FIFO head and the flags.
-#[repr(C, align(64))]
-#[derive(Clone, Copy)]
-struct HotState {
-    // -- line 0: the meter (`SignallingMeter` scalars) --
-    /// Meter shadow link-queue backlog.
-    shadow_backlog: f64,
-    /// Allocation of the previous tick (change detection).
-    current_alloc: f64,
-    /// Peak single-tick allocation.
-    peak_alloc: f64,
-    /// Total bits arrived.
-    total_arrived: f64,
-    /// Total bits served.
-    total_served: f64,
-    /// Total allocated bandwidth.
-    total_allocated: f64,
-    /// Rolling sum of windowed arrivals.
-    window_arrived: f64,
-    /// Rolling sum of windowed allocation.
-    window_allocated: f64,
-    // -- line 1: allocator + bounds-tracker scalars --
-    /// Dedicated link-queue backlog (`SingleSession`'s `BitQueue`).
-    backlog: f64,
-    /// Current `B_on` ladder level.
-    b_on: f64,
-    /// Low tracker: total bits arrived this stage.
-    low_total: f64,
-    /// Low tracker: running-max `low`.
-    low_low: f64,
-    /// High tracker: running sum of the window ring.
-    high_window_sum: f64,
-    /// High tracker: minimum full-window sum (`+∞` while in grace).
-    high_min_window_sum: f64,
-    /// Minimum windowed utilization so far (`NaN` encodes "none yet";
-    /// a real minimum is never NaN — the ratio has a positive finite
-    /// denominator).
-    min_util: f64,
-    /// Maximum exact (fractional) FIFO delay observed.
-    max_delay_exact: f64,
-    // -- line 2: counters and ring cursors --
-    /// Ticks the algorithm has processed.
-    alg_tick: u64,
-    /// Stage ticks consumed — the low and high trackers open together
-    /// and advance in lockstep, so one counter serves both (imports are
-    /// validated to agree).
-    stage_ticks: u64,
-    /// Ticks metered.
-    meter_ticks: u64,
-    /// Allocation changes counted.
-    changes: u64,
-    /// Ticks the delay tracker has consumed.
-    delay_tick: u64,
-    /// Maximum whole-tick FIFO delay observed.
-    max_delay: u64,
-    /// High-tracker window ring: oldest-entry index.
-    high_head: u32,
-    /// High-tracker window ring: occupancy (≤ `W`).
-    high_len: u32,
-    /// Meter recent ring: oldest-entry index.
-    recent_head: u32,
-    /// Meter recent ring: occupancy (≤ `W`).
-    recent_len: u32,
-    // -- line 3: inline delay-FIFO head + flags --
-    /// Arrival tick of the delay FIFO's head entry.
-    pend_tick: u64,
-    /// Unserved bits of the delay FIFO's head entry.
-    pend_bits: f64,
-    /// Delay FIFO occupancy, counting the inline head; entries past the
-    /// head live in the `pend_spill` column.
-    pend_len: u32,
-    /// `F_*` occupancy and mode bits.
-    flags: u32,
-}
-
-impl HotState {
-    /// A vacant slot: zeros, with the grace/none sentinels armed.
-    const EMPTY: HotState = HotState {
-        shadow_backlog: 0.0,
-        current_alloc: 0.0,
-        peak_alloc: 0.0,
-        total_arrived: 0.0,
-        total_served: 0.0,
-        total_allocated: 0.0,
-        window_arrived: 0.0,
-        window_allocated: 0.0,
-        backlog: 0.0,
-        b_on: 0.0,
-        low_total: 0.0,
-        low_low: 0.0,
-        high_window_sum: 0.0,
-        high_min_window_sum: f64::INFINITY,
-        min_util: f64::NAN,
-        max_delay_exact: 0.0,
-        alg_tick: 0,
-        stage_ticks: 0,
-        meter_ticks: 0,
-        changes: 0,
-        delay_tick: 0,
-        max_delay: 0,
-        high_head: 0,
-        high_len: 0,
-        recent_head: 0,
-        recent_len: 0,
-        pend_tick: 0,
-        pend_bits: 0.0,
-        pend_len: 0,
-        flags: 0,
-    };
 }
 
 /// Pops hull points while the new point makes the tail non-convex —
@@ -700,36 +582,128 @@ fn hull_max_slope(hull: &[(f64, f64)], q: (f64, f64)) -> f64 {
     }
 }
 
-/// Structure-of-arrays per-session state, indexed by session slot. The
-/// tick kernel's entire per-session working set is the packed
-/// [`HotState`] record plus two slot-strided ring arenas — no per-session
-/// heap objects, no `Option` discriminants, no per-slot configuration
-/// (every session on a shard runs the shard's [`KernelParams`]; imports
-/// are validated to conform at the service boundary).
+/// Structure-of-arrays per-session state: one dense column per scalar
+/// field the tick kernel reads or writes, indexed by session slot and
+/// grouped below by the sweep phase that touches it. Each phase pass
+/// streams exactly the columns it uses, so the cache-line footprint of a
+/// session-tick is the sum of the phase working sets — roughly half the
+/// packed-record layout this replaces, which dragged all 256 bytes of a
+/// slot through the cache on every pass whether the pass read them or
+/// not. There are no per-session heap objects, no `Option` discriminants,
+/// and no per-slot configuration (every session on a shard runs the
+/// shard's [`KernelParams`]; imports are validated to conform at the
+/// service boundary).
 ///
-/// The kernel methods ([`Columns::alg_step`], [`Columns::meter_record`])
-/// replicate `SingleSession::on_tick` (with its `HullLowTracker` /
-/// `HighTracker` pushes inlined) and `SignallingMeter::record` float-op
-/// for float-op; any reordering would break the bitwise equivalence the
-/// checkpoint/migration paths and the invariant view depend on.
+/// The sweep phases ([`ChunkView::sweep`]) replicate
+/// `SingleSession::on_tick` (with its `HullLowTracker` / `HighTracker`
+/// pushes inlined) and `SignallingMeter::record` float-op for float-op
+/// *per field*: one field's operation sequence is never reordered, while
+/// independent fields may advance in different passes — IEEE 754 ops are
+/// deterministic functions of their inputs, so reordering across fields
+/// cannot move a bit of any of them.
 #[derive(Default)]
 struct Columns {
+    // -- scatter --
     /// Batched arrivals staged for the current tick (the scatter target).
+    /// All-zero between ticks: the scatter records every written index in
+    /// `touched` and the tick clears exactly those — O(arrivals), not
+    /// O(slots).
     arrived: Vec<f64>,
-    /// The packed hot records.
-    hot: Vec<HotState>,
+    /// Slot indices the current tick's scatter wrote.
+    touched: Vec<u32>,
+    // -- identity --
+    /// `F_*` occupancy and mode bits.
+    flags: Vec<u32>,
     /// Session key per slot, so the dedicated pass can emit retirements
     /// without walking the identity slab.
     keys: Vec<u64>,
+    // -- tracker-push phase --
+    /// Stage ticks consumed — the low and high trackers open together
+    /// and advance in lockstep, so one counter serves both (imports are
+    /// validated to agree).
+    stage_ticks: Vec<u64>,
+    /// Low tracker: total bits arrived this stage.
+    low_total: Vec<f64>,
+    /// High tracker: running sum of the window ring.
+    high_window_sum: Vec<f64>,
+    /// High tracker: minimum full-window sum (`+∞` while in grace).
+    high_min_window_sum: Vec<f64>,
+    /// High-tracker window ring: oldest-entry index.
+    high_head: Vec<u32>,
+    /// High-tracker window ring: occupancy (≤ `W`).
+    high_len: Vec<u32>,
+    // -- hull-query phase --
+    /// Low tracker: running-max `low`.
+    low_low: Vec<f64>,
+    // -- decision phase --
+    /// Current `B_on` ladder level.
+    b_on: Vec<f64>,
+    /// Dedicated link-queue backlog (`SingleSession`'s `BitQueue`).
+    backlog: Vec<f64>,
+    /// Ticks the algorithm has processed.
+    alg_tick: Vec<u64>,
+    // -- meter flow phase --
+    /// Meter shadow link-queue backlog.
+    shadow_backlog: Vec<f64>,
+    /// Allocation of the previous tick (change detection).
+    current_alloc: Vec<f64>,
+    /// Allocation changes counted.
+    changes: Vec<u64>,
+    /// Peak single-tick allocation.
+    peak_alloc: Vec<f64>,
+    /// Total bits arrived.
+    total_arrived: Vec<f64>,
+    /// Total bits served.
+    total_served: Vec<f64>,
+    /// Total allocated bandwidth.
+    total_allocated: Vec<f64>,
+    // -- delay-FIFO phase --
+    /// Arrival tick of the delay FIFO's head entry.
+    pend_tick: Vec<u64>,
+    /// Unserved bits of the delay FIFO's head entry.
+    pend_bits: Vec<f64>,
+    /// Delay FIFO occupancy, counting the inline head; entries past the
+    /// head live in the `pend_spill` column.
+    pend_len: Vec<u32>,
+    /// Ticks the delay tracker has consumed.
+    delay_tick: Vec<u64>,
+    /// Maximum whole-tick FIFO delay observed.
+    max_delay: Vec<u64>,
+    /// Maximum exact (fractional) FIFO delay observed.
+    max_delay_exact: Vec<f64>,
+    // -- utilization-window phase --
+    /// Ticks metered.
+    meter_ticks: Vec<u64>,
+    /// Rolling sum of windowed arrivals.
+    window_arrived: Vec<f64>,
+    /// Rolling sum of windowed allocation.
+    window_allocated: Vec<f64>,
+    /// Meter recent ring: oldest-entry index.
+    recent_head: Vec<u32>,
+    /// Meter recent ring: occupancy (≤ `W`).
+    recent_len: Vec<u32>,
+    /// Minimum windowed utilization so far (`NaN` encodes "none yet";
+    /// a real minimum is never NaN — the ratio has a positive finite
+    /// denominator).
+    min_util: Vec<f64>,
+    // -- side columns (variable-size per-slot state) --
     /// Low tracker: lower convex hull vertices `(x, P[x])` per slot.
     hull: Vec<Vec<(f64, f64)>>,
-    /// High-tracker window rings, slot-strided: slot `i` owns
-    /// `high_ring[i·W .. (i+1)·W]`, a circular buffer under the slot's
-    /// `high_head`/`high_len` cursors.
+    /// High-tracker window rings, *time-major*: ring position `q` of
+    /// slot `i` lives at `high_ring[q·ring_cap + i]`, under the slot's
+    /// `high_head`/`high_len` cursors. Sessions that joined together
+    /// advance their cursors in lockstep, so a tick's ring traffic
+    /// lands on one densely shared row (8 bytes per slot) instead of
+    /// dragging a `W`-stride cache line per slot through the sweep —
+    /// the layout exists for that access pattern.
     high_ring: Vec<f64>,
-    /// Meter `(arrivals, allocation)` rings, slot-strided like
+    /// Meter `(arrivals, allocation)` rings, time-major like
     /// `high_ring` under `recent_head`/`recent_len`.
     recent_ring: Vec<(f64, f64)>,
+    /// Slots-per-row capacity of the two time-major rings (grown
+    /// geometrically: a row insert on growth costs O(W·slots), so
+    /// doubling amortizes it to O(W) per join).
+    ring_cap: usize,
     /// Delay-FIFO entries past the inline head. Steady traffic keeps at
     /// most one pending entry (served each tick), so the spill deque is
     /// cold; only a backlogged session touches it.
@@ -742,17 +716,98 @@ impl Columns {
     /// Extends every column to cover `bound` slots (rings grow by whole
     /// `W`-sized strides; existing ring contents are append-stable).
     fn grow_to(&mut self, bound: usize, w: usize) {
-        if self.hot.len() >= bound {
+        if self.flags.len() >= bound {
             return;
         }
         self.arrived.resize(bound, 0.0);
-        self.hot.resize_with(bound, || HotState::EMPTY);
+        self.flags.resize(bound, 0);
         self.keys.resize(bound, 0);
+        self.stage_ticks.resize(bound, 0);
+        self.low_total.resize(bound, 0.0);
+        self.high_window_sum.resize(bound, 0.0);
+        self.high_min_window_sum.resize(bound, f64::INFINITY);
+        self.high_head.resize(bound, 0);
+        self.high_len.resize(bound, 0);
+        self.low_low.resize(bound, 0.0);
+        self.b_on.resize(bound, 0.0);
+        self.backlog.resize(bound, 0.0);
+        self.alg_tick.resize(bound, 0);
+        self.shadow_backlog.resize(bound, 0.0);
+        self.current_alloc.resize(bound, 0.0);
+        self.changes.resize(bound, 0);
+        self.peak_alloc.resize(bound, 0.0);
+        self.total_arrived.resize(bound, 0.0);
+        self.total_served.resize(bound, 0.0);
+        self.total_allocated.resize(bound, 0.0);
+        self.pend_tick.resize(bound, 0);
+        self.pend_bits.resize(bound, 0.0);
+        self.pend_len.resize(bound, 0);
+        self.delay_tick.resize(bound, 0);
+        self.max_delay.resize(bound, 0);
+        self.max_delay_exact.resize(bound, 0.0);
+        self.meter_ticks.resize(bound, 0);
+        self.window_arrived.resize(bound, 0.0);
+        self.window_allocated.resize(bound, 0.0);
+        self.recent_head.resize(bound, 0);
+        self.recent_len.resize(bound, 0);
+        self.min_util.resize(bound, f64::NAN);
         self.hull.resize_with(bound, Vec::new);
-        self.high_ring.resize(bound * w, 0.0);
-        self.recent_ring.resize(bound * w, (0.0, 0.0));
+        if bound > self.ring_cap {
+            // Time-major rings re-lay out on growth (every row shifts),
+            // so the capacity doubles to amortize; surviving rows copy
+            // over verbatim — append-stable, like the scalar resizes.
+            let new_cap = bound.max(self.ring_cap * 2);
+            let mut high = vec![0.0f64; new_cap * w];
+            let mut recent = vec![(0.0f64, 0.0f64); new_cap * w];
+            for q in 0..w {
+                let (old, new) = (q * self.ring_cap, q * new_cap);
+                high[new..new + self.ring_cap]
+                    .copy_from_slice(&self.high_ring[old..old + self.ring_cap]);
+                recent[new..new + self.ring_cap]
+                    .copy_from_slice(&self.recent_ring[old..old + self.ring_cap]);
+            }
+            self.high_ring = high;
+            self.recent_ring = recent;
+            self.ring_cap = new_cap;
+        }
         self.pend_spill.resize_with(bound, VecDeque::new);
         self.stages.resize_with(bound, StageLog::new);
+    }
+
+    /// Resets every scalar column of slot `i` to the vacant-slot state:
+    /// zeros, with the grace (`+∞`) and none-yet (`NaN`) sentinels armed.
+    fn reset_scalars(&mut self, i: usize) {
+        self.arrived[i] = 0.0;
+        self.flags[i] = 0;
+        self.stage_ticks[i] = 0;
+        self.low_total[i] = 0.0;
+        self.high_window_sum[i] = 0.0;
+        self.high_min_window_sum[i] = f64::INFINITY;
+        self.high_head[i] = 0;
+        self.high_len[i] = 0;
+        self.low_low[i] = 0.0;
+        self.b_on[i] = 0.0;
+        self.backlog[i] = 0.0;
+        self.alg_tick[i] = 0;
+        self.shadow_backlog[i] = 0.0;
+        self.current_alloc[i] = 0.0;
+        self.changes[i] = 0;
+        self.peak_alloc[i] = 0.0;
+        self.total_arrived[i] = 0.0;
+        self.total_served[i] = 0.0;
+        self.total_allocated[i] = 0.0;
+        self.pend_tick[i] = 0;
+        self.pend_bits[i] = 0.0;
+        self.pend_len[i] = 0;
+        self.delay_tick[i] = 0;
+        self.max_delay[i] = 0;
+        self.max_delay_exact[i] = 0.0;
+        self.meter_ticks[i] = 0;
+        self.window_arrived[i] = 0.0;
+        self.window_allocated[i] = 0.0;
+        self.recent_head[i] = 0;
+        self.recent_len[i] = 0;
+        self.min_util[i] = f64::NAN;
     }
 
     /// Initializes slot `i` for a fresh session (meter state as
@@ -760,10 +815,8 @@ impl Columns {
     /// allocator state via [`Columns::init_dedicated`]). The ring regions
     /// need no clearing: their cursors reset and writes precede reads.
     fn init_fresh(&mut self, i: usize) {
-        self.arrived[i] = 0.0;
-        let mut h = HotState::EMPTY;
-        h.flags = F_LIVE | F_DIRTY;
-        self.hot[i] = h;
+        self.reset_scalars(i);
+        self.flags[i] = F_LIVE | F_DIRTY;
         self.hull[i].clear();
         self.pend_spill[i].clear();
         self.stages[i] = StageLog::new();
@@ -771,12 +824,12 @@ impl Columns {
 
     /// Gives slot `i` a fresh dedicated allocator — `SingleSession::new`
     /// over the columns: stage 0 opens immediately with fresh trackers
-    /// (which [`HotState::EMPTY`] already encodes).
+    /// (which the vacant-slot scalars already encode).
     fn init_dedicated(&mut self, i: usize) {
         let mut stages = StageLog::new();
         stages.open(0);
         self.stages[i] = stages;
-        self.hot[i].flags |= F_DEDICATED | F_STAGE_OPEN;
+        self.flags[i] |= F_DEDICATED | F_STAGE_OPEN;
     }
 
     /// Restores slot `i` from a session checkpoint, bitwise.
@@ -799,39 +852,37 @@ impl Columns {
             "recent holds {} entries but the window is {w}",
             m.recent.len()
         );
-        self.arrived[i] = 0.0;
+        self.reset_scalars(i);
         self.hull[i].clear();
-        let spill = &mut self.pend_spill[i];
-        spill.clear();
-        let mut h = HotState::EMPTY;
-        h.flags = F_LIVE;
+        self.pend_spill[i].clear();
+        self.flags[i] = F_LIVE;
         if cp.leaving {
-            h.flags |= F_LEAVING;
+            self.flags[i] |= F_LEAVING;
         }
-        h.shadow_backlog = m.shadow_backlog;
-        h.current_alloc = m.current_alloc;
-        h.peak_alloc = m.peak_allocation;
-        h.total_arrived = m.total_arrived;
-        h.total_served = m.total_served;
-        h.total_allocated = m.total_allocated;
-        h.window_arrived = m.window_arrived;
-        h.window_allocated = m.window_allocated;
-        h.meter_ticks = m.ticks;
-        h.changes = m.changes;
-        h.min_util = m.min_windowed_utilization.unwrap_or(f64::NAN);
+        self.shadow_backlog[i] = m.shadow_backlog;
+        self.current_alloc[i] = m.current_alloc;
+        self.peak_alloc[i] = m.peak_allocation;
+        self.total_arrived[i] = m.total_arrived;
+        self.total_served[i] = m.total_served;
+        self.total_allocated[i] = m.total_allocated;
+        self.window_arrived[i] = m.window_arrived;
+        self.window_allocated[i] = m.window_allocated;
+        self.meter_ticks[i] = m.ticks;
+        self.changes[i] = m.changes;
+        self.min_util[i] = m.min_windowed_utilization.unwrap_or(f64::NAN);
         for (j, &pair) in m.recent.iter().enumerate() {
-            self.recent_ring[i * w + j] = pair;
+            self.recent_ring[j * self.ring_cap + i] = pair;
         }
-        h.recent_len = m.recent.len() as u32;
+        self.recent_len[i] = m.recent.len() as u32;
         let d = &m.delay;
-        h.delay_tick = d.tick as u64;
-        h.max_delay = d.max_delay as u64;
-        h.max_delay_exact = d.max_delay_exact;
-        h.pend_len = d.pending.len() as u32;
+        self.delay_tick[i] = d.tick as u64;
+        self.max_delay[i] = d.max_delay as u64;
+        self.max_delay_exact[i] = d.max_delay_exact;
+        self.pend_len[i] = d.pending.len() as u32;
         if let Some(&(t0, bits)) = d.pending.first() {
-            h.pend_tick = t0 as u64;
-            h.pend_bits = bits;
-            spill.extend(d.pending[1..].iter().map(|&(t, b)| (t as u64, b)));
+            self.pend_tick[i] = t0 as u64;
+            self.pend_bits[i] = bits;
+            self.pend_spill[i].extend(d.pending[1..].iter().map(|&(t, b)| (t as u64, b)));
         }
         match &cp.dedicated {
             Some(alg) => {
@@ -839,10 +890,10 @@ impl Columns {
                     &alg.cfg, cfg,
                     "imported algorithm config must match the service's"
                 );
-                h.flags |= F_DEDICATED;
-                h.backlog = alg.backlog;
-                h.b_on = alg.b_on;
-                h.alg_tick = alg.tick as u64;
+                self.flags[i] |= F_DEDICATED;
+                self.backlog[i] = alg.backlog;
+                self.b_on[i] = alg.b_on;
+                self.alg_tick[i] = alg.tick as u64;
                 match (&alg.stage_low, &alg.stage_high) {
                     (Some(low), Some(high)) => {
                         assert!(
@@ -864,17 +915,17 @@ impl Columns {
                             high.ticks,
                             high.window.len()
                         );
-                        h.flags |= F_STAGE_OPEN;
-                        h.stage_ticks = low.ticks as u64;
-                        h.low_total = low.total;
-                        h.low_low = low.low;
+                        self.flags[i] |= F_STAGE_OPEN;
+                        self.stage_ticks[i] = low.ticks as u64;
+                        self.low_total[i] = low.total;
+                        self.low_low[i] = low.low;
                         self.hull[i].extend_from_slice(&low.hull);
                         for (j, &a) in high.window.iter().enumerate() {
-                            self.high_ring[i * w + j] = a;
+                            self.high_ring[j * self.ring_cap + i] = a;
                         }
-                        h.high_len = high.window.len() as u32;
-                        h.high_window_sum = high.window_sum;
-                        h.high_min_window_sum = high.min_window_sum.unwrap_or(f64::INFINITY);
+                        self.high_len[i] = high.window.len() as u32;
+                        self.high_window_sum[i] = high.window_sum;
+                        self.high_min_window_sum[i] = high.min_window_sum.unwrap_or(f64::INFINITY);
                     }
                     (None, None) => {}
                     _ => panic!("checkpoint carries exactly one of the two stage trackers"),
@@ -885,333 +936,249 @@ impl Columns {
                 self.stages[i] = StageLog::new();
             }
         }
-        self.hot[i] = h;
     }
 
     /// Releases a vacated slot's heavy state; the next occupant re-inits.
     fn clear_slot(&mut self, i: usize) {
-        self.hot[i] = HotState::EMPTY;
+        self.reset_scalars(i);
         self.keys[i] = 0;
         self.hull[i] = Vec::new();
         self.pend_spill[i] = VecDeque::new();
         self.stages[i] = StageLog::new();
     }
 
-    /// The tracker-push phase of one Fig. 3 allocator step on a
-    /// stage-open slot: the `HullLowTracker` point push and the
-    /// `HighTracker` ring push, same float-op order as
-    /// `SingleSession::on_tick`. The hull *query* is deliberately not
-    /// here — it is hoisted into [`Columns::alg_hull_query`] — so this
-    /// phase is straight-line ring arithmetic the compiler can
-    /// vectorize once the sweep runs it as its own pass.
-    fn alg_track(&mut self, i: usize, arrivals: f64, p: &KernelParams) {
-        let Columns {
-            hot,
-            hull,
-            high_ring,
-            ..
-        } = self;
-        let h = &mut hot[i];
-        debug_assert!(h.flags & F_STAGE_OPEN != 0, "tracker push on an open stage");
-        // Both trackers clamp identically; one shared clamp is the
-        // same value.
-        let a2 = arrivals.max(0.0);
-        // Low push: candidate window-start x = stage tick, P[x] =
-        // total so far; the query uses the post-arrival total.
-        hull_add_point(&mut hull[i], (h.stage_ticks as f64, h.low_total));
-        h.low_total += a2;
-        // High push: circular window of the last W arrivals. The
-        // running sum adds the new entry before subtracting the
-        // evicted one, exactly as the VecDeque form did.
-        let ring = &mut high_ring[i * p.w..(i + 1) * p.w];
-        if (h.high_len as usize) < p.w {
-            ring[h.high_len as usize] = a2;
-            h.high_len += 1;
-            h.high_window_sum += a2;
-        } else {
-            let idx = h.high_head as usize;
-            let old = ring[idx];
-            ring[idx] = a2;
-            h.high_head = if idx + 1 == p.w { 0 } else { (idx + 1) as u32 };
-            h.high_window_sum += a2;
-            h.high_window_sum -= old;
-            if h.high_window_sum < 0.0 {
-                h.high_window_sum = 0.0; // float-noise guard
+    /// Splits slots `[0, ends.last())` into one [`ChunkView`] per entry
+    /// of `ends` (ascending, non-empty): view `c` covers slots
+    /// `[ends[c-1], ends[c])`, with each time-major ring row sliced to
+    /// the matching slot range. The views borrow disjoint regions of
+    /// every column, so they can be swept concurrently.
+    fn chunk_views(&mut self, ends: &[usize], w: usize) -> Vec<ChunkView<'_>> {
+        let bound = *ends.last().expect("at least one chunk");
+        // The rings carve row-by-row: chunk `c` gets row `q`'s subrange
+        // for its slots, for every `q`.
+        fn carve_ring_rows<'a, T>(
+            ring: &'a mut [T],
+            cap: usize,
+            w: usize,
+            ends: &[usize],
+        ) -> Vec<Vec<&'a mut [T]>> {
+            let mut per_chunk: Vec<Vec<&'a mut [T]>> =
+                ends.iter().map(|_| Vec::with_capacity(w)).collect();
+            let mut rest = ring;
+            for _ in 0..w {
+                let (mut row, tail) = rest.split_at_mut(cap);
+                rest = tail;
+                let mut lo = 0usize;
+                for (c, &hi) in ends.iter().enumerate() {
+                    let (seg, keep) = row.split_at_mut(hi - lo);
+                    per_chunk[c].push(seg);
+                    row = keep;
+                    lo = hi;
+                }
             }
+            per_chunk
         }
-        // One shared stage clock: the two trackers advance in
-        // lockstep.
-        h.stage_ticks += 1;
-        // The full-window minimum merge reads only high-tracker fields,
-        // so folding it into this phase (ahead of the hull query it
-        // used to follow) cannot move a bit of either tracker.
-        if h.high_len as usize == p.w {
-            h.high_min_window_sum = h.high_min_window_sum.min(h.high_window_sum);
-        }
-    }
-
-    /// The hoisted hull query: the `HullLowTracker::max_slope` binary
-    /// search over slot `i`'s hull, merged into the running `low`
-    /// maximum — the one data-dependent, branchy part of the allocator
-    /// step, split out so the tracker-push phase stays vectorizable.
-    fn alg_hull_query(&mut self, i: usize, p: &KernelParams) {
-        let Columns { hot, hull, .. } = self;
-        let h = &mut hot[i];
-        let q = ((h.stage_ticks + p.d_o) as f64, h.low_total);
-        let candidate = hull_max_slope(&hull[i], q);
-        if candidate > h.low_low {
-            h.low_low = candidate;
-        }
-    }
-
-    /// The decision phase of one Fig. 3 allocator step on slot `i`:
-    /// certificate check, `B_on` ladder, link queue, and RESET reopen —
-    /// `SingleSession::on_tick` after the tracker pushes and the hull
-    /// query ([`Columns::alg_track`] / [`Columns::alg_hull_query`])
-    /// already ran this tick for stage-open slots. Returns the
-    /// allocation.
-    fn alg_decide(&mut self, i: usize, arrivals: f64, p: &KernelParams) -> f64 {
-        let Columns {
-            hot, hull, stages, ..
-        } = self;
-        let h = &mut hot[i];
-        let alloc = if h.flags & F_STAGE_OPEN != 0 {
-            let l = h.low_low;
-            let hi = if h.high_min_window_sum.is_infinite() {
-                p.b_max // grace: no full window constrains the offline yet
-            } else {
-                h.high_min_window_sum / p.high_denom
+        let mut high_rows =
+            carve_ring_rows(&mut self.high_ring, self.ring_cap, w, ends).into_iter();
+        let mut recent_rows =
+            carve_ring_rows(&mut self.recent_ring, self.ring_cap, w, ends).into_iter();
+        // Shrinking-cursor slices over each column; `carve!` peels the
+        // next chunk's window off the front.
+        macro_rules! cursors {
+            ($($col:ident),+ $(,)?) => {
+                $(let mut $col = &mut *self.$col;)+
             };
-            if crossed(l, hi) {
-                // Certificate fired: end the stage, enter RESET.
-                stages[i].close(h.alg_tick as usize, StageKind::BoundsCrossed);
-                h.flags &= !F_STAGE_OPEN;
-                h.b_on = p.b_max;
-                p.b_max
-            } else {
-                if h.b_on < l {
-                    h.b_on = next_power_of_two(l).min(p.b_max);
-                }
-                h.b_on
-            }
-        } else {
-            p.b_max
-        };
-        // The session's link queue (`BitQueue::tick` on the backlog
-        // field; inputs are validated upstream, so the clamps it would
-        // apply are identities).
-        let offered = h.backlog + arrivals;
-        let served = offered.min(alloc);
-        let mut backlog = offered - served;
-        if backlog < EPS {
-            backlog = 0.0;
         }
-        h.backlog = backlog;
-        if h.flags & F_STAGE_OPEN == 0 && backlog <= EPS {
-            // RESET complete: the next tick starts a new stage with
-            // fresh trackers (cursors and sentinels re-armed in place).
-            stages[i].open(h.alg_tick as usize + 1);
-            h.flags |= F_STAGE_OPEN;
-            hull[i].clear();
-            h.stage_ticks = 0;
-            h.low_total = 0.0;
-            h.low_low = 0.0;
-            h.high_head = 0;
-            h.high_len = 0;
-            h.high_window_sum = 0.0;
-            h.high_min_window_sum = f64::INFINITY;
-            h.b_on = 0.0;
+        macro_rules! carve {
+            ($cur:ident, $n:expr) => {{
+                let (head, tail) = std::mem::take(&mut $cur).split_at_mut($n);
+                $cur = tail;
+                head
+            }};
         }
-        h.alg_tick += 1;
-        alloc
-    }
-
-    /// One meter step on slot `i` — `SignallingMeter::record` with the
-    /// delay tracker and utilization window inlined, same float-op
-    /// order. The hostile-input clamps the meter applied are gone: the
-    /// service boundary validates every arrival and allocations come
-    /// from the allocators, which produce finite non-negatives, so the
-    /// kernel asserts the contract instead of silently rewriting NaN to
-    /// zero.
-    fn meter_record(&mut self, i: usize, arrivals: f64, allocation: f64, p: &KernelParams) {
-        debug_assert!(
-            arrivals.is_finite() && arrivals >= 0.0,
-            "arrival {arrivals} entered the kernel unvalidated"
-        );
-        debug_assert!(
-            allocation.is_finite() && allocation >= 0.0,
-            "allocation {allocation} entered the kernel unvalidated"
-        );
-        let Columns {
-            hot,
-            recent_ring,
+        let mut arrived = &self.arrived[..bound];
+        cursors!(
+            flags,
+            keys,
+            stage_ticks,
+            low_total,
+            high_window_sum,
+            high_min_window_sum,
+            high_head,
+            high_len,
+            low_low,
+            b_on,
+            backlog,
+            alg_tick,
+            shadow_backlog,
+            current_alloc,
+            changes,
+            peak_alloc,
+            total_arrived,
+            total_served,
+            total_allocated,
+            pend_tick,
+            pend_bits,
+            pend_len,
+            delay_tick,
+            max_delay,
+            max_delay_exact,
+            meter_ticks,
+            window_arrived,
+            window_allocated,
+            recent_head,
+            recent_len,
+            min_util,
+            hull,
             pend_spill,
-            ..
-        } = self;
-        let h = &mut hot[i];
-        // Every metered tick mutates the slot (clocks, rings, window
-        // sums), so the meter is the one mutation path that covers all
-        // live sessions.
-        h.flags |= F_DIRTY;
-        if (allocation - h.current_alloc).abs() > EPS {
-            h.changes += 1;
-            h.current_alloc = allocation;
+            stages,
+        );
+        let mut views = Vec::with_capacity(ends.len());
+        let mut lo = 0usize;
+        for &hi in ends {
+            debug_assert!(hi >= lo && hi <= bound, "chunk grid is ascending");
+            let n = hi - lo;
+            let head = {
+                let (head, tail) = arrived.split_at(n);
+                arrived = tail;
+                head
+            };
+            views.push(ChunkView {
+                w,
+                arrived: head,
+                flags: carve!(flags, n),
+                keys: carve!(keys, n),
+                stage_ticks: carve!(stage_ticks, n),
+                low_total: carve!(low_total, n),
+                high_window_sum: carve!(high_window_sum, n),
+                high_min_window_sum: carve!(high_min_window_sum, n),
+                high_head: carve!(high_head, n),
+                high_len: carve!(high_len, n),
+                low_low: carve!(low_low, n),
+                b_on: carve!(b_on, n),
+                backlog: carve!(backlog, n),
+                alg_tick: carve!(alg_tick, n),
+                shadow_backlog: carve!(shadow_backlog, n),
+                current_alloc: carve!(current_alloc, n),
+                changes: carve!(changes, n),
+                peak_alloc: carve!(peak_alloc, n),
+                total_arrived: carve!(total_arrived, n),
+                total_served: carve!(total_served, n),
+                total_allocated: carve!(total_allocated, n),
+                pend_tick: carve!(pend_tick, n),
+                pend_bits: carve!(pend_bits, n),
+                pend_len: carve!(pend_len, n),
+                delay_tick: carve!(delay_tick, n),
+                max_delay: carve!(max_delay, n),
+                max_delay_exact: carve!(max_delay_exact, n),
+                meter_ticks: carve!(meter_ticks, n),
+                window_arrived: carve!(window_arrived, n),
+                window_allocated: carve!(window_allocated, n),
+                recent_head: carve!(recent_head, n),
+                recent_len: carve!(recent_len, n),
+                min_util: carve!(min_util, n),
+                hull: carve!(hull, n),
+                high_ring: high_rows.next().expect("one ring carve per chunk"),
+                recent_ring: recent_rows.next().expect("one ring carve per chunk"),
+                pend_spill: carve!(pend_spill, n),
+                stages: carve!(stages, n),
+            });
+            lo = hi;
         }
-        // Shadow link queue (`BitQueue::tick` on the backlog field).
-        let offered = h.shadow_backlog + arrivals;
-        let served = offered.min(allocation);
-        let mut backlog = offered - served;
-        if backlog < EPS {
-            backlog = 0.0;
-        }
-        h.shadow_backlog = backlog;
-        // FIFO delay tracker (`OnlineDelayTracker::push`): the head
-        // entry lives inline in the record; older entries spill.
-        if arrivals > EPS {
-            if h.pend_len == 0 {
-                h.pend_tick = h.delay_tick;
-                h.pend_bits = arrivals;
-            } else {
-                pend_spill[i].push_back((h.delay_tick, arrivals));
-            }
-            h.pend_len += 1;
-        }
-        let total = served;
-        let mut left = served;
-        while left > EPS && h.pend_len > 0 {
-            let take = h.pend_bits.min(left);
-            h.pend_bits -= take;
-            left -= take;
-            if h.pend_bits <= EPS {
-                h.max_delay = h.max_delay.max(h.delay_tick - h.pend_tick);
-                // The entry completes after the fraction of this tick's
-                // service consumed so far (see `OnlineDelayTracker`).
-                let consumed = ((total - left) / total).clamp(0.0, 1.0);
-                let exact = ((h.delay_tick - h.pend_tick) as f64 - 1.0 + consumed).max(0.0);
-                h.max_delay_exact = h.max_delay_exact.max(exact);
-                h.pend_len -= 1;
-                if h.pend_len > 0 {
-                    let (t0, bits) = pend_spill[i].pop_front().expect("len counts the spill");
-                    h.pend_tick = t0;
-                    h.pend_bits = bits;
-                }
-            }
-        }
-        // A still-pending head already implies at least this much delay.
-        if h.pend_len > 0 {
-            h.max_delay = h.max_delay.max(h.delay_tick - h.pend_tick);
-            h.max_delay_exact = h.max_delay_exact.max((h.delay_tick - h.pend_tick) as f64);
-        }
-        h.delay_tick += 1;
-        h.meter_ticks += 1;
-        h.total_arrived += arrivals;
-        h.total_served += served;
-        h.total_allocated += allocation;
-        h.peak_alloc = h.peak_alloc.max(allocation);
-        // Rolling utilization window over the ring; the running sums add
-        // the new pair before subtracting the evicted one, as the
-        // VecDeque form did.
-        let ring = &mut recent_ring[i * p.w..(i + 1) * p.w];
-        if (h.recent_len as usize) < p.w {
-            ring[h.recent_len as usize] = (arrivals, allocation);
-            h.recent_len += 1;
-            h.window_arrived += arrivals;
-            h.window_allocated += allocation;
-        } else {
-            let idx = h.recent_head as usize;
-            let (a0, b0) = ring[idx];
-            ring[idx] = (arrivals, allocation);
-            h.recent_head = if idx + 1 == p.w { 0 } else { (idx + 1) as u32 };
-            h.window_arrived += arrivals;
-            h.window_allocated += allocation;
-            h.window_arrived -= a0;
-            h.window_allocated -= b0;
-        }
-        if h.recent_len as usize == p.w && h.window_allocated > EPS {
-            let ratio = h.window_arrived.max(0.0) / h.window_allocated;
-            // `min` returns the other operand when one side is NaN, so
-            // the NaN "none yet" sentinel picks up the first ratio.
-            h.min_util = h.min_util.min(ratio);
-        }
+        views
     }
 
-    /// Collects slot `i`'s ring region into a `Vec`, oldest first.
-    fn ring_to_vec<T: Copy>(ring: &[T], i: usize, w: usize, head: u32, len: u32) -> Vec<T> {
-        let region = &ring[i * w..(i + 1) * w];
+    /// Collects slot `i`'s entries of a time-major ring into a `Vec`,
+    /// oldest first.
+    fn ring_to_vec<T: Copy>(&self, ring: &[T], i: usize, w: usize, head: u32, len: u32) -> Vec<T> {
         (0..len as usize)
             .map(|j| {
                 let idx = head as usize + j;
-                region[if idx >= w { idx - w } else { idx }]
+                let q = if idx >= w { idx - w } else { idx };
+                ring[q * self.ring_cap + i]
             })
             .collect()
     }
 
     /// The meter state of slot `i`, in checkpoint form.
     fn meter_checkpoint(&self, i: usize, cost: CostModel, w: usize) -> MeterCheckpoint {
-        let h = &self.hot[i];
-        let mut pending = Vec::with_capacity(h.pend_len as usize);
-        if h.pend_len > 0 {
-            pending.push((h.pend_tick as usize, h.pend_bits));
+        let mut pending = Vec::with_capacity(self.pend_len[i] as usize);
+        if self.pend_len[i] > 0 {
+            pending.push((self.pend_tick[i] as usize, self.pend_bits[i]));
             pending.extend(self.pend_spill[i].iter().map(|&(t, b)| (t as usize, b)));
         }
         MeterCheckpoint {
             cost,
             window: w,
-            shadow_backlog: h.shadow_backlog,
+            shadow_backlog: self.shadow_backlog[i],
             delay: DelayTrackerState {
                 pending,
-                tick: h.delay_tick as usize,
-                max_delay: h.max_delay as usize,
-                max_delay_exact: h.max_delay_exact,
+                tick: self.delay_tick[i] as usize,
+                max_delay: self.max_delay[i] as usize,
+                max_delay_exact: self.max_delay_exact[i],
             },
-            recent: Self::ring_to_vec(&self.recent_ring, i, w, h.recent_head, h.recent_len),
-            window_arrived: h.window_arrived,
-            window_allocated: h.window_allocated,
-            min_windowed_utilization: if h.min_util.is_nan() {
+            recent: self.ring_to_vec(
+                &self.recent_ring,
+                i,
+                w,
+                self.recent_head[i],
+                self.recent_len[i],
+            ),
+            window_arrived: self.window_arrived[i],
+            window_allocated: self.window_allocated[i],
+            min_windowed_utilization: if self.min_util[i].is_nan() {
                 None
             } else {
-                Some(h.min_util)
+                Some(self.min_util[i])
             },
-            current_alloc: h.current_alloc,
-            ticks: h.meter_ticks,
-            changes: h.changes,
-            peak_allocation: h.peak_alloc,
-            total_arrived: h.total_arrived,
-            total_served: h.total_served,
-            total_allocated: h.total_allocated,
+            current_alloc: self.current_alloc[i],
+            ticks: self.meter_ticks[i],
+            changes: self.changes[i],
+            peak_allocation: self.peak_alloc[i],
+            total_arrived: self.total_arrived[i],
+            total_served: self.total_served[i],
+            total_allocated: self.total_allocated[i],
         }
     }
 
     /// The algorithm state of slot `i`, in checkpoint form.
     fn alg_checkpoint(&self, i: usize, cfg: &SingleConfig) -> SingleCheckpoint {
-        let h = &self.hot[i];
-        debug_assert!(h.flags & F_DEDICATED != 0, "slot holds algorithm state");
-        let open = h.flags & F_STAGE_OPEN != 0;
+        debug_assert!(
+            self.flags[i] & F_DEDICATED != 0,
+            "slot holds algorithm state"
+        );
+        let open = self.flags[i] & F_STAGE_OPEN != 0;
         SingleCheckpoint {
             cfg: cfg.clone(),
-            backlog: h.backlog,
+            backlog: self.backlog[i],
             stage_low: open.then(|| LowTrackerState {
                 d_o: cfg.d_o,
                 hull: self.hull[i].clone(),
-                ticks: h.stage_ticks as usize,
-                total: h.low_total,
-                low: h.low_low,
+                ticks: self.stage_ticks[i] as usize,
+                total: self.low_total[i],
+                low: self.low_low[i],
             }),
             stage_high: open.then(|| HighTrackerState {
                 u_o: cfg.u_o,
                 w: cfg.w,
                 grace: cfg.b_max,
-                window: Self::ring_to_vec(&self.high_ring, i, cfg.w, h.high_head, h.high_len),
-                window_sum: h.high_window_sum,
-                min_window_sum: if h.high_min_window_sum.is_infinite() {
+                window: self.ring_to_vec(
+                    &self.high_ring,
+                    i,
+                    cfg.w,
+                    self.high_head[i],
+                    self.high_len[i],
+                ),
+                window_sum: self.high_window_sum[i],
+                min_window_sum: if self.high_min_window_sum[i].is_infinite() {
                     None
                 } else {
-                    Some(h.high_min_window_sum)
+                    Some(self.high_min_window_sum[i])
                 },
-                ticks: h.stage_ticks as usize,
+                ticks: self.stage_ticks[i] as usize,
             }),
-            b_on: h.b_on,
-            tick: h.alg_tick as usize,
+            b_on: self.b_on[i],
+            tick: self.alg_tick[i] as usize,
             stages: self.stages[i].clone(),
         }
     }
@@ -1225,39 +1192,561 @@ impl Columns {
         shard: u64,
         cost: CostModel,
     ) -> SessionMetrics {
-        let h = &self.hot[i];
         SessionMetrics {
             session,
             tenant,
             shard,
-            ticks: h.meter_ticks,
-            changes: h.changes,
-            peak_allocation: h.peak_alloc,
-            max_delay: delay_ticks(h.max_delay_exact),
-            total_arrived: h.total_arrived,
-            total_served: h.total_served,
-            total_allocated: h.total_allocated,
-            windowed_utilization: if h.min_util.is_nan() {
+            ticks: self.meter_ticks[i],
+            changes: self.changes[i],
+            peak_allocation: self.peak_alloc[i],
+            max_delay: delay_ticks(self.max_delay_exact[i]),
+            total_arrived: self.total_arrived[i],
+            total_served: self.total_served[i],
+            total_allocated: self.total_allocated[i],
+            windowed_utilization: if self.min_util[i].is_nan() {
                 None
             } else {
-                Some(h.min_util)
+                Some(self.min_util[i])
             },
-            signalling_cost: h.changes as f64 * cost.per_change,
-            bandwidth_cost: h.total_allocated * cost.per_bandwidth_tick,
+            signalling_cost: self.changes[i] as f64 * cost.per_change,
+            bandwidth_cost: self.total_allocated[i] * cost.per_bandwidth_tick,
         }
     }
 }
 
-/// Slot `i`'s ring region as its (up to two) contiguous runs, oldest
-/// first — the columnar encoder's zero-copy view of a circular buffer.
-fn ring_slices<T>(ring: &[T], i: usize, w: usize, head: u32, len: u32) -> (&[T], &[T]) {
-    let region = &ring[i * w..(i + 1) * w];
-    let (head, len) = (head as usize, len as usize);
-    if head + len <= w {
-        (&region[head..head + len], &[])
-    } else {
-        let first = w - head;
-        (&region[head..], &region[..len - first])
+/// Gathers slot `i`'s entries of a time-major ring into `out`, oldest
+/// first — the encoder reuses one scratch buffer per ring across rows
+/// (a slot's entries are `ring_cap` apart, so there is no contiguous
+/// run to borrow; the bytes emitted are identical either way).
+fn gather_ring<T: Copy>(
+    ring: &[T],
+    cap: usize,
+    i: usize,
+    w: usize,
+    head: u32,
+    len: u32,
+    out: &mut Vec<T>,
+) {
+    out.clear();
+    out.extend((0..len as usize).map(|j| {
+        let idx = head as usize + j;
+        let q = if idx >= w { idx - w } else { idx };
+        ring[q * cap + i]
+    }));
+}
+
+/// Stage-open dedicated slots: the tracker/hull/decide passes run over
+/// exactly the slots whose flags carry both bits.
+const OPEN: u32 = F_DEDICATED | F_STAGE_OPEN;
+
+/// A mutable window over one chunk of every column — the unit of work
+/// the sweep passes (and the kernel worker pool) operate on. Slot
+/// indices inside a view are chunk-local; the time-major rings arrive
+/// as `w` row slices covering the chunk's slots, so ring position `q`
+/// of local slot `j` is `ring[q][j]`.
+struct ChunkView<'a> {
+    w: usize,
+    arrived: &'a [f64],
+    flags: &'a mut [u32],
+    keys: &'a [u64],
+    stage_ticks: &'a mut [u64],
+    low_total: &'a mut [f64],
+    high_window_sum: &'a mut [f64],
+    high_min_window_sum: &'a mut [f64],
+    high_head: &'a mut [u32],
+    high_len: &'a mut [u32],
+    low_low: &'a mut [f64],
+    b_on: &'a mut [f64],
+    backlog: &'a mut [f64],
+    alg_tick: &'a mut [u64],
+    shadow_backlog: &'a mut [f64],
+    current_alloc: &'a mut [f64],
+    changes: &'a mut [u64],
+    peak_alloc: &'a mut [f64],
+    total_arrived: &'a mut [f64],
+    total_served: &'a mut [f64],
+    total_allocated: &'a mut [f64],
+    pend_tick: &'a mut [u64],
+    pend_bits: &'a mut [f64],
+    pend_len: &'a mut [u32],
+    delay_tick: &'a mut [u64],
+    max_delay: &'a mut [u64],
+    max_delay_exact: &'a mut [f64],
+    meter_ticks: &'a mut [u64],
+    window_arrived: &'a mut [f64],
+    window_allocated: &'a mut [f64],
+    recent_head: &'a mut [u32],
+    recent_len: &'a mut [u32],
+    min_util: &'a mut [f64],
+    hull: &'a mut [Vec<(f64, f64)>],
+    high_ring: Vec<&'a mut [f64]>,
+    recent_ring: Vec<&'a mut [(f64, f64)]>,
+    pend_spill: &'a mut [VecDeque<(u64, f64)>],
+    stages: &'a mut [StageLog],
+}
+
+/// One step of the shadow link queue plus the metering totals —
+/// branch-free so the flow pass autovectorizes. Bitwise-identical to
+/// the branchy original: the `select` forms produce the same values,
+/// and the totals only read `arrivals`/`allocation`/`served`, so
+/// hoisting them ahead of the FIFO drain reorders across independent
+/// fields only. Returns the bits served this tick.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn flow_step(
+    arrivals: f64,
+    allocation: f64,
+    current_alloc: &mut f64,
+    changes: &mut u64,
+    shadow_backlog: &mut f64,
+    total_arrived: &mut f64,
+    total_served: &mut f64,
+    total_allocated: &mut f64,
+    peak_alloc: &mut f64,
+) -> f64 {
+    let changed = (allocation - *current_alloc).abs() > EPS;
+    *changes += changed as u64;
+    *current_alloc = if changed { allocation } else { *current_alloc };
+    let offered = *shadow_backlog + arrivals;
+    let served = offered.min(allocation);
+    let backlog = offered - served;
+    *shadow_backlog = if backlog < EPS { 0.0 } else { backlog };
+    *total_arrived += arrivals;
+    *total_served += served;
+    *total_allocated += allocation;
+    *peak_alloc = peak_alloc.max(allocation);
+    served
+}
+
+/// Reusable per-sweep work lists; one per kernel worker (and one on the
+/// shard for the group pass and the sequential path), so steady-state
+/// ticks allocate nothing.
+#[derive(Default)]
+struct SweepScratch {
+    /// Chunk-local indices of dedicated slots, in slot order.
+    ded: Vec<u32>,
+    /// Effective arrivals per `ded` entry (leaving slots read as 0).
+    ded_arr: Vec<f64>,
+    /// Chunk-local indices of stage-open dedicated slots.
+    open: Vec<u32>,
+    /// Effective arrivals per `open` entry.
+    open_arr: Vec<f64>,
+    /// Per-`ded` allocation decided this tick.
+    alloc: Vec<f64>,
+    /// Per-index bits served by the flow pass.
+    served: Vec<f64>,
+    /// Keys whose drain completed this tick, in slot order.
+    retire: Vec<u64>,
+    /// Slot indices of pooled-group members metered this tick.
+    grp: Vec<u32>,
+    /// Effective arrivals per `grp` entry.
+    grp_arr: Vec<f64>,
+    /// Pool-decided allocation per `grp` entry.
+    grp_alloc: Vec<f64>,
+}
+
+impl ChunkView<'_> {
+    /// The tracker-push pass over the stage-open slots: the
+    /// `HullLowTracker` point push and the `HighTracker` ring push,
+    /// same float-op order as `SingleSession::on_tick`. The hull
+    /// *query* is hoisted into [`ChunkView::pass_hull_query`], so this
+    /// pass is straight-line ring arithmetic.
+    fn pass_track(&mut self, open: &[u32], open_arr: &[f64], p: &KernelParams) {
+        for (&j, &arrivals) in open.iter().zip(open_arr) {
+            let j = j as usize;
+            debug_assert!(
+                self.flags[j] & F_STAGE_OPEN != 0,
+                "tracker push on an open stage"
+            );
+            // Both trackers clamp identically; one shared clamp is the
+            // same value.
+            let a2 = arrivals.max(0.0);
+            // Low push: candidate window-start x = stage tick, P[x] =
+            // total so far; the query uses the post-arrival total.
+            hull_add_point(
+                &mut self.hull[j],
+                (self.stage_ticks[j] as f64, self.low_total[j]),
+            );
+            self.low_total[j] += a2;
+            // High push: circular window of the last W arrivals. The
+            // running sum adds the new entry before subtracting the
+            // evicted one, exactly as the VecDeque form did. Slots that
+            // joined together share a cursor position, so these row
+            // accesses stream one dense row, not a line per slot.
+            if (self.high_len[j] as usize) < p.w {
+                self.high_ring[self.high_len[j] as usize][j] = a2;
+                self.high_len[j] += 1;
+                self.high_window_sum[j] += a2;
+            } else {
+                let idx = self.high_head[j] as usize;
+                let old = self.high_ring[idx][j];
+                self.high_ring[idx][j] = a2;
+                self.high_head[j] = if idx + 1 == p.w { 0 } else { (idx + 1) as u32 };
+                self.high_window_sum[j] += a2;
+                self.high_window_sum[j] -= old;
+                if self.high_window_sum[j] < 0.0 {
+                    self.high_window_sum[j] = 0.0; // float-noise guard
+                }
+            }
+            // One shared stage clock: the two trackers advance in
+            // lockstep.
+            self.stage_ticks[j] += 1;
+            // The full-window minimum merge reads only high-tracker
+            // fields, so folding it into this pass (ahead of the hull
+            // query it used to follow) cannot move a bit of either
+            // tracker.
+            if self.high_len[j] as usize == p.w {
+                self.high_min_window_sum[j] =
+                    self.high_min_window_sum[j].min(self.high_window_sum[j]);
+            }
+        }
+    }
+
+    /// The hoisted hull query as its own pass over the stage-open index
+    /// list: the `HullLowTracker::max_slope` binary search merged into
+    /// the running `low` maximum — the one data-dependent, branchy part
+    /// of the allocator step, kept out of the vectorizable passes.
+    fn pass_hull_query(&mut self, open: &[u32], p: &KernelParams) {
+        for &j in open {
+            let j = j as usize;
+            let q = ((self.stage_ticks[j] + p.d_o) as f64, self.low_total[j]);
+            let candidate = hull_max_slope(&self.hull[j], q);
+            if candidate > self.low_low[j] {
+                self.low_low[j] = candidate;
+            }
+        }
+    }
+
+    /// The decision pass over the dedicated slots: certificate check,
+    /// `B_on` ladder, link queue, and RESET reopen —
+    /// `SingleSession::on_tick` after the tracker pushes and the hull
+    /// query already ran this tick for stage-open slots. Fills
+    /// `alloc_out` parallel to `ded`.
+    fn pass_decide(
+        &mut self,
+        ded: &[u32],
+        ded_arr: &[f64],
+        alloc_out: &mut Vec<f64>,
+        p: &KernelParams,
+    ) {
+        alloc_out.clear();
+        for (&j, &arrivals) in ded.iter().zip(ded_arr) {
+            let j = j as usize;
+            let alloc = if self.flags[j] & F_STAGE_OPEN != 0 {
+                let l = self.low_low[j];
+                let hi = if self.high_min_window_sum[j].is_infinite() {
+                    p.b_max // grace: no full window constrains the offline yet
+                } else {
+                    self.high_min_window_sum[j] / p.high_denom
+                };
+                if crossed(l, hi) {
+                    // Certificate fired: end the stage, enter RESET.
+                    self.stages[j].close(self.alg_tick[j] as usize, StageKind::BoundsCrossed);
+                    self.flags[j] &= !F_STAGE_OPEN;
+                    self.b_on[j] = p.b_max;
+                    p.b_max
+                } else {
+                    if self.b_on[j] < l {
+                        self.b_on[j] = next_power_of_two(l).min(p.b_max);
+                    }
+                    self.b_on[j]
+                }
+            } else {
+                p.b_max
+            };
+            // The session's link queue (`BitQueue::tick` on the backlog
+            // field; inputs are validated upstream, so the clamps it
+            // would apply are identities).
+            let offered = self.backlog[j] + arrivals;
+            let served = offered.min(alloc);
+            let mut backlog = offered - served;
+            if backlog < EPS {
+                backlog = 0.0;
+            }
+            self.backlog[j] = backlog;
+            if self.flags[j] & F_STAGE_OPEN == 0 && backlog <= EPS {
+                // RESET complete: the next tick starts a new stage with
+                // fresh trackers (cursors and sentinels re-armed in
+                // place).
+                self.stages[j].open(self.alg_tick[j] as usize + 1);
+                self.flags[j] |= F_STAGE_OPEN;
+                self.hull[j].clear();
+                self.stage_ticks[j] = 0;
+                self.low_total[j] = 0.0;
+                self.low_low[j] = 0.0;
+                self.high_head[j] = 0;
+                self.high_len[j] = 0;
+                self.high_window_sum[j] = 0.0;
+                self.high_min_window_sum[j] = f64::INFINITY;
+                self.b_on[j] = 0.0;
+            }
+            self.alg_tick[j] += 1;
+            alloc_out.push(alloc);
+        }
+    }
+
+    /// The metering flow pass: shadow link queue plus totals, via the
+    /// branch-free [`flow_step`]. When the index list is one dense
+    /// ascending run the loop specializes to pre-sliced contiguous
+    /// columns, which is the form the compiler autovectorizes; the
+    /// gather fallback handles sparse lists bit-identically.
+    fn pass_meter_flow(
+        &mut self,
+        idx: &[u32],
+        arr: &[f64],
+        alloc: &[f64],
+        served_out: &mut Vec<f64>,
+    ) {
+        let n = idx.len();
+        served_out.clear();
+        served_out.resize(n, 0.0);
+        if n == 0 {
+            return;
+        }
+        let base = idx[0] as usize;
+        // Dense-run detection must check every element: group-gathered
+        // lists need not be monotonic, so a first/last/len probe lies.
+        let dense = idx.iter().enumerate().all(|(k, &j)| j as usize == base + k);
+        if dense {
+            let current_alloc = &mut self.current_alloc[base..base + n];
+            let changes = &mut self.changes[base..base + n];
+            let shadow_backlog = &mut self.shadow_backlog[base..base + n];
+            let total_arrived = &mut self.total_arrived[base..base + n];
+            let total_served = &mut self.total_served[base..base + n];
+            let total_allocated = &mut self.total_allocated[base..base + n];
+            let peak_alloc = &mut self.peak_alloc[base..base + n];
+            for k in 0..n {
+                served_out[k] = flow_step(
+                    arr[k],
+                    alloc[k],
+                    &mut current_alloc[k],
+                    &mut changes[k],
+                    &mut shadow_backlog[k],
+                    &mut total_arrived[k],
+                    &mut total_served[k],
+                    &mut total_allocated[k],
+                    &mut peak_alloc[k],
+                );
+            }
+        } else {
+            for k in 0..n {
+                let j = idx[k] as usize;
+                served_out[k] = flow_step(
+                    arr[k],
+                    alloc[k],
+                    &mut self.current_alloc[j],
+                    &mut self.changes[j],
+                    &mut self.shadow_backlog[j],
+                    &mut self.total_arrived[j],
+                    &mut self.total_served[j],
+                    &mut self.total_allocated[j],
+                    &mut self.peak_alloc[j],
+                );
+            }
+        }
+    }
+
+    /// The FIFO delay-tracker pass (`OnlineDelayTracker::push`): the
+    /// head entry lives inline in the columns; older entries spill.
+    /// Data-dependent drain loop, so it stays its own scalar pass.
+    fn pass_meter_fifo(&mut self, idx: &[u32], arr: &[f64], served: &[f64]) {
+        for (k, &j) in idx.iter().enumerate() {
+            let j = j as usize;
+            let arrivals = arr[k];
+            if arrivals > EPS {
+                if self.pend_len[j] == 0 {
+                    self.pend_tick[j] = self.delay_tick[j];
+                    self.pend_bits[j] = arrivals;
+                } else {
+                    self.pend_spill[j].push_back((self.delay_tick[j], arrivals));
+                }
+                self.pend_len[j] += 1;
+            }
+            let total = served[k];
+            let mut left = total;
+            while left > EPS && self.pend_len[j] > 0 {
+                let take = self.pend_bits[j].min(left);
+                self.pend_bits[j] -= take;
+                left -= take;
+                if self.pend_bits[j] <= EPS {
+                    self.max_delay[j] =
+                        self.max_delay[j].max(self.delay_tick[j] - self.pend_tick[j]);
+                    // The entry completes after the fraction of this
+                    // tick's service consumed so far (see
+                    // `OnlineDelayTracker`).
+                    let consumed = ((total - left) / total).clamp(0.0, 1.0);
+                    let exact =
+                        ((self.delay_tick[j] - self.pend_tick[j]) as f64 - 1.0 + consumed).max(0.0);
+                    self.max_delay_exact[j] = self.max_delay_exact[j].max(exact);
+                    self.pend_len[j] -= 1;
+                    if self.pend_len[j] > 0 {
+                        let (t0, bits) = self.pend_spill[j]
+                            .pop_front()
+                            .expect("len counts the spill");
+                        self.pend_tick[j] = t0;
+                        self.pend_bits[j] = bits;
+                    }
+                }
+            }
+            // A still-pending head already implies at least this much
+            // delay.
+            if self.pend_len[j] > 0 {
+                self.max_delay[j] = self.max_delay[j].max(self.delay_tick[j] - self.pend_tick[j]);
+                self.max_delay_exact[j] =
+                    self.max_delay_exact[j].max((self.delay_tick[j] - self.pend_tick[j]) as f64);
+            }
+            self.delay_tick[j] += 1;
+        }
+    }
+
+    /// The utilization-window pass: the rolling `recent` ring and the
+    /// windowed-minimum merge. The running sums add the new pair before
+    /// subtracting the evicted one, as the VecDeque form did.
+    fn pass_meter_window(&mut self, idx: &[u32], arr: &[f64], alloc: &[f64]) {
+        let w = self.w;
+        for (k, &j) in idx.iter().enumerate() {
+            let j = j as usize;
+            let (arrivals, allocation) = (arr[k], alloc[k]);
+            self.meter_ticks[j] += 1;
+            if (self.recent_len[j] as usize) < w {
+                self.recent_ring[self.recent_len[j] as usize][j] = (arrivals, allocation);
+                self.recent_len[j] += 1;
+                self.window_arrived[j] += arrivals;
+                self.window_allocated[j] += allocation;
+            } else {
+                let idx2 = self.recent_head[j] as usize;
+                let (a0, b0) = self.recent_ring[idx2][j];
+                self.recent_ring[idx2][j] = (arrivals, allocation);
+                self.recent_head[j] = if idx2 + 1 == w { 0 } else { (idx2 + 1) as u32 };
+                self.window_arrived[j] += arrivals;
+                self.window_allocated[j] += allocation;
+                self.window_arrived[j] -= a0;
+                self.window_allocated[j] -= b0;
+            }
+            if self.recent_len[j] as usize == w && self.window_allocated[j] > EPS {
+                let ratio = self.window_arrived[j].max(0.0) / self.window_allocated[j];
+                // `min` returns the other operand when one side is NaN,
+                // so the NaN "none yet" sentinel picks up the first
+                // ratio.
+                self.min_util[j] = self.min_util[j].min(ratio);
+            }
+        }
+    }
+
+    /// One full dedicated-session sweep over this chunk: build the
+    /// dense index lists, then run the phase passes in order. Leaves
+    /// the keys of drain-completed slots in `s.retire`, in slot order.
+    /// Slots are independent, so per-slot state after the sweep is a
+    /// function of that slot alone — chunking cannot change a bit.
+    fn sweep(&mut self, p: &KernelParams, s: &mut SweepScratch) {
+        s.ded.clear();
+        s.ded_arr.clear();
+        s.open.clear();
+        s.open_arr.clear();
+        s.retire.clear();
+        for j in 0..self.flags.len() {
+            let f = self.flags[j];
+            if f & F_DEDICATED == 0 {
+                continue;
+            }
+            // A leaving session stops arriving; it only drains.
+            let a = if f & F_LEAVING != 0 {
+                0.0
+            } else {
+                self.arrived[j]
+            };
+            s.ded.push(j as u32);
+            s.ded_arr.push(a);
+            // Every metered tick mutates the slot (clocks, rings,
+            // window sums), so list membership is exactly dirtiness.
+            self.flags[j] = f | F_DIRTY;
+            // Capture stage-open membership before the decide pass can
+            // close or reopen stages: matches the fused kernel, which
+            // read the flag once at the top of the slot's step.
+            if f & OPEN == OPEN {
+                s.open.push(j as u32);
+                s.open_arr.push(a);
+            }
+        }
+        self.pass_track(&s.open, &s.open_arr, p);
+        self.pass_hull_query(&s.open, p);
+        self.pass_decide(&s.ded, &s.ded_arr, &mut s.alloc, p);
+        self.pass_meter_flow(&s.ded, &s.ded_arr, &s.alloc, &mut s.served);
+        self.pass_meter_fifo(&s.ded, &s.ded_arr, &s.served);
+        self.pass_meter_window(&s.ded, &s.ded_arr, &s.alloc);
+        for &j in &s.ded {
+            let j = j as usize;
+            if self.flags[j] & F_LEAVING != 0 && self.shadow_backlog[j] <= EPS {
+                s.retire.push(self.keys[j]);
+            }
+        }
+    }
+}
+
+/// A job handed to a kernel worker: a lifetime-erased chunk view plus
+/// the tick's parameters. Safety: the erased borrows are only valid
+/// until the dispatching tick returns, so the dispatcher MUST collect
+/// every worker's completion (panic or not) before it returns or
+/// unwinds — `ShardState::tick` does, and `KernelPool` sits before
+/// `cols` in `ShardState` so drop joins the workers first.
+struct KernelJob {
+    view: ChunkView<'static>,
+    params: KernelParams,
+    chunk: usize,
+}
+
+/// A small reusable per-shard worker pool for the intra-shard parallel
+/// sweep. Workers are spawned once and fed one fixed chunk per tick;
+/// each returns its retire list, which the dispatcher concatenates in
+/// chunk order (= slot order), so the reduction is deterministic and
+/// independent of completion order.
+struct KernelPool {
+    jobs: Vec<crossbeam::channel::Sender<KernelJob>>,
+    done: crossbeam::channel::Receiver<(usize, std::thread::Result<Vec<u64>>)>,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl KernelPool {
+    fn new(shard: u64, workers: usize) -> Self {
+        let (done_tx, done) = crossbeam::channel::unbounded();
+        let mut jobs = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for k in 0..workers {
+            let (tx, rx) = crossbeam::channel::unbounded::<KernelJob>();
+            let done_tx = done_tx.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("cdba-kernel-{shard}-{k}"))
+                .spawn(move || {
+                    let mut scratch = SweepScratch::default();
+                    while let Ok(mut job) = rx.recv() {
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                job.view.sweep(&job.params, &mut scratch);
+                                std::mem::take(&mut scratch.retire)
+                            }));
+                        if done_tx.send((job.chunk, outcome)).is_err() {
+                            return;
+                        }
+                    }
+                })
+                .expect("spawn kernel worker");
+            jobs.push(tx);
+            handles.push(handle);
+        }
+        KernelPool {
+            jobs,
+            done,
+            handles,
+        }
+    }
+}
+
+impl Drop for KernelPool {
+    fn drop(&mut self) {
+        self.jobs.clear(); // disconnect: workers exit their recv loop
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -1285,6 +1774,15 @@ pub(crate) struct ShardState {
     index: KeyMap,
     groups: Slab<GroupEntry>,
     group_index: KeyMap,
+    /// How many threads sweep this shard's slot range inside a tick.
+    kernel_threads: usize,
+    /// Lazily-spawned worker pool for `kernel_threads > 1`; holds
+    /// `kernel_threads - 1` workers (the driving thread sweeps chunk 0).
+    /// Declared before `cols`: drop joins the workers before the column
+    /// storage their erased views may still reference deallocates.
+    kernel_pool: Option<KernelPool>,
+    /// The driving thread's sweep work lists, reused across ticks.
+    scratch: SweepScratch,
     /// Per-session hot state, parallel to `sessions` by slot.
     cols: Columns,
     /// Copy-on-retire: shared with outstanding reports and checkpoints; a
@@ -1312,6 +1810,9 @@ impl ShardState {
             index: KeyMap::new(),
             groups: Slab::new(),
             group_index: KeyMap::new(),
+            kernel_threads: cfg.kernel_threads,
+            kernel_pool: None,
+            scratch: SweepScratch::default(),
             cols: Columns::default(),
             retired: Arc::new(Vec::new()),
             ticks: 0,
@@ -1420,58 +1921,89 @@ impl ShardState {
         let mut encoded = 0u64;
         {
             let ShardState { sessions, cols, .. } = self;
+            // Identity + ragged state go row-at-a-time (they interleave
+            // per-slot variable-length runs); the encoded slot list they
+            // produce then drives one sequential append pass per fixed
+            // scalar column, streaming each per-field column directly.
+            let mut rows: Vec<u32> = Vec::new();
+            let (mut high_scratch, mut recent_scratch) = (Vec::new(), Vec::new());
             for (slot, e) in sessions.iter() {
                 let i = slot.index as usize;
-                let h = &cols.hot[i];
-                if kind == columnar::KIND_INCREMENTAL && h.flags & F_DIRTY == 0 {
+                if kind == columnar::KIND_INCREMENTAL && cols.flags[i] & F_DIRTY == 0 {
                     continue;
                 }
                 encoded += 1;
+                rows.push(i as u32);
                 let (group, member) = match &e.kind {
                     SessionKind::Dedicated => (u64::MAX, 0),
                     SessionKind::Pooled { group, member } => (*group, member.raw()),
                 };
+                gather_ring(
+                    &cols.high_ring,
+                    cols.ring_cap,
+                    i,
+                    w,
+                    cols.high_head[i],
+                    cols.high_len[i],
+                    &mut high_scratch,
+                );
+                gather_ring(
+                    &cols.recent_ring,
+                    cols.ring_cap,
+                    i,
+                    w,
+                    cols.recent_head[i],
+                    cols.recent_len[i],
+                    &mut recent_scratch,
+                );
                 sink.push_row(&columnar::RowRef {
                     key: e.key,
                     tenant: &e.tenant,
-                    flags: h.flags & !F_DIRTY,
+                    flags: cols.flags[i] & !F_DIRTY,
                     group,
                     member,
-                    f64s: [
-                        h.shadow_backlog,
-                        h.current_alloc,
-                        h.peak_alloc,
-                        h.total_arrived,
-                        h.total_served,
-                        h.total_allocated,
-                        h.window_arrived,
-                        h.window_allocated,
-                        h.backlog,
-                        h.b_on,
-                        h.low_total,
-                        h.low_low,
-                        h.high_window_sum,
-                        h.high_min_window_sum,
-                        h.min_util,
-                        h.max_delay_exact,
-                    ],
-                    u64s: [
-                        h.alg_tick,
-                        h.stage_ticks,
-                        h.meter_ticks,
-                        h.changes,
-                        h.delay_tick,
-                        h.max_delay,
-                    ],
                     hull: &cols.hull[i],
-                    high: ring_slices(&cols.high_ring, i, w, h.high_head, h.high_len),
-                    recent: ring_slices(&cols.recent_ring, i, w, h.recent_head, h.recent_len),
+                    high: (&high_scratch, &[]),
+                    recent: (&recent_scratch, &[]),
                     pend: columnar::PendRows::Split {
-                        head: (h.pend_len > 0).then_some((h.pend_tick, h.pend_bits)),
+                        head: (cols.pend_len[i] > 0)
+                            .then_some((cols.pend_tick[i], cols.pend_bits[i])),
                         spill: cols.pend_spill[i].as_slices(),
                     },
                     stages: cols.stages[i].records(),
                 });
+            }
+            let f64_cols: [&[f64]; 16] = [
+                &cols.shadow_backlog,
+                &cols.current_alloc,
+                &cols.peak_alloc,
+                &cols.total_arrived,
+                &cols.total_served,
+                &cols.total_allocated,
+                &cols.window_arrived,
+                &cols.window_allocated,
+                &cols.backlog,
+                &cols.b_on,
+                &cols.low_total,
+                &cols.low_low,
+                &cols.high_window_sum,
+                &cols.high_min_window_sum,
+                &cols.min_util,
+                &cols.max_delay_exact,
+            ];
+            for (j, src) in f64_cols.into_iter().enumerate() {
+                sink.put_f64_col(columnar::C_F64 + j, src, &rows);
+            }
+            let u64_cols: [&[u64]; 6] = [
+                &cols.alg_tick,
+                &cols.stage_ticks,
+                &cols.meter_ticks,
+                &cols.changes,
+                &cols.delay_tick,
+                &cols.max_delay,
+            ];
+            for (j, src) in u64_cols.into_iter().enumerate() {
+                sink.put_u64_col(columnar::C_U64 + j, src, &rows);
             }
         }
         // Group state is tiny relative to the session columns, so every
@@ -1514,9 +2046,9 @@ impl ShardState {
         };
         sink.finish(&hdr, &groups, tombs, retired, out);
         // The chain now covers everything up to this instant.
-        for h in &mut self.cols.hot[..self.sessions.slot_bound()] {
-            if h.flags & F_LIVE != 0 {
-                h.flags &= !F_DIRTY;
+        for f in &mut self.cols.flags[..self.sessions.slot_bound()] {
+            if *f & F_LIVE != 0 {
+                *f &= !F_DIRTY;
             }
         }
         self.removed_since_checkpoint.clear();
@@ -1770,56 +2302,56 @@ impl ShardState {
             let pend_n = u32_at(pend_len_c, r) as usize;
             let stage_n = u32_at(stage_len_c, r) as usize;
             let cols = &mut self.cols;
-            cols.arrived[i] = 0.0;
+            // Every scalar not carried by the frame lands at its vacant
+            // value (arrived 0, heads 0, pend head 0/0.0).
+            cols.reset_scalars(i);
             cols.keys[i] = key;
-            let mut h = HotState::EMPTY;
-            h.flags = flags;
-            h.shadow_backlog = f64_at(f64_cs[0], r);
-            h.current_alloc = f64_at(f64_cs[1], r);
-            h.peak_alloc = f64_at(f64_cs[2], r);
-            h.total_arrived = f64_at(f64_cs[3], r);
-            h.total_served = f64_at(f64_cs[4], r);
-            h.total_allocated = f64_at(f64_cs[5], r);
-            h.window_arrived = f64_at(f64_cs[6], r);
-            h.window_allocated = f64_at(f64_cs[7], r);
-            h.backlog = f64_at(f64_cs[8], r);
-            h.b_on = f64_at(f64_cs[9], r);
-            h.low_total = f64_at(f64_cs[10], r);
-            h.low_low = f64_at(f64_cs[11], r);
-            h.high_window_sum = f64_at(f64_cs[12], r);
-            h.high_min_window_sum = f64_at(f64_cs[13], r);
-            h.min_util = f64_at(f64_cs[14], r);
-            h.max_delay_exact = f64_at(f64_cs[15], r);
-            h.alg_tick = u64_at(u64_cs[0], r);
-            h.stage_ticks = u64_at(u64_cs[1], r);
-            h.meter_ticks = u64_at(u64_cs[2], r);
-            h.changes = u64_at(u64_cs[3], r);
-            h.delay_tick = u64_at(u64_cs[4], r);
-            h.max_delay = u64_at(u64_cs[5], r);
+            cols.flags[i] = flags;
+            cols.shadow_backlog[i] = f64_at(f64_cs[0], r);
+            cols.current_alloc[i] = f64_at(f64_cs[1], r);
+            cols.peak_alloc[i] = f64_at(f64_cs[2], r);
+            cols.total_arrived[i] = f64_at(f64_cs[3], r);
+            cols.total_served[i] = f64_at(f64_cs[4], r);
+            cols.total_allocated[i] = f64_at(f64_cs[5], r);
+            cols.window_arrived[i] = f64_at(f64_cs[6], r);
+            cols.window_allocated[i] = f64_at(f64_cs[7], r);
+            cols.backlog[i] = f64_at(f64_cs[8], r);
+            cols.b_on[i] = f64_at(f64_cs[9], r);
+            cols.low_total[i] = f64_at(f64_cs[10], r);
+            cols.low_low[i] = f64_at(f64_cs[11], r);
+            cols.high_window_sum[i] = f64_at(f64_cs[12], r);
+            cols.high_min_window_sum[i] = f64_at(f64_cs[13], r);
+            cols.min_util[i] = f64_at(f64_cs[14], r);
+            cols.max_delay_exact[i] = f64_at(f64_cs[15], r);
+            cols.alg_tick[i] = u64_at(u64_cs[0], r);
+            cols.stage_ticks[i] = u64_at(u64_cs[1], r);
+            cols.meter_ticks[i] = u64_at(u64_cs[2], r);
+            cols.changes[i] = u64_at(u64_cs[3], r);
+            cols.delay_tick[i] = u64_at(u64_cs[4], r);
+            cols.max_delay[i] = u64_at(u64_cs[5], r);
             // Rings land at head = 0, exactly how the encoder read them.
             for j in 0..high_n {
-                cols.high_ring[i * w + j] = f64_at(high_c, high_off + j);
+                cols.high_ring[j * cols.ring_cap + i] = f64_at(high_c, high_off + j);
             }
-            h.high_len = high_n as u32;
+            cols.high_len[i] = high_n as u32;
             for j in 0..recent_n {
-                cols.recent_ring[i * w + j] = pair_at(recent_c, recent_off + j);
+                cols.recent_ring[j * cols.ring_cap + i] = pair_at(recent_c, recent_off + j);
             }
-            h.recent_len = recent_n as u32;
+            cols.recent_len[i] = recent_n as u32;
             let hull = &mut cols.hull[i];
             hull.clear();
             hull.extend((0..hull_n).map(|j| pair_at(hull_c, hull_off + j)));
             let spill = &mut cols.pend_spill[i];
             spill.clear();
-            h.pend_len = pend_n as u32;
+            cols.pend_len[i] = pend_n as u32;
             if pend_n > 0 {
                 let (t0, b0) = pend_at(pend_c, pend_off);
-                h.pend_tick = t0;
-                h.pend_bits = b0;
+                cols.pend_tick[i] = t0;
+                cols.pend_bits[i] = b0;
                 spill.extend((1..pend_n).map(|j| pend_at(pend_c, pend_off + j)));
             }
             cols.stages[i]
                 .restore_from_iter((0..stage_n).map(|j| stage_at(stage_c, stage_off + j)));
-            cols.hot[i] = h;
             hull_off += hull_n;
             high_off += high_n;
             recent_off += recent_n;
@@ -1943,7 +2475,7 @@ impl ShardState {
         // *not* set the bit — restored state is already captured by the
         // chain being restored from.
         if let Some(slot) = self.index.get(cp.key) {
-            self.cols.hot[slot.index as usize].flags |= F_DIRTY;
+            self.cols.flags[slot.index as usize] |= F_DIRTY;
         }
     }
 
@@ -2049,15 +2581,14 @@ impl ShardState {
             return;
         }
         entry.leaving = true;
-        self.cols.hot[slot.index as usize].flags |= F_LEAVING | F_DIRTY;
+        self.cols.flags[slot.index as usize] |= F_LEAVING | F_DIRTY;
         let pooled = match &entry.kind {
             SessionKind::Pooled { group, member } => Some((*group, *member)),
             // Nothing to tell the allocator; the session now receives zero
             // arrivals and retires once its link queue drains.
             SessionKind::Dedicated => None,
         };
-        let drained_now =
-            pooled.is_none() && self.cols.hot[slot.index as usize].shadow_backlog <= EPS;
+        let drained_now = pooled.is_none() && self.cols.shadow_backlog[slot.index as usize] <= EPS;
         match pooled {
             Some((group, member)) => {
                 // The pool moves the residual backlog to the overflow
@@ -2083,10 +2614,17 @@ impl ShardState {
         let bound = self.sessions.slot_bound();
         self.cols.grow_to(bound, self.window);
         // Scatter pass: stage the batched arrivals into the arrived column
-        // — one direct-mapped lookup and one array write per arrival. The
-        // service boundary validated every entry (finite, non-negative);
-        // the kernel asserts that contract instead of clamping.
-        self.cols.arrived[..bound].fill(0.0);
+        // — one direct-mapped lookup, one array write, and one
+        // touched-index record per arrival, so the un-scatter afterwards
+        // costs O(arrivals), not O(slots) (the column is all-zero between
+        // ticks by construction). The service boundary validated every
+        // entry (finite, non-negative); the kernel asserts that contract
+        // instead of clamping.
+        debug_assert!(
+            self.cols.arrived[..bound].iter().all(|&a| a == 0.0),
+            "the arrived column rests at all-zero between ticks"
+        );
+        debug_assert!(self.cols.touched.is_empty());
         for &(key, bits) in arrivals {
             debug_assert!(
                 bits.is_finite() && bits >= 0.0,
@@ -2094,92 +2632,163 @@ impl ShardState {
             );
             if let Some(slot) = self.index.get(key) {
                 self.cols.arrived[slot.index as usize] += bits;
+                self.cols.touched.push(slot.index);
             }
         }
 
         let p = self.params();
-        let ShardState { groups, cols, .. } = self;
+        let shard = self.shard;
+        let kernel_threads = self.kernel_threads;
         let mut to_retire: Vec<u64> = Vec::new();
+        {
+            let ShardState {
+                groups,
+                kernel_pool,
+                scratch,
+                cols,
+                ..
+            } = self;
 
-        // Group pass: submit, tick each pool once, meter the members.
-        for (_, group) in groups.iter_mut() {
-            for &(member, _, slot) in &group.by_member {
-                let i = slot.index as usize;
-                if cols.hot[i].flags & F_LEAVING == 0 {
-                    let _ = group.pool.submit(member, cols.arrived[i]);
+            // Group pass: submit and tick each pool once, gathering the
+            // members' meter inputs; the metering itself runs below in
+            // the same phase passes as the dedicated sweep. Pools never
+            // read meter columns and each member is metered exactly once,
+            // so deferring the meter past the pool loop reorders across
+            // independent state only.
+            scratch.grp.clear();
+            scratch.grp_arr.clear();
+            scratch.grp_alloc.clear();
+            for (_, group) in groups.iter_mut() {
+                for &(member, _, slot) in &group.by_member {
+                    let i = slot.index as usize;
+                    if cols.flags[i] & F_LEAVING == 0 {
+                        let _ = group.pool.submit(member, cols.arrived[i]);
+                    }
                 }
-            }
-            let allocs = group.pool.tick();
-            // Pool member ids come from one monotone counter and both the
-            // pool's slot order and `by_member` preserve join order, so
-            // the allocation output and the membership are two ascending
-            // runs: matching them is a single merge cursor. A `by_member`
-            // entry the output skips is a leaving member the pool retired
-            // (its slot drained on an earlier tick).
-            debug_assert!(
-                group.by_member.windows(2).all(|w| w[0].0 < w[1].0),
-                "group membership is ascending by pool member id"
-            );
-            let mut mi = 0usize;
-            for (member, alloc) in allocs {
-                while group.by_member.get(mi).map(|&(m, _, _)| m) != Some(member) {
-                    let &(_, key, _) = group
-                        .by_member
-                        .get(mi)
-                        .expect("pool reported an unknown member");
-                    to_retire.push(key);
+                let allocs = group.pool.tick();
+                // Pool member ids come from one monotone counter and both
+                // the pool's slot order and `by_member` preserve join
+                // order, so the allocation output and the membership are
+                // two ascending runs: matching them is a single merge
+                // cursor. A `by_member` entry the output skips is a
+                // leaving member the pool retired (its slot drained on an
+                // earlier tick).
+                debug_assert!(
+                    group.by_member.windows(2).all(|w| w[0].0 < w[1].0),
+                    "group membership is ascending by pool member id"
+                );
+                let mut mi = 0usize;
+                for (member, alloc) in allocs {
+                    while group.by_member.get(mi).map(|&(m, _, _)| m) != Some(member) {
+                        let &(_, key, _) = group
+                            .by_member
+                            .get(mi)
+                            .expect("pool reported an unknown member");
+                        to_retire.push(key);
+                        mi += 1;
+                    }
+                    let (_, _, slot) = group.by_member[mi];
                     mi += 1;
+                    let i = slot.index as usize;
+                    let f = cols.flags[i];
+                    let arrived = if f & F_LEAVING != 0 {
+                        0.0
+                    } else {
+                        cols.arrived[i]
+                    };
+                    // Every metered tick mutates the slot, so gather
+                    // membership is exactly dirtiness (skipped retiring
+                    // members are not metered and not dirtied).
+                    cols.flags[i] = f | F_DIRTY;
+                    scratch.grp.push(i as u32);
+                    scratch.grp_arr.push(arrived);
+                    scratch.grp_alloc.push(alloc);
                 }
-                let (_, _, slot) = group.by_member[mi];
-                mi += 1;
-                let i = slot.index as usize;
-                let arrived = if cols.hot[i].flags & F_LEAVING != 0 {
-                    0.0
-                } else {
-                    cols.arrived[i]
-                };
-                cols.meter_record(i, arrived, alloc, &p);
+                for &(_, key, _) in &group.by_member[mi..] {
+                    to_retire.push(key);
+                }
             }
-            for &(_, key, _) in &group.by_member[mi..] {
-                to_retire.push(key);
+            if !scratch.grp.is_empty() {
+                let mut views = cols.chunk_views(&[bound], p.w);
+                let view = &mut views[0];
+                view.pass_meter_flow(
+                    &scratch.grp,
+                    &scratch.grp_arr,
+                    &scratch.grp_alloc,
+                    &mut scratch.served,
+                );
+                view.pass_meter_fifo(&scratch.grp, &scratch.grp_arr, &scratch.served);
+                view.pass_meter_window(&scratch.grp, &scratch.grp_arr, &scratch.grp_alloc);
             }
-        }
 
-        // Dedicated pass: one allocator step and one meter step per
-        // session, in slot order, straight over the columns. The flags
-        // column alone selects the slots — the identity slab stays cold.
-        // The allocator step is split into phase functions — the
-        // tracker pushes ([`Columns::alg_track`], straight-line ring
-        // arithmetic with the hull query hoisted out, so the phase is
-        // vectorizable), the hull query, and the branchy decision — but
-        // the sweep drives all phases per slot in one fused loop:
-        // separate per-phase passes re-stream the hot column (a
-        // measured 10–20 % tick-throughput loss at 10k–100k sessions,
-        // even tiled over cache-sized blocks), so the pass split waits
-        // for an actual vectorized tracker phase to pay for it. Slots
-        // are independent across the phases and per-slot float-op order
-        // is unchanged from the unsplit step, so the function split is
-        // bitwise-invisible (the lockstep proptest against the
-        // entry-based oracle holds it).
-        const OPEN: u32 = F_DEDICATED | F_STAGE_OPEN;
-        for i in 0..bound {
-            let f = cols.hot[i].flags;
-            if f & F_DEDICATED == 0 {
-                continue;
-            }
-            let arrived = if f & F_LEAVING != 0 {
-                0.0
+            // Dedicated sweep ([`ChunkView::sweep`]): dense index lists
+            // drive vectorization-friendly phase passes, in slot order
+            // within each chunk. With `kernel_threads > 1` the slot range
+            // splits into that many fixed chunks — the driving thread
+            // sweeps chunk 0, the worker pool the rest — and the
+            // per-chunk retire lists concatenate in chunk order, which
+            // *is* slot order: slots are independent inside the sweep, so
+            // the result is bitwise-identical across thread counts.
+            let chunks = kernel_threads.min(bound).max(1);
+            if chunks == 1 {
+                let mut views = cols.chunk_views(&[bound], p.w);
+                views[0].sweep(&p, scratch);
+                to_retire.append(&mut scratch.retire);
             } else {
-                cols.arrived[i]
-            };
-            if f & OPEN == OPEN {
-                cols.alg_track(i, arrived, &p);
-                cols.alg_hull_query(i, &p);
+                let pool =
+                    kernel_pool.get_or_insert_with(|| KernelPool::new(shard, kernel_threads - 1));
+                let ends: Vec<usize> = (1..=chunks).map(|c| bound * c / chunks).collect();
+                let mut views = cols.chunk_views(&ends, p.w).into_iter();
+                let mut chunk0 = views.next().expect("at least one chunk");
+                for (k, view) in views.enumerate() {
+                    // SAFETY: the erased borrow is dead once the worker's
+                    // completion lands on `done`, and every completion is
+                    // collected below before this scope (and the borrow of
+                    // `cols`) can end — even when a chunk panics.
+                    let erased =
+                        unsafe { std::mem::transmute::<ChunkView<'_>, ChunkView<'static>>(view) };
+                    if pool.jobs[k]
+                        .send(KernelJob {
+                            view: erased,
+                            params: p,
+                            chunk: k + 1,
+                        })
+                        .is_err()
+                    {
+                        unreachable!("kernel workers outlive the pool");
+                    }
+                }
+                let chunk0_outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    chunk0.sweep(&p, scratch);
+                }));
+                let mut rest: Vec<Option<Vec<u64>>> = (1..chunks).map(|_| None).collect();
+                let mut worker_panic: Option<Box<dyn std::any::Any + Send>> = None;
+                for _ in 1..chunks {
+                    let (chunk, outcome) =
+                        pool.done.recv().expect("kernel workers outlive the pool");
+                    match outcome {
+                        Ok(retire) => rest[chunk - 1] = Some(retire),
+                        Err(payload) => worker_panic = Some(payload),
+                    }
+                }
+                // All chunks have reported: no erased view is live, so
+                // unwinding (or returning) is now sound.
+                if let Err(payload) = chunk0_outcome {
+                    std::panic::resume_unwind(payload);
+                }
+                if let Some(payload) = worker_panic {
+                    std::panic::resume_unwind(payload);
+                }
+                to_retire.append(&mut scratch.retire);
+                for retire in rest {
+                    to_retire.extend(retire.expect("every chunk reported exactly once"));
+                }
             }
-            let alloc = cols.alg_decide(i, arrived, &p);
-            cols.meter_record(i, arrived, alloc, &p);
-            if f & F_LEAVING != 0 && cols.hot[i].shadow_backlog <= EPS {
-                to_retire.push(cols.keys[i]);
+
+            // O(arrivals) un-scatter: restore the column's all-zero
+            // resting state by clearing only the touched indices.
+            while let Some(i) = cols.touched.pop() {
+                cols.arrived[i as usize] = 0.0;
             }
         }
 
@@ -2777,41 +3386,80 @@ mod tests {
             ticks as f64 / entry_elapsed.as_secs_f64(),
         );
 
-        // Component timings over the warmed SoA state.
+        // Per-pass timings over the warmed SoA state, via a full-range
+        // chunk view and the same phase passes the sweep runs.
         let p = soa.params();
         let cols = &mut soa.cols;
         let rounds = 20u32;
         let per = |d: std::time::Duration| d.as_nanos() as f64 / (rounds as f64 * n as f64);
+        let mut s = SweepScratch::default();
+        let mut view = cols.chunk_views(&[n], p.w).pop().unwrap();
+        let arr: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
         let started = std::time::Instant::now();
         let mut sink = 0.0f64;
-        for r in 0..rounds {
-            for i in 0..n {
-                let a = ((r as usize + i) % 5) as f64;
-                if cols.hot[i].flags & F_STAGE_OPEN != 0 {
-                    cols.alg_track(i, a, &p);
-                    cols.alg_hull_query(i, &p);
+        let mut pass_ns = [0u128; 7];
+        for _ in 0..rounds {
+            let t0 = std::time::Instant::now();
+            s.open.clear();
+            s.open_arr.clear();
+            s.ded.clear();
+            for (j, &a) in arr.iter().enumerate() {
+                s.ded.push(j as u32);
+                if view.flags[j] & F_STAGE_OPEN != 0 {
+                    s.open.push(j as u32);
+                    s.open_arr.push(a);
                 }
-                sink += cols.alg_decide(i, a, &p);
             }
+            let t1 = std::time::Instant::now();
+            view.pass_track(&s.open, &s.open_arr, &p);
+            let t2 = std::time::Instant::now();
+            view.pass_hull_query(&s.open, &p);
+            let t3 = std::time::Instant::now();
+            view.pass_decide(&s.ded, &arr, &mut s.alloc, &p);
+            let t4 = std::time::Instant::now();
+            sink += s.alloc.iter().sum::<f64>();
+            pass_ns[0] += (t1 - t0).as_nanos();
+            pass_ns[1] += (t2 - t1).as_nanos();
+            pass_ns[2] += (t3 - t2).as_nanos();
+            pass_ns[3] += (t4 - t3).as_nanos();
         }
         let alg_elapsed = started.elapsed();
         let started = std::time::Instant::now();
-        for r in 0..rounds {
-            for i in 0..n {
-                cols.meter_record(i, ((r as usize + i) % 5) as f64, 4.0, &p);
-            }
+        for _ in 0..rounds {
+            let t0 = std::time::Instant::now();
+            view.pass_meter_flow(&s.ded, &arr, &s.alloc, &mut s.served);
+            let t1 = std::time::Instant::now();
+            view.pass_meter_fifo(&s.ded, &arr, &s.served);
+            let t2 = std::time::Instant::now();
+            view.pass_meter_window(&s.ded, &arr, &s.alloc);
+            let t3 = std::time::Instant::now();
+            pass_ns[4] += (t1 - t0).as_nanos();
+            pass_ns[5] += (t2 - t1).as_nanos();
+            pass_ns[6] += (t3 - t2).as_nanos();
         }
         let meter_elapsed = started.elapsed();
+        let pn = |i: usize| pass_ns[i] as f64 / (rounds as f64 * n as f64);
+        println!(
+            "per-pass ns/session: lists {:.1}, track {:.1}, hull {:.1}, decide {:.1}, \
+             flow {:.1}, fifo {:.1}, window {:.1}",
+            pn(0),
+            pn(1),
+            pn(2),
+            pn(3),
+            pn(4),
+            pn(5),
+            pn(6),
+        );
         let mut hull_points = 0usize;
         let mut open_stages = 0usize;
-        for i in 0..n {
-            if cols.hot[i].flags & F_STAGE_OPEN != 0 {
+        for j in 0..n {
+            if view.flags[j] & F_STAGE_OPEN != 0 {
                 open_stages += 1;
-                hull_points += cols.hull[i].len();
+                hull_points += view.hull[j].len();
             }
         }
         println!(
-            "alg_step: {:.1} ns/session, meter_record: {:.1} ns/session \
+            "alg passes: {:.1} ns/session, meter passes: {:.1} ns/session \
              (open stages {open_stages}, avg hull {:.1} pts, sink {sink:.0})",
             per(alg_elapsed),
             per(meter_elapsed),
@@ -3097,8 +3745,141 @@ mod tests {
         })
     }
 
+    /// Hull-and-query pairs for the `hull_max_slope` oracle test, three
+    /// arms behind a class selector:
+    ///
+    /// - classes 0–3: hulls built exactly the way the kernel builds them
+    ///   — cumulative arrival totals pushed through [`hull_add_point`] at
+    ///   x = 0, 1, 2, …, queried at a later x with the running total as y
+    ///   (a one-arrival sequence yields the single-vertex hull);
+    /// - class 4: perfectly collinear vertices (which [`hull_add_point`]
+    ///   would collapse, so built directly) with an arbitrary query y —
+    ///   the slope sequence is then monotone, the edge of unimodality;
+    /// - class 5: the explicit one-vertex hull, where the binary search
+    ///   never iterates.
+    fn hull_and_query() -> impl Strategy<Value = (Vec<(f64, f64)>, (f64, f64))> {
+        (
+            0u8..6,
+            proptest::collection::vec(0.0f64..32.0, 1..200),
+            (2usize..50, -100.0f64..100.0, -4.0f64..4.0),
+            (-100.0f64..100.0, 1u64..=16),
+        )
+            .prop_map(|(class, arrivals, (n, c, s), (qy, extra))| match class {
+                0..=3 => {
+                    let mut hull = Vec::new();
+                    let mut total = 0.0f64;
+                    for (i, a) in arrivals.iter().enumerate() {
+                        hull_add_point(&mut hull, (i as f64, total));
+                        total += a;
+                    }
+                    let q = ((arrivals.len() as u64 - 1 + extra) as f64, total);
+                    (hull, q)
+                }
+                4 => {
+                    let hull: Vec<(f64, f64)> =
+                        (0..n).map(|i| (i as f64, c + s * i as f64)).collect();
+                    (hull, ((n as u64 - 1 + extra) as f64, qy))
+                }
+                _ => (vec![(0.0, c)], (extra as f64, qy)),
+            })
+    }
+
     proptest! {
         #![proptest_config(ProptestConfig { cases: 24 })]
+
+        /// `hull_max_slope`'s unimodal binary search against the naive
+        /// linear scan it replaces: over kernel-built hulls, perfectly
+        /// collinear hulls, and the single-vertex hull, both must return
+        /// the *same f64* — the slope at the best vertex is the same
+        /// division either way, so equality is bitwise, not approximate.
+        #[test]
+        fn hull_max_slope_matches_linear_scan_oracle(hq in hull_and_query()) {
+            let (hull, q) = hq;
+            let oracle = hull
+                .iter()
+                .map(|&(x, y)| (q.1 - y) / (q.0 - x))
+                .fold(f64::NEG_INFINITY, f64::max);
+            let fast = hull_max_slope(&hull, q);
+            prop_assert_eq!(fast, oracle);
+        }
+
+        /// The kernel-thread knob is bitwise-invisible at the shard
+        /// level: the chunked parallel sweep at 2 and 4 threads must
+        /// produce byte-identical binary checkpoints to the sequential
+        /// sweep after every tick of a random lifecycle script.
+        #[test]
+        fn kernel_thread_count_is_bitwise_invisible(
+            ops in proptest::collection::vec(op_strategy(), 1..40)
+        ) {
+            let mk = |threads: usize| {
+                let cfg = ServiceConfig::builder(1024.0)
+                    .session_b_max(16.0)
+                    .group_b_o(8.0)
+                    .offline_delay(4)
+                    .window(4)
+                    .kernel_threads(threads)
+                    .build()
+                    .unwrap();
+                ShardState::new(0, &cfg)
+            };
+            let mut shards = [mk(1), mk(2), mk(4)];
+            let mut keys: Vec<u64> = Vec::new();
+            let mut next_key = 0u64;
+            let mut next_group = 0u64;
+            let mut tick_no = 0u64;
+            for op in &ops {
+                match op {
+                    Op::JoinDedicated => {
+                        for s in &mut shards {
+                            s.join_dedicated(next_key, "acme".into());
+                        }
+                        keys.push(next_key);
+                        next_key += 1;
+                    }
+                    Op::JoinGroup(n) => {
+                        let members: Vec<u64> = (0..*n as u64).map(|j| next_key + j).collect();
+                        for s in &mut shards {
+                            s.join_group(next_group, "globex".into(), &members);
+                        }
+                        keys.extend_from_slice(&members);
+                        next_key += *n as u64;
+                        next_group += 1;
+                    }
+                    Op::Leave(i) => {
+                        if !keys.is_empty() {
+                            let key = keys[i % keys.len()];
+                            for s in &mut shards {
+                                s.leave(key);
+                            }
+                        }
+                    }
+                    Op::Ticks(n, seed) => {
+                        for _ in 0..*n {
+                            let arrivals: Vec<(u64, f64)> = keys
+                                .iter()
+                                .enumerate()
+                                .map(|(j, &k)| {
+                                    let lcg = (*seed as u64 + tick_no * 31 + j as u64 * 7) % 5;
+                                    (k, lcg as f64 * 0.75)
+                                })
+                                .collect();
+                            for s in &mut shards {
+                                s.tick(&arrivals);
+                            }
+                            tick_no += 1;
+                            let enc = |s: &ShardState| {
+                                let mut out = Vec::new();
+                                crate::codec::checkpoint::encode(&s.checkpoint(), &mut out);
+                                out
+                            };
+                            let base = enc(&shards[0]);
+                            prop_assert_eq!(&base, &enc(&shards[1]));
+                            prop_assert_eq!(&base, &enc(&shards[2]));
+                        }
+                    }
+                }
+            }
+        }
 
         /// The columnar kernel against the retained entry-based kernel:
         /// after every tick of a random join/leave/arrival script, the two

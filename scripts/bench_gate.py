@@ -43,9 +43,14 @@ Ordering (inversion) gate — one file, two entries, strict inequality::
 
   Exits 1 unless the ``--exceeds`` entry's metric strictly exceeds the
   ``--over`` entry's. The ordering is a statement about parallel
-  hardware, so when the report records a ``cores`` field below
+  hardware — shard threads (``threaded/*`` over ``inline/s1``) and
+  intra-shard kernel threads (``inline/s1/k2`` over ``inline/s1``)
+  alike — so when the report records a ``cores`` field below
   ``--min-cores`` the check is skipped with a notice instead of
-  asserting parallelism a single-core host cannot exhibit.
+  asserting parallelism a single-core host cannot exhibit. The
+  ``*/k2``/``*/k4`` rows themselves only exist in multi-core reports,
+  so the cores check also keeps the selector from demanding a row a
+  single-core host never measures.
 
 Faster-than-baseline results always pass: the regression gates are
 one-sided, catching slowdowns only. And a brand-new bench passes too:
@@ -102,20 +107,23 @@ def parse_kv(raw, parser, flag):
 
 
 def gate_pair(label, baseline, measured, metric, tolerance, lower_better=False):
+    # Percent delta vs baseline, so the CI summary reads as a perf report
+    # and not just a pass/fail verdict (negative = below baseline).
+    delta = (measured - baseline) / baseline if baseline else float("inf")
     if lower_better:
         ceiling = baseline * (1.0 + tolerance)
         ok = measured <= ceiling
         print(
-            f"{label}{metric}: baseline {baseline:.1f}, measured {measured:.1f}, "
-            f"ceiling {ceiling:.1f} (tolerance {tolerance:.0%}) -> "
+            f"{label}{metric}: baseline {baseline:.1f}, measured {measured:.1f} "
+            f"({delta:+.1%}), ceiling {ceiling:.1f} (tolerance {tolerance:.0%}) -> "
             f"{'ok' if ok else 'REGRESSION'}"
         )
         return ok
     floor = baseline * (1.0 - tolerance)
     verdict = "ok" if measured >= floor else "REGRESSION"
     print(
-        f"{label}{metric}: baseline {baseline:.1f}, measured {measured:.1f}, "
-        f"floor {floor:.1f} (tolerance {tolerance:.0%}) -> {verdict}"
+        f"{label}{metric}: baseline {baseline:.1f}, measured {measured:.1f} "
+        f"({delta:+.1%}), floor {floor:.1f} (tolerance {tolerance:.0%}) -> {verdict}"
     )
     return measured >= floor
 
@@ -169,7 +177,7 @@ def run_exceeds(args, parser):
     if cores is not None and int(cores) < args.min_cores:
         print(
             f"cores={cores} < {args.min_cores}: ordering check skipped "
-            f"(threaded backends cannot overtake inline without parallelism)"
+            f"(parallel rows cannot overtake sequential ones without cores)"
         )
         return True
     selects = [parse_kv(raw, parser, "--select") for raw in args.select]
